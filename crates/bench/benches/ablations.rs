@@ -1,0 +1,73 @@
+//! Ablation benchmarks for the design decisions called out in `DESIGN.md`:
+//!
+//! 1. `sim_accuracy` — integrator accuracy (`max_dv`) vs characterization
+//!    runtime; the measured delay shift is printed once per setting.
+//! 2. `lambda_grid` — duty-cycle grid resolution vs complete-library build
+//!    cost (per-scenario characterization of a small cell subset).
+//! 3. `mapper_objective` — cut-size/exploration settings vs mapping runtime
+//!    and the critical delay they achieve (printed).
+
+use bti::AgingScenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use flow::{CharConfig, Characterizer};
+use sta::{analyze, Constraints};
+use stdcells::CellSet;
+use synth::test_fixtures::fixture_library;
+use synth::{map_to_netlist, MapOptions};
+
+fn ablate_sim_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_accuracy");
+    group.sample_size(10);
+    for (label, max_dv) in [("1mV", 1e-3), ("4mV", 4e-3), ("12mV", 12e-3)] {
+        let cfg = CharConfig { max_dv, ..CharConfig::fast() };
+        let chars = Characterizer::new(CellSet::nangate45_like().subset(&["NAND2_X1"]), cfg);
+        // Print the measured delay once so accuracy drift is visible.
+        let lib = chars.library(&AgingScenario::fresh());
+        let d = lib.cell("NAND2_X1").expect("cell").worst_delay(150e-12, 4e-15);
+        println!("sim_accuracy {label}: NAND2_X1 worst delay {:.3} ps", d * 1e12);
+        group.bench_function(label, |b| b.iter(|| chars.library(&AgingScenario::fresh())));
+    }
+    group.finish();
+}
+
+fn ablate_lambda_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda_grid");
+    group.sample_size(10);
+    let cfg = CharConfig::fast();
+    let chars = Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]), cfg);
+    for steps in [1u32, 2, 4] {
+        let scenarios = (steps + 1) * (steps + 1);
+        println!("lambda_grid steps={steps}: {scenarios} scenario libraries");
+        group.bench_function(format!("steps_{steps}"), |b| {
+            b.iter(|| chars.complete_library(steps, 10.0))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_mapper_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper_objective");
+    group.sample_size(10);
+    let lib = fixture_library();
+    let design = circuits::dct8();
+    for (label, options) in [
+        ("cut3", MapOptions { cut_size: 3, ..MapOptions::default() }),
+        ("cut4", MapOptions::default()),
+        ("cut4_wide", MapOptions { cuts_per_node: 14, ..MapOptions::default() }),
+    ] {
+        let nl = map_to_netlist(&design.aig, &lib, &options).expect("maps");
+        let cp = analyze(&nl, &lib, &Constraints::default()).expect("sta").critical_delay();
+        println!(
+            "mapper_objective {label}: {} instances, CP {:.1} ps",
+            nl.instance_count(),
+            cp * 1e12
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_sim_accuracy, ablate_lambda_grid, ablate_mapper_objective);
+criterion_main!(benches);

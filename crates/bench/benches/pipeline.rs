@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the flow's computational stages: cell
+//! characterization, technology mapping, static timing analysis and
+//! gate-level simulation.
+
+use bti::AgingScenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use flow::{CharConfig, Characterizer};
+use sta::{analyze, Constraints};
+use stdcells::CellSet;
+use synth::test_fixtures::fixture_library;
+use synth::{map_to_netlist, MapOptions};
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    let cfg = CharConfig::fast();
+    for name in ["INV_X1", "NAND2_X1", "XOR2_X1"] {
+        let set = CellSet::nangate45_like().subset(&[name]);
+        let chars = Characterizer::new(set, cfg.clone());
+        group.bench_function(name, |b| {
+            b.iter(|| chars.library(&AgingScenario::worst_case(10.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map");
+    group.sample_size(10);
+    let lib = fixture_library();
+    let options = MapOptions::default();
+    for design in [circuits::dct8(), circuits::vliw()] {
+        group.bench_function(design.name.clone(), |b| {
+            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta");
+    group.sample_size(20);
+    let lib = fixture_library();
+    let options = MapOptions::default();
+    for design in [circuits::dct8(), circuits::risc_5p()] {
+        let nl = synth::synthesize(&design.aig, &lib, &options).expect("synth");
+        group.bench_function(design.name.clone(), |b| {
+            b.iter(|| analyze(&nl, &lib, &Constraints::default()).expect("sta"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logicsim");
+    group.sample_size(10);
+    let lib = fixture_library();
+    let design = circuits::dct8();
+    let nl = synth::synthesize(&design.aig, &lib, &MapOptions::default()).expect("synth");
+    let ann = flow::annotation_from_sta(&nl, &lib, &Constraints::default()).expect("ann");
+    let vectors: Vec<Vec<bool>> = (0..16)
+        .map(|k| (0..design.input_width()).map(|b| (k * 7 + b) % 3 == 0).collect())
+        .collect();
+    group.bench_function("dct_zero_delay_16cy", |b| {
+        b.iter(|| logicsim::run_cycles(&nl, &lib, None, &vectors).expect("sim"))
+    });
+    group.bench_function("dct_timed_16cy", |b| {
+        b.iter(|| logicsim::run_timed(&nl, &lib, &ann, 1e-9, None, &vectors).expect("sim"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization, bench_mapping, bench_sta, bench_simulation);
+criterion_main!(benches);

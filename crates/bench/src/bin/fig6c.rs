@@ -1,0 +1,52 @@
+//! Fig. 6(c) — PSNR of the gate-level DCT→IDCT chain under aging, with
+//! **no guardband**: both the aging-unaware and aging-aware designs run at
+//! the frequency set by the unaware design's fresh critical path.
+//!
+//! Environment: `RELIAWARE_IMG` overrides the image edge length
+//! (default 32).
+
+use bench::{balanced_library, fresh_library, library_for, worst_library, ImageChain};
+use bti::AgingScenario;
+
+fn main() {
+    let size: usize = std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let fresh = fresh_library();
+    let aged10 = worst_library();
+
+    let unaware = ImageChain::build(&fresh, &aged10, false);
+    let aware = ImageChain::build(&fresh, &aged10, true);
+    // The common frequency: maximum performance in the absence of aging
+    // (the unaware design's fresh CP), with a hair of margin so the fresh
+    // run itself is not metastable at the sampling edge.
+    let period = unaware.fresh_period(&fresh) * 1.001;
+    println!(
+        "clock period = {:.1} ps (fresh critical path of the traditional design; no guardband)\n",
+        period * 1e12
+    );
+
+    let image = imgproc::synthetic::test_image(size, size, 7);
+    let scenarios: Vec<(&str, liberty::Library)> = vec![
+        ("unaged (year 0)", fresh.clone()),
+        ("balanced λ=0.5, 1y", balanced_library(1.0)),
+        ("balanced λ=0.5, 10y", balanced_library(10.0)),
+        ("worst λ=1, 1y", library_for(&AgingScenario::worst_case(1.0))),
+        ("worst λ=1, 3y", library_for(&AgingScenario::worst_case(3.0))),
+        ("worst λ=1, 10y", aged10.clone()),
+    ];
+
+    println!("Fig 6(c) — PSNR [dB] of the DCT→IDCT chain on a {size}x{size} test image");
+    println!("(30 dB is the acceptability threshold)\n");
+    println!("| scenario | aging-unaware design | aging-aware design |");
+    println!("| --- | --- | --- |");
+    for (name, lib) in &scenarios {
+        let ru = unaware.run(&image, lib, period);
+        let ra = aware.run(&image, lib, period);
+        println!(
+            "| {name} | {:.1} dB ({} late) | {:.1} dB ({} late) |",
+            ru.psnr_db, ru.late_events, ra.psnr_db, ra.late_events
+        );
+    }
+    println!("\nPaper shape: the unaware design collapses within a year of worst-case");
+    println!("aging (9 dB; 19 dB balanced), while the aware design holds unaged");
+    println!("quality even after 10 years of worst-case stress.");
+}

@@ -1,0 +1,69 @@
+//! Sec. 3 — how deep in the *fresh* path ranking does the *aged* critical
+//! path hide? Related work tracks the "top x % of critical paths" hoping the
+//! future critical path is among them; the paper argues no practical x is
+//! guaranteed. This binary measures the required rank per benchmark and the
+//! number of paths within the top-5 % delay window.
+
+use bench::{benchmark_netlists, fresh_library, ps, row, worst_library};
+use sta::{analyze, k_worst_paths, Constraints, PathSpec};
+
+/// A structural signature of a path (instance/pin/polarity sequence).
+fn signature(nl: &netlist::Netlist, p: &PathSpec) -> String {
+    p.steps
+        .iter()
+        .map(|s| {
+            format!(
+                "{}.{}>{}{}",
+                nl.instance(s.inst).name,
+                s.input,
+                s.output,
+                if s.output_rising { '+' } else { '-' }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn main() {
+    let fresh = fresh_library();
+    let aged = worst_library();
+    let designs = benchmark_netlists(&fresh, "fresh");
+    let c = Constraints::default();
+    let k = 2000;
+
+    println!("Sec 3 — rank of the aged critical path within the fresh path ordering\n");
+    row(&[
+        "design".into(),
+        "fresh CP [ps]".into(),
+        "aged CP [ps]".into(),
+        "paths in top 5%".into(),
+        format!("aged-CP rank (k={k})"),
+    ]);
+    row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+    for (design, nl) in &designs {
+        let fresh_report = analyze(nl, &fresh, &c).expect("sta");
+        let aged_report = analyze(nl, &aged, &c).expect("sta");
+        let aged_sig = signature(nl, aged_report.critical_path());
+        let fresh_paths = k_worst_paths(nl, &fresh, &c, k).expect("paths");
+        // Compare raw path delays against the raw worst path (endpoint
+        // setup offsets cancel out of the ranking).
+        let cp_raw = fresh_paths.first().map_or(0.0, |p| p.arrival);
+        let cp = fresh_report.critical_delay();
+        let in_top5 = fresh_paths.iter().filter(|p| p.arrival >= 0.95 * cp_raw).count();
+        let top5_note = if in_top5 >= k { format!(">{k}") } else { in_top5.to_string() };
+        let rank = fresh_paths
+            .iter()
+            .position(|p| signature(nl, p) == aged_sig)
+            .map_or_else(|| format!(">{k}"), |r| (r + 1).to_string());
+        row(&[
+            design.name.clone(),
+            ps(cp),
+            ps(aged_report.critical_delay()),
+            top5_note,
+            rank,
+        ]);
+    }
+    println!("\nWhere the rank exceeds k, no top-k tracking of fresh paths would have");
+    println!("included the path that actually becomes critical — the paper's argument");
+    println!("for re-analyzing the whole circuit with the degradation-aware library.");
+}

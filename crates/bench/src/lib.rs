@@ -1,0 +1,258 @@
+//! Shared harness for the figure-regeneration binaries and Criterion
+//! benches: disk-cached characterized libraries, synthesized benchmark
+//! netlists and table printing.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper (see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! results). All expensive artifacts — characterized libraries and mapped
+//! netlists — are cached under [`cache_dir`] as Liberty/Verilog text, so
+//! repeated runs are fast and the artifacts stay inspectable.
+
+use bti::AgingScenario;
+use flow::{CharConfig, Characterizer};
+use liberty::{parse_library, write_library, Library};
+use netlist::verilog::{parse_verilog, write_verilog};
+use netlist::Netlist;
+use std::path::PathBuf;
+use stdcells::CellSet;
+use synth::MapOptions;
+
+/// The artifact cache directory: `$RELIAWARE_CACHE` or
+/// `target/reliaware-cache`.
+#[must_use]
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os("RELIAWARE_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/reliaware-cache"))
+}
+
+/// The paper-grade characterizer: all 68 cells on the 7×7 OPC grid.
+#[must_use]
+pub fn characterizer() -> Characterizer {
+    Characterizer::new(CellSet::nangate45_like(), CharConfig::paper())
+}
+
+/// Evaluation lifetime used throughout the figures (the paper's 10 years).
+pub const LIFETIME_YEARS: f64 = 10.0;
+
+/// Cached characterized library for `scenario`.
+///
+/// # Panics
+///
+/// Panics if the cache directory is unusable.
+#[must_use]
+pub fn library_for(scenario: &AgingScenario) -> Library {
+    characterizer()
+        .library_cached(&cache_dir(), scenario)
+        .expect("library cache directory must be writable")
+}
+
+/// The fresh (initial, degradation-unaware) library.
+#[must_use]
+pub fn fresh_library() -> Library {
+    library_for(&AgingScenario::fresh())
+}
+
+/// The worst-case (λ = 1, 10 y) degradation-aware library.
+#[must_use]
+pub fn worst_library() -> Library {
+    library_for(&AgingScenario::worst_case(LIFETIME_YEARS))
+}
+
+/// The balanced-stress (λ = 0.5) library at `years`.
+#[must_use]
+pub fn balanced_library(years: f64) -> Library {
+    library_for(&AgingScenario::balanced(years))
+}
+
+/// The worst-case library with mobility degradation ignored (ΔVth-only
+/// state of the art), cached separately.
+///
+/// # Panics
+///
+/// Panics if the cache directory is unusable.
+#[must_use]
+pub fn worst_vth_only_library() -> Library {
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let path = dir.join("lib_vthonly_worst_10y_7x7.lib");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(lib) = parse_library(&text) {
+            if lib.len() == 68 {
+                return lib;
+            }
+        }
+    }
+    let lib = characterizer().library_vth_only(&AgingScenario::worst_case(LIFETIME_YEARS));
+    std::fs::write(&path, write_library(&lib)).expect("cache write");
+    lib
+}
+
+/// Synthesizes (or loads from cache) `design` against `library`; the cache
+/// key couples the design and library names.
+///
+/// # Panics
+///
+/// Panics on synthesis failure or unusable cache.
+#[must_use]
+pub fn synthesized(design: &circuits::Design, library: &Library, tag: &str) -> Netlist {
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let path = dir.join(format!("netlist_{}_{tag}.v", design.name.replace('-', "_")));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(nl) = parse_verilog(&text) {
+            if nl.validate(library).is_ok() {
+                return nl;
+            }
+        }
+    }
+    let nl = flow::synthesize_best(&design.aig, library, &MapOptions::default())
+        .unwrap_or_else(|e| panic!("synthesis of {} failed: {e}", design.name));
+    std::fs::write(&path, write_verilog(&nl)).expect("cache write");
+    nl
+}
+
+/// The aging-aware netlist of `design` (cached): candidates mapped with
+/// both libraries, selected and sized by **aged** timing (paper Sec. 4.3).
+///
+/// # Panics
+///
+/// Panics on synthesis failure or unusable cache.
+#[must_use]
+pub fn aware_netlist(design: &circuits::Design, fresh: &Library, aged: &Library) -> Netlist {
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let path = dir.join(format!("netlist_{}_aware.v", design.name.replace('-', "_")));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(nl) = parse_verilog(&text) {
+            if nl.validate(aged).is_ok() {
+                return nl;
+            }
+        }
+    }
+    let nl = flow::synthesize_aging_aware(&design.aig, fresh, aged, &MapOptions::default())
+        .unwrap_or_else(|e| panic!("aware synthesis of {} failed: {e}", design.name));
+    std::fs::write(&path, write_verilog(&nl)).expect("cache write");
+    nl
+}
+
+/// All seven paper benchmarks synthesized against `library` (cached),
+/// in the paper's order: DSP, FFT, RISC-6P, RISC-5P, VLIW, DCT, IDCT.
+#[must_use]
+pub fn benchmark_netlists(library: &Library, tag: &str) -> Vec<(circuits::Design, Netlist)> {
+    circuits::all_benchmarks()
+        .into_iter()
+        .map(|d| {
+            let nl = synthesized(&d, library, tag);
+            (d, nl)
+        })
+        .collect()
+}
+
+/// The gate-level DCT→IDCT image chain for one design style, ready to run
+/// under any aging scenario.
+pub struct ImageChain {
+    /// The 8-point DCT design (for port metadata).
+    pub dct_design: circuits::Design,
+    /// The 8-point IDCT design.
+    pub idct_design: circuits::Design,
+    /// Mapped DCT netlist.
+    pub dct: Netlist,
+    /// Mapped IDCT netlist.
+    pub idct: Netlist,
+}
+
+impl ImageChain {
+    /// Builds the chain for the aging-unaware baseline (`aware = false`) or
+    /// the aging-aware design.
+    #[must_use]
+    pub fn build(fresh: &Library, aged: &Library, aware: bool) -> Self {
+        let dct_design = circuits::dct8();
+        let idct_design = circuits::idct8();
+        let (dct, idct) = if aware {
+            (aware_netlist(&dct_design, fresh, aged), aware_netlist(&idct_design, fresh, aged))
+        } else {
+            (synthesized(&dct_design, fresh, "fresh"), synthesized(&idct_design, fresh, "fresh"))
+        };
+        ImageChain { dct_design, idct_design, dct, idct }
+    }
+
+    /// The chain's fresh critical path (the larger of the two circuits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on STA failure.
+    #[must_use]
+    pub fn fresh_period(&self, fresh: &Library) -> f64 {
+        let c = sta::Constraints::default();
+        let a = sta::analyze(&self.dct, fresh, &c).expect("sta").critical_delay();
+        let b = sta::analyze(&self.idct, fresh, &c).expect("sta").critical_delay();
+        a.max(b)
+    }
+
+    /// Runs `image` through the chain with delays of `scenario_lib` at
+    /// clock period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation failure.
+    #[must_use]
+    pub fn run(
+        &self,
+        image: &imgproc::GrayImage,
+        scenario_lib: &Library,
+        period: f64,
+    ) -> flow::ImageChainResult {
+        let c = sta::Constraints::default();
+        let dct_ann = flow::annotation_from_sta(&self.dct, scenario_lib, &c).expect("sta");
+        let idct_ann = flow::annotation_from_sta(&self.idct, scenario_lib, &c).expect("sta");
+        flow::run_image_chain(
+            image,
+            &self.dct,
+            &self.dct_design,
+            &self.idct,
+            &self.idct_design,
+            scenario_lib,
+            &dct_ann,
+            &idct_ann,
+            period,
+        )
+        .expect("image chain")
+    }
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats seconds as picoseconds with two decimals.
+#[must_use]
+pub fn ps(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e12)
+}
+
+/// Formats a ratio as a signed percentage.
+#[must_use]
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ps(1.5e-12), "1.50");
+        assert_eq!(pct(0.214), "+21.4%");
+        assert_eq!(pct(-0.19), "-19.0%");
+    }
+
+    #[test]
+    fn cache_dir_default() {
+        // No assertion on the env-var path; just exercise the default.
+        let d = cache_dir();
+        assert!(!d.as_os_str().is_empty());
+    }
+}

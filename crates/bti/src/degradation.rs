@@ -1,0 +1,77 @@
+/// The electrical degradation of a transistor after a period of BTI stress.
+///
+/// Produced by [`BtiModel::degradation`](crate::BtiModel::degradation); this
+/// is exactly the pair of quantities that the paper's Eq. (1) feeds into the
+/// drain current — and therefore into gate delay:
+///
+/// ```text
+/// Id ≈ μ/2 · (Vdd − Vth − ΔVth)²
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Threshold-voltage shift in volts (≥ 0; applied as an increase of the
+    /// threshold magnitude for both nMOS and pMOS).
+    pub delta_vth: f64,
+    /// Multiplicative carrier-mobility factor `μ/μ0` in `(0, 1]`.
+    pub mobility_factor: f64,
+    /// Generated interface-trap density ΔN_IT in cm⁻².
+    pub interface_traps: f64,
+    /// Generated oxide-trap density ΔN_OT in cm⁻².
+    pub oxide_traps: f64,
+}
+
+impl Degradation {
+    /// The degradation of a fresh (unaged) device: no Vth shift, full mobility.
+    #[must_use]
+    pub fn fresh() -> Self {
+        Degradation { delta_vth: 0.0, mobility_factor: 1.0, interface_traps: 0.0, oxide_traps: 0.0 }
+    }
+
+    /// Returns a copy with the mobility degradation ignored (`μ/μ0 = 1`).
+    ///
+    /// This models the state-of-the-art approaches the paper compares against
+    /// (its Fig. 5(a)), which consider ΔVth only.
+    #[must_use]
+    pub fn vth_only(mut self) -> Self {
+        self.mobility_factor = 1.0;
+        self
+    }
+
+    /// True if this degradation leaves the device electrically unchanged.
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.delta_vth == 0.0 && self.mobility_factor == 1.0
+    }
+}
+
+impl Default for Degradation {
+    fn default() -> Self {
+        Degradation::fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_identity() {
+        let d = Degradation::fresh();
+        assert!(d.is_fresh());
+        assert_eq!(d, Degradation::default());
+    }
+
+    #[test]
+    fn vth_only_restores_mobility() {
+        let d = Degradation {
+            delta_vth: 0.05,
+            mobility_factor: 0.9,
+            interface_traps: 1e11,
+            oxide_traps: 1e10,
+        };
+        let v = d.vth_only();
+        assert_eq!(v.mobility_factor, 1.0);
+        assert_eq!(v.delta_vth, 0.05);
+        assert!(!v.is_fresh());
+    }
+}

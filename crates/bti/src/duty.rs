@@ -1,0 +1,152 @@
+use std::error::Error;
+use std::fmt;
+
+/// Fraction of time a transistor spends under BTI stress, in `[0, 1]`.
+///
+/// λ = 1 is worst-case (permanently stressed) aging, λ = 0 means the device
+/// never ages, and λ = 0.5 is the "balance case" that duty-cycle balancing
+/// optimization techniques aim for.
+///
+/// A pMOS transistor is under NBTI stress while its gate is low (the device
+/// conducts); an nMOS transistor is under PBTI stress while its gate is high.
+///
+/// # Example
+///
+/// ```
+/// use bti::DutyCycle;
+///
+/// # fn main() -> Result<(), bti::DutyCycleError> {
+/// let lambda = DutyCycle::new(0.4)?;
+/// assert_eq!(lambda.value(), 0.4);
+/// assert!(DutyCycle::new(1.3).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DutyCycle(f64);
+
+impl DutyCycle {
+    /// Worst-case stress: the device is stressed 100 % of the time.
+    pub const WORST: DutyCycle = DutyCycle(1.0);
+    /// Balanced stress, the target of duty-cycle equalization techniques.
+    pub const BALANCED: DutyCycle = DutyCycle(0.5);
+    /// No stress: the device does not age.
+    pub const FRESH: DutyCycle = DutyCycle(0.0);
+
+    /// Creates a duty cycle from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DutyCycleError`] if `value` is NaN or outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, DutyCycleError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(DutyCycle(value))
+        } else {
+            Err(DutyCycleError { value })
+        }
+    }
+
+    /// Creates a duty cycle, clamping `value` into `[0, 1]` (NaN becomes 0).
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            DutyCycle(0.0)
+        } else {
+            DutyCycle(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The underlying fraction in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Rounds to a grid with `steps` intervals (the paper uses `steps = 10`,
+    /// i.e. λ ∈ {0.0, 0.1, …, 1.0}), returning the nearest grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    #[must_use]
+    pub fn quantized(self, steps: u32) -> Self {
+        assert!(steps > 0, "duty-cycle grid needs at least one step");
+        let s = f64::from(steps);
+        DutyCycle((self.0 * s).round() / s)
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::FRESH
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+/// Error returned when constructing a [`DutyCycle`] from an out-of-range value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleError {
+    value: f64,
+}
+
+impl fmt::Display for DutyCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duty cycle must be in [0, 1], got {}", self.value)
+    }
+}
+
+impl Error for DutyCycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_range() {
+        for v in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(DutyCycle::new(v).unwrap().value(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(DutyCycle::new(-0.01).is_err());
+        assert!(DutyCycle::new(1.01).is_err());
+        assert!(DutyCycle::new(f64::NAN).is_err());
+        assert!(DutyCycle::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(DutyCycle::saturating(-3.0).value(), 0.0);
+        assert_eq!(DutyCycle::saturating(7.0).value(), 1.0);
+        assert_eq!(DutyCycle::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(DutyCycle::saturating(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn quantize_to_paper_grid() {
+        let q = DutyCycle::saturating(0.431).quantized(10);
+        assert!((q.value() - 0.4).abs() < 1e-12);
+        let q = DutyCycle::saturating(0.46).quantized(10);
+        assert!((q.value() - 0.5).abs() < 1e-12);
+        assert_eq!(DutyCycle::WORST.quantized(10), DutyCycle::WORST);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn quantize_zero_steps_panics() {
+        let _ = DutyCycle::BALANCED.quantized(0);
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(DutyCycle::saturating(0.4).to_string(), "0.40");
+        assert_eq!(DutyCycleError { value: 2.0 }.to_string(), "duty cycle must be in [0, 1], got 2");
+    }
+}

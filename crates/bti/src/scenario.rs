@@ -1,0 +1,222 @@
+use crate::{BtiModel, Degradation, DutyCycle, Stress};
+use std::fmt;
+
+/// Degradations of the two device polarities of a CMOS gate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DevicePair {
+    /// Degradation of the pMOS transistors (NBTI).
+    pub pmos: Degradation,
+    /// Degradation of the nMOS transistors (PBTI).
+    pub nmos: Degradation,
+}
+
+/// One aging stress scenario for a gate/cell: a pMOS duty cycle, an nMOS
+/// duty cycle and a lifetime.
+///
+/// This mirrors the paper's library-creation loop (Sec. 4.1): the λ of all
+/// pMOS devices within a gate is assumed equal (`lambda_pmos`), likewise for
+/// nMOS (`lambda_nmos`, footnote 2 of the paper), and the N × N grid of
+/// scenarios spans λ ∈ \[0, 1\] in both dimensions.
+///
+/// # Example
+///
+/// ```
+/// use bti::AgingScenario;
+///
+/// let worst = AgingScenario::worst_case(10.0);
+/// let pair = worst.degradations();
+/// assert!(pair.pmos.delta_vth > pair.nmos.delta_vth);
+///
+/// // The paper's 11 × 11 grid = 121 scenarios.
+/// assert_eq!(AgingScenario::grid(10, 10.0).len(), 121);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingScenario {
+    /// Duty cycle of the pMOS transistors.
+    pub lambda_pmos: DutyCycle,
+    /// Duty cycle of the nMOS transistors.
+    pub lambda_nmos: DutyCycle,
+    /// Lifetime in years after which the degradation is evaluated.
+    pub years: f64,
+    /// Junction temperature during stress, in kelvin.
+    pub temperature_k: f64,
+    /// Supply (stress) voltage in volts.
+    pub vdd: f64,
+    /// NBTI model applied to pMOS devices.
+    pub nbti: BtiModel,
+    /// PBTI model applied to nMOS devices.
+    pub pbti: BtiModel,
+}
+
+impl AgingScenario {
+    /// Creates a scenario with the default NBTI/PBTI models.
+    #[must_use]
+    pub fn new(lambda_pmos: DutyCycle, lambda_nmos: DutyCycle, years: f64) -> Self {
+        AgingScenario {
+            lambda_pmos,
+            lambda_nmos,
+            years,
+            temperature_k: Stress::NOMINAL_TEMPERATURE_K,
+            vdd: Stress::NOMINAL_VDD,
+            nbti: BtiModel::nbti(),
+            pbti: BtiModel::pbti(),
+        }
+    }
+
+    /// Returns a copy evaluated at a different environment corner — hotter
+    /// or cooler junctions and over/under-drive accelerate or relax BTI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not positive and finite.
+    #[must_use]
+    pub fn with_environment(mut self, temperature_k: f64, vdd: f64) -> Self {
+        assert!(temperature_k.is_finite() && temperature_k > 0.0, "temperature must be positive");
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        self.temperature_k = temperature_k;
+        self.vdd = vdd;
+        self
+    }
+
+    /// Worst-case static stress: λ_pMOS = λ_nMOS = 1 (the paper's workload-
+    /// independent guardbanding scenario).
+    #[must_use]
+    pub fn worst_case(years: f64) -> Self {
+        Self::new(DutyCycle::WORST, DutyCycle::WORST, years)
+    }
+
+    /// Balanced stress: λ = 0.5 on both polarities, representative of
+    /// duty-cycle-balancing state-of-the-art optimizations.
+    #[must_use]
+    pub fn balanced(years: f64) -> Self {
+        Self::new(DutyCycle::BALANCED, DutyCycle::BALANCED, years)
+    }
+
+    /// The fresh (unaged) scenario: λ = 0 on both polarities.
+    #[must_use]
+    pub fn fresh() -> Self {
+        Self::new(DutyCycle::FRESH, DutyCycle::FRESH, 0.0)
+    }
+
+    /// The full (steps + 1)² grid of λ combinations the paper uses to build
+    /// its complete degradation-aware library (steps = 10 → 121 scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    #[must_use]
+    pub fn grid(steps: u32, years: f64) -> Vec<AgingScenario> {
+        assert!(steps > 0, "λ grid needs at least one step");
+        let mut out = Vec::with_capacity(((steps + 1) * (steps + 1)) as usize);
+        for p in 0..=steps {
+            for n in 0..=steps {
+                out.push(Self::new(
+                    DutyCycle::saturating(f64::from(p) / f64::from(steps)),
+                    DutyCycle::saturating(f64::from(n) / f64::from(steps)),
+                    years,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Evaluates the device degradations of this scenario.
+    #[must_use]
+    pub fn degradations(&self) -> DevicePair {
+        let stress = |duty| {
+            Stress::years(self.years, duty)
+                .with_temperature(self.temperature_k)
+                .with_vdd(self.vdd)
+        };
+        DevicePair {
+            pmos: self.nbti.degradation(&stress(self.lambda_pmos)),
+            nmos: self.pbti.degradation(&stress(self.lambda_nmos)),
+        }
+    }
+
+    /// The `"{λp}_{λn}"` index tag used to rename cells when merging
+    /// degradation-aware libraries (e.g. `AND2_X1_0.40_0.60`).
+    #[must_use]
+    pub fn index_tag(&self) -> String {
+        format!("{}_{}", self.lambda_pmos, self.lambda_nmos)
+    }
+
+    /// True if this scenario leaves devices unaged.
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.years == 0.0
+            || (self.lambda_pmos == DutyCycle::FRESH && self.lambda_nmos == DutyCycle::FRESH)
+    }
+}
+
+impl fmt::Display for AgingScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "λp={} λn={} @ {:.1}y",
+            self.lambda_pmos, self.lambda_nmos, self.years
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_count() {
+        let g = AgingScenario::grid(10, 10.0);
+        assert_eq!(g.len(), 121);
+        assert!(g.iter().any(|s| s.is_fresh()));
+        assert!(g
+            .iter()
+            .any(|s| s.lambda_pmos == DutyCycle::WORST && s.lambda_nmos == DutyCycle::WORST));
+    }
+
+    #[test]
+    fn index_tag_format() {
+        let s = AgingScenario::new(
+            DutyCycle::saturating(0.4),
+            DutyCycle::saturating(0.6),
+            10.0,
+        );
+        assert_eq!(s.index_tag(), "0.40_0.60");
+    }
+
+    #[test]
+    fn worst_case_dominates_balanced() {
+        let w = AgingScenario::worst_case(10.0).degradations();
+        let b = AgingScenario::balanced(10.0).degradations();
+        assert!(w.pmos.delta_vth > b.pmos.delta_vth);
+        assert!(w.nmos.delta_vth > b.nmos.delta_vth);
+        assert!(w.pmos.mobility_factor < b.pmos.mobility_factor);
+    }
+
+    #[test]
+    fn fresh_scenario_is_identity() {
+        let f = AgingScenario::fresh();
+        assert!(f.is_fresh());
+        let d = f.degradations();
+        assert!(d.pmos.is_fresh() && d.nmos.is_fresh());
+    }
+
+    #[test]
+    fn environment_accelerates_aging() {
+        let base = AgingScenario::worst_case(10.0).degradations();
+        let hot = AgingScenario::worst_case(10.0)
+            .with_environment(423.15, 1.3)
+            .degradations();
+        let cool = AgingScenario::worst_case(10.0)
+            .with_environment(348.15, 1.1)
+            .degradations();
+        assert!(hot.pmos.delta_vth > base.pmos.delta_vth);
+        assert!(cool.pmos.delta_vth < base.pmos.delta_vth);
+        assert!(hot.nmos.mobility_factor < base.nmos.mobility_factor);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = AgingScenario::worst_case(10.0);
+        assert_eq!(s.to_string(), "λp=1.00 λn=1.00 @ 10.0y");
+    }
+}

@@ -1,0 +1,155 @@
+use crate::{DutyCycle, SECONDS_PER_YEAR};
+
+/// A BTI stress condition: how long a device has been operating, which share
+/// of that time it was stressed, and under which environment.
+///
+/// Temperature and supply voltage enter as acceleration factors relative to
+/// the nominal corner (125 °C junction temperature, Vdd = 1.2 V, matching the
+/// paper's setup); at the nominal corner they contribute a factor of exactly 1.
+///
+/// # Example
+///
+/// ```
+/// use bti::{DutyCycle, Stress};
+///
+/// let s = Stress::years(10.0, DutyCycle::WORST);
+/// assert!((s.time_seconds() / 3.15576e8 - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stress {
+    time_seconds: f64,
+    duty: DutyCycle,
+    temperature_k: f64,
+    vdd: f64,
+}
+
+impl Stress {
+    /// Nominal junction temperature assumed by the calibration (125 °C).
+    pub const NOMINAL_TEMPERATURE_K: f64 = 398.15;
+    /// Nominal supply voltage of the paper's 45 nm setup.
+    pub const NOMINAL_VDD: f64 = 1.2;
+
+    /// Creates a stress condition of `time_seconds` at duty cycle `duty`
+    /// under nominal temperature and supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_seconds` is negative or not finite.
+    #[must_use]
+    pub fn new(time_seconds: f64, duty: DutyCycle) -> Self {
+        assert!(
+            time_seconds.is_finite() && time_seconds >= 0.0,
+            "stress time must be a finite non-negative number of seconds"
+        );
+        Stress {
+            time_seconds,
+            duty,
+            temperature_k: Self::NOMINAL_TEMPERATURE_K,
+            vdd: Self::NOMINAL_VDD,
+        }
+    }
+
+    /// Creates a stress condition of `years` (Julian years) at `duty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `years` is negative or not finite.
+    #[must_use]
+    pub fn years(years: f64, duty: DutyCycle) -> Self {
+        assert!(years.is_finite() && years >= 0.0, "lifetime must be finite and non-negative");
+        Self::new(years * SECONDS_PER_YEAR, duty)
+    }
+
+    /// Sets the junction temperature in kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is not a positive finite number.
+    #[must_use]
+    pub fn with_temperature(mut self, kelvin: f64) -> Self {
+        assert!(kelvin.is_finite() && kelvin > 0.0, "temperature must be positive kelvin");
+        self.temperature_k = kelvin;
+        self
+    }
+
+    /// Sets the supply (stress) voltage in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not a positive finite number.
+    #[must_use]
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        self.vdd = vdd;
+        self
+    }
+
+    /// Total operating time in seconds.
+    #[must_use]
+    pub fn time_seconds(&self) -> f64 {
+        self.time_seconds
+    }
+
+    /// Total operating time in years.
+    #[must_use]
+    pub fn time_years(&self) -> f64 {
+        self.time_seconds / SECONDS_PER_YEAR
+    }
+
+    /// The duty cycle λ of this stress condition.
+    #[must_use]
+    pub fn duty(&self) -> DutyCycle {
+        self.duty
+    }
+
+    /// Junction temperature in kelvin.
+    #[must_use]
+    pub fn temperature_k(&self) -> f64 {
+        self.temperature_k
+    }
+
+    /// Supply voltage in volts.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_conversion() {
+        let s = Stress::years(1.0, DutyCycle::BALANCED);
+        assert!((s.time_seconds() - SECONDS_PER_YEAR).abs() < 1.0);
+        assert!((s.time_years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_environment() {
+        let s = Stress::new(1.0, DutyCycle::WORST);
+        assert_eq!(s.temperature_k(), Stress::NOMINAL_TEMPERATURE_K);
+        assert_eq!(s.vdd(), Stress::NOMINAL_VDD);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = Stress::years(2.0, DutyCycle::WORST).with_temperature(358.15).with_vdd(1.1);
+        assert_eq!(s.temperature_k(), 358.15);
+        assert_eq!(s.vdd(), 1.1);
+        assert_eq!(s.duty(), DutyCycle::WORST);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = Stress::new(-1.0, DutyCycle::FRESH);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive kelvin")]
+    fn bad_temperature_panics() {
+        let _ = Stress::new(1.0, DutyCycle::FRESH).with_temperature(0.0);
+    }
+}

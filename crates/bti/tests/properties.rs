@@ -1,0 +1,89 @@
+//! Property-based tests for the BTI model invariants.
+
+use bti::{AgingScenario, BtiModel, DutyCycle, Stress};
+use proptest::prelude::*;
+
+fn duty() -> impl Strategy<Value = DutyCycle> {
+    (0.0f64..=1.0).prop_map(DutyCycle::saturating)
+}
+
+proptest! {
+    /// ΔVth is non-negative and bounded by a physically plausible ceiling for
+    /// any stress within a 30-year horizon.
+    #[test]
+    fn delta_vth_bounded(lambda in duty(), years in 0.0f64..30.0) {
+        for model in [BtiModel::nbti(), BtiModel::pbti()] {
+            let v = model.delta_vth(&Stress::years(years, lambda));
+            prop_assert!(v >= 0.0);
+            prop_assert!(v < 0.15, "ΔVth {v} implausibly large");
+        }
+    }
+
+    /// The mobility factor stays in (0, 1].
+    #[test]
+    fn mobility_factor_in_unit_interval(lambda in duty(), years in 0.0f64..30.0) {
+        for model in [BtiModel::nbti(), BtiModel::pbti()] {
+            let f = model.mobility_factor(&Stress::years(years, lambda));
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    /// Degradation is monotone non-decreasing in stress time.
+    #[test]
+    fn monotone_in_time(lambda in duty(), y1 in 0.0f64..30.0, y2 in 0.0f64..30.0) {
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        let m = BtiModel::nbti();
+        let a = m.delta_vth(&Stress::years(lo, lambda));
+        let b = m.delta_vth(&Stress::years(hi, lambda));
+        prop_assert!(a <= b + 1e-15);
+    }
+
+    /// Degradation is monotone non-decreasing in duty cycle.
+    #[test]
+    fn monotone_in_duty(l1 in 0.0f64..=1.0, l2 in 0.0f64..=1.0, years in 0.01f64..30.0) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let m = BtiModel::pbti();
+        let a = m.delta_vth(&Stress::years(years, DutyCycle::saturating(lo)));
+        let b = m.delta_vth(&Stress::years(years, DutyCycle::saturating(hi)));
+        prop_assert!(a <= b + 1e-15);
+    }
+
+    /// NBTI dominates PBTI for every identical stress condition.
+    #[test]
+    fn nbti_dominates_pbti(lambda in duty(), years in 0.001f64..30.0) {
+        let s = Stress::years(years, lambda);
+        let n = BtiModel::nbti().degradation(&s);
+        let p = BtiModel::pbti().degradation(&s);
+        prop_assert!(n.delta_vth >= p.delta_vth);
+        prop_assert!(n.mobility_factor <= p.mobility_factor);
+    }
+
+    /// `vth_only` never changes ΔVth and always restores full mobility —
+    /// exactly the state-of-the-art simplification of Fig. 5(a).
+    #[test]
+    fn vth_only_projection(lambda in duty(), years in 0.0f64..30.0) {
+        let d = BtiModel::nbti().degradation(&Stress::years(years, lambda));
+        let v = d.vth_only();
+        prop_assert_eq!(v.delta_vth, d.delta_vth);
+        prop_assert_eq!(v.mobility_factor, 1.0);
+    }
+
+    /// Quantizing a duty cycle moves it by at most half a grid step.
+    #[test]
+    fn quantization_error_bounded(raw in 0.0f64..=1.0, steps in 1u32..40) {
+        let q = DutyCycle::saturating(raw).quantized(steps);
+        prop_assert!((q.value() - raw).abs() <= 0.5 / f64::from(steps) + 1e-12);
+    }
+
+    /// Scenario grids always contain the fresh and worst-case corners and
+    /// have the advertised size.
+    #[test]
+    fn grid_corners(steps in 1u32..12) {
+        let g = AgingScenario::grid(steps, 10.0);
+        prop_assert_eq!(g.len(), ((steps + 1) * (steps + 1)) as usize);
+        prop_assert!(g.iter().any(|s| s.lambda_pmos == DutyCycle::FRESH
+            && s.lambda_nmos == DutyCycle::FRESH));
+        prop_assert!(g.iter().any(|s| s.lambda_pmos == DutyCycle::WORST
+            && s.lambda_nmos == DutyCycle::WORST));
+    }
+}

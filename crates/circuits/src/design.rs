@@ -1,0 +1,187 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use synth::Aig;
+
+/// A named bus port of a [`Design`] with its width in bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSpec {
+    /// Base name; bit `i` is the AIG input/output `name_i`.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// Whether integers encode/decode as two's-complement.
+    pub signed: bool,
+}
+
+/// Errors from encoding/decoding design workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A value referenced a port the design does not declare.
+    UnknownPort {
+        /// The port name.
+        port: String,
+    },
+    /// A value does not fit the port's width.
+    Overflow {
+        /// The port name.
+        port: String,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::UnknownPort { port } => write!(f, "design has no port {port}"),
+            DesignError::Overflow { port, value } => {
+                write!(f, "value {value} does not fit port {port}")
+            }
+        }
+    }
+}
+
+impl Error for DesignError {}
+
+/// A benchmark design: its logic (AIG) plus bus-level port metadata.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Display name matching the paper (`DSP`, `FFT`, `RISC-5P`, …).
+    pub name: String,
+    /// The logic network, ready for [`synth::synthesize`].
+    pub aig: Aig,
+    /// Input buses in declaration order.
+    pub inputs: Vec<PortSpec>,
+    /// Output buses in declaration order.
+    pub outputs: Vec<PortSpec>,
+}
+
+impl Design {
+    /// True if the design contains registers.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        !self.aig.latch_nodes().is_empty()
+    }
+
+    /// Encodes one primary-input vector from `(port, value)` pairs;
+    /// unmentioned ports are zero. Bit order matches the AIG input order
+    /// (which is also the mapped netlist's port order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] for unknown ports or out-of-range values.
+    pub fn encode(&self, values: &[(&str, i64)]) -> Result<Vec<bool>, DesignError> {
+        let mut by_port: HashMap<&str, i64> = HashMap::new();
+        for (port, value) in values {
+            if !self.inputs.iter().any(|p| p.name == *port) {
+                return Err(DesignError::UnknownPort { port: (*port).to_owned() });
+            }
+            by_port.insert(port, *value);
+        }
+        let mut bits = Vec::new();
+        for spec in &self.inputs {
+            let value = by_port.get(spec.name.as_str()).copied().unwrap_or(0);
+            let (lo, hi) = if spec.signed {
+                (-(1i64 << (spec.width - 1)), (1i64 << (spec.width - 1)) - 1)
+            } else {
+                (0, (1i64 << spec.width) - 1)
+            };
+            if value < lo || value > hi {
+                return Err(DesignError::Overflow { port: spec.name.clone(), value });
+            }
+            for i in 0..spec.width {
+                bits.push(value >> i & 1 == 1);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Decodes `port` from an output bit vector (AIG output order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::UnknownPort`] if the port does not exist.
+    pub fn decode(&self, bits: &[bool], port: &str) -> Result<i64, DesignError> {
+        let mut offset = 0usize;
+        for spec in &self.outputs {
+            if spec.name == port {
+                let mut v: i64 = 0;
+                for i in 0..spec.width {
+                    if bits[offset + i] {
+                        v |= 1 << i;
+                    }
+                }
+                if spec.signed && bits[offset + spec.width - 1] {
+                    v -= 1 << spec.width;
+                }
+                return Ok(v);
+            }
+            offset += spec.width;
+        }
+        Err(DesignError::UnknownPort { port: port.to_owned() })
+    }
+
+    /// Convenience: evaluate the design combinationally (latches held at
+    /// the supplied state) and decode one output port.
+    ///
+    /// # Errors
+    ///
+    /// See [`Design::encode`]/[`Design::decode`].
+    pub fn eval_port(
+        &self,
+        values: &[(&str, i64)],
+        latches: &[bool],
+        port: &str,
+    ) -> Result<i64, DesignError> {
+        let bits = self.encode(values)?;
+        let outs = self.aig.eval(&bits, latches);
+        self.decode(&outs, port)
+    }
+
+    /// Total input width in bits.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.inputs.iter().map(|p| p.width).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::{input_bus, output_bus, sub};
+
+    fn sample() -> Design {
+        let mut aig = Aig::new();
+        let a = input_bus(&mut aig, "a", 4);
+        let b = input_bus(&mut aig, "b", 4);
+        let (d, _) = sub(&mut aig, &a, &b);
+        output_bus(&mut aig, "d", &d);
+        Design {
+            name: "sub4".into(),
+            aig,
+            inputs: vec![
+                PortSpec { name: "a".into(), width: 4, signed: true },
+                PortSpec { name: "b".into(), width: 4, signed: true },
+            ],
+            outputs: vec![PortSpec { name: "d".into(), width: 4, signed: true }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let d = sample();
+        assert_eq!(d.eval_port(&[("a", 3), ("b", 5)], &[], "d").unwrap(), -2);
+        assert_eq!(d.eval_port(&[("a", -8), ("b", 1)], &[], "d").unwrap(), 7, "wraps");
+        assert_eq!(d.input_width(), 8);
+        assert!(!d.is_sequential());
+    }
+
+    #[test]
+    fn errors() {
+        let d = sample();
+        assert!(matches!(d.encode(&[("z", 0)]), Err(DesignError::UnknownPort { .. })));
+        assert!(matches!(d.encode(&[("a", 8)]), Err(DesignError::Overflow { .. })));
+        assert!(matches!(d.decode(&[false; 4], "zz"), Err(DesignError::UnknownPort { .. })));
+    }
+}

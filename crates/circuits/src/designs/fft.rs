@@ -1,0 +1,149 @@
+//! The FFT benchmark: two radix-2 decimation-in-time butterflies with
+//! programmable complex twiddle factors — the inner datapath of a pipelined
+//! FFT, with registered inputs and outputs.
+
+use crate::design::{Design, PortSpec};
+use crate::word::{
+    add_ripple, connect_register, input_bus, mul_signed, output_bus, register_bus, resize_signed,
+    round_asr, sub, Bus,
+};
+use synth::{Aig, Lit};
+
+/// Sample and twiddle width (twiddles are Q1.10 fixed point).
+pub const DATA_BITS: usize = 12;
+/// Fractional bits of the twiddle factors.
+pub const TWIDDLE_FRAC: usize = 10;
+
+/// One butterfly: returns `(a + w·b, a − w·b)` as (re, im) pairs.
+#[allow(clippy::type_complexity)]
+fn butterfly(
+    aig: &mut Aig,
+    (ar, ai): (&Bus, &Bus),
+    (br, bi): (&Bus, &Bus),
+    (wr, wi): (&Bus, &Bus),
+) -> ((Bus, Bus), (Bus, Bus)) {
+    let wide = 2 * DATA_BITS;
+    // w·b = (br·wr − bi·wi) + j(br·wi + bi·wr), rescaled by the twiddle
+    // fraction with rounding.
+    let brwr = mul_signed(aig, br, wr);
+    let biwi = mul_signed(aig, bi, wi);
+    let brwi = mul_signed(aig, br, wi);
+    let biwr = mul_signed(aig, bi, wr);
+    let re_acc = sub(aig, &brwr, &biwi).0;
+    let im_acc = add_ripple(aig, &brwi, &biwr, Lit::FALSE).0;
+    let re = resize_signed(&round_asr(aig, &resize_signed(&re_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
+    let im = resize_signed(&round_asr(aig, &resize_signed(&im_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
+    let arx = resize_signed(ar, DATA_BITS + 1);
+    let aix = resize_signed(ai, DATA_BITS + 1);
+    let out0 = (
+        add_ripple(aig, &arx, &re, Lit::FALSE).0,
+        add_ripple(aig, &aix, &im, Lit::FALSE).0,
+    );
+    let out1 = (sub(aig, &arx, &re).0, sub(aig, &aix, &im).0);
+    (out0, out1)
+}
+
+/// Builds the FFT benchmark: two independent butterflies behind input
+/// registers, results registered and truncated back to [`DATA_BITS`].
+#[must_use]
+pub fn fft_butterflies() -> Design {
+    let mut aig = Aig::new();
+    let mut inputs = Vec::new();
+    let mut in_regs: Vec<Bus> = Vec::new();
+    // Ports: per butterfly u ∈ {0,1}: a_re/a_im/b_re/b_im/w_re/w_im.
+    let port_names = ["ar", "ai", "br", "bi", "wr", "wi"];
+    for u in 0..2 {
+        for name in port_names {
+            let full = format!("{name}{u}");
+            let bus = input_bus(&mut aig, &full, DATA_BITS);
+            let reg = register_bus(&mut aig, &format!("r_{full}"), DATA_BITS);
+            connect_register(&mut aig, &reg, &bus);
+            in_regs.push(reg);
+            inputs.push(PortSpec { name: full, width: DATA_BITS, signed: true });
+        }
+    }
+    let mut outputs = Vec::new();
+    for u in 0..2 {
+        let base = u * 6;
+        let (o0, o1) = butterfly(
+            &mut aig,
+            (&in_regs[base].clone(), &in_regs[base + 1].clone()),
+            (&in_regs[base + 2].clone(), &in_regs[base + 3].clone()),
+            (&in_regs[base + 4].clone(), &in_regs[base + 5].clone()),
+        );
+        for (name, bus) in
+            [("p", &o0.0), ("q", &o0.1), ("r", &o1.0), ("s", &o1.1)]
+        {
+            let full = format!("{name}{u}");
+            let trimmed = resize_signed(bus, DATA_BITS);
+            let reg = register_bus(&mut aig, &format!("o_{full}"), DATA_BITS);
+            connect_register(&mut aig, &reg, &trimmed);
+            output_bus(&mut aig, &full, &reg);
+            outputs.push(PortSpec { name: full, width: DATA_BITS, signed: true });
+        }
+    }
+    Design { name: "FFT".into(), aig, inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_with_unit_twiddle() {
+        let d = fft_butterflies();
+        let n_state = d.aig.latch_nodes().len();
+        // w = 1.0 (Q1.10 → 1024): outputs are a ± b.
+        let vals: Vec<(&str, i64)> = vec![
+            ("ar0", 100),
+            ("ai0", -50),
+            ("br0", 30),
+            ("bi0", 20),
+            ("wr0", 1024),
+            ("wi0", 0),
+        ];
+        // Two clocks: one to load input regs, one to capture outputs.
+        let bits = d.encode(&vals).unwrap();
+        let s0 = vec![false; n_state];
+        let s1 = d.aig.eval_next_state(&bits, &s0);
+        let s2 = d.aig.eval_next_state(&bits, &s1);
+        let outs = d.aig.eval(&bits, &s2);
+        assert_eq!(d.decode(&outs, "p0").unwrap(), 130, "re(a+b)");
+        assert_eq!(d.decode(&outs, "q0").unwrap(), -30, "im(a+b)");
+        assert_eq!(d.decode(&outs, "r0").unwrap(), 70, "re(a-b)");
+        assert_eq!(d.decode(&outs, "s0").unwrap(), -70, "im(a-b)");
+    }
+
+    #[test]
+    fn butterfly_with_minus_j_twiddle() {
+        let d = fft_butterflies();
+        let n_state = d.aig.latch_nodes().len();
+        // w = −j (wr=0, wi=−1024): w·b = (bi, −br).
+        let vals: Vec<(&str, i64)> = vec![
+            ("ar1", 10),
+            ("ai1", 10),
+            ("br1", 40),
+            ("bi1", 8),
+            ("wr1", 0),
+            ("wi1", -1024),
+        ];
+        let bits = d.encode(&vals).unwrap();
+        let s0 = vec![false; n_state];
+        let s1 = d.aig.eval_next_state(&bits, &s0);
+        let s2 = d.aig.eval_next_state(&bits, &s1);
+        let outs = d.aig.eval(&bits, &s2);
+        assert_eq!(d.decode(&outs, "p1").unwrap(), 10 + 8);
+        assert_eq!(d.decode(&outs, "q1").unwrap(), 10 - 40);
+        assert_eq!(d.decode(&outs, "r1").unwrap(), 10 - 8);
+        assert_eq!(d.decode(&outs, "s1").unwrap(), 10 + 40);
+    }
+
+    #[test]
+    fn metadata() {
+        let d = fft_butterflies();
+        assert!(d.is_sequential());
+        assert_eq!(d.inputs.len(), 12);
+        assert_eq!(d.outputs.len(), 8);
+        assert!(d.aig.and_count() > 3000, "four multipliers per butterfly");
+    }
+}

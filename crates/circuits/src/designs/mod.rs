@@ -1,0 +1,7 @@
+//! The seven benchmark designs.
+
+pub mod dct;
+pub mod dsp;
+pub mod fft;
+pub mod risc;
+pub mod vliw;

@@ -1,0 +1,179 @@
+//! Exact software reference of the fixed-point 8-point DCT/IDCT the
+//! [`dct8`](crate::dct8)/[`idct8`](crate::idct8) circuits implement.
+//!
+//! Both the circuits and these functions use the same even/odd
+//! decomposition, the same 8-fractional-bit coefficients and the same
+//! round-to-nearest shifts, so gate-level simulation must agree **bit
+//! exactly** with this module — the basis of the image-chain validation.
+
+/// Fractional bits of the DCT coefficients.
+pub const COEFF_BITS: u32 = 8;
+/// Coefficient scale (2^COEFF_BITS).
+pub const COEFF_SCALE: f64 = 256.0;
+
+/// `round(256 · 0.5 · α_k · cos(k(2n+1)π/16))` — the scaled JPEG-convention
+/// DCT-II matrix entry.
+#[must_use]
+pub fn coeff(k: usize, n: usize) -> i64 {
+    let alpha = if k == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+    let angle = (k as f64) * (2.0 * n as f64 + 1.0) * std::f64::consts::PI / 16.0;
+    (COEFF_SCALE * 0.5 * alpha * angle.cos()).round() as i64
+}
+
+/// Round-to-nearest arithmetic right shift by [`COEFF_BITS`].
+#[must_use]
+pub fn round_shift(acc: i64) -> i64 {
+    (acc + (1 << (COEFF_BITS - 1))) >> COEFF_BITS
+}
+
+/// Fixed-point 1-D DCT-II of 8 samples (even/odd decomposition).
+#[must_use]
+pub fn dct1d(x: &[i64; 8]) -> [i64; 8] {
+    let s: Vec<i64> = (0..4).map(|i| x[i] + x[7 - i]).collect();
+    let d: Vec<i64> = (0..4).map(|i| x[i] - x[7 - i]).collect();
+    let t0 = s[0] + s[3];
+    let t1 = s[1] + s[2];
+    let t2 = s[0] - s[3];
+    let t3 = s[1] - s[2];
+    let mut y = [0i64; 8];
+    y[0] = round_shift(coeff(0, 0) * (t0 + t1));
+    y[4] = round_shift(coeff(4, 0) * (t0 - t1));
+    y[2] = round_shift(coeff(2, 0) * t2 + coeff(2, 1) * t3);
+    y[6] = round_shift(coeff(6, 0) * t2 + coeff(6, 1) * t3);
+    for (slot, k) in [(1usize, 1usize), (3, 3), (5, 5), (7, 7)] {
+        let acc: i64 = (0..4).map(|n| coeff(k, n) * d[n]).sum();
+        y[slot] = round_shift(acc);
+    }
+    y
+}
+
+/// Fixed-point 1-D inverse DCT (transpose matrix, same scale/rounding).
+#[must_use]
+pub fn idct1d(y: &[i64; 8]) -> [i64; 8] {
+    let mut x = [0i64; 8];
+    for n in 0..4 {
+        let even: i64 = [0usize, 2, 4, 6].iter().map(|&k| coeff(k, n) * y[k]).sum();
+        let odd: i64 = [1usize, 3, 5, 7].iter().map(|&k| coeff(k, n) * y[k]).sum();
+        x[n] = round_shift(even + odd);
+        x[7 - n] = round_shift(even - odd);
+    }
+    x
+}
+
+/// 2-D 8×8 DCT: rows then columns, each pass rounded to integers.
+#[must_use]
+pub fn dct2d(block: &[[i64; 8]; 8]) -> [[i64; 8]; 8] {
+    let mut rows = [[0i64; 8]; 8];
+    for (r, row) in block.iter().enumerate() {
+        rows[r] = dct1d(row);
+    }
+    let mut out = [[0i64; 8]; 8];
+    for c in 0..8 {
+        let col: [i64; 8] = std::array::from_fn(|r| rows[r][c]);
+        let t = dct1d(&col);
+        for r in 0..8 {
+            out[r][c] = t[r];
+        }
+    }
+    out
+}
+
+/// 2-D 8×8 inverse DCT: columns then rows (the transpose order of
+/// [`dct2d`]).
+#[must_use]
+pub fn idct2d(block: &[[i64; 8]; 8]) -> [[i64; 8]; 8] {
+    let mut cols = [[0i64; 8]; 8];
+    for c in 0..8 {
+        let col: [i64; 8] = std::array::from_fn(|r| block[r][c]);
+        let t = idct1d(&col);
+        for r in 0..8 {
+            cols[r][c] = t[r];
+        }
+    }
+    let mut out = [[0i64; 8]; 8];
+    for (r, row) in cols.iter().enumerate() {
+        out[r] = idct1d(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_plausible() {
+        assert_eq!(coeff(0, 0), coeff(0, 7), "DC row is flat");
+        assert!(coeff(0, 0) >= 90 && coeff(0, 0) <= 91);
+        assert!(coeff(1, 0) > coeff(3, 0), "low-frequency rows start larger");
+        assert!(coeff(4, 1) < 0, "alternating row has negative entries");
+    }
+
+    #[test]
+    fn dc_block_round_trips() {
+        let block = [[50i64; 8]; 8];
+        let f = dct2d(&block);
+        assert!(f[0][0] > 0, "DC energy present");
+        for (r, row) in f.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if (r, c) != (0, 0) {
+                    assert!(v.abs() <= 1, "AC leakage {v} at {r},{c}");
+                }
+            }
+        }
+        let back = idct2d(&f);
+        for row in &back {
+            for &v in row {
+                assert!((v - 50).abs() <= 1, "round trip error {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_error_small_on_textured_block() {
+        // A deterministic pseudo-texture within pixel range (−128..127).
+        let mut block = [[0i64; 8]; 8];
+        for r in 0..8 {
+            for c in 0..8 {
+                block[r][c] = (((r * 37 + c * 101 + 13) % 251) as i64) - 125;
+            }
+        }
+        let back = idct2d(&dct2d(&block));
+        for r in 0..8 {
+            for c in 0..8 {
+                let err = (back[r][c] - block[r][c]).abs();
+                assert!(err <= 3, "error {err} at {r},{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_compaction_on_smooth_ramp() {
+        let mut block = [[0i64; 8]; 8];
+        for r in 0..8 {
+            for c in 0..8 {
+                block[r][c] = (r as i64) * 10 + (c as i64) * 5 - 60;
+            }
+        }
+        let f = dct2d(&block);
+        let dc_and_first = f[0][0].abs() + f[0][1].abs() + f[1][0].abs();
+        let rest: i64 = f.iter().flatten().map(|v| v.abs()).sum::<i64>() - dc_and_first;
+        assert!(dc_and_first > rest, "smooth blocks compact into low frequencies");
+    }
+
+    #[test]
+    fn parseval_like_bound() {
+        // Outputs of a pixel-range block stay within the 12-bit datapath.
+        let mut block = [[0i64; 8]; 8];
+        for r in 0..8 {
+            for c in 0..8 {
+                block[r][c] = if (r + c) % 2 == 0 { 127 } else { -128 };
+            }
+        }
+        for row in &dct2d(&block) {
+            for &v in row {
+                assert!(v.abs() < 2048, "coefficient {v} exceeds 12-bit range");
+            }
+        }
+    }
+}

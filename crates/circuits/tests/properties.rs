@@ -1,0 +1,146 @@
+//! Property-based tests: the word-level operators implement exact integer
+//! arithmetic, and the DCT/IDCT circuits agree with the fixed-point
+//! software reference for arbitrary inputs.
+
+use circuits::word::{
+    add_cla, add_ripple, barrel_shift, const_mul, eq_bus, input_bus, lt_signed, lt_unsigned,
+    mul_signed, output_bus, sub,
+};
+use circuits::{fixed, Design};
+use proptest::prelude::*;
+use synth::{Aig, Lit};
+
+fn encode(value: i64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+fn decode_signed(bits: &[bool]) -> i64 {
+    let mut v = 0i64;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            v |= 1 << i;
+        }
+    }
+    if bits[bits.len() - 1] {
+        v -= 1 << bits.len();
+    }
+    v
+}
+
+fn run_lane(design: &Design, prefix_in: &str, prefix_out: &str, lane: &[i64; 8]) -> [i64; 8] {
+    let names: Vec<String> = (0..8).map(|j| format!("{prefix_in}{j}")).collect();
+    let pairs: Vec<(&str, i64)> =
+        names.iter().enumerate().map(|(j, n)| (n.as_str(), lane[j])).collect();
+    let bits = design.encode(&pairs).expect("encodes");
+    let outs = design.aig.eval(&bits, &[]);
+    std::array::from_fn(|j| design.decode(&outs, &format!("{prefix_out}{j}")).expect("decodes"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both adder topologies compute exact sums with carry.
+    #[test]
+    fn adders_exact(a in 0i64..4096, b in 0i64..4096, cin in any::<bool>()) {
+        for builder in [add_ripple, add_cla] {
+            let mut g = Aig::new();
+            let xa = input_bus(&mut g, "a", 12);
+            let xb = input_bus(&mut g, "b", 12);
+            let (sum, cout) = builder(&mut g, &xa, &xb, if cin { Lit::TRUE } else { Lit::FALSE });
+            output_bus(&mut g, "s", &sum);
+            g.output("c", cout);
+            let mut inputs = encode(a, 12);
+            inputs.extend(encode(b, 12));
+            let outs = g.eval(&inputs, &[]);
+            let mut got = 0i64;
+            for i in 0..12 {
+                if outs[i] {
+                    got |= 1 << i;
+                }
+            }
+            if outs[12] {
+                got |= 1 << 12;
+            }
+            prop_assert_eq!(got, a + b + i64::from(cin));
+        }
+    }
+
+    /// Signed multiply / subtract / compare match i64 semantics.
+    #[test]
+    fn signed_arithmetic_exact(a in -128i64..128, b in -128i64..128) {
+        let mut g = Aig::new();
+        let xa = input_bus(&mut g, "a", 8);
+        let xb = input_bus(&mut g, "b", 8);
+        let p = mul_signed(&mut g, &xa, &xb);
+        let (d, _) = sub(&mut g, &xa, &xb);
+        let e = eq_bus(&mut g, &xa, &xb);
+        let ls = lt_signed(&mut g, &xa, &xb);
+        let lu = lt_unsigned(&mut g, &xa, &xb);
+        output_bus(&mut g, "p", &p);
+        output_bus(&mut g, "d", &d);
+        g.output("e", e);
+        g.output("ls", ls);
+        g.output("lu", lu);
+        let mut inputs = encode(a, 8);
+        inputs.extend(encode(b, 8));
+        let outs = g.eval(&inputs, &[]);
+        prop_assert_eq!(decode_signed(&outs[0..16]), a * b, "mul");
+        prop_assert_eq!(decode_signed(&outs[16..24]), ((a - b) as i8) as i64, "sub wraps");
+        prop_assert_eq!(outs[24], a == b, "eq");
+        prop_assert_eq!(outs[25], a < b, "slt");
+        prop_assert_eq!(outs[26], ((a as u64) & 255) < ((b as u64) & 255), "ult");
+    }
+
+    /// Constant multiplication via CSD equals direct multiplication.
+    #[test]
+    fn const_mul_exact(x in -512i64..512, constant in -300i64..300) {
+        let mut g = Aig::new();
+        let xa = input_bus(&mut g, "a", 10);
+        let p = const_mul(&mut g, &xa, constant, 22);
+        output_bus(&mut g, "p", &p);
+        let outs = g.eval(&encode(x, 10), &[]);
+        prop_assert_eq!(decode_signed(&outs[0..22]), constant * x);
+    }
+
+    /// Barrel shifts equal the integer shifts for in-range amounts.
+    #[test]
+    fn barrel_shift_exact(x in 0i64..65536, amount in 0i64..16) {
+        let mut g = Aig::new();
+        let xa = input_bus(&mut g, "a", 16);
+        let amt = input_bus(&mut g, "s", 4);
+        let l = barrel_shift(&mut g, &xa, &amt, true);
+        let r = barrel_shift(&mut g, &xa, &amt, false);
+        output_bus(&mut g, "l", &l);
+        output_bus(&mut g, "r", &r);
+        let mut inputs = encode(x, 16);
+        inputs.extend(encode(amount, 4));
+        let outs = g.eval(&inputs, &[]);
+        let mut left = 0i64;
+        let mut right = 0i64;
+        for i in 0..16 {
+            if outs[i] {
+                left |= 1 << i;
+            }
+            if outs[16 + i] {
+                right |= 1 << i;
+            }
+        }
+        prop_assert_eq!(left, (x << amount) & 0xffff);
+        prop_assert_eq!(right, x >> amount);
+    }
+
+    /// The DCT circuit is bit-exact with the fixed-point reference on
+    /// arbitrary pixel-range lanes, and IDCT(DCT(x)) ≈ x.
+    #[test]
+    fn dct_idct_lane_roundtrip(lane in prop::array::uniform8(-128i64..128)) {
+        let dct = circuits::dct8();
+        let idct = circuits::idct8();
+        let y = run_lane(&dct, "x", "y", &lane);
+        prop_assert_eq!(y, fixed::dct1d(&lane), "DCT circuit vs reference");
+        let back = run_lane(&idct, "y", "x", &y);
+        prop_assert_eq!(back, fixed::idct1d(&y), "IDCT circuit vs reference");
+        for (a, b) in lane.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 3, "round trip error: {lane:?} -> {back:?}");
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Degradation-aware cell library creation (paper Sec. 4.1, Fig. 4(a)).
+
+use bti::AgingScenario;
+use liberty::{
+    merge_indexed, parse_library, write_library, Cell, CellClass, InputPin, LambdaTag, Library,
+    OutputPin, Table2d, TimingArc, TimingSense,
+};
+use ptm::MosModel;
+use spicesim::{TransientConfig, Waveform};
+use std::collections::BTreeMap;
+use std::path::Path;
+use stdcells::{CellDef, CellSet, Topology};
+
+/// Characterization settings: the operating-condition grid, supply, device
+/// lifetimes and simulator accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharConfig {
+    /// Supply voltage (the paper uses 1.2 V).
+    pub vdd: f64,
+    /// Input-slew axis in seconds (10–90 %).
+    pub slews: Vec<f64>,
+    /// Output-load axis in farad.
+    pub loads: Vec<f64>,
+    /// Integrator accuracy (volts per step); see
+    /// [`spicesim::TransientConfig::max_dv`].
+    pub max_dv: f64,
+    /// Worker threads for parallel cell characterization.
+    pub parallelism: usize,
+    /// Flop setup/hold constants in seconds (not characterized; see
+    /// `DESIGN.md`).
+    pub flop_setup: f64,
+    /// Flop hold constant in seconds.
+    pub flop_hold: f64,
+}
+
+impl CharConfig {
+    /// The paper's grid: 7 slews from 5 ps to 947 ps, 7 loads from 0.5 fF
+    /// to 20 fF, tight integrator accuracy.
+    #[must_use]
+    pub fn paper() -> Self {
+        CharConfig {
+            vdd: 1.2,
+            slews: vec![5e-12, 25e-12, 70e-12, 150e-12, 300e-12, 550e-12, 947e-12],
+            loads: vec![0.5e-15, 1.2e-15, 2.5e-15, 5e-15, 9e-15, 14e-15, 20e-15],
+            max_dv: 2.0e-3,
+            parallelism: default_parallelism(),
+            flop_setup: 35e-12,
+            flop_hold: 5e-12,
+        }
+    }
+
+    /// A reduced 3×3 grid with relaxed accuracy for tests and quick runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        CharConfig {
+            slews: vec![5e-12, 150e-12, 947e-12],
+            loads: vec![0.5e-15, 4e-15, 20e-15],
+            max_dv: 6.0e-3,
+            ..Self::paper()
+        }
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Characterizes a [`CellSet`] into degradation-aware [`Library`] objects
+/// — the HSPICE loop of the paper's Fig. 4(a).
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    cells: CellSet,
+    config: CharConfig,
+}
+
+impl Characterizer {
+    /// Creates a characterizer over `cells` with `config`.
+    #[must_use]
+    pub fn new(cells: CellSet, config: CharConfig) -> Self {
+        Characterizer { cells, config }
+    }
+
+    /// The configured OPC grid.
+    #[must_use]
+    pub fn config(&self) -> &CharConfig {
+        &self.config
+    }
+
+    /// Characterizes the full cell set under `scenario`, producing one
+    /// degradation-aware library.
+    #[must_use]
+    pub fn library(&self, scenario: &AgingScenario) -> Library {
+        let d = scenario.degradations();
+        let nmos = MosModel::nmos_45nm().degraded(&d.nmos);
+        let pmos = MosModel::pmos_45nm().degraded(&d.pmos);
+        self.library_with_models(&format!("aged_{}", scenario.index_tag()), &nmos, &pmos)
+    }
+
+    /// Like [`Characterizer::library`] but dropping the mobility
+    /// degradation — the ΔVth-only state of the art of Fig. 5(a).
+    #[must_use]
+    pub fn library_vth_only(&self, scenario: &AgingScenario) -> Library {
+        let d = scenario.degradations();
+        let nmos = MosModel::nmos_45nm().degraded(&d.nmos.vth_only());
+        let pmos = MosModel::pmos_45nm().degraded(&d.pmos.vth_only());
+        self.library_with_models(&format!("aged_vthonly_{}", scenario.index_tag()), &nmos, &pmos)
+    }
+
+    /// Characterizes under explicit device models.
+    #[must_use]
+    pub fn library_with_models(&self, name: &str, nmos: &MosModel, pmos: &MosModel) -> Library {
+        let mut lib = Library::new(name, self.config.vdd);
+        lib.default_input_slew = self.config.slews[self.config.slews.len() / 2];
+        lib.default_output_load = self.config.loads[self.config.loads.len() / 2];
+
+        let defs: Vec<&CellDef> = self.cells.iter().collect();
+        let workers = self.config.parallelism.clamp(1, defs.len().max(1));
+        let results: Vec<Vec<Cell>> = if workers <= 1 {
+            vec![defs.iter().map(|d| self.characterize_cell(d, nmos, pmos)).collect()]
+        } else {
+            let chunks: Vec<&[&CellDef]> = defs.chunks(defs.len().div_ceil(workers)).collect();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|d| self.characterize_cell(d, nmos, pmos))
+                                .collect::<Vec<Cell>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("characterization scope")
+        };
+        for cell in results.into_iter().flatten() {
+            lib.add_cell(cell);
+        }
+        lib
+    }
+
+    /// The N×N grid of per-scenario libraries merged into one *complete*
+    /// degradation-aware library with λ-indexed cell names (`steps = 10`
+    /// reproduces the paper's 121 libraries).
+    #[must_use]
+    pub fn complete_library(&self, steps: u32, years: f64) -> Library {
+        let parts: Vec<(LambdaTag, Library)> = AgingScenario::grid(steps, years)
+            .into_iter()
+            .map(|s| {
+                let tag = LambdaTag {
+                    lambda_pmos: s.lambda_pmos.value(),
+                    lambda_nmos: s.lambda_nmos.value(),
+                };
+                (tag, self.library(&s))
+            })
+            .collect();
+        merge_indexed("complete", &parts)
+    }
+
+    /// Disk-cached variant of [`Characterizer::library`]: libraries are
+    /// stored as Liberty-subset text under `dir` keyed by scenario and grid
+    /// shape, so expensive characterization runs once per configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the cache directory; a corrupt cache entry
+    /// is re-characterized and overwritten.
+    pub fn library_cached(
+        &self,
+        dir: &Path,
+        scenario: &AgingScenario,
+    ) -> std::io::Result<Library> {
+        std::fs::create_dir_all(dir)?;
+        let key = format!(
+            "lib_{}_{}y_{:.0}K_{:.2}V_{}x{}_{}cells_{:.0e}.lib",
+            scenario.index_tag(),
+            scenario.years,
+            scenario.temperature_k,
+            scenario.vdd,
+            self.config.slews.len(),
+            self.config.loads.len(),
+            self.cells.len(),
+            self.config.max_dv,
+        );
+        let path = dir.join(key);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(lib) = parse_library(&text) {
+                if lib.len() == self.cells.len() {
+                    return Ok(lib);
+                }
+            }
+        }
+        let lib = self.library(scenario);
+        std::fs::write(&path, write_library(&lib))?;
+        Ok(lib)
+    }
+
+    /// Characterizes one cell under the given device models.
+    fn characterize_cell(&self, def: &CellDef, nmos: &MosModel, pmos: &MosModel) -> Cell {
+        let cfg = &self.config;
+        let inputs: Vec<InputPin> = def
+            .inputs
+            .iter()
+            .map(|pin| InputPin {
+                name: pin.clone(),
+                capacitance: def.input_capacitance(pin, nmos, pmos),
+            })
+            .collect();
+
+        let class = match &def.topology {
+            Topology::Flop { .. } => CellClass::Flop {
+                clock: "CK".into(),
+                data: "D".into(),
+                setup: cfg.flop_setup,
+                hold: cfg.flop_hold,
+            },
+            Topology::Stages(_) => CellClass::Combinational,
+        };
+
+        let mut outputs = Vec::new();
+        for out in &def.outputs {
+            let function = def.function(&out.pin);
+            let mut arcs = Vec::new();
+            if def.is_sequential() {
+                arcs.push(self.characterize_flop_arc(def, nmos, pmos));
+            } else {
+                for input in &def.inputs {
+                    let Some(sense) = def.timing_sense(input, &out.pin) else {
+                        continue; // output independent of this input
+                    };
+                    arcs.push(self.characterize_arc(def, input, &out.pin, sense, nmos, pmos));
+                }
+            }
+            outputs.push(OutputPin {
+                name: out.pin.clone(),
+                function,
+                max_capacitance: 2.0 * cfg.loads[cfg.loads.len() - 1] * strength_of(&def.name),
+                arcs,
+            });
+        }
+        Cell { name: def.name.clone(), area: def.area(), class, inputs, outputs }
+    }
+
+    /// Characterizes one combinational input→output arc over the OPC grid.
+    fn characterize_arc(
+        &self,
+        def: &CellDef,
+        input: &str,
+        output: &str,
+        sense: TimingSense,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> TimingArc {
+        let cfg = &self.config;
+        let side = def.sensitizing_assignment(input, output).unwrap_or_default();
+        // Output polarity for a rising input under this sensitization.
+        let f = def.function(output);
+        let assign = |input_high: bool| {
+            let side = &side;
+            move |pin: &str| {
+                if pin == input {
+                    input_high
+                } else {
+                    side.iter().find(|(p, _)| p == pin).is_some_and(|(_, v)| *v)
+                }
+            }
+        };
+        let out_rises_with_input = !f.eval(&assign(false)) && f.eval(&assign(true));
+
+        let rows = cfg.slews.len();
+        let cols = cfg.loads.len();
+        let mut rise_delay = vec![0.0; rows * cols];
+        let mut fall_delay = vec![0.0; rows * cols];
+        let mut rise_tran = vec![0.0; rows * cols];
+        let mut fall_tran = vec![0.0; rows * cols];
+
+        for (si, &slew) in cfg.slews.iter().enumerate() {
+            for (li, &load) in cfg.loads.iter().enumerate() {
+                for input_rising in [true, false] {
+                    let output_rising = input_rising == out_rises_with_input;
+                    let m = self.simulate_edge(def, input, output, &side, input_rising, output_rising, slew, load, nmos, pmos);
+                    let idx = si * cols + li;
+                    if output_rising {
+                        rise_delay[idx] = m.0;
+                        rise_tran[idx] = m.1;
+                    } else {
+                        fall_delay[idx] = m.0;
+                        fall_tran[idx] = m.1;
+                    }
+                }
+            }
+        }
+        let table = |v: Vec<f64>| {
+            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v).expect("grid is valid")
+        };
+        TimingArc {
+            related_pin: input.to_owned(),
+            sense,
+            cell_rise: table(rise_delay),
+            cell_fall: table(fall_delay),
+            rise_transition: table(rise_tran),
+            fall_transition: table(fall_tran),
+        }
+    }
+
+    /// Runs one transient simulation and measures `(delay, output slew)`.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_edge(
+        &self,
+        def: &CellDef,
+        input: &str,
+        output: &str,
+        side: &[(String, bool)],
+        input_rising: bool,
+        output_rising: bool,
+        slew: f64,
+        load: f64,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> (f64, f64) {
+        let cfg = &self.config;
+        let t_edge = 0.3e-9;
+        let mut stimuli: BTreeMap<String, Waveform> = BTreeMap::new();
+        stimuli.insert(input.to_owned(), Waveform::from_slew(t_edge, slew, cfg.vdd, input_rising));
+        for (pin, high) in side {
+            stimuli.insert(pin.clone(), Waveform::Dc(if *high { cfg.vdd } else { 0.0 }));
+        }
+        let loads: BTreeMap<String, f64> = [(output.to_owned(), load)].into_iter().collect();
+        let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
+        let t_stop = t_edge + 4.0 * slew + 3.0e-9;
+        let config = TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv);
+        let trace = inst.circuit.transient(&config);
+        let in_node = inst.node(input).expect("input exists");
+        let out_node = inst.node(output).expect("output exists");
+        match trace.measure_edge(in_node, input_rising, out_node, output_rising, 0.1e-9) {
+            Some(m) => (m.delay, m.output_slew),
+            None => {
+                // The edge did not propagate (should not happen for a valid
+                // sensitization); fall back to a conservative large delay.
+                (t_stop - t_edge, *cfg.slews.last().expect("nonempty"))
+            }
+        }
+    }
+
+    /// Characterizes the CLK→Q arc of a flip-flop.
+    fn characterize_flop_arc(&self, def: &CellDef, nmos: &MosModel, pmos: &MosModel) -> TimingArc {
+        let cfg = &self.config;
+        let rows = cfg.slews.len();
+        let cols = cfg.loads.len();
+        let mut rise_delay = vec![0.0; rows * cols];
+        let mut fall_delay = vec![0.0; rows * cols];
+        let mut rise_tran = vec![0.0; rows * cols];
+        let mut fall_tran = vec![0.0; rows * cols];
+        for (si, &slew) in cfg.slews.iter().enumerate() {
+            for (li, &load) in cfg.loads.iter().enumerate() {
+                for q_rising in [true, false] {
+                    // D settles to the target value well before the clock
+                    // edge; the initial state is the complement so Q moves.
+                    let t_clk = 1.2e-9;
+                    let d_wave = Waveform::Ramp {
+                        t_start: 0.2e-9,
+                        duration: 50e-12,
+                        from: if q_rising { 0.0 } else { cfg.vdd },
+                        to: if q_rising { cfg.vdd } else { 0.0 },
+                    };
+                    let mut stimuli: BTreeMap<String, Waveform> = BTreeMap::new();
+                    stimuli.insert("D".into(), d_wave);
+                    stimuli.insert("CK".into(), Waveform::from_slew(t_clk, slew, cfg.vdd, true));
+                    let loads: BTreeMap<String, f64> =
+                        [("Q".to_owned(), load)].into_iter().collect();
+                    let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
+                    let t_stop = t_clk + 4.0 * slew + 3.0e-9;
+                    let config = TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv);
+                    let trace = inst.circuit.transient(&config);
+                    let ck = inst.node("CK").expect("CK exists");
+                    let q = inst.node("Q").expect("Q exists");
+                    let m = trace
+                        .measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9)
+                        .unwrap_or(spicesim::EdgeMeasurement {
+                            delay: t_stop - t_clk,
+                            output_slew: *cfg.slews.last().expect("nonempty"),
+                        });
+                    let idx = si * cols + li;
+                    if q_rising {
+                        rise_delay[idx] = m.delay;
+                        rise_tran[idx] = m.output_slew;
+                    } else {
+                        fall_delay[idx] = m.delay;
+                        fall_tran[idx] = m.output_slew;
+                    }
+                }
+            }
+        }
+        let table = |v: Vec<f64>| {
+            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v).expect("grid is valid")
+        };
+        TimingArc {
+            related_pin: "CK".into(),
+            sense: TimingSense::PositiveUnate,
+            cell_rise: table(rise_delay),
+            cell_fall: table(fall_delay),
+            rise_transition: table(rise_tran),
+            fall_transition: table(fall_tran),
+        }
+    }
+}
+
+/// Drive strength parsed from a cell name (`_X4` → 4.0; default 1.0).
+fn strength_of(name: &str) -> f64 {
+    name.rfind("_X")
+        .and_then(|p| name[p + 2..].parse::<f64>().ok())
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_set() -> CellSet {
+        CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"])
+    }
+
+    fn tiny_config() -> CharConfig {
+        CharConfig {
+            slews: vec![10e-12, 300e-12],
+            loads: vec![1e-15, 10e-15],
+            max_dv: 8e-3,
+            parallelism: 2,
+            ..CharConfig::paper()
+        }
+    }
+
+    #[test]
+    fn fresh_library_structure() {
+        let chars = Characterizer::new(tiny_set(), tiny_config());
+        let lib = chars.library(&AgingScenario::fresh());
+        assert_eq!(lib.len(), 4);
+        let inv = lib.cell("INV_X1").unwrap();
+        assert_eq!(inv.inputs.len(), 1);
+        assert!(inv.inputs[0].capacitance > 0.3e-15 && inv.inputs[0].capacitance < 3e-15,
+            "INV input cap = {}", inv.inputs[0].capacitance);
+        let arc = inv.output("Y").unwrap().arc_from("A").unwrap();
+        assert_eq!(arc.sense, TimingSense::NegativeUnate);
+        // Delay grows with load.
+        assert!(arc.delay(true, 10e-12, 10e-15) > arc.delay(true, 10e-12, 1e-15));
+        // DFF is sequential with a CK arc.
+        let dff = lib.cell("DFF_X1").unwrap();
+        assert!(dff.is_sequential());
+        let cq = dff.output("Q").unwrap().arc_from("CK").unwrap();
+        let d = cq.delay(true, 10e-12, 1e-15);
+        assert!(d > 1e-12 && d < 1e-9, "clk→Q = {d}");
+    }
+
+    #[test]
+    fn aging_slows_the_library() {
+        let chars = Characterizer::new(
+            CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]),
+            tiny_config(),
+        );
+        let fresh = chars.library(&AgingScenario::fresh());
+        let aged = chars.library(&AgingScenario::worst_case(10.0));
+        for name in ["INV_X1", "NAND2_X1"] {
+            let f = fresh.cell(name).unwrap().worst_delay(10e-12, 10e-15);
+            let a = aged.cell(name).unwrap().worst_delay(10e-12, 10e-15);
+            assert!(a > f, "{name}: aged {a} vs fresh {f}");
+            assert!(a < 2.0 * f, "{name}: aging is severe but bounded");
+        }
+    }
+
+    #[test]
+    fn vth_only_is_faster_than_full_degradation() {
+        let chars = Characterizer::new(
+            CellSet::nangate45_like().subset(&["INV_X1"]),
+            tiny_config(),
+        );
+        let scenario = AgingScenario::worst_case(10.0);
+        let full = chars.library(&scenario);
+        let vth = chars.library_vth_only(&scenario);
+        let df = full.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        let dv = vth.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        assert!(dv < df, "ΔVth-only must underestimate: {dv} vs {df}");
+    }
+
+    #[test]
+    fn complete_library_merges_grid() {
+        let chars = Characterizer::new(
+            CellSet::nangate45_like().subset(&["INV_X1"]),
+            tiny_config(),
+        );
+        let complete = chars.complete_library(1, 10.0);
+        // 2×2 grid × 1 cell.
+        assert_eq!(complete.len(), 4);
+        assert!(complete.cell("INV_X1_0.00_0.00").is_some());
+        assert!(complete.cell("INV_X1_1.00_1.00").is_some());
+    }
+
+    #[test]
+    fn characterized_library_passes_sanity_check() {
+        let chars = Characterizer::new(tiny_set(), tiny_config());
+        for scenario in [AgingScenario::fresh(), AgingScenario::worst_case(10.0)] {
+            let lib = chars.library(&scenario);
+            let issues = lib.sanity_check();
+            assert!(
+                issues.is_empty(),
+                "characterization QA failed for {scenario}: {:?}",
+                issues.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = std::env::temp_dir().join("reliaware_test_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let chars = Characterizer::new(
+            CellSet::nangate45_like().subset(&["INV_X1"]),
+            tiny_config(),
+        );
+        let scenario = AgingScenario::worst_case(10.0);
+        let first = chars.library_cached(&dir, &scenario).unwrap();
+        let second = chars.library_cached(&dir, &scenario).unwrap();
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

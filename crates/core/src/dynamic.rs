@@ -1,0 +1,253 @@
+//! Dynamic (workload-driven) aging stress analysis (paper Sec. 4.2).
+//!
+//! Pipeline: gate-level simulation of the workload extracts per-instance
+//! average duty cycles → the netlist is annotated with λ-indexed cell names
+//! → timing analysis against the merged *complete* degradation-aware
+//! library reports the aged critical path for **that workload**.
+
+use liberty::Library;
+use logicsim::run_cycles;
+use netlist::{annotate::annotated_with_lambda, Netlist};
+use sta::{analyze, Constraints, StaError};
+use std::collections::HashMap;
+
+/// How per-instance duty cycles are summarized from pin activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DutyExtraction {
+    /// The paper's footnote-2 simplification: average over the input pins.
+    #[default]
+    GateAverage,
+    /// Conservative alternative: the worst-stressed pin per polarity.
+    WorstPin,
+}
+
+/// The result of a dynamic-stress analysis.
+#[derive(Debug, Clone)]
+pub struct DynamicStressReport {
+    /// The λ-annotated netlist (cells renamed `CELL_λp_λn`).
+    pub annotated: Netlist,
+    /// Fresh critical-path delay (same netlist, λ = 0 variants), seconds.
+    pub fresh_delay: f64,
+    /// Aged critical-path delay under the workload's duty cycles, seconds.
+    pub aged_delay: f64,
+    /// Aged delay under *static worst-case* stress for comparison: the
+    /// workload-independent upper bound of Sec. 4.2.
+    pub worst_case_delay: f64,
+    /// Per-instance λ pairs as extracted from the workload.
+    pub lambda_histogram: HashMap<String, usize>,
+}
+
+impl DynamicStressReport {
+    /// The workload-specific guardband.
+    #[must_use]
+    pub fn dynamic_guardband(&self) -> f64 {
+        self.aged_delay - self.fresh_delay
+    }
+
+    /// The workload-independent (static worst-case) guardband.
+    #[must_use]
+    pub fn static_guardband(&self) -> f64 {
+        self.worst_case_delay - self.fresh_delay
+    }
+}
+
+/// Runs the dynamic-stress flow of Sec. 4.2.
+///
+/// * `netlist` — the mapped design (cells named without λ tags).
+/// * `base_library` — the initial library the netlist was mapped against
+///   (used for simulation semantics).
+/// * `complete` — the merged degradation-aware library containing
+///   `CELL_λp_λn` variants on a grid of `steps` intervals.
+/// * `vectors` — the workload: one primary-input assignment per cycle.
+///
+/// # Errors
+///
+/// Returns [`StaError`] or a stringified simulation error.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_stress_analysis(
+    netlist: &Netlist,
+    base_library: &Library,
+    complete: &Library,
+    steps: u32,
+    clock_port: Option<&str>,
+    vectors: &[Vec<bool>],
+    constraints: &Constraints,
+) -> Result<DynamicStressReport, StaError> {
+    dynamic_stress_analysis_with(
+        netlist,
+        base_library,
+        complete,
+        steps,
+        clock_port,
+        vectors,
+        constraints,
+        DutyExtraction::GateAverage,
+    )
+}
+
+/// [`dynamic_stress_analysis`] with an explicit duty-cycle extraction mode
+/// (paper footnote 2 vs the conservative worst-pin bound).
+///
+/// # Errors
+///
+/// Returns [`StaError`] or a stringified simulation error.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_stress_analysis_with(
+    netlist: &Netlist,
+    base_library: &Library,
+    complete: &Library,
+    steps: u32,
+    clock_port: Option<&str>,
+    vectors: &[Vec<bool>],
+    constraints: &Constraints,
+    extraction: DutyExtraction,
+) -> Result<DynamicStressReport, StaError> {
+    // 1. Workload playback and activity extraction.
+    let run = run_cycles(netlist, base_library, clock_port, vectors)
+        .map_err(|e| StaError::Netlist(netlist::NetlistError::Parse { line: 0, message: e.to_string() }))?;
+
+    // 2. Per-instance λ and netlist annotation.
+    let tags: Vec<Option<liberty::LambdaTag>> = netlist
+        .instance_ids()
+        .map(|inst| match extraction {
+            DutyExtraction::GateAverage => {
+                run.activity.lambda_of(netlist, base_library, inst, steps)
+            }
+            DutyExtraction::WorstPin => {
+                run.activity.lambda_of_worst_pin(netlist, base_library, inst, steps)
+            }
+        })
+        .collect();
+    let mut histogram: HashMap<String, usize> = HashMap::new();
+    for tag in tags.iter().flatten() {
+        *histogram.entry(tag.suffix()).or_default() += 1;
+    }
+    let annotated = annotated_with_lambda(netlist, |inst| tags[inst.index()]);
+
+    // 3. Timing against the complete library (the λ-tagged cell of every
+    //    instance carries the delay of its own stress case).
+    let aged_report = analyze(&annotated, complete, constraints)?;
+
+    // Fresh and worst-case references via uniform static annotation.
+    let q = 1.0; // grid end-points always exist
+    let fresh_netlist = netlist::annotate::annotated_with_static(
+        netlist,
+        liberty::LambdaTag { lambda_pmos: 0.0, lambda_nmos: 0.0 },
+    );
+    let worst_netlist = netlist::annotate::annotated_with_static(
+        netlist,
+        liberty::LambdaTag { lambda_pmos: q, lambda_nmos: q },
+    );
+    let fresh_report = analyze(&fresh_netlist, complete, constraints)?;
+    let worst_report = analyze(&worst_netlist, complete, constraints)?;
+
+    Ok(DynamicStressReport {
+        annotated,
+        fresh_delay: fresh_report.critical_delay(),
+        aged_delay: aged_report.critical_delay(),
+        worst_case_delay: worst_report.critical_delay(),
+        lambda_histogram: histogram,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::{merge_indexed, LambdaTag};
+    use netlist::PortDir;
+    use synth::test_fixtures::fixture_library;
+
+    /// A complete library on a 10-step grid where delay scales linearly
+    /// with (λp + λn)/2 — enough structure to test the flow.
+    fn synthetic_complete(steps: u32) -> Library {
+        let mut parts = Vec::new();
+        for p in 0..=steps {
+            for n in 0..=steps {
+                let lp = f64::from(p) / f64::from(steps);
+                let ln = f64::from(n) / f64::from(steps);
+                let factor = 1.0 + 0.2 * (lp + ln) / 2.0;
+                let base = fixture_library();
+                let mut lib = Library::new("part", base.vdd);
+                for cell in base.cells() {
+                    let mut c = cell.clone();
+                    for o in &mut c.outputs {
+                        for arc in &mut o.arcs {
+                            arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                            arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                        }
+                    }
+                    lib.add_cell(c);
+                }
+                parts.push((LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+            }
+        }
+        merge_indexed("complete", &parts)
+    }
+
+    fn inv_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn dynamic_between_fresh_and_worst() {
+        let nl = inv_chain(4);
+        let base = fixture_library();
+        let complete = synthetic_complete(10);
+        // Input high 30 % of cycles.
+        let vectors: Vec<Vec<bool>> = (0..20).map(|k| vec![k % 10 < 3]).collect();
+        let report = dynamic_stress_analysis(
+            &nl,
+            &base,
+            &complete,
+            10,
+            None,
+            &vectors,
+            &Constraints::default(),
+        )
+        .unwrap();
+        assert!(report.aged_delay >= report.fresh_delay);
+        assert!(report.aged_delay <= report.worst_case_delay + 1e-15);
+        assert!(report.dynamic_guardband() <= report.static_guardband() + 1e-15);
+        // All four instances were annotated.
+        assert_eq!(report.lambda_histogram.values().sum::<usize>(), 4);
+        // Annotated names parse back.
+        for inst in report.annotated.instances() {
+            let (base_name, tag) = liberty::split_lambda_tag(&inst.cell);
+            assert_eq!(base_name, "INV_X1");
+            assert!(tag.is_some());
+        }
+    }
+
+    #[test]
+    fn constant_input_polarizes_duty_cycles() {
+        // With `a` stuck high, the inverter chain alternates 1/0 levels, so
+        // λ alternates between (λp=0, λn=1) and (λp=1, λn=0) per stage.
+        let nl = inv_chain(3);
+        let base = fixture_library();
+        let complete = synthetic_complete(10);
+        let vectors: Vec<Vec<bool>> = (0..8).map(|_| vec![true]).collect();
+        let report = dynamic_stress_analysis(
+            &nl,
+            &base,
+            &complete,
+            10,
+            None,
+            &vectors,
+            &Constraints::default(),
+        )
+        .unwrap();
+        assert!(report.lambda_histogram.contains_key("0.00_1.00"));
+        assert!(report.lambda_histogram.contains_key("1.00_0.00"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Guardband estimation (paper Sec. 4.2, Fig. 4(b)).
+
+use liberty::Library;
+use netlist::Netlist;
+use sta::{analyze, evaluate_path, Constraints, StaError};
+
+/// The timing of one netlist under fresh and aged libraries, and the
+/// guardband that follows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardbandReport {
+    /// Critical-path delay against the initial (fresh) library, seconds.
+    pub fresh_delay: f64,
+    /// Critical-path delay against the degradation-aware library, seconds.
+    pub aged_delay: f64,
+    /// Whether the aged critical path ends at a different endpoint than the
+    /// fresh one — the criticality switch of the paper's Fig. 3.
+    pub critical_path_switched: bool,
+}
+
+impl GuardbandReport {
+    /// The required guardband `T_G = T(aged) − T(fresh)`, in seconds.
+    #[must_use]
+    pub fn guardband(&self) -> f64 {
+        self.aged_delay - self.fresh_delay
+    }
+
+    /// The relative frequency loss if the guardband is applied:
+    /// `1 − f_aged/f_fresh`.
+    #[must_use]
+    pub fn frequency_penalty(&self) -> f64 {
+        1.0 - self.fresh_delay / self.aged_delay
+    }
+}
+
+/// Estimates the guardband of `netlist`: the timing-analysis tool reads the
+/// same netlist against the initial and a degradation-aware library and
+/// compares critical-path delays (paper Fig. 4(b), static stress).
+///
+/// # Errors
+///
+/// Propagates [`StaError`] from either analysis.
+pub fn estimate_guardband(
+    netlist: &Netlist,
+    fresh: &Library,
+    aged: &Library,
+    constraints: &Constraints,
+) -> Result<GuardbandReport, StaError> {
+    let fresh_report = analyze(netlist, fresh, constraints)?;
+    let aged_report = analyze(netlist, aged, constraints)?;
+    let fresh_end = fresh_report.endpoints().first().map(|e| e.net);
+    let aged_end = aged_report.endpoints().first().map(|e| e.net);
+    Ok(GuardbandReport {
+        fresh_delay: fresh_report.critical_delay(),
+        aged_delay: aged_report.critical_delay(),
+        critical_path_switched: fresh_end != aged_end,
+    })
+}
+
+/// The (wrong) guardband obtained when only the *initial* critical path is
+/// tracked under aging (the paper's Fig. 5(c) comparison against [13]):
+/// the fresh critical path is re-costed with the aged library instead of
+/// re-analyzing the whole circuit.
+///
+/// # Errors
+///
+/// Propagates [`StaError`].
+pub fn guardband_of_initial_critical_path(
+    netlist: &Netlist,
+    fresh: &Library,
+    aged: &Library,
+    constraints: &Constraints,
+) -> Result<f64, StaError> {
+    let fresh_report = analyze(netlist, fresh, constraints)?;
+    let path = fresh_report.critical_path();
+    let aged_path_delay = evaluate_path(netlist, aged, constraints, path)?;
+    let fresh_path_delay = evaluate_path(netlist, fresh, constraints, path)?;
+    Ok(aged_path_delay - fresh_path_delay)
+}
+
+/// Collapses every delay/transition table of `library` to the single
+/// operating condition nearest `(slew, load)` — the single-OPC
+/// state-of-the-art model the paper compares against in Figs. 2 and 5(b).
+#[must_use]
+pub fn collapse_library(library: &Library, slew: f64, load: f64) -> Library {
+    let mut out = Library::new(&format!("{}_single_opc", library.name), library.vdd);
+    out.default_input_slew = library.default_input_slew;
+    out.default_output_load = library.default_output_load;
+    out.wire_cap_per_fanout = library.wire_cap_per_fanout;
+    for cell in library.cells() {
+        let mut c = cell.clone();
+        for outpin in &mut c.outputs {
+            for arc in &mut outpin.arcs {
+                arc.cell_rise = arc.cell_rise.collapsed_to(slew, load);
+                arc.cell_fall = arc.cell_fall.collapsed_to(slew, load);
+                arc.rise_transition = arc.rise_transition.collapsed_to(slew, load);
+                arc.fall_transition = arc.fall_transition.collapsed_to(slew, load);
+            }
+        }
+        out.add_cell(c);
+    }
+    out
+}
+
+/// Delays below this are measurement-convention artifacts; single-OPC
+/// scaling treats them as unaged.
+const MIN_DELAY: f64 = 5.0e-12;
+
+/// Models the single-OPC state of the art of Fig. 5(b): each arc's aging is
+/// summarized by its relative delay change at ONE characterization corner
+/// `(slew, load)`, and that factor is applied across the whole fresh table.
+/// Characterizing at a pessimistic corner (large slew, small load — where
+/// Fig. 1 shows the largest impact) then over-estimates aging everywhere
+/// else.
+#[must_use]
+pub fn single_opc_aged_library(fresh: &Library, aged: &Library, slew: f64, load: f64) -> Library {
+    let mut out = Library::new(&format!("{}_single_opc_aged", fresh.name), fresh.vdd);
+    out.default_input_slew = fresh.default_input_slew;
+    out.default_output_load = fresh.default_output_load;
+    out.wire_cap_per_fanout = fresh.wire_cap_per_fanout;
+    for cell in fresh.cells() {
+        let mut c = cell.clone();
+        if let Some(aged_cell) = aged.cell(&cell.name) {
+            for outpin in &mut c.outputs {
+                let Some(aged_out) = aged_cell.output(&outpin.name) else { continue };
+                for arc in &mut outpin.arcs {
+                    let Some(aged_arc) = aged_out.arc_from(&arc.related_pin) else { continue };
+                    let factor = |f: f64, a: f64| if f > MIN_DELAY { (a / f).max(1.0) } else { 1.0 };
+                    let fr = factor(arc.cell_rise.value(slew, load), aged_arc.cell_rise.value(slew, load));
+                    let ff = factor(arc.cell_fall.value(slew, load), aged_arc.cell_fall.value(slew, load));
+                    arc.cell_rise = arc.cell_rise.map(|v| v * fr);
+                    arc.cell_fall = arc.cell_fall.map(|v| v * ff);
+                    arc.rise_transition = arc.rise_transition.map(|v| v * fr);
+                    arc.fall_transition = arc.fall_transition.map(|v| v * ff);
+                }
+            }
+        }
+        out.add_cell(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::PortDir;
+    use synth::test_fixtures::{fixture_library, slowed_library};
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn uniform_slowdown_guardband() {
+        let nl = chain(5);
+        let fresh = fixture_library();
+        let aged = slowed_library(1.25);
+        let r = estimate_guardband(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+        assert!(r.guardband() > 0.0);
+        // Delay tables scale 1.25×, and the 1.25× slower slews compound a
+        // little extra through the slew-dependent lookups.
+        let ratio = r.aged_delay / r.fresh_delay;
+        assert!((1.24..1.5).contains(&ratio), "ratio {ratio}");
+        assert!(!r.critical_path_switched, "uniform aging keeps the same endpoint");
+        assert!(r.frequency_penalty() > 0.15 && r.frequency_penalty() < 0.35);
+    }
+
+    #[test]
+    fn initial_cp_tracking_matches_under_uniform_aging() {
+        // With uniform slowdown the initial CP stays critical, so both
+        // estimates agree.
+        let nl = chain(4);
+        let fresh = fixture_library();
+        let aged = slowed_library(1.3);
+        let full = estimate_guardband(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+        let cp_only =
+            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+        assert!((full.guardband() - cp_only).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cp_switch_underestimates_guardband() {
+        // Two parallel paths: a slow XOR (initially critical) and a fast
+        // NAND. Aging slows the NAND by 3× but the XOR barely, so the NAND
+        // path takes over; tracking only the initial (XOR) path
+        // underestimates — the paper's Figs. 3/5(c).
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let b = nl.add_port("b", PortDir::Input);
+        let y1 = nl.add_port("y1", PortDir::Output);
+        let y2 = nl.add_port("y2", PortDir::Output);
+        nl.add_instance("ux", "XOR2_X1", &[("A", a), ("B", b), ("Y", y1)]);
+        nl.add_instance("un1", "NAND2_X1", &[("A", a), ("B", b), ("Y", y2)]);
+
+        let fresh = fixture_library();
+        let mut aged = fixture_library();
+        // Age NAND2 dramatically, XOR barely.
+        let scale = |lib: &mut Library, cell: &str, f: f64| {
+            let mut c = lib.cell(cell).unwrap().clone();
+            for o in &mut c.outputs {
+                for arc in &mut o.arcs {
+                    arc.cell_rise = arc.cell_rise.map(|v| v * f);
+                    arc.cell_fall = arc.cell_fall.map(|v| v * f);
+                }
+            }
+            lib.add_cell(c);
+        };
+        scale(&mut aged, "NAND2_X1", 3.0);
+        scale(&mut aged, "XOR2_X1", 1.05);
+
+        let full = estimate_guardband(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+        let cp_only =
+            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+        assert!(full.critical_path_switched, "criticality must switch");
+        assert!(
+            full.guardband() > cp_only,
+            "neglecting the switch must underestimate: full {} vs cp-only {cp_only}",
+            full.guardband()
+        );
+    }
+
+    #[test]
+    fn single_opc_scaling_is_pessimistic() {
+        // Scaling the fresh library by the worst-corner degradation factor
+        // must never be faster than the true aged library at that corner
+        // and is clamped to never improve.
+        let fresh = fixture_library();
+        let aged = slowed_library(1.3);
+        let scaled = single_opc_aged_library(&fresh, &aged, 900e-12, 0.5e-15);
+        let f = fresh.cell("INV_X1").unwrap().worst_delay(5e-12, 20e-15);
+        let s = scaled.cell("INV_X1").unwrap().worst_delay(5e-12, 20e-15);
+        assert!(s >= f, "never faster than fresh");
+        assert!((s / f - 1.3).abs() < 1e-6, "uniform slowdown scales uniformly");
+    }
+
+    #[test]
+    fn collapsed_library_is_opc_insensitive() {
+        let lib = fixture_library();
+        let collapsed = collapse_library(&lib, 900e-12, 0.5e-15);
+        let cell = collapsed.cell("INV_X1").unwrap();
+        let arc = cell.output("Y").unwrap().arc_from("A").unwrap();
+        assert_eq!(arc.delay(true, 5e-12, 0.5e-15), arc.delay(true, 900e-12, 20e-15));
+        // The collapsed value equals the original at the chosen OPC.
+        let orig = lib.cell("INV_X1").unwrap().output("Y").unwrap().arc_from("A").unwrap();
+        assert_eq!(arc.delay(true, 5e-12, 0.5e-15), orig.delay(true, 900e-12, 0.5e-15));
+    }
+}

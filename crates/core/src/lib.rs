@@ -1,0 +1,51 @@
+//! The reliability-aware design flow of the paper (its primary
+//! contribution): degradation-aware cell libraries plugged into standard
+//! timing analysis and logic synthesis.
+//!
+//! The three capabilities of the paper's Fig. 4 map to three modules:
+//!
+//! - **Library creation** (Fig. 4(a), [`charlib`]): [`Characterizer`] runs
+//!   the transistor-level simulator over every cell of a [`stdcells::CellSet`]
+//!   under BTI-degraded device models, across the 7×7 slew/load operating
+//!   conditions, producing [`liberty::Library`] instances per aging
+//!   scenario — and the merged λ-indexed *complete* library.
+//! - **Guardband estimation** (Fig. 4(b), [`guardband`], [`dynamic`]):
+//!   re-analyzing a netlist with a degradation-aware library yields the
+//!   aged critical path and thus the required guardband, under static
+//!   (uniform λ) or dynamic (workload-extracted λ) stress.
+//! - **Guardband containment** (Fig. 4(c), [`aging_synth`]): handing the
+//!   degradation-aware library to the synthesizer yields circuits that are
+//!   inherently resilient, with *contained* guardbands.
+//!
+//! [`system_eval`] closes the loop at the system level: it pushes images
+//! through gate-level DCT→IDCT simulations with aged delays and reports
+//! PSNR — the paper's Figs. 6(c) and 7.
+//!
+//! # Example (fast settings)
+//!
+//! ```no_run
+//! use bti::AgingScenario;
+//! use flow::{CharConfig, Characterizer};
+//! use stdcells::CellSet;
+//!
+//! let chars = Characterizer::new(CellSet::minimal(), CharConfig::fast());
+//! let fresh = chars.library(&AgingScenario::fresh());
+//! let aged = chars.library(&AgingScenario::worst_case(10.0));
+//! assert!(aged.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15)
+//!     > fresh.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15));
+//! ```
+
+pub mod aging_synth;
+pub mod charlib;
+pub mod dynamic;
+pub mod guardband;
+pub mod system_eval;
+
+pub use aging_synth::{compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison};
+pub use charlib::{CharConfig, Characterizer};
+pub use dynamic::{dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport};
+pub use guardband::{
+    collapse_library, estimate_guardband, guardband_of_initial_critical_path,
+    single_opc_aged_library, GuardbandReport,
+};
+pub use system_eval::{annotation_from_sta, run_image_chain, ImageChainResult};

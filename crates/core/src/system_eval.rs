@@ -1,0 +1,318 @@
+//! System-level aging evaluation: the gate-level DCT→IDCT image chain
+//! (paper Sec. 5, Figs. 6(c) and 7).
+//!
+//! Both circuits run at a **fixed** clock period (the fresh critical path
+//! of the traditionally-synthesized design — i.e. *no guardband*), while
+//! their gates carry the delays of an aging scenario. Every path slower
+//! than the period silently corrupts coefficients/pixels; PSNR against the
+//! original image quantifies the damage.
+
+use circuits::{fixed, Design};
+use imgproc::{psnr, GrayImage};
+use liberty::Library;
+use logicsim::run_timed;
+use netlist::{ArcDelays, DelayAnnotation, NetId, Netlist};
+use sta::{analyze, Constraints, StaError};
+use std::collections::HashSet;
+
+/// Builds the per-arc delay annotation of `netlist` under `library` by
+/// running STA and freezing each arc's delay at its propagated input slew
+/// and actual output load — the SDF-generation step of the paper's flow.
+///
+/// # Errors
+///
+/// Propagates [`StaError`].
+pub fn annotation_from_sta(
+    netlist: &Netlist,
+    library: &Library,
+    constraints: &Constraints,
+) -> Result<DelayAnnotation, StaError> {
+    let report = analyze(netlist, library, constraints)?;
+    let sinks = netlist.sinks(library)?;
+    let output_nets: HashSet<NetId> = netlist.output_nets().collect();
+    let output_load = constraints.output_load.unwrap_or(library.default_output_load);
+    let mut ann = DelayAnnotation::new();
+    for id in netlist.instance_ids() {
+        let inst = netlist.instance(id);
+        let cell = library.cell(&inst.cell).expect("analyzed netlist has known cells");
+        for out in &cell.outputs {
+            let Some(out_net) = inst.net_on(&out.name) else { continue };
+            let mut load = 0.0;
+            let mut fanout = 0usize;
+            if let Some(pins) = sinks.get(&out_net) {
+                for (s, p) in pins {
+                    if let Some(c) = library.cell(&netlist.instance(*s).cell).and_then(|c| c.input_cap(p)) {
+                        load += c;
+                        fanout += 1;
+                    }
+                }
+            }
+            if output_nets.contains(&out_net) {
+                load += output_load;
+                fanout += 1;
+            }
+            load += library.wire_cap_per_fanout * fanout as f64;
+            for arc in &out.arcs {
+                let Some(in_net) = inst.net_on(&arc.related_pin) else { continue };
+                let slew = report.slew_edge(in_net, true).max(report.slew_edge(in_net, false));
+                ann.set(
+                    id,
+                    &arc.related_pin,
+                    &out.name,
+                    ArcDelays {
+                        rise: arc.delay(true, slew, load),
+                        fall: arc.delay(false, slew, load),
+                    },
+                );
+            }
+        }
+    }
+    Ok(ann)
+}
+
+/// The outcome of pushing an image through the gate-level chain.
+#[derive(Debug, Clone)]
+pub struct ImageChainResult {
+    /// The decoded image.
+    pub output: GrayImage,
+    /// PSNR of the output against the original, in dB.
+    pub psnr_db: f64,
+    /// Timing-violation events observed across all four passes.
+    pub late_events: usize,
+}
+
+/// The error-free software reference of the chain (fixed-point DCT→IDCT,
+/// no timing): the paper's "in the absence of aging" quality bound.
+#[must_use]
+pub fn reference_chain(image: &GrayImage) -> GrayImage {
+    let (bw, bh) = image.block_grid();
+    let mut out = GrayImage::new(image.width(), image.height());
+    for by in 0..bh {
+        for bx in 0..bw {
+            let block = image.block8(bx, by);
+            let mut shifted = [[0i64; 8]; 8];
+            for r in 0..8 {
+                for c in 0..8 {
+                    shifted[r][c] = i64::from(block[r][c]) - 128;
+                }
+            }
+            let coeffs = fixed::dct2d(&shifted);
+            let back = fixed::idct2d(&coeffs);
+            let mut pixels = [[0u8; 8]; 8];
+            for r in 0..8 {
+                for c in 0..8 {
+                    pixels[r][c] = (back[r][c] + 128).clamp(0, 255) as u8;
+                }
+            }
+            out.set_block8(bx, by, &pixels);
+        }
+    }
+    out
+}
+
+/// Runs the full gate-level chain: 2-D DCT (rows then columns) through the
+/// DCT netlist, then 2-D IDCT (columns then rows) through the IDCT
+/// netlist, each 1-D transform being one clock cycle of the corresponding
+/// circuit at `period` with delays from the annotations.
+///
+/// # Errors
+///
+/// Returns a stringified simulation error on malformed netlists.
+#[allow(clippy::too_many_arguments)]
+pub fn run_image_chain(
+    image: &GrayImage,
+    dct_netlist: &Netlist,
+    dct_design: &Design,
+    idct_netlist: &Netlist,
+    idct_design: &Design,
+    library: &Library,
+    dct_delays: &DelayAnnotation,
+    idct_delays: &DelayAnnotation,
+    period: f64,
+) -> Result<ImageChainResult, String> {
+    let (bw, bh) = image.block_grid();
+    let n_blocks = bw * bh;
+
+    // Collect all blocks, level-shifted.
+    let mut blocks: Vec<[[i64; 8]; 8]> = Vec::with_capacity(n_blocks);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let b = image.block8(bx, by);
+            let mut s = [[0i64; 8]; 8];
+            for r in 0..8 {
+                for c in 0..8 {
+                    s[r][c] = i64::from(b[r][c]) - 128;
+                }
+            }
+            blocks.push(s);
+        }
+    }
+    let mut late_events = 0usize;
+
+    // Runs one 1-D pass over every block: `rows = true` transforms rows,
+    // otherwise columns. Returns the transformed blocks.
+    let mut pass = |netlist: &Netlist,
+                    design: &Design,
+                    delays: &DelayAnnotation,
+                    blocks: &[[[i64; 8]; 8]],
+                    rows: bool,
+                    in_prefix: &str,
+                    out_prefix: &str|
+     -> Result<Vec<[[i64; 8]; 8]>, String> {
+        let clamp12 = |v: i64| v.clamp(-2048, 2047);
+        let mut vectors = Vec::with_capacity(blocks.len() * 8);
+        for block in blocks {
+            for k in 0..8 {
+                let lane: [i64; 8] =
+                    std::array::from_fn(|j| if rows { block[k][j] } else { block[j][k] });
+                let names: Vec<String> = (0..8).map(|j| format!("{in_prefix}{j}")).collect();
+                let pairs: Vec<(&str, i64)> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(j, n)| (n.as_str(), clamp12(lane[j])))
+                    .collect();
+                vectors.push(design.encode(&pairs).map_err(|e| e.to_string())?);
+            }
+        }
+        let run = run_timed(netlist, library, delays, period, None, &vectors)
+            .map_err(|e| e.to_string())?;
+        late_events += run.late_events;
+        let mut out = vec![[[0i64; 8]; 8]; blocks.len()];
+        for (cycle, bits) in run.outputs.iter().enumerate() {
+            let block = cycle / 8;
+            let k = cycle % 8;
+            for j in 0..8 {
+                let v = design
+                    .decode(bits, &format!("{out_prefix}{j}"))
+                    .map_err(|e| e.to_string())?;
+                if rows {
+                    out[block][k][j] = v;
+                } else {
+                    out[block][j][k] = v;
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    // DCT: rows then columns. IDCT: columns then rows.
+    let stage1 = pass(dct_netlist, dct_design, dct_delays, &blocks, true, "x", "y")?;
+    let stage2 = pass(dct_netlist, dct_design, dct_delays, &stage1, false, "x", "y")?;
+    let stage3 = pass(idct_netlist, idct_design, idct_delays, &stage2, false, "y", "x")?;
+    let stage4 = pass(idct_netlist, idct_design, idct_delays, &stage3, true, "y", "x")?;
+
+    // Reassemble.
+    let mut output = GrayImage::new(image.width(), image.height());
+    for by in 0..bh {
+        for bx in 0..bw {
+            let block = &stage4[by * bw + bx];
+            let mut pixels = [[0u8; 8]; 8];
+            for r in 0..8 {
+                for c in 0..8 {
+                    pixels[r][c] = (block[r][c] + 128).clamp(0, 255) as u8;
+                }
+            }
+            output.set_block8(bx, by, &pixels);
+        }
+    }
+    let psnr_db = psnr(image, &output);
+    Ok(ImageChainResult { output, psnr_db, late_events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{dct8, idct8};
+    use synth::test_fixtures::fixture_library;
+    use synth::{synthesize, MapOptions};
+
+    #[test]
+    fn reference_chain_is_high_quality() {
+        let img = imgproc::synthetic::test_image(32, 32, 3);
+        let out = reference_chain(&img);
+        let q = psnr(&img, &out);
+        assert!(q > 38.0, "reference chain PSNR {q} dB");
+    }
+
+    #[test]
+    fn annotation_covers_all_arcs() {
+        let lib = fixture_library();
+        let mut g = synth::Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let y = g.and(a, b);
+        g.output("y", y);
+        let nl = synthesize(&g, &lib, &MapOptions::default()).unwrap();
+        let ann = annotation_from_sta(&nl, &lib, &Constraints::default()).unwrap();
+        assert!(!ann.is_empty());
+        assert!(ann.max_delay() > 0.0);
+    }
+
+    /// End-to-end smoke test at a generous clock: the gate-level chain
+    /// matches the software reference bit for bit (tiny image; the full
+    /// experiment lives in the bench harness).
+    #[test]
+    fn gate_level_chain_matches_reference_with_slack() {
+        let lib = fixture_library();
+        let options = MapOptions::default();
+        let dct_design = dct8();
+        let idct_design = idct8();
+        let dct_nl = synthesize(&dct_design.aig, &lib, &options).unwrap();
+        let idct_nl = synthesize(&idct_design.aig, &lib, &options).unwrap();
+        let c = Constraints::default();
+        let dct_ann = annotation_from_sta(&dct_nl, &lib, &c).unwrap();
+        let idct_ann = annotation_from_sta(&idct_nl, &lib, &c).unwrap();
+        let period = 1.0; // one second: nothing can be late
+        let img = imgproc::synthetic::test_image(8, 8, 9);
+        let result = run_image_chain(
+            &img,
+            &dct_nl,
+            &dct_design,
+            &idct_nl,
+            &idct_design,
+            &lib,
+            &dct_ann,
+            &idct_ann,
+            period,
+        )
+        .unwrap();
+        assert_eq!(result.late_events, 0);
+        let reference = reference_chain(&img);
+        assert_eq!(result.output, reference, "gate-level chain must equal software reference");
+        assert!(result.psnr_db > 38.0);
+    }
+
+    /// An absurdly fast clock corrupts the image.
+    #[test]
+    fn tight_clock_destroys_quality() {
+        let lib = fixture_library();
+        let options = MapOptions::default();
+        let dct_design = dct8();
+        let idct_design = idct8();
+        let dct_nl = synthesize(&dct_design.aig, &lib, &options).unwrap();
+        let idct_nl = synthesize(&idct_design.aig, &lib, &options).unwrap();
+        let c = Constraints::default();
+        let dct_ann = annotation_from_sta(&dct_nl, &lib, &c).unwrap();
+        let idct_ann = annotation_from_sta(&idct_nl, &lib, &c).unwrap();
+        let fresh_cp = analyze(&dct_nl, &lib, &c).unwrap().critical_delay();
+        let img = imgproc::synthetic::test_image(8, 8, 9);
+        let result = run_image_chain(
+            &img,
+            &dct_nl,
+            &dct_design,
+            &idct_nl,
+            &idct_design,
+            &lib,
+            &dct_ann,
+            &idct_ann,
+            fresh_cp * 0.2,
+        )
+        .unwrap();
+        assert!(result.late_events > 0, "80% overclock must violate timing");
+        assert!(
+            result.psnr_db < 35.0,
+            "massive violations must hurt quality, got {} dB",
+            result.psnr_db
+        );
+    }
+}

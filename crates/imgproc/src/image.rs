@@ -1,0 +1,163 @@
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// A black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        GrayImage { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Builds an image from row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is zero.
+    #[must_use]
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        GrayImage { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Extracts the 8×8 block whose top-left corner is `(bx*8, by*8)`,
+    /// clamping reads beyond the image edge to the nearest pixel.
+    #[must_use]
+    pub fn block8(&self, bx: usize, by: usize) -> [[u8; 8]; 8] {
+        let mut out = [[0u8; 8]; 8];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, px) in row.iter_mut().enumerate() {
+                let x = (bx * 8 + c).min(self.width - 1);
+                let y = (by * 8 + r).min(self.height - 1);
+                *px = self.get(x, y);
+            }
+        }
+        out
+    }
+
+    /// Writes an 8×8 block at block coordinates `(bx, by)`, ignoring pixels
+    /// beyond the image edge.
+    pub fn set_block8(&mut self, bx: usize, by: usize, block: &[[u8; 8]; 8]) {
+        for (r, row) in block.iter().enumerate() {
+            for (c, &px) in row.iter().enumerate() {
+                let x = bx * 8 + c;
+                let y = by * 8 + r;
+                if x < self.width && y < self.height {
+                    self.set(x, y, px);
+                }
+            }
+        }
+    }
+
+    /// Number of 8×8 blocks horizontally and vertically (ceiling).
+    #[must_use]
+    pub fn block_grid(&self) -> (usize, usize) {
+        (self.width.div_ceil(8), self.height.div_ceil(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = GrayImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(3, 2), 0);
+        img.set(3, 2, 200);
+        assert_eq!(img.get(3, 2), 200);
+        assert_eq!(img.pixels().len(), 12);
+    }
+
+    #[test]
+    fn from_pixels_round_trip() {
+        let data: Vec<u8> = (0..12).collect();
+        let img = GrayImage::from_pixels(4, 3, data.clone());
+        assert_eq!(img.pixels(), &data[..]);
+        assert_eq!(img.get(1, 2), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_panics() {
+        let _ = GrayImage::from_pixels(4, 3, vec![0; 11]);
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let mut img = GrayImage::new(16, 16);
+        let mut block = [[0u8; 8]; 8];
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, px) in row.iter_mut().enumerate() {
+                *px = (r * 8 + c) as u8;
+            }
+        }
+        img.set_block8(1, 1, &block);
+        assert_eq!(img.block8(1, 1), block);
+        assert_eq!(img.get(8, 8), 0);
+        assert_eq!(img.get(15, 15), 63);
+        assert_eq!(img.block_grid(), (2, 2));
+    }
+
+    #[test]
+    fn edge_blocks_clamp() {
+        let mut img = GrayImage::new(12, 12);
+        img.set(11, 11, 99);
+        let block = img.block8(1, 1);
+        // Reads beyond 12 clamp to the last row/column.
+        assert_eq!(block[3][3], 99);
+        assert_eq!(block[7][7], 99);
+        assert_eq!(img.block_grid(), (2, 2));
+    }
+}

@@ -1,0 +1,78 @@
+use crate::GrayImage;
+
+/// Mean squared error between two equally-sized images.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+#[must_use]
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "image width mismatch");
+    assert_eq!(a.height(), b.height(), "image height mismatch");
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    sum / (a.pixels().len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB (`10·log10(255² / MSE)`); identical
+/// images give `+∞`.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+#[must_use]
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    let err = mse(a, b);
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / err).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_infinite_psnr() {
+        let img = crate::synthetic::test_image(16, 16, 1);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = GrayImage::new(2, 2);
+        let mut b = GrayImage::new(2, 2);
+        b.set(0, 0, 10); // one pixel off by 10 → MSE = 100/4 = 25
+        assert!((mse(&a, &b) - 25.0).abs() < 1e-12);
+        let p = psnr(&a, &b);
+        assert!((p - 10.0 * (255.0f64 * 255.0 / 25.0).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_corruption_lower_psnr() {
+        let a = crate::synthetic::test_image(32, 32, 2);
+        let mut light = a.clone();
+        let mut heavy = a.clone();
+        for k in 0..light.width() {
+            light.set(k, 0, light.get(k, 0) ^ 0x04);
+            heavy.set(k, 0, heavy.get(k, 0) ^ 0x80);
+        }
+        assert!(psnr(&a, &light) > psnr(&a, &heavy));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn size_mismatch_panics() {
+        let _ = mse(&GrayImage::new(2, 2), &GrayImage::new(3, 2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Netpbm PGM (portable graymap) reading and writing, binary (`P5`) and
+//! ASCII (`P2`) variants — so image-chain results can be eyeballed with any
+//! viewer, mirroring the paper's Fig. 7.
+
+use crate::GrayImage;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from PGM parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgmError {
+    /// The magic number is neither `P2` nor `P5`.
+    BadMagic,
+    /// Header fields are missing or malformed.
+    BadHeader(String),
+    /// The pixel payload is truncated or malformed.
+    BadPixels(String),
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::BadMagic => write!(f, "not a PGM file (expected P2 or P5)"),
+            PgmError::BadHeader(m) => write!(f, "invalid PGM header: {m}"),
+            PgmError::BadPixels(m) => write!(f, "invalid PGM pixel data: {m}"),
+        }
+    }
+}
+
+impl Error for PgmError {}
+
+/// Serializes `image` as binary PGM (`P5`, maxval 255).
+#[must_use]
+pub fn write_pgm(image: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", image.width(), image.height()).into_bytes();
+    out.extend_from_slice(image.pixels());
+    out
+}
+
+/// Parses a binary (`P5`) or ASCII (`P2`) PGM file with maxval ≤ 255.
+///
+/// # Errors
+///
+/// Returns [`PgmError`] for malformed input.
+pub fn parse_pgm(data: &[u8]) -> Result<GrayImage, PgmError> {
+    let magic = data.get(..2).ok_or(PgmError::BadMagic)?;
+    let binary = match magic {
+        b"P5" => true,
+        b"P2" => false,
+        _ => return Err(PgmError::BadMagic),
+    };
+    // Header token scanner: whitespace-separated, `#` comments to EOL.
+    let mut pos = 2usize;
+    let next_token = |data: &[u8], pos: &mut usize| -> Result<u64, PgmError> {
+        loop {
+            while *pos < data.len() && data[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+            if data.get(*pos) == Some(&b'#') {
+                while *pos < data.len() && data[*pos] != b'\n' {
+                    *pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let start = *pos;
+        while *pos < data.len() && data[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(PgmError::BadHeader("expected a number".into()));
+        }
+        std::str::from_utf8(&data[start..*pos])
+            .map_err(|_| PgmError::BadHeader("non-UTF8 number".into()))?
+            .parse::<u64>()
+            .map_err(|_| PgmError::BadHeader("number out of range".into()))
+    };
+    let width = next_token(data, &mut pos)? as usize;
+    let height = next_token(data, &mut pos)? as usize;
+    let maxval = next_token(data, &mut pos)?;
+    if width == 0 || height == 0 {
+        return Err(PgmError::BadHeader("zero dimension".into()));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(PgmError::BadHeader(format!("unsupported maxval {maxval}")));
+    }
+    let count = width * height;
+    let pixels = if binary {
+        // Exactly one whitespace byte separates header and payload.
+        pos += 1;
+        let payload = data.get(pos..pos + count).ok_or_else(|| {
+            PgmError::BadPixels(format!("expected {count} bytes, file has {}", data.len() - pos.min(data.len())))
+        })?;
+        payload.to_vec()
+    } else {
+        let mut pixels = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = next_token(data, &mut pos)
+                .map_err(|_| PgmError::BadPixels("truncated ASCII pixels".into()))?;
+            if v > maxval {
+                return Err(PgmError::BadPixels(format!("pixel {v} exceeds maxval {maxval}")));
+            }
+            pixels.push(v as u8);
+        }
+        pixels
+    };
+    Ok(GrayImage::from_pixels(width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_round_trip() {
+        let img = crate::synthetic::test_image(24, 16, 5);
+        let bytes = write_pgm(&img);
+        let parsed = parse_pgm(&bytes).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn ascii_parsing_with_comments() {
+        let text = b"P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n";
+        let img = parse_pgm(text).unwrap();
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.get(2, 0), 255);
+        assert_eq!(img.get(1, 1), 20);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_pgm(b"P6\n1 1\n255\nx"), Err(PgmError::BadMagic));
+        assert!(matches!(parse_pgm(b"P5\n0 4\n255\n"), Err(PgmError::BadHeader(_))));
+        assert!(matches!(parse_pgm(b"P5\n2 2\n70000\n"), Err(PgmError::BadHeader(_))));
+        assert!(matches!(parse_pgm(b"P5\n4 4\n255\nabc"), Err(PgmError::BadPixels(_))));
+        assert!(matches!(parse_pgm(b"P2\n2 2\n255\n1 2 3"), Err(PgmError::BadPixels(_))));
+        assert!(matches!(parse_pgm(b"P2\n2 2\n100\n1 2 3 200"), Err(PgmError::BadPixels(_))));
+    }
+}

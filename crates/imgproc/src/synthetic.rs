@@ -1,0 +1,143 @@
+//! Deterministic procedural test images.
+//!
+//! The paper's evaluation images come from a video-trace archive that is
+//! not redistributable; these generators produce images with comparable
+//! statistics — smooth large-scale gradients (DC-heavy blocks), sharp
+//! geometric edges (high-frequency content) and mild texture noise — from a
+//! fixed seed, so every experiment is reproducible.
+
+use crate::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A natural-image-like test scene: vignette-shaded gradient background,
+/// several circles and bars, plus low-amplitude texture noise.
+#[must_use]
+pub fn test_image(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = GrayImage::new(width, height);
+    let (w, h) = (width as f64, height as f64);
+
+    // Background gradient with a diagonal sweep.
+    for y in 0..height {
+        for x in 0..width {
+            let g = 60.0 + 120.0 * (x as f64 / w) + 40.0 * (y as f64 / h);
+            img.set(x, y, g.clamp(0.0, 255.0) as u8);
+        }
+    }
+    // Circles of varying brightness.
+    for _ in 0..4 {
+        let cx = rng.gen_range(0.0..w);
+        let cy = rng.gen_range(0.0..h);
+        let r = rng.gen_range(0.08..0.25) * w.min(h);
+        let level: f64 = rng.gen_range(0.0..255.0);
+        for y in 0..height {
+            for x in 0..width {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                if dx * dx + dy * dy < r * r {
+                    let blended = 0.7 * level + 0.3 * f64::from(img.get(x, y));
+                    img.set(x, y, blended.clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+    }
+    // A couple of hard-edged bars (high-frequency energy).
+    for _ in 0..2 {
+        let x0 = rng.gen_range(0..width);
+        let bw = (width / 16).max(1);
+        for y in 0..height {
+            for dx in 0..bw {
+                let x = (x0 + dx) % width;
+                img.set(x, y, if y % 2 == 0 { 235 } else { 20 });
+            }
+        }
+    }
+    // Mild texture noise.
+    for y in 0..height {
+        for x in 0..width {
+            let noise: i16 = rng.gen_range(-6..=6);
+            let v = i16::from(img.get(x, y)) + noise;
+            img.set(x, y, v.clamp(0, 255) as u8);
+        }
+    }
+    img
+}
+
+/// A smooth radial gradient — the easiest possible content for a DCT chain
+/// (near-lossless round trip), useful as a best-case workload.
+#[must_use]
+pub fn gradient_image(width: usize, height: usize) -> GrayImage {
+    let mut img = GrayImage::new(width, height);
+    let (cx, cy) = (width as f64 / 2.0, height as f64 / 2.0);
+    let norm = (cx * cx + cy * cy).sqrt();
+    for y in 0..height {
+        for x in 0..width {
+            let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+            img.set(x, y, (230.0 - 180.0 * d / norm).clamp(0.0, 255.0) as u8);
+        }
+    }
+    img
+}
+
+/// A checkerboard with the given cell size — worst-case high-frequency
+/// content for the chain.
+///
+/// # Panics
+///
+/// Panics if `cell` is zero.
+#[must_use]
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
+    assert!(cell > 0, "cell size must be positive");
+    let mut img = GrayImage::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let on = (x / cell + y / cell).is_multiple_of(2);
+            img.set(x, y, if on { 240 } else { 15 });
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = test_image(32, 32, 42);
+        let b = test_image(32, 32, 42);
+        let c = test_image(32, 32, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn has_dynamic_range() {
+        let img = test_image(64, 64, 7);
+        let min = img.pixels().iter().min().copied().unwrap();
+        let max = img.pixels().iter().max().copied().unwrap();
+        assert!(max - min > 120, "test image must span a wide range ({min}..{max})");
+    }
+
+    #[test]
+    fn gradient_is_smooth() {
+        let img = gradient_image(64, 64);
+        let mut max_step = 0i16;
+        for y in 0..64 {
+            for x in 1..64 {
+                let d = (i16::from(img.get(x, y)) - i16::from(img.get(x - 1, y))).abs();
+                max_step = max_step.max(d);
+            }
+        }
+        assert!(max_step <= 12, "gradient steps small, got {max_step}");
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(16, 16, 4);
+        assert_ne!(img.get(0, 0), img.get(4, 0));
+        assert_eq!(img.get(0, 0), img.get(8, 0));
+        assert_eq!(img.get(0, 0), img.get(4, 4));
+    }
+}

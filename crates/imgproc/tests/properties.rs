@@ -1,0 +1,75 @@
+//! Property-based tests: PGM round trips, PSNR metric identities and block
+//! access invariants on arbitrary images.
+
+use imgproc::{mse, parse_pgm, psnr, write_pgm, GrayImage};
+use proptest::prelude::*;
+
+fn image() -> impl Strategy<Value = GrayImage> {
+    (1usize..40, 1usize..40).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |pixels| GrayImage::from_pixels(w, h, pixels))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary PGM round-trips exactly for arbitrary pixel data.
+    #[test]
+    fn pgm_round_trip(img in image()) {
+        let parsed = parse_pgm(&write_pgm(&img)).expect("parses");
+        prop_assert_eq!(parsed, img);
+    }
+
+    /// PSNR identities: ∞ iff identical; symmetric; decreases under heavier
+    /// uniform noise.
+    #[test]
+    fn psnr_identities(img in image(), delta in 1u8..100) {
+        prop_assert_eq!(psnr(&img, &img), f64::INFINITY);
+        let mut noisy = img.clone();
+        let mut noisier = img.clone();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let v = img.get(x, y);
+                noisy.set(x, y, v.saturating_add(delta / 2));
+                noisier.set(x, y, v.saturating_add(delta));
+            }
+        }
+        let forward = psnr(&img, &noisy);
+        let backward = psnr(&noisy, &img);
+        if forward.is_finite() || backward.is_finite() {
+            prop_assert!((forward - backward).abs() < 1e-12, "symmetric");
+        } else {
+            prop_assert_eq!(forward, backward, "both infinite when identical");
+        }
+        // Saturating noise is per-pixel monotone in the offset, so the
+        // larger offset never yields a smaller error.
+        prop_assert!(mse(&img, &noisier) >= mse(&img, &noisy));
+    }
+
+    /// MSE is a proper squared metric: zero iff equal, bounded by 255².
+    #[test]
+    fn mse_bounds(a in image()) {
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        let inverted = GrayImage::from_pixels(
+            a.width(),
+            a.height(),
+            a.pixels().iter().map(|&p| 255 - p).collect(),
+        );
+        let m = mse(&a, &inverted);
+        prop_assert!((0.0..=255.0f64.powi(2)).contains(&m));
+    }
+
+    /// Writing then reading any 8×8 block through the block API is the
+    /// identity inside the image bounds.
+    #[test]
+    fn block_read_write_identity(img in image(), bx in 0usize..5, by in 0usize..5) {
+        let (gw, gh) = img.block_grid();
+        let bx = bx % gw;
+        let by = by % gh;
+        let block = img.block8(bx, by);
+        let mut copy = img.clone();
+        copy.set_block8(bx, by, &block);
+        prop_assert_eq!(copy, img, "writing a block back changes nothing");
+    }
+}

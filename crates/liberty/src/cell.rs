@@ -1,0 +1,273 @@
+use crate::expr::BoolExpr;
+use crate::table::Table2d;
+
+/// The unateness of a timing arc: how an input edge direction maps to the
+/// output edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingSense {
+    /// Rising input → rising output (e.g. AND/OR/BUF inputs).
+    PositiveUnate,
+    /// Rising input → falling output (e.g. NAND/NOR/INV inputs).
+    NegativeUnate,
+    /// Both output edges can follow either input edge (e.g. XOR inputs).
+    NonUnate,
+}
+
+impl TimingSense {
+    /// The Liberty attribute spelling of this sense.
+    #[must_use]
+    pub fn as_liberty(self) -> &'static str {
+        match self {
+            TimingSense::PositiveUnate => "positive_unate",
+            TimingSense::NegativeUnate => "negative_unate",
+            TimingSense::NonUnate => "non_unate",
+        }
+    }
+
+    /// Parses the Liberty attribute spelling.
+    #[must_use]
+    pub fn from_liberty(s: &str) -> Option<Self> {
+        match s {
+            "positive_unate" => Some(TimingSense::PositiveUnate),
+            "negative_unate" => Some(TimingSense::NegativeUnate),
+            "non_unate" => Some(TimingSense::NonUnate),
+            _ => None,
+        }
+    }
+}
+
+/// One characterized pin-to-pin timing arc of a cell.
+///
+/// `cell_rise`/`cell_fall` give the propagation delay to a rising/falling
+/// *output* edge, and `rise_transition`/`fall_transition` the corresponding
+/// output slews — all as functions of (input slew, output load), the OPCs of
+/// the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingArc {
+    /// The input pin this arc starts at (for flip-flops: the clock pin).
+    pub related_pin: String,
+    /// Unateness of the arc.
+    pub sense: TimingSense,
+    /// Delay to a rising output edge.
+    pub cell_rise: Table2d,
+    /// Delay to a falling output edge.
+    pub cell_fall: Table2d,
+    /// Output slew of a rising output edge.
+    pub rise_transition: Table2d,
+    /// Output slew of a falling output edge.
+    pub fall_transition: Table2d,
+}
+
+impl TimingArc {
+    /// Worst (max) delay across both edges at the given OPC.
+    #[must_use]
+    pub fn worst_delay(&self, slew: f64, load: f64) -> f64 {
+        self.cell_rise.value(slew, load).max(self.cell_fall.value(slew, load))
+    }
+
+    /// Delay of the edge producing a rising (`true`) or falling output.
+    #[must_use]
+    pub fn delay(&self, output_rising: bool, slew: f64, load: f64) -> f64 {
+        if output_rising {
+            self.cell_rise.value(slew, load)
+        } else {
+            self.cell_fall.value(slew, load)
+        }
+    }
+
+    /// Output slew of a rising (`true`) or falling output edge.
+    #[must_use]
+    pub fn transition(&self, output_rising: bool, slew: f64, load: f64) -> f64 {
+        if output_rising {
+            self.rise_transition.value(slew, load)
+        } else {
+            self.fall_transition.value(slew, load)
+        }
+    }
+}
+
+/// An input pin with its characterized capacitance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputPin {
+    /// Pin name.
+    pub name: String,
+    /// Input capacitance in farad.
+    pub capacitance: f64,
+}
+
+/// An output pin: its boolean function and the timing arcs ending at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputPin {
+    /// Pin name.
+    pub name: String,
+    /// Boolean function of the cell inputs (for flip-flop outputs this is
+    /// the captured data input; sequential semantics live in
+    /// [`CellClass::Flop`]).
+    pub function: BoolExpr,
+    /// Largest load this pin is characterized to drive, in farad.
+    pub max_capacitance: f64,
+    /// Timing arcs into this output, one per related input pin.
+    pub arcs: Vec<TimingArc>,
+}
+
+impl OutputPin {
+    /// The arc related to input `pin`, if characterized.
+    #[must_use]
+    pub fn arc_from(&self, pin: &str) -> Option<&TimingArc> {
+        self.arcs.iter().find(|a| a.related_pin == pin)
+    }
+}
+
+/// Combinational vs sequential behavior of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellClass {
+    /// Plain combinational logic.
+    Combinational,
+    /// A rising-edge D flip-flop.
+    Flop {
+        /// Clock pin name.
+        clock: String,
+        /// Data pin name.
+        data: String,
+        /// Setup time requirement at the data pin, in seconds.
+        setup: f64,
+        /// Hold time requirement at the data pin, in seconds.
+        hold: f64,
+    },
+}
+
+/// A characterized standard cell inside a [`Library`](crate::Library).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell name; in merged degradation-aware libraries the name carries a
+    /// λ index suffix (`NAND2_X1_0.40_0.60`).
+    pub name: String,
+    /// Layout area in µm².
+    pub area: f64,
+    /// Combinational or sequential behavior.
+    pub class: CellClass,
+    /// Input pins with capacitances.
+    pub inputs: Vec<InputPin>,
+    /// Output pins with functions and timing arcs.
+    pub outputs: Vec<OutputPin>,
+}
+
+impl Cell {
+    /// The capacitance of input `pin`, if it exists.
+    #[must_use]
+    pub fn input_cap(&self, pin: &str) -> Option<f64> {
+        self.inputs.iter().find(|p| p.name == pin).map(|p| p.capacitance)
+    }
+
+    /// The output pin named `pin`.
+    #[must_use]
+    pub fn output(&self, pin: &str) -> Option<&OutputPin> {
+        self.outputs.iter().find(|p| p.name == pin)
+    }
+
+    /// True for sequential cells.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(self.class, CellClass::Flop { .. })
+    }
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Worst-case delay of any arc of the cell at the given OPC — a quick
+    /// figure of merit used by mapping heuristics.
+    #[must_use]
+    pub fn worst_delay(&self, slew: f64, load: f64) -> f64 {
+        self.outputs
+            .iter()
+            .flat_map(|o| o.arcs.iter())
+            .map(|a| a.worst_delay(slew, load))
+            .fold(0.0, f64::max)
+    }
+
+    /// A hand-made unit inverter used by tests across the workspace; not a
+    /// characterized cell.
+    #[must_use]
+    pub fn test_inverter(name: &str) -> Cell {
+        let slews = vec![5e-12, 100e-12, 900e-12];
+        let loads = vec![0.5e-15, 5e-15, 20e-15];
+        let mk = |base: f64| {
+            let mut values = Vec::new();
+            for (i, s) in slews.iter().enumerate() {
+                for l in &loads {
+                    let _ = i;
+                    values.push(base + 0.12 * s + 2.0e3 * l);
+                }
+            }
+            Table2d::new(slews.clone(), loads.clone(), values).expect("valid test table")
+        };
+        Cell {
+            name: name.to_owned(),
+            area: 0.8,
+            class: CellClass::Combinational,
+            inputs: vec![InputPin { name: "A".into(), capacitance: 1.0e-15 }],
+            outputs: vec![OutputPin {
+                name: "Y".into(),
+                function: BoolExpr::Not(Box::new(BoolExpr::var("A"))),
+                max_capacitance: 25e-15,
+                arcs: vec![TimingArc {
+                    related_pin: "A".into(),
+                    sense: TimingSense::NegativeUnate,
+                    cell_rise: mk(12e-12),
+                    cell_fall: mk(10e-12),
+                    rise_transition: mk(8e-12),
+                    fall_transition: mk(7e-12),
+                }],
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_round_trip() {
+        for s in [TimingSense::PositiveUnate, TimingSense::NegativeUnate, TimingSense::NonUnate] {
+            assert_eq!(TimingSense::from_liberty(s.as_liberty()), Some(s));
+        }
+        assert_eq!(TimingSense::from_liberty("sideways"), None);
+    }
+
+    #[test]
+    fn test_inverter_structure() {
+        let inv = Cell::test_inverter("INV_X1");
+        assert_eq!(inv.input_count(), 1);
+        assert_eq!(inv.input_cap("A"), Some(1.0e-15));
+        assert_eq!(inv.input_cap("B"), None);
+        assert!(!inv.is_sequential());
+        let y = inv.output("Y").unwrap();
+        assert!(y.arc_from("A").is_some());
+        assert!(y.arc_from("Z").is_none());
+        assert!(y.function.eval(&|_| false));
+    }
+
+    #[test]
+    fn arc_lookup_math() {
+        let inv = Cell::test_inverter("INV_X1");
+        let arc = inv.output("Y").unwrap().arc_from("A").unwrap();
+        // Delay grows with slew and load in the fixture.
+        let fast = arc.delay(true, 5e-12, 0.5e-15);
+        let slow = arc.delay(true, 900e-12, 20e-15);
+        assert!(slow > fast);
+        assert_eq!(arc.worst_delay(5e-12, 0.5e-15), arc.delay(true, 5e-12, 0.5e-15));
+        assert!(arc.transition(false, 5e-12, 0.5e-15) > 0.0);
+        assert!(inv.worst_delay(5e-12, 0.5e-15) > 0.0);
+    }
+
+    #[test]
+    fn flop_class() {
+        let mut c = Cell::test_inverter("DFF_X1");
+        c.class = CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 5e-12 };
+        assert!(c.is_sequential());
+    }
+}

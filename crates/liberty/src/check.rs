@@ -1,0 +1,172 @@
+//! Library sanity checks: structural and physical plausibility of
+//! characterized libraries, used as QA after characterization runs.
+
+use crate::{Library, Table2d};
+
+/// A human-readable issue found by [`Library::sanity_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryIssue {
+    /// Cell the issue belongs to (empty for library-level issues).
+    pub cell: String,
+    /// Description of the problem.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LibraryIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cell.is_empty() {
+            write!(f, "library: {}", self.detail)
+        } else {
+            write!(f, "cell {}: {}", self.cell, self.detail)
+        }
+    }
+}
+
+impl Library {
+    /// Checks the library for structural gaps and physically implausible
+    /// characterization data. Returns all issues found (empty = clean).
+    ///
+    /// Checks: non-empty library; positive input capacitances; every output
+    /// pin carries at least one timing arc; output transitions strictly
+    /// positive; delay strictly increasing with output load at every slew
+    /// (electrically necessary — more charge takes longer); delays bounded
+    /// (no runaway values from failed transient measurements).
+    #[must_use]
+    pub fn sanity_check(&self) -> Vec<LibraryIssue> {
+        let mut issues = Vec::new();
+        if self.is_empty() {
+            issues.push(LibraryIssue { cell: String::new(), detail: "library has no cells".into() });
+        }
+        for cell in self.cells() {
+            for pin in &cell.inputs {
+                if pin.capacitance <= 0.0 || pin.capacitance > 1e-12 || pin.capacitance.is_nan() {
+                    issues.push(LibraryIssue {
+                        cell: cell.name.clone(),
+                        detail: format!(
+                            "input {} capacitance {:.3e} F implausible",
+                            pin.name, pin.capacitance
+                        ),
+                    });
+                }
+            }
+            for out in &cell.outputs {
+                if out.arcs.is_empty() {
+                    issues.push(LibraryIssue {
+                        cell: cell.name.clone(),
+                        detail: format!("output {} has no timing arcs", out.name),
+                    });
+                }
+                for arc in &out.arcs {
+                    for (kind, table) in [
+                        ("cell_rise", &arc.cell_rise),
+                        ("cell_fall", &arc.cell_fall),
+                    ] {
+                        check_delay_table(&mut issues, &cell.name, &arc.related_pin, kind, table);
+                    }
+                    for (kind, table) in [
+                        ("rise_transition", &arc.rise_transition),
+                        ("fall_transition", &arc.fall_transition),
+                    ] {
+                        if table.min_value() <= 0.0 {
+                            issues.push(LibraryIssue {
+                                cell: cell.name.clone(),
+                                detail: format!(
+                                    "arc {}: {kind} has non-positive entries",
+                                    arc.related_pin
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        issues
+    }
+}
+
+fn check_delay_table(
+    issues: &mut Vec<LibraryIssue>,
+    cell: &str,
+    pin: &str,
+    kind: &str,
+    table: &Table2d,
+) {
+    // Monotone in load at each slew row.
+    for si in 0..table.slew_axis().len() {
+        for li in 1..table.load_axis().len() {
+            if table.at(si, li) <= table.at(si, li - 1) {
+                issues.push(LibraryIssue {
+                    cell: cell.to_owned(),
+                    detail: format!(
+                        "arc {pin}: {kind} not increasing with load at slew index {si}"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    // Bounded: a standard-cell delay beyond 10 ns means the transient
+    // measurement timed out (the characterizer's fallback value).
+    if table.max_value() > 10e-9 {
+        issues.push(LibraryIssue {
+            cell: cell.to_owned(),
+            detail: format!("arc {pin}: {kind} contains a timed-out measurement"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cell, InputPin};
+
+    #[test]
+    fn clean_fixture_passes() {
+        let mut lib = Library::new("l", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        assert!(lib.sanity_check().is_empty());
+    }
+
+    #[test]
+    fn empty_library_flagged() {
+        let lib = Library::new("l", 1.2);
+        let issues = lib.sanity_check();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].to_string().contains("no cells"));
+    }
+
+    #[test]
+    fn bad_cap_and_missing_arcs_flagged() {
+        let mut lib = Library::new("l", 1.2);
+        let mut cell = Cell::test_inverter("INV_X1");
+        cell.inputs.push(InputPin { name: "B".into(), capacitance: 0.0 });
+        cell.outputs[0].arcs.clear();
+        lib.add_cell(cell);
+        let issues = lib.sanity_check();
+        assert!(issues.iter().any(|i| i.detail.contains("capacitance")));
+        assert!(issues.iter().any(|i| i.detail.contains("no timing arcs")));
+    }
+
+    #[test]
+    fn non_monotone_delay_flagged() {
+        let mut lib = Library::new("l", 1.2);
+        let mut cell = Cell::test_inverter("INV_X1");
+        // Make the delay DECREASE with load.
+        cell.outputs[0].arcs[0].cell_rise =
+            cell.outputs[0].arcs[0].cell_rise.map(|v| 1e-10 - v);
+        lib.add_cell(cell);
+        let issues = lib.sanity_check();
+        assert!(issues.iter().any(|i| i.detail.contains("not increasing with load")));
+    }
+
+    #[test]
+    fn timeout_value_flagged() {
+        let mut lib = Library::new("l", 1.2);
+        let mut cell = Cell::test_inverter("INV_X1");
+        cell.outputs[0].arcs[0].cell_fall =
+            cell.outputs[0].arcs[0].cell_fall.map(|v| v + 20e-9);
+        lib.add_cell(cell);
+        let issues = lib.sanity_check();
+        assert!(issues.iter().any(|i| i.detail.contains("timed-out")));
+    }
+}

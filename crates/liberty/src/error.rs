@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a boolean pin-function expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    pub(crate) message: String,
+    pub(crate) position: usize,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid boolean expression at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseExprError {}
+
+/// Error constructing a lookup table with inconsistent axes/values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableError {
+    pub(crate) message: String,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid lookup table: {}", self.message)
+    }
+}
+
+impl Error for TableError {}
+
+/// Error reading or interpreting a Liberty-subset library file.
+#[derive(Debug)]
+pub enum LibertyError {
+    /// Lexical or structural error in the text, with a line number.
+    Syntax {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Structurally valid text describing a semantically broken library.
+    Semantic(String),
+    /// An embedded pin function failed to parse.
+    Expr(ParseExprError),
+    /// An embedded table was inconsistent.
+    Table(TableError),
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::Syntax { line, message } => {
+                write!(f, "liberty syntax error on line {line}: {message}")
+            }
+            LibertyError::Semantic(m) => write!(f, "invalid library: {m}"),
+            LibertyError::Expr(e) => write!(f, "{e}"),
+            LibertyError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LibertyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LibertyError::Expr(e) => Some(e),
+            LibertyError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseExprError> for LibertyError {
+    fn from(e: ParseExprError) -> Self {
+        LibertyError::Expr(e)
+    }
+}
+
+impl From<TableError> for LibertyError {
+    fn from(e: TableError) -> Self {
+        LibertyError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ParseExprError { message: "unexpected token".into(), position: 3 };
+        assert!(e.to_string().contains("offset 3"));
+        let t = TableError { message: "axis empty".into() };
+        assert!(t.to_string().contains("axis empty"));
+        let s = LibertyError::Syntax { line: 7, message: "missing brace".into() };
+        assert!(s.to_string().contains("line 7"));
+        assert!(LibertyError::from(e).to_string().contains("unexpected token"));
+        assert!(LibertyError::from(t).source().is_some());
+    }
+}

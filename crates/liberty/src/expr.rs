@@ -1,0 +1,378 @@
+use crate::error::ParseExprError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A boolean pin-function expression in Liberty syntax.
+///
+/// Supported operators, in increasing binding strength: `|`/`+` (or),
+/// `^` (xor), `&`/`*` (and), `!` (not, prefix), plus parentheses and the
+/// constants `0`/`1`. Identifiers are pin names (`A`, `A1`, `CK`…).
+///
+/// # Example
+///
+/// ```
+/// use liberty::BoolExpr;
+///
+/// # fn main() -> Result<(), liberty::ParseExprError> {
+/// let f = BoolExpr::parse("(A1 & A2) | !B")?;
+/// assert!(f.eval(&|pin: &str| pin == "A1" || pin == "A2"));
+/// assert!(f.eval(&|_| false)); // !B dominates when everything is 0
+/// assert_eq!(f.vars(), ["A1", "A2", "B"].map(String::from).to_vec());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// A pin reference.
+    Var(String),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction of two or more terms.
+    And(Vec<BoolExpr>),
+    /// Disjunction of two or more terms.
+    Or(Vec<BoolExpr>),
+    /// Exclusive or.
+    Xor(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Parses a Liberty-syntax boolean expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] on malformed input (unbalanced
+    /// parentheses, dangling operators, illegal characters).
+    pub fn parse(text: &str) -> Result<Self, ParseExprError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let e = p.parse_or()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing input"));
+        }
+        Ok(e)
+    }
+
+    /// A variable reference.
+    #[must_use]
+    pub fn var(name: &str) -> Self {
+        BoolExpr::Var(name.to_owned())
+    }
+
+    /// Evaluates the expression with `assign` providing each pin's value.
+    pub fn eval(&self, assign: &impl Fn(&str) -> bool) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(v) => assign(v),
+            BoolExpr::Not(e) => !e.eval(assign),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(assign)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(assign)),
+            BoolExpr::Xor(a, b) => a.eval(assign) ^ b.eval(assign),
+        }
+    }
+
+    /// The distinct pin names referenced, sorted.
+    #[must_use]
+    pub fn vars(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Var(v) => {
+                out.insert(v.clone());
+            }
+            BoolExpr::Not(e) => e.collect_vars(out),
+            BoolExpr::And(es) | BoolExpr::Or(es) => es.iter().for_each(|e| e.collect_vars(out)),
+            BoolExpr::Xor(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Truth table over `inputs` (index 0 = bit 0 of the row index), for up
+    /// to 16 inputs; bit `r` of the result word `words[r / 64]` is the
+    /// output for input row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() > 16`.
+    #[must_use]
+    pub fn truth_table(&self, inputs: &[&str]) -> Vec<u64> {
+        assert!(inputs.len() <= 16, "truth tables supported up to 16 inputs");
+        let rows = 1usize << inputs.len();
+        let mut words = vec![0u64; rows.div_ceil(64)];
+        for row in 0..rows {
+            let value = self.eval(&|pin: &str| {
+                inputs.iter().position(|p| *p == pin).is_some_and(|i| row >> i & 1 == 1)
+            });
+            if value {
+                words[row / 64] |= 1 << (row % 64);
+            }
+        }
+        words
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{}", u8::from(*b)),
+            BoolExpr::Var(v) => write!(f, "{v}"),
+            BoolExpr::Not(e) => match **e {
+                BoolExpr::Var(_) | BoolExpr::Const(_) => write!(f, "!{e}"),
+                _ => write!(f, "!({e})"),
+            },
+            BoolExpr::And(es) => {
+                let parts: Vec<String> = es
+                    .iter()
+                    .map(|e| match e {
+                        BoolExpr::Or(_) | BoolExpr::Xor(..) => format!("({e})"),
+                        _ => e.to_string(),
+                    })
+                    .collect();
+                write!(f, "{}", parts.join(" & "))
+            }
+            BoolExpr::Or(es) => {
+                let parts: Vec<String> = es.iter().map(ToString::to_string).collect();
+                write!(f, "{}", parts.join(" | "))
+            }
+            BoolExpr::Xor(a, b) => {
+                let wrap = |e: &BoolExpr| match e {
+                    BoolExpr::Or(_) => format!("({e})"),
+                    _ => e.to_string(),
+                };
+                write!(f, "{} ^ {}", wrap(a), wrap(b))
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseExprError {
+        ParseExprError { message: message.to_owned(), position: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_or(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut terms = vec![self.parse_xor()?];
+        while matches!(self.peek(), Some(b'|') | Some(b'+')) {
+            self.pos += 1;
+            terms.push(self.parse_xor()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { BoolExpr::Or(terms) })
+    }
+
+    fn parse_xor(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut e = self.parse_and()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            e = BoolExpr::Xor(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut terms = vec![self.parse_unary()?];
+        loop {
+            match self.peek() {
+                Some(b'&') | Some(b'*') => {
+                    self.pos += 1;
+                    terms.push(self.parse_unary()?);
+                }
+                // Liberty allows implicit AND by juxtaposition: `A B`.
+                Some(c) if c == b'(' || c == b'!' || is_ident_start(c) => {
+                    terms.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { BoolExpr::And(terms) })
+    }
+
+    fn parse_unary(&mut self) -> Result<BoolExpr, ParseExprError> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(BoolExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.pos += 1;
+                self.parse_postfix_not(e)
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(BoolExpr::Const(false))
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Ok(BoolExpr::Const(true))
+            }
+            Some(c) if is_ident_start(c) => {
+                let start = self.pos;
+                while self.pos < self.bytes.len() && is_ident_char(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("identifier bytes are ASCII")
+                    .to_owned();
+                self.parse_postfix_not(BoolExpr::Var(name))
+            }
+            _ => Err(self.error("expected operand")),
+        }
+    }
+
+    /// Liberty also permits a postfix `'` for negation (`A'`).
+    fn parse_postfix_not(&mut self, e: BoolExpr) -> Result<BoolExpr, ParseExprError> {
+        let mut e = e;
+        while self.bytes.get(self.pos) == Some(&b'\'') {
+            self.pos += 1;
+            e = BoolExpr::Not(Box::new(e));
+        }
+        Ok(e)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign<'a>(pairs: &'a [(&'a str, bool)]) -> impl Fn(&str) -> bool + 'a {
+        move |pin: &str| pairs.iter().find(|(p, _)| *p == pin).is_some_and(|(_, v)| *v)
+    }
+
+    #[test]
+    fn parse_and_eval_basic_gates() {
+        let nand = BoolExpr::parse("!(A1 & A2)").unwrap();
+        assert!(nand.eval(&assign(&[("A1", true), ("A2", false)])));
+        assert!(!nand.eval(&assign(&[("A1", true), ("A2", true)])));
+
+        let nor = BoolExpr::parse("!(A1 | A2)").unwrap();
+        assert!(nor.eval(&assign(&[])));
+        assert!(!nor.eval(&assign(&[("A2", true)])));
+
+        let xor = BoolExpr::parse("A ^ B").unwrap();
+        assert!(xor.eval(&assign(&[("A", true)])));
+        assert!(!xor.eval(&assign(&[("A", true), ("B", true)])));
+    }
+
+    #[test]
+    fn alternative_operator_spellings() {
+        let e1 = BoolExpr::parse("A * B + C").unwrap();
+        let e2 = BoolExpr::parse("A & B | C").unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let pairs = [("A", a), ("B", b), ("C", c)];
+                    let f = assign(&pairs);
+                    assert_eq!(e1.eval(&f), e2.eval(&f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn postfix_negation_and_juxtaposition() {
+        let e = BoolExpr::parse("A B'").unwrap(); // A & !B
+        assert!(e.eval(&assign(&[("A", true)])));
+        assert!(!e.eval(&assign(&[("A", true), ("B", true)])));
+        let g = BoolExpr::parse("(A | B)'").unwrap();
+        assert!(g.eval(&assign(&[])));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = BoolExpr::parse("A | B & C").unwrap();
+        assert!(e.eval(&assign(&[("A", true)])));
+        assert!(!e.eval(&assign(&[("B", true)])));
+        assert!(e.eval(&assign(&[("B", true), ("C", true)])));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(BoolExpr::parse("1").unwrap().eval(&assign(&[])));
+        assert!(!BoolExpr::parse("0").unwrap().eval(&assign(&[])));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BoolExpr::parse("").is_err());
+        assert!(BoolExpr::parse("A &").is_err());
+        assert!(BoolExpr::parse("(A").is_err());
+        assert!(BoolExpr::parse("A ) B").is_err());
+        assert!(BoolExpr::parse("#").is_err());
+    }
+
+    #[test]
+    fn vars_sorted_unique() {
+        let e = BoolExpr::parse("B & A | B & C").unwrap();
+        assert_eq!(e.vars(), vec!["A".to_owned(), "B".to_owned(), "C".to_owned()]);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in ["!(A1 & A2)", "A ^ B", "(A & B) | (!A & !B)", "!(S & A | !S & B)", "1"] {
+            let e = BoolExpr::parse(text).unwrap();
+            let rendered = e.to_string();
+            let back = BoolExpr::parse(&rendered).unwrap();
+            let vars = e.vars();
+            let names: Vec<&str> = vars.iter().map(String::as_str).collect();
+            assert_eq!(e.truth_table(&names), back.truth_table(&names), "{text} vs {rendered}");
+        }
+    }
+
+    #[test]
+    fn truth_table_small() {
+        let and2 = BoolExpr::parse("A & B").unwrap();
+        assert_eq!(and2.truth_table(&["A", "B"]), vec![0b1000]);
+        let or2 = BoolExpr::parse("A | B").unwrap();
+        assert_eq!(or2.truth_table(&["A", "B"]), vec![0b1110]);
+        let inv = BoolExpr::parse("!A").unwrap();
+        assert_eq!(inv.truth_table(&["A"]), vec![0b01]);
+    }
+
+    #[test]
+    fn truth_table_more_than_six_inputs() {
+        let vars: Vec<String> = (0..7).map(|i| format!("I{i}")).collect();
+        let names: Vec<&str> = vars.iter().map(String::as_str).collect();
+        let e = BoolExpr::And(vars.iter().map(|v| BoolExpr::var(v)).collect());
+        let tt = e.truth_table(&names);
+        assert_eq!(tt.len(), 2);
+        assert_eq!(tt[0], 0);
+        assert_eq!(tt[1], 1 << 63);
+    }
+}

@@ -1,0 +1,625 @@
+//! Writer and parser for a Liberty-style text subset.
+//!
+//! The subset keeps Liberty's surface syntax — nested `group (args) { … }`
+//! blocks, `attribute : value;` statements, quoted index/value arrays — but
+//! fixes the schema to what this repository produces. All physical values
+//! are written in SI base units (seconds, farad, volt); `time_unit`/
+//! `capacitive_load_unit` headers record that choice.
+//!
+//! Characterized degradation-aware libraries are persisted in this format,
+//! which makes them directly inspectable and diffable.
+
+use crate::cell::{Cell, CellClass, InputPin, OutputPin, TimingArc, TimingSense};
+use crate::error::LibertyError;
+use crate::expr::BoolExpr;
+use crate::table::Table2d;
+use crate::Library;
+use std::fmt::Write as _;
+
+/// Serializes `lib` to the Liberty-subset text format.
+#[must_use]
+pub fn write_library(lib: &Library) -> String {
+    let mut out = String::with_capacity(4096 + lib.len() * 2048);
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    let _ = writeln!(out, "  time_unit : \"1s\";");
+    let _ = writeln!(out, "  capacitive_load_unit : \"1F\";");
+    let _ = writeln!(out, "  nom_voltage : {};", fmt_num(lib.vdd));
+    let _ = writeln!(out, "  default_input_slew : {};", fmt_num(lib.default_input_slew));
+    let _ = writeln!(out, "  default_output_load : {};", fmt_num(lib.default_output_load));
+    let _ = writeln!(out, "  wire_cap_per_fanout : {};", fmt_num(lib.wire_cap_per_fanout));
+    for cell in lib.cells() {
+        write_cell(&mut out, cell);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_cell(out: &mut String, cell: &Cell) {
+    let _ = writeln!(out, "  cell ({}) {{", cell.name);
+    let _ = writeln!(out, "    area : {};", fmt_num(cell.area));
+    if let CellClass::Flop { clock, data, setup, hold } = &cell.class {
+        let _ = writeln!(out, "    ff (IQ) {{");
+        let _ = writeln!(out, "      clocked_on : \"{clock}\";");
+        let _ = writeln!(out, "      next_state : \"{data}\";");
+        let _ = writeln!(out, "      setup : {};", fmt_num(*setup));
+        let _ = writeln!(out, "      hold : {};", fmt_num(*hold));
+        let _ = writeln!(out, "    }}");
+    }
+    for pin in &cell.inputs {
+        let _ = writeln!(out, "    pin ({}) {{", pin.name);
+        let _ = writeln!(out, "      direction : input;");
+        let _ = writeln!(out, "      capacitance : {};", fmt_num(pin.capacitance));
+        let _ = writeln!(out, "    }}");
+    }
+    for pin in &cell.outputs {
+        let _ = writeln!(out, "    pin ({}) {{", pin.name);
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(out, "      function : \"{}\";", pin.function);
+        let _ = writeln!(out, "      max_capacitance : {};", fmt_num(pin.max_capacitance));
+        for arc in &pin.arcs {
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{}\";", arc.related_pin);
+            let _ = writeln!(out, "        timing_sense : {};", arc.sense.as_liberty());
+            write_table(out, "cell_rise", &arc.cell_rise);
+            write_table(out, "cell_fall", &arc.cell_fall);
+            write_table(out, "rise_transition", &arc.rise_transition);
+            write_table(out, "fall_transition", &arc.fall_transition);
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+fn write_table(out: &mut String, kind: &str, t: &Table2d) {
+    let _ = writeln!(out, "        {kind} (lut) {{");
+    let _ = writeln!(out, "          index_1 (\"{}\");", join_nums(t.slew_axis()));
+    let _ = writeln!(out, "          index_2 (\"{}\");", join_nums(t.load_axis()));
+    let rows: Vec<String> = t
+        .slew_axis()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let row: Vec<f64> =
+                (0..t.load_axis().len()).map(|j| t.at(i, j)).collect();
+            format!("\"{}\"", join_nums(&row))
+        })
+        .collect();
+    let _ = writeln!(out, "          values ({});", rows.join(", "));
+    let _ = writeln!(out, "        }}");
+}
+
+fn fmt_num(v: f64) -> String {
+    // Shortest representation that round-trips through f64.
+    format!("{v:e}")
+}
+
+fn join_nums(vals: &[f64]) -> String {
+    vals.iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: tokenizer → generic group tree → typed library.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Punct(u8),
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { bytes: text.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LibertyError {
+        LibertyError::Syntax { line: self.line, message: message.into() }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, LibertyError> {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            // Comments: /* … */ and // … and Liberty's \-newline continuation.
+            if self.bytes[self.pos..].starts_with(b"/*") {
+                let mut i = self.pos + 2;
+                while i + 1 < self.bytes.len() && !(self.bytes[i] == b'*' && self.bytes[i + 1] == b'/') {
+                    if self.bytes[i] == b'\n' {
+                        self.line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= self.bytes.len() {
+                    return Err(self.error("unterminated comment"));
+                }
+                self.pos = i + 2;
+                continue;
+            }
+            if self.bytes[self.pos..].starts_with(b"//") {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.bytes.get(self.pos) == Some(&b'\\') {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        let Some(&c) = self.bytes.get(self.pos) else {
+            return Ok(None);
+        };
+        let line = self.line;
+        if c == b'"' {
+            let start = self.pos + 1;
+            let mut i = start;
+            while i < self.bytes.len() && self.bytes[i] != b'"' {
+                if self.bytes[i] == b'\n' {
+                    self.line += 1;
+                }
+                i += 1;
+            }
+            if i >= self.bytes.len() {
+                return Err(self.error("unterminated string"));
+            }
+            let s = std::str::from_utf8(&self.bytes[start..i])
+                .map_err(|_| self.error("non-UTF8 string"))?
+                .to_owned();
+            self.pos = i + 1;
+            return Ok(Some((Token::Str(s), line)));
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'+' || c == b'.' {
+            let start = self.pos;
+            let mut i = self.pos;
+            while i < self.bytes.len() {
+                let b = self.bytes[i];
+                if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'+' | b'.' | b'!') {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let s = std::str::from_utf8(&self.bytes[start..i])
+                .map_err(|_| self.error("non-UTF8 identifier"))?
+                .to_owned();
+            self.pos = i;
+            return Ok(Some((Token::Ident(s), line)));
+        }
+        if matches!(c, b'(' | b')' | b'{' | b'}' | b':' | b';' | b',') {
+            self.pos += 1;
+            return Ok(Some((Token::Punct(c), line)));
+        }
+        Err(self.error(format!("unexpected character '{}'", c as char)))
+    }
+}
+
+/// A generic parsed Liberty statement tree.
+#[derive(Debug, Clone, PartialEq)]
+struct Group {
+    name: String,
+    args: Vec<String>,
+    attrs: Vec<(String, String)>,
+    /// Complex attributes: `name (arg, arg, …);`
+    complex: Vec<(String, Vec<String>)>,
+    children: Vec<Group>,
+    line: usize,
+}
+
+impl Group {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require_attr(&self, name: &str) -> Result<&str, LibertyError> {
+        self.attr(name).ok_or_else(|| {
+            LibertyError::Semantic(format!("group '{}' missing attribute '{name}'", self.name))
+        })
+    }
+
+    fn complex_args(&self, name: &str) -> Option<&[String]> {
+        self.complex.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
+    }
+
+    fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.children.iter().filter(move |g| g.name == name)
+    }
+}
+
+struct GroupParser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Option<(Token, usize)>,
+}
+
+impl<'a> GroupParser<'a> {
+    fn new(text: &'a str) -> Self {
+        GroupParser { lexer: Lexer::new(text), lookahead: None }
+    }
+
+    fn peek(&mut self) -> Result<Option<&(Token, usize)>, LibertyError> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.lexer.next_token()?;
+        }
+        Ok(self.lookahead.as_ref())
+    }
+
+    fn next(&mut self) -> Result<Option<(Token, usize)>, LibertyError> {
+        if let Some(t) = self.lookahead.take() {
+            return Ok(Some(t));
+        }
+        self.lexer.next_token()
+    }
+
+    fn expect_punct(&mut self, p: u8) -> Result<usize, LibertyError> {
+        match self.next()? {
+            Some((Token::Punct(c), line)) if c == p => Ok(line),
+            Some((t, line)) => Err(LibertyError::Syntax {
+                line,
+                message: format!("expected '{}', got {t:?}", p as char),
+            }),
+            None => Err(LibertyError::Syntax {
+                line: self.lexer.line,
+                message: format!("expected '{}', got end of input", p as char),
+            }),
+        }
+    }
+
+    /// Parses one `name (args) { body }` group, assuming the name token has
+    /// already been consumed.
+    fn parse_group_after_name(&mut self, name: String, line: usize) -> Result<Group, LibertyError> {
+        let mut group =
+            Group { name, args: Vec::new(), attrs: Vec::new(), complex: Vec::new(), children: Vec::new(), line };
+        self.expect_punct(b'(')?;
+        loop {
+            match self.next()? {
+                Some((Token::Punct(b')'), _)) => break,
+                Some((Token::Punct(b','), _)) => {}
+                Some((Token::Ident(s), _)) | Some((Token::Str(s), _)) => group.args.push(s),
+                Some((t, l)) => {
+                    return Err(LibertyError::Syntax { line: l, message: format!("bad group arg {t:?}") })
+                }
+                None => {
+                    return Err(LibertyError::Syntax {
+                        line: self.lexer.line,
+                        message: "unexpected end of input in group args".into(),
+                    })
+                }
+            }
+        }
+        self.expect_punct(b'{')?;
+        self.parse_body(&mut group)?;
+        Ok(group)
+    }
+
+    fn parse_body(&mut self, group: &mut Group) -> Result<(), LibertyError> {
+        loop {
+            match self.next()? {
+                Some((Token::Punct(b'}'), _)) => return Ok(()),
+                Some((Token::Punct(b';'), _)) => {}
+                Some((Token::Ident(name), line)) => match self.peek()? {
+                    Some((Token::Punct(b':'), _)) => {
+                        let _ = self.next()?;
+                        let value = match self.next()? {
+                            Some((Token::Ident(v), _)) | Some((Token::Str(v), _)) => v,
+                            other => {
+                                return Err(LibertyError::Syntax {
+                                    line,
+                                    message: format!("bad attribute value {other:?}"),
+                                })
+                            }
+                        };
+                        self.expect_punct(b';')?;
+                        group.attrs.push((name, value));
+                    }
+                    Some((Token::Punct(b'('), _)) => {
+                        // Either a nested group or a complex attribute.
+                        // Decide by what follows the closing paren.
+                        let saved_name = name;
+                        let mut args = Vec::new();
+                        let _ = self.next()?; // consume '('
+                        loop {
+                            match self.next()? {
+                                Some((Token::Punct(b')'), _)) => break,
+                                Some((Token::Punct(b','), _)) => {}
+                                Some((Token::Ident(s), _)) | Some((Token::Str(s), _)) => args.push(s),
+                                other => {
+                                    return Err(LibertyError::Syntax {
+                                        line,
+                                        message: format!("bad argument {other:?}"),
+                                    })
+                                }
+                            }
+                        }
+                        match self.peek()? {
+                            Some((Token::Punct(b'{'), _)) => {
+                                let _ = self.next()?;
+                                let mut child = Group {
+                                    name: saved_name,
+                                    args,
+                                    attrs: Vec::new(),
+                                    complex: Vec::new(),
+                                    children: Vec::new(),
+                                    line,
+                                };
+                                self.parse_body(&mut child)?;
+                                group.children.push(child);
+                            }
+                            _ => {
+                                // complex attribute; optional trailing ';'
+                                if matches!(self.peek()?, Some((Token::Punct(b';'), _))) {
+                                    let _ = self.next()?;
+                                }
+                                group.complex.push((saved_name, args));
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(LibertyError::Syntax {
+                            line,
+                            message: format!("expected ':' or '(' after '{name}', got {other:?}"),
+                        })
+                    }
+                },
+                Some((t, line)) => {
+                    return Err(LibertyError::Syntax { line, message: format!("unexpected token {t:?}") })
+                }
+                None => {
+                    return Err(LibertyError::Syntax {
+                        line: self.lexer.line,
+                        message: "unexpected end of input (missing '}')".into(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Parses a library previously produced by [`write_library`] (or compatible
+/// hand-written text).
+///
+/// # Errors
+///
+/// Returns [`LibertyError`] on lexical, structural or semantic problems.
+pub fn parse_library(text: &str) -> Result<Library, LibertyError> {
+    let mut parser = GroupParser::new(text);
+    let root = match parser.next()? {
+        Some((Token::Ident(name), line)) if name == "library" => {
+            parser.parse_group_after_name(name, line)?
+        }
+        other => {
+            return Err(LibertyError::Syntax {
+                line: 1,
+                message: format!("expected 'library', got {other:?}"),
+            })
+        }
+    };
+    let name = root.args.first().cloned().unwrap_or_else(|| "unnamed".to_owned());
+    let vdd = parse_num(root.attr("nom_voltage").unwrap_or("1.2"))?;
+    let mut lib = Library::new(&name, vdd);
+    if let Some(v) = root.attr("default_input_slew") {
+        lib.default_input_slew = parse_num(v)?;
+    }
+    if let Some(v) = root.attr("default_output_load") {
+        lib.default_output_load = parse_num(v)?;
+    }
+    if let Some(v) = root.attr("wire_cap_per_fanout") {
+        lib.wire_cap_per_fanout = parse_num(v)?;
+    }
+    for cg in root.children_named("cell") {
+        lib.add_cell(parse_cell(cg)?);
+    }
+    Ok(lib)
+}
+
+fn parse_cell(g: &Group) -> Result<Cell, LibertyError> {
+    let name = g
+        .args
+        .first()
+        .cloned()
+        .ok_or_else(|| LibertyError::Semantic("cell without a name".into()))?;
+    let area = parse_num(g.require_attr("area")?)?;
+    let mut class = CellClass::Combinational;
+    if let Some(ff) = g.children_named("ff").next() {
+        class = CellClass::Flop {
+            clock: ff.require_attr("clocked_on")?.to_owned(),
+            data: ff.require_attr("next_state")?.to_owned(),
+            setup: parse_num(ff.attr("setup").unwrap_or("0"))?,
+            hold: parse_num(ff.attr("hold").unwrap_or("0"))?,
+        };
+    }
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for pg in g.children_named("pin") {
+        let pin_name = pg
+            .args
+            .first()
+            .cloned()
+            .ok_or_else(|| LibertyError::Semantic(format!("unnamed pin in cell {name}")))?;
+        match pg.attr("direction") {
+            Some("input") => inputs.push(InputPin {
+                name: pin_name,
+                capacitance: parse_num(pg.require_attr("capacitance")?)?,
+            }),
+            Some("output") => {
+                let function = BoolExpr::parse(pg.require_attr("function")?)?;
+                let max_capacitance = parse_num(pg.attr("max_capacitance").unwrap_or("1e-13"))?;
+                let mut arcs = Vec::new();
+                for tg in pg.children_named("timing") {
+                    arcs.push(parse_arc(tg)?);
+                }
+                outputs.push(OutputPin { name: pin_name, function, max_capacitance, arcs });
+            }
+            other => {
+                return Err(LibertyError::Semantic(format!(
+                    "pin {pin_name} of cell {name} has invalid direction {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(Cell { name, area, class, inputs, outputs })
+}
+
+fn parse_arc(g: &Group) -> Result<TimingArc, LibertyError> {
+    let related_pin = g.require_attr("related_pin")?.to_owned();
+    let sense = TimingSense::from_liberty(g.require_attr("timing_sense")?)
+        .ok_or_else(|| LibertyError::Semantic("invalid timing_sense".into()))?;
+    let table = |kind: &str| -> Result<Table2d, LibertyError> {
+        let tg = g
+            .children_named(kind)
+            .next()
+            .ok_or_else(|| LibertyError::Semantic(format!("timing group missing {kind}")))?;
+        parse_table(tg)
+    };
+    Ok(TimingArc {
+        related_pin,
+        sense,
+        cell_rise: table("cell_rise")?,
+        cell_fall: table("cell_fall")?,
+        rise_transition: table("rise_transition")?,
+        fall_transition: table("fall_transition")?,
+    })
+}
+
+fn parse_table(g: &Group) -> Result<Table2d, LibertyError> {
+    let idx1 = g
+        .complex_args("index_1")
+        .ok_or_else(|| LibertyError::Semantic("table missing index_1".into()))?;
+    let idx2 = g
+        .complex_args("index_2")
+        .ok_or_else(|| LibertyError::Semantic("table missing index_2".into()))?;
+    let rows = g
+        .complex_args("values")
+        .ok_or_else(|| LibertyError::Semantic("table missing values".into()))?;
+    let slew_axis = parse_num_list(idx1)?;
+    let load_axis = parse_num_list(idx2)?;
+    let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
+    for row in rows {
+        values.extend(parse_num_list(&[row.clone()])?);
+    }
+    Ok(Table2d::new(slew_axis, load_axis, values)?)
+}
+
+fn parse_num_list(args: &[String]) -> Result<Vec<f64>, LibertyError> {
+    let mut out = Vec::new();
+    for arg in args {
+        for piece in arg.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            out.push(parse_num(piece)?);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num(s: &str) -> Result<f64, LibertyError> {
+    s.trim()
+        .parse::<f64>()
+        .map_err(|_| LibertyError::Semantic(format!("invalid number '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library_fixture() -> Library {
+        let mut lib = Library::new("fixture", 1.2);
+        lib.default_input_slew = 25e-12;
+        lib.wire_cap_per_fanout = 0.3e-15;
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        let mut dff = Cell::test_inverter("DFF_X1");
+        dff.class = CellClass::Flop {
+            clock: "CK".into(),
+            data: "D".into(),
+            setup: 30e-12,
+            hold: 5e-12,
+        };
+        lib.add_cell(dff);
+        lib
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let lib = library_fixture();
+        let text = write_library(&lib);
+        let parsed = parse_library(&text).expect("round trip parses");
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let lib = library_fixture();
+        let mut text = write_library(&lib);
+        text = text.replace("area :", "/* layout */ area :");
+        text.insert_str(0, "// generated\n");
+        let parsed = parse_library(&text).expect("tolerates comments");
+        assert_eq!(parsed.len(), lib.len());
+    }
+
+    #[test]
+    fn syntax_errors_have_lines() {
+        let text = "library (x) {\n  cell (INV) {\n    area 0.8;\n  }\n}";
+        match parse_library(text) {
+            Err(LibertyError::Syntax { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_table_is_semantic_error() {
+        let text = r#"library (x) {
+  cell (INV) {
+    area : 1;
+    pin (A) { direction : input; capacitance : 1e-15; }
+    pin (Y) {
+      direction : output;
+      function : "!A";
+      timing () { related_pin : "A"; timing_sense : negative_unate; }
+    }
+  }
+}"#;
+        assert!(matches!(parse_library(text), Err(LibertyError::Semantic(_))));
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let text = "library (x) { cell (C) { area : \"1";
+        assert!(parse_library(text).is_err());
+    }
+
+    #[test]
+    fn flop_metadata_round_trips() {
+        let lib = library_fixture();
+        let parsed = parse_library(&write_library(&lib)).unwrap();
+        match &parsed.cell("DFF_X1").unwrap().class {
+            CellClass::Flop { clock, data, setup, hold } => {
+                assert_eq!(clock, "CK");
+                assert_eq!(data, "D");
+                assert!((setup - 30e-12).abs() < 1e-18);
+                assert!((hold - 5e-12).abs() < 1e-18);
+            }
+            CellClass::Combinational => panic!("lost flop class"),
+        }
+    }
+
+    #[test]
+    fn empty_library_round_trips() {
+        let lib = Library::new("empty", 1.0);
+        let parsed = parse_library(&write_library(&lib)).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.name, "empty");
+    }
+}

@@ -1,0 +1,162 @@
+//! NLDM timing-library model with a Liberty-subset text format.
+//!
+//! This crate plays the role of the Liberty (`.lib`) infrastructure in the
+//! paper's flow: non-linear delay-model lookup tables indexed by input slew
+//! and output load (the *operating conditions*, OPCs, central to the paper),
+//! cells with per-arc rise/fall delay and output-slew tables, boolean pin
+//! functions, and the merge/index scheme of Sec. 4.1 that combines the
+//! per-(λp, λn) degradation-aware libraries into one *complete* library with
+//! cells renamed like `NAND2_X1_0.40_0.60`.
+//!
+//! A writer and parser for a Liberty-style text subset make libraries
+//! persistent — characterized libraries are cached on disk in this format.
+//!
+//! # Example
+//!
+//! ```
+//! use liberty::{BoolExpr, Table2d};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = BoolExpr::parse("!(A1 & A2)")?; // a NAND2
+//! assert!(f.eval(&|pin: &str| pin == "A1")); // A1=1, A2=0 → Y=1
+//!
+//! let t = Table2d::new(
+//!     vec![5e-12, 100e-12],
+//!     vec![0.5e-15, 20e-15],
+//!     vec![10e-12, 30e-12, 15e-12, 45e-12],
+//! )?;
+//! let mid = t.value(50e-12, 10e-15);
+//! assert!(mid > 10e-12 && mid < 45e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cell;
+mod check;
+mod error;
+mod expr;
+mod format;
+mod merge;
+mod table;
+
+pub use cell::{Cell, CellClass, InputPin, OutputPin, TimingArc, TimingSense};
+pub use check::LibraryIssue;
+pub use error::{LibertyError, ParseExprError, TableError};
+pub use expr::BoolExpr;
+pub use format::{parse_library, write_library};
+pub use merge::{merge_indexed, split_lambda_tag, LambdaTag};
+pub use table::Table2d;
+
+use std::collections::BTreeMap;
+
+/// A timing library: a named set of characterized cells plus the shared
+/// environment (supply voltage, default slew/load assumptions, a simple
+/// per-fanout wire-load model).
+///
+/// Cells are stored by exact name; degradation-aware merged libraries store
+/// many λ-indexed variants of each base cell (see [`merge_indexed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    /// Library name, e.g. `aged_1.00_1.00`.
+    pub name: String,
+    /// Supply voltage the cells were characterized at.
+    pub vdd: f64,
+    /// Input slew assumed at primary inputs during STA (seconds).
+    pub default_input_slew: f64,
+    /// Load assumed at primary outputs during STA (farad).
+    pub default_output_load: f64,
+    /// Extra wire capacitance added per fanout pin (farad) — a minimal
+    /// wire-load model.
+    pub wire_cap_per_fanout: f64,
+    cells: BTreeMap<String, Cell>,
+}
+
+impl Library {
+    /// Creates an empty library named `name`, characterized at `vdd`.
+    #[must_use]
+    pub fn new(name: &str, vdd: f64) -> Self {
+        Library {
+            name: name.to_owned(),
+            vdd,
+            default_input_slew: 20.0e-12,
+            default_output_load: 4.0e-15,
+            wire_cap_per_fanout: 0.2e-15,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a cell, returning the previous cell of that name.
+    pub fn add_cell(&mut self, cell: Cell) -> Option<Cell> {
+        self.cells.insert(cell.name.clone(), cell)
+    }
+
+    /// Looks up a cell by exact name.
+    #[must_use]
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.get(name)
+    }
+
+    /// Iterates over all cells in name order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the library has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All cells whose λ-stripped base name equals `base` (see
+    /// [`split_lambda_tag`]); used on merged complete libraries.
+    pub fn cells_with_base<'a>(&'a self, base: &'a str) -> impl Iterator<Item = &'a Cell> + 'a {
+        self.cells.values().filter(move |c| split_lambda_tag(&c.name).0 == base)
+    }
+
+    /// Removes a cell by name.
+    pub fn remove_cell(&mut self, name: &str) -> Option<Cell> {
+        self.cells.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_library() {
+        let lib = Library::new("test", 1.2);
+        assert!(lib.is_empty());
+        assert_eq!(lib.len(), 0);
+        assert_eq!(lib.cell("INV_X1"), None);
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut lib = Library::new("test", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        assert_eq!(lib.len(), 1);
+        assert!(lib.cell("INV_X1").is_some());
+        assert!(!lib.is_empty());
+        let replaced = lib.add_cell(Cell::test_inverter("INV_X1"));
+        assert!(replaced.is_some());
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn base_name_filter() {
+        let mut lib = Library::new("merged", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1_0.00_0.00"));
+        lib.add_cell(Cell::test_inverter("INV_X1_1.00_1.00"));
+        lib.add_cell(Cell::test_inverter("INV_X2_1.00_1.00"));
+        assert_eq!(lib.cells_with_base("INV_X1").count(), 2);
+        assert_eq!(lib.cells_with_base("INV_X2").count(), 1);
+        assert_eq!(lib.cells_with_base("NAND2_X1").count(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Merging per-scenario degradation-aware libraries into one *complete*
+//! library (paper Sec. 4.1): every cell of every input library is copied
+//! with a `_{λp}_{λn}` suffix so a timing tool sees the delay of each cell
+//! under every characterized stress case simultaneously.
+
+use crate::Library;
+
+/// The duty-cycle pair identifying one aging stress case of a merged cell,
+/// ordered `(λ_pMOS, λ_nMOS)` as in the paper's `AND2_0.4_0.6` example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LambdaTag {
+    /// pMOS duty cycle.
+    pub lambda_pmos: f64,
+    /// nMOS duty cycle.
+    pub lambda_nmos: f64,
+}
+
+impl LambdaTag {
+    /// Formats the suffix appended to cell names, e.g. `0.40_0.60`.
+    #[must_use]
+    pub fn suffix(&self) -> String {
+        format!("{:.2}_{:.2}", self.lambda_pmos, self.lambda_nmos)
+    }
+}
+
+/// Merges `(tag, library)` pairs into one complete degradation-aware
+/// library named `name`. Each cell `C` of a library tagged `(λp, λn)`
+/// becomes `C_{λp:.2}_{λn:.2}`.
+///
+/// The environment fields (vdd, defaults) are taken from the first library.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+#[must_use]
+pub fn merge_indexed(name: &str, parts: &[(LambdaTag, Library)]) -> Library {
+    assert!(!parts.is_empty(), "cannot merge zero libraries");
+    let mut merged = Library::new(name, parts[0].1.vdd);
+    merged.default_input_slew = parts[0].1.default_input_slew;
+    merged.default_output_load = parts[0].1.default_output_load;
+    merged.wire_cap_per_fanout = parts[0].1.wire_cap_per_fanout;
+    for (tag, lib) in parts {
+        for cell in lib.cells() {
+            let mut renamed = cell.clone();
+            renamed.name = format!("{}_{}", cell.name, tag.suffix());
+            merged.add_cell(renamed);
+        }
+    }
+    merged
+}
+
+/// Splits a (possibly λ-indexed) cell name into its base name and tag:
+/// `"NAND2_X1_0.40_0.60"` → `("NAND2_X1", Some(tag))`; names without a
+/// valid numeric double-suffix return `(name, None)`.
+#[must_use]
+pub fn split_lambda_tag(name: &str) -> (&str, Option<LambdaTag>) {
+    let mut parts = name.rsplitn(3, '_');
+    let (Some(last), Some(mid), Some(rest)) = (parts.next(), parts.next(), parts.next()) else {
+        return (name, None);
+    };
+    match (mid.parse::<f64>(), last.parse::<f64>()) {
+        (Ok(lambda_pmos), Ok(lambda_nmos))
+            if (0.0..=1.0).contains(&lambda_pmos) && (0.0..=1.0).contains(&lambda_nmos) =>
+        {
+            (rest, Some(LambdaTag { lambda_pmos, lambda_nmos }))
+        }
+        _ => (name, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cell;
+
+    fn lib_with(names: &[&str]) -> Library {
+        let mut lib = Library::new("part", 1.2);
+        for n in names {
+            lib.add_cell(Cell::test_inverter(n));
+        }
+        lib
+    }
+
+    #[test]
+    fn merge_renames_cells() {
+        let a = lib_with(&["INV_X1", "NAND2_X1"]);
+        let b = lib_with(&["INV_X1", "NAND2_X1"]);
+        let merged = merge_indexed(
+            "complete",
+            &[
+                (LambdaTag { lambda_pmos: 0.0, lambda_nmos: 0.0 }, a),
+                (LambdaTag { lambda_pmos: 1.0, lambda_nmos: 1.0 }, b),
+            ],
+        );
+        assert_eq!(merged.len(), 4);
+        assert!(merged.cell("INV_X1_0.00_0.00").is_some());
+        assert!(merged.cell("NAND2_X1_1.00_1.00").is_some());
+        assert!(merged.cell("INV_X1").is_none());
+    }
+
+    #[test]
+    fn paper_example_naming() {
+        let tag = LambdaTag { lambda_pmos: 0.4, lambda_nmos: 0.6 };
+        assert_eq!(tag.suffix(), "0.40_0.60");
+    }
+
+    #[test]
+    fn split_round_trip() {
+        let (base, tag) = split_lambda_tag("NAND2_X1_0.40_0.60");
+        assert_eq!(base, "NAND2_X1");
+        let tag = tag.unwrap();
+        assert!((tag.lambda_pmos - 0.4).abs() < 1e-12);
+        assert!((tag.lambda_nmos - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_rejects_plain_names() {
+        assert_eq!(split_lambda_tag("NAND2_X1"), ("NAND2_X1", None));
+        assert_eq!(split_lambda_tag("INV"), ("INV", None));
+        // Out-of-range numbers are not λ tags.
+        assert!(split_lambda_tag("ADDER_3_9").1.is_none());
+        // A drive strength is not a λ tag either (X1 does not parse).
+        assert!(split_lambda_tag("FOO_X1_0.5").1.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero libraries")]
+    fn empty_merge_panics() {
+        let _ = merge_indexed("x", &[]);
+    }
+}

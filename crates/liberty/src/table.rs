@@ -1,0 +1,292 @@
+use crate::error::TableError;
+
+/// A 2-D NLDM lookup table indexed by input slew (axis 1) and output load
+/// (axis 2), with bilinear interpolation inside the grid and linear
+/// extrapolation outside it.
+///
+/// The paper characterizes every cell at 7 slews × 7 loads (49 operating
+/// conditions); tables of any rectangular size — including degenerate 1×1
+/// "single OPC" tables for the state-of-the-art comparison of Fig. 5(b) —
+/// are supported.
+///
+/// Values are stored row-major: `values[slew_index * loads + load_index]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2d {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Table2d {
+    /// Creates a table from its axes and row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError`] if an axis is empty or not strictly
+    /// increasing, if any entry is non-finite, or if
+    /// `values.len() != slew_axis.len() * load_axis.len()`.
+    pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<f64>) -> Result<Self, TableError> {
+        check_axis("slew", &slew_axis)?;
+        check_axis("load", &load_axis)?;
+        if values.len() != slew_axis.len() * load_axis.len() {
+            return Err(TableError {
+                message: format!(
+                    "expected {} values for a {}x{} table, got {}",
+                    slew_axis.len() * load_axis.len(),
+                    slew_axis.len(),
+                    load_axis.len(),
+                    values.len()
+                ),
+            });
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(TableError { message: format!("non-finite table value {bad}") });
+        }
+        Ok(Table2d { slew_axis, load_axis, values })
+    }
+
+    /// A degenerate 1×1 table that returns `value` everywhere — the
+    /// "single operating condition" model of the related work in Fig. 5(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value`, `slew` or `load` is not finite.
+    #[must_use]
+    pub fn constant(slew: f64, load: f64, value: f64) -> Self {
+        Table2d::new(vec![slew], vec![load], vec![value]).expect("1x1 table is always valid")
+    }
+
+    /// The input-slew axis in seconds.
+    #[must_use]
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The output-load axis in farad.
+    #[must_use]
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// The row-major values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stored value at grid indexes `(slew_index, load_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn at(&self, slew_index: usize, load_index: usize) -> f64 {
+        assert!(slew_index < self.slew_axis.len() && load_index < self.load_axis.len());
+        self.values[slew_index * self.load_axis.len() + load_index]
+    }
+
+    /// Looks up the table at `(slew, load)`: bilinear interpolation inside
+    /// the grid, linear extrapolation from the edge gradient outside it
+    /// (matching common STA tool behavior). Degenerate single-point axes
+    /// return the edge value in that dimension.
+    #[must_use]
+    pub fn value(&self, slew: f64, load: f64) -> f64 {
+        let (i0, i1, fs) = bracket(&self.slew_axis, slew);
+        let (j0, j1, fl) = bracket(&self.load_axis, load);
+        let v00 = self.at(i0, j0);
+        let v01 = self.at(i0, j1);
+        let v10 = self.at(i1, j0);
+        let v11 = self.at(i1, j1);
+        let a = v00 + (v10 - v00) * fs;
+        let b = v01 + (v11 - v01) * fs;
+        a + (b - a) * fl
+    }
+
+    /// Applies `f` to every value, producing a new table on the same grid.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Table2d {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two tables defined on identical grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError`] if the grids differ.
+    pub fn zip_with(&self, other: &Table2d, f: impl Fn(f64, f64) -> f64) -> Result<Self, TableError> {
+        if self.slew_axis != other.slew_axis || self.load_axis != other.load_axis {
+            return Err(TableError { message: "grid mismatch in table combination".into() });
+        }
+        Ok(Table2d {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self.values.iter().zip(&other.values).map(|(&a, &b)| f(a, b)).collect(),
+        })
+    }
+
+    /// Collapses this table to the 1×1 "single OPC" table at the grid point
+    /// nearest `(slew, load)` — used to emulate single-operating-condition
+    /// state of the art.
+    #[must_use]
+    pub fn collapsed_to(&self, slew: f64, load: f64) -> Self {
+        let i = nearest(&self.slew_axis, slew);
+        let j = nearest(&self.load_axis, load);
+        Table2d::constant(self.slew_axis[i], self.load_axis[j], self.at(i, j))
+    }
+
+    /// Maximum stored value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum stored value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn check_axis(name: &str, axis: &[f64]) -> Result<(), TableError> {
+    if axis.is_empty() {
+        return Err(TableError { message: format!("{name} axis is empty") });
+    }
+    if axis.iter().any(|v| !v.is_finite()) {
+        return Err(TableError { message: format!("{name} axis has non-finite entries") });
+    }
+    if axis.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(TableError { message: format!("{name} axis must be strictly increasing") });
+    }
+    Ok(())
+}
+
+/// Returns `(i0, i1, frac)` such that the query sits at `frac` between axis
+/// points `i0` and `i1`; `frac` may exceed [0, 1] for extrapolation.
+fn bracket(axis: &[f64], q: f64) -> (usize, usize, f64) {
+    let n = axis.len();
+    if n == 1 {
+        return (0, 0, 0.0);
+    }
+    let mut i1 = axis.partition_point(|&a| a < q).clamp(1, n - 1);
+    let mut i0 = i1 - 1;
+    // For queries beyond the last point use the final segment's gradient.
+    if q > axis[n - 1] {
+        i0 = n - 2;
+        i1 = n - 1;
+    }
+    let span = axis[i1] - axis[i0];
+    let frac = if span > 0.0 { (q - axis[i0]) / span } else { 0.0 };
+    (i0, i1, frac)
+}
+
+fn nearest(axis: &[f64], q: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &a) in axis.iter().enumerate() {
+        let d = (a - q).abs();
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table2d {
+        // delays grow with slew and load
+        Table2d::new(
+            vec![10e-12, 100e-12, 500e-12],
+            vec![1e-15, 10e-15],
+            vec![10e-12, 30e-12, 15e-12, 40e-12, 25e-12, 60e-12],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert_eq!(t.value(10e-12, 1e-15), 10e-12);
+        assert_eq!(t.value(100e-12, 10e-15), 40e-12);
+        assert_eq!(t.value(500e-12, 1e-15), 25e-12);
+        assert_eq!(t.at(2, 1), 60e-12);
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let t = table();
+        let v = t.value(55e-12, 5.5e-15);
+        // Mid of the first cell: average of its four corners.
+        let expected = (10e-12 + 30e-12 + 15e-12 + 40e-12) / 4.0;
+        assert!((v - expected).abs() < 1e-15, "v = {v}");
+    }
+
+    #[test]
+    fn extrapolation_beyond_edges() {
+        let t = table();
+        // Beyond max load: linear continuation of last segment.
+        let inside = t.value(10e-12, 10e-15);
+        let outside = t.value(10e-12, 19e-15);
+        assert!(outside > inside);
+        let expected = 30e-12 + (30e-12 - 10e-12) / 9e-15 * 9e-15;
+        assert!((outside - expected).abs() < 1e-13);
+        // Below min slew.
+        let below = t.value(0.0, 1e-15);
+        assert!(below < 10e-12);
+    }
+
+    #[test]
+    fn constant_table_everywhere() {
+        let t = Table2d::constant(20e-12, 4e-15, 42e-12);
+        assert_eq!(t.value(0.0, 0.0), 42e-12);
+        assert_eq!(t.value(1.0, 1.0), 42e-12);
+        assert_eq!(t.max_value(), 42e-12);
+        assert_eq!(t.min_value(), 42e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Table2d::new(vec![], vec![1.0], vec![]).is_err());
+        assert!(Table2d::new(vec![1.0, 1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(Table2d::new(vec![2.0, 1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(Table2d::new(vec![1.0, 2.0], vec![1.0], vec![1.0]).is_err());
+        assert!(Table2d::new(vec![1.0], vec![1.0], vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let t = table();
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.at(0, 0), 20e-12);
+        let ratio = doubled.zip_with(&t, |a, b| a / b).unwrap();
+        assert!((ratio.at(2, 1) - 2.0).abs() < 1e-12);
+        let other = Table2d::constant(1.0, 1.0, 1.0);
+        assert!(t.zip_with(&other, |a, _| a).is_err());
+    }
+
+    #[test]
+    fn collapse_picks_nearest_point() {
+        let t = table();
+        let c = t.collapsed_to(90e-12, 0.0);
+        assert_eq!(c.values(), &[15e-12]); // slew 100p row, load 1f column
+        assert_eq!(c.value(500e-12, 10e-15), 15e-12);
+    }
+
+    #[test]
+    fn interpolation_bounded_by_corners_inside_grid() {
+        let t = table();
+        for &s in &[10e-12, 55e-12, 300e-12, 500e-12] {
+            for &l in &[1e-15, 2e-15, 9e-15, 10e-15] {
+                let v = t.value(s, l);
+                assert!(v >= t.min_value() - 1e-18 && v <= t.max_value() + 1e-18);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: table interpolation invariants and library
+//! round-tripping through the Liberty-subset text format.
+
+use liberty::{
+    merge_indexed, parse_library, split_lambda_tag, write_library, BoolExpr, Cell, CellClass,
+    InputPin, LambdaTag, Library, OutputPin, Table2d, TimingArc, TimingSense,
+};
+use proptest::prelude::*;
+
+fn axis(max_len: usize, scale: f64) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..1000.0, 1..=max_len).prop_map(move |mut v| {
+        v.sort_by(f64::total_cmp);
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut acc = 0.0;
+        v.iter_mut()
+            .map(|x| {
+                acc += *x * scale;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn table() -> impl Strategy<Value = Table2d> {
+    (axis(7, 1e-12), axis(7, 1e-15)).prop_flat_map(|(slews, loads)| {
+        let n = slews.len() * loads.len();
+        prop::collection::vec(1e-12f64..1e-9, n)
+            .prop_map(move |values| Table2d::new(slews.clone(), loads.clone(), values).expect("valid"))
+    })
+}
+
+proptest! {
+    /// Inside the grid, bilinear interpolation is bounded by the extreme
+    /// table entries.
+    #[test]
+    fn interpolation_bounded(t in table(), fs in 0.0f64..1.0, fl in 0.0f64..1.0) {
+        let s0 = t.slew_axis()[0];
+        let s1 = *t.slew_axis().last().unwrap();
+        let l0 = t.load_axis()[0];
+        let l1 = *t.load_axis().last().unwrap();
+        let v = t.value(s0 + fs * (s1 - s0), l0 + fl * (l1 - l0));
+        prop_assert!(v >= t.min_value() - 1e-18);
+        prop_assert!(v <= t.max_value() + 1e-18);
+    }
+
+    /// Lookup at grid points returns the stored values exactly (within fp).
+    #[test]
+    fn grid_points_exact(t in table()) {
+        for (i, &s) in t.slew_axis().iter().enumerate() {
+            for (j, &l) in t.load_axis().iter().enumerate() {
+                let v = t.value(s, l);
+                prop_assert!((v - t.at(i, j)).abs() <= 1e-9 * t.at(i, j).abs() + 1e-21);
+            }
+        }
+    }
+
+    /// Collapsing to a single OPC yields a constant table.
+    #[test]
+    fn collapse_is_constant(t in table(), s in 0.0f64..1e-8, l in 0.0f64..1e-13) {
+        let c = t.collapsed_to(s, l);
+        prop_assert_eq!(c.values().len(), 1);
+        prop_assert_eq!(c.value(0.0, 0.0), c.value(1.0, 1.0));
+    }
+
+    /// Libraries round-trip exactly through write → parse.
+    #[test]
+    fn library_text_round_trip(
+        tables in prop::collection::vec(table(), 1..4),
+        area in 0.1f64..50.0,
+        seq in any::<bool>(),
+    ) {
+        let mut lib = Library::new("prop", 1.2);
+        for (k, t) in tables.into_iter().enumerate() {
+            let name = format!("CELL{k}_X1");
+            let mut cell = Cell {
+                name: name.clone(),
+                area,
+                class: CellClass::Combinational,
+                inputs: vec![InputPin { name: "A".into(), capacitance: 1e-15 * (k + 1) as f64 }],
+                outputs: vec![OutputPin {
+                    name: "Y".into(),
+                    function: BoolExpr::parse("!A").unwrap(),
+                    max_capacitance: 3e-14,
+                    arcs: vec![TimingArc {
+                        related_pin: "A".into(),
+                        sense: TimingSense::NegativeUnate,
+                        cell_rise: t.clone(),
+                        cell_fall: t.map(|v| v * 1.1),
+                        rise_transition: t.map(|v| v * 0.5),
+                        fall_transition: t.map(|v| v * 0.4),
+                    }],
+                }],
+            };
+            if seq && k == 0 {
+                cell.class = CellClass::Flop {
+                    clock: "CK".into(),
+                    data: "D".into(),
+                    setup: 3e-11,
+                    hold: 2e-12,
+                };
+            }
+            lib.add_cell(cell);
+        }
+        let parsed = parse_library(&write_library(&lib)).expect("round trip");
+        prop_assert_eq!(parsed, lib);
+    }
+
+    /// λ-tag naming round-trips through merge and split.
+    #[test]
+    fn lambda_tag_round_trip(p in 0u32..=10, n in 0u32..=10) {
+        let tag = LambdaTag {
+            lambda_pmos: f64::from(p) / 10.0,
+            lambda_nmos: f64::from(n) / 10.0,
+        };
+        let mut lib = Library::new("one", 1.2);
+        lib.add_cell(Cell::test_inverter("NAND2_X1"));
+        let merged = merge_indexed("m", &[(tag, lib)]);
+        let merged_name = merged.cells().next().unwrap().name.clone();
+        let (base, parsed) = split_lambda_tag(&merged_name);
+        prop_assert_eq!(base, "NAND2_X1");
+        let parsed = parsed.expect("tag parses");
+        prop_assert!((parsed.lambda_pmos - tag.lambda_pmos).abs() < 5e-3);
+        prop_assert!((parsed.lambda_nmos - tag.lambda_nmos).abs() < 5e-3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Event-driven timing simulation with per-arc delays.
+//!
+//! This is the mechanism behind the paper's system-level study (Sec. 5):
+//! the circuit runs at a fixed clock period while its gates carry the
+//! delays of a chosen aging scenario. Flip-flops and primary outputs sample
+//! at each clock edge, so any combinational path that has not settled by
+//! then silently captures a wrong value — a *timing error* that corrupts
+//! data exactly as on aged silicon.
+
+use crate::structure::SimStructure;
+use crate::SimError;
+use liberty::Library;
+use netlist::{DelayAnnotation, InstId, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of a timing-accurate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRun {
+    /// Primary-output values sampled at the end of each cycle (port order).
+    pub outputs: Vec<Vec<bool>>,
+    /// Events that were still pending when their cycle's sampling edge
+    /// arrived — a direct count of timing-violation opportunities.
+    pub late_events: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    net: usize,
+    value: bool,
+    /// Net-schedule version for inertial-delay preemption: an event is
+    /// dropped if a newer transition was scheduled on its net after it.
+    version: u64,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates `vectors` at clock period `period` with the per-arc delays of
+/// `delays` (unannotated arcs default to zero delay).
+///
+/// Per cycle `k`: at `t = k·period` the inputs take vector `k` and the
+/// flops drive their captured state through their clk→Q delay; events then
+/// propagate through the combinational network; just before
+/// `t = (k+1)·period` the primary outputs are sampled and the flops capture
+/// whatever value their data nets hold *at that instant* — settled or not.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for broken netlists, loops or mis-sized vectors.
+///
+/// # Panics
+///
+/// Panics if `period` is not positive and finite.
+pub fn run_timed(
+    netlist: &Netlist,
+    library: &Library,
+    delays: &DelayAnnotation,
+    period: f64,
+    clock_port: Option<&str>,
+    vectors: &[Vec<bool>],
+) -> Result<TimedRun, SimError> {
+    assert!(period.is_finite() && period > 0.0, "clock period must be positive");
+    let s = SimStructure::build(netlist, library, clock_port)?;
+    // Settle the initial state (all inputs low, flops at 0) with zero
+    // delays so event propagation starts from a consistent network.
+    let mut value = vec![false; s.n_nets];
+    for &k in &s.comb_order {
+        let row = s.input_row(k, &value);
+        let inst = &s.insts[k];
+        for (o, net) in inst.output_nets.iter().enumerate() {
+            if let Some(net) = net {
+                value[net.index()] = inst.cell.eval(o, row);
+            }
+        }
+    }
+    let mut target = value.clone();
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // Inertial-delay preemption: the latest scheduled transition per net
+    // invalidates all earlier pending ones (narrow pulses are swallowed).
+    let mut version = vec![0u64; s.n_nets];
+    let mut flop_state = vec![false; s.flops.len()];
+    let mut outputs = Vec::with_capacity(vectors.len());
+    let mut late_events = 0usize;
+
+    let mut schedule =
+        |queue: &mut BinaryHeap<Reverse<Event>>, version: &mut Vec<u64>, time: f64, net: usize, v: bool| {
+            seq += 1;
+            version[net] += 1;
+            queue.push(Reverse(Event { time, seq, net, value: v, version: version[net] }));
+        };
+
+    for (cycle, vector) in vectors.iter().enumerate() {
+        if vector.len() != s.inputs.len() {
+            return Err(SimError::VectorWidth { expected: s.inputs.len(), got: vector.len() });
+        }
+        let t_edge = cycle as f64 * period;
+        let t_sample = (cycle as f64 + 1.0) * period;
+
+        // Apply inputs at the edge.
+        for (net, &v) in s.inputs.iter().zip(vector) {
+            if target[net.index()] != v {
+                target[net.index()] = v;
+                schedule(&mut queue, &mut version, t_edge, net.index(), v);
+            }
+        }
+        // Flops drive captured state after clk→Q.
+        for (fi, &k) in s.flops.iter().enumerate() {
+            let inst = &s.insts[k];
+            for (o, net) in inst.output_nets.iter().enumerate() {
+                let Some(net) = net else { continue };
+                let v = flop_state[fi];
+                if target[net.index()] != v {
+                    target[net.index()] = v;
+                    let (in_pin, out_pin) =
+                        (inst.cell.flop.as_ref().expect("flop").0.clone(), inst.cell.outputs[o].0.clone());
+                    let d = delays
+                        .get(InstId::from_index(k), &in_pin, &out_pin)
+                        .map_or(0.0, |a| if v { a.rise } else { a.fall });
+                    schedule(&mut queue, &mut version, t_edge + d, net.index(), v);
+                }
+            }
+        }
+
+        // Drain events strictly before the sampling edge.
+        while queue.peek().is_some_and(|Reverse(e)| e.time < t_sample) {
+            let Reverse(e) = queue.pop().expect("peeked");
+            if e.version != version[e.net] || value[e.net] == e.value {
+                continue;
+            }
+            value[e.net] = e.value;
+            for &(k, _pos) in &s.net_sinks[e.net] {
+                let inst = &s.insts[k];
+                if inst.is_flop {
+                    continue; // flops sample only at the clock edge
+                }
+                let row = s.input_row(k, &value);
+                for (o, out_net) in inst.output_nets.iter().enumerate() {
+                    let Some(out_net) = out_net else { continue };
+                    let new = inst.cell.eval(o, row);
+                    if target[out_net.index()] != new {
+                        target[out_net.index()] = new;
+                        // Delay of the arc from the pin that just changed.
+                        let in_pin = inst
+                            .input_nets
+                            .iter()
+                            .position(|n| n.index() == e.net)
+                            .map(|p| inst.cell.inputs[p].clone())
+                            .unwrap_or_default();
+                        let out_pin = &inst.cell.outputs[o].0;
+                        let d = delays
+                            .get(InstId::from_index(k), &in_pin, out_pin)
+                            .map_or(0.0, |a| if new { a.rise } else { a.fall });
+                        schedule(&mut queue, &mut version, e.time + d, out_net.index(), new);
+                    }
+                }
+            }
+        }
+        late_events += queue
+            .iter()
+            .filter(|Reverse(e)| e.version == version[e.net] && e.value != value[e.net])
+            .count();
+
+        // Sample primary outputs and capture flop data at the edge.
+        outputs.push(s.outputs.iter().map(|n| value[n.index()]).collect());
+        for (fi, &k) in s.flops.iter().enumerate() {
+            if let Some(pos) = s.insts[k].data_pos {
+                flop_state[fi] = value[s.insts[k].input_nets[pos].index()];
+            }
+        }
+    }
+    Ok(TimedRun { outputs, late_events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_cycles;
+    use liberty::{Cell, Library};
+    use netlist::{ArcDelays, PortDir};
+
+    fn lib() -> Library {
+        let mut lib = Library::new("l", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next =
+                if k + 1 == n { nl.add_port("y", PortDir::Output) } else { nl.add_net(&format!("n{k}")) };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    fn annotate(nl: &Netlist, d: f64) -> DelayAnnotation {
+        let mut ann = DelayAnnotation::new();
+        for id in nl.instance_ids() {
+            ann.set(id, "A", "Y", ArcDelays { rise: d, fall: d });
+        }
+        ann
+    }
+
+    #[test]
+    fn matches_zero_delay_with_slack() {
+        // 4 inverters × 10 ps ≪ 1 ns period: timed == functional.
+        let nl = chain(4);
+        let lib = lib();
+        let ann = annotate(&nl, 10e-12);
+        let vectors: Vec<Vec<bool>> = (0..8).map(|k| vec![k % 3 == 0]).collect();
+        let golden = run_cycles(&nl, &lib, None, &vectors).unwrap();
+        let timed = run_timed(&nl, &lib, &ann, 1e-9, None, &vectors).unwrap();
+        assert_eq!(timed.outputs, golden.outputs);
+        assert_eq!(timed.late_events, 0);
+    }
+
+    #[test]
+    fn violations_corrupt_outputs() {
+        // 4 inverters × 400 ps ≫ 1 ns period: the output lags the input.
+        let nl = chain(4);
+        let lib = lib();
+        let ann = annotate(&nl, 400e-12);
+        let vectors: Vec<Vec<bool>> = (0..8).map(|k| vec![k % 2 == 0]).collect();
+        let golden = run_cycles(&nl, &lib, None, &vectors).unwrap();
+        let timed = run_timed(&nl, &lib, &ann, 1e-9, None, &vectors).unwrap();
+        assert_ne!(timed.outputs, golden.outputs, "slow gates must corrupt sampling");
+        assert!(timed.late_events > 0);
+    }
+
+    #[test]
+    fn boundary_speed_just_fits() {
+        // 4 × 100 ps = 400 ps < 500 ps period: correct but tight.
+        let nl = chain(4);
+        let lib = lib();
+        let ann = annotate(&nl, 100e-12);
+        let vectors: Vec<Vec<bool>> = (0..6).map(|k| vec![k % 2 == 0]).collect();
+        let golden = run_cycles(&nl, &lib, None, &vectors).unwrap();
+        let timed = run_timed(&nl, &lib, &ann, 500e-12, None, &vectors).unwrap();
+        assert_eq!(timed.outputs, golden.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let nl = chain(1);
+        let _ = run_timed(&nl, &lib(), &DelayAnnotation::new(), 0.0, None, &[vec![true]]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Netlist annotation for dynamic aging stress (paper Sec. 4.2).
+//!
+//! After a gate-level simulation extracts the average duty cycles of the
+//! pMOS/nMOS transistors of every instance, the netlist is rewritten so each
+//! instance references the λ-indexed variant of its cell inside the
+//! *complete* degradation-aware library: `AND2_X1` with
+//! `Avg(λ_pmos) = 0.4, Avg(λ_nmos) = 0.6` becomes `AND2_X1_0.40_0.60`.
+
+use crate::{InstId, Netlist};
+use liberty::LambdaTag;
+
+/// Rewrites cell references to their λ-indexed names.
+///
+/// `duty_of` returns the `(λ_pmos, λ_nmos)` pair of each instance, already
+/// quantized to the grid the complete library was built with; instances for
+/// which it returns `None` keep their original cell name (useful to exempt
+/// e.g. clock-tree cells).
+#[must_use]
+pub fn annotated_with_lambda(
+    netlist: &Netlist,
+    duty_of: impl Fn(InstId) -> Option<LambdaTag>,
+) -> Netlist {
+    let mut out = netlist.clone();
+    for id in netlist.instance_ids() {
+        if let Some(tag) = duty_of(id) {
+            let inst = out.instance_mut(id);
+            inst.cell = format!("{}_{}", inst.cell, tag.suffix());
+        }
+    }
+    out
+}
+
+/// Rewrites **all** instances to one uniform static stress case — the
+/// static-analysis path of Sec. 4.2 against a merged complete library (for
+/// per-scenario libraries, analyzing the unmodified netlist against that
+/// library is equivalent and cheaper).
+#[must_use]
+pub fn annotated_with_static(netlist: &Netlist, tag: LambdaTag) -> Netlist {
+    annotated_with_lambda(netlist, |_| Some(tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortDir;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n = nl.add_net("n1");
+        nl.add_instance("u0", "AND2_X1", &[("A", a), ("B", a), ("Y", n)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n), ("Y", y)]);
+        nl
+    }
+
+    #[test]
+    fn paper_example() {
+        let nl = sample();
+        let out = annotated_with_lambda(&nl, |id| {
+            (id == InstId(0)).then_some(LambdaTag { lambda_pmos: 0.4, lambda_nmos: 0.6 })
+        });
+        assert_eq!(out.instances()[0].cell, "AND2_X1_0.40_0.60");
+        assert_eq!(out.instances()[1].cell, "INV_X1", "unannotated instance untouched");
+        // Original netlist is not modified.
+        assert_eq!(nl.instances()[0].cell, "AND2_X1");
+    }
+
+    #[test]
+    fn static_worst_case() {
+        let out = annotated_with_static(&sample(), LambdaTag { lambda_pmos: 1.0, lambda_nmos: 1.0 });
+        assert!(out.instances().iter().all(|i| i.cell.ends_with("_1.00_1.00")));
+    }
+
+    #[test]
+    fn round_trips_with_split() {
+        let out = annotated_with_static(&sample(), LambdaTag { lambda_pmos: 0.3, lambda_nmos: 0.7 });
+        for inst in out.instances() {
+            let (base, tag) = liberty::split_lambda_tag(&inst.cell);
+            assert!(base == "AND2_X1" || base == "INV_X1");
+            let tag = tag.expect("tag present");
+            assert!((tag.lambda_pmos - 0.3).abs() < 1e-9);
+            assert!((tag.lambda_nmos - 0.7).abs() < 1e-9);
+        }
+    }
+}

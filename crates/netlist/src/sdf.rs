@@ -1,0 +1,306 @@
+//! Per-instance arc delay annotation and SDF export.
+//!
+//! After STA propagates slews through a netlist against a particular
+//! library, every timing arc of every instance has concrete rise/fall
+//! delays. [`DelayAnnotation`] captures them; the event-driven timing
+//! simulator consumes the structure directly, and [`DelayAnnotation::write_sdf`]
+//! renders the same information as an SDF file — the artifact the paper
+//! feeds from Design Compiler into ModelSim for its gate-level image
+//! simulations.
+
+use crate::{InstId, Netlist};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+
+/// Concrete delays of one timing arc: to a rising and to a falling output
+/// edge, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcDelays {
+    /// Delay to a rising output edge.
+    pub rise: f64,
+    /// Delay to a falling output edge.
+    pub fall: f64,
+}
+
+/// Arc delays for every `(instance, input pin, output pin)` of a netlist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayAnnotation {
+    map: HashMap<(InstId, String, String), ArcDelays>,
+}
+
+impl DelayAnnotation {
+    /// An empty annotation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the delays of one arc, replacing any previous entry.
+    pub fn set(&mut self, inst: InstId, input: &str, output: &str, delays: ArcDelays) {
+        self.map.insert((inst, input.to_owned(), output.to_owned()), delays);
+    }
+
+    /// The delays of one arc, if annotated.
+    #[must_use]
+    pub fn get(&self, inst: InstId, input: &str, output: &str) -> Option<ArcDelays> {
+        self.map.get(&(inst, input.to_owned(), output.to_owned())).copied()
+    }
+
+    /// Number of annotated arcs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no arcs are annotated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The worst (largest) annotated delay, in seconds.
+    #[must_use]
+    pub fn max_delay(&self) -> f64 {
+        self.map.values().map(|d| d.rise.max(d.fall)).fold(0.0, f64::max)
+    }
+
+    /// Renders the annotation as an SDF 3.0 file for `netlist`. Delays are
+    /// written in nanoseconds (the SDF `TIMESCALE`), one `IOPATH` per arc,
+    /// with identical min/typ/max triples.
+    #[must_use]
+    pub fn write_sdf(&self, netlist: &Netlist) -> String {
+        let mut entries: Vec<(&(InstId, String, String), &ArcDelays)> = self.map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+
+        let mut out = String::with_capacity(128 * entries.len() + 256);
+        out.push_str("(DELAYFILE\n");
+        let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+        let _ = writeln!(out, "  (DESIGN \"{}\")", netlist.name);
+        let _ = writeln!(out, "  (TIMESCALE 1ns)");
+        let mut current: Option<InstId> = None;
+        for ((inst, input, output), d) in entries {
+            if current != Some(*inst) {
+                if current.is_some() {
+                    out.push_str("  )))\n");
+                }
+                let i = netlist.instance(*inst);
+                let _ = writeln!(out, "  (CELL (CELLTYPE \"{}\")", i.cell);
+                let _ = writeln!(out, "    (INSTANCE {})", i.name);
+                out.push_str("    (DELAY (ABSOLUTE\n");
+                current = Some(*inst);
+            }
+            let r = d.rise * 1e9;
+            let f = d.fall * 1e9;
+            let _ = writeln!(
+                out,
+                "      (IOPATH {input} {output} ({r:.6}:{r:.6}:{r:.6}) ({f:.6}:{f:.6}:{f:.6}))"
+            );
+        }
+        if current.is_some() {
+            out.push_str("  )))\n");
+        }
+        out.push_str(")\n");
+        out
+    }
+}
+
+/// Parses an SDF file previously produced by [`DelayAnnotation::write_sdf`]
+/// (CELL/IOPATH subset, typ values, TIMESCALE 1ns), resolving instance
+/// names against `netlist`.
+///
+/// # Errors
+///
+/// Returns [`crate::NetlistError::Parse`] on tokens outside the subset or
+/// instances missing from the netlist.
+pub fn parse_sdf(text: &str, netlist: &Netlist) -> Result<DelayAnnotation, crate::NetlistError> {
+    let mut tokens = tokenize_sdf(text)?;
+    tokens.reverse();
+    let mut ann = DelayAnnotation::new();
+    let mut name_to_id: HashMap<&str, InstId> = HashMap::new();
+    for id in netlist.instance_ids() {
+        name_to_id.insert(netlist.instance(id).name.as_str(), id);
+    }
+    let mut current: Option<InstId> = None;
+    while let Some((tok, line)) = tokens.pop() {
+        match tok.as_str() {
+            "INSTANCE" => {
+                let (name, line) = tokens.pop().ok_or_else(|| eof(line))?;
+                if name == ")" {
+                    // Anonymous instance — not produced by our writer.
+                    return Err(err(line, "empty INSTANCE"));
+                }
+                current = Some(*name_to_id.get(name.as_str()).ok_or_else(|| {
+                    err(line, &format!("unknown instance {name}"))
+                })?);
+            }
+            "IOPATH" => {
+                let inst = current.ok_or_else(|| err(line, "IOPATH outside CELL"))?;
+                let (input, line) = tokens.pop().ok_or_else(|| eof(line))?;
+                let (output, line) = tokens.pop().ok_or_else(|| eof(line))?;
+                let rise = parse_triple(&mut tokens, line)?;
+                let fall = parse_triple(&mut tokens, line)?;
+                ann.set(inst, &input, &output, ArcDelays { rise: rise * 1e-9, fall: fall * 1e-9 });
+            }
+            _ => {}
+        }
+    }
+    Ok(ann)
+}
+
+fn eof(line: usize) -> crate::NetlistError {
+    err(line, "unexpected end of SDF")
+}
+
+fn err(line: usize, message: &str) -> crate::NetlistError {
+    crate::NetlistError::Parse { line, message: message.to_owned() }
+}
+
+/// Parses `( a : b : c )` and returns the typ value in the file's ns units.
+fn parse_triple(
+    tokens: &mut Vec<(String, usize)>,
+    line: usize,
+) -> Result<f64, crate::NetlistError> {
+    let mut values: Vec<f64> = Vec::new();
+    let mut depth = 0usize;
+    loop {
+        let (tok, line) = tokens.pop().ok_or_else(|| eof(line))?;
+        match tok.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                if depth == 0 || values.is_empty() {
+                    return Err(err(line, "empty delay triple"));
+                }
+                let typ = values[(values.len() - 1) / 2];
+                return Ok(typ);
+            }
+            ":" => {}
+            other => {
+                let v: f64 = other
+                    .parse()
+                    .map_err(|_| err(line, &format!("bad delay value '{other}'")))?;
+                values.push(v);
+            }
+        }
+    }
+}
+
+fn tokenize_sdf(text: &str) -> Result<Vec<(String, usize)>, crate::NetlistError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'"' {
+            // Quoted strings (versions, design names) become one token.
+            let start = i + 1;
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(err(line, "unterminated string"));
+            }
+            out.push((text[start..i].to_owned(), line));
+            i += 1;
+        } else if matches!(c, b'(' | b')' | b':') {
+            out.push(((c as char).to_string(), line));
+            i += 1;
+        } else {
+            let start = i;
+            while i < bytes.len()
+                && !bytes[i].is_ascii_whitespace()
+                && !matches!(bytes[i], b'(' | b')' | b':' | b'"')
+            {
+                i += 1;
+            }
+            out.push((text[start..i].to_owned(), line));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortDir;
+
+    fn sample() -> (Netlist, DelayAnnotation) {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n = nl.add_net("n1");
+        let u0 = nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n)]);
+        let u1 = nl.add_instance("u1", "INV_X2", &[("A", n), ("Y", y)]);
+        let mut ann = DelayAnnotation::new();
+        ann.set(u0, "A", "Y", ArcDelays { rise: 12e-12, fall: 10e-12 });
+        ann.set(u1, "A", "Y", ArcDelays { rise: 9e-12, fall: 8e-12 });
+        (nl, ann)
+    }
+
+    #[test]
+    fn set_get() {
+        let (_, ann) = sample();
+        let d = ann.get(InstId(0), "A", "Y").unwrap();
+        assert_eq!(d.rise, 12e-12);
+        assert_eq!(ann.get(InstId(0), "B", "Y"), None);
+        assert_eq!(ann.len(), 2);
+        assert!(!ann.is_empty());
+        assert!((ann.max_delay() - 12e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sdf_structure() {
+        let (nl, ann) = sample();
+        let sdf = ann.write_sdf(&nl);
+        assert!(sdf.starts_with("(DELAYFILE"));
+        assert!(sdf.contains("(DESIGN \"m\")"));
+        assert!(sdf.contains("(CELLTYPE \"INV_X1\")"));
+        assert!(sdf.contains("(INSTANCE u0)"));
+        assert!(sdf.contains("(IOPATH A Y (0.012000:0.012000:0.012000) (0.010000:0.010000:0.010000))"));
+        // Balanced parentheses.
+        let open = sdf.chars().filter(|&c| c == '(').count();
+        let close = sdf.chars().filter(|&c| c == ')').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn sdf_round_trip() {
+        let (nl, ann) = sample();
+        let text = ann.write_sdf(&nl);
+        let parsed = parse_sdf(&text, &nl).expect("parses");
+        for id in nl.instance_ids() {
+            let a = ann.get(id, "A", "Y");
+            let b = parsed.get(id, "A", "Y");
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert!((x.rise - y.rise).abs() < 1e-15, "rise");
+                    assert!((x.fall - y.fall).abs() < 1e-15, "fall");
+                }
+                (None, None) => {}
+                other => panic!("annotation mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sdf_parse_rejects_unknown_instance() {
+        let (nl, _) = sample();
+        let text = "(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE ghost) (DELAY (ABSOLUTE (IOPATH A Y (1:1:1) (1:1:1))))))";
+        assert!(parse_sdf(text, &nl).is_err());
+    }
+
+    #[test]
+    fn empty_annotation_sdf() {
+        let (nl, _) = sample();
+        let sdf = DelayAnnotation::new().write_sdf(&nl);
+        assert!(sdf.contains("DELAYFILE"));
+        assert_eq!(DelayAnnotation::new().max_delay(), 0.0);
+    }
+}

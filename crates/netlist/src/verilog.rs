@@ -1,0 +1,313 @@
+//! Structural-Verilog subset writer and parser.
+//!
+//! The subset covers what mapped netlists need: one flat module, scalar
+//! `input`/`output`/`wire` declarations and cell instantiations with named
+//! port connections. Identifiers may contain letters, digits, `_`, `.` and
+//! `$`; escaped identifiers and buses are not supported (bus bits are
+//! emitted as `name_3` style scalars by the circuit generators).
+
+use crate::{NetId, Netlist, NetlistError, PortDir};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Serializes `netlist` as structural Verilog.
+#[must_use]
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut out = String::with_capacity(64 * netlist.instance_count() + 256);
+    let port_names: Vec<&str> = netlist.ports().iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name, port_names.join(", "));
+    for port in netlist.ports() {
+        let kw = match port.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        let _ = writeln!(out, "  {kw} {};", port.name);
+    }
+    let port_nets: BTreeSet<NetId> = netlist.ports().iter().map(|p| p.net).collect();
+    for k in 0..netlist.net_count() {
+        let id = NetId(k);
+        if !port_nets.contains(&id) {
+            let _ = writeln!(out, "  wire {};", netlist.net_name(id));
+        }
+    }
+    for inst in netlist.instances() {
+        let conns: Vec<String> = inst
+            .connections
+            .iter()
+            .map(|(pin, net)| format!(".{pin}({})", netlist.net_name(*net)))
+            .collect();
+        let _ = writeln!(out, "  {} {} ({});", inst.cell, inst.name, conns.join(", "));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Parses the structural-Verilog subset produced by [`write_verilog`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on any token or structure outside the
+/// subset.
+pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
+    let mut tokens = tokenize(text)?;
+    tokens.reverse(); // pop() from the front
+    let tokens = &mut tokens;
+
+    let (kw, line) = next(tokens, "module")?;
+    if kw != "module" {
+        return Err(NetlistError::Parse { line, message: format!("expected 'module', got '{kw}'") });
+    }
+    let (name, _) = next(tokens, "module name")?;
+    let mut nl = Netlist::new(&name);
+
+    // Header port list: skip names (directions come from declarations).
+    let (paren, line) = next(tokens, "(")?;
+    if paren != "(" {
+        return Err(NetlistError::Parse { line, message: "expected '(' after module name".into() });
+    }
+    loop {
+        let (t, _) = next(tokens, "port list")?;
+        if t == ")" {
+            break;
+        }
+    }
+    expect_token(tokens, ";")?;
+
+    loop {
+        let (t, line) = next(tokens, "statement")?;
+        match t.as_str() {
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                let dir = match t.as_str() {
+                    "input" => Some(PortDir::Input),
+                    "output" => Some(PortDir::Output),
+                    _ => None,
+                };
+                loop {
+                    let (id, line) = next(tokens, "identifier")?;
+                    if !is_ident(&id) {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("expected identifier, got '{id}'"),
+                        });
+                    }
+                    match dir {
+                        Some(d) => {
+                            nl.add_port(&id, d);
+                        }
+                        None => {
+                            nl.add_net(&id);
+                        }
+                    }
+                    let (sep, line) = next(tokens, "';' or ','")?;
+                    match sep.as_str() {
+                        ";" => break,
+                        "," => {}
+                        other => {
+                            return Err(NetlistError::Parse {
+                                line,
+                                message: format!("expected ';' or ',', got '{other}'"),
+                            })
+                        }
+                    }
+                }
+            }
+            cell if is_ident(cell) => {
+                let (inst_name, line) = next(tokens, "instance name")?;
+                if !is_ident(&inst_name) {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!("expected instance name, got '{inst_name}'"),
+                    });
+                }
+                expect_token(tokens, "(")?;
+                let mut conns: Vec<(String, NetId)> = Vec::new();
+                loop {
+                    let (t, line) = next(tokens, "'.pin' or ')'")?;
+                    if t == ")" {
+                        break;
+                    }
+                    if t == "," {
+                        continue;
+                    }
+                    if t != "." {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("expected '.', got '{t}'"),
+                        });
+                    }
+                    let (pin, _) = next(tokens, "pin name")?;
+                    expect_token(tokens, "(")?;
+                    let (net_name, _) = next(tokens, "net name")?;
+                    expect_token(tokens, ")")?;
+                    let net = nl.add_net(&net_name);
+                    conns.push((pin, net));
+                }
+                expect_token(tokens, ";")?;
+                let conn_refs: Vec<(&str, NetId)> =
+                    conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+                nl.add_instance(&inst_name, cell, &conn_refs);
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected token '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(nl)
+}
+
+
+fn next(tokens: &mut Vec<(String, usize)>, expect: &str) -> Result<(String, usize), NetlistError> {
+    tokens.pop().ok_or_else(|| NetlistError::Parse {
+        line: 0,
+        message: format!("unexpected end of input, expected {expect}"),
+    })
+}
+
+fn expect_token(tokens: &mut Vec<(String, usize)>, want: &str) -> Result<(), NetlistError> {
+    match tokens.pop() {
+        Some((t, _)) if t == want => Ok(()),
+        Some((t, line)) => {
+            Err(NetlistError::Parse { line, message: format!("expected '{want}', got '{t}'") })
+        }
+        None => Err(NetlistError::Parse {
+            line: 0,
+            message: format!("unexpected end of input, expected '{want}'"),
+        }),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '$'))
+}
+
+fn tokenize(text: &str) -> Result<Vec<(String, usize)>, NetlistError> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if bytes[i..].starts_with(b"//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i..].starts_with(b"/*") {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(NetlistError::Parse { line, message: "unterminated comment".into() });
+            }
+            i += 2;
+        } else if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b'.' | b'$'))
+            {
+                // '.' only glues inside identifiers that started alphabetic;
+                // the port-connection '.' is isolated because it is preceded
+                // by whitespace/parens, never by an identifier character.
+                i += 1;
+            }
+            out.push((text[start..i].to_owned(), line));
+        } else if matches!(c, b'(' | b')' | b';' | b',' | b'.') {
+            out.push(((c as char).to_string(), line));
+            i += 1;
+        } else {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("unexpected character '{}'", c as char),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("adder_bit");
+        let a = nl.add_port("a", PortDir::Input);
+        let b = nl.add_port("b", PortDir::Input);
+        let s = nl.add_port("s", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u_x", "XOR2_X1", &[("A", a), ("B", b), ("Y", n1)]);
+        nl.add_instance("u_b", "BUF_X2", &[("A", n1), ("Y", s)]);
+        nl
+    }
+
+    #[test]
+    fn write_then_parse_round_trip() {
+        let nl = sample();
+        let text = write_verilog(&nl);
+        let parsed = parse_verilog(&text).expect("round trip");
+        assert_eq!(parsed.name, nl.name);
+        assert_eq!(parsed.instance_count(), nl.instance_count());
+        assert_eq!(parsed.net_count(), nl.net_count());
+        assert_eq!(parsed.ports().len(), nl.ports().len());
+        for (a, b) in parsed.instances().iter().zip(nl.instances()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.connections.len(), b.connections.len());
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let text = write_verilog(&sample());
+        assert!(text.starts_with("module adder_bit (a, b, s);"));
+        assert!(text.contains("  input a;"));
+        assert!(text.contains("  output s;"));
+        assert!(text.contains("  wire n1;"));
+        assert!(text.contains("  XOR2_X1 u_x (.A(a), .B(b), .Y(n1));"));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn parses_comments() {
+        let mut text = write_verilog(&sample());
+        text = text.replace("wire n1;", "wire n1; // internal\n/* block\ncomment */");
+        let parsed = parse_verilog(&text).expect("comments ok");
+        assert_eq!(parsed.instance_count(), 2);
+    }
+
+    #[test]
+    fn parse_error_reporting() {
+        assert!(matches!(
+            parse_verilog("modul x (); endmodule"),
+            Err(NetlistError::Parse { .. })
+        ));
+        let missing_semi = "module m (a);\n input a\nendmodule";
+        match parse_verilog(missing_semi) {
+            Err(NetlistError::Parse { line, .. }) => assert!(line >= 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_verilog("module m (a); input a; X u1 (.A(a) endmodule").is_err());
+        assert!(parse_verilog("module m (%); endmodule").is_err());
+    }
+
+    #[test]
+    fn lambda_tagged_cells_survive() {
+        // Annotated netlists carry λ-suffixed cell names with dots.
+        let text = "module m (a, y);\n  input a;\n  output y;\n  INV_X1_0.40_0.60 u1 (.A(a), .Y(y));\nendmodule\n";
+        let parsed = parse_verilog(text).expect("tagged cell parses");
+        assert_eq!(parsed.instances()[0].cell, "INV_X1_0.40_0.60");
+    }
+}

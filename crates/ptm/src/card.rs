@@ -1,0 +1,174 @@
+use bti::Degradation;
+
+/// The polarity of a MOS device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// n-channel device (pull-down networks; ages under PBTI).
+    Nmos,
+    /// p-channel device (pull-up networks; ages under NBTI).
+    Pmos,
+}
+
+impl MosPolarity {
+    /// `+1.0` for nMOS, `-1.0` for pMOS: the sign that maps terminal
+    /// voltages into the magnitude domain of the I–V equations.
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// A transistor parameter card in the spirit of a PTM model deck, evaluated
+/// with the Sakurai–Newton alpha-power law.
+///
+/// All voltages are in volts, currents in amperes, capacitances in farad.
+/// The transconductance prefactor `kp` absorbs the carrier mobility, so a
+/// mobility degradation of `μ/μ0 = f` scales `kp` by `f` (see
+/// [`MosModel::degraded`]).
+///
+/// The default 45 nm cards are calibrated such that a `W/L = 10` nMOS drives
+/// ≈ 0.5 mA of saturation current at `Vgs = Vds = 1.2 V`, with the pMOS at
+/// ≈ 0.4× the per-width strength — typical for the node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModel {
+    /// Device polarity.
+    pub polarity: MosPolarity,
+    /// Threshold-voltage magnitude in volts.
+    pub vth: f64,
+    /// Transconductance prefactor in A / V^alpha for `W/L = 1`.
+    pub kp: f64,
+    /// Velocity-saturation exponent α of the alpha-power law (≈ 1.3).
+    pub alpha: f64,
+    /// Saturation-voltage coefficient: `Vdsat = kv · Vgt^(α/2)`.
+    pub kv: f64,
+    /// Channel-length modulation in 1/V.
+    pub channel_lambda: f64,
+    /// Overdrive-smoothing voltage in volts (numerical sub-threshold
+    /// softening; keeps transient integration well-behaved around Vth).
+    pub v_smooth: f64,
+    /// Gate capacitance per meter of channel width (F/m).
+    pub cgate_per_width: f64,
+    /// Drain/source junction capacitance per meter of width (F/m).
+    pub cjunction_per_width: f64,
+}
+
+impl MosModel {
+    /// The 45 nm high-performance nMOS card.
+    #[must_use]
+    pub fn nmos_45nm() -> Self {
+        MosModel {
+            polarity: MosPolarity::Nmos,
+            vth: 0.466,
+            kp: 7.5e-5,
+            alpha: 1.30,
+            kv: 0.43,
+            channel_lambda: 0.10,
+            v_smooth: 0.03,
+            cgate_per_width: 1.0e-9,
+            cjunction_per_width: 0.6e-9,
+        }
+    }
+
+    /// The 45 nm high-performance pMOS card.
+    #[must_use]
+    pub fn pmos_45nm() -> Self {
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vth: 0.412,
+            kp: 3.2e-5,
+            alpha: 1.35,
+            kv: 0.43,
+            channel_lambda: 0.10,
+            v_smooth: 0.03,
+            cgate_per_width: 1.0e-9,
+            cjunction_per_width: 0.6e-9,
+        }
+    }
+
+    /// Returns the card for `polarity` at the default 45 nm corner.
+    #[must_use]
+    pub fn default_45nm(polarity: MosPolarity) -> Self {
+        match polarity {
+            MosPolarity::Nmos => Self::nmos_45nm(),
+            MosPolarity::Pmos => Self::pmos_45nm(),
+        }
+    }
+
+    /// Applies a BTI [`Degradation`] to this card, producing the aged model:
+    /// the threshold magnitude grows by `ΔVth` and the transconductance
+    /// scales with the mobility factor (paper Eqs. 1–3).
+    #[must_use]
+    pub fn degraded(&self, degradation: &Degradation) -> Self {
+        let mut aged = self.clone();
+        aged.vth += degradation.delta_vth;
+        aged.kp *= degradation.mobility_factor;
+        aged
+    }
+
+    /// Gate capacitance of a device of width `w` meters.
+    #[must_use]
+    pub fn gate_capacitance(&self, w: f64) -> f64 {
+        self.cgate_per_width * w
+    }
+
+    /// Junction capacitance contributed to drain/source nodes by a device of
+    /// width `w` meters.
+    #[must_use]
+    pub fn junction_capacitance(&self, w: f64) -> f64 {
+        self.cjunction_per_width * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bti::{AgingScenario, BtiModel, DutyCycle, Stress};
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(MosPolarity::Nmos.sign(), 1.0);
+        assert_eq!(MosPolarity::Pmos.sign(), -1.0);
+    }
+
+    #[test]
+    fn default_cards_polarity() {
+        assert_eq!(MosModel::nmos_45nm().polarity, MosPolarity::Nmos);
+        assert_eq!(MosModel::pmos_45nm().polarity, MosPolarity::Pmos);
+        assert_eq!(MosModel::default_45nm(MosPolarity::Pmos), MosModel::pmos_45nm());
+    }
+
+    #[test]
+    fn degraded_shifts_vth_and_scales_kp() {
+        let fresh = MosModel::pmos_45nm();
+        let d = BtiModel::nbti().degradation(&Stress::years(10.0, DutyCycle::WORST));
+        let aged = fresh.degraded(&d);
+        assert!((aged.vth - fresh.vth - d.delta_vth).abs() < 1e-12);
+        assert!((aged.kp / fresh.kp - d.mobility_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_degradation_is_identity() {
+        let fresh = MosModel::nmos_45nm();
+        let aged = fresh.degraded(&Degradation::fresh());
+        assert_eq!(fresh, aged);
+    }
+
+    #[test]
+    fn vth_only_keeps_kp() {
+        let fresh = MosModel::pmos_45nm();
+        let d = AgingScenario::worst_case(10.0).degradations().pmos;
+        let aged = fresh.degraded(&d.vth_only());
+        assert_eq!(aged.kp, fresh.kp);
+        assert!(aged.vth > fresh.vth);
+    }
+
+    #[test]
+    fn capacitances_scale_with_width() {
+        let m = MosModel::nmos_45nm();
+        assert!((m.gate_capacitance(900e-9) / m.gate_capacitance(450e-9) - 2.0).abs() < 1e-12);
+        assert!(m.junction_capacitance(450e-9) < m.gate_capacitance(450e-9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the transistor I–V model: physical
+//! monotonicities, symmetry, aging dominance and the analytic-conductance
+//! consistency the transient integrator depends on.
+
+use bti::{AgingScenario, DutyCycle};
+use proptest::prelude::*;
+use ptm::{MosModel, MosPolarity};
+
+const WL: f64 = 10.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Current is monotone non-decreasing in Vgs at fixed Vds.
+    #[test]
+    fn monotone_in_vgs(v1 in 0.0f64..1.2, v2 in 0.0f64..1.2, vd in 0.01f64..1.2) {
+        let m = MosModel::nmos_45nm();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(m.drain_current(lo, vd, 0.0, WL) <= m.drain_current(hi, vd, 0.0, WL) + 1e-18);
+    }
+
+    /// Current is monotone non-decreasing in Vds at fixed Vgs.
+    #[test]
+    fn monotone_in_vds(vg in 0.5f64..1.2, d1 in 0.0f64..1.2, d2 in 0.0f64..1.2) {
+        let m = MosModel::nmos_45nm();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.drain_current(vg, lo, 0.0, WL) <= m.drain_current(vg, hi, 0.0, WL) + 1e-18);
+    }
+
+    /// Swapping drain and source exactly negates the current (symmetric
+    /// device).
+    #[test]
+    fn source_drain_symmetry(vg in 0.0f64..1.2, va in 0.0f64..1.2, vb in 0.0f64..1.2) {
+        let m = MosModel::nmos_45nm();
+        let fwd = m.drain_current(vg, va, vb, WL);
+        let rev = m.drain_current(vg, vb, va, WL);
+        prop_assert!((fwd + rev).abs() < 1e-15);
+    }
+
+    /// The pMOS at mirrored voltages matches the nMOS equations.
+    #[test]
+    fn polarity_mirror(vg in 0.0f64..1.2, vd in 0.0f64..1.2, vs in 0.0f64..1.2) {
+        let n = MosModel::nmos_45nm();
+        let p = MosModel { polarity: MosPolarity::Pmos, ..MosModel::nmos_45nm() };
+        let i_n = n.drain_current(vg, vd, vs, WL);
+        let i_p = p.drain_current(-vg, -vd, -vs, WL);
+        prop_assert!((i_n + i_p).abs() < 1e-15);
+    }
+
+    /// Aging (any duty cycle, any lifetime) never increases drive current.
+    #[test]
+    fn aging_never_increases_current(
+        lambda in 0.0f64..=1.0,
+        years in 0.0f64..20.0,
+        vg in 0.6f64..1.2,
+        vd in 0.1f64..1.2,
+    ) {
+        let scenario = bti::AgingScenario::new(
+            DutyCycle::saturating(lambda),
+            DutyCycle::saturating(lambda),
+            years,
+        );
+        let d = scenario.degradations();
+        let fresh = MosModel::nmos_45nm();
+        let aged = fresh.degraded(&d.nmos);
+        prop_assert!(
+            aged.drain_current(vg, vd, 0.0, WL) <= fresh.drain_current(vg, vd, 0.0, WL) + 1e-18
+        );
+    }
+
+    /// The analytic conductance of the hot path agrees with the finite
+    /// difference within tolerance wherever the device conducts.
+    #[test]
+    fn conductance_matches_finite_difference(vg in 0.6f64..1.2, vd in 0.05f64..1.15) {
+        let m = MosModel::nmos_45nm();
+        let (_, g_analytic) = m.drain_current_and_conductance(vg, vd, 0.0, WL);
+        let g_numeric = m.conductance_estimate(vg, vd, 0.0, WL);
+        // Near the saturation knee the piecewise model kinks; allow a loose
+        // relative band plus an absolute floor.
+        let tol = 0.25 * g_numeric.max(g_analytic) + 1e-6;
+        prop_assert!(
+            (g_analytic - g_numeric).abs() <= tol,
+            "analytic {g_analytic} vs numeric {g_numeric} at vg={vg} vd={vd}"
+        );
+    }
+
+    /// `drain_current_and_conductance` returns exactly `drain_current` as
+    /// its current component.
+    #[test]
+    fn fused_current_consistent(vg in 0.0f64..1.2, vd in 0.0f64..1.2, vs in 0.0f64..1.2) {
+        let m = MosModel::pmos_45nm();
+        let (i_fused, g) = m.drain_current_and_conductance(vg, vd, vs, WL);
+        prop_assert_eq!(i_fused, m.drain_current(vg, vd, vs, WL));
+        prop_assert!(g >= 0.0);
+    }
+
+    /// Worst-case aging dominates every partial-stress scenario at the same
+    /// lifetime, in drive-current terms.
+    #[test]
+    fn worst_case_dominates(lambda in 0.0f64..1.0, years in 0.5f64..15.0) {
+        let partial = bti::AgingScenario::new(
+            DutyCycle::saturating(lambda),
+            DutyCycle::saturating(lambda),
+            years,
+        )
+        .degradations();
+        let worst = AgingScenario::worst_case(years).degradations();
+        let fresh = MosModel::pmos_45nm();
+        let i_partial = fresh.degraded(&partial.pmos).drain_current(0.0, 0.0, 1.2, WL).abs();
+        let i_worst = fresh.degraded(&worst.pmos).drain_current(0.0, 0.0, 1.2, WL).abs();
+        prop_assert!(i_worst <= i_partial + 1e-18);
+    }
+}

@@ -1,0 +1,290 @@
+use crate::Waveform;
+use ptm::{MosModel, MosPolarity, CHANNEL_LENGTH};
+
+/// Handle to a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// Handle to a MOS device within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind {
+    /// A floating node integrated by the engine; holds its explicit
+    /// capacitance to ground in farad (device parasitics are added on top).
+    Floating { cap: f64 },
+    /// A node pinned to a waveform (input stimulus).
+    Source(Waveform),
+    /// A supply rail pinned to a constant voltage.
+    Rail(f64),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Device {
+    pub model: MosModel,
+    pub gate: NodeId,
+    pub drain: NodeId,
+    pub source: NodeId,
+    pub w_over_l: f64,
+}
+
+/// A small transistor-level circuit: MOS devices, node capacitances, supply
+/// rails and stimulus sources.
+///
+/// Construction is incremental; the `vdd`/`gnd` rails exist from the start.
+/// Every added device automatically contributes its gate capacitance to its
+/// gate node and junction capacitance to its drain/source nodes (the
+/// layout-parasitics role of the paper's Sec. 4.1), so explicit
+/// [`Circuit::add_cap`] calls are only needed for external loads.
+///
+/// See the [crate-level example](crate) for a complete inverter simulation.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) vdd: f64,
+    pub(crate) names: Vec<String>,
+    pub(crate) kinds: Vec<NodeKind>,
+    /// Extra capacitance accumulated from device parasitics per node.
+    pub(crate) parasitic_cap: Vec<f64>,
+    pub(crate) initial: Vec<Option<f64>>,
+    pub(crate) devices: Vec<Device>,
+    vdd_node: NodeId,
+    gnd_node: NodeId,
+}
+
+/// Minimum capacitance guaranteed on every floating node, in farad. Keeps
+/// the node ODEs well-conditioned even if a cell netlist forgets parasitics.
+pub(crate) const C_MIN: f64 = 0.05e-15;
+
+impl Circuit {
+    /// Creates an empty circuit with supply rails at `vdd` and 0 V.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not a positive finite voltage.
+    #[must_use]
+    pub fn new(vdd: f64) -> Self {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        let mut c = Circuit {
+            vdd,
+            names: Vec::new(),
+            kinds: Vec::new(),
+            parasitic_cap: Vec::new(),
+            initial: Vec::new(),
+            devices: Vec::new(),
+            vdd_node: NodeId(0),
+            gnd_node: NodeId(0),
+        };
+        c.vdd_node = c.push_node("vdd!", NodeKind::Rail(vdd));
+        c.gnd_node = c.push_node("gnd!", NodeKind::Rail(0.0));
+        c
+    }
+
+    fn push_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.kinds.len());
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.parasitic_cap.push(0.0);
+        self.initial.push(None);
+        id
+    }
+
+    /// The Vdd rail node.
+    #[must_use]
+    pub fn vdd_node(&self) -> NodeId {
+        self.vdd_node
+    }
+
+    /// The ground rail node.
+    #[must_use]
+    pub fn gnd_node(&self) -> NodeId {
+        self.gnd_node
+    }
+
+    /// The supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Adds a floating node with an explicit capacitance to ground (farad).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative or not finite.
+    pub fn add_node(&mut self, name: &str, cap: f64) -> NodeId {
+        assert!(cap.is_finite() && cap >= 0.0, "node capacitance must be non-negative");
+        self.push_node(name, NodeKind::Floating { cap })
+    }
+
+    /// Adds a stimulus node pinned to `waveform`.
+    pub fn add_source(&mut self, name: &str, waveform: Waveform) -> NodeId {
+        self.push_node(name, NodeKind::Source(waveform))
+    }
+
+    /// Adds extra capacitance (farad) from `node` to ground — e.g. the output
+    /// load of a characterization run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative/not finite, or `node` is a rail or source.
+    pub fn add_cap(&mut self, node: NodeId, cap: f64) {
+        assert!(cap.is_finite() && cap >= 0.0, "capacitance must be non-negative");
+        match &mut self.kinds[node.0] {
+            NodeKind::Floating { cap: c } => *c += cap,
+            _ => panic!("cannot attach capacitance to a rail or source node"),
+        }
+    }
+
+    /// Sets the initial (t = start) voltage of a floating node. Unset nodes
+    /// start at ground; characterization typically pre-settles the circuit,
+    /// so this is an optimization/robustness aid rather than a requirement.
+    pub fn set_initial_voltage(&mut self, node: NodeId, volts: f64) {
+        self.initial[node.0] = Some(volts);
+    }
+
+    /// Adds a MOS device. `w` is the channel width in meters; the length is
+    /// the 45 nm node's [`CHANNEL_LENGTH`]. Parasitic gate/junction
+    /// capacitances are added to the connected nodes automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not positive and finite.
+    pub fn add_mos(
+        &mut self,
+        model: MosModel,
+        gate: NodeId,
+        drain: NodeId,
+        source: NodeId,
+        w: f64,
+    ) -> DeviceId {
+        assert!(w.is_finite() && w > 0.0, "device width must be positive");
+        self.parasitic_cap[gate.0] += model.gate_capacitance(w);
+        self.parasitic_cap[drain.0] += model.junction_capacitance(w);
+        self.parasitic_cap[source.0] += model.junction_capacitance(w);
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device { w_over_l: w / CHANNEL_LENGTH, model, gate, drain, source });
+        id
+    }
+
+    /// Convenience wrapper of [`Circuit::add_mos`] asserting an nMOS model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not n-channel.
+    pub fn add_nmos(
+        &mut self,
+        model: MosModel,
+        gate: NodeId,
+        drain: NodeId,
+        source: NodeId,
+        w: f64,
+    ) -> DeviceId {
+        assert_eq!(model.polarity, MosPolarity::Nmos, "add_nmos needs an n-channel model");
+        self.add_mos(model, gate, drain, source, w)
+    }
+
+    /// Convenience wrapper of [`Circuit::add_mos`] asserting a pMOS model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not p-channel.
+    pub fn add_pmos(
+        &mut self,
+        model: MosModel,
+        gate: NodeId,
+        drain: NodeId,
+        source: NodeId,
+        w: f64,
+    ) -> DeviceId {
+        assert_eq!(model.polarity, MosPolarity::Pmos, "add_pmos needs a p-channel model");
+        self.add_mos(model, gate, drain, source, w)
+    }
+
+    /// Number of nodes (including the two rails).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of MOS devices.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The name given to `node` at creation.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Total capacitance (explicit + device parasitics, floored at a small
+    /// `C_MIN`) seen by a floating node; `None` for rails/sources.
+    #[must_use]
+    pub fn total_cap(&self, node: NodeId) -> Option<f64> {
+        match &self.kinds[node.0] {
+            NodeKind::Floating { cap } => Some((cap + self.parasitic_cap[node.0]).max(C_MIN)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_exist() {
+        let c = Circuit::new(1.2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(c.vdd_node()), "vdd!");
+        assert_eq!(c.node_name(c.gnd_node()), "gnd!");
+        assert_eq!(c.total_cap(c.vdd_node()), None);
+    }
+
+    #[test]
+    fn device_adds_parasitics() {
+        let mut c = Circuit::new(1.2);
+        let a = c.add_source("a", Waveform::Dc(0.0));
+        let y = c.add_node("y", 0.0);
+        c.add_nmos(MosModel::nmos_45nm(), a, y, c.gnd_node(), 450e-9);
+        let cap = c.total_cap(y).unwrap();
+        // Junction cap of a 450 nm device ≈ 0.27 fF.
+        assert!(cap > 0.2e-15 && cap < 0.5e-15, "cap = {cap}");
+        assert_eq!(c.device_count(), 1);
+    }
+
+    #[test]
+    fn explicit_load_adds_on_top() {
+        let mut c = Circuit::new(1.2);
+        let y = c.add_node("y", 1.0e-15);
+        c.add_cap(y, 2.0e-15);
+        assert!((c.total_cap(y).unwrap() - 3.0e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn min_cap_floor() {
+        let mut c = Circuit::new(1.2);
+        let y = c.add_node("y", 0.0);
+        assert_eq!(c.total_cap(y), Some(C_MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "rail or source")]
+    fn cap_on_rail_panics() {
+        let mut c = Circuit::new(1.2);
+        let vdd = c.vdd_node();
+        c.add_cap(vdd, 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-channel")]
+    fn wrong_polarity_panics() {
+        let mut c = Circuit::new(1.2);
+        let a = c.add_source("a", Waveform::Dc(0.0));
+        let y = c.add_node("y", 0.0);
+        let gnd = c.gnd_node();
+        c.add_nmos(MosModel::pmos_45nm(), a, y, gnd, 450e-9);
+    }
+}

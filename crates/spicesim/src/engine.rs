@@ -1,0 +1,347 @@
+use crate::circuit::{Circuit, NodeId, NodeKind};
+
+/// Configuration of a transient analysis.
+///
+/// The engine starts at [`t_start`](Self::t_start) (typically negative, so
+/// the circuit settles to its DC operating point before the stimulus fires)
+/// and integrates until [`t_stop`](Self::t_stop). Step size adapts so no
+/// node moves more than [`max_dv`](Self::max_dv) volts per step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientConfig {
+    /// Simulation start time in seconds (settle phase before stimuli).
+    pub t_start: f64,
+    /// Simulation end time in seconds.
+    pub t_stop: f64,
+    /// Accuracy knob: maximum voltage change per node per step, in volts.
+    pub max_dv: f64,
+    /// Smallest allowed time step in seconds.
+    pub dt_min: f64,
+    /// Largest allowed time step in seconds.
+    pub dt_max: f64,
+}
+
+impl TransientConfig {
+    /// Default-accuracy run from −0.5 ns (DC settle) to `t_stop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` is not positive and finite.
+    #[must_use]
+    pub fn up_to(t_stop: f64) -> Self {
+        assert!(t_stop.is_finite() && t_stop > 0.0, "t_stop must be positive");
+        TransientConfig {
+            t_start: -0.5e-9,
+            t_stop,
+            max_dv: 2.0e-3,
+            dt_min: 1.0e-16,
+            dt_max: 5.0e-12,
+        }
+    }
+
+    /// Returns a copy with a different accuracy knob (`max_dv`, volts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dv` is not positive and finite.
+    #[must_use]
+    pub fn with_max_dv(mut self, max_dv: f64) -> Self {
+        assert!(max_dv.is_finite() && max_dv > 0.0, "max_dv must be positive");
+        self.max_dv = max_dv;
+        self
+    }
+}
+
+/// The recorded result of a transient analysis: time points and the voltage
+/// of every node at each point.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub(crate) time: Vec<f64>,
+    /// `voltages[node][sample]`.
+    pub(crate) voltages: Vec<Vec<f64>>,
+    pub(crate) vdd: f64,
+}
+
+impl Trace {
+    /// The recorded time points in seconds, ascending.
+    #[must_use]
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The recorded voltage series of `node`.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> &[f64] {
+        &self.voltages[node.0]
+    }
+
+    /// The supply voltage of the simulated circuit.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// The last recorded voltage of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (a run always records at least the
+    /// initial point, so this only fires on a default-constructed trace).
+    #[must_use]
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        *self.voltages[node.0].last().expect("trace has at least one sample")
+    }
+}
+
+/// Conductances below this (siemens) fall back to a plain Euler step.
+const G_FLOOR: f64 = 1.0e-12;
+
+impl Circuit {
+    /// Runs a transient analysis and returns the recorded [`Trace`].
+    ///
+    /// Floating nodes start from their configured initial voltage (default
+    /// 0 V) and the settle phase between `config.t_start` and the first
+    /// stimulus event lets the circuit find its DC operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.t_stop <= config.t_start`.
+    #[must_use]
+    pub fn transient(&self, config: &TransientConfig) -> Trace {
+        assert!(config.t_stop > config.t_start, "empty simulation window");
+        let n = self.node_count();
+
+        // Precompute floating-node data and adjacency.
+        let mut floating: Vec<usize> = Vec::new();
+        let mut cap = vec![0.0; n];
+        for i in 0..n {
+            if let Some(c) = self.total_cap(NodeId(i)) {
+                floating.push(i);
+                cap[i] = c;
+            }
+        }
+        // Accuracy-critical nodes: those whose voltage influences others
+        // (device gates) or is measured (explicitly loaded). Pure internal
+        // stack nodes are quasi-static slaves of the exponential update and
+        // must not collapse the global step size.
+        let mut observable = vec![false; n];
+        for d in &self.devices {
+            observable[d.gate.0] = true;
+        }
+        for (k, kind) in self.kinds.iter().enumerate() {
+            if let NodeKind::Floating { cap } = kind {
+                if *cap > 0.0 {
+                    observable[k] = true;
+                }
+            }
+        }
+        // Stimulus events the integrator must not step across, and the time
+        // after which no source moves again (for early termination).
+        let mut events: Vec<f64> = Vec::new();
+        let mut activity_end = config.t_start;
+        for k in &self.kinds {
+            if let NodeKind::Source(w) = k {
+                if let Some(t) = w.first_event() {
+                    events.push(t);
+                }
+                if let Some(t) = w.end_of_activity() {
+                    activity_end = activity_end.max(t);
+                }
+            }
+        }
+        events.sort_by(f64::total_cmp);
+
+        // Initial state.
+        let mut t = config.t_start;
+        let mut v = vec![0.0; n];
+        for i in 0..n {
+            v[i] = match &self.kinds[i] {
+                NodeKind::Rail(volts) => *volts,
+                NodeKind::Source(w) => w.value(t),
+                NodeKind::Floating { .. } => self.initial[i].unwrap_or(0.0),
+            };
+        }
+
+        let mut trace = Trace {
+            time: Vec::with_capacity(4096),
+            voltages: vec![Vec::with_capacity(4096); n],
+            vdd: self.vdd,
+        };
+        record(&mut trace, t, &v);
+
+        let mut currents = vec![0.0; n];
+        let mut conductance = vec![0.0; n];
+        while t < config.t_stop {
+            // Node currents and channel conductances from all devices.
+            currents.iter_mut().for_each(|c| *c = 0.0);
+            conductance.iter_mut().for_each(|g| *g = 0.0);
+            for d in &self.devices {
+                let (id, g) = d.model.drain_current_and_conductance(
+                    v[d.gate.0],
+                    v[d.drain.0],
+                    v[d.source.0],
+                    d.w_over_l,
+                );
+                currents[d.drain.0] -= id;
+                currents[d.source.0] += id;
+                conductance[d.drain.0] += g;
+                conductance[d.source.0] += g;
+            }
+
+            // Accuracy-driven step size, from observable nodes only.
+            let mut max_rate: f64 = 0.0;
+            for &i in &floating {
+                if observable[i] {
+                    max_rate = max_rate.max((currents[i] / cap[i]).abs());
+                }
+            }
+            for k in &self.kinds {
+                if let NodeKind::Source(w) = k {
+                    // Only throttle while the source is actually ramping.
+                    max_rate = max_rate.max(w.max_slope_in(t, t + config.dt_max));
+                }
+            }
+            // Early termination: every source is done moving and every
+            // observable node drifts slower than 0.1 mV/ns — the circuit
+            // has settled and nothing further can change.
+            if t > activity_end + 10.0 * config.dt_max && max_rate < 1.0e5 {
+                record(&mut trace, config.t_stop, &v);
+                break;
+            }
+            let mut dt = if max_rate > 0.0 {
+                (config.max_dv / max_rate).clamp(config.dt_min, config.dt_max)
+            } else {
+                config.dt_max
+            };
+            // Do not step across a stimulus event.
+            for &ev in &events {
+                if ev > t && ev < t + dt {
+                    dt = (ev - t).max(config.dt_min);
+                    break;
+                }
+            }
+            if t + dt > config.t_stop {
+                dt = config.t_stop - t;
+            }
+
+            // Exponential-Euler update per floating node.
+            for &i in &floating {
+                let g = conductance[i];
+                let vi = v[i];
+                let next = if g > G_FLOOR {
+                    let target = vi + currents[i] / g;
+                    target + (vi - target) * (-g * dt / cap[i]).exp()
+                } else {
+                    vi + currents[i] * dt / cap[i]
+                };
+                v[i] = next.clamp(-0.3, self.vdd + 0.3);
+            }
+
+            t += dt;
+            // Pin sources to their waveform at the new time.
+            for (i, k) in self.kinds.iter().enumerate() {
+                if let NodeKind::Source(w) = k {
+                    v[i] = w.value(t);
+                }
+            }
+            record(&mut trace, t, &v);
+        }
+        trace
+    }
+
+}
+
+fn record(trace: &mut Trace, t: f64, v: &[f64]) {
+    trace.time.push(t);
+    for (series, &volt) in trace.voltages.iter_mut().zip(v) {
+        series.push(volt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+    use ptm::MosModel;
+
+    fn inverter(load_f: f64, in_wave: Waveform) -> (Circuit, NodeId, NodeId) {
+        let vdd = 1.2;
+        let mut c = Circuit::new(vdd);
+        let a = c.add_source("a", in_wave);
+        let y = c.add_node("y", load_f);
+        c.add_pmos(MosModel::pmos_45nm(), a, y, c.vdd_node(), 630e-9);
+        c.add_nmos(MosModel::nmos_45nm(), a, y, c.gnd_node(), 415e-9);
+        (c, a, y)
+    }
+
+    #[test]
+    fn dc_settle_reaches_logic_level() {
+        // Input low → output settles to Vdd even from a 0 V initial guess.
+        let (c, _a, y) = inverter(2.0e-15, Waveform::Dc(0.0));
+        let trace = c.transient(&TransientConfig::up_to(1.0e-9));
+        assert!((trace.final_voltage(y) - 1.2).abs() < 0.01, "Vout = {}", trace.final_voltage(y));
+    }
+
+    #[test]
+    fn inverter_switches() {
+        let (c, _a, y) = inverter(2.0e-15, Waveform::rising_ramp(0.5e-9, 50.0e-12, 1.2));
+        let trace = c.transient(&TransientConfig::up_to(2.0e-9));
+        // Starts high (input low), ends low.
+        let first = trace.voltage(y)[0];
+        let last = trace.final_voltage(y);
+        assert!(last < 0.05, "output must fall, got {last}");
+        // After settle it must have been high; scan max.
+        let peak = trace.voltage(y).iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 1.1, "output was high before the edge (peak {peak}), started at {first}");
+    }
+
+    #[test]
+    fn heavier_load_switches_slower() {
+        let t_half = |load: f64| {
+            let (c, _a, y) = inverter(load, Waveform::rising_ramp(0.5e-9, 20.0e-12, 1.2));
+            let trace = c.transient(&TransientConfig::up_to(3.0e-9));
+            trace
+                .time
+                .iter()
+                .zip(trace.voltage(y))
+                .find(|&(&t, &v)| t > 0.5e-9 && v < 0.6)
+                .map(|(&t, _)| t)
+                .expect("output crosses half rail")
+        };
+        let fast = t_half(1.0e-15);
+        let slow = t_half(10.0e-15);
+        assert!(slow > fast, "10 fF load must switch later than 1 fF");
+    }
+
+    #[test]
+    fn monotone_time_axis() {
+        let (c, _a, y) = inverter(1.0e-15, Waveform::rising_ramp(0.5e-9, 100e-12, 1.2));
+        let trace = c.transient(&TransientConfig::up_to(1.5e-9));
+        assert!(trace.time.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(trace.time.len(), trace.voltage(y).len());
+    }
+
+    #[test]
+    fn voltages_stay_bounded() {
+        let (c, _a, y) = inverter(0.5e-15, Waveform::rising_ramp(0.5e-9, 5e-12, 1.2));
+        let trace = c.transient(&TransientConfig::up_to(1.5e-9));
+        for &v in trace.voltage(y) {
+            assert!((-0.3..=1.5).contains(&v), "node voltage {v} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn accuracy_knob_changes_step_count() {
+        let (c, _a, _y) = inverter(2.0e-15, Waveform::rising_ramp(0.5e-9, 50e-12, 1.2));
+        let fine = c.transient(&TransientConfig::up_to(1.0e-9).with_max_dv(1.0e-3));
+        let coarse = c.transient(&TransientConfig::up_to(1.0e-9).with_max_dv(10.0e-3));
+        assert!(fine.time.len() > coarse.time.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty simulation window")]
+    fn bad_window_panics() {
+        let (c, _a, _y) = inverter(1e-15, Waveform::Dc(0.0));
+        let cfg = TransientConfig { t_stop: -1.0, ..TransientConfig::up_to(1.0) };
+        let _ = c.transient(&cfg);
+    }
+}

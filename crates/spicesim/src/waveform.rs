@@ -1,0 +1,248 @@
+/// A voltage source waveform driving a circuit input.
+///
+/// Slews in this repository are defined as 10 %–90 % transition times; a
+/// saturated ramp whose 10–90 time equals `slew` therefore has a full 0–100 %
+/// ramp duration of `slew / 0.8`. The [`Waveform::rising_ramp`] /
+/// [`Waveform::falling_ramp`] constructors take the *full* ramp duration;
+/// use [`Waveform::from_slew`] to construct from a 10–90 slew directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant voltage.
+    Dc(f64),
+    /// A single saturated linear ramp from `from` to `to`, starting at
+    /// `t_start` and lasting `duration` seconds; constant outside the ramp.
+    Ramp {
+        /// Time at which the ramp begins, in seconds.
+        t_start: f64,
+        /// Full 0–100 % ramp duration in seconds.
+        duration: f64,
+        /// Voltage before the ramp.
+        from: f64,
+        /// Voltage after the ramp.
+        to: f64,
+    },
+    /// Piecewise-linear waveform given as `(time, voltage)` breakpoints in
+    /// increasing time order; constant before the first and after the last.
+    Pwl(Vec<(f64, f64)>),
+}
+
+/// Fraction of the full swing covered between the 10 % and 90 % points.
+pub(crate) const SLEW_FRACTION: f64 = 0.8;
+
+impl Waveform {
+    /// A full-swing rising ramp 0 → `vdd` starting at `t_start` with full
+    /// ramp `duration`.
+    #[must_use]
+    pub fn rising_ramp(t_start: f64, duration: f64, vdd: f64) -> Self {
+        Waveform::Ramp { t_start, duration, from: 0.0, to: vdd }
+    }
+
+    /// A full-swing falling ramp `vdd` → 0 starting at `t_start`.
+    #[must_use]
+    pub fn falling_ramp(t_start: f64, duration: f64, vdd: f64) -> Self {
+        Waveform::Ramp { t_start, duration, from: vdd, to: 0.0 }
+    }
+
+    /// A full-swing ramp whose **10–90 % slew** equals `slew` seconds.
+    /// `rising` selects 0 → `vdd` (true) or `vdd` → 0.
+    #[must_use]
+    pub fn from_slew(t_start: f64, slew: f64, vdd: f64, rising: bool) -> Self {
+        let duration = slew / SLEW_FRACTION;
+        if rising {
+            Self::rising_ramp(t_start, duration, vdd)
+        } else {
+            Self::falling_ramp(t_start, duration, vdd)
+        }
+    }
+
+    /// The waveform voltage at time `t`.
+    #[must_use]
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Ramp { t_start, duration, from, to } => {
+                if t <= *t_start || *duration <= 0.0 {
+                    if t <= *t_start {
+                        *from
+                    } else {
+                        *to
+                    }
+                } else if t >= t_start + duration {
+                    *to
+                } else {
+                    from + (to - from) * (t - t_start) / duration
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// The earliest time at which the waveform changes, if any — used by the
+    /// integrator to avoid stepping over the start of a stimulus.
+    #[must_use]
+    pub fn first_event(&self) -> Option<f64> {
+        match self {
+            Waveform::Dc(_) => None,
+            Waveform::Ramp { t_start, from, to, .. } => (from != to).then_some(*t_start),
+            Waveform::Pwl(points) => points
+                .windows(2)
+                .find(|w| (w[0].1 - w[1].1).abs() > 0.0)
+                .map(|w| w[0].0),
+        }
+    }
+
+    /// The steepest |dV/dt| of the waveform within the window `[t0, t1]`,
+    /// in V/s — used for step-size control only while a source actually
+    /// ramps.
+    #[must_use]
+    pub fn max_slope_in(&self, t0: f64, t1: f64) -> f64 {
+        match self {
+            Waveform::Dc(_) => 0.0,
+            Waveform::Ramp { t_start, duration, from, to } => {
+                let t_end = t_start + duration;
+                if t1 < *t_start || t0 > t_end || from == to {
+                    0.0
+                } else if *duration > 0.0 {
+                    (to - from).abs() / duration
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Waveform::Pwl(points) => points
+                .windows(2)
+                .filter(|w| w[1].0 >= t0 && w[0].0 <= t1)
+                .map(|w| {
+                    let dt = w[1].0 - w[0].0;
+                    if dt > 0.0 {
+                        (w[1].1 - w[0].1).abs() / dt
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// The time after which the waveform never changes again (`None` for
+    /// DC sources, which never change at all).
+    #[must_use]
+    pub fn end_of_activity(&self) -> Option<f64> {
+        match self {
+            Waveform::Dc(_) => None,
+            Waveform::Ramp { t_start, duration, from, to } => {
+                (from != to).then_some(t_start + duration)
+            }
+            Waveform::Pwl(points) => points.last().map(|p| p.0),
+        }
+    }
+
+    /// The steepest |dV/dt| of the waveform in V/s (0 for DC), used for
+    /// step-size control while the source is ramping.
+    #[must_use]
+    pub fn max_slope(&self) -> f64 {
+        match self {
+            Waveform::Dc(_) => 0.0,
+            Waveform::Ramp { duration, from, to, .. } => {
+                if *duration > 0.0 {
+                    (to - from).abs() / duration
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Waveform::Pwl(points) => points
+                .windows(2)
+                .map(|w| {
+                    let dt = w[1].0 - w[0].0;
+                    if dt > 0.0 {
+                        (w[1].1 - w[0].1).abs() / dt
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(1.2);
+        assert_eq!(w.value(-1.0), 1.2);
+        assert_eq!(w.value(5.0), 1.2);
+        assert_eq!(w.first_event(), None);
+        assert_eq!(w.max_slope(), 0.0);
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let w = Waveform::rising_ramp(1.0, 2.0, 1.2);
+        assert_eq!(w.value(0.5), 0.0);
+        assert_eq!(w.value(1.0), 0.0);
+        assert!((w.value(2.0) - 0.6).abs() < 1e-12);
+        assert_eq!(w.value(3.0), 1.2);
+        assert_eq!(w.value(9.0), 1.2);
+        assert_eq!(w.first_event(), Some(1.0));
+        assert!((w.max_slope() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_ramp_direction() {
+        let w = Waveform::falling_ramp(0.0, 1.0, 1.2);
+        assert_eq!(w.value(0.0), 1.2);
+        assert_eq!(w.value(1.0), 0.0);
+    }
+
+    #[test]
+    fn from_slew_has_requested_ten_ninety_time() {
+        let vdd = 1.2;
+        let slew = 80.0e-12;
+        let w = Waveform::from_slew(0.0, slew, vdd, true);
+        // 10% and 90% crossing times of the analytic ramp.
+        let full = slew / SLEW_FRACTION;
+        let t10 = 0.1 * full;
+        let t90 = 0.9 * full;
+        assert!((w.value(t10) - 0.1 * vdd).abs() < 1e-9);
+        assert!((w.value(t90) - 0.9 * vdd).abs() < 1e-9);
+        assert!((t90 - t10 - slew).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pwl_lookup() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5) - 0.5).abs() < 1e-12);
+        assert!((w.value(1.5) - 0.75).abs() < 1e-12);
+        assert_eq!(w.value(3.0), 0.5);
+        assert_eq!(w.first_event(), Some(0.0));
+        assert!((w.max_slope() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_ramp_steps() {
+        let w = Waveform::Ramp { t_start: 1.0, duration: 0.0, from: 0.0, to: 1.0 };
+        assert_eq!(w.value(0.99), 0.0);
+        assert_eq!(w.value(1.01), 1.0);
+    }
+}

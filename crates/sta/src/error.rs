@@ -1,0 +1,69 @@
+use netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by timing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaError {
+    /// The netlist is structurally broken (unknown cell, multiple drivers…).
+    Netlist(NetlistError),
+    /// The combinational logic contains a cycle through the named instance.
+    CombinationalLoop {
+        /// An instance on the cycle.
+        instance: String,
+    },
+    /// A cell output lacks a timing arc from a connected input.
+    MissingArc {
+        /// Cell name.
+        cell: String,
+        /// Input pin without an arc.
+        input: String,
+        /// Output pin.
+        output: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Netlist(e) => write!(f, "{e}"),
+            StaError::CombinationalLoop { instance } => {
+                write!(f, "combinational loop through instance {instance}")
+            }
+            StaError::MissingArc { cell, input, output } => {
+                write!(f, "cell {cell} has no timing arc {input} -> {output}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StaError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for StaError {
+    fn from(e: NetlistError) -> Self {
+        StaError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StaError::CombinationalLoop { instance: "u7".into() };
+        assert!(e.to_string().contains("u7"));
+        let n: StaError =
+            NetlistError::UnknownCell { instance: "u1".into(), cell: "X".into() }.into();
+        assert!(n.source().is_some());
+        let m = StaError::MissingArc { cell: "C".into(), input: "A".into(), output: "Y".into() };
+        assert!(m.to_string().contains("A -> Y"));
+    }
+}

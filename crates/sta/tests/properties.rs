@@ -1,0 +1,126 @@
+//! Property-based tests for timing-analysis invariants on randomly shaped
+//! tree netlists.
+
+use liberty::{Cell, Library};
+use netlist::{NetId, Netlist, PortDir};
+use proptest::prelude::*;
+use sta::{analyze, evaluate_path, Constraints};
+
+fn lib() -> Library {
+    let mut lib = Library::new("lib", 1.2);
+    lib.add_cell(Cell::test_inverter("INV_X1"));
+    lib
+}
+
+/// Builds a random inverter DAG: each new gate drives a fresh net from a
+/// randomly chosen existing net.
+fn random_dag(choices: &[usize]) -> (Netlist, Vec<NetId>) {
+    let mut nl = Netlist::new("dag");
+    let a = nl.add_port("a", PortDir::Input);
+    let mut nets = vec![a];
+    for (k, &c) in choices.iter().enumerate() {
+        let src = nets[c % nets.len()];
+        let dst = nl.add_net(&format!("n{k}"));
+        nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", src), ("Y", dst)]);
+        nets.push(dst);
+    }
+    // Expose the last few nets as outputs.
+    let out_count = nets.len().min(3);
+    let mut outs = Vec::new();
+    for (k, &net) in nets.iter().rev().take(out_count).enumerate() {
+        let port = nl.add_port(&format!("y{k}"), PortDir::Output);
+        nl.add_instance(&format!("ob{k}"), "INV_X1", &[("A", net), ("Y", port)]);
+        outs.push(port);
+    }
+    (nl, nets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arrivals never decrease along any arc, and every net's arrival is at
+    /// least its driver-input arrival.
+    #[test]
+    fn arrivals_monotone(choices in prop::collection::vec(any::<usize>(), 1..30)) {
+        let (nl, _) = random_dag(&choices);
+        let lib = lib();
+        let r = analyze(&nl, &lib, &Constraints::default()).expect("sta");
+        for inst in nl.instances() {
+            let input = inst.net_on("A").expect("connected");
+            let output = inst.net_on("Y").expect("connected");
+            prop_assert!(
+                r.arrival(output) > r.arrival(input),
+                "arrival must grow through {}",
+                inst.name
+            );
+        }
+    }
+
+    /// The critical path re-evaluates to exactly the critical delay, and
+    /// every endpoint arrival is bounded by it.
+    #[test]
+    fn critical_path_consistent(choices in prop::collection::vec(any::<usize>(), 1..30)) {
+        let (nl, _) = random_dag(&choices);
+        let lib = lib();
+        let c = Constraints::default();
+        let r = analyze(&nl, &lib, &c).expect("sta");
+        let re = evaluate_path(&nl, &lib, &c, r.critical_path()).expect("path");
+        prop_assert!((re - r.critical_delay()).abs() < 1e-15);
+        for e in r.endpoints() {
+            prop_assert!(e.arrival <= r.critical_delay() + 1e-15);
+        }
+    }
+
+    /// Without a clock, worst slack is exactly zero and no net has negative
+    /// slack; with a clock, slack shifts uniformly by the period change.
+    #[test]
+    fn slack_identities(
+        choices in prop::collection::vec(any::<usize>(), 1..25),
+        period_scale in 1.1f64..3.0,
+    ) {
+        let (nl, nets) = random_dag(&choices);
+        let lib = lib();
+        let r0 = analyze(&nl, &lib, &Constraints::default()).expect("sta");
+        prop_assert!(r0.worst_slack().is_none());
+        for &net in &nets {
+            prop_assert!(r0.net_slack(net) >= -1e-15, "implicit slack never negative");
+        }
+        let period = r0.critical_delay() * period_scale;
+        let r1 = analyze(&nl, &lib, &Constraints::with_clock(period)).expect("sta");
+        let worst = r1.worst_slack().expect("clocked");
+        prop_assert!((worst - (period - r0.critical_delay())).abs() < 1e-15);
+    }
+
+    /// Uniformly scaling every table scales every arrival (within the slew
+    /// compounding factor) and preserves the critical endpoint.
+    #[test]
+    fn scaling_preserves_ordering(
+        choices in prop::collection::vec(any::<usize>(), 2..25),
+        factor in 1.05f64..2.0,
+    ) {
+        let (nl, _) = random_dag(&choices);
+        let fresh = lib();
+        let mut aged = Library::new("aged", 1.2);
+        let mut c = Cell::test_inverter("INV_X1");
+        for o in &mut c.outputs {
+            for arc in &mut o.arcs {
+                arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                arc.rise_transition = arc.rise_transition.map(|v| v * factor);
+                arc.fall_transition = arc.fall_transition.map(|v| v * factor);
+            }
+        }
+        aged.add_cell(c);
+        let cst = Constraints::default();
+        let rf = analyze(&nl, &fresh, &cst).expect("sta");
+        let ra = analyze(&nl, &aged, &cst).expect("sta");
+        let ratio = ra.critical_delay() / rf.critical_delay();
+        prop_assert!(ratio >= factor - 1e-9, "scaling at least linear, got {ratio}");
+        prop_assert!(ratio <= factor * 1.6, "compounding bounded, got {ratio}");
+        prop_assert_eq!(
+            rf.endpoints().first().map(|e| e.net),
+            ra.endpoints().first().map(|e| e.net),
+            "uniform scaling keeps the same critical endpoint"
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! The cell catalog: 68 combinational and sequential cells mirroring the
+//! composition of the Nangate 45 nm Open Cell Library used in the paper
+//! (inverters/buffers across six drive strengths, 2–4 input NAND/NOR/AND/OR,
+//! XOR/XNOR, AOI/OAI complex gates, a mux, half/full adders and flip-flops).
+
+use crate::def::{CellDef, CellOutput, Stage, Topology};
+use crate::network::Network;
+
+/// A collection of [`CellDef`]s with name lookup.
+///
+/// # Example
+///
+/// ```
+/// use stdcells::CellSet;
+///
+/// let all = CellSet::nangate45_like();
+/// assert_eq!(all.len(), 68);
+/// let mini = CellSet::minimal();
+/// assert!(mini.len() < 15);
+/// assert!(mini.get("NAND2_X1").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSet {
+    defs: Vec<CellDef>,
+}
+
+impl CellSet {
+    /// The full 68-cell library.
+    #[must_use]
+    pub fn nangate45_like() -> Self {
+        let mut defs = Vec::with_capacity(68);
+        for s in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            defs.push(inverter(s));
+            defs.push(buffer(s));
+        }
+        for s in [1.0, 2.0, 4.0] {
+            for n in 2..=4 {
+                defs.push(nand(n, s));
+                defs.push(nor(n, s));
+                defs.push(and(n, s));
+                defs.push(or(n, s));
+            }
+            defs.push(aoi21(s));
+            defs.push(oai21(s));
+        }
+        for s in [1.0, 2.0] {
+            defs.push(xor2(s));
+            defs.push(xnor2(s));
+            defs.push(aoi22(s));
+            defs.push(oai22(s));
+            defs.push(mux2(s));
+            defs.push(dff(s));
+        }
+        defs.push(half_adder());
+        defs.push(full_adder());
+        CellSet { defs }
+    }
+
+    /// A small subset for fast tests: inverters, buffer, 2-input gates and
+    /// a flip-flop — enough to map any logic.
+    #[must_use]
+    pub fn minimal() -> Self {
+        let keep = [
+            "INV_X1", "INV_X2", "INV_X4", "BUF_X2", "NAND2_X1", "NAND2_X2", "NOR2_X1",
+            "NOR2_X2", "AND2_X1", "OR2_X1", "XOR2_X1", "DFF_X1",
+        ];
+        let all = Self::nangate45_like();
+        CellSet { defs: all.defs.into_iter().filter(|d| keep.contains(&d.name.as_str())).collect() }
+    }
+
+    /// Restricts the set to the named cells (unknown names are ignored).
+    #[must_use]
+    pub fn subset(&self, names: &[&str]) -> Self {
+        CellSet {
+            defs: self.defs.iter().filter(|d| names.contains(&d.name.as_str())).cloned().collect(),
+        }
+    }
+
+    /// Looks up a cell by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&CellDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Iterates over all cell definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &CellDef> {
+        self.defs.iter()
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+const INPUT_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+fn strength_name(base: &str, s: f64) -> String {
+    format!("{base}_X{}", s as u32)
+}
+
+fn single_output(function: &str) -> Vec<CellOutput> {
+    vec![CellOutput { pin: "Y".into(), function: function.to_owned() }]
+}
+
+fn inputs(n: usize) -> Vec<String> {
+    INPUT_NAMES[..n].iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn inverter(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("INV", s),
+        inputs: inputs(1),
+        outputs: single_output("!A"),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::input("A"),
+            strength: s,
+        }]),
+    }
+}
+
+fn buffer(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("BUF", s),
+        inputs: inputs(1),
+        outputs: single_output("A"),
+        topology: Topology::Stages(vec![
+            Stage { output: "n1".into(), pulldown: Network::input("A"), strength: (s / 3.0).max(0.5) },
+            Stage { output: "Y".into(), pulldown: Network::input("n1"), strength: s },
+        ]),
+    }
+}
+
+fn nand(n: usize, s: f64) -> CellDef {
+    let pins = inputs(n);
+    let refs: Vec<&str> = pins.iter().map(String::as_str).collect();
+    CellDef {
+        name: strength_name(&format!("NAND{n}"), s),
+        outputs: single_output(&format!("!({})", pins.join(" & "))),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::series_of(&refs),
+            strength: s,
+        }]),
+        inputs: pins,
+    }
+}
+
+fn nor(n: usize, s: f64) -> CellDef {
+    let pins = inputs(n);
+    let refs: Vec<&str> = pins.iter().map(String::as_str).collect();
+    CellDef {
+        name: strength_name(&format!("NOR{n}"), s),
+        outputs: single_output(&format!("!({})", pins.join(" | "))),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::parallel_of(&refs),
+            strength: s,
+        }]),
+        inputs: pins,
+    }
+}
+
+fn and(n: usize, s: f64) -> CellDef {
+    let pins = inputs(n);
+    let refs: Vec<&str> = pins.iter().map(String::as_str).collect();
+    CellDef {
+        name: strength_name(&format!("AND{n}"), s),
+        outputs: single_output(&pins.join(" & ")),
+        topology: Topology::Stages(vec![
+            Stage {
+                output: "n1".into(),
+                pulldown: Network::series_of(&refs),
+                strength: (s / 2.0).max(0.5),
+            },
+            Stage { output: "Y".into(), pulldown: Network::input("n1"), strength: s },
+        ]),
+        inputs: pins,
+    }
+}
+
+fn or(n: usize, s: f64) -> CellDef {
+    let pins = inputs(n);
+    let refs: Vec<&str> = pins.iter().map(String::as_str).collect();
+    CellDef {
+        name: strength_name(&format!("OR{n}"), s),
+        outputs: single_output(&pins.join(" | ")),
+        topology: Topology::Stages(vec![
+            Stage {
+                output: "n1".into(),
+                pulldown: Network::parallel_of(&refs),
+                strength: (s / 2.0).max(0.5),
+            },
+            Stage { output: "Y".into(), pulldown: Network::input("n1"), strength: s },
+        ]),
+        inputs: pins,
+    }
+}
+
+fn xor2(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("XOR2", s),
+        inputs: inputs(2),
+        outputs: single_output("A ^ B"),
+        topology: Topology::Stages(vec![
+            Stage { output: "an".into(), pulldown: Network::input("A"), strength: 0.5 },
+            Stage { output: "bn".into(), pulldown: Network::input("B"), strength: 0.5 },
+            Stage {
+                output: "Y".into(),
+                // Conducts when A == B, so the output node is A ⊕ B.
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "B"]),
+                    Network::series_of(&["an", "bn"]),
+                ]),
+                strength: s,
+            },
+        ]),
+    }
+}
+
+fn xnor2(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("XNOR2", s),
+        inputs: inputs(2),
+        outputs: single_output("!(A ^ B)"),
+        topology: Topology::Stages(vec![
+            Stage { output: "an".into(), pulldown: Network::input("A"), strength: 0.5 },
+            Stage { output: "bn".into(), pulldown: Network::input("B"), strength: 0.5 },
+            Stage {
+                output: "Y".into(),
+                // Conducts when A != B, so the output node is !(A ⊕ B).
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "bn"]),
+                    Network::series_of(&["an", "B"]),
+                ]),
+                strength: s,
+            },
+        ]),
+    }
+}
+
+fn aoi21(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("AOI21", s),
+        inputs: inputs(3),
+        outputs: single_output("!((A & B) | C)"),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::Parallel(vec![Network::series_of(&["A", "B"]), Network::input("C")]),
+            strength: s,
+        }]),
+    }
+}
+
+fn aoi22(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("AOI22", s),
+        inputs: inputs(4),
+        outputs: single_output("!((A & B) | (C & D))"),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::Parallel(vec![
+                Network::series_of(&["A", "B"]),
+                Network::series_of(&["C", "D"]),
+            ]),
+            strength: s,
+        }]),
+    }
+}
+
+fn oai21(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("OAI21", s),
+        inputs: inputs(3),
+        outputs: single_output("!((A | B) & C)"),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::Series(vec![Network::parallel_of(&["A", "B"]), Network::input("C")]),
+            strength: s,
+        }]),
+    }
+}
+
+fn oai22(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("OAI22", s),
+        inputs: inputs(4),
+        outputs: single_output("!((A | B) & (C | D))"),
+        topology: Topology::Stages(vec![Stage {
+            output: "Y".into(),
+            pulldown: Network::Series(vec![
+                Network::parallel_of(&["A", "B"]),
+                Network::parallel_of(&["C", "D"]),
+            ]),
+            strength: s,
+        }]),
+    }
+}
+
+fn mux2(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("MUX2", s),
+        inputs: vec!["A".into(), "B".into(), "S".into()],
+        outputs: single_output("(A & S) | (B & !S)"),
+        topology: Topology::Stages(vec![
+            Stage { output: "sn".into(), pulldown: Network::input("S"), strength: 0.5 },
+            Stage {
+                output: "yn".into(),
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "S"]),
+                    Network::series_of(&["B", "sn"]),
+                ]),
+                strength: (s / 2.0).max(0.5),
+            },
+            Stage { output: "Y".into(), pulldown: Network::input("yn"), strength: s },
+        ]),
+    }
+}
+
+fn half_adder() -> CellDef {
+    CellDef {
+        name: "HA_X1".into(),
+        inputs: inputs(2),
+        outputs: vec![
+            CellOutput { pin: "S".into(), function: "A ^ B".into() },
+            CellOutput { pin: "CO".into(), function: "A & B".into() },
+        ],
+        topology: Topology::Stages(vec![
+            Stage { output: "an".into(), pulldown: Network::input("A"), strength: 0.5 },
+            Stage { output: "bn".into(), pulldown: Network::input("B"), strength: 0.5 },
+            Stage {
+                output: "S".into(),
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "B"]),
+                    Network::series_of(&["an", "bn"]),
+                ]),
+                strength: 1.0,
+            },
+            Stage { output: "con".into(), pulldown: Network::series_of(&["A", "B"]), strength: 0.5 },
+            Stage { output: "CO".into(), pulldown: Network::input("con"), strength: 1.0 },
+        ]),
+    }
+}
+
+fn full_adder() -> CellDef {
+    CellDef {
+        name: "FA_X1".into(),
+        inputs: vec!["A".into(), "B".into(), "CI".into()],
+        outputs: vec![
+            CellOutput { pin: "S".into(), function: "A ^ B ^ CI".into() },
+            CellOutput { pin: "CO".into(), function: "(A & B) | (CI & (A | B))".into() },
+        ],
+        // The classic CMOS mirror adder: carry-out-bar, sum-bar, inverters.
+        topology: Topology::Stages(vec![
+            Stage {
+                output: "con".into(),
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "B"]),
+                    Network::Series(vec![
+                        Network::input("CI"),
+                        Network::parallel_of(&["A", "B"]),
+                    ]),
+                ]),
+                strength: 1.0,
+            },
+            Stage {
+                output: "sn".into(),
+                pulldown: Network::Parallel(vec![
+                    Network::series_of(&["A", "B", "CI"]),
+                    Network::Series(vec![
+                        Network::input("con"),
+                        Network::parallel_of(&["A", "B", "CI"]),
+                    ]),
+                ]),
+                strength: 1.0,
+            },
+            Stage { output: "S".into(), pulldown: Network::input("sn"), strength: 1.0 },
+            Stage { output: "CO".into(), pulldown: Network::input("con"), strength: 1.0 },
+        ]),
+    }
+}
+
+fn dff(s: f64) -> CellDef {
+    CellDef {
+        name: strength_name("DFF", s),
+        inputs: vec!["D".into(), "CK".into()],
+        outputs: vec![CellOutput { pin: "Q".into(), function: "D".into() }],
+        topology: Topology::Flop { strength: s },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn full_set_is_68_unique_cells() {
+        let set = CellSet::nangate45_like();
+        assert_eq!(set.len(), 68);
+        let names: BTreeSet<&str> = set.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 68, "duplicate cell names");
+    }
+
+    #[test]
+    fn expected_families_present() {
+        let set = CellSet::nangate45_like();
+        for name in [
+            "INV_X1", "INV_X32", "BUF_X8", "NAND2_X1", "NAND4_X4", "NOR3_X2", "AND4_X1",
+            "OR2_X4", "XOR2_X2", "XNOR2_X1", "AOI21_X2", "AOI22_X1", "OAI21_X4", "OAI22_X2",
+            "MUX2_X1", "HA_X1", "FA_X1", "DFF_X1", "DFF_X2",
+        ] {
+            assert!(set.get(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn multi_stage_share_of_library() {
+        // The paper notes multi-stage cells can exceed 50 % of a library;
+        // ours is majority multi-stage too.
+        let set = CellSet::nangate45_like();
+        let multi = set
+            .iter()
+            .filter(|d| match &d.topology {
+                Topology::Stages(st) => st.len() > 1,
+                Topology::Flop { .. } => true,
+            })
+            .count();
+        assert!(
+            multi * 2 >= set.len(),
+            "expected at least half multi-stage, got {multi}/{}",
+            set.len()
+        );
+    }
+
+    #[test]
+    fn functions_match_pulldown_complement() {
+        // For every single-stage cell the output function must equal the
+        // complement of the pull-down conduction condition.
+        let set = CellSet::nangate45_like();
+        for def in set.iter() {
+            let Topology::Stages(stages) = &def.topology else { continue };
+            if stages.len() != 1 {
+                continue;
+            }
+            let stage = &stages[0];
+            let f = def.function(&def.outputs[0].pin);
+            for bits in 0..(1u32 << def.inputs.len()) {
+                let assign = |pin: &str| {
+                    def.inputs.iter().position(|p| p == pin).is_some_and(|i| bits >> i & 1 == 1)
+                };
+                assert_eq!(
+                    f.eval(&assign),
+                    !stage.pulldown.conducts(&assign),
+                    "{}: function vs topology mismatch at {bits:b}",
+                    def.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_subset() {
+        let mini = CellSet::minimal();
+        assert!(mini.len() >= 10 && mini.len() <= 14);
+        assert!(mini.get("DFF_X1").is_some());
+        assert!(mini.get("NAND4_X1").is_none());
+        let sub = CellSet::nangate45_like().subset(&["INV_X1", "NOPE"]);
+        assert_eq!(sub.len(), 1);
+    }
+}

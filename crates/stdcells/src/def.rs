@@ -1,0 +1,315 @@
+use crate::network::Network;
+use liberty::{BoolExpr, TimingSense};
+
+/// Number of devices in `net` gated by `pin`.
+fn count_leaves(net: &Network, pin: &str) -> usize {
+    match net {
+        Network::Input(s) => usize::from(s == pin),
+        Network::Series(c) | Network::Parallel(c) => c.iter().map(|x| count_leaves(x, pin)).sum(),
+    }
+}
+
+/// One static-CMOS stage of a cell: a pull-down network driving a named
+/// signal, with the pull-up derived as the structural dual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// The signal this stage drives (an output pin or an internal node).
+    pub output: String,
+    /// The nMOS pull-down network; pull-up is [`Network::dual`].
+    pub pulldown: Network,
+    /// Drive-strength multiplier of this stage's device widths.
+    pub strength: f64,
+}
+
+/// Transistor-level structure of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// A cascade of static CMOS stages evaluated in order; later stages may
+    /// use earlier stage outputs as gate signals.
+    Stages(Vec<Stage>),
+    /// A positive-edge master–slave transmission-gate D flip-flop.
+    Flop {
+        /// Output drive-strength multiplier.
+        strength: f64,
+    },
+}
+
+/// An output pin of a cell with its boolean function (Liberty syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutput {
+    /// Pin name.
+    pub pin: String,
+    /// Function over the input pins, e.g. `"!(A & B)"`.
+    pub function: String,
+}
+
+/// A standard-cell definition: logic interface plus transistor topology.
+///
+/// # Example
+///
+/// ```
+/// use stdcells::CellSet;
+///
+/// let cells = CellSet::nangate45_like();
+/// let xor = cells.get("XOR2_X1").unwrap();
+/// // XOR inputs are non-unate: both output edges can follow either input edge.
+/// let sense = xor.timing_sense("A", "Y").unwrap();
+/// assert_eq!(sense, liberty::TimingSense::NonUnate);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDef {
+    /// Cell name including drive strength, e.g. `NAND2_X1`.
+    pub name: String,
+    /// Input pin names in canonical order.
+    pub inputs: Vec<String>,
+    /// Output pins with functions.
+    pub outputs: Vec<CellOutput>,
+    /// Transistor-level structure.
+    pub topology: Topology,
+}
+
+impl CellDef {
+    /// True for sequential cells.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(self.topology, Topology::Flop { .. })
+    }
+
+    /// The parsed boolean function of output `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored function text is malformed (a catalog bug) or
+    /// the pin does not exist.
+    #[must_use]
+    pub fn function(&self, pin: &str) -> BoolExpr {
+        let out = self
+            .outputs
+            .iter()
+            .find(|o| o.pin == pin)
+            .unwrap_or_else(|| panic!("cell {} has no output {pin}", self.name));
+        BoolExpr::parse(&out.function)
+            .unwrap_or_else(|e| panic!("cell {} function '{}': {e}", self.name, out.function))
+    }
+
+    /// Total transistor count of the cell.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        match &self.topology {
+            Topology::Stages(stages) => stages
+                .iter()
+                .map(|s| s.pulldown.device_count() + s.pulldown.dual().device_count())
+                .sum(),
+            // 4 TGs (8) + 5 inverters (10) + clock buffer (4).
+            Topology::Flop { .. } => 22,
+        }
+    }
+
+    /// Sum of all device widths in meters — the basis of the area model.
+    #[must_use]
+    pub fn total_width(&self) -> f64 {
+        match &self.topology {
+            Topology::Stages(stages) => stages
+                .iter()
+                .map(|s| {
+                    let nw = crate::UNIT_NMOS_WIDTH * s.strength * s.pulldown.device_count() as f64;
+                    let pu = s.pulldown.dual();
+                    let pw = crate::UNIT_PMOS_WIDTH
+                        * s.strength
+                        * pu.series_depth() as f64
+                        * pu.device_count() as f64;
+                    nw + pw
+                })
+                .sum(),
+            Topology::Flop { strength } => {
+                // Internal devices near unit width plus a scaled output stage.
+                20.0 * (crate::UNIT_NMOS_WIDTH + crate::UNIT_PMOS_WIDTH) / 2.0
+                    + strength * (crate::UNIT_NMOS_WIDTH + crate::UNIT_PMOS_WIDTH)
+            }
+        }
+    }
+
+    /// Layout area estimate in µm², linear in total device width with a
+    /// fixed per-cell overhead (calibrated to Nangate-like magnitudes).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.total_width() * 1e6 * 0.45 + 0.25
+    }
+
+    /// Capacitance presented by input `pin`: the summed gate capacitance of
+    /// every device the pin drives, under the given transistor models.
+    #[must_use]
+    pub fn input_capacitance(
+        &self,
+        pin: &str,
+        nmos: &ptm::MosModel,
+        pmos: &ptm::MosModel,
+    ) -> f64 {
+        match &self.topology {
+            Topology::Stages(stages) => {
+                let mut cap = 0.0;
+                for s in stages {
+                    let count = count_leaves(&s.pulldown, pin);
+                    if count == 0 {
+                        continue;
+                    }
+                    let wn = crate::UNIT_NMOS_WIDTH * s.strength;
+                    let pu = s.pulldown.dual();
+                    let wp = crate::UNIT_PMOS_WIDTH * s.strength * pu.series_depth() as f64;
+                    cap += count as f64
+                        * (nmos.gate_capacitance(wn) + pmos.gate_capacitance(wp));
+                }
+                cap
+            }
+            Topology::Flop { .. } => {
+                // D drives one transmission gate; CK drives the clock
+                // buffer's first inverter.
+                let unit =
+                    nmos.gate_capacitance(crate::UNIT_NMOS_WIDTH) + pmos.gate_capacitance(crate::UNIT_PMOS_WIDTH);
+                match pin {
+                    "D" | "CK" => unit,
+                    _ => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Determines the unateness of the `(input, output)` arc from the
+    /// output's truth table. Returns `None` if the output does not actually
+    /// depend on `input`.
+    #[must_use]
+    pub fn timing_sense(&self, input: &str, output: &str) -> Option<TimingSense> {
+        let f = self.function(output);
+        let others: Vec<&String> = self.inputs.iter().filter(|i| *i != input).collect();
+        let eval_at = |x: bool, bits: u32| {
+            f.eval(&|pin: &str| {
+                if pin == input {
+                    x
+                } else {
+                    others.iter().position(|o| *o == pin).is_some_and(|i| bits >> i & 1 == 1)
+                }
+            })
+        };
+        let mut can_rise_with_input = false; // f goes 0→1 when input rises
+        let mut can_fall_with_input = false; // f goes 1→0 when input rises
+        for bits in 0..(1u32 << others.len()) {
+            let low = eval_at(false, bits);
+            let high = eval_at(true, bits);
+            if !low && high {
+                can_rise_with_input = true;
+            }
+            if low && !high {
+                can_fall_with_input = true;
+            }
+        }
+        match (can_rise_with_input, can_fall_with_input) {
+            (true, false) => Some(TimingSense::PositiveUnate),
+            (false, true) => Some(TimingSense::NegativeUnate),
+            (true, true) => Some(TimingSense::NonUnate),
+            (false, false) => None,
+        }
+    }
+
+    /// Finds an assignment of the *other* inputs that makes `output`
+    /// sensitive to `input` (the boolean difference is 1), preferring the
+    /// assignment with the fewest inputs held high. Returns pin/value pairs
+    /// for the other inputs.
+    #[must_use]
+    pub fn sensitizing_assignment(&self, input: &str, output: &str) -> Option<Vec<(String, bool)>> {
+        let f = self.function(output);
+        let others: Vec<&String> = self.inputs.iter().filter(|i| *i != input).collect();
+        let eval_at = |x: bool, bits: u32| {
+            f.eval(&|pin: &str| {
+                if pin == input {
+                    x
+                } else {
+                    others.iter().position(|o| *o == pin).is_some_and(|i| bits >> i & 1 == 1)
+                }
+            })
+        };
+        let mut best: Option<(u32, u32)> = None; // (popcount, bits)
+        for bits in 0..(1u32 << others.len()) {
+            if eval_at(false, bits) != eval_at(true, bits) {
+                let pop = bits.count_ones();
+                if best.is_none_or(|(bp, _)| pop < bp) {
+                    best = Some((pop, bits));
+                }
+            }
+        }
+        best.map(|(_, bits)| {
+            others
+                .iter()
+                .enumerate()
+                .map(|(i, pin)| ((*pin).clone(), bits >> i & 1 == 1))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellSet;
+
+    #[test]
+    fn nand_sense_negative_unate() {
+        let cells = CellSet::nangate45_like();
+        let nand = cells.get("NAND2_X1").unwrap();
+        assert_eq!(nand.timing_sense("A", "Y"), Some(TimingSense::NegativeUnate));
+        let and = cells.get("AND2_X1").unwrap();
+        assert_eq!(and.timing_sense("B", "Y"), Some(TimingSense::PositiveUnate));
+        let xor = cells.get("XOR2_X1").unwrap();
+        assert_eq!(xor.timing_sense("A", "Y"), Some(TimingSense::NonUnate));
+    }
+
+    #[test]
+    fn sensitization_nand() {
+        let cells = CellSet::nangate45_like();
+        let nand3 = cells.get("NAND3_X1").unwrap();
+        let side = nand3.sensitizing_assignment("A", "Y").unwrap();
+        // NAND needs all other inputs high to be sensitive.
+        assert!(side.iter().all(|(_, v)| *v));
+        assert_eq!(side.len(), 2);
+        let nor3 = cells.get("NOR3_X1").unwrap();
+        let side = nor3.sensitizing_assignment("B", "Y").unwrap();
+        // NOR needs all other inputs low.
+        assert!(side.iter().all(|(_, v)| !*v));
+    }
+
+    #[test]
+    fn area_grows_with_strength() {
+        let cells = CellSet::nangate45_like();
+        let x1 = cells.get("INV_X1").unwrap().area();
+        let x4 = cells.get("INV_X4").unwrap().area();
+        assert!(x4 > 2.0 * x1, "INV_X4 area {x4} vs X1 {x1}");
+        // Plausible magnitudes (Nangate INV_X1 is 0.53 µm²).
+        assert!(x1 > 0.2 && x1 < 2.0, "INV_X1 area = {x1}");
+    }
+
+    #[test]
+    fn device_counts() {
+        let cells = CellSet::nangate45_like();
+        assert_eq!(cells.get("INV_X1").unwrap().device_count(), 2);
+        assert_eq!(cells.get("NAND2_X1").unwrap().device_count(), 4);
+        assert_eq!(cells.get("AND2_X1").unwrap().device_count(), 6);
+        assert_eq!(cells.get("FA_X1").unwrap().device_count(), 28);
+        assert_eq!(cells.get("DFF_X1").unwrap().device_count(), 22);
+    }
+
+    #[test]
+    fn function_parses_for_all_cells() {
+        let cells = CellSet::nangate45_like();
+        for cell in cells.iter() {
+            for out in &cell.outputs {
+                let f = cell.function(&out.pin);
+                for v in f.vars() {
+                    assert!(
+                        cell.inputs.contains(&v),
+                        "cell {} function references unknown pin {v}",
+                        cell.name
+                    );
+                }
+            }
+        }
+    }
+}

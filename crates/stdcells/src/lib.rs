@@ -1,0 +1,42 @@
+//! An open 45 nm-style standard cell library at the transistor level.
+//!
+//! This crate plays the role of the Nangate 45 nm Open Cell Library in the
+//! paper's flow: it defines 68 combinational and sequential cells — their
+//! boolean functions, their CMOS transistor topologies (pull-down networks
+//! with automatically derived dual pull-ups, multi-stage structures,
+//! transmission-gate flip-flops) and layout-style parasitics — ready to be
+//! instantiated into [`spicesim`] circuits for characterization under fresh
+//! or aged transistor models.
+//!
+//! Pin conventions: combinational inputs are `A`, `B`, `C`, `D`; the output
+//! is `Y`. The full adder uses `A`, `B`, `CI` → `S`, `CO`; flip-flops use
+//! `D`, `CK` → `Q` (a deviation from Nangate's `A1/A2/ZN` naming, chosen for
+//! readability).
+//!
+//! # Example
+//!
+//! ```
+//! use stdcells::CellSet;
+//!
+//! let cells = CellSet::nangate45_like();
+//! assert_eq!(cells.len(), 68);
+//! let nand = cells.get("NAND2_X1").expect("NAND2_X1 exists");
+//! assert_eq!(nand.inputs, vec!["A".to_owned(), "B".to_owned()]);
+//! assert_eq!(nand.outputs[0].function, "!(A & B)");
+//! ```
+
+mod catalog;
+mod def;
+mod instance;
+mod network;
+
+pub use catalog::CellSet;
+pub use def::{CellDef, CellOutput, Stage, Topology};
+pub use instance::CellInstance;
+pub use network::Network;
+
+/// Unit nMOS width (meters) of a drive-strength-1 stage.
+pub const UNIT_NMOS_WIDTH: f64 = 415e-9;
+/// Unit pMOS width (meters) of a drive-strength-1 stage (≈ the n/p drive
+/// ratio of the 45 nm cards).
+pub const UNIT_PMOS_WIDTH: f64 = 630e-9;

@@ -1,0 +1,191 @@
+/// A series/parallel transistor network, expressed over *signal names*
+/// (cell input pins or internal stage outputs).
+///
+/// A [`Network`] describes a pull-down network: an nMOS device per
+/// [`Network::Input`] leaf, conducting when its signal is high. The matching
+/// pull-up network of a static CMOS stage is the structural [dual]
+/// (series ↔ parallel) built from pMOS devices, which conduct when their
+/// signal is low — so `pulldown.conducts(assign)` and
+/// `pulldown.dual().conducts_pullup(assign)` are always complementary.
+///
+/// [dual]: Network::dual
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Network {
+    /// A single transistor gated by the named signal.
+    Input(String),
+    /// Series connection: conducts when **all** children conduct.
+    Series(Vec<Network>),
+    /// Parallel connection: conducts when **any** child conducts.
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// Leaf constructor from a signal name.
+    #[must_use]
+    pub fn input(name: &str) -> Self {
+        Network::Input(name.to_owned())
+    }
+
+    /// Series of leaves, one per name.
+    #[must_use]
+    pub fn series_of(names: &[&str]) -> Self {
+        Network::Series(names.iter().map(|n| Self::input(n)).collect())
+    }
+
+    /// Parallel of leaves, one per name.
+    #[must_use]
+    pub fn parallel_of(names: &[&str]) -> Self {
+        Network::Parallel(names.iter().map(|n| Self::input(n)).collect())
+    }
+
+    /// The structural dual: series ↔ parallel with identical leaves. Applied
+    /// to a pull-down network it yields the static-CMOS pull-up network.
+    #[must_use]
+    pub fn dual(&self) -> Self {
+        match self {
+            Network::Input(n) => Network::Input(n.clone()),
+            Network::Series(c) => Network::Parallel(c.iter().map(Network::dual).collect()),
+            Network::Parallel(c) => Network::Series(c.iter().map(Network::dual).collect()),
+        }
+    }
+
+    /// Whether an **nMOS** network conducts under `assign` (device on when
+    /// its gate signal is true).
+    pub fn conducts(&self, assign: &impl Fn(&str) -> bool) -> bool {
+        match self {
+            Network::Input(n) => assign(n),
+            Network::Series(c) => c.iter().all(|x| x.conducts(assign)),
+            Network::Parallel(c) => c.iter().any(|x| x.conducts(assign)),
+        }
+    }
+
+    /// Whether a **pMOS** network conducts under `assign` (device on when
+    /// its gate signal is false).
+    pub fn conducts_pullup(&self, assign: &impl Fn(&str) -> bool) -> bool {
+        match self {
+            Network::Input(n) => !assign(n),
+            Network::Series(c) => c.iter().all(|x| x.conducts_pullup(assign)),
+            Network::Parallel(c) => c.iter().any(|x| x.conducts_pullup(assign)),
+        }
+    }
+
+    /// The longest series stack depth (number of devices between the output
+    /// node and the rail on the deepest path) — drives width up-sizing.
+    #[must_use]
+    pub fn series_depth(&self) -> usize {
+        match self {
+            Network::Input(_) => 1,
+            Network::Series(c) => c.iter().map(Network::series_depth).sum(),
+            Network::Parallel(c) => c.iter().map(Network::series_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of transistors in the network.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        match self {
+            Network::Input(_) => 1,
+            Network::Series(c) | Network::Parallel(c) => c.iter().map(Network::device_count).sum(),
+        }
+    }
+
+    /// The distinct signal names gating devices of this network, in first-
+    /// appearance order.
+    #[must_use]
+    pub fn signals(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_signals(&mut out);
+        out
+    }
+
+    fn collect_signals(&self, out: &mut Vec<String>) {
+        match self {
+            Network::Input(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            Network::Series(c) | Network::Parallel(c) => {
+                c.iter().for_each(|x| x.collect_signals(out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2() -> Network {
+        Network::series_of(&["A", "B"])
+    }
+
+    fn assign<'a>(high: &'a [&'a str]) -> impl Fn(&str) -> bool + 'a {
+        move |s: &str| high.contains(&s)
+    }
+
+    #[test]
+    fn series_parallel_conduction() {
+        let pd = nand2();
+        assert!(pd.conducts(&assign(&["A", "B"])));
+        assert!(!pd.conducts(&assign(&["A"])));
+        let nor_pd = Network::parallel_of(&["A", "B"]);
+        assert!(nor_pd.conducts(&assign(&["B"])));
+        assert!(!nor_pd.conducts(&assign(&[])));
+    }
+
+    #[test]
+    fn dual_is_complementary() {
+        // Static CMOS invariant: exactly one of pull-down (nMOS) and dual
+        // pull-up (pMOS) conducts for every input assignment.
+        let pulldowns = [
+            nand2(),
+            Network::parallel_of(&["A", "B", "C"]),
+            Network::Parallel(vec![
+                Network::series_of(&["A", "B"]),
+                Network::series_of(&["C", "D"]),
+            ]),
+            Network::Series(vec![
+                Network::input("A"),
+                Network::parallel_of(&["B", "C"]),
+            ]),
+        ];
+        for pd in &pulldowns {
+            let pu = pd.dual();
+            let signals = pd.signals();
+            for bits in 0..(1u32 << signals.len()) {
+                let f = |s: &str| {
+                    signals.iter().position(|x| x == s).is_some_and(|i| bits >> i & 1 == 1)
+                };
+                assert_ne!(pd.conducts(&f), pu.conducts_pullup(&f), "{pd:?} @ {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_count() {
+        let aoi22 = Network::Parallel(vec![
+            Network::series_of(&["A", "B"]),
+            Network::series_of(&["C", "D"]),
+        ]);
+        assert_eq!(aoi22.series_depth(), 2);
+        assert_eq!(aoi22.device_count(), 4);
+        assert_eq!(aoi22.dual().series_depth(), 2);
+        let oai21 = Network::Series(vec![
+            Network::input("A"),
+            Network::parallel_of(&["B", "C"]),
+        ]);
+        assert_eq!(oai21.series_depth(), 2);
+        assert_eq!(oai21.dual().series_depth(), 2);
+        assert_eq!(Network::input("X").series_depth(), 1);
+    }
+
+    #[test]
+    fn signal_collection_dedupes() {
+        let x = Network::Parallel(vec![
+            Network::series_of(&["A", "B"]),
+            Network::series_of(&["A", "C"]),
+        ]);
+        assert_eq!(x.signals(), vec!["A".to_owned(), "B".to_owned(), "C".to_owned()]);
+    }
+}

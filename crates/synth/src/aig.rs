@@ -1,0 +1,413 @@
+use std::collections::HashMap;
+
+/// A literal: a node reference with an optional complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    fn new(node: NodeId, complemented: bool) -> Self {
+        Lit(node.0 << 1 | u32::from(complemented))
+    }
+
+    /// The node this literal refers to.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    pub fn complement(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// This literal with complementation set to `c`.
+    #[must_use]
+    pub fn with_complement(self, c: bool) -> Lit {
+        Lit(self.0 & !1 | u32::from(c))
+    }
+}
+
+/// A node index within an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Dense index for side tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The function of an AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The constant-false node (node 0).
+    Const,
+    /// The k-th primary input.
+    Input(u32),
+    /// The k-th latch output (state bit).
+    Latch(u32),
+    /// Conjunction of two literals.
+    And(Lit, Lit),
+}
+
+/// A sequential And-Inverter Graph: primary inputs, latches (state bits)
+/// and two-input AND nodes with complemented edges.
+///
+/// Structural hashing, constant propagation and the trivial-operand rules
+/// run at construction, so equivalent sub-graphs share nodes. Word-level
+/// circuits build on this via the [`circuits`] crate.
+///
+/// # Example
+///
+/// ```
+/// use synth::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.input("a");
+/// let b = aig.input("b");
+/// let y = aig.xor(a, b);
+/// aig.output("y", y);
+/// assert_eq!(aig.eval(&[true, false], &[]), vec![true]);
+/// assert_eq!(aig.eval(&[true, true], &[]), vec![false]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    kinds: Vec<NodeKind>,
+    strash: HashMap<(Lit, Lit), NodeId>,
+    input_names: Vec<String>,
+    input_nodes: Vec<NodeId>,
+    latch_nodes: Vec<NodeId>,
+    latch_names: Vec<String>,
+    latch_next: Vec<Lit>,
+    outputs: Vec<(String, Lit)>,
+}
+
+impl Aig {
+    /// An empty graph (with its constant node).
+    #[must_use]
+    pub fn new() -> Self {
+        Aig { kinds: vec![NodeKind::Const], ..Aig::default() }
+    }
+
+    /// Adds a primary input named `name` and returns its positive literal.
+    pub fn input(&mut self, name: &str) -> Lit {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Input(self.input_names.len() as u32));
+        self.input_names.push(name.to_owned());
+        self.input_nodes.push(id);
+        Lit::new(id, false)
+    }
+
+    /// Adds a latch (state bit) named `name`; its next-state function is set
+    /// later via [`Aig::set_latch_next`]. Returns the latch-output literal.
+    pub fn latch(&mut self, name: &str) -> Lit {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Latch(self.latch_nodes.len() as u32));
+        self.latch_nodes.push(id);
+        self.latch_names.push(name.to_owned());
+        self.latch_next.push(Lit::FALSE);
+        Lit::new(id, false)
+    }
+
+    /// Sets the next-state function of the latch whose output literal is
+    /// `latch` (must be an uncomplemented latch literal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not a positive latch-output literal.
+    pub fn set_latch_next(&mut self, latch: Lit, next: Lit) {
+        assert!(!latch.is_complemented(), "latch literal must be positive");
+        match self.kinds[latch.node().index()] {
+            NodeKind::Latch(k) => self.latch_next[k as usize] = next,
+            _ => panic!("literal does not name a latch"),
+        }
+    }
+
+    /// Registers a primary output.
+    pub fn output(&mut self, name: &str, lit: Lit) {
+        self.outputs.push((name.to_owned(), lit));
+    }
+
+    /// The conjunction of two literals, with constant folding, trivial
+    /// rules (`x·x = x`, `x·!x = 0`) and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Normalize operand order for hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.complement() {
+            return Lit::FALSE;
+        }
+        if let Some(&node) = self.strash.get(&(a, b)) {
+            return Lit::new(node, false);
+        }
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::And(a, b));
+        self.strash.insert((a, b), id);
+        Lit::new(id, false)
+    }
+
+    /// `a | b` via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.complement(), b.complement()).complement()
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n1 = self.and(a, b.complement());
+        let n2 = self.and(a.complement(), b);
+        self.or(n1, n2)
+    }
+
+    /// `if s { a } else { b }`.
+    pub fn mux(&mut self, s: Lit, a: Lit, b: Lit) -> Lit {
+        let t = self.and(s, a);
+        let e = self.and(s.complement(), b);
+        self.or(t, e)
+    }
+
+    /// Balanced conjunction of many literals (empty → constant true).
+    pub fn and_multi(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::TRUE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.and_multi(&lits[..mid]);
+                let r = self.and_multi(&lits[mid..]);
+                self.and(l, r)
+            }
+        }
+    }
+
+    /// Balanced disjunction of many literals (empty → constant false).
+    pub fn or_multi(&mut self, lits: &[Lit]) -> Lit {
+        let comp: Vec<Lit> = lits.iter().map(|l| l.complement()).collect();
+        self.and_multi(&comp).complement()
+    }
+
+    /// Number of nodes including the constant.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of AND nodes.
+    #[must_use]
+    pub fn and_count(&self) -> usize {
+        self.kinds.iter().filter(|k| matches!(k, NodeKind::And(..))).count()
+    }
+
+    /// The kind of `node`.
+    #[must_use]
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Primary input names in declaration order.
+    #[must_use]
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Latch names in declaration order.
+    #[must_use]
+    pub fn latch_names(&self) -> &[String] {
+        &self.latch_names
+    }
+
+    /// Latch next-state literals in declaration order.
+    #[must_use]
+    pub fn latch_next_lits(&self) -> &[Lit] {
+        &self.latch_next
+    }
+
+    /// Latch output nodes in declaration order.
+    #[must_use]
+    pub fn latch_nodes(&self) -> &[NodeId] {
+        &self.latch_nodes
+    }
+
+    /// Primary input nodes in declaration order.
+    #[must_use]
+    pub fn input_nodes(&self) -> &[NodeId] {
+        &self.input_nodes
+    }
+
+    /// Primary outputs `(name, literal)` in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Nodes in topological order (constant, inputs and latches first).
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        // Nodes are created fanin-first, so creation order IS topological.
+        (0..self.kinds.len() as u32).map(NodeId).collect()
+    }
+
+    /// Evaluates all outputs for the given input and latch-state values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the declared input/latch counts.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool], latches: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.input_names.len(), "input width mismatch");
+        assert_eq!(latches.len(), self.latch_nodes.len(), "latch width mismatch");
+        let values = self.eval_nodes(inputs, latches);
+        self.outputs.iter().map(|(_, lit)| lit_value(&values, *lit)).collect()
+    }
+
+    /// Evaluates next-state values for the latches.
+    #[must_use]
+    pub fn eval_next_state(&self, inputs: &[bool], latches: &[bool]) -> Vec<bool> {
+        let values = self.eval_nodes(inputs, latches);
+        self.latch_next.iter().map(|lit| lit_value(&values, *lit)).collect()
+    }
+
+    fn eval_nodes(&self, inputs: &[bool], latches: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.kinds.len()];
+        for (k, kind) in self.kinds.iter().enumerate() {
+            values[k] = match kind {
+                NodeKind::Const => false,
+                NodeKind::Input(i) => inputs[*i as usize],
+                NodeKind::Latch(l) => latches[*l as usize],
+                NodeKind::And(a, b) => lit_value(&values, *a) && lit_value(&values, *b),
+            };
+        }
+        values
+    }
+}
+
+fn lit_value(values: &[bool], lit: Lit) -> bool {
+    values[lit.node().index()] ^ lit.is_complemented()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        assert_eq!(Lit::FALSE.complement(), Lit::TRUE);
+        assert!(!Lit::FALSE.is_complemented());
+        assert!(Lit::TRUE.is_complemented());
+        assert_eq!(Lit::TRUE.node(), Lit::FALSE.node());
+        assert_eq!(Lit::FALSE.with_complement(true), Lit::TRUE);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.complement()), Lit::FALSE);
+        assert_eq!(g.and_count(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let s = g.input("s");
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mux = g.mux(s, a, b);
+        g.output("or", or);
+        g.output("xor", xor);
+        g.output("mux", mux);
+        for bits in 0..8u32 {
+            let (av, bv, sv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let out = g.eval(&[av, bv, sv], &[]);
+            assert_eq!(out[0], av | bv);
+            assert_eq!(out[1], av ^ bv);
+            assert_eq!(out[2], if sv { av } else { bv });
+        }
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..5).map(|k| g.input(&format!("i{k}"))).collect();
+        let all = g.and_multi(&ins);
+        let any = g.or_multi(&ins);
+        g.output("all", all);
+        g.output("any", any);
+        for bits in 0..32u32 {
+            let vals: Vec<bool> = (0..5).map(|k| bits >> k & 1 == 1).collect();
+            let out = g.eval(&vals, &[]);
+            assert_eq!(out[0], vals.iter().all(|&v| v));
+            assert_eq!(out[1], vals.iter().any(|&v| v));
+        }
+        assert_eq!(g.and_multi(&[]), Lit::TRUE);
+        assert_eq!(g.or_multi(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn latch_state_machine() {
+        // A toggle flip-flop: q' = q ^ en.
+        let mut g = Aig::new();
+        let en = g.input("en");
+        let q = g.latch("q");
+        let next = g.xor(q, en);
+        g.set_latch_next(q, next);
+        g.output("q", q);
+        let mut state = vec![false];
+        let mut seen = Vec::new();
+        for &e in &[true, false, true, true] {
+            seen.push(g.eval(&[e], &state)[0]);
+            state = g.eval_next_state(&[e], &state);
+        }
+        assert_eq!(seen, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn topo_order_is_fanin_first() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        let _y = g.and(x, a.complement());
+        let order = g.topo_order();
+        let pos =
+            |n: NodeId| order.iter().position(|&o| o == n).expect("in order");
+        assert!(pos(a.node()) < pos(x.node()));
+    }
+}

@@ -1,0 +1,235 @@
+//! k-feasible cut enumeration with truth tables.
+//!
+//! Every AND node accumulates a bounded set of *cuts*: small sets of
+//! transitive-fanin nodes (leaves) that completely determine the node's
+//! value, together with the boolean function (truth table) of the node over
+//! those leaves. Cuts are the candidate footprints technology mapping
+//! matches against library cells.
+
+use crate::aig::{Aig, Lit, NodeId, NodeKind};
+
+/// One cut: sorted leaves and the node's function over them.
+///
+/// `tt` stores `2^leaves.len()` bits (≤ 16 for k = 4); bit `r` is the node
+/// value when leaf `j` carries bit `j` of `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Cut {
+    pub leaves: Vec<NodeId>,
+    pub tt: u16,
+}
+
+impl Cut {
+    fn trivial(node: NodeId) -> Cut {
+        Cut { leaves: vec![node], tt: 0b10 }
+    }
+
+    /// Masks `tt` to the valid bit width.
+    fn normalized(mut self) -> Cut {
+        let bits = 1u32 << self.leaves.len();
+        if bits < 16 {
+            self.tt &= (1u16 << bits) - 1;
+        }
+        self
+    }
+}
+
+/// Enumerates up to `max_cuts` cuts of ≤ `k` leaves per node.
+pub(crate) fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!((2..=4).contains(&k), "cut size must be 2..=4");
+    let n = aig.node_count();
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+    for node in aig.topo_order() {
+        let i = node.index();
+        match aig.kind(node) {
+            NodeKind::Const => {
+                cuts[i] = vec![Cut { leaves: Vec::new(), tt: 0 }];
+            }
+            NodeKind::Input(_) | NodeKind::Latch(_) => {
+                cuts[i] = vec![Cut::trivial(node)];
+            }
+            NodeKind::And(a, b) => {
+                // The trivial 2-leaf cut goes first: it is never degenerate
+                // (strash removes x·x / x·!x), so it guarantees coverage and
+                // must survive truncation.
+                let triv = merge(&Cut::trivial(a.node()), a, &Cut::trivial(b.node()), b, k)
+                    .expect("two leaves always fit");
+                let mut set: Vec<Cut> = vec![triv];
+                for ca in &cuts[a.node().index()] {
+                    for cb in &cuts[b.node().index()] {
+                        if let Some(cut) = merge(ca, a, cb, b, k) {
+                            // Constant functions can never match a cell.
+                            let mask = if cut.leaves.len() >= 4 {
+                                u16::MAX
+                            } else {
+                                (1u16 << (1 << cut.leaves.len())) - 1
+                            };
+                            if cut.tt == 0 || cut.tt == mask {
+                                continue;
+                            }
+                            if !set.contains(&cut) {
+                                set.push(cut);
+                            }
+                        }
+                    }
+                }
+                set.sort_by_key(|c| c.leaves.len());
+                set.truncate(max_cuts);
+                cuts[i] = set;
+            }
+        }
+    }
+    cuts
+}
+
+/// Merges two child cuts across an AND node, applying edge complements.
+fn merge(ca: &Cut, la: Lit, cb: &Cut, lb: Lit, k: usize) -> Option<Cut> {
+    let mut leaves: Vec<NodeId> = ca.leaves.clone();
+    for l in &cb.leaves {
+        if !leaves.contains(l) {
+            leaves.push(*l);
+        }
+    }
+    if leaves.len() > k {
+        return None;
+    }
+    leaves.sort();
+    let ta = expand(ca, &leaves) ^ complement_mask(la, leaves.len());
+    let tb = expand(cb, &leaves) ^ complement_mask(lb, leaves.len());
+    Some(Cut { leaves, tt: ta & tb }.normalized())
+}
+
+fn complement_mask(lit: Lit, n_leaves: usize) -> u16 {
+    if lit.is_complemented() {
+        let bits = 1u32 << n_leaves;
+        if bits >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << bits) - 1
+        }
+    } else {
+        0
+    }
+}
+
+/// Re-expresses a child cut's truth table over the merged leaf set.
+fn expand(cut: &Cut, leaves: &[NodeId]) -> u16 {
+    let positions: Vec<usize> = cut
+        .leaves
+        .iter()
+        .map(|l| leaves.iter().position(|x| x == l).expect("child leaves subset of union"))
+        .collect();
+    let rows = 1usize << leaves.len();
+    let mut tt = 0u16;
+    for row in 0..rows {
+        let mut child_row = 0usize;
+        for (bit, &pos) in positions.iter().enumerate() {
+            child_row |= (row >> pos & 1) << bit;
+        }
+        if cut.tt >> child_row & 1 == 1 {
+            tt |= 1 << row;
+        }
+    }
+    tt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: the tt of every input-leaf cut agrees with AIG
+    /// evaluation of the (possibly complemented) probe literal — cut truth
+    /// tables describe the *node*, so the literal's complement is applied.
+    fn check_cuts(aig: &Aig, probe: Lit, cuts: &[Vec<Cut>]) {
+        let n_inputs = aig.input_names().len();
+        let mut checked = 0;
+        for cut in &cuts[probe.node().index()] {
+            // Only cuts whose leaves are all primary inputs can be driven
+            // directly from the input vector.
+            if !cut.leaves.iter().all(|l| matches!(aig.kind(*l), NodeKind::Input(_))) {
+                continue;
+            }
+            checked += 1;
+            for row in 0..(1usize << cut.leaves.len()) {
+                let mut inputs = vec![false; n_inputs];
+                for (bit, leaf) in cut.leaves.iter().enumerate() {
+                    let NodeKind::Input(k) = aig.kind(*leaf) else { unreachable!() };
+                    inputs[k as usize] = row >> bit & 1 == 1;
+                }
+                let mut g = aig.clone();
+                g.output("probe", probe);
+                let value = *g.eval(&inputs, &[]).last().unwrap();
+                let node_value = value ^ probe.is_complemented();
+                assert_eq!(
+                    cut.tt >> row & 1 == 1,
+                    node_value,
+                    "cut {cut:?} row {row:b} disagrees with simulation"
+                );
+            }
+        }
+        assert!(checked > 0, "no input-leaf cuts to check on the probe node");
+    }
+
+    #[test]
+    fn and_node_cut_functions() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.and(a, b.complement());
+        let y = g.and(x, c);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        check_cuts(&g, x, &cuts);
+        check_cuts(&g, y, &cuts);
+        // y must own a 3-leaf cut computing a & !b & c.
+        let has3 = cuts[y.node().index()].iter().any(|cut| cut.leaves.len() == 3);
+        assert!(has3, "expected a 3-leaf cut on the top node");
+    }
+
+    #[test]
+    fn xor_cut_truth_table() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.xor(a, b);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        check_cuts(&g, x, &cuts);
+        let two_leaf = cuts[x.node().index()]
+            .iter()
+            .find(|c| c.leaves.len() == 2 && c.leaves == vec![a.node(), b.node()]);
+        let cut = two_leaf.expect("xor of inputs has a 2-leaf cut");
+        // `x` is a complemented literal onto the top AND node, so the node
+        // itself computes XNOR: rows 00 and 11 true.
+        assert!(x.is_complemented());
+        assert_eq!(cut.tt, 0b1001);
+    }
+
+    #[test]
+    fn cut_count_bounded() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..8).map(|k| g.input(&format!("i{k}"))).collect();
+        let all = g.and_multi(&ins);
+        let cuts = enumerate_cuts(&g, 4, 6);
+        for set in &cuts {
+            assert!(set.len() <= 6);
+            for c in set {
+                assert!(c.leaves.len() <= 4);
+            }
+        }
+        assert!(!cuts[all.node().index()].is_empty());
+    }
+
+    #[test]
+    fn complemented_edges_fold_into_tt() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        // !a & b
+        let x = g.and(a.complement(), b);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        let cut = cuts[x.node().index()]
+            .iter()
+            .find(|c| c.leaves == vec![a.node(), b.node()])
+            .expect("trivial cut");
+        assert_eq!(cut.tt, 0b0100, "!a & b is true only at row a=0,b=1");
+    }
+}

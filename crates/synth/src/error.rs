@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by technology mapping and netlist optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The library lacks an inverter (single-input negative-unate cell).
+    NoInverter,
+    /// The library lacks any 2-input AND-capable gate, so AIG covering
+    /// cannot be complete.
+    NoAndGate,
+    /// The AIG has latches but the library has no flip-flop.
+    NoFlop,
+    /// A node could not be covered by any library match (should not happen
+    /// when the inverter/AND primitives exist).
+    Uncoverable {
+        /// The AIG node index.
+        node: usize,
+    },
+    /// A constant output needed a tie-style construction the library cannot
+    /// express (no NOR2-like cell and no inputs to derive it from).
+    ConstantOutput {
+        /// The output name.
+        output: String,
+    },
+    /// Downstream timing analysis failed during sizing.
+    Sta(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NoInverter => write!(f, "library has no inverter cell"),
+            SynthError::NoAndGate => write!(f, "library has no 2-input AND-capable cell"),
+            SynthError::NoFlop => write!(f, "AIG has latches but the library has no flip-flop"),
+            SynthError::Uncoverable { node } => write!(f, "no library match covers AIG node {node}"),
+            SynthError::ConstantOutput { output } => {
+                write!(f, "cannot realize constant output {output} with this library")
+            }
+            SynthError::Sta(m) => write!(f, "timing analysis failed during sizing: {m}"),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+impl From<sta::StaError> for SynthError {
+    fn from(e: sta::StaError) -> Self {
+        SynthError::Sta(e.to_string())
+    }
+}
+
+impl From<netlist::NetlistError> for SynthError {
+    fn from(e: netlist::NetlistError) -> Self {
+        SynthError::Sta(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SynthError::NoInverter.to_string().contains("inverter"));
+        assert!(SynthError::Uncoverable { node: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,387 @@
+//! Post-mapping netlist optimization: fanout buffering and gate sizing.
+//!
+//! Both passes are *library-driven*: they query the active library's delay
+//! tables, so running them with a degradation-aware library sizes and
+//! buffers against the **aged** delays — the mechanism by which the paper's
+//! flow "contains" guardbands (Sec. 4.3).
+
+use crate::matching::family_name;
+use crate::{MapOptions, SynthError};
+use liberty::Library;
+use netlist::{InstId, NetId, Netlist};
+use sta::{analyze, Constraints};
+use std::collections::HashMap;
+
+/// Splits nets whose fanout exceeds `max_fanout` by inserting buffer trees.
+///
+/// # Errors
+///
+/// Returns [`SynthError::NoInverter`] when the library offers neither a
+/// buffer nor an inverter to build one from.
+pub fn buffer_fanout(nl: &mut Netlist, library: &Library, max_fanout: usize) -> Result<(), SynthError> {
+    let max_fanout = max_fanout.max(2);
+    let buffer = library
+        .cells()
+        .find(|c| {
+            !c.is_sequential()
+                && c.inputs.len() == 1
+                && c.outputs.len() == 1
+                && c.outputs[0].function == liberty::BoolExpr::var(&c.inputs[0].name)
+        })
+        .map(|c| (c.name.clone(), c.inputs[0].name.clone(), c.outputs[0].name.clone()));
+
+    loop {
+        let sinks = nl.sinks(library)?;
+        // Pick one overloaded net per iteration (rebuilding maps after edit).
+        let overloaded = sinks.iter().find_map(|(net, pins)| {
+            (pins.len() > max_fanout).then_some((*net, pins.clone()))
+        });
+        let Some((net, pins)) = overloaded else { break };
+        let Some((buf_cell, in_pin, out_pin)) = buffer.clone() else {
+            // Without a buffer cell, leave the net alone (inverter pairs
+            // would double delay on every branch); sizing will upsize the
+            // driver instead.
+            break;
+        };
+        // Move every sink group behind a fresh buffer. The buffers' own
+        // input pins become the net's only sinks (⌈n/max⌉ < n of them), so
+        // the loop strictly reduces fanout and terminates.
+        for group in pins.chunks(max_fanout).collect::<Vec<_>>() {
+            let branch = nl.add_anonymous_net("fobuf");
+            let name = format!("fob{}", branch.index());
+            nl.add_instance(&name, &buf_cell, &[(in_pin.as_str(), net), (out_pin.as_str(), branch)]);
+            for (inst, pin) in group {
+                move_connection(nl, *inst, pin, branch);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn move_connection(nl: &mut Netlist, inst: InstId, pin: &str, to: NetId) {
+    let instance = nl.instance_mut(inst);
+    for (p, n) in &mut instance.connections {
+        if p == pin {
+            *n = to;
+            return;
+        }
+    }
+}
+
+/// Gate sizing: a load-based pass that picks the smallest strength able to
+/// drive each instance's load near the library's characterized sweet spot,
+/// followed by greedy critical-path upsizing validated by STA — all against
+/// the delays of `library`.
+///
+/// # Errors
+///
+/// Propagates STA failures on malformed netlists.
+pub fn size_gates(nl: &mut Netlist, library: &Library, options: &MapOptions) -> Result<(), SynthError> {
+    let variants = strength_variants(library);
+    if variants.is_empty() {
+        return Ok(());
+    }
+
+    // --- pass 1: load-proportional sizing ---
+    for _ in 0..2 {
+        let sinks = nl.sinks(library)?;
+        let mut changes: Vec<(InstId, String)> = Vec::new();
+        for id in nl.instance_ids() {
+            let inst = nl.instance(id);
+            let Some(cell) = library.cell(&inst.cell) else { continue };
+            let (fam, _) = family_name(&inst.cell);
+            let Some(fam_variants) = variants.get(fam) else { continue };
+            if fam_variants.len() < 2 {
+                continue;
+            }
+            // Load on the (first) output.
+            let Some(out) = cell.outputs.first() else { continue };
+            let Some(out_net) = inst.net_on(&out.name) else { continue };
+            let load: f64 = sinks
+                .get(&out_net)
+                .map(|pins| {
+                    pins.iter()
+                        .filter_map(|(s, p)| {
+                            library.cell(&nl.instance(*s).cell).and_then(|c| c.input_cap(p))
+                        })
+                        .sum()
+                })
+                .unwrap_or(0.0)
+                + library.default_output_load
+                    * f64::from(u8::from(nl.output_nets().any(|n| n == out_net)));
+            // Choose the variant whose max_capacitance comfortably covers
+            // the load (electrical-correctness driven, then speed).
+            let mut best = inst.cell.clone();
+            for (name, max_cap) in fam_variants {
+                best = name.clone();
+                if load <= 0.35 * max_cap {
+                    break;
+                }
+            }
+            if best != inst.cell {
+                changes.push((id, best));
+            }
+        }
+        if changes.is_empty() {
+            break;
+        }
+        for (id, cell) in changes {
+            nl.instance_mut(id).cell = cell;
+        }
+    }
+
+    // --- pass 2: greedy critical-path upsizing validated by STA ---
+    let constraints = Constraints::default();
+    for _ in 0..options.sizing_iterations {
+        let report = analyze(nl, library, &constraints)?;
+        let before = report.critical_delay();
+        let mut touched: Vec<(InstId, String)> = Vec::new();
+        for step in &report.critical_path().steps {
+            let inst = nl.instance(step.inst);
+            let (fam, strength) = family_name(&inst.cell);
+            let Some(fam_variants) = variants.get(fam) else { continue };
+            // Next strength up, if any.
+            let next = fam_variants
+                .iter()
+                .find(|(name, _)| family_name(name).1 > strength)
+                .map(|(name, _)| name.clone());
+            if let Some(next) = next {
+                touched.push((step.inst, inst.cell.clone()));
+                nl.instance_mut(step.inst).cell = next;
+            }
+        }
+        if touched.is_empty() {
+            break;
+        }
+        let after = analyze(nl, library, &constraints)?.critical_delay();
+        if after >= before {
+            // Revert a non-improving batch and stop.
+            for (id, cell) in touched {
+                nl.instance_mut(id).cell = cell;
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Aggressive critical-path optimization: walks the current critical path
+/// and greedily upsizes one instance at a time, keeping each change only if
+/// a full re-analysis improves the critical delay. Judged entirely by
+/// `library` — handing it a degradation-aware library optimizes the *aged*
+/// critical path (paper Sec. 4.3).
+///
+/// # Errors
+///
+/// Propagates STA failures.
+pub fn optimize_critical_path(
+    nl: &mut Netlist,
+    library: &Library,
+    rounds: usize,
+) -> Result<(), SynthError> {
+    let variants = strength_variants(library);
+    if variants.is_empty() {
+        return Ok(());
+    }
+    let constraints = Constraints::default();
+    let mut best = analyze(nl, library, &constraints)?.critical_delay();
+    for _ in 0..rounds {
+        let report = analyze(nl, library, &constraints)?;
+        let steps: Vec<InstId> = report.critical_path().steps.iter().map(|s| s.inst).collect();
+        let mut improved = false;
+        for inst_id in steps.into_iter().rev() {
+            let cell_name = nl.instance(inst_id).cell.clone();
+            let (fam, strength) = family_name(&cell_name);
+            let Some(fam_variants) = variants.get(fam) else { continue };
+            let Some(next) = fam_variants
+                .iter()
+                .find(|(name, _)| family_name(name).1 > strength)
+                .map(|(name, _)| name.clone())
+            else {
+                continue;
+            };
+            nl.instance_mut(inst_id).cell = next;
+            let delay = analyze(nl, library, &constraints)?.critical_delay();
+            if delay < best - 1e-15 {
+                best = delay;
+                improved = true;
+            } else {
+                nl.instance_mut(inst_id).cell = cell_name;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Area recovery: downsizes instances whose output slack comfortably covers
+/// the slowdown, as a `compile_ultra`-class flow does after meeting timing.
+/// `clock_period` sets the required times (`None` = the design's own
+/// critical path, i.e. recovery must not degrade the CP at all).
+///
+/// This is what makes traditionally-synthesized netlists *fragile under
+/// aging* (paper Sec. 5): paths get pulled toward the constraint, so a few
+/// percent of aging pushes a large population of paths past the clock.
+///
+/// # Errors
+///
+/// Propagates STA failures.
+pub fn area_recover(
+    nl: &mut Netlist,
+    library: &Library,
+    clock_period: Option<f64>,
+) -> Result<(), SynthError> {
+    let variants = strength_variants(library);
+    if variants.is_empty() {
+        return Ok(());
+    }
+    let constraints = Constraints { clock_period, ..Constraints::default() };
+    for _round in 0..4 {
+        let report = analyze(nl, library, &constraints)?;
+        let baseline_cp = report.critical_delay();
+        let mut changes: Vec<(InstId, String, String)> = Vec::new();
+        for id in nl.instance_ids() {
+            let inst = nl.instance(id);
+            let Some(cell) = library.cell(&inst.cell) else { continue };
+            if cell.is_sequential() {
+                continue;
+            }
+            let (fam, strength) = family_name(&inst.cell);
+            if strength <= 1 {
+                continue;
+            }
+            let Some(fam_variants) = variants.get(fam) else { continue };
+            // Next strength down.
+            let smaller = fam_variants
+                .iter()
+                .rev()
+                .find(|(name, _)| family_name(name).1 < strength)
+                .map(|(name, _)| name.clone());
+            let Some(smaller) = smaller else { continue };
+            // Conservative acceptance: the instance's output slack must
+            // exceed a healthy multiple of its current delay (a proxy for
+            // the slowdown a one-step downsize can cause here and upstream).
+            let Some(out) = cell.outputs.first() else { continue };
+            let Some(out_net) = inst.net_on(&out.name) else { continue };
+            let slack = report.net_slack(out_net);
+            let own_delay = cell.worst_delay(library.default_input_slew, library.default_output_load);
+            if slack > 2.0 * own_delay {
+                changes.push((id, inst.cell.clone(), smaller));
+            }
+        }
+        if changes.is_empty() {
+            break;
+        }
+        for (id, _, smaller) in &changes {
+            nl.instance_mut(*id).cell = smaller.clone();
+        }
+        // Validate the batch: recovery must never create negative slack
+        // (or worsen the CP when unconstrained).
+        let after = analyze(nl, library, &constraints)?;
+        let violated = match clock_period {
+            Some(_) => after.worst_slack().unwrap_or(0.0) < -1e-15,
+            None => after.critical_delay() > baseline_cp + 1e-15,
+        };
+        if violated {
+            for (id, original, _) in &changes {
+                nl.instance_mut(*id).cell = original.clone();
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Strength-ordered `(cell name, max output cap)` variants per family.
+fn strength_variants(library: &Library) -> HashMap<String, Vec<(String, f64)>> {
+    let mut map: HashMap<String, Vec<(String, u32, f64)>> = HashMap::new();
+    for cell in library.cells() {
+        if cell.is_sequential() || cell.outputs.len() != 1 {
+            continue;
+        }
+        let (fam, strength) = family_name(&cell.name);
+        map.entry(fam.to_owned()).or_default().push((
+            cell.name.clone(),
+            strength,
+            cell.outputs[0].max_capacitance,
+        ));
+    }
+    map.into_iter()
+        .map(|(fam, mut v)| {
+            v.sort_by_key(|(_, s, _)| *s);
+            (fam, v.into_iter().map(|(n, _, c)| (n, c)).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::fixture_library;
+    use netlist::PortDir;
+
+    fn star(fanout: usize) -> Netlist {
+        let mut nl = Netlist::new("star");
+        let a = nl.add_port("a", PortDir::Input);
+        let hub = nl.add_net("hub");
+        nl.add_instance("drv", "INV_X1", &[("A", a), ("Y", hub)]);
+        for k in 0..fanout {
+            let y = nl.add_port(&format!("y{k}"), PortDir::Output);
+            nl.add_instance(&format!("s{k}"), "INV_X1", &[("A", hub), ("Y", y)]);
+        }
+        nl
+    }
+
+    #[test]
+    fn buffering_splits_high_fanout() {
+        let lib = fixture_library();
+        let mut nl = star(20);
+        buffer_fanout(&mut nl, &lib, 6).unwrap();
+        nl.validate(&lib).unwrap();
+        let sinks = nl.sinks(&lib).unwrap();
+        for pins in sinks.values() {
+            assert!(pins.len() <= 6, "net still overloaded: {}", pins.len());
+        }
+        assert!(nl.instances().iter().any(|i| i.cell.starts_with("BUF")));
+    }
+
+    #[test]
+    fn buffering_leaves_small_nets_alone() {
+        let lib = fixture_library();
+        let mut nl = star(3);
+        let before = nl.instance_count();
+        buffer_fanout(&mut nl, &lib, 6).unwrap();
+        assert_eq!(nl.instance_count(), before);
+    }
+
+    #[test]
+    fn sizing_upsizes_loaded_driver() {
+        let lib = fixture_library();
+        let mut nl = star(8);
+        size_gates(&mut nl, &lib, &MapOptions::default()).unwrap();
+        nl.validate(&lib).unwrap();
+        let drv = &nl.instances()[0];
+        let (_, strength) = family_name(&drv.cell);
+        assert!(strength > 1, "heavily loaded driver must be upsized, got {}", drv.cell);
+    }
+
+    #[test]
+    fn sizing_reduces_or_keeps_critical_delay() {
+        let lib = fixture_library();
+        let mut nl = star(8);
+        let before = analyze(&nl, &lib, &Constraints::default()).unwrap().critical_delay();
+        size_gates(&mut nl, &lib, &MapOptions::default()).unwrap();
+        let after = analyze(&nl, &lib, &Constraints::default()).unwrap().critical_delay();
+        assert!(after <= before + 1e-15, "sizing must not worsen timing: {after} vs {before}");
+    }
+
+    #[test]
+    fn variants_sorted_by_strength() {
+        let v = strength_variants(&fixture_library());
+        let invs = &v["INV"];
+        assert_eq!(invs.len(), 3);
+        assert!(family_name(&invs[0].0).1 < family_name(&invs[2].0).1);
+    }
+}

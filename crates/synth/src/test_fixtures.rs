@@ -1,0 +1,179 @@
+//! Hand-made analytic libraries for fast tests across the workspace.
+//!
+//! These are *not* characterized cells: delays follow a simple
+//! `d0 + a·slew + b·load` law with plausible 45 nm magnitudes. Real flows
+//! use the spicesim-characterized libraries from the `flow` crate.
+
+use liberty::{
+    BoolExpr, Cell, CellClass, InputPin, Library, OutputPin, Table2d, TimingArc, TimingSense,
+};
+
+/// Builds an analytic delay table on a 3×3 grid.
+fn table(d0: f64, slew_coeff: f64, load_coeff: f64) -> Table2d {
+    let slews = [5e-12, 100e-12, 900e-12];
+    let loads = [0.5e-15, 5e-15, 20e-15];
+    let mut values = Vec::with_capacity(9);
+    for s in slews {
+        for l in loads {
+            values.push(d0 + slew_coeff * s + load_coeff * l);
+        }
+    }
+    Table2d::new(slews.to_vec(), loads.to_vec(), values).expect("valid fixture table")
+}
+
+fn arc(pin: &str, sense: TimingSense, d0: f64) -> TimingArc {
+    TimingArc {
+        related_pin: pin.to_owned(),
+        sense,
+        cell_rise: table(d0, 0.10, 2.2e3),
+        cell_fall: table(d0 * 0.9, 0.08, 1.8e3),
+        rise_transition: table(d0 * 0.6, 0.05, 1.5e3),
+        fall_transition: table(d0 * 0.5, 0.04, 1.2e3),
+    }
+}
+
+/// A combinational cell from its function text and per-input base delay.
+///
+/// # Panics
+///
+/// Panics on malformed `function` text (fixture bug).
+#[must_use]
+pub fn comb_cell(name: &str, inputs: &[&str], function: &str, d0: f64, area: f64, cap: f64) -> Cell {
+    let f = BoolExpr::parse(function).expect("fixture function parses");
+    let sense_of = |pin: &str| {
+        // Cheap unateness: probe the truth table.
+        let others: Vec<&&str> = inputs.iter().filter(|p| **p != pin).collect();
+        let mut rise = false;
+        let mut fall = false;
+        for bits in 0..(1u32 << others.len()) {
+            let eval = |x: bool| {
+                f.eval(&|q: &str| {
+                    if q == pin {
+                        x
+                    } else {
+                        others.iter().position(|o| **o == q).is_some_and(|i| bits >> i & 1 == 1)
+                    }
+                })
+            };
+            match (eval(false), eval(true)) {
+                (false, true) => rise = true,
+                (true, false) => fall = true,
+                _ => {}
+            }
+        }
+        match (rise, fall) {
+            (true, false) => TimingSense::PositiveUnate,
+            (false, true) => TimingSense::NegativeUnate,
+            _ => TimingSense::NonUnate,
+        }
+    };
+    Cell {
+        name: name.to_owned(),
+        area,
+        class: CellClass::Combinational,
+        inputs: inputs
+            .iter()
+            .map(|p| InputPin { name: (*p).to_owned(), capacitance: cap })
+            .collect(),
+        outputs: vec![OutputPin {
+            name: "Y".into(),
+            function: f.clone(),
+            max_capacitance: 40e-15,
+            arcs: inputs.iter().map(|p| arc(p, sense_of(p), d0)).collect(),
+        }],
+    }
+}
+
+fn flop_cell(name: &str, area: f64) -> Cell {
+    Cell {
+        name: name.to_owned(),
+        area,
+        class: CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 4e-12 },
+        inputs: vec![
+            InputPin { name: "D".into(), capacitance: 1.1e-15 },
+            InputPin { name: "CK".into(), capacitance: 0.7e-15 },
+        ],
+        outputs: vec![OutputPin {
+            name: "Q".into(),
+            function: BoolExpr::var("D"),
+            max_capacitance: 40e-15,
+            arcs: vec![arc("CK", TimingSense::PositiveUnate, 45e-12)],
+        }],
+    }
+}
+
+/// A small but complete analytic library: inverters/buffer at three
+/// strengths, the 2-input gate set, an AOI and a flip-flop — enough for the
+/// mapper, the sizer and the simulators.
+#[must_use]
+pub fn fixture_library() -> Library {
+    let mut lib = Library::new("fixture", 1.2);
+    for (s, d0, cap) in [(1u32, 12e-12, 1.0e-15), (2, 9e-12, 1.9e-15), (4, 7e-12, 3.6e-15)] {
+        lib.add_cell(comb_cell(&format!("INV_X{s}"), &["A"], "!A", d0, 0.5 * s as f64, cap));
+        lib.add_cell(comb_cell(
+            &format!("NAND2_X{s}"),
+            &["A", "B"],
+            "!(A & B)",
+            d0 * 1.2,
+            0.8 * s as f64,
+            cap,
+        ));
+    }
+    lib.add_cell(comb_cell("BUF_X2", &["A"], "A", 20e-12, 1.1, 1.4e-15));
+    lib.add_cell(comb_cell("NOR2_X1", &["A", "B"], "!(A | B)", 16e-12, 0.8, 1.1e-15));
+    lib.add_cell(comb_cell("AND2_X1", &["A", "B"], "A & B", 22e-12, 1.1, 1.0e-15));
+    lib.add_cell(comb_cell("OR2_X1", &["A", "B"], "A | B", 24e-12, 1.1, 1.0e-15));
+    lib.add_cell(comb_cell("XOR2_X1", &["A", "B"], "A ^ B", 30e-12, 1.6, 1.6e-15));
+    lib.add_cell(comb_cell("AOI21_X1", &["A", "B", "C"], "!((A & B) | C)", 20e-12, 1.2, 1.1e-15));
+    lib.add_cell(flop_cell("DFF_X1", 3.5));
+    lib.add_cell(flop_cell("DFF_X2", 4.5));
+    lib
+}
+
+/// A uniformly slowed-down copy of [`fixture_library`] — a stand-in for an
+/// aged library in tests that only need "every cell got slower by
+/// `factor`".
+#[must_use]
+pub fn slowed_library(factor: f64) -> Library {
+    let base = fixture_library();
+    let mut lib = Library::new("fixture_slow", base.vdd);
+    for cell in base.cells() {
+        let mut c = cell.clone();
+        for out in &mut c.outputs {
+            for a in &mut out.arcs {
+                a.cell_rise = a.cell_rise.map(|v| v * factor);
+                a.cell_fall = a.cell_fall.map(|v| v * factor);
+                a.rise_transition = a.rise_transition.map(|v| v * factor);
+                a.fall_transition = a.fall_transition.map(|v| v * factor);
+            }
+        }
+        lib.add_cell(c);
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_consistent() {
+        let lib = fixture_library();
+        assert!(lib.len() >= 12);
+        let inv = lib.cell("INV_X1").unwrap();
+        assert_eq!(inv.outputs[0].arcs[0].sense, TimingSense::NegativeUnate);
+        let and2 = lib.cell("AND2_X1").unwrap();
+        assert_eq!(and2.outputs[0].arcs[0].sense, TimingSense::PositiveUnate);
+        let xor = lib.cell("XOR2_X1").unwrap();
+        assert_eq!(xor.outputs[0].arcs[0].sense, TimingSense::NonUnate);
+    }
+
+    #[test]
+    fn slowdown_scales_delay() {
+        let fresh = fixture_library();
+        let aged = slowed_library(1.5);
+        let d_f = fresh.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15);
+        let d_a = aged.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15);
+        assert!((d_a / d_f - 1.5).abs() < 1e-9);
+    }
+}

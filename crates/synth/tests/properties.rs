@@ -1,0 +1,130 @@
+//! Property-based tests: technology mapping preserves boolean function for
+//! arbitrary random AIGs, through every optimization pass.
+
+use liberty::Library;
+use logicsim::run_cycles;
+use proptest::prelude::*;
+use synth::test_fixtures::fixture_library;
+use synth::{buffer_fanout, map_to_netlist, size_gates, synthesize, Aig, Lit, MapOptions};
+
+/// A recipe for building a random combinational AIG over `n_inputs`.
+#[derive(Debug, Clone)]
+enum Op {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+fn random_aig(n_inputs: usize, ops: &[Op], n_outputs: usize) -> Aig {
+    let mut g = Aig::new();
+    let mut pool: Vec<Lit> = (0..n_inputs).map(|k| g.input(&format!("i{k}"))).collect();
+    for op in ops {
+        let lit = match *op {
+            Op::And(a, b, ca, cb) => {
+                let x = pool[a % pool.len()].with_complement(ca);
+                let y = pool[b % pool.len()].with_complement(cb);
+                g.and(x, y)
+            }
+            Op::Xor(a, b) => {
+                let x = pool[a % pool.len()];
+                let y = pool[b % pool.len()];
+                g.xor(x, y)
+            }
+            Op::Mux(s, a, b) => {
+                let sl = pool[s % pool.len()];
+                let x = pool[a % pool.len()];
+                let y = pool[b % pool.len()];
+                g.mux(sl, x, y)
+            }
+        };
+        pool.push(lit);
+    }
+    for k in 0..n_outputs {
+        let lit = pool[pool.len() - 1 - (k % pool.len())];
+        g.output(&format!("o{k}"), if k % 2 == 0 { lit } else { lit.complement() });
+    }
+    g
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ca, cb)| Op::And(a, b, ca, cb)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
+    ]
+}
+
+/// Exhaustively checks netlist-vs-AIG equivalence (inputs ≤ 8).
+fn assert_equivalent(aig: &Aig, nl: &netlist::Netlist, lib: &Library) {
+    let n = aig.input_names().len();
+    let vectors: Vec<Vec<bool>> =
+        (0..(1usize << n)).map(|row| (0..n).map(|b| row >> b & 1 == 1).collect()).collect();
+    let run = run_cycles(nl, lib, None, &vectors).expect("simulates");
+    for (row, v) in vectors.iter().enumerate() {
+        assert_eq!(run.outputs[row], aig.eval(v, &[]), "row {row:b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mapping alone preserves the function of arbitrary AIGs.
+    #[test]
+    fn mapping_preserves_function(
+        n_inputs in 2usize..6,
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        n_outputs in 1usize..4,
+    ) {
+        let aig = random_aig(n_inputs, &ops, n_outputs);
+        let lib = fixture_library();
+        let nl = map_to_netlist(&aig, &lib, &MapOptions::default()).expect("maps");
+        nl.validate(&lib).expect("valid");
+        assert_equivalent(&aig, &nl, &lib);
+    }
+
+    /// The full pipeline — mapping, buffering, sizing — preserves function.
+    #[test]
+    fn full_synthesis_preserves_function(
+        n_inputs in 2usize..6,
+        ops in prop::collection::vec(op_strategy(), 1..20),
+    ) {
+        let aig = random_aig(n_inputs, &ops, 2);
+        let lib = fixture_library();
+        let nl = synthesize(&aig, &lib, &MapOptions::default()).expect("synthesizes");
+        nl.validate(&lib).expect("valid");
+        assert_equivalent(&aig, &nl, &lib);
+    }
+
+    /// Buffering and sizing individually never change the function, for any
+    /// max_fanout setting.
+    #[test]
+    fn optimization_passes_preserve_function(
+        n_inputs in 2usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..15),
+        max_fanout in 2usize..6,
+    ) {
+        let aig = random_aig(n_inputs, &ops, 2);
+        let lib = fixture_library();
+        let mut nl = map_to_netlist(&aig, &lib, &MapOptions::default()).expect("maps");
+        buffer_fanout(&mut nl, &lib, max_fanout).expect("buffers");
+        assert_equivalent(&aig, &nl, &lib);
+        size_gates(&mut nl, &lib, &MapOptions::default()).expect("sizes");
+        assert_equivalent(&aig, &nl, &lib);
+    }
+
+    /// Mapped netlists round-trip through the Verilog subset.
+    #[test]
+    fn mapped_netlist_verilog_round_trip(
+        n_inputs in 2usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..15),
+    ) {
+        let aig = random_aig(n_inputs, &ops, 2);
+        let lib = fixture_library();
+        let nl = synthesize(&aig, &lib, &MapOptions::default()).expect("synthesizes");
+        let text = netlist::verilog::write_verilog(&nl);
+        let back = netlist::verilog::parse_verilog(&text).expect("parses");
+        prop_assert_eq!(back.instance_count(), nl.instance_count());
+        assert_equivalent(&aig, &back, &lib);
+    }
+}

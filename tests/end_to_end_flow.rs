@@ -1,0 +1,131 @@
+//! Cross-crate integration: the complete flow from transistor physics to
+//! mapped-netlist timing, at fast settings.
+
+use reliaware::bti::AgingScenario;
+use reliaware::flow::{annotation_from_sta, estimate_guardband, CharConfig, Characterizer};
+use reliaware::liberty::{parse_library, write_library};
+use reliaware::netlist::verilog::{parse_verilog, write_verilog};
+use reliaware::sta::{analyze, Constraints};
+use reliaware::stdcells::CellSet;
+use reliaware::synth::{synthesize, MapOptions};
+
+fn fast_characterizer() -> Characterizer {
+    let cfg = CharConfig {
+        slews: vec![10e-12, 300e-12],
+        loads: vec![1e-15, 10e-15],
+        max_dv: 8e-3,
+        ..CharConfig::fast()
+    };
+    Characterizer::new(CellSet::minimal(), cfg)
+}
+
+#[test]
+fn characterize_synthesize_analyze() {
+    let chars = fast_characterizer();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let aged = chars.library(&AgingScenario::worst_case(10.0));
+
+    // Characterized libraries survive their own text format.
+    let reparsed = parse_library(&write_library(&fresh)).expect("liberty round trip");
+    assert_eq!(reparsed, fresh);
+
+    // Map a real benchmark.
+    let design = reliaware::circuits::vliw();
+    let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    netlist.validate(&fresh).expect("netlist valid against fresh");
+    netlist.validate(&aged).expect("same netlist valid against aged");
+
+    // Verilog round trip preserves structure.
+    let back = parse_verilog(&write_verilog(&netlist)).expect("verilog round trip");
+    assert_eq!(back.instance_count(), netlist.instance_count());
+    assert_eq!(back.net_count(), netlist.net_count());
+
+    // Aging slows the circuit: positive guardband, sane magnitude.
+    let report =
+        estimate_guardband(&netlist, &fresh, &aged, &Constraints::default()).expect("sta");
+    assert!(report.guardband() > 0.0, "aged circuits are slower");
+    let rel = report.guardband() / report.fresh_delay;
+    assert!(rel > 0.02 && rel < 0.6, "relative guardband {rel} out of plausible range");
+}
+
+#[test]
+fn timing_simulation_consistent_with_sta() {
+    let chars = fast_characterizer();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let design = reliaware::circuits::dct8();
+    let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    let c = Constraints::default();
+    let report = analyze(&netlist, &fresh, &c).expect("sta");
+    let ann = annotation_from_sta(&netlist, &fresh, &c).expect("annotation");
+
+    // Deterministic pseudo-random vectors.
+    let mut seed = 0xABCDu64;
+    let vectors: Vec<Vec<bool>> = (0..12)
+        .map(|_| {
+            (0..design.input_width())
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    seed >> 40 & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+
+    // At 2× the critical path no event can be late and the timed run
+    // matches pure functional simulation.
+    let golden = reliaware::logicsim::run_cycles(&netlist, &fresh, None, &vectors).expect("sim");
+    let relaxed = reliaware::logicsim::run_timed(
+        &netlist,
+        &fresh,
+        &ann,
+        2.0 * report.critical_delay(),
+        None,
+        &vectors,
+    )
+    .expect("timed");
+    assert_eq!(relaxed.outputs, golden.outputs);
+    assert_eq!(relaxed.late_events, 0);
+
+    // At a fifth of the critical path, outputs corrupt.
+    let tight = reliaware::logicsim::run_timed(
+        &netlist,
+        &fresh,
+        &ann,
+        report.critical_delay() / 5.0,
+        None,
+        &vectors,
+    )
+    .expect("timed");
+    assert!(tight.late_events > 0);
+    assert_ne!(tight.outputs, golden.outputs);
+}
+
+#[test]
+fn mapped_netlist_functionally_equivalent() {
+    let chars = fast_characterizer();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let design = reliaware::circuits::risc_5p();
+    let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+
+    // Drive both the AIG and the netlist with the same sequence and compare
+    // output trajectories cycle by cycle (sequential design).
+    let mut seed = 0x5EEDu64;
+    let vectors: Vec<Vec<bool>> = (0..20)
+        .map(|_| {
+            (0..design.input_width())
+                .map(|_| {
+                    seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    seed >> 35 & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+    let run = reliaware::logicsim::run_cycles(&netlist, &fresh, Some("clk"), &vectors)
+        .expect("netlist sim");
+    let mut state = vec![false; design.aig.latch_nodes().len()];
+    for (k, v) in vectors.iter().enumerate() {
+        let want = design.aig.eval(v, &state);
+        assert_eq!(run.outputs[k], want, "cycle {k} diverged");
+        state = design.aig.eval_next_state(v, &state);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests pinning the paper's *qualitative* claims at fast
+//! settings — the same statements the bench harness quantifies at paper
+//! scale (see `EXPERIMENTS.md`).
+
+use reliaware::bti::AgingScenario;
+use reliaware::flow::{
+    compare_synthesis, estimate_guardband, single_opc_aged_library, CharConfig, Characterizer,
+};
+use reliaware::sta::Constraints;
+use reliaware::stdcells::CellSet;
+use reliaware::synth::{synthesize, MapOptions};
+
+fn chars() -> Characterizer {
+    let cfg = CharConfig {
+        slews: vec![10e-12, 300e-12, 900e-12],
+        loads: vec![0.5e-15, 4e-15, 16e-15],
+        max_dv: 8e-3,
+        ..CharConfig::fast()
+    };
+    Characterizer::new(CellSet::minimal(), cfg)
+}
+
+#[test]
+fn vth_only_underestimates_guardband() {
+    // Paper Fig. 5(a): neglecting Δμ under-estimates guardbands.
+    let chars = chars();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let worst = AgingScenario::worst_case(10.0);
+    let full = chars.library(&worst);
+    let vth_only = chars.library_vth_only(&worst);
+
+    let design = reliaware::circuits::dsp_fir();
+    let nl = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    let c = Constraints::default();
+    let g_full = estimate_guardband(&nl, &fresh, &full, &c).expect("sta").guardband();
+    let g_vth = estimate_guardband(&nl, &fresh, &vth_only, &c).expect("sta").guardband();
+    assert!(
+        g_vth < g_full,
+        "ΔVth-only ({:.1} ps) must under-estimate the full guardband ({:.1} ps)",
+        g_vth * 1e12,
+        g_full * 1e12
+    );
+}
+
+#[test]
+fn single_opc_overestimates_guardband() {
+    // Paper Fig. 5(b): a pessimistic single-OPC characterization
+    // over-estimates guardbands.
+    let chars = chars();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let aged = chars.library(&AgingScenario::worst_case(10.0));
+    let single = single_opc_aged_library(&fresh, &aged, 300e-12, 0.5e-15);
+
+    let design = reliaware::circuits::vliw();
+    let nl = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    let c = Constraints::default();
+    let g_multi = estimate_guardband(&nl, &fresh, &aged, &c).expect("sta").guardband();
+    let g_single = estimate_guardband(&nl, &fresh, &single, &c).expect("sta").guardband();
+    assert!(
+        g_single > g_multi,
+        "single-OPC ({:.1} ps) must over-estimate the multi-OPC guardband ({:.1} ps)",
+        g_single * 1e12,
+        g_multi * 1e12
+    );
+}
+
+#[test]
+fn guardbands_grow_with_stress_and_lifetime() {
+    // Monotonicity across scenarios: fresh < balanced < worst; 1y < 10y.
+    let chars = chars();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let design = reliaware::circuits::dsp_fir();
+    let nl = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    let c = Constraints::default();
+    let gb = |scenario: &AgingScenario| {
+        let lib = chars.library(scenario);
+        estimate_guardband(&nl, &fresh, &lib, &c).expect("sta").guardband()
+    };
+    let balanced_10 = gb(&AgingScenario::balanced(10.0));
+    let worst_1 = gb(&AgingScenario::worst_case(1.0));
+    let worst_10 = gb(&AgingScenario::worst_case(10.0));
+    assert!(balanced_10 > 0.0);
+    assert!(worst_10 > balanced_10, "worst stress beats balanced");
+    assert!(worst_10 > worst_1, "longer lifetime, larger guardband");
+}
+
+#[test]
+fn aware_synthesis_contains_guardband() {
+    // Paper Fig. 6(a): the aging-aware design's contained guardband never
+    // exceeds the baseline's required guardband, at sub-% area cost.
+    let chars = chars();
+    let fresh = chars.library(&AgingScenario::fresh());
+    let aged = chars.library(&AgingScenario::worst_case(10.0));
+    let design = reliaware::circuits::risc_5p();
+    let cmp = compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default())
+        .expect("comparison");
+    assert!(
+        cmp.contained_guardband() <= cmp.required_guardband() + 1e-15,
+        "contained {:.1} ps must not exceed required {:.1} ps",
+        cmp.contained_guardband() * 1e12,
+        cmp.required_guardband() * 1e12
+    );
+    assert!(cmp.area_overhead().abs() < 0.25, "area stays in the same ballpark");
+    cmp.aware.validate(&aged).expect("aware netlist is well-formed");
+}
