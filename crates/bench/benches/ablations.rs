@@ -39,7 +39,7 @@ fn ablate_lambda_grid(c: &mut Criterion) {
         let scenarios = (steps + 1) * (steps + 1);
         println!("lambda_grid steps={steps}: {scenarios} scenario libraries");
         group.bench_function(format!("steps_{steps}"), |b| {
-            b.iter(|| chars.complete_library(steps, 10.0))
+            b.iter(|| chars.complete_library(steps, 10.0));
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn ablate_mapper_objective(c: &mut Criterion) {
             cp * 1e12
         );
         group.bench_function(label, |b| {
-            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"))
+            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"));
         });
     }
     group.finish();

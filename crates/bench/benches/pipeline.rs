@@ -18,7 +18,7 @@ fn bench_characterization(c: &mut Criterion) {
         let set = CellSet::nangate45_like().subset(&[name]);
         let chars = Characterizer::new(set, cfg.clone());
         group.bench_function(name, |b| {
-            b.iter(|| chars.library(&AgingScenario::worst_case(10.0)))
+            b.iter(|| chars.library(&AgingScenario::worst_case(10.0)));
         });
     }
     group.finish();
@@ -31,7 +31,7 @@ fn bench_mapping(c: &mut Criterion) {
     let options = MapOptions::default();
     for design in [circuits::dct8(), circuits::vliw()] {
         group.bench_function(design.name.clone(), |b| {
-            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"))
+            b.iter(|| map_to_netlist(&design.aig, &lib, &options).expect("maps"));
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_sta(c: &mut Criterion) {
     for design in [circuits::dct8(), circuits::risc_5p()] {
         let nl = synth::synthesize(&design.aig, &lib, &options).expect("synth");
         group.bench_function(design.name.clone(), |b| {
-            b.iter(|| analyze(&nl, &lib, &Constraints::default()).expect("sta"))
+            b.iter(|| analyze(&nl, &lib, &Constraints::default()).expect("sta"));
         });
     }
     group.finish();
@@ -62,10 +62,10 @@ fn bench_simulation(c: &mut Criterion) {
         .map(|k| (0..design.input_width()).map(|b| (k * 7 + b) % 3 == 0).collect())
         .collect();
     group.bench_function("dct_zero_delay_16cy", |b| {
-        b.iter(|| logicsim::run_cycles(&nl, &lib, None, &vectors).expect("sim"))
+        b.iter(|| logicsim::run_cycles(&nl, &lib, None, &vectors).expect("sim"));
     });
     group.bench_function("dct_timed_16cy", |b| {
-        b.iter(|| logicsim::run_timed(&nl, &lib, &ann, 1e-9, None, &vectors).expect("sim"))
+        b.iter(|| logicsim::run_timed(&nl, &lib, &ann, 1e-9, None, &vectors).expect("sim"));
     });
     group.finish();
 }

@@ -39,7 +39,7 @@ fn complete_library(steps: u32) -> Library {
             },
             lib,
         ));
-        eprintln!("characterized λ grid point {}", scenario);
+        eprintln!("characterized λ grid point {scenario}");
     }
     let merged = merge_indexed("complete", &parts);
     std::fs::write(&path, write_library(&merged)).expect("cache write");
@@ -67,7 +67,11 @@ fn main() {
     let idle: Vec<Vec<bool>> =
         (0..400).map(|_| (0..design.input_width()).map(|_| rng.gen_bool(0.05)).collect()).collect();
 
-    println!("Sec 4.2 — dynamic aging stress on {} ({} instances, 10y lifetime)\n", design.name, nl.instance_count());
+    println!(
+        "Sec 4.2 — dynamic aging stress on {} ({} instances, 10y lifetime)\n",
+        design.name,
+        nl.instance_count()
+    );
     row(&[
         "workload / extraction".into(),
         "fresh CP [ps]".into(),

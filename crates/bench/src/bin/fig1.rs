@@ -12,17 +12,24 @@ fn main() {
     let aged = worst_library();
 
     for (cell, pin, arc_edge, title) in [
-        ("NAND2_X1", "A", true, "Fig 1(a): NAND2_X1 A→Y rise-delay change [%] (worst-case aging, 10y)"),
-        ("NOR2_X1", "A", false, "Fig 1(b): NOR2_X1 A→Y fall-delay change [%] (worst-case aging, 10y)"),
+        (
+            "NAND2_X1",
+            "A",
+            true,
+            "Fig 1(a): NAND2_X1 A→Y rise-delay change [%] (worst-case aging, 10y)",
+        ),
+        (
+            "NOR2_X1",
+            "A",
+            false,
+            "Fig 1(b): NOR2_X1 A→Y fall-delay change [%] (worst-case aging, 10y)",
+        ),
     ] {
         println!("\n{title}");
         let f = fresh.cell(cell).expect("cell").output("Y").expect("Y").arc_from(pin).expect("arc");
         let a = aged.cell(cell).expect("cell").output("Y").expect("Y").arc_from(pin).expect("arc");
-        let (ft, at) = if arc_edge {
-            (&f.cell_rise, &a.cell_rise)
-        } else {
-            (&f.cell_fall, &a.cell_fall)
-        };
+        let (ft, at) =
+            if arc_edge { (&f.cell_rise, &a.cell_rise) } else { (&f.cell_fall, &a.cell_fall) };
         print!("{:>10}", "slew\\load");
         for load in ft.load_axis() {
             print!("{:>9.1}fF", load * 1e15);

@@ -76,10 +76,9 @@ fn main() {
             let Some(aged_out) = aged_cell.output(&out.name) else { continue };
             for arc in &out.arcs {
                 let Some(aged_arc) = aged_out.arc_from(&arc.related_pin) else { continue };
-                for (f, a) in [
-                    (&arc.cell_rise, &aged_arc.cell_rise),
-                    (&arc.cell_fall, &aged_arc.cell_fall),
-                ] {
+                for (f, a) in
+                    [(&arc.cell_rise, &aged_arc.cell_rise), (&arc.cell_fall, &aged_arc.cell_fall)]
+                {
                     single.extend(deltas(f, a, true));
                     multi.extend(deltas(f, a, false));
                 }

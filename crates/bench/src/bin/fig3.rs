@@ -30,7 +30,8 @@ fn path_netlist(cells: &[&str], lib: &Library) -> Netlist {
             conns.push((pin.name.clone(), b));
         }
         conns.push((cell.outputs[0].name.clone(), out));
-        let refs: Vec<(&str, netlist::NetId)> = conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+        let refs: Vec<(&str, netlist::NetId)> =
+            conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
         nl.add_instance(&format!("g{k}"), cell_name, &refs);
         prev = out;
     }
@@ -85,9 +86,10 @@ fn main() {
     match found {
         Some((p1, p2, f1, f2, a1, a2)) => {
             println!("Fig 3 — criticality switch under worst-case aging (10y)\n");
-            for (label, p, f, a) in
-                [("Path1 (initially critical)", &p1, f1, a1), ("Path2 (initially uncritical)", &p2, f2, a2)]
-            {
+            for (label, p, f, a) in [
+                ("Path1 (initially critical)", &p1, f1, a1),
+                ("Path2 (initially uncritical)", &p2, f2, a2),
+            ] {
                 println!("{label}: {}", p.join(" -> "));
                 let sf = per_stage(p, &fresh);
                 let sa = per_stage(p, &aged);
@@ -98,10 +100,23 @@ fn main() {
                     .map(|(a, f)| format!("{}ps ({:+.1}%)", ps(*a), (a / f - 1.0) * 100.0))
                     .collect();
                 println!("  fresh stages: {}  = {} ps", fresh_str.join(" + "), ps(f));
-                println!("  aged  stages: {}  = {} ps ({:+.1}%)", aged_str.join(" + "), ps(a), (a / f - 1.0) * 100.0);
+                println!(
+                    "  aged  stages: {}  = {} ps ({:+.1}%)",
+                    aged_str.join(" + "),
+                    ps(a),
+                    (a / f - 1.0) * 100.0
+                );
             }
-            println!("\nBefore aging:  Path1 {} ps  >  Path2 {} ps   (Path1 critical)", ps(f1), ps(f2));
-            println!("After  aging:  Path1 {} ps  <  Path2 {} ps   (Path2 critical)", ps(a1), ps(a2));
+            println!(
+                "\nBefore aging:  Path1 {} ps  >  Path2 {} ps   (Path1 critical)",
+                ps(f1),
+                ps(f2)
+            );
+            println!(
+                "After  aging:  Path1 {} ps  <  Path2 {} ps   (Path2 critical)",
+                ps(a1),
+                ps(a2)
+            );
             println!("\nAs in the paper's Fig. 3: identical worst-case stress, different OPCs,");
             println!("so the initially-critical path loses criticality after aging.");
         }

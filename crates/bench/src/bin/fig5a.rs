@@ -1,8 +1,10 @@
-//! Fig. 5(a) — guardband estimation with both ΔVth and Δμ versus ΔVth-only
+//! Fig. 5(a) — guardband estimation with both `ΔVth` and Δμ versus ΔVth-only
 //! (the state of the art): ignoring the mobility degradation
 //! under-estimates the required guardband.
 
-use bench::{benchmark_netlists, fresh_library, pct, ps, row, worst_library, worst_vth_only_library};
+use bench::{
+    benchmark_netlists, fresh_library, pct, ps, row, worst_library, worst_vth_only_library,
+};
 use flow::estimate_guardband;
 use sta::Constraints;
 
@@ -14,7 +16,12 @@ fn main() {
     let c = Constraints::default();
 
     println!("Fig 5(a) — required guardband [ps], worst-case aging, 10 years\n");
-    row(&["design".into(), "Vth+mu [ours]".into(), "Vth only [SoA]".into(), "underestimation".into()]);
+    row(&[
+        "design".into(),
+        "Vth+mu [ours]".into(),
+        "Vth only [SoA]".into(),
+        "underestimation".into(),
+    ]);
     row(&["---".into(), "---".into(), "---".into(), "---".into()]);
     let mut ratios = Vec::new();
     for (design, nl) in &designs {

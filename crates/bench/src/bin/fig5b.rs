@@ -20,7 +20,12 @@ fn main() {
     let c = Constraints::default();
 
     println!("Fig 5(b) — required guardband [ps]: multiple OPCs vs a single OPC\n");
-    row(&["design".into(), "49 OPCs [ours]".into(), "single OPC [SoA]".into(), "overestimation".into()]);
+    row(&[
+        "design".into(),
+        "49 OPCs [ours]".into(),
+        "single OPC [SoA]".into(),
+        "overestimation".into(),
+    ]);
     row(&["---".into(), "---".into(), "---".into(), "---".into()]);
     let mut ratios = Vec::new();
     for (design, nl) in &designs {

@@ -9,7 +9,8 @@ use bench::{balanced_library, fresh_library, library_for, worst_library, ImageCh
 use bti::AgingScenario;
 
 fn main() {
-    let size: usize = std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let size: usize =
+        std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(32);
     let fresh = fresh_library();
     let aged10 = worst_library();
 

@@ -27,7 +27,13 @@ fn main() {
         ("year1_worst", library_for(&AgingScenario::worst_case(1.0))),
         ("year10_worst", aged10.clone()),
     ];
-    println!("Fig 7 — output images written to {} ({}x{} @ {:.0} ps clock)\n", out_dir.display(), size, size, period * 1e12);
+    println!(
+        "Fig 7 — output images written to {} ({}x{} @ {:.0} ps clock)\n",
+        out_dir.display(),
+        size,
+        size,
+        period * 1e12
+    );
     for (label, chain) in [("unaware", &unaware), ("aware", &aware)] {
         for (scenario, lib) in &scenarios {
             let result = chain.run(&image, lib, period);

@@ -1,0 +1,146 @@
+//! `lint` — the relialint command-line front end.
+//!
+//! Runs the rule-based static-analysis pass over a timing library and,
+//! optionally, a structural-Verilog netlist or a fresh/aged library pair.
+//!
+//! ```text
+//! lint --lib complete.lib [--verilog design.v] [--fresh-lib t0.lib]
+//!      [--allow RULE]... [--input-slew S] [--output-load L] [--json]
+//! lint --list-rules
+//! ```
+//!
+//! Exit status: 0 when no errors were found (warnings allowed), 1 when at
+//! least one error-severity diagnostic fired, 2 on usage or I/O problems.
+
+use lint::{LintConfig, LintReport, Rule};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lint --lib FILE [options]
+       lint --list-rules
+
+options:
+  --lib FILE          timing library to check (.lib subset); required unless
+                      --list-rules is given
+  --verilog FILE      structural-Verilog netlist to lint against the library
+  --fresh-lib FILE    fresh (t=0) library: enables the AG001 fresh/aged
+                      cross-check with --lib as the aged library
+  --allow RULE        suppress a rule by code (repeatable), e.g. --allow NL006
+  --input-slew SEC    boundary input slew for TM001 (default: library value)
+  --output-load F     primary-output load for TM001 (default: library value)
+  --json              emit the JSON report instead of text
+  --list-rules        print every rule code, severity and summary, then exit";
+
+struct Args {
+    lib: Option<String>,
+    verilog: Option<String>,
+    fresh_lib: Option<String>,
+    allow: Vec<String>,
+    input_slew: Option<f64>,
+    output_load: Option<f64>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        lib: None,
+        verilog: None,
+        fresh_lib: None,
+        allow: Vec::new(),
+        input_slew: None,
+        output_load: None,
+        json: false,
+        list_rules: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--lib" => args.lib = Some(value("--lib")?),
+            "--verilog" => args.verilog = Some(value("--verilog")?),
+            "--fresh-lib" => args.fresh_lib = Some(value("--fresh-lib")?),
+            "--allow" => args.allow.push(value("--allow")?),
+            "--input-slew" => {
+                let v = value("--input-slew")?;
+                args.input_slew = Some(v.parse().map_err(|_| format!("bad slew {v}"))?);
+            }
+            "--output-load" => {
+                let v = value("--output-load")?;
+                args.output_load = Some(v.parse().map_err(|_| format!("bad load {v}"))?);
+            }
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !args.list_rules && args.lib.is_none() {
+        return Err("--lib is required".into());
+    }
+    Ok(args)
+}
+
+fn list_rules() {
+    println!("{:<7} {:<8} summary", "code", "severity");
+    for rule in Rule::ALL {
+        println!("{:<7} {:<8} {}", rule.code(), rule.severity().label(), rule.summary());
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    if args.list_rules {
+        list_rules();
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut config = LintConfig::default()
+        .allow_codes(args.allow.iter().map(String::as_str))
+        .map_err(|code| format!("unknown rule code {code}"))?;
+    config.input_slew = args.input_slew;
+    config.output_load = args.output_load;
+
+    let lib_path = args.lib.expect("checked by parse_args");
+    let library = liberty::parse_library(&read(&lib_path)?)
+        .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
+
+    let mut report = match &args.verilog {
+        Some(path) => {
+            let nl = netlist::verilog::parse_verilog(&read(path)?)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            LintReport::run(&nl, &library, &config)
+        }
+        None => LintReport::run_library(&library, &config),
+    };
+    if let Some(path) = &args.fresh_lib {
+        let fresh = liberty::parse_library(&read(path)?)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        report = report.merged_with(LintReport::run_aging(&fresh, &library, &config));
+    }
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(if report.has_errors() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {message}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

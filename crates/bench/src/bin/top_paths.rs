@@ -55,13 +55,7 @@ fn main() {
             .iter()
             .position(|p| signature(nl, p) == aged_sig)
             .map_or_else(|| format!(">{k}"), |r| (r + 1).to_string());
-        row(&[
-            design.name.clone(),
-            ps(cp),
-            ps(aged_report.critical_delay()),
-            top5_note,
-            rank,
-        ]);
+        row(&[design.name.clone(), ps(cp), ps(aged_report.critical_delay()), top5_note, rank]);
     }
     println!("\nWhere the rank exceeds k, no top-k tracking of fresh paths would have");
     println!("included the path that actually becomes critical — the paper's argument");

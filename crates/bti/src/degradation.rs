@@ -14,9 +14,9 @@ pub struct Degradation {
     pub delta_vth: f64,
     /// Multiplicative carrier-mobility factor `μ/μ0` in `(0, 1]`.
     pub mobility_factor: f64,
-    /// Generated interface-trap density ΔN_IT in cm⁻².
+    /// Generated interface-trap density `ΔN_IT` in cm⁻².
     pub interface_traps: f64,
-    /// Generated oxide-trap density ΔN_OT in cm⁻².
+    /// Generated oxide-trap density `ΔN_OT` in cm⁻².
     pub oxide_traps: f64,
 }
 
@@ -30,7 +30,7 @@ impl Degradation {
     /// Returns a copy with the mobility degradation ignored (`μ/μ0 = 1`).
     ///
     /// This models the state-of-the-art approaches the paper compares against
-    /// (its Fig. 5(a)), which consider ΔVth only.
+    /// (its Fig. 5(a)), which consider `ΔVth` only.
     #[must_use]
     pub fn vth_only(mut self) -> Self {
         self.mobility_factor = 1.0;

@@ -147,6 +147,9 @@ mod tests {
     #[test]
     fn display_two_decimals() {
         assert_eq!(DutyCycle::saturating(0.4).to_string(), "0.40");
-        assert_eq!(DutyCycleError { value: 2.0 }.to_string(), "duty cycle must be in [0, 1], got 2");
+        assert_eq!(
+            DutyCycleError { value: 2.0 }.to_string(),
+            "duty cycle must be in [0, 1], got 2"
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! This crate implements the device-level aging model of the DAC'16 paper
 //! *Reliability-Aware Design to Suppress Aging* (Amrouch et al.): defect
 //! generation inside MOS transistors under Negative/Positive BTI stress and
-//! the resulting degradation of the threshold voltage (ΔVth) **and** the
+//! the resulting degradation of the threshold voltage (`ΔVth`) **and** the
 //! carrier mobility (Δμ) — the paper's key distinction from state of the art
-//! which models ΔVth only.
+//! which models `ΔVth` only.
 //!
 //! The model follows the paper's Eqs. (2) and (3):
 //!
@@ -18,7 +18,7 @@
 //! transistor duty cycle λ (the fraction of time the device is under stress).
 //! The kinetics are phenomenological power laws calibrated against published
 //! 45 nm high-k/metal-gate data (see `DESIGN.md` for the substitution
-//! rationale): worst-case 10-year stress yields ΔVth ≈ 51 mV and a ≈ 4 %
+//! rationale): worst-case 10-year stress yields `ΔVth` ≈ 51 mV and a ≈ 4 %
 //! mobility loss for pMOS (NBTI), with PBTI on nMOS roughly half as severe.
 //!
 //! # Example

@@ -68,7 +68,7 @@ impl BtiModel {
     /// NBTI model for pMOS transistors in a 45 nm high-k process.
     ///
     /// Calibration target: 10-year worst-case (λ = 1) stress at the nominal
-    /// corner yields ΔVth ≈ 51 mV and μ/μ0 ≈ 0.96 (the mobility share is
+    /// corner yields `ΔVth` ≈ 51 mV and μ/μ0 ≈ 0.96 (the mobility share is
     /// tuned so its guardband contribution matches the paper's Fig. 5(a)).
     #[must_use]
     pub fn nbti() -> Self {
@@ -94,19 +94,27 @@ impl BtiModel {
         BtiModel { a_it: 1.35e10, a_ot: 3.0e9, ..Self::nbti() }
     }
 
-    /// Generated interface-trap density ΔN_IT in cm⁻² under `stress`.
+    /// Generated interface-trap density `ΔN_IT` in cm⁻² under `stress`.
     #[must_use]
     pub fn interface_traps(&self, stress: &Stress) -> f64 {
         self.traps(stress, self.a_it, self.duty_exp_it, self.time_exp_it, self.ea_it, self.gamma_it)
     }
 
-    /// Generated oxide-trap density ΔN_OT in cm⁻² under `stress`.
+    /// Generated oxide-trap density `ΔN_OT` in cm⁻² under `stress`.
     #[must_use]
     pub fn oxide_traps(&self, stress: &Stress) -> f64 {
         self.traps(stress, self.a_ot, self.duty_exp_ot, self.time_exp_ot, self.ea_ot, self.gamma_ot)
     }
 
-    fn traps(&self, stress: &Stress, a: f64, duty_exp: f64, time_exp: f64, ea: f64, gamma: f64) -> f64 {
+    fn traps(
+        &self,
+        stress: &Stress,
+        a: f64,
+        duty_exp: f64,
+        time_exp: f64,
+        ea: f64,
+        gamma: f64,
+    ) -> f64 {
         let lambda = stress.duty().value();
         let t = stress.time_seconds();
         if lambda == 0.0 || t == 0.0 {
@@ -119,7 +127,7 @@ impl BtiModel {
         a * lambda.powf(duty_exp) * t.powf(time_exp) * arrhenius * field
     }
 
-    /// Threshold-voltage shift ΔVth in volts under `stress` (Eq. 2).
+    /// Threshold-voltage shift `ΔVth` in volts under `stress` (Eq. 2).
     #[must_use]
     pub fn delta_vth(&self, stress: &Stress) -> f64 {
         Q_ELECTRON / self.cox * (self.interface_traps(stress) + self.oxide_traps(stress))
@@ -158,7 +166,11 @@ mod tests {
     fn calibration_ten_year_worst_case_nbti() {
         let d = BtiModel::nbti().degradation(&worst(10.0));
         assert!(d.delta_vth > 0.045 && d.delta_vth < 0.060, "ΔVth = {}", d.delta_vth);
-        assert!(d.mobility_factor > 0.94 && d.mobility_factor < 0.98, "μ/μ0 = {}", d.mobility_factor);
+        assert!(
+            d.mobility_factor > 0.94 && d.mobility_factor < 0.98,
+            "μ/μ0 = {}",
+            d.mobility_factor
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl AgingScenario {
         self
     }
 
-    /// Worst-case static stress: λ_pMOS = λ_nMOS = 1 (the paper's workload-
+    /// Worst-case static stress: `λ_pMOS` = `λ_nMOS` = 1 (the paper's workload-
     /// independent guardbanding scenario).
     #[must_use]
     pub fn worst_case(years: f64) -> Self {
@@ -124,9 +124,7 @@ impl AgingScenario {
     #[must_use]
     pub fn degradations(&self) -> DevicePair {
         let stress = |duty| {
-            Stress::years(self.years, duty)
-                .with_temperature(self.temperature_k)
-                .with_vdd(self.vdd)
+            Stress::years(self.years, duty).with_temperature(self.temperature_k).with_vdd(self.vdd)
         };
         DevicePair {
             pmos: self.nbti.degradation(&stress(self.lambda_pmos)),
@@ -151,11 +149,7 @@ impl AgingScenario {
 
 impl fmt::Display for AgingScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "λp={} λn={} @ {:.1}y",
-            self.lambda_pmos, self.lambda_nmos, self.years
-        )
+        write!(f, "λp={} λn={} @ {:.1}y", self.lambda_pmos, self.lambda_nmos, self.years)
     }
 }
 
@@ -167,7 +161,7 @@ mod tests {
     fn grid_matches_paper_count() {
         let g = AgingScenario::grid(10, 10.0);
         assert_eq!(g.len(), 121);
-        assert!(g.iter().any(|s| s.is_fresh()));
+        assert!(g.iter().any(super::AgingScenario::is_fresh));
         assert!(g
             .iter()
             .any(|s| s.lambda_pmos == DutyCycle::WORST && s.lambda_nmos == DutyCycle::WORST));
@@ -175,11 +169,7 @@ mod tests {
 
     #[test]
     fn index_tag_format() {
-        let s = AgingScenario::new(
-            DutyCycle::saturating(0.4),
-            DutyCycle::saturating(0.6),
-            10.0,
-        );
+        let s = AgingScenario::new(DutyCycle::saturating(0.4), DutyCycle::saturating(0.6), 10.0);
         assert_eq!(s.index_tag(), "0.40_0.60");
     }
 
@@ -203,12 +193,8 @@ mod tests {
     #[test]
     fn environment_accelerates_aging() {
         let base = AgingScenario::worst_case(10.0).degradations();
-        let hot = AgingScenario::worst_case(10.0)
-            .with_environment(423.15, 1.3)
-            .degradations();
-        let cool = AgingScenario::worst_case(10.0)
-            .with_environment(348.15, 1.1)
-            .degradations();
+        let hot = AgingScenario::worst_case(10.0).with_environment(423.15, 1.3).degradations();
+        let cool = AgingScenario::worst_case(10.0).with_environment(348.15, 1.1).degradations();
         assert!(hot.pmos.delta_vth > base.pmos.delta_vth);
         assert!(cool.pmos.delta_vth < base.pmos.delta_vth);
         assert!(hot.nmos.mobility_factor < base.nmos.mobility_factor);

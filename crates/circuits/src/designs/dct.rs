@@ -92,8 +92,8 @@ pub fn dct8() -> Design {
     // Odd outputs from the 4×4 matrix over d.
     for k in [1usize, 3, 5, 7] {
         let mut acc = const_mul(&mut aig, &widen(&d[0]), coeff(k, 0), ACC_BITS);
-        for n in 1..4 {
-            let p = const_mul(&mut aig, &widen(&d[n]), coeff(k, n), ACC_BITS);
+        for (n, dn) in d.iter().enumerate().skip(1) {
+            let p = const_mul(&mut aig, &widen(dn), coeff(k, n), ACC_BITS);
             acc = acc_add(&mut aig, &acc, &p);
         }
         y[k] = Some(round_asr(&mut aig, &acc, COEFF_BITS as usize));
@@ -103,12 +103,7 @@ pub fn dct8() -> Design {
         output_bus(&mut aig, &format!("y{k}"), &out);
     }
 
-    Design {
-        name: "DCT".into(),
-        aig,
-        inputs: sample_ports("x", 8),
-        outputs: sample_ports("y", 8),
-    }
+    Design { name: "DCT".into(), aig, inputs: sample_ports("x", 8), outputs: sample_ports("y", 8) }
 }
 
 /// The combinational 8-point inverse DCT circuit, bit-exact with
@@ -138,12 +133,7 @@ pub fn idct8() -> Design {
         let out = resize_signed(bus.as_ref().expect("all outputs built"), SAMPLE_BITS);
         output_bus(&mut aig, &format!("x{n}"), &out);
     }
-    Design {
-        name: "IDCT".into(),
-        aig,
-        inputs: sample_ports("y", 8),
-        outputs: sample_ports("x", 8),
-    }
+    Design { name: "IDCT".into(), aig, inputs: sample_ports("y", 8), outputs: sample_ports("x", 8) }
 }
 
 #[cfg(test)]

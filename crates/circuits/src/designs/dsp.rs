@@ -53,9 +53,11 @@ pub fn dsp_fir() -> Design {
         aig,
         inputs: {
             let mut ports = vec![PortSpec { name: "x".into(), width: DATA_BITS, signed: true }];
-            ports.extend(
-                (0..4).map(|i| PortSpec { name: format!("h{i}"), width: DATA_BITS, signed: true }),
-            );
+            ports.extend((0..4).map(|i| PortSpec {
+                name: format!("h{i}"),
+                width: DATA_BITS,
+                signed: true,
+            }));
             ports
         },
         outputs: vec![PortSpec { name: "y".into(), width: OUT_BITS, signed: true }],

@@ -31,14 +31,13 @@ fn butterfly(
     let biwr = mul_signed(aig, bi, wr);
     let re_acc = sub(aig, &brwr, &biwi).0;
     let im_acc = add_ripple(aig, &brwi, &biwr, Lit::FALSE).0;
-    let re = resize_signed(&round_asr(aig, &resize_signed(&re_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
-    let im = resize_signed(&round_asr(aig, &resize_signed(&im_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
+    let re =
+        resize_signed(&round_asr(aig, &resize_signed(&re_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
+    let im =
+        resize_signed(&round_asr(aig, &resize_signed(&im_acc, wide), TWIDDLE_FRAC), DATA_BITS + 1);
     let arx = resize_signed(ar, DATA_BITS + 1);
     let aix = resize_signed(ai, DATA_BITS + 1);
-    let out0 = (
-        add_ripple(aig, &arx, &re, Lit::FALSE).0,
-        add_ripple(aig, &aix, &im, Lit::FALSE).0,
-    );
+    let out0 = (add_ripple(aig, &arx, &re, Lit::FALSE).0, add_ripple(aig, &aix, &im, Lit::FALSE).0);
     let out1 = (sub(aig, &arx, &re).0, sub(aig, &aix, &im).0);
     (out0, out1)
 }
@@ -71,9 +70,7 @@ pub fn fft_butterflies() -> Design {
             (&in_regs[base + 2].clone(), &in_regs[base + 3].clone()),
             (&in_regs[base + 4].clone(), &in_regs[base + 5].clone()),
         );
-        for (name, bus) in
-            [("p", &o0.0), ("q", &o0.1), ("r", &o1.0), ("s", &o1.1)]
-        {
+        for (name, bus) in [("p", &o0.0), ("q", &o0.1), ("r", &o1.0), ("s", &o1.1)] {
             let full = format!("{name}{u}");
             let trimmed = resize_signed(bus, DATA_BITS);
             let reg = register_bus(&mut aig, &format!("o_{full}"), DATA_BITS);
@@ -94,14 +91,8 @@ mod tests {
         let d = fft_butterflies();
         let n_state = d.aig.latch_nodes().len();
         // w = 1.0 (Q1.10 → 1024): outputs are a ± b.
-        let vals: Vec<(&str, i64)> = vec![
-            ("ar0", 100),
-            ("ai0", -50),
-            ("br0", 30),
-            ("bi0", 20),
-            ("wr0", 1024),
-            ("wi0", 0),
-        ];
+        let vals: Vec<(&str, i64)> =
+            vec![("ar0", 100), ("ai0", -50), ("br0", 30), ("bi0", 20), ("wr0", 1024), ("wi0", 0)];
         // Two clocks: one to load input regs, one to capture outputs.
         let bits = d.encode(&vals).unwrap();
         let s0 = vec![false; n_state];
@@ -119,14 +110,8 @@ mod tests {
         let d = fft_butterflies();
         let n_state = d.aig.latch_nodes().len();
         // w = −j (wr=0, wi=−1024): w·b = (bi, −br).
-        let vals: Vec<(&str, i64)> = vec![
-            ("ar1", 10),
-            ("ai1", 10),
-            ("br1", 40),
-            ("bi1", 8),
-            ("wr1", 0),
-            ("wi1", -1024),
-        ];
+        let vals: Vec<(&str, i64)> =
+            vec![("ar1", 10), ("ai1", 10), ("br1", 40), ("bi1", 8), ("wr1", 0), ("wi1", -1024)];
         let bits = d.encode(&vals).unwrap();
         let s0 = vec![false; n_state];
         let s1 = d.aig.eval_next_state(&bits, &s0);

@@ -178,12 +178,7 @@ mod tests {
         let d = risc_5p();
         let r = settle(&d, &[("rs1", 10), ("rs2", 999), ("imm", -3), ("use_imm", 1)], 8, "result");
         assert_eq!(r, 7, "rs1 + sext(imm)");
-        let r = settle(
-            &d,
-            &[("rs1", 10), ("rs2", 5), ("fwd", 100), ("fwd_en", 1)],
-            8,
-            "result",
-        );
+        let r = settle(&d, &[("rs1", 10), ("rs2", 5), ("fwd", 100), ("fwd_en", 1)], 8, "result");
         assert_eq!(r, 105, "forwarded operand");
     }
 

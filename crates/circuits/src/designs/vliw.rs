@@ -4,8 +4,8 @@
 
 use crate::design::{Design, PortSpec};
 use crate::word::{
-    add_cla, and_bus, connect_register, input_bus, mul_signed, mux_bus, output_bus,
-    register_bus, resize_signed, sub, xor_bus, Bus,
+    add_cla, and_bus, connect_register, input_bus, mul_signed, mux_bus, output_bus, register_bus,
+    resize_signed, sub, xor_bus, Bus,
 };
 use synth::{Aig, Lit};
 
@@ -28,13 +28,14 @@ fn slot_alu(aig: &mut Aig, a: &Bus, b: &Bus, op: &Bus) -> Bus {
 pub fn vliw() -> Design {
     let mut aig = Aig::new();
     let mut inputs = Vec::new();
-    let reg_in = |aig: &mut Aig, name: &str, width: usize, signed: bool, inputs: &mut Vec<PortSpec>| {
-        let bus = input_bus(aig, name, width);
-        let reg = register_bus(aig, &format!("r_{name}"), width);
-        connect_register(aig, &reg, &bus);
-        inputs.push(PortSpec { name: name.to_owned(), width, signed });
-        reg
-    };
+    let reg_in =
+        |aig: &mut Aig, name: &str, width: usize, signed: bool, inputs: &mut Vec<PortSpec>| {
+            let bus = input_bus(aig, name, width);
+            let reg = register_bus(aig, &format!("r_{name}"), width);
+            connect_register(aig, &reg, &bus);
+            inputs.push(PortSpec { name: name.to_owned(), width, signed });
+            reg
+        };
 
     let a0 = reg_in(&mut aig, "a0", WORD, true, &mut inputs);
     let b0 = reg_in(&mut aig, "b0", WORD, true, &mut inputs);
@@ -87,14 +88,8 @@ mod tests {
     #[test]
     fn both_slots_compute_independently() {
         let d = vliw();
-        let vals: Vec<(&str, i64)> = vec![
-            ("a0", 1000),
-            ("b0", 24),
-            ("op0", 0),
-            ("a1", 0x0f0f),
-            ("b1", 0x00ff),
-            ("op1", 2),
-        ];
+        let vals: Vec<(&str, i64)> =
+            vec![("a0", 1000), ("b0", 24), ("op0", 0), ("a1", 0x0f0f), ("b1", 0x00ff), ("op1", 2)];
         assert_eq!(settle(&d, &vals, "r0"), 1024, "slot 0 add");
         assert_eq!(settle(&d, &vals, "r1"), 0x000f, "slot 1 and");
     }

@@ -8,7 +8,7 @@
 
 /// Fractional bits of the DCT coefficients.
 pub const COEFF_BITS: u32 = 8;
-/// Coefficient scale (2^COEFF_BITS).
+/// Coefficient scale (`2^COEFF_BITS`).
 pub const COEFF_SCALE: f64 = 256.0;
 
 /// `round(256 · 0.5 · α_k · cos(k(2n+1)π/16))` — the scaled JPEG-convention
@@ -133,9 +133,9 @@ mod tests {
     fn round_trip_error_small_on_textured_block() {
         // A deterministic pseudo-texture within pixel range (−128..127).
         let mut block = [[0i64; 8]; 8];
-        for r in 0..8 {
-            for c in 0..8 {
-                block[r][c] = (((r * 37 + c * 101 + 13) % 251) as i64) - 125;
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (((r * 37 + c * 101 + 13) % 251) as i64) - 125;
             }
         }
         let back = idct2d(&dct2d(&block));
@@ -150,9 +150,9 @@ mod tests {
     #[test]
     fn energy_compaction_on_smooth_ramp() {
         let mut block = [[0i64; 8]; 8];
-        for r in 0..8 {
-            for c in 0..8 {
-                block[r][c] = (r as i64) * 10 + (c as i64) * 5 - 60;
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r as i64) * 10 + (c as i64) * 5 - 60;
             }
         }
         let f = dct2d(&block);
@@ -165,9 +165,9 @@ mod tests {
     fn parseval_like_bound() {
         // Outputs of a pixel-range block stay within the 12-bit datapath.
         let mut block = [[0i64; 8]; 8];
-        for r in 0..8 {
-            for c in 0..8 {
-                block[r][c] = if (r + c) % 2 == 0 { 127 } else { -128 };
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = if (r + c) % 2 == 0 { 127 } else { -128 };
             }
         }
         for row in &dct2d(&block) {

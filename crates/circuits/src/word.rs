@@ -42,9 +42,7 @@ pub fn connect_register(aig: &mut Aig, state: &Bus, next: &Bus) {
 /// The two's-complement constant `value` at `width` bits.
 #[must_use]
 pub fn const_bus(value: i64, width: usize) -> Bus {
-    (0..width)
-        .map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
-        .collect()
+    (0..width).map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE }).collect()
 }
 
 /// Sign-extends (or truncates) `bus` to `width` bits.
@@ -124,6 +122,8 @@ pub fn add_cla(aig: &mut Aig, a: &Bus, b: &Bus, cin: Lit) -> (Bus, Lit) {
     for group in (0..n).step_by(4) {
         let gc = carries[group];
         let end = (group + 4).min(n);
+        // Index loops mirror the g/p subscripts of the equation below.
+        #[allow(clippy::needless_range_loop)]
         for i in group..end {
             // c_{i+1} = g_i + Σ_{j≤i} (g_j · Π p_{j+1..=i}) + gc·Π p_{group..=i}
             let mut terms = vec![g[i]];
@@ -187,9 +187,8 @@ pub fn mul_signed(aig: &mut Aig, a: &Bus, b: &Bus) -> Bus {
     // add a << i; the top bit of b carries negative weight.
     let mut acc = const_bus(0, width);
     for i in 0..b.len() {
-        let shifted: Bus = (0..width)
-            .map(|k| if k >= i { ax[k - i] } else { Lit::FALSE })
-            .collect();
+        let shifted: Bus =
+            (0..width).map(|k| if k >= i { ax[k - i] } else { Lit::FALSE }).collect();
         if i == b.len() - 1 {
             // Negative weight: subtract when the sign bit is set.
             let neg = negate(aig, &shifted);
@@ -278,7 +277,11 @@ pub fn barrel_shift(aig: &mut Aig, a: &Bus, amount: &Bus, left: bool) -> Bus {
         let shifted: Bus = (0..cur.len())
             .map(|i| {
                 if left {
-                    if i >= dist { cur[i - dist] } else { Lit::FALSE }
+                    if i >= dist {
+                        cur[i - dist]
+                    } else {
+                        Lit::FALSE
+                    }
                 } else {
                     cur.get(i + dist).copied().unwrap_or(Lit::FALSE)
                 }
@@ -356,8 +359,8 @@ mod tests {
                 inputs.extend(encode(y, 8));
                 let outs = g.eval(&inputs, &[]);
                 let mut got = 0i64;
-                for i in 0..8 {
-                    if outs[i] {
+                for (i, &o) in outs.iter().take(8).enumerate() {
+                    if o {
                         got |= 1 << i;
                     }
                 }
@@ -381,8 +384,8 @@ mod tests {
         for (x, y) in [(5i64, 3i64), (3, 5), (-100, 27), (-128, -1), (127, -127)] {
             let mut inputs = encode(x, 8);
             inputs.extend(encode(y, 8));
-            assert_eq!(eval_signed(&g, 0..8, &inputs), ((x - y) as i8) as i64, "{x}-{y}");
-            assert_eq!(eval_signed(&g, 8..16, &inputs), ((-x) as i8) as i64, "-{x}");
+            assert_eq!(eval_signed(&g, 0..8, &inputs), i64::from((x - y) as i8), "{x}-{y}");
+            assert_eq!(eval_signed(&g, 8..16, &inputs), i64::from((-x) as i8), "-{x}");
         }
     }
 
@@ -398,8 +401,8 @@ mod tests {
             inputs.extend(encode(y as i64, 6));
             let outs = g.eval(&inputs, &[]);
             let mut got = 0u64;
-            for i in 0..12 {
-                if outs[i] {
+            for (i, &o) in outs.iter().take(12).enumerate() {
+                if o {
                     got |= 1 << i;
                 }
             }
@@ -487,7 +490,8 @@ mod tests {
         g.output("e", e);
         g.output("ltu", ltu);
         g.output("lts", lts);
-        for (x, y) in [(0i64, 0i64), (5, 5), (3, 9), (9, 3), (-1, 0), (0, -1), (-30, -2), (31, -32)] {
+        for (x, y) in [(0i64, 0i64), (5, 5), (3, 9), (9, 3), (-1, 0), (0, -1), (-30, -2), (31, -32)]
+        {
             let mut inputs = encode(x, 6);
             inputs.extend(encode(y, 6));
             let outs = g.eval(&inputs, &[]);

@@ -53,8 +53,8 @@ proptest! {
             inputs.extend(encode(b, 12));
             let outs = g.eval(&inputs, &[]);
             let mut got = 0i64;
-            for i in 0..12 {
-                if outs[i] {
+            for (i, &o) in outs.iter().take(12).enumerate() {
+                if o {
                     got |= 1 << i;
                 }
             }
@@ -85,7 +85,7 @@ proptest! {
         inputs.extend(encode(b, 8));
         let outs = g.eval(&inputs, &[]);
         prop_assert_eq!(decode_signed(&outs[0..16]), a * b, "mul");
-        prop_assert_eq!(decode_signed(&outs[16..24]), ((a - b) as i8) as i64, "sub wraps");
+        prop_assert_eq!(decode_signed(&outs[16..24]), i64::from((a - b) as i8), "sub wraps");
         prop_assert_eq!(outs[24], a == b, "eq");
         prop_assert_eq!(outs[25], a < b, "slt");
         prop_assert_eq!(outs[26], ((a as u64) & 255) < ((b as u64) & 255), "ult");

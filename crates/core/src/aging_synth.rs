@@ -76,15 +76,27 @@ impl SynthesisComparison {
 /// selection criterion itself is the aged delay, which is precisely how
 /// awareness propagates into the final netlist.
 ///
+/// A relialint pre-flight gate validates `library` first: error diagnostics
+/// abort (as [`SynthError::Preflight`]), warnings are logged to stderr.
+///
 /// # Errors
 ///
 /// Propagates [`SynthError`].
-pub fn synthesize_best(aig: &Aig, library: &Library, base: &MapOptions) -> Result<Netlist, SynthError> {
+pub fn synthesize_best(
+    aig: &Aig,
+    library: &Library,
+    base: &MapOptions,
+) -> Result<Netlist, SynthError> {
+    lint_gate(library)?;
     let candidates = [
         base.clone(),
         MapOptions { cut_size: 3, ..base.clone() },
         MapOptions { cuts_per_node: 14, ..base.clone() },
-        MapOptions { max_fanout: base.max_fanout.saturating_sub(3).max(4), sizing_iterations: base.sizing_iterations + 2, ..base.clone() },
+        MapOptions {
+            max_fanout: base.max_fanout.saturating_sub(3).max(4),
+            sizing_iterations: base.sizing_iterations + 2,
+            ..base.clone()
+        },
     ];
     let constraints = Constraints::default();
     let mut best: Option<(f64, Netlist)> = None;
@@ -118,6 +130,13 @@ pub fn synthesize_aging_aware(
     aged: &Library,
     options: &MapOptions,
 ) -> Result<Netlist, SynthError> {
+    lint_gate(fresh)?;
+    lint_gate(aged)?;
+    // Cross-check the pair: aged delays should dominate fresh ones (AG001);
+    // violations are warnings unless the whitelist says otherwise.
+    for d in lint::LintReport::run_aging(fresh, aged, &lint::LintConfig::default()).diagnostics() {
+        eprintln!("[relialint] {d}");
+    }
     let constraints = Constraints::default();
     let mut best: Option<(f64, Netlist)> = None;
     for start_lib in [aged, fresh] {
@@ -136,6 +155,16 @@ pub fn synthesize_aging_aware(
     synth::optimize_critical_path(&mut nl, aged, 6)?;
     synth::area_recover(&mut nl, aged, None)?;
     Ok(nl)
+}
+
+/// The library-side relialint gate shared by the synthesis entry points.
+fn lint_gate(library: &Library) -> Result<(), SynthError> {
+    let survivors = lint::preflight_library(library, &lint::LintConfig::default())
+        .map_err(|e| SynthError::Preflight(e.to_string()))?;
+    for d in &survivors {
+        eprintln!("[relialint] {d}");
+    }
+    Ok(())
 }
 
 fn candidate_options(base: &MapOptions) -> Vec<MapOptions> {
@@ -201,6 +230,20 @@ mod tests {
         g.output("p", parity);
         g.output("q", any);
         g
+    }
+
+    #[test]
+    fn empty_library_fails_preflight() {
+        let aig = sample_aig();
+        let empty = liberty::Library::new("empty", 1.2);
+        let err = synthesize_best(&aig, &empty, &MapOptions::default()).unwrap_err();
+        match err {
+            SynthError::Preflight(m) => assert!(m.contains("LB001"), "{m}"),
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        let fresh = fixture_library();
+        let err = synthesize_aging_aware(&aig, &fresh, &empty, &MapOptions::default()).unwrap_err();
+        assert!(matches!(err, SynthError::Preflight(_)), "{err:?}");
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl CharConfig {
 }
 
 fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get())
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
 }
 
 /// Characterizes a [`CellSet`] into degradation-aware [`Library`] objects
@@ -119,11 +119,11 @@ impl Characterizer {
             vec![defs.iter().map(|d| self.characterize_cell(d, nmos, pmos)).collect()]
         } else {
             let chunks: Vec<&[&CellDef]> = defs.chunks(defs.len().div_ceil(workers)).collect();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             chunk
                                 .iter()
                                 .map(|d| self.characterize_cell(d, nmos, pmos))
@@ -133,7 +133,6 @@ impl Characterizer {
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             })
-            .expect("characterization scope")
         };
         for cell in results.into_iter().flatten() {
             lib.add_cell(cell);
@@ -167,11 +166,7 @@ impl Characterizer {
     ///
     /// Returns I/O errors from the cache directory; a corrupt cache entry
     /// is re-characterized and overwritten.
-    pub fn library_cached(
-        &self,
-        dir: &Path,
-        scenario: &AgingScenario,
-    ) -> std::io::Result<Library> {
+    pub fn library_cached(&self, dir: &Path, scenario: &AgingScenario) -> std::io::Result<Library> {
         std::fs::create_dir_all(dir)?;
         let key = format!(
             "lib_{}_{}y_{:.0}K_{:.2}V_{}x{}_{}cells_{:.0e}.lib",
@@ -280,7 +275,18 @@ impl Characterizer {
             for (li, &load) in cfg.loads.iter().enumerate() {
                 for input_rising in [true, false] {
                     let output_rising = input_rising == out_rises_with_input;
-                    let m = self.simulate_edge(def, input, output, &side, input_rising, output_rising, slew, load, nmos, pmos);
+                    let m = self.simulate_edge(
+                        def,
+                        input,
+                        output,
+                        &side,
+                        input_rising,
+                        output_rising,
+                        slew,
+                        load,
+                        nmos,
+                        pmos,
+                    );
                     let idx = si * cols + li;
                     if output_rising {
                         rise_delay[idx] = m.0;
@@ -376,12 +382,12 @@ impl Characterizer {
                     let trace = inst.circuit.transient(&config);
                     let ck = inst.node("CK").expect("CK exists");
                     let q = inst.node("Q").expect("Q exists");
-                    let m = trace
-                        .measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9)
-                        .unwrap_or(spicesim::EdgeMeasurement {
+                    let m = trace.measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9).unwrap_or(
+                        spicesim::EdgeMeasurement {
                             delay: t_stop - t_clk,
                             output_slew: *cfg.slews.last().expect("nonempty"),
-                        });
+                        },
+                    );
                     let idx = si * cols + li;
                     if q_rising {
                         rise_delay[idx] = m.delay;
@@ -409,9 +415,7 @@ impl Characterizer {
 
 /// Drive strength parsed from a cell name (`_X4` → 4.0; default 1.0).
 fn strength_of(name: &str) -> f64 {
-    name.rfind("_X")
-        .and_then(|p| name[p + 2..].parse::<f64>().ok())
-        .unwrap_or(1.0)
+    name.rfind("_X").and_then(|p| name[p + 2..].parse::<f64>().ok()).unwrap_or(1.0)
 }
 
 #[cfg(test)]
@@ -439,8 +443,11 @@ mod tests {
         assert_eq!(lib.len(), 4);
         let inv = lib.cell("INV_X1").unwrap();
         assert_eq!(inv.inputs.len(), 1);
-        assert!(inv.inputs[0].capacitance > 0.3e-15 && inv.inputs[0].capacitance < 3e-15,
-            "INV input cap = {}", inv.inputs[0].capacitance);
+        assert!(
+            inv.inputs[0].capacitance > 0.3e-15 && inv.inputs[0].capacitance < 3e-15,
+            "INV input cap = {}",
+            inv.inputs[0].capacitance
+        );
         let arc = inv.output("Y").unwrap().arc_from("A").unwrap();
         assert_eq!(arc.sense, TimingSense::NegativeUnate);
         // Delay grows with load.
@@ -471,10 +478,8 @@ mod tests {
 
     #[test]
     fn vth_only_is_faster_than_full_degradation() {
-        let chars = Characterizer::new(
-            CellSet::nangate45_like().subset(&["INV_X1"]),
-            tiny_config(),
-        );
+        let chars =
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
         let scenario = AgingScenario::worst_case(10.0);
         let full = chars.library(&scenario);
         let vth = chars.library_vth_only(&scenario);
@@ -485,10 +490,8 @@ mod tests {
 
     #[test]
     fn complete_library_merges_grid() {
-        let chars = Characterizer::new(
-            CellSet::nangate45_like().subset(&["INV_X1"]),
-            tiny_config(),
-        );
+        let chars =
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
         let complete = chars.complete_library(1, 10.0);
         // 2×2 grid × 1 cell.
         assert_eq!(complete.len(), 4);
@@ -514,10 +517,8 @@ mod tests {
     fn cache_round_trips() {
         let dir = std::env::temp_dir().join("reliaware_test_cache");
         let _ = std::fs::remove_dir_all(&dir);
-        let chars = Characterizer::new(
-            CellSet::nangate45_like().subset(&["INV_X1"]),
-            tiny_config(),
-        );
+        let chars =
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
         let scenario = AgingScenario::worst_case(10.0);
         let first = chars.library_cached(&dir, &scenario).unwrap();
         let second = chars.library_cached(&dir, &scenario).unwrap();

@@ -103,8 +103,9 @@ pub fn dynamic_stress_analysis_with(
     extraction: DutyExtraction,
 ) -> Result<DynamicStressReport, StaError> {
     // 1. Workload playback and activity extraction.
-    let run = run_cycles(netlist, base_library, clock_port, vectors)
-        .map_err(|e| StaError::Netlist(netlist::NetlistError::Parse { line: 0, message: e.to_string() }))?;
+    let run = run_cycles(netlist, base_library, clock_port, vectors).map_err(|e| {
+        StaError::Netlist(netlist::NetlistError::Parse { line: 0, message: e.to_string() })
+    })?;
 
     // 2. Per-instance λ and netlist annotation.
     let tags: Vec<Option<liberty::LambdaTag>> = netlist

@@ -124,9 +124,16 @@ pub fn single_opc_aged_library(fresh: &Library, aged: &Library, slew: f64, load:
                 let Some(aged_out) = aged_cell.output(&outpin.name) else { continue };
                 for arc in &mut outpin.arcs {
                     let Some(aged_arc) = aged_out.arc_from(&arc.related_pin) else { continue };
-                    let factor = |f: f64, a: f64| if f > MIN_DELAY { (a / f).max(1.0) } else { 1.0 };
-                    let fr = factor(arc.cell_rise.value(slew, load), aged_arc.cell_rise.value(slew, load));
-                    let ff = factor(arc.cell_fall.value(slew, load), aged_arc.cell_fall.value(slew, load));
+                    let factor =
+                        |f: f64, a: f64| if f > MIN_DELAY { (a / f).max(1.0) } else { 1.0 };
+                    let fr = factor(
+                        arc.cell_rise.value(slew, load),
+                        aged_arc.cell_rise.value(slew, load),
+                    );
+                    let ff = factor(
+                        arc.cell_fall.value(slew, load),
+                        aged_arc.cell_fall.value(slew, load),
+                    );
                     arc.cell_rise = arc.cell_rise.map(|v| v * fr);
                     arc.cell_fall = arc.cell_fall.map(|v| v * ff);
                     arc.rise_transition = arc.rise_transition.map(|v| v * fr);
@@ -184,7 +191,8 @@ mod tests {
         let aged = slowed_library(1.3);
         let full = estimate_guardband(&nl, &fresh, &aged, &Constraints::default()).unwrap();
         let cp_only =
-            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default())
+                .unwrap();
         assert!((full.guardband() - cp_only).abs() < 1e-15);
     }
 
@@ -220,7 +228,8 @@ mod tests {
 
         let full = estimate_guardband(&nl, &fresh, &aged, &Constraints::default()).unwrap();
         let cp_only =
-            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default()).unwrap();
+            guardband_of_initial_critical_path(&nl, &fresh, &aged, &Constraints::default())
+                .unwrap();
         assert!(full.critical_path_switched, "criticality must switch");
         assert!(
             full.guardband() > cp_only,

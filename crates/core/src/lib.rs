@@ -41,9 +41,13 @@ pub mod dynamic;
 pub mod guardband;
 pub mod system_eval;
 
-pub use aging_synth::{compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison};
+pub use aging_synth::{
+    compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison,
+};
 pub use charlib::{CharConfig, Characterizer};
-pub use dynamic::{dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport};
+pub use dynamic::{
+    dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport,
+};
 pub use guardband::{
     collapse_library, estimate_guardband, guardband_of_initial_critical_path,
     single_opc_aged_library, GuardbandReport,

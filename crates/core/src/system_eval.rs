@@ -19,6 +19,9 @@ use std::collections::HashSet;
 /// running STA and freezing each arc's delay at its propagated input slew
 /// and actual output load — the SDF-generation step of the paper's flow.
 ///
+/// A relialint pre-flight gate runs first: error diagnostics abort (as
+/// [`StaError::Preflight`]), warnings are logged to stderr.
+///
 /// # Errors
 ///
 /// Propagates [`StaError`].
@@ -27,6 +30,11 @@ pub fn annotation_from_sta(
     library: &Library,
     constraints: &Constraints,
 ) -> Result<DelayAnnotation, StaError> {
+    let survivors = lint::preflight(netlist, library)
+        .map_err(|e| StaError::Preflight { message: e.to_string() })?;
+    for d in &survivors {
+        eprintln!("[relialint] {d}");
+    }
     let report = analyze(netlist, library, constraints)?;
     let sinks = netlist.sinks(library)?;
     let output_nets: HashSet<NetId> = netlist.output_nets().collect();
@@ -41,7 +49,9 @@ pub fn annotation_from_sta(
             let mut fanout = 0usize;
             if let Some(pins) = sinks.get(&out_net) {
                 for (s, p) in pins {
-                    if let Some(c) = library.cell(&netlist.instance(*s).cell).and_then(|c| c.input_cap(p)) {
+                    if let Some(c) =
+                        library.cell(&netlist.instance(*s).cell).and_then(|c| c.input_cap(p))
+                    {
                         load += c;
                         fanout += 1;
                     }
@@ -162,15 +172,14 @@ pub fn run_image_chain(
         let clamp12 = |v: i64| v.clamp(-2048, 2047);
         let mut vectors = Vec::with_capacity(blocks.len() * 8);
         for block in blocks {
+            // k indexes rows or columns of `block` depending on `rows`.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..8 {
                 let lane: [i64; 8] =
                     std::array::from_fn(|j| if rows { block[k][j] } else { block[j][k] });
                 let names: Vec<String> = (0..8).map(|j| format!("{in_prefix}{j}")).collect();
-                let pairs: Vec<(&str, i64)> = names
-                    .iter()
-                    .enumerate()
-                    .map(|(j, n)| (n.as_str(), clamp12(lane[j])))
-                    .collect();
+                let pairs: Vec<(&str, i64)> =
+                    names.iter().enumerate().map(|(j, n)| (n.as_str(), clamp12(lane[j]))).collect();
                 vectors.push(design.encode(&pairs).map_err(|e| e.to_string())?);
             }
         }
@@ -181,10 +190,11 @@ pub fn run_image_chain(
         for (cycle, bits) in run.outputs.iter().enumerate() {
             let block = cycle / 8;
             let k = cycle % 8;
+            // j indexes rows or columns of `out` depending on `rows`.
+            #[allow(clippy::needless_range_loop)]
             for j in 0..8 {
-                let v = design
-                    .decode(bits, &format!("{out_prefix}{j}"))
-                    .map_err(|e| e.to_string())?;
+                let v =
+                    design.decode(bits, &format!("{out_prefix}{j}")).map_err(|e| e.to_string())?;
                 if rows {
                     out[block][k][j] = v;
                 } else {
@@ -232,6 +242,20 @@ mod tests {
         let out = reference_chain(&img);
         let q = psnr(&img, &out);
         assert!(q > 38.0, "reference chain PSNR {q} dB");
+    }
+
+    #[test]
+    fn broken_netlist_fails_preflight() {
+        let lib = fixture_library();
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_port("a", netlist::PortDir::Input);
+        let y = nl.add_port("y", netlist::PortDir::Output);
+        nl.add_instance("u0", "NOT_A_CELL", &[("A", a), ("Y", y)]);
+        let err = annotation_from_sta(&nl, &lib, &Constraints::default()).unwrap_err();
+        match err {
+            StaError::Preflight { message } => assert!(message.contains("NL001"), "{message}"),
+            other => panic!("expected Preflight, got {other:?}"),
+        }
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn parse_pgm(data: &[u8]) -> Result<GrayImage, PgmError> {
         // Exactly one whitespace byte separates header and payload.
         pos += 1;
         let payload = data.get(pos..pos + count).ok_or_else(|| {
-            PgmError::BadPixels(format!("expected {count} bytes, file has {}", data.len() - pos.min(data.len())))
+            PgmError::BadPixels(format!(
+                "expected {count} bytes, file has {}",
+                data.len() - pos.min(data.len())
+            ))
         })?;
         payload.to_vec()
     } else {

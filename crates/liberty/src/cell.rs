@@ -267,7 +267,8 @@ mod tests {
     #[test]
     fn flop_class() {
         let mut c = Cell::test_inverter("DFF_X1");
-        c.class = CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 5e-12 };
+        c.class =
+            CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 5e-12 };
         assert!(c.is_sequential());
     }
 }

@@ -1,11 +1,34 @@
 //! Library sanity checks: structural and physical plausibility of
-//! characterized libraries, used as QA after characterization runs.
+//! characterized libraries, used as QA after characterization runs and as
+//! the data source for the `relialint` library rules (`LB...`).
 
 use crate::{Library, Table2d};
+
+/// What category of defect a [`LibraryIssue`] reports. Each kind maps to a
+/// stable `relialint` rule ID, so the set is append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueKind {
+    /// The library contains no cells at all.
+    EmptyLibrary,
+    /// An input pin's capacitance is non-positive, NaN or absurdly large.
+    ImplausibleCapacitance,
+    /// An output pin carries no timing arcs.
+    MissingArcs,
+    /// An output-transition table contains non-positive entries.
+    NonPositiveTransition,
+    /// A delay table fails to increase with output load at some slew.
+    NonMonotoneLoad,
+    /// A delay table decreases with input slew at some load.
+    NonMonotoneSlew,
+    /// A delay table contains the characterizer's timeout fallback value.
+    TimedOut,
+}
 
 /// A human-readable issue found by [`Library::sanity_check`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LibraryIssue {
+    /// The category of the defect (stable; maps to a lint rule ID).
+    pub kind: IssueKind,
     /// Cell the issue belongs to (empty for library-level issues).
     pub cell: String,
     /// Description of the problem.
@@ -29,18 +52,25 @@ impl Library {
     /// Checks: non-empty library; positive input capacitances; every output
     /// pin carries at least one timing arc; output transitions strictly
     /// positive; delay strictly increasing with output load at every slew
-    /// (electrically necessary — more charge takes longer); delays bounded
-    /// (no runaway values from failed transient measurements).
+    /// (electrically necessary — more charge takes longer); delay never
+    /// *decreasing* with input slew at any load (a slower input edge cannot
+    /// speed a gate up); delays bounded (no runaway values from failed
+    /// transient measurements).
     #[must_use]
     pub fn sanity_check(&self) -> Vec<LibraryIssue> {
         let mut issues = Vec::new();
         if self.is_empty() {
-            issues.push(LibraryIssue { cell: String::new(), detail: "library has no cells".into() });
+            issues.push(LibraryIssue {
+                kind: IssueKind::EmptyLibrary,
+                cell: String::new(),
+                detail: "library has no cells".into(),
+            });
         }
         for cell in self.cells() {
             for pin in &cell.inputs {
                 if pin.capacitance <= 0.0 || pin.capacitance > 1e-12 || pin.capacitance.is_nan() {
                     issues.push(LibraryIssue {
+                        kind: IssueKind::ImplausibleCapacitance,
                         cell: cell.name.clone(),
                         detail: format!(
                             "input {} capacitance {:.3e} F implausible",
@@ -52,15 +82,15 @@ impl Library {
             for out in &cell.outputs {
                 if out.arcs.is_empty() {
                     issues.push(LibraryIssue {
+                        kind: IssueKind::MissingArcs,
                         cell: cell.name.clone(),
                         detail: format!("output {} has no timing arcs", out.name),
                     });
                 }
                 for arc in &out.arcs {
-                    for (kind, table) in [
-                        ("cell_rise", &arc.cell_rise),
-                        ("cell_fall", &arc.cell_fall),
-                    ] {
+                    for (kind, table) in
+                        [("cell_rise", &arc.cell_rise), ("cell_fall", &arc.cell_fall)]
+                    {
                         check_delay_table(&mut issues, &cell.name, &arc.related_pin, kind, table);
                     }
                     for (kind, table) in [
@@ -69,6 +99,7 @@ impl Library {
                     ] {
                         if table.min_value() <= 0.0 {
                             issues.push(LibraryIssue {
+                                kind: IssueKind::NonPositiveTransition,
                                 cell: cell.name.clone(),
                                 detail: format!(
                                     "arc {}: {kind} has non-positive entries",
@@ -96,9 +127,27 @@ fn check_delay_table(
         for li in 1..table.load_axis().len() {
             if table.at(si, li) <= table.at(si, li - 1) {
                 issues.push(LibraryIssue {
+                    kind: IssueKind::NonMonotoneLoad,
                     cell: cell.to_owned(),
                     detail: format!(
                         "arc {pin}: {kind} not increasing with load at slew index {si}"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    // Never *decreasing* with slew at any load column. Unlike the load
+    // axis, equality is allowed: far from the slew-sensitive region a
+    // delay can plateau, but a drop means the characterization is broken.
+    for li in 0..table.load_axis().len() {
+        for si in 1..table.slew_axis().len() {
+            if table.at(si, li) < table.at(si - 1, li) {
+                issues.push(LibraryIssue {
+                    kind: IssueKind::NonMonotoneSlew,
+                    cell: cell.to_owned(),
+                    detail: format!(
+                        "arc {pin}: {kind} decreasing with input slew at load index {li}"
                     ),
                 });
                 break;
@@ -109,6 +158,7 @@ fn check_delay_table(
     // measurement timed out (the characterizer's fallback value).
     if table.max_value() > 10e-9 {
         issues.push(LibraryIssue {
+            kind: IssueKind::TimedOut,
             cell: cell.to_owned(),
             detail: format!("arc {pin}: {kind} contains a timed-out measurement"),
         });
@@ -132,6 +182,7 @@ mod tests {
         let lib = Library::new("l", 1.2);
         let issues = lib.sanity_check();
         assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, IssueKind::EmptyLibrary);
         assert!(issues[0].to_string().contains("no cells"));
     }
 
@@ -143,8 +194,8 @@ mod tests {
         cell.outputs[0].arcs.clear();
         lib.add_cell(cell);
         let issues = lib.sanity_check();
-        assert!(issues.iter().any(|i| i.detail.contains("capacitance")));
-        assert!(issues.iter().any(|i| i.detail.contains("no timing arcs")));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::ImplausibleCapacitance));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::MissingArcs));
     }
 
     #[test]
@@ -152,21 +203,64 @@ mod tests {
         let mut lib = Library::new("l", 1.2);
         let mut cell = Cell::test_inverter("INV_X1");
         // Make the delay DECREASE with load.
-        cell.outputs[0].arcs[0].cell_rise =
-            cell.outputs[0].arcs[0].cell_rise.map(|v| 1e-10 - v);
+        cell.outputs[0].arcs[0].cell_rise = cell.outputs[0].arcs[0].cell_rise.map(|v| 1e-10 - v);
         lib.add_cell(cell);
         let issues = lib.sanity_check();
-        assert!(issues.iter().any(|i| i.detail.contains("not increasing with load")));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::NonMonotoneLoad
+            && i.detail.contains("not increasing with load")));
+    }
+
+    #[test]
+    fn slew_decreasing_delay_flagged() {
+        let mut lib = Library::new("l", 1.2);
+        let mut cell = Cell::test_inverter("INV_X1");
+        // The test inverter's tables grow with both axes; invert the slew
+        // trend by subtracting a slew-proportional term per row.
+        let rise = &cell.outputs[0].arcs[0].cell_rise;
+        let slews = rise.slew_axis().to_vec();
+        let loads = rise.load_axis().to_vec();
+        let mut values = Vec::new();
+        for s in &slews {
+            for l in &loads {
+                values.push(50e-12 - 0.02 * s + 2.0e3 * l);
+            }
+        }
+        cell.outputs[0].arcs[0].cell_rise =
+            Table2d::new(slews, loads, values).expect("valid inverted table");
+        lib.add_cell(cell);
+        let issues = lib.sanity_check();
+        assert!(issues.iter().any(|i| i.kind == IssueKind::NonMonotoneSlew
+            && i.detail.contains("decreasing with input slew")));
+    }
+
+    #[test]
+    fn slew_plateau_not_flagged() {
+        let mut lib = Library::new("l", 1.2);
+        let mut cell = Cell::test_inverter("INV_X1");
+        // Identical rows: flat in slew — allowed (plateau, not a decrease).
+        let rise = &cell.outputs[0].arcs[0].cell_rise;
+        let slews = rise.slew_axis().to_vec();
+        let loads = rise.load_axis().to_vec();
+        let mut values = Vec::new();
+        for _ in &slews {
+            for l in &loads {
+                values.push(10e-12 + 2.0e3 * l);
+            }
+        }
+        cell.outputs[0].arcs[0].cell_rise =
+            Table2d::new(slews.clone(), loads.clone(), values.clone()).expect("valid");
+        cell.outputs[0].arcs[0].cell_fall = Table2d::new(slews, loads, values).expect("valid");
+        lib.add_cell(cell);
+        assert!(!lib.sanity_check().iter().any(|i| i.kind == IssueKind::NonMonotoneSlew));
     }
 
     #[test]
     fn timeout_value_flagged() {
         let mut lib = Library::new("l", 1.2);
         let mut cell = Cell::test_inverter("INV_X1");
-        cell.outputs[0].arcs[0].cell_fall =
-            cell.outputs[0].arcs[0].cell_fall.map(|v| v + 20e-9);
+        cell.outputs[0].arcs[0].cell_fall = cell.outputs[0].arcs[0].cell_fall.map(|v| v + 20e-9);
         lib.add_cell(cell);
         let issues = lib.sanity_check();
-        assert!(issues.iter().any(|i| i.detail.contains("timed-out")));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::TimedOut));
     }
 }

@@ -80,8 +80,7 @@ fn write_table(out: &mut String, kind: &str, t: &Table2d) {
         .iter()
         .enumerate()
         .map(|(i, _)| {
-            let row: Vec<f64> =
-                (0..t.load_axis().len()).map(|j| t.at(i, j)).collect();
+            let row: Vec<f64> = (0..t.load_axis().len()).map(|j| t.at(i, j)).collect();
             format!("\"{}\"", join_nums(&row))
         })
         .collect();
@@ -135,7 +134,9 @@ impl<'a> Lexer<'a> {
             // Comments: /* … */ and // … and Liberty's \-newline continuation.
             if self.bytes[self.pos..].starts_with(b"/*") {
                 let mut i = self.pos + 2;
-                while i + 1 < self.bytes.len() && !(self.bytes[i] == b'*' && self.bytes[i + 1] == b'/') {
+                while i + 1 < self.bytes.len()
+                    && !(self.bytes[i] == b'*' && self.bytes[i + 1] == b'/')
+                {
                     if self.bytes[i] == b'\n' {
                         self.line += 1;
                     }
@@ -279,8 +280,14 @@ impl<'a> GroupParser<'a> {
     /// Parses one `name (args) { body }` group, assuming the name token has
     /// already been consumed.
     fn parse_group_after_name(&mut self, name: String, line: usize) -> Result<Group, LibertyError> {
-        let mut group =
-            Group { name, args: Vec::new(), attrs: Vec::new(), complex: Vec::new(), children: Vec::new(), line };
+        let mut group = Group {
+            name,
+            args: Vec::new(),
+            attrs: Vec::new(),
+            complex: Vec::new(),
+            children: Vec::new(),
+            line,
+        };
         self.expect_punct(b'(')?;
         loop {
             match self.next()? {
@@ -288,7 +295,10 @@ impl<'a> GroupParser<'a> {
                 Some((Token::Punct(b','), _)) => {}
                 Some((Token::Ident(s), _)) | Some((Token::Str(s), _)) => group.args.push(s),
                 Some((t, l)) => {
-                    return Err(LibertyError::Syntax { line: l, message: format!("bad group arg {t:?}") })
+                    return Err(LibertyError::Syntax {
+                        line: l,
+                        message: format!("bad group arg {t:?}"),
+                    })
                 }
                 None => {
                     return Err(LibertyError::Syntax {
@@ -333,7 +343,9 @@ impl<'a> GroupParser<'a> {
                             match self.next()? {
                                 Some((Token::Punct(b')'), _)) => break,
                                 Some((Token::Punct(b','), _)) => {}
-                                Some((Token::Ident(s), _)) | Some((Token::Str(s), _)) => args.push(s),
+                                Some((Token::Ident(s), _)) | Some((Token::Str(s), _)) => {
+                                    args.push(s);
+                                }
                                 other => {
                                     return Err(LibertyError::Syntax {
                                         line,
@@ -373,7 +385,10 @@ impl<'a> GroupParser<'a> {
                     }
                 },
                 Some((t, line)) => {
-                    return Err(LibertyError::Syntax { line, message: format!("unexpected token {t:?}") })
+                    return Err(LibertyError::Syntax {
+                        line,
+                        message: format!("unexpected token {t:?}"),
+                    })
                 }
                 None => {
                     return Err(LibertyError::Syntax {
@@ -506,7 +521,7 @@ fn parse_table(g: &Group) -> Result<Table2d, LibertyError> {
     let load_axis = parse_num_list(idx2)?;
     let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
     for row in rows {
-        values.extend(parse_num_list(&[row.clone()])?);
+        values.extend(parse_num_list(std::slice::from_ref(row))?);
     }
     Ok(Table2d::new(slew_axis, load_axis, values)?)
 }
@@ -526,9 +541,7 @@ fn parse_num_list(args: &[String]) -> Result<Vec<f64>, LibertyError> {
 }
 
 fn parse_num(s: &str) -> Result<f64, LibertyError> {
-    s.trim()
-        .parse::<f64>()
-        .map_err(|_| LibertyError::Semantic(format!("invalid number '{s}'")))
+    s.trim().parse::<f64>().map_err(|_| LibertyError::Semantic(format!("invalid number '{s}'")))
 }
 
 #[cfg(test)]
@@ -541,12 +554,8 @@ mod tests {
         lib.wire_cap_per_fanout = 0.3e-15;
         lib.add_cell(Cell::test_inverter("INV_X1"));
         let mut dff = Cell::test_inverter("DFF_X1");
-        dff.class = CellClass::Flop {
-            clock: "CK".into(),
-            data: "D".into(),
-            setup: 30e-12,
-            hold: 5e-12,
-        };
+        dff.class =
+            CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 5e-12 };
         lib.add_cell(dff);
         lib
     }

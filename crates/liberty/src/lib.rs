@@ -40,7 +40,7 @@ mod merge;
 mod table;
 
 pub use cell::{Cell, CellClass, InputPin, OutputPin, TimingArc, TimingSense};
-pub use check::LibraryIssue;
+pub use check::{IssueKind, LibraryIssue};
 pub use error::{LibertyError, ParseExprError, TableError};
 pub use expr::BoolExpr;
 pub use format::{parse_library, write_library};

@@ -25,7 +25,11 @@ impl Table2d {
     /// Returns [`TableError`] if an axis is empty or not strictly
     /// increasing, if any entry is non-finite, or if
     /// `values.len() != slew_axis.len() * load_axis.len()`.
-    pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<f64>) -> Result<Self, TableError> {
+    pub fn new(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        values: Vec<f64>,
+    ) -> Result<Self, TableError> {
         check_axis("slew", &slew_axis)?;
         check_axis("load", &load_axis)?;
         if values.len() != slew_axis.len() * load_axis.len() {
@@ -117,7 +121,11 @@ impl Table2d {
     /// # Errors
     ///
     /// Returns [`TableError`] if the grids differ.
-    pub fn zip_with(&self, other: &Table2d, f: impl Fn(f64, f64) -> f64) -> Result<Self, TableError> {
+    pub fn zip_with(
+        &self,
+        other: &Table2d,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self, TableError> {
         if self.slew_axis != other.slew_axis || self.load_axis != other.load_axis {
             return Err(TableError { message: "grid mismatch in table combination".into() });
         }

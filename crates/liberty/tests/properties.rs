@@ -24,8 +24,9 @@ fn axis(max_len: usize, scale: f64) -> impl Strategy<Value = Vec<f64>> {
 fn table() -> impl Strategy<Value = Table2d> {
     (axis(7, 1e-12), axis(7, 1e-15)).prop_flat_map(|(slews, loads)| {
         let n = slews.len() * loads.len();
-        prop::collection::vec(1e-12f64..1e-9, n)
-            .prop_map(move |values| Table2d::new(slews.clone(), loads.clone(), values).expect("valid"))
+        prop::collection::vec(1e-12f64..1e-9, n).prop_map(move |values| {
+            Table2d::new(slews.clone(), loads.clone(), values).expect("valid")
+        })
     })
 }
 

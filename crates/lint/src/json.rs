@@ -1,0 +1,137 @@
+//! Hand-rolled JSON output for [`LintReport`] (no serde in this workspace).
+//!
+//! Schema (documented in `DESIGN.md`):
+//!
+//! ```json
+//! {
+//!   "tool": "relialint",
+//!   "errors": 1,
+//!   "warnings": 0,
+//!   "diagnostics": [
+//!     {
+//!       "rule": "NL003",
+//!       "severity": "error",
+//!       "location": {"kind": "net", "net": "n1"},
+//!       "message": "driven by u0, u1"
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::{LintReport, Location};
+use std::fmt::Write;
+
+pub(crate) fn report_to_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"tool\": \"relialint\",\n  \"errors\": {},\n  \"warnings\": {},\n  \"diagnostics\": [",
+        report.error_count(),
+        report.warning_count()
+    );
+    for (k, d) in report.diagnostics().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"severity\": {}, \"location\": {}, \"message\": {}}}",
+            if k == 0 { "" } else { "," },
+            quote(d.rule.code()),
+            quote(d.severity.label()),
+            location_to_json(&d.location),
+            quote(&d.message)
+        );
+    }
+    if !report.diagnostics().is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn location_to_json(location: &Location) -> String {
+    match location {
+        Location::Library => r#"{"kind": "library"}"#.to_owned(),
+        Location::Design => r#"{"kind": "design"}"#.to_owned(),
+        Location::Cell { cell } => format!(r#"{{"kind": "cell", "cell": {}}}"#, quote(cell)),
+        Location::Arc { cell, input, output } => format!(
+            r#"{{"kind": "arc", "cell": {}, "input": {}, "output": {}}}"#,
+            quote(cell),
+            quote(input),
+            quote(output)
+        ),
+        Location::Instance { instance } => {
+            format!(r#"{{"kind": "instance", "instance": {}}}"#, quote(instance))
+        }
+        Location::Net { net } => format!(r#"{{"kind": "net", "net": {}}}"#, quote(net)),
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagnostic, LintConfig, LintReport, Rule};
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("plain"), r#""plain""#);
+        assert_eq!(quote("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(quote("a\nb\tc"), r#""a\nb\tc""#);
+        assert_eq!(quote("\u{1}"), r#""\u0001""#);
+        assert_eq!(quote("λ≥½"), "\"λ≥½\"");
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let json = LintReport::default().to_json();
+        assert!(json.contains("\"tool\": \"relialint\""));
+        assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn diagnostics_serialize_with_locations() {
+        let diagnostics = vec![
+            Diagnostic::new(
+                Rule::MultipleDrivers,
+                Location::Net { net: "n\"1".into() },
+                "driven by u0, u1".into(),
+            ),
+            Diagnostic::new(
+                Rule::AgingImprovement,
+                Location::Arc { cell: "NOR2_X1".into(), input: "A1".into(), output: "Y".into() },
+                "fall delay improves".into(),
+            ),
+        ];
+        let report = LintReport::finish(diagnostics, &LintConfig::default());
+        let json = report.to_json();
+        assert!(json.contains(r#""rule": "NL003""#), "{json}");
+        assert!(json.contains(r#""severity": "error""#), "{json}");
+        assert!(json.contains(r#""kind": "net", "net": "n\"1""#), "{json}");
+        assert!(
+            json.contains(r#""kind": "arc", "cell": "NOR2_X1", "input": "A1", "output": "Y""#),
+            "{json}"
+        );
+        assert!(json.contains(r#""errors": 1"#), "{json}");
+        assert!(json.contains(r#""warnings": 1"#), "{json}");
+    }
+}

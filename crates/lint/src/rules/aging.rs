@@ -1,0 +1,176 @@
+//! `AG001`: aging monotonicity across a fresh/aged library pair.
+//!
+//! BTI-induced threshold-voltage shifts slow transistors down, so an aged
+//! delay table should dominate its fresh counterpart point by point. A
+//! faster-when-aged entry is almost always a characterization bug — except
+//! for the contention arcs of Fig. 1(b) (the NOR fall delay genuinely
+//! improves at large input slews), which the
+//! [`improvement_whitelist`](crate::LintConfig::improvement_whitelist)
+//! exempts.
+
+use crate::{Diagnostic, LintConfig, Location, Rule};
+use liberty::{split_lambda_tag, Library, Table2d};
+
+/// Relative slack below which a faster-when-aged entry is treated as
+/// characterization noise rather than a violation.
+const REL_TOLERANCE: f64 = 1e-6;
+
+pub(crate) fn check(
+    fresh: &Library,
+    aged: &Library,
+    config: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for fresh_cell in fresh.cells() {
+        let Some(aged_cell) = aged.cell(&fresh_cell.name) else { continue };
+        let base = split_lambda_tag(&fresh_cell.name).0;
+        for fresh_pin in &fresh_cell.outputs {
+            let Some(aged_pin) = aged_cell.output(&fresh_pin.name) else { continue };
+            for fresh_arc in &fresh_pin.arcs {
+                let Some(aged_arc) = aged_pin.arc_from(&fresh_arc.related_pin) else { continue };
+                for (falling, fresh_table, aged_table) in [
+                    (false, &fresh_arc.cell_rise, &aged_arc.cell_rise),
+                    (true, &fresh_arc.cell_fall, &aged_arc.cell_fall),
+                ] {
+                    let whitelisted = config
+                        .improvement_whitelist
+                        .iter()
+                        .any(|w| base.starts_with(&w.cell_prefix) && w.output_falling == falling);
+                    if whitelisted {
+                        continue;
+                    }
+                    if let Some(finding) = worst_improvement(fresh_table, aged_table) {
+                        out.push(Diagnostic::new(
+                            Rule::AgingImprovement,
+                            Location::Arc {
+                                cell: fresh_cell.name.clone(),
+                                input: fresh_arc.related_pin.clone(),
+                                output: fresh_pin.name.clone(),
+                            },
+                            format!(
+                                "{} delay improves with aging by {:.1}% at slew={:.3e} s, \
+                                 load={:.3e} F",
+                                if falling { "fall" } else { "rise" },
+                                finding.rel_improvement * 100.0,
+                                finding.slew,
+                                finding.load
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Improvement {
+    rel_improvement: f64,
+    slew: f64,
+    load: f64,
+}
+
+/// The largest relative fresh→aged speed-up over the fresh grid, if any
+/// point improves beyond tolerance. The aged table is sampled via
+/// interpolating [`Table2d::value`] so mismatched grids still compare.
+fn worst_improvement(fresh: &Table2d, aged: &Table2d) -> Option<Improvement> {
+    let mut worst: Option<Improvement> = None;
+    for (i, &slew) in fresh.slew_axis().iter().enumerate() {
+        for (j, &load) in fresh.load_axis().iter().enumerate() {
+            let f = fresh.at(i, j);
+            let a = aged.value(slew, load);
+            if f <= 0.0 {
+                continue; // nonsense entries are LB004's problem
+            }
+            let rel = (f - a) / f;
+            if rel > REL_TOLERANCE && worst.as_ref().is_none_or(|w| rel > w.rel_improvement) {
+                worst = Some(Improvement { rel_improvement: rel, slew, load });
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::Cell;
+
+    fn lib_with(cell: Cell) -> Library {
+        let mut lib = Library::new("l", 1.2);
+        lib.add_cell(cell);
+        lib
+    }
+
+    /// Scales the named delay edge of every arc by `factor`.
+    fn scale_edge(cell: &mut Cell, falling: bool, factor: f64) {
+        for pin in &mut cell.outputs {
+            for arc in &mut pin.arcs {
+                let table = if falling { &mut arc.cell_fall } else { &mut arc.cell_rise };
+                *table = table.map(|v| v * factor);
+            }
+        }
+    }
+
+    fn run(fresh: &Library, aged: &Library) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(fresh, aged, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn uniformly_slower_aged_library_is_silent() {
+        let fresh = lib_with(Cell::test_inverter("INV_X1"));
+        let mut aged_cell = Cell::test_inverter("INV_X1");
+        scale_edge(&mut aged_cell, false, 1.1);
+        scale_edge(&mut aged_cell, true, 1.1);
+        assert!(run(&fresh, &lib_with(aged_cell)).is_empty());
+    }
+
+    #[test]
+    fn identical_libraries_are_silent() {
+        let fresh = lib_with(Cell::test_inverter("INV_X1"));
+        let aged = fresh.clone();
+        assert!(run(&fresh, &aged).is_empty());
+    }
+
+    #[test]
+    fn faster_aged_fall_delay_flagged_with_arc_location() {
+        let fresh = lib_with(Cell::test_inverter("INV_X1"));
+        let mut aged_cell = Cell::test_inverter("INV_X1");
+        scale_edge(&mut aged_cell, true, 0.9);
+        let diags = run(&fresh, &lib_with(aged_cell));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::AgingImprovement);
+        assert_eq!(
+            diags[0].location,
+            Location::Arc { cell: "INV_X1".into(), input: "A".into(), output: "Y".into() }
+        );
+        assert!(diags[0].message.contains("fall"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn nor_fall_improvement_is_whitelisted() {
+        let fresh = lib_with(Cell::test_inverter("NOR2_X1"));
+        let mut aged_cell = Cell::test_inverter("NOR2_X1");
+        scale_edge(&mut aged_cell, true, 0.9);
+        assert!(run(&fresh, &lib_with(aged_cell)).is_empty());
+    }
+
+    #[test]
+    fn nor_rise_improvement_still_flagged() {
+        let fresh = lib_with(Cell::test_inverter("NOR2_X1"));
+        let mut aged_cell = Cell::test_inverter("NOR2_X1");
+        scale_edge(&mut aged_cell, false, 0.9);
+        let diags = run(&fresh, &lib_with(aged_cell));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("rise"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn whitelist_matches_lambda_tagged_variants() {
+        let fresh = lib_with(Cell::test_inverter("NOR2_X1_0.40_0.60"));
+        let mut aged_cell = Cell::test_inverter("NOR2_X1_0.40_0.60");
+        scale_edge(&mut aged_cell, true, 0.9);
+        assert!(run(&fresh, &lib_with(aged_cell)).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! `LB` rules: characterized-library quality.
+//!
+//! `LB001`–`LB007` reuse [`Library::sanity_check`] — the kinds map one to
+//! one onto rule codes — and `LB008` adds the cross-cell grid-consistency
+//! check the per-cell pass cannot see.
+
+use crate::{Diagnostic, Location, Rule};
+use liberty::{IssueKind, Library};
+
+pub(crate) fn check(library: &Library, out: &mut Vec<Diagnostic>) {
+    for issue in library.sanity_check() {
+        let rule = match issue.kind {
+            IssueKind::EmptyLibrary => Rule::EmptyLibrary,
+            IssueKind::ImplausibleCapacitance => Rule::ImplausibleCapacitance,
+            IssueKind::MissingArcs => Rule::MissingArcs,
+            IssueKind::NonPositiveTransition => Rule::NonPositiveTransition,
+            IssueKind::NonMonotoneLoad => Rule::NonMonotoneLoad,
+            IssueKind::NonMonotoneSlew => Rule::NonMonotoneSlew,
+            IssueKind::TimedOut => Rule::TimedOutMeasurement,
+        };
+        let location = if issue.cell.is_empty() {
+            Location::Library
+        } else {
+            Location::Cell { cell: issue.cell }
+        };
+        out.push(Diagnostic::new(rule, location, issue.detail));
+    }
+    grid_consistency(library, out);
+}
+
+/// `LB008`: every table of every cell should share one slew axis and one
+/// load axis — the OPC grid the library was characterized on. A cell on a
+/// different grid interpolates differently from its neighbours, which
+/// silently skews merged (complete) libraries.
+fn grid_consistency(library: &Library, out: &mut Vec<Diagnostic>) {
+    let mut reference: Option<(&[f64], &[f64], &str)> = None;
+    for cell in library.cells() {
+        let mut flagged = false;
+        for pin in &cell.outputs {
+            for arc in &pin.arcs {
+                for table in
+                    [&arc.cell_rise, &arc.cell_fall, &arc.rise_transition, &arc.fall_transition]
+                {
+                    let axes = (table.slew_axis(), table.load_axis());
+                    match reference {
+                        None => reference = Some((axes.0, axes.1, &cell.name)),
+                        Some((s, l, first)) => {
+                            if !flagged && (axes.0 != s || axes.1 != l) {
+                                flagged = true;
+                                out.push(Diagnostic::new(
+                                    Rule::InconsistentGrid,
+                                    Location::Cell { cell: cell.name.clone() },
+                                    format!(
+                                        "characterized on a {}x{} grid, but cell {first} uses \
+                                         {}x{} — the library mixes OPC grids",
+                                        axes.0.len(),
+                                        axes.1.len(),
+                                        s.len(),
+                                        l.len()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::{Cell, Table2d};
+
+    #[test]
+    fn clean_library_silent() {
+        let mut lib = Library::new("l", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib.add_cell(Cell::test_inverter("INV_X2"));
+        let mut out = Vec::new();
+        check(&lib, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn sanity_issues_become_rules() {
+        let lib = Library::new("l", 1.2);
+        let mut out = Vec::new();
+        check(&lib, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::EmptyLibrary);
+        assert_eq!(out[0].location, Location::Library);
+    }
+
+    #[test]
+    fn mixed_grids_flagged_once_per_cell() {
+        let mut lib = Library::new("l", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        let mut odd = Cell::test_inverter("ODD_X1");
+        // Re-grid every table of the odd cell to 1×1.
+        for pin in &mut odd.outputs {
+            for arc in &mut pin.arcs {
+                arc.cell_rise = Table2d::constant(20e-12, 4e-15, 30e-12);
+                arc.cell_fall = Table2d::constant(20e-12, 4e-15, 30e-12);
+                arc.rise_transition = Table2d::constant(20e-12, 4e-15, 10e-12);
+                arc.fall_transition = Table2d::constant(20e-12, 4e-15, 10e-12);
+            }
+        }
+        lib.add_cell(odd);
+        let mut out = Vec::new();
+        check(&lib, &mut out);
+        let grid: Vec<_> = out.iter().filter(|d| d.rule == Rule::InconsistentGrid).collect();
+        assert_eq!(grid.len(), 1, "{out:?}");
+        assert_eq!(grid[0].location, Location::Cell { cell: "ODD_X1".into() });
+    }
+}

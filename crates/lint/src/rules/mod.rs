@@ -1,0 +1,7 @@
+//! Rule implementations, grouped by code prefix.
+
+pub(crate) mod aging;
+pub(crate) mod lambda;
+pub(crate) mod library;
+pub(crate) mod structure;
+pub(crate) mod timing;

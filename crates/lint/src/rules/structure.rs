@@ -1,0 +1,259 @@
+//! `NL` rules: netlist structure against the library.
+//!
+//! Unlike [`Netlist::validate`], which stops at the first defect, this pass
+//! is total: it reports every violation in one run, and rules stay
+//! independent (an unknown cell does not hide a multi-driven net elsewhere).
+
+use crate::{Diagnostic, Location, Rule};
+use liberty::{split_lambda_tag, Library};
+use netlist::{Netlist, PortDir};
+use std::collections::HashMap;
+
+pub(crate) fn check(netlist: &Netlist, library: &Library, out: &mut Vec<Diagnostic>) {
+    duplicate_instances(netlist, out);
+
+    let n_nets = netlist.net_count();
+    let mut drivers: Vec<Vec<String>> = vec![Vec::new(); n_nets];
+    let mut sink_count = vec![0usize; n_nets];
+    let mut is_output_port = vec![false; n_nets];
+    for port in netlist.ports() {
+        match port.dir {
+            PortDir::Input => drivers[port.net.index()].push(format!("port {}", port.name)),
+            PortDir::Output => is_output_port[port.net.index()] = true,
+        }
+    }
+
+    for inst in netlist.instances() {
+        let Some(cell) = library.cell(&inst.cell) else {
+            // λ-tagged references with characterized siblings belong to the
+            // LM rules; everything else is a plain unknown cell.
+            let (base, tag) = split_lambda_tag(&inst.cell);
+            if tag.is_none() || library.cells_with_base(base).next().is_none() {
+                out.push(Diagnostic::new(
+                    Rule::UnknownCell,
+                    Location::Instance { instance: inst.name.clone() },
+                    format!("cell {} is not in library {}", inst.cell, library.name),
+                ));
+            }
+            continue;
+        };
+        for (pin, net) in &inst.connections {
+            let is_input = cell.input_cap(pin).is_some();
+            let is_output = cell.output(pin).is_some();
+            if is_input {
+                sink_count[net.index()] += 1;
+            }
+            if is_output {
+                drivers[net.index()].push(inst.name.clone());
+            }
+            if !is_input && !is_output {
+                out.push(Diagnostic::new(
+                    Rule::UnknownPin,
+                    Location::Instance { instance: inst.name.clone() },
+                    format!("cell {} has no pin {pin}", cell.name),
+                ));
+            }
+        }
+        for input in &cell.inputs {
+            if inst.net_on(&input.name).is_none() {
+                out.push(Diagnostic::new(
+                    Rule::UnconnectedInput,
+                    Location::Instance { instance: inst.name.clone() },
+                    format!("input pin {} of cell {} is unconnected", input.name, cell.name),
+                ));
+            }
+        }
+        for output in &cell.outputs {
+            if inst.net_on(&output.name).is_none() {
+                out.push(Diagnostic::new(
+                    Rule::DanglingOutput,
+                    Location::Instance { instance: inst.name.clone() },
+                    format!("output pin {} of cell {} is unconnected", output.name, cell.name),
+                ));
+            }
+        }
+    }
+
+    for k in 0..n_nets {
+        let name = netlist.net_name(netlist::NetId::from_index(k));
+        if drivers[k].len() > 1 {
+            out.push(Diagnostic::new(
+                Rule::MultipleDrivers,
+                Location::Net { net: name.to_owned() },
+                format!("driven by {}", drivers[k].join(", ")),
+            ));
+        }
+        if drivers[k].is_empty() && (sink_count[k] > 0 || is_output_port[k]) {
+            out.push(Diagnostic::new(
+                Rule::FloatingNet,
+                Location::Net { net: name.to_owned() },
+                format!(
+                    "no driver but {} sink(s){}",
+                    sink_count[k],
+                    if is_output_port[k] { " (including a primary output)" } else { "" }
+                ),
+            ));
+        }
+        if drivers[k].len() == 1
+            && sink_count[k] == 0
+            && !is_output_port[k]
+            && !drivers[k][0].starts_with("port ")
+        {
+            out.push(Diagnostic::new(
+                Rule::DanglingOutput,
+                Location::Net { net: name.to_owned() },
+                format!("driven by {} but read by nothing", drivers[k][0]),
+            ));
+        }
+    }
+
+    for cycle in sta::combinational_loops(netlist, library) {
+        let names: Vec<&str> = cycle.iter().map(|&id| netlist.instance(id).name.as_str()).collect();
+        let shown = if names.len() > 8 {
+            format!("{} ... ({} instances)", names[..8].join(" -> "), names.len())
+        } else {
+            names.join(" -> ")
+        };
+        out.push(Diagnostic::new(
+            Rule::CombinationalLoop,
+            Location::Instance { instance: names[0].to_owned() },
+            format!("combinational cycle: {shown}"),
+        ));
+    }
+}
+
+/// `NL007`. [`Netlist::try_add_instance`] rejects duplicates at build time,
+/// but netlists also arise from renaming passes (`instance_mut`), so the
+/// invariant is re-checked here.
+fn duplicate_instances(netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let mut count: HashMap<&str, usize> = HashMap::new();
+    for inst in netlist.instances() {
+        *count.entry(inst.name.as_str()).or_default() += 1;
+    }
+    let mut dups: Vec<(&str, usize)> = count.into_iter().filter(|&(_, n)| n > 1).collect();
+    dups.sort_unstable();
+    for (name, n) in dups {
+        out.push(Diagnostic::new(
+            Rule::DuplicateInstance,
+            Location::Instance { instance: name.to_owned() },
+            format!("{n} instances share this name"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::Cell;
+
+    fn lib() -> Library {
+        let mut lib = Library::new("lib", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    fn run(netlist: &Netlist) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(netlist, &lib(), &mut out);
+        out
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_chain_is_silent() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", y)]);
+        assert!(run(&nl).is_empty());
+    }
+
+    #[test]
+    fn unknown_cell_and_pin() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "NOPE_X9", &[("A", a), ("Y", y)]);
+        nl.add_instance("u1", "INV_X1", &[("A", a), ("Q", y)]);
+        let diags = run(&nl);
+        assert!(rules_of(&diags).contains(&Rule::UnknownCell));
+        assert!(rules_of(&diags).contains(&Rule::UnknownPin));
+    }
+
+    #[test]
+    fn multi_driven_net_lists_all_drivers() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", y)]);
+        nl.add_instance("u1", "INV_X1", &[("A", a), ("Y", y)]);
+        let diags = run(&nl);
+        let d = diags.iter().find(|d| d.rule == Rule::MultipleDrivers).expect("NL003 fires");
+        assert!(d.message.contains("u0") && d.message.contains("u1"));
+    }
+
+    #[test]
+    fn input_port_collision_counts_as_driver() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let b = nl.add_port("b", PortDir::Input);
+        nl.add_instance("u0", "INV_X1", &[("A", b), ("Y", a)]);
+        let diags = run(&nl);
+        let d = diags.iter().find(|d| d.rule == Rule::MultipleDrivers).expect("NL003 fires");
+        assert!(d.message.contains("port a"));
+    }
+
+    #[test]
+    fn floating_and_unconnected() {
+        let mut nl = Netlist::new("m");
+        let y = nl.add_port("y", PortDir::Output);
+        let float = nl.add_net("float");
+        nl.add_instance("u0", "INV_X1", &[("A", float), ("Y", y)]);
+        let dead = nl.add_net("dead");
+        nl.add_instance("u1", "INV_X1", &[("Y", dead)]);
+        let diags = run(&nl);
+        let rules = rules_of(&diags);
+        assert!(rules.contains(&Rule::FloatingNet), "{diags:?}");
+        assert!(rules.contains(&Rule::UnconnectedInput), "{diags:?}");
+        assert!(rules.contains(&Rule::DanglingOutput), "{diags:?}");
+    }
+
+    #[test]
+    fn floating_primary_output_flagged() {
+        let mut nl = Netlist::new("m");
+        nl.add_port("y", PortDir::Output);
+        let diags = run(&nl);
+        assert!(rules_of(&diags).contains(&Rule::FloatingNet), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_instance_names_via_rename() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]);
+        let u1 = nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", y)]);
+        nl.instance_mut(u1).name = "u0".into();
+        let diags = run(&nl);
+        let d = diags.iter().find(|d| d.rule == Rule::DuplicateInstance).expect("NL007 fires");
+        assert_eq!(d.location, Location::Instance { instance: "u0".into() });
+    }
+
+    #[test]
+    fn combinational_loop_named() {
+        let mut nl = Netlist::new("m");
+        let n1 = nl.add_net("n1");
+        let n2 = nl.add_net("n2");
+        nl.add_instance("u0", "INV_X1", &[("A", n2), ("Y", n1)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", n2)]);
+        let diags = run(&nl);
+        let d = diags.iter().find(|d| d.rule == Rule::CombinationalLoop).expect("NL008 fires");
+        assert!(d.message.contains("u0") && d.message.contains("u1"));
+    }
+}

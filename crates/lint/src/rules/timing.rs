@@ -1,0 +1,188 @@
+//! `TM001`: operating conditions outside the characterized table axes.
+//!
+//! [`Table2d::value`](liberty::Table2d::value) extrapolates linearly from
+//! the edge gradient when a lookup leaves the grid — silently, matching STA
+//! tool behavior. Extrapolated delays have no characterization data behind
+//! them, so this rule recomputes the same operating conditions STA will use
+//! (the wire-load model of the library plus the configured boundary
+//! conditions) and warns where a lookup would leave the grid.
+
+use crate::{Diagnostic, LintConfig, Location, Rule};
+use liberty::Library;
+use netlist::{Netlist, PortDir};
+use std::collections::BTreeSet;
+
+pub(crate) fn check(
+    netlist: &Netlist,
+    library: &Library,
+    config: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let input_slew = config.input_slew.unwrap_or(library.default_input_slew);
+    let output_load = config.output_load.unwrap_or(library.default_output_load);
+
+    // The boundary input slew is applied at every cell eventually, so the
+    // slew-axis check is a per-cell property: dedupe on cell name.
+    let mut slew_checked: BTreeSet<&str> = BTreeSet::new();
+
+    let n_nets = netlist.net_count();
+    let mut sink_cap = vec![0.0f64; n_nets];
+    let mut fanout = vec![0usize; n_nets];
+    let mut is_output_port = vec![false; n_nets];
+    for port in netlist.ports() {
+        if port.dir == PortDir::Output {
+            is_output_port[port.net.index()] = true;
+        }
+    }
+    for inst in netlist.instances() {
+        let Some(cell) = library.cell(&inst.cell) else { continue };
+        for (pin, net) in &inst.connections {
+            if let Some(cap) = cell.input_cap(pin) {
+                sink_cap[net.index()] += cap;
+                fanout[net.index()] += 1;
+            }
+        }
+    }
+
+    for inst in netlist.instances() {
+        let Some(cell) = library.cell(&inst.cell) else { continue };
+
+        if slew_checked.insert(&inst.cell) {
+            if let Some((lo, hi)) = axis_range(cell, |t| t.slew_axis()) {
+                if input_slew < lo || input_slew > hi {
+                    out.push(Diagnostic::new(
+                        Rule::Extrapolation,
+                        Location::Cell { cell: cell.name.clone() },
+                        format!(
+                            "input slew {input_slew:.3e} s is outside the characterized slew axis \
+                             [{lo:.3e}, {hi:.3e}] s — delays will be extrapolated"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        for output in &cell.outputs {
+            let Some(net) = inst.net_on(&output.name) else { continue };
+            let k = net.index();
+            let mut load = sink_cap[k] + library.wire_cap_per_fanout * fanout[k] as f64;
+            if is_output_port[k] {
+                load += output_load;
+            }
+            if let Some((lo, hi)) = axis_range(cell, |t| t.load_axis()) {
+                if load < lo || load > hi {
+                    out.push(Diagnostic::new(
+                        Rule::Extrapolation,
+                        Location::Instance { instance: inst.name.clone() },
+                        format!(
+                            "pin {} drives {:.3e} F on net {} but cell {} is characterized \
+                             for loads in [{lo:.3e}, {hi:.3e}] F — delays will be extrapolated",
+                            output.name,
+                            load,
+                            netlist.net_name(net),
+                            cell.name
+                        ),
+                    ));
+                    break; // one diagnostic per instance is enough
+                }
+            }
+        }
+    }
+}
+
+/// The union of `axis` ranges across all tables of the cell; `None` for a
+/// cell with no arcs (that is `LB003`'s problem, not ours).
+fn axis_range(
+    cell: &liberty::Cell,
+    axis: impl Fn(&liberty::Table2d) -> &[f64],
+) -> Option<(f64, f64)> {
+    let mut range: Option<(f64, f64)> = None;
+    for pin in &cell.outputs {
+        for arc in &pin.arcs {
+            for table in
+                [&arc.cell_rise, &arc.cell_fall, &arc.rise_transition, &arc.fall_transition]
+            {
+                let ax = axis(table);
+                let (first, last) = (*ax.first()?, *ax.last()?);
+                range = Some(match range {
+                    None => (first, last),
+                    Some((lo, hi)) => (lo.min(first), hi.max(last)),
+                });
+            }
+        }
+    }
+    range
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::Cell;
+
+    /// `test_inverter` axes: slew [5e-12, 900e-12], load [0.5e-15, 20e-15].
+    fn lib() -> Library {
+        let mut lib = Library::new("lib", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    fn chain() -> Netlist {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", y)]);
+        nl
+    }
+
+    fn run(nl: &Netlist, config: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(nl, &lib(), config, &mut out);
+        out
+    }
+
+    #[test]
+    fn defaults_inside_grid_are_silent() {
+        assert!(run(&chain(), &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn oversized_output_load_flagged_on_the_driving_instance() {
+        let config = LintConfig { output_load: Some(50e-15), ..LintConfig::default() };
+        let diags = run(&chain(), &config);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::Extrapolation);
+        // u1 drives the primary output; u0's load stays internal.
+        assert_eq!(diags[0].location, Location::Instance { instance: "u1".into() });
+    }
+
+    #[test]
+    fn oversized_input_slew_flagged_once_per_cell() {
+        let config = LintConfig { input_slew: Some(5e-9), ..LintConfig::default() };
+        let diags = run(&chain(), &config);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::Extrapolation);
+        assert_eq!(diags[0].location, Location::Cell { cell: "INV_X1".into() });
+    }
+
+    #[test]
+    fn high_fanout_overloads_the_driver() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]);
+        // 20 sinks x (1.0 fF pin + 0.2 fF wire) = 24 fF > 20 fF axis end.
+        for k in 0..20 {
+            let sink = nl.add_net(&format!("s{k}"));
+            nl.add_instance(&format!("u{}", k + 1), "INV_X1", &[("A", n1), ("Y", sink)]);
+        }
+        let diags = run(&nl, &LintConfig::default());
+        let over: Vec<_> = diags
+            .iter()
+            .filter(|d| d.location == Location::Instance { instance: "u0".into() })
+            .collect();
+        assert_eq!(over.len(), 1, "{diags:?}");
+        assert_eq!(over[0].rule, Rule::Extrapolation);
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end lint runs over whole netlist/library fixtures: one defect-free
+//! design that must stay silent, and one deliberately broken design where
+//! every seeded defect must surface in a single [`LintReport::run`].
+
+use liberty::{Cell, Library};
+use lint::{LintConfig, LintReport, Rule, Severity};
+use netlist::{Netlist, PortDir};
+
+/// A merged complete library: `INV_X1` and NAND-ish BUF cells characterized
+/// at the λ grid {0.25, 0.75}².
+fn merged_library() -> Library {
+    let mut lib = Library::new("complete", 1.2);
+    for p in ["0.25", "0.75"] {
+        for n in ["0.25", "0.75"] {
+            lib.add_cell(Cell::test_inverter(&format!("INV_X1_{p}_{n}")));
+        }
+    }
+    lib
+}
+
+fn clean_netlist() -> Netlist {
+    let mut nl = Netlist::new("clean");
+    let a = nl.add_port("a", PortDir::Input);
+    let y = nl.add_port("y", PortDir::Output);
+    let n1 = nl.add_net("n1");
+    nl.add_instance("u0", "INV_X1_0.25_0.25", &[("A", a), ("Y", n1)]);
+    nl.add_instance("u1", "INV_X1_0.75_0.75", &[("A", n1), ("Y", y)]);
+    nl
+}
+
+/// Loop + multi-driven net + out-of-grid λ annotation in one design.
+fn broken_netlist() -> Netlist {
+    let mut nl = Netlist::new("broken");
+    let a = nl.add_port("a", PortDir::Input);
+    let y = nl.add_port("y", PortDir::Output);
+    let n1 = nl.add_net("n1");
+    let n2 = nl.add_net("n2");
+    // Combinational loop u0 -> u1 -> u0.
+    nl.add_instance("u0", "INV_X1_0.25_0.25", &[("A", n2), ("Y", n1)]);
+    nl.add_instance("u1", "INV_X1_0.25_0.25", &[("A", n1), ("Y", n2)]);
+    // Two drivers on the output net.
+    nl.add_instance("u2", "INV_X1_0.25_0.25", &[("A", a), ("Y", y)]);
+    nl.add_instance("u3", "INV_X1_0.75_0.75", &[("A", a), ("Y", y)]);
+    // λ pair outside the characterized grid.
+    let n3 = nl.add_net("n3");
+    nl.add_instance("u4", "INV_X1_0.90_0.25", &[("A", a), ("Y", n3)]);
+    // A second multi-driven net, independent of the loop.
+    let n4 = nl.add_net("n4");
+    nl.add_instance("u5", "INV_X1_0.75_0.25", &[("A", a), ("Y", n4)]);
+    nl.add_instance("u6", "INV_X1_0.75_0.25", &[("A", a), ("Y", n4)]);
+    let z = nl.add_port("z", PortDir::Output);
+    nl.add_instance("u7", "INV_X1_0.25_0.75", &[("A", n4), ("Y", z)]);
+    nl
+}
+
+#[test]
+fn clean_design_is_clean() {
+    let report = LintReport::run(&clean_netlist(), &merged_library(), &LintConfig::default());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn every_seeded_defect_is_flagged_in_one_run() {
+    let report = LintReport::run(&broken_netlist(), &merged_library(), &LintConfig::default());
+    let fired: Vec<Rule> = report.diagnostics().iter().map(|d| d.rule).collect();
+    assert!(fired.contains(&Rule::CombinationalLoop), "{}", report.render());
+    assert!(fired.contains(&Rule::MultipleDrivers), "{}", report.render());
+    assert!(fired.contains(&Rule::LambdaOutOfGrid), "{}", report.render());
+    assert!(report.has_errors());
+    // Both collisions (y and n1) must be reported, proving the pass does
+    // not stop at the first defect.
+    let multi: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.rule == Rule::MultipleDrivers).collect();
+    assert_eq!(multi.len(), 2, "{}", report.render());
+}
+
+#[test]
+fn suppression_removes_exactly_the_allowed_rule() {
+    let config = LintConfig::default().allow_codes(["NL008"]).unwrap();
+    let report = LintReport::run(&broken_netlist(), &merged_library(), &config);
+    let fired: Vec<Rule> = report.diagnostics().iter().map(|d| d.rule).collect();
+    assert!(!fired.contains(&Rule::CombinationalLoop), "{}", report.render());
+    assert!(fired.contains(&Rule::MultipleDrivers));
+    assert!(fired.contains(&Rule::LambdaOutOfGrid));
+}
+
+#[test]
+fn report_orders_errors_first_and_serializes() {
+    let report = LintReport::run(&broken_netlist(), &merged_library(), &LintConfig::default());
+    let severities: Vec<Severity> = report.diagnostics().iter().map(|d| d.severity).collect();
+    let mut sorted = severities.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(severities, sorted, "errors must sort first:\n{}", report.render());
+
+    let json = report.to_json();
+    assert!(json.contains("\"tool\": \"relialint\""));
+    assert!(json.contains("\"rule\": \"NL008\""), "{json}");
+    let text = report.render();
+    assert!(text.contains("error [NL003]"), "{text}");
+}
+
+#[test]
+fn preflight_gate_splits_errors_from_warnings() {
+    let err = lint::preflight(&broken_netlist(), &merged_library())
+        .expect_err("broken design must fail pre-flight");
+    assert!(err.errors.iter().all(|d| d.severity == Severity::Error));
+    assert!(err.to_string().contains("relialint found"), "{err}");
+
+    let warnings = lint::preflight(&clean_netlist(), &merged_library())
+        .expect("clean design must pass pre-flight");
+    assert!(warnings.is_empty(), "{warnings:?}");
+}

@@ -14,7 +14,12 @@ pub struct ActivityStats {
 
 impl ActivityStats {
     pub(crate) fn new(n_nets: usize, clock_net: Option<NetId>) -> Self {
-        ActivityStats { cycles: 0, high_cycles: vec![0; n_nets], toggles: vec![0; n_nets], clock_net }
+        ActivityStats {
+            cycles: 0,
+            high_cycles: vec![0; n_nets],
+            toggles: vec![0; n_nets],
+            clock_net,
+        }
     }
 
     pub(crate) fn record(&mut self, values: &[bool], previous: Option<&[bool]>) {
@@ -184,7 +189,9 @@ mod tests {
 
     #[test]
     fn worst_pin_dominates_average() {
-        use liberty::{BoolExpr, Cell, CellClass, InputPin, OutputPin, Table2d, TimingArc, TimingSense};
+        use liberty::{
+            BoolExpr, Cell, CellClass, InputPin, OutputPin, Table2d, TimingArc, TimingSense,
+        };
         use netlist::PortDir;
         // A 2-input AND cell so the two pins can carry different stress.
         let t = Table2d::constant(20e-12, 4e-15, 10e-12);

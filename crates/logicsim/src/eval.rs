@@ -38,7 +38,10 @@ impl CompiledLib {
         for cell in library.cells() {
             let inputs: Vec<String> = cell.inputs.iter().map(|p| p.name.clone()).collect();
             if inputs.len() > 16 {
-                return Err(SimError::TooManyInputs { cell: cell.name.clone(), inputs: inputs.len() });
+                return Err(SimError::TooManyInputs {
+                    cell: cell.name.clone(),
+                    inputs: inputs.len(),
+                });
             }
             let names: Vec<&str> = inputs.iter().map(String::as_str).collect();
             let outputs = cell

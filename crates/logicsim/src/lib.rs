@@ -1,6 +1,6 @@
 //! Gate-level logic and timing simulation.
 //!
-//! This crate covers both roles ModelSim plays in the paper:
+//! This crate covers both roles `ModelSim` plays in the paper:
 //!
 //! 1. **Activity extraction** (Sec. 4.2): [`run_cycles`] performs fast
 //!    cycle-based zero-delay simulation of a workload and collects per-net

@@ -78,10 +78,8 @@ impl SimStructure {
                 net_sinks[net.index()].push((k, pos));
             }
             let is_flop = cell.flop.is_some();
-            let data_pos = cell
-                .flop
-                .as_ref()
-                .and_then(|(_, data)| cell.inputs.iter().position(|p| p == data));
+            let data_pos =
+                cell.flop.as_ref().and_then(|(_, data)| cell.inputs.iter().position(|p| p == data));
             if is_flop {
                 flops.push(k);
             }
@@ -91,9 +89,9 @@ impl SimStructure {
         // Topological order of combinational instances (Kahn).
         let mut resolved = vec![false; netlist.net_count()];
         let drivers = netlist.drivers(library)?;
-        for k in 0..netlist.net_count() {
+        for (k, r) in resolved.iter_mut().enumerate() {
             if !drivers.contains_key(&NetId::from_index(k)) {
-                resolved[k] = true;
+                *r = true;
             }
         }
         for &f in &flops {
@@ -101,8 +99,7 @@ impl SimStructure {
                 resolved[net.index()] = true;
             }
         }
-        let mut remaining: Vec<usize> =
-            (0..insts.len()).filter(|&k| !insts[k].is_flop).collect();
+        let mut remaining: Vec<usize> = (0..insts.len()).filter(|&k| !insts[k].is_flop).collect();
         let mut comb_order = Vec::with_capacity(remaining.len());
         loop {
             let before = remaining.len();
@@ -121,7 +118,10 @@ impl SimStructure {
             }
             if remaining.len() == before {
                 return Err(SimError::CombinationalLoop {
-                    instance: netlist.instance(netlist::InstId::from_index(remaining[0])).name.clone(),
+                    instance: netlist
+                        .instance(netlist::InstId::from_index(remaining[0]))
+                        .name
+                        .clone(),
                 });
             }
         }

@@ -97,12 +97,15 @@ pub fn run_timed(
     let mut outputs = Vec::with_capacity(vectors.len());
     let mut late_events = 0usize;
 
-    let mut schedule =
-        |queue: &mut BinaryHeap<Reverse<Event>>, version: &mut Vec<u64>, time: f64, net: usize, v: bool| {
-            seq += 1;
-            version[net] += 1;
-            queue.push(Reverse(Event { time, seq, net, value: v, version: version[net] }));
-        };
+    let mut schedule = |queue: &mut BinaryHeap<Reverse<Event>>,
+                        version: &mut Vec<u64>,
+                        time: f64,
+                        net: usize,
+                        v: bool| {
+        seq += 1;
+        version[net] += 1;
+        queue.push(Reverse(Event { time, seq, net, value: v, version: version[net] }));
+    };
 
     for (cycle, vector) in vectors.iter().enumerate() {
         if vector.len() != s.inputs.len() {
@@ -126,11 +129,17 @@ pub fn run_timed(
                 let v = flop_state[fi];
                 if target[net.index()] != v {
                     target[net.index()] = v;
-                    let (in_pin, out_pin) =
-                        (inst.cell.flop.as_ref().expect("flop").0.clone(), inst.cell.outputs[o].0.clone());
-                    let d = delays
-                        .get(InstId::from_index(k), &in_pin, &out_pin)
-                        .map_or(0.0, |a| if v { a.rise } else { a.fall });
+                    let (in_pin, out_pin) = (
+                        inst.cell.flop.as_ref().expect("flop").0.clone(),
+                        inst.cell.outputs[o].0.clone(),
+                    );
+                    let d = delays.get(InstId::from_index(k), &in_pin, &out_pin).map_or(0.0, |a| {
+                        if v {
+                            a.rise
+                        } else {
+                            a.fall
+                        }
+                    });
                     schedule(&mut queue, &mut version, t_edge + d, net.index(), v);
                 }
             }
@@ -203,8 +212,11 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut prev = nl.add_port("a", PortDir::Input);
         for k in 0..n {
-            let next =
-                if k + 1 == n { nl.add_port("y", PortDir::Output) } else { nl.add_net(&format!("n{k}")) };
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
             nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
             prev = next;
         }

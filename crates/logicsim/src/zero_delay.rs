@@ -80,7 +80,9 @@ pub fn run_cycles(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liberty::{BoolExpr, Cell, CellClass, InputPin, OutputPin, Table2d, TimingArc, TimingSense};
+    use liberty::{
+        BoolExpr, Cell, CellClass, InputPin, OutputPin, Table2d, TimingArc, TimingSense,
+    };
     use netlist::PortDir;
 
     fn nand_cell() -> Cell {
@@ -97,10 +99,7 @@ mod tests {
                 name: "Y".into(),
                 function: BoolExpr::parse("!(A & B)").unwrap(),
                 max_capacitance: 30e-15,
-                arcs: vec![
-                    arc("A", &t),
-                    arc("B", &t),
-                ],
+                arcs: vec![arc("A", &t), arc("B", &t)],
             }],
         }
     }
@@ -121,7 +120,12 @@ mod tests {
         Cell {
             name: "DFF_X1".into(),
             area: 4.0,
-            class: CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 20e-12, hold: 2e-12 },
+            class: CellClass::Flop {
+                clock: "CK".into(),
+                data: "D".into(),
+                setup: 20e-12,
+                hold: 2e-12,
+            },
             inputs: vec![
                 InputPin { name: "D".into(), capacitance: 1e-15 },
                 InputPin { name: "CK".into(), capacitance: 1e-15 },
@@ -150,12 +154,8 @@ mod tests {
         let b = nl.add_port("b", PortDir::Input);
         let y = nl.add_port("y", PortDir::Output);
         nl.add_instance("u0", "NAND2_X1", &[("A", a), ("B", b), ("Y", y)]);
-        let vectors = vec![
-            vec![false, false],
-            vec![true, false],
-            vec![false, true],
-            vec![true, true],
-        ];
+        let vectors =
+            vec![vec![false, false], vec![true, false], vec![false, true], vec![true, true]];
         let run = run_cycles(&nl, &lib(), None, &vectors).unwrap();
         let outs: Vec<bool> = run.outputs.iter().map(|o| o[0]).collect();
         assert_eq!(outs, vec![true, true, true, false]);
@@ -186,10 +186,7 @@ mod tests {
         // a high 3/10 cycles → P(a)=0.3; y = !a → 0.7.
         assert!((run.activity.signal_probability(a) - 0.3).abs() < 1e-12);
         assert!((run.activity.signal_probability(y) - 0.7).abs() < 1e-12);
-        let tag = run
-            .activity
-            .lambda_of(&nl, &lib(), netlist::InstId::from_index(0), 10)
-            .unwrap();
+        let tag = run.activity.lambda_of(&nl, &lib(), netlist::InstId::from_index(0), 10).unwrap();
         assert!((tag.lambda_nmos - 0.3).abs() < 1e-9);
         assert!((tag.lambda_pmos - 0.7).abs() < 1e-9);
     }

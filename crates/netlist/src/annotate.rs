@@ -68,13 +68,15 @@ mod tests {
 
     #[test]
     fn static_worst_case() {
-        let out = annotated_with_static(&sample(), LambdaTag { lambda_pmos: 1.0, lambda_nmos: 1.0 });
+        let out =
+            annotated_with_static(&sample(), LambdaTag { lambda_pmos: 1.0, lambda_nmos: 1.0 });
         assert!(out.instances().iter().all(|i| i.cell.ends_with("_1.00_1.00")));
     }
 
     #[test]
     fn round_trips_with_split() {
-        let out = annotated_with_static(&sample(), LambdaTag { lambda_pmos: 0.3, lambda_nmos: 0.7 });
+        let out =
+            annotated_with_static(&sample(), LambdaTag { lambda_pmos: 0.3, lambda_nmos: 0.7 });
         for inst in out.instances() {
             let (base, tag) = liberty::split_lambda_tag(&inst.cell);
             assert!(base == "AND2_X1" || base == "INV_X1");

@@ -37,6 +37,11 @@ pub enum NetlistError {
         /// The dangling pin.
         pin: String,
     },
+    /// Two instances share one name.
+    DuplicateInstance {
+        /// The name used twice.
+        instance: String,
+    },
     /// Error from parsing a structural-Verilog file.
     Parse {
         /// 1-based line number.
@@ -60,6 +65,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::UnconnectedPin { instance, pin } => {
                 write!(f, "input pin {pin} of instance {instance} is unconnected")
+            }
+            NetlistError::DuplicateInstance { instance } => {
+                write!(f, "duplicate instance name {instance}")
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "verilog parse error on line {line}: {message}")

@@ -124,6 +124,7 @@ pub struct Netlist {
     net_index: HashMap<String, NetId>,
     ports: Vec<Port>,
     instances: Vec<Instance>,
+    inst_index: HashMap<String, InstId>,
 }
 
 impl Netlist {
@@ -173,14 +174,53 @@ impl Netlist {
     }
 
     /// Places an instance of `cell` with the given pin connections.
-    pub fn add_instance(&mut self, name: &str, cell: &str, connections: &[(&str, NetId)]) -> InstId {
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instance of this name already exists (mirroring
+    /// [`Netlist::add_port`]); use [`Netlist::try_add_instance`] to get a
+    /// typed error instead.
+    pub fn add_instance(
+        &mut self,
+        name: &str,
+        cell: &str,
+        connections: &[(&str, NetId)],
+    ) -> InstId {
+        match self.try_add_instance(name, cell, connections) {
+            Ok(id) => id,
+            Err(e) => panic!("{e} in module {}", self.name),
+        }
+    }
+
+    /// Places an instance of `cell`, rejecting duplicate instance names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateInstance`] if an instance named
+    /// `name` already exists.
+    pub fn try_add_instance(
+        &mut self,
+        name: &str,
+        cell: &str,
+        connections: &[(&str, NetId)],
+    ) -> Result<InstId, NetlistError> {
+        if self.inst_index.contains_key(name) {
+            return Err(NetlistError::DuplicateInstance { instance: name.to_owned() });
+        }
         let id = InstId(self.instances.len());
         self.instances.push(Instance {
             name: name.to_owned(),
             cell: cell.to_owned(),
             connections: connections.iter().map(|(p, n)| ((*p).to_owned(), *n)).collect(),
         });
-        id
+        self.inst_index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up an instance by name.
+    #[must_use]
+    pub fn find_instance(&self, name: &str) -> Option<InstId> {
+        self.inst_index.get(name).copied()
     }
 
     /// Number of cell instances.
@@ -254,9 +294,10 @@ impl Netlist {
     pub fn area(&self, library: &Library) -> Result<f64, NetlistError> {
         let mut total = 0.0;
         for inst in &self.instances {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| NetlistError::UnknownCell { instance: inst.name.clone(), cell: inst.cell.clone() })?;
+            let cell = library.cell(&inst.cell).ok_or_else(|| NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })?;
             total += cell.area;
         }
         Ok(total)
@@ -277,9 +318,10 @@ impl Netlist {
             }
         }
         for inst in &self.instances {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| NetlistError::UnknownCell { instance: inst.name.clone(), cell: inst.cell.clone() })?;
+            let cell = library.cell(&inst.cell).ok_or_else(|| NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })?;
             for (pin, net) in &inst.connections {
                 let is_input = cell.input_cap(pin).is_some();
                 let is_output = cell.output(pin).is_some();
@@ -318,12 +360,16 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownCell`] for unmapped instances.
-    pub fn drivers(&self, library: &Library) -> Result<HashMap<NetId, (InstId, String)>, NetlistError> {
+    pub fn drivers(
+        &self,
+        library: &Library,
+    ) -> Result<HashMap<NetId, (InstId, String)>, NetlistError> {
         let mut map = HashMap::new();
         for (k, inst) in self.instances.iter().enumerate() {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| NetlistError::UnknownCell { instance: inst.name.clone(), cell: inst.cell.clone() })?;
+            let cell = library.cell(&inst.cell).ok_or_else(|| NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })?;
             for (pin, net) in &inst.connections {
                 if cell.output(pin).is_some() {
                     map.insert(*net, (InstId(k), pin.clone()));
@@ -339,12 +385,16 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::UnknownCell`] for unmapped instances.
     #[allow(clippy::type_complexity)]
-    pub fn sinks(&self, library: &Library) -> Result<HashMap<NetId, Vec<(InstId, String)>>, NetlistError> {
+    pub fn sinks(
+        &self,
+        library: &Library,
+    ) -> Result<HashMap<NetId, Vec<(InstId, String)>>, NetlistError> {
         let mut map: HashMap<NetId, Vec<(InstId, String)>> = HashMap::new();
         for (k, inst) in self.instances.iter().enumerate() {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| NetlistError::UnknownCell { instance: inst.name.clone(), cell: inst.cell.clone() })?;
+            let cell = library.cell(&inst.cell).ok_or_else(|| NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })?;
             for (pin, net) in &inst.connections {
                 if cell.input_cap(pin).is_some() {
                     map.entry(*net).or_default().push((InstId(k), pin.clone()));
@@ -419,10 +469,7 @@ mod tests {
         let a = nl.find_net("a").unwrap();
         let y = nl.find_net("y").unwrap();
         nl.add_instance("bad", "NOPE_X9", &[("A", a), ("Y", y)]);
-        assert!(matches!(
-            nl.validate(&tiny_library()),
-            Err(NetlistError::UnknownCell { .. })
-        ));
+        assert!(matches!(nl.validate(&tiny_library()), Err(NetlistError::UnknownCell { .. })));
     }
 
     #[test]
@@ -432,10 +479,7 @@ mod tests {
         let y = nl.add_port("y", PortDir::Output);
         nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", y)]);
         nl.add_instance("u1", "INV_X1", &[("A", a), ("Y", y)]);
-        assert!(matches!(
-            nl.validate(&tiny_library()),
-            Err(NetlistError::MultipleDrivers { .. })
-        ));
+        assert!(matches!(nl.validate(&tiny_library()), Err(NetlistError::MultipleDrivers { .. })));
     }
 
     #[test]
@@ -443,10 +487,7 @@ mod tests {
         let mut nl = Netlist::new("m");
         let y = nl.add_port("y", PortDir::Output);
         nl.add_instance("u0", "INV_X1", &[("Y", y)]);
-        assert!(matches!(
-            nl.validate(&tiny_library()),
-            Err(NetlistError::UnconnectedPin { .. })
-        ));
+        assert!(matches!(nl.validate(&tiny_library()), Err(NetlistError::UnconnectedPin { .. })));
     }
 
     #[test]
@@ -485,5 +526,36 @@ mod tests {
         let mut nl = Netlist::new("m");
         nl.add_port("a", PortDir::Input);
         nl.add_port("a", PortDir::Output);
+    }
+
+    #[test]
+    fn find_instance_by_name() {
+        let nl = inv_chain(2);
+        assert_eq!(nl.find_instance("u0"), Some(InstId(0)));
+        assert_eq!(nl.find_instance("u1"), Some(InstId(1)));
+        assert_eq!(nl.find_instance("u9"), None);
+    }
+
+    #[test]
+    fn try_add_instance_rejects_duplicate_name() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.try_add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]).unwrap();
+        let err = nl.try_add_instance("u0", "INV_X1", &[("A", n1), ("Y", y)]).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateInstance { instance: "u0".into() });
+        // The rejected instance must not be half-added.
+        assert_eq!(nl.instance_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance")]
+    fn duplicate_instance_panics() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", y)]);
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", y)]);
     }
 }

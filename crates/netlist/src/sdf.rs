@@ -5,13 +5,12 @@
 //! delays. [`DelayAnnotation`] captures them; the event-driven timing
 //! simulator consumes the structure directly, and [`DelayAnnotation::write_sdf`]
 //! renders the same information as an SDF file — the artifact the paper
-//! feeds from Design Compiler into ModelSim for its gate-level image
+//! feeds from Design Compiler into `ModelSim` for its gate-level image
 //! simulations.
 
 use crate::{InstId, Netlist};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-
 
 /// Concrete delays of one timing arc: to a rising and to a falling output
 /// edge, in seconds.
@@ -130,9 +129,11 @@ pub fn parse_sdf(text: &str, netlist: &Netlist) -> Result<DelayAnnotation, crate
                     // Anonymous instance — not produced by our writer.
                     return Err(err(line, "empty INSTANCE"));
                 }
-                current = Some(*name_to_id.get(name.as_str()).ok_or_else(|| {
-                    err(line, &format!("unknown instance {name}"))
-                })?);
+                current = Some(
+                    *name_to_id
+                        .get(name.as_str())
+                        .ok_or_else(|| err(line, &format!("unknown instance {name}")))?,
+                );
             }
             "IOPATH" => {
                 let inst = current.ok_or_else(|| err(line, "IOPATH outside CELL"))?;
@@ -176,9 +177,8 @@ fn parse_triple(
             }
             ":" => {}
             other => {
-                let v: f64 = other
-                    .parse()
-                    .map_err(|_| err(line, &format!("bad delay value '{other}'")))?;
+                let v: f64 =
+                    other.parse().map_err(|_| err(line, &format!("bad delay value '{other}'")))?;
                 values.push(v);
             }
         }
@@ -263,7 +263,9 @@ mod tests {
         assert!(sdf.contains("(DESIGN \"m\")"));
         assert!(sdf.contains("(CELLTYPE \"INV_X1\")"));
         assert!(sdf.contains("(INSTANCE u0)"));
-        assert!(sdf.contains("(IOPATH A Y (0.012000:0.012000:0.012000) (0.010000:0.010000:0.010000))"));
+        assert!(
+            sdf.contains("(IOPATH A Y (0.012000:0.012000:0.012000) (0.010000:0.010000:0.010000))")
+        );
         // Balanced parentheses.
         let open = sdf.chars().filter(|&c| c == '(').count();
         let close = sdf.chars().filter(|&c| c == ')').count();

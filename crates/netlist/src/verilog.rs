@@ -55,7 +55,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
 
     let (kw, line) = next(tokens, "module")?;
     if kw != "module" {
-        return Err(NetlistError::Parse { line, message: format!("expected 'module', got '{kw}'") });
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("expected 'module', got '{kw}'"),
+        });
     }
     let (name, _) = next(tokens, "module name")?;
     let mut nl = Netlist::new(&name);
@@ -146,7 +149,7 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
                 expect_token(tokens, ";")?;
                 let conn_refs: Vec<(&str, NetId)> =
                     conns.iter().map(|(p, n)| (p.as_str(), *n)).collect();
-                nl.add_instance(&inst_name, cell, &conn_refs);
+                nl.try_add_instance(&inst_name, cell, &conn_refs)?;
             }
             other => {
                 return Err(NetlistError::Parse {
@@ -158,7 +161,6 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
     }
     Ok(nl)
 }
-
 
 fn next(tokens: &mut Vec<(String, usize)>, expect: &str) -> Result<(String, usize), NetlistError> {
     tokens.pop().ok_or_else(|| NetlistError::Parse {
@@ -290,10 +292,7 @@ mod tests {
 
     #[test]
     fn parse_error_reporting() {
-        assert!(matches!(
-            parse_verilog("modul x (); endmodule"),
-            Err(NetlistError::Parse { .. })
-        ));
+        assert!(matches!(parse_verilog("modul x (); endmodule"), Err(NetlistError::Parse { .. })));
         let missing_semi = "module m (a);\n input a\nendmodule";
         match parse_verilog(missing_semi) {
             Err(NetlistError::Parse { line, .. }) => assert!(line >= 2),

@@ -72,7 +72,13 @@ impl MosModel {
     /// evaluation — the hot path of the transient integrator's
     /// exponential-Euler update.
     #[must_use]
-    pub fn drain_current_and_conductance(&self, vg: f64, vd: f64, vs: f64, w_over_l: f64) -> (f64, f64) {
+    pub fn drain_current_and_conductance(
+        &self,
+        vg: f64,
+        vd: f64,
+        vs: f64,
+        w_over_l: f64,
+    ) -> (f64, f64) {
         let sign = self.polarity.sign();
         let (mut vd_m, mut vs_m) = (sign * vd, sign * vs);
         let vg_m = sign * vg;

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! Aging enters through [`MosModel::degraded`], which applies a
-//! [`bti::Degradation`] (ΔVth shift *and* mobility loss) to a fresh card —
+//! [`bti::Degradation`] (`ΔVth` shift *and* mobility loss) to a fresh card —
 //! yielding the "degraded transistor models" of the paper's Sec. 4.1.
 //!
 //! # Example

@@ -113,10 +113,10 @@ impl Circuit {
         // Precompute floating-node data and adjacency.
         let mut floating: Vec<usize> = Vec::new();
         let mut cap = vec![0.0; n];
-        for i in 0..n {
+        for (i, slot) in cap.iter_mut().enumerate() {
             if let Some(c) = self.total_cap(NodeId(i)) {
                 floating.push(i);
-                cap[i] = c;
+                *slot = c;
             }
         }
         // Accuracy-critical nodes: those whose voltage influences others
@@ -153,8 +153,8 @@ impl Circuit {
         // Initial state.
         let mut t = config.t_start;
         let mut v = vec![0.0; n];
-        for i in 0..n {
-            v[i] = match &self.kinds[i] {
+        for (i, (vi, kind)) in v.iter_mut().zip(&self.kinds).enumerate() {
+            *vi = match kind {
                 NodeKind::Rail(volts) => *volts,
                 NodeKind::Source(w) => w.value(t),
                 NodeKind::Floating { .. } => self.initial[i].unwrap_or(0.0),
@@ -247,7 +247,6 @@ impl Circuit {
         }
         trace
     }
-
 }
 
 fn record(trace: &mut Trace, t: f64, v: &[f64]) {

@@ -28,7 +28,8 @@ impl Trace {
                 continue;
             }
             let (v0, v1) = (v[i - 1], v[i]);
-            let crossed = if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
+            let crossed =
+                if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
             if crossed {
                 let frac = if (v1 - v0).abs() > 0.0 { (level - v0) / (v1 - v0) } else { 1.0 };
                 let tc = t[i - 1] + frac * (t[i] - t[i - 1]);

@@ -102,10 +102,9 @@ impl Waveform {
         match self {
             Waveform::Dc(_) => None,
             Waveform::Ramp { t_start, from, to, .. } => (from != to).then_some(*t_start),
-            Waveform::Pwl(points) => points
-                .windows(2)
-                .find(|w| (w[0].1 - w[1].1).abs() > 0.0)
-                .map(|w| w[0].0),
+            Waveform::Pwl(points) => {
+                points.windows(2).find(|w| (w[0].1 - w[1].1).abs() > 0.0).map(|w| w[0].0)
+            }
         }
     }
 

@@ -21,6 +21,12 @@ pub enum StaError {
         /// Output pin.
         output: String,
     },
+    /// A pre-flight lint gate rejected the inputs before analysis started
+    /// (see the `lint` crate; `message` carries the rendered diagnostics).
+    Preflight {
+        /// The rendered lint errors.
+        message: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -33,6 +39,7 @@ impl fmt::Display for StaError {
             StaError::MissingArc { cell, input, output } => {
                 write!(f, "cell {cell} has no timing arc {input} -> {output}")
             }
+            StaError::Preflight { message } => write!(f, "pre-flight lint failed: {message}"),
         }
     }
 }

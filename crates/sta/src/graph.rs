@@ -56,10 +56,9 @@ pub fn analyze(
     let mut back_edges: Vec<(usize, bool, usize, bool, f64)> = Vec::new();
 
     // Sources: primary inputs and undriven nets (assumed external).
-    for k in 0..n_nets {
-        let id = NetId::from_index(k);
-        if !drivers.contains_key(&id) {
-            resolved[k] = true;
+    for (k, r) in resolved.iter_mut().enumerate() {
+        if !drivers.contains_key(&NetId::from_index(k)) {
+            *r = true;
         }
     }
 
@@ -77,8 +76,7 @@ pub fn analyze(
                         input: clock.clone(),
                         output: out.name.clone(),
                     })?;
-                    let load =
-                        net_load(library, &sinks, netlist, net, &output_nets, output_load);
+                    let load = net_load(library, &sinks, netlist, net, &output_nets, output_load);
                     let i = net.index();
                     arrival_rise[i] = arc.delay(true, input_slew, load);
                     arrival_fall[i] = arc.delay(false, input_slew, load);
@@ -136,21 +134,18 @@ pub fn analyze(
                 let mut least_rise = f64::INFINITY;
                 let mut least_fall = f64::INFINITY;
                 for input in &cell.inputs {
-                    let arc = match out.arc_from(&input.name) {
-                        Some(a) => a,
-                        // Outputs genuinely independent of this input
-                        // (e.g. HA's CO vs no pin) are skipped only if the
-                        // function ignores the pin; otherwise it is an error.
-                        None => {
-                            if out.function.vars().contains(&input.name) {
-                                return Err(StaError::MissingArc {
-                                    cell: cell.name.clone(),
-                                    input: input.name.clone(),
-                                    output: out.name.clone(),
-                                });
-                            }
-                            continue;
+                    // Outputs genuinely independent of this input
+                    // (e.g. HA's CO vs no pin) are skipped only if the
+                    // function ignores the pin; otherwise it is an error.
+                    let Some(arc) = out.arc_from(&input.name) else {
+                        if out.function.vars().contains(&input.name) {
+                            return Err(StaError::MissingArc {
+                                cell: cell.name.clone(),
+                                input: input.name.clone(),
+                                output: out.name.clone(),
+                            });
                         }
+                        continue;
                     };
                     let in_net = inst.net_on(&input.name).expect("validated above");
                     let i = in_net.index();
@@ -240,7 +235,14 @@ pub fn analyze(
             break;
         }
         if !progressed {
-            let name = netlist.instance(next_round[0]).name.clone();
+            // Name an instance actually *on* a cycle, not merely starved
+            // downstream of one — the standalone detector tells them apart.
+            let on_cycle = crate::loops::combinational_loops(netlist, library)
+                .into_iter()
+                .flatten()
+                .next()
+                .unwrap_or(next_round[0]);
+            let name = netlist.instance(on_cycle).name.clone();
             return Err(StaError::CombinationalLoop { instance: name });
         }
         remaining = next_round;
@@ -309,7 +311,8 @@ pub fn analyze(
     for &(out, out_rising, input, in_rising, d) in back_edges.iter().rev() {
         let r_out = if out_rising { required_rise[out] } else { required_fall[out] };
         if r_out.is_finite() {
-            let slot = if in_rising { &mut required_rise[input] } else { &mut required_fall[input] };
+            let slot =
+                if in_rising { &mut required_rise[input] } else { &mut required_fall[input] };
             *slot = slot.min(r_out - d);
         }
     }
@@ -319,14 +322,7 @@ pub fn analyze(
         Some(worst) => {
             let i = worst.net.index();
             let rising = arrival_rise[i] >= arrival_fall[i];
-            let spec = backtrack(
-                netlist,
-                worst.net,
-                rising,
-                worst.arrival,
-                &pred_rise,
-                &pred_fall,
-            );
+            let spec = backtrack(netlist, worst.net, rising, worst.arrival, &pred_rise, &pred_fall);
             (spec, worst.arrival)
         }
         None => (
@@ -437,7 +433,12 @@ mod tests {
         Cell {
             name: "DFF_X1".into(),
             area: 4.0,
-            class: CellClass::Flop { clock: "CK".into(), data: "D".into(), setup: 30e-12, hold: 5e-12 },
+            class: CellClass::Flop {
+                clock: "CK".into(),
+                data: "D".into(),
+                setup: 30e-12,
+                hold: 5e-12,
+            },
             inputs: vec![
                 InputPin { name: "D".into(), capacitance: 1.2e-15 },
                 InputPin { name: "CK".into(), capacitance: 0.8e-15 },

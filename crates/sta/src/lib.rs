@@ -42,12 +42,14 @@
 
 mod error;
 mod graph;
+mod loops;
 mod path;
 mod paths_topk;
 mod report;
 
 pub use error::StaError;
 pub use graph::analyze;
+pub use loops::combinational_loops;
 pub use path::{evaluate_path, PathSpec, PathStep};
 pub use paths_topk::k_worst_paths;
 pub use report::{Endpoint, EndpointKind, TimingReport};

@@ -151,8 +151,11 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut prev = nl.add_port("a", PortDir::Input);
         for k in 0..n {
-            let next =
-                if k + 1 == n { nl.add_port("y", PortDir::Output) } else { nl.add_net(&format!("n{k}")) };
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
             nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
             prev = next;
         }

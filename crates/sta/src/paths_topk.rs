@@ -93,7 +93,12 @@ pub fn k_worst_paths(
                     let Some(q) = inst.net_on(&out.name) else { continue };
                     let Some(arc) = out.arc_from(clock) else { continue };
                     let load = crate::path::net_load(
-                        library, &sinks, netlist, q, &output_nets, output_load,
+                        library,
+                        &sinks,
+                        netlist,
+                        q,
+                        &output_nets,
+                        output_load,
                     );
                     let slew = constraints.input_slew.unwrap_or(library.default_input_slew);
                     for q_rising in [true, false] {
@@ -113,7 +118,12 @@ pub fn k_worst_paths(
                 for out in &cell.outputs {
                     let Some(out_net) = inst.net_on(&out.name) else { continue };
                     let load = crate::path::net_load(
-                        library, &sinks, netlist, out_net, &output_nets, output_load,
+                        library,
+                        &sinks,
+                        netlist,
+                        out_net,
+                        &output_nets,
+                        output_load,
                     );
                     for input in &cell.inputs {
                         let Some(arc) = out.arc_from(&input.name) else { continue };
@@ -156,11 +166,8 @@ pub fn k_worst_paths(
     // computed by relaxation in true reverse topological order (Kahn over
     // the vertex graph — robust even when characterized arcs carry
     // near-zero or negative delays at slow-slew corners).
-    let mut vertices: Vec<Vertex> = adjacency
-        .keys()
-        .copied()
-        .chain(adjacency.values().flatten().map(|e| e.to))
-        .collect();
+    let mut vertices: Vec<Vertex> =
+        adjacency.keys().copied().chain(adjacency.values().flatten().map(|e| e.to)).collect();
     vertices.sort_unstable();
     vertices.dedup();
     let mut out_degree: HashMap<Vertex, usize> = HashMap::new();
@@ -313,8 +320,7 @@ mod tests {
         let mut signatures: Vec<String> = paths
             .iter()
             .map(|p| {
-                let names: Vec<&str> =
-                    p.steps.iter().map(|s| netlist_name(&nl, s.inst)).collect();
+                let names: Vec<&str> = p.steps.iter().map(|s| netlist_name(&nl, s.inst)).collect();
                 format!("{}:{}", names.join(">"), p.steps.last().is_some_and(|s| s.output_rising))
             })
             .collect();
@@ -350,12 +356,14 @@ mod tests {
         nl.add_instance("u2", "INV_X1", &[("A", h), ("Y", y2)]);
         let lib = lib();
         let paths = k_worst_paths(&nl, &lib, &Constraints::default(), 10).unwrap();
-        let through_u1 = paths.iter().filter(|p| p.steps.iter().any(|s| {
-            nl.instance(s.inst).name == "u1"
-        })).count();
-        let through_u2 = paths.iter().filter(|p| p.steps.iter().any(|s| {
-            nl.instance(s.inst).name == "u2"
-        })).count();
+        let through_u1 = paths
+            .iter()
+            .filter(|p| p.steps.iter().any(|s| nl.instance(s.inst).name == "u1"))
+            .count();
+        let through_u2 = paths
+            .iter()
+            .filter(|p| p.steps.iter().any(|s| nl.instance(s.inst).name == "u2"))
+            .count();
         assert!(through_u1 > 0 && through_u2 > 0, "both branches enumerated");
     }
 }

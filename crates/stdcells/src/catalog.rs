@@ -61,8 +61,8 @@ impl CellSet {
     #[must_use]
     pub fn minimal() -> Self {
         let keep = [
-            "INV_X1", "INV_X2", "INV_X4", "BUF_X2", "NAND2_X1", "NAND2_X2", "NOR2_X1",
-            "NOR2_X2", "AND2_X1", "OR2_X1", "XOR2_X1", "DFF_X1",
+            "INV_X1", "INV_X2", "INV_X4", "BUF_X2", "NAND2_X1", "NAND2_X2", "NOR2_X1", "NOR2_X2",
+            "AND2_X1", "OR2_X1", "XOR2_X1", "DFF_X1",
         ];
         let all = Self::nangate45_like();
         CellSet { defs: all.defs.into_iter().filter(|d| keep.contains(&d.name.as_str())).collect() }
@@ -133,7 +133,11 @@ fn buffer(s: f64) -> CellDef {
         inputs: inputs(1),
         outputs: single_output("A"),
         topology: Topology::Stages(vec![
-            Stage { output: "n1".into(), pulldown: Network::input("A"), strength: (s / 3.0).max(0.5) },
+            Stage {
+                output: "n1".into(),
+                pulldown: Network::input("A"),
+                strength: (s / 3.0).max(0.5),
+            },
             Stage { output: "Y".into(), pulldown: Network::input("n1"), strength: s },
         ]),
     }
@@ -344,7 +348,11 @@ fn half_adder() -> CellDef {
                 ]),
                 strength: 1.0,
             },
-            Stage { output: "con".into(), pulldown: Network::series_of(&["A", "B"]), strength: 0.5 },
+            Stage {
+                output: "con".into(),
+                pulldown: Network::series_of(&["A", "B"]),
+                strength: 0.5,
+            },
             Stage { output: "CO".into(), pulldown: Network::input("con"), strength: 1.0 },
         ]),
     }
@@ -364,10 +372,7 @@ fn full_adder() -> CellDef {
                 output: "con".into(),
                 pulldown: Network::Parallel(vec![
                     Network::series_of(&["A", "B"]),
-                    Network::Series(vec![
-                        Network::input("CI"),
-                        Network::parallel_of(&["A", "B"]),
-                    ]),
+                    Network::Series(vec![Network::input("CI"), Network::parallel_of(&["A", "B"])]),
                 ]),
                 strength: 1.0,
             },
@@ -414,9 +419,9 @@ mod tests {
     fn expected_families_present() {
         let set = CellSet::nangate45_like();
         for name in [
-            "INV_X1", "INV_X32", "BUF_X8", "NAND2_X1", "NAND4_X4", "NOR3_X2", "AND4_X1",
-            "OR2_X4", "XOR2_X2", "XNOR2_X1", "AOI21_X2", "AOI22_X1", "OAI21_X4", "OAI22_X2",
-            "MUX2_X1", "HA_X1", "FA_X1", "DFF_X1", "DFF_X2",
+            "INV_X1", "INV_X32", "BUF_X8", "NAND2_X1", "NAND4_X4", "NOR3_X2", "AND4_X1", "OR2_X4",
+            "XOR2_X2", "XNOR2_X1", "AOI21_X2", "AOI22_X1", "OAI21_X4", "OAI22_X2", "MUX2_X1",
+            "HA_X1", "FA_X1", "DFF_X1", "DFF_X2",
         ] {
             assert!(set.get(name).is_some(), "missing {name}");
         }

@@ -139,12 +139,7 @@ impl CellDef {
     /// Capacitance presented by input `pin`: the summed gate capacitance of
     /// every device the pin drives, under the given transistor models.
     #[must_use]
-    pub fn input_capacitance(
-        &self,
-        pin: &str,
-        nmos: &ptm::MosModel,
-        pmos: &ptm::MosModel,
-    ) -> f64 {
+    pub fn input_capacitance(&self, pin: &str, nmos: &ptm::MosModel, pmos: &ptm::MosModel) -> f64 {
         match &self.topology {
             Topology::Stages(stages) => {
                 let mut cap = 0.0;
@@ -156,16 +151,15 @@ impl CellDef {
                     let wn = crate::UNIT_NMOS_WIDTH * s.strength;
                     let pu = s.pulldown.dual();
                     let wp = crate::UNIT_PMOS_WIDTH * s.strength * pu.series_depth() as f64;
-                    cap += count as f64
-                        * (nmos.gate_capacitance(wn) + pmos.gate_capacitance(wp));
+                    cap += count as f64 * (nmos.gate_capacitance(wn) + pmos.gate_capacitance(wp));
                 }
                 cap
             }
             Topology::Flop { .. } => {
                 // D drives one transmission gate; CK drives the clock
                 // buffer's first inverter.
-                let unit =
-                    nmos.gate_capacitance(crate::UNIT_NMOS_WIDTH) + pmos.gate_capacitance(crate::UNIT_PMOS_WIDTH);
+                let unit = nmos.gate_capacitance(crate::UNIT_NMOS_WIDTH)
+                    + pmos.gate_capacitance(crate::UNIT_PMOS_WIDTH);
                 match pin {
                     "D" | "CK" => unit,
                     _ => 0.0,
@@ -237,11 +231,7 @@ impl CellDef {
             }
         }
         best.map(|(_, bits)| {
-            others
-                .iter()
-                .enumerate()
-                .map(|(i, pin)| ((*pin).clone(), bits >> i & 1 == 1))
-                .collect()
+            others.iter().enumerate().map(|(i, pin)| ((*pin).clone(), bits >> i & 1 == 1)).collect()
         })
     }
 }

@@ -222,9 +222,17 @@ fn build_flop(
     // Output driver.
     inv(circuit, s1, q, strength);
 
-    for (name, level) in
-        [("cn", !ck0), ("cp", ck0), ("m1", d0), ("m2", !d0), ("m3", d0), ("s1", !d0), ("qn", d0), ("fb", !d0), ("Q", d0)]
-    {
+    for (name, level) in [
+        ("cn", !ck0),
+        ("cp", ck0),
+        ("m1", d0),
+        ("m2", !d0),
+        ("m3", d0),
+        ("s1", !d0),
+        ("qn", d0),
+        ("fb", !d0),
+        ("Q", d0),
+    ] {
         circuit.set_initial_voltage(nodes[name], if level { vdd } else { 0.0 });
     }
 }
@@ -346,11 +354,8 @@ mod tests {
         let trace = inst.circuit.transient(&TransientConfig::up_to(2.0e-9));
         let q = inst.node("Q").unwrap();
         // Before the edge Q holds the old value (low)...
-        let idx_before = trace
-            .time()
-            .iter()
-            .position(|&t| t > 0.9e-9)
-            .expect("samples before the edge");
+        let idx_before =
+            trace.time().iter().position(|&t| t > 0.9e-9).expect("samples before the edge");
         assert!(trace.voltage(q)[idx_before] < 0.3 * vdd, "Q leaked before clock edge");
         // ...and after the edge it carries D = 1.
         assert!(trace.final_voltage(q) > 0.9 * vdd, "Q = {}", trace.final_voltage(q));

@@ -145,10 +145,7 @@ mod tests {
                 Network::series_of(&["A", "B"]),
                 Network::series_of(&["C", "D"]),
             ]),
-            Network::Series(vec![
-                Network::input("A"),
-                Network::parallel_of(&["B", "C"]),
-            ]),
+            Network::Series(vec![Network::input("A"), Network::parallel_of(&["B", "C"])]),
         ];
         for pd in &pulldowns {
             let pu = pd.dual();
@@ -171,10 +168,7 @@ mod tests {
         assert_eq!(aoi22.series_depth(), 2);
         assert_eq!(aoi22.device_count(), 4);
         assert_eq!(aoi22.dual().series_depth(), 2);
-        let oai21 = Network::Series(vec![
-            Network::input("A"),
-            Network::parallel_of(&["B", "C"]),
-        ]);
+        let oai21 = Network::Series(vec![Network::input("A"), Network::parallel_of(&["B", "C"])]);
         assert_eq!(oai21.series_depth(), 2);
         assert_eq!(oai21.dual().series_depth(), 2);
         assert_eq!(Network::input("X").series_depth(), 1);

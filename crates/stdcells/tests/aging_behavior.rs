@@ -13,6 +13,7 @@ const VDD: f64 = 1.2;
 
 /// Measures one delay of `cell` for an edge on input A (other inputs held at
 /// non-controlling values given in `side`), returning seconds.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     cell: &stdcells::CellDef,
     nmos: &MosModel,
@@ -33,7 +34,13 @@ fn measure(
     let t_stop = 3.0e-9 + 3.0 * slew;
     let trace = inst.circuit.transient(&TransientConfig::up_to(t_stop));
     trace
-        .delay_after(inst.node("A").unwrap(), input_rising, inst.node("Y").unwrap(), output_rising, 0.0)
+        .delay_after(
+            inst.node("A").unwrap(),
+            input_rising,
+            inst.node("Y").unwrap(),
+            output_rising,
+            0.0,
+        )
         .expect("edge propagates")
 }
 
@@ -104,10 +111,7 @@ fn nor_fall_delay_improves_with_aging_at_large_slew() {
     let load = 0.5e-15;
     let fresh = measure(nor, &fn_, &fp, true, false, slew, load, &side);
     let aged = measure(nor, &an, &ap, true, false, slew, load, &side);
-    assert!(
-        aged < fresh,
-        "aged NOR fall must improve at large slew: fresh {fresh}, aged {aged}"
-    );
+    assert!(aged < fresh, "aged NOR fall must improve at large slew: fresh {fresh}, aged {aged}");
 }
 
 #[test]
@@ -136,10 +140,7 @@ fn vth_only_underestimates_delay_degradation() {
     let inv = cells.get("INV_X1").unwrap();
     let (fn_, fp) = fresh_models();
     let d = AgingScenario::worst_case(10.0).degradations();
-    let full = (
-        MosModel::nmos_45nm().degraded(&d.nmos),
-        MosModel::pmos_45nm().degraded(&d.pmos),
-    );
+    let full = (MosModel::nmos_45nm().degraded(&d.nmos), MosModel::pmos_45nm().degraded(&d.pmos));
     let vth_only = (
         MosModel::nmos_45nm().degraded(&d.nmos.vth_only()),
         MosModel::pmos_45nm().degraded(&d.pmos.vth_only()),

@@ -406,8 +406,7 @@ mod tests {
         let x = g.and(a, b);
         let _y = g.and(x, a.complement());
         let order = g.topo_order();
-        let pos =
-            |n: NodeId| order.iter().position(|&o| o == n).expect("in order");
+        let pos = |n: NodeId| order.iter().position(|&o| o == n).expect("in order");
         assert!(pos(a.node()) < pos(x.node()));
     }
 }

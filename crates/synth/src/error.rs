@@ -25,6 +25,9 @@ pub enum SynthError {
     },
     /// Downstream timing analysis failed during sizing.
     Sta(String),
+    /// A pre-flight lint gate rejected the library before synthesis started
+    /// (see the `lint` crate; the string carries the rendered diagnostics).
+    Preflight(String),
 }
 
 impl fmt::Display for SynthError {
@@ -33,11 +36,14 @@ impl fmt::Display for SynthError {
             SynthError::NoInverter => write!(f, "library has no inverter cell"),
             SynthError::NoAndGate => write!(f, "library has no 2-input AND-capable cell"),
             SynthError::NoFlop => write!(f, "AIG has latches but the library has no flip-flop"),
-            SynthError::Uncoverable { node } => write!(f, "no library match covers AIG node {node}"),
+            SynthError::Uncoverable { node } => {
+                write!(f, "no library match covers AIG node {node}")
+            }
             SynthError::ConstantOutput { output } => {
                 write!(f, "cannot realize constant output {output} with this library")
             }
             SynthError::Sta(m) => write!(f, "timing analysis failed during sizing: {m}"),
+            SynthError::Preflight(m) => write!(f, "pre-flight lint failed: {m}"),
         }
     }
 }

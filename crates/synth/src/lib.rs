@@ -63,7 +63,11 @@ use netlist::Netlist;
 /// Returns [`SynthError`] if the library lacks the primitives mapping
 /// needs (an inverter and 2-input AND-capable gates; a flop when the AIG
 /// has latches).
-pub fn synthesize(aig: &Aig, library: &Library, options: &MapOptions) -> Result<Netlist, SynthError> {
+pub fn synthesize(
+    aig: &Aig,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<Netlist, SynthError> {
     let mut nl = map_to_netlist(aig, library, options)?;
     buffer_fanout(&mut nl, library, options.max_fanout)?;
     size_gates(&mut nl, library, options)?;

@@ -56,7 +56,11 @@ enum Choice {
 /// # Errors
 ///
 /// See [`SynthError`].
-pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Result<Netlist, SynthError> {
+pub fn map_to_netlist(
+    aig: &Aig,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<Netlist, SynthError> {
     let ml = MatchLibrary::build(library)?;
     let cuts = enumerate_cuts(aig, options.cut_size, options.cuts_per_node);
     let n = aig.node_count();
@@ -217,7 +221,10 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
         format!("{prefix}{counter}")
     };
     // Net accessor (creates internal nets on demand).
-    let get_net = |nl: &mut Netlist, node: usize, phase: usize, net_of: &mut HashMap<(usize, usize), NetId>| {
+    let get_net = |nl: &mut Netlist,
+                   node: usize,
+                   phase: usize,
+                   net_of: &mut HashMap<(usize, usize), NetId>| {
         if let Some(&net) = net_of.get(&(node, phase)) {
             return net;
         }
@@ -229,9 +236,9 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
     // Constant nets built lazily.
     let mut const_net: [Option<NetId>; 2] = [None, None];
     let make_const = |nl: &mut Netlist,
-                          phase: usize,
-                          const_net: &mut [Option<NetId>; 2],
-                          counter: &mut usize|
+                      phase: usize,
+                      const_net: &mut [Option<NetId>; 2],
+                      counter: &mut usize|
      -> Result<NetId, SynthError> {
         if let Some(net) = const_net[phase] {
             return Ok(net);
@@ -249,18 +256,19 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
                 let xbar = nl.add_anonymous_net("constx");
                 *counter += 1;
                 let inv_name = format!("tieinv{counter}");
-                nl.add_instance(&inv_name, &ml.inverter.0, &[
-                    (ml.inverter.3.as_str(), any_input),
-                    ("Y", xbar),
-                ]);
+                nl.add_instance(
+                    &inv_name,
+                    &ml.inverter.0,
+                    &[(ml.inverter.3.as_str(), any_input), ("Y", xbar)],
+                );
                 let low = nl.add_anonymous_net("const0_");
                 *counter += 1;
                 let nor_name = format!("tienor{counter}");
-                nl.add_instance(&nor_name, &nor, &[
-                    (pin_a.as_str(), any_input),
-                    (pin_b.as_str(), xbar),
-                    ("Y", low),
-                ]);
+                nl.add_instance(
+                    &nor_name,
+                    &nor,
+                    &[(pin_a.as_str(), any_input), (pin_b.as_str(), xbar), ("Y", low)],
+                );
                 const_net[POS] = Some(low);
                 low
             }
@@ -271,10 +279,7 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
         let high = nl.add_anonymous_net("const1_");
         *counter += 1;
         let inv_name = format!("tieinv{counter}");
-        nl.add_instance(&inv_name, &ml.inverter.0, &[
-            (ml.inverter.3.as_str(), low),
-            ("Y", high),
-        ]);
+        nl.add_instance(&inv_name, &ml.inverter.0, &[(ml.inverter.3.as_str(), low), ("Y", high)]);
         const_net[NEG] = Some(high);
         Ok(high)
     };
@@ -297,10 +302,11 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
                         let src = net_of[&(i, POS)];
                         let dst = get_net(&mut nl, i, NEG, &mut net_of);
                         let name = fresh_name("inv", &mut counter);
-                        nl.add_instance(&name, &ml.inverter.0, &[
-                            (ml.inverter.3.as_str(), src),
-                            ("Y", dst),
-                        ]);
+                        nl.add_instance(
+                            &name,
+                            &ml.inverter.0,
+                            &[(ml.inverter.3.as_str(), src), ("Y", dst)],
+                        );
                     }
                 }
                 NodeKind::And(..) => match choice[i][phase].clone() {
@@ -308,10 +314,11 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
                         let src = get_net(&mut nl, i, 1 - phase, &mut net_of);
                         let dst = get_net(&mut nl, i, phase, &mut net_of);
                         let name = fresh_name("inv", &mut counter);
-                        nl.add_instance(&name, &ml.inverter.0, &[
-                            (ml.inverter.3.as_str(), src),
-                            ("Y", dst),
-                        ]);
+                        nl.add_instance(
+                            &name,
+                            &ml.inverter.0,
+                            &[(ml.inverter.3.as_str(), src), ("Y", dst)],
+                        );
                     }
                     Some(Choice::Match { cut, m }) => {
                         let leaves = cuts[i][cut].leaves.clone();
@@ -346,7 +353,12 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
         for (k, node) in aig.latch_nodes().iter().enumerate() {
             let next = aig.latch_next_lits()[k];
             let d_net = if matches!(aig.kind(next.node()), NodeKind::Const) {
-                make_const(&mut nl, usize::from(next.is_complemented()), &mut const_net, &mut counter)?
+                make_const(
+                    &mut nl,
+                    usize::from(next.is_complemented()),
+                    &mut const_net,
+                    &mut counter,
+                )?
             } else {
                 get_net(
                     &mut nl,
@@ -357,11 +369,15 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
             };
             let q_net = net_of[&(node.index(), POS)];
             let name = format!("ff_{}", aig.latch_names()[k]);
-            nl.add_instance(&name, &flop_cell, &[
-                (d_pin.as_str(), d_net),
-                (ck_pin.as_str(), clock_net.expect("clock exists with latches")),
-                (q_pin.as_str(), q_net),
-            ]);
+            nl.add_instance(
+                &name,
+                &flop_cell,
+                &[
+                    (d_pin.as_str(), d_net),
+                    (ck_pin.as_str(), clock_net.expect("clock exists with latches")),
+                    (q_pin.as_str(), q_net),
+                ],
+            );
         }
     }
 
@@ -387,10 +403,11 @@ pub fn map_to_netlist(aig: &Aig, library: &Library, options: &MapOptions) -> Res
                 let n1 = fresh_name("obuf", &mut counter);
                 nl.add_instance(&n1, &ml.inverter.0, &[(ml.inverter.3.as_str(), src), ("Y", mid)]);
                 let n2 = fresh_name("obuf", &mut counter);
-                nl.add_instance(&n2, &ml.inverter.0, &[
-                    (ml.inverter.3.as_str(), mid),
-                    ("Y", *port_net),
-                ]);
+                nl.add_instance(
+                    &n2,
+                    &ml.inverter.0,
+                    &[(ml.inverter.3.as_str(), mid), ("Y", *port_net)],
+                );
             }
         }
     }

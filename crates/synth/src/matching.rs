@@ -150,8 +150,12 @@ impl MatchLibrary {
                     out.arcs.first().map_or(f64::INFINITY, |a| a.worst_delay(slew, est_load));
                 if base_tt & 0b11 == 0b01 {
                     if inverter.as_ref().is_none_or(|(_, d, _, _)| delay < *d) {
-                        inverter =
-                            Some((cell.name.clone(), delay, cell.area, cell.inputs[0].name.clone()));
+                        inverter = Some((
+                            cell.name.clone(),
+                            delay,
+                            cell.area,
+                            cell.inputs[0].name.clone(),
+                        ));
                     }
                 } else if base_tt & 0b11 == 0b10 && buffer.is_none() {
                     buffer = Some(cell.name.clone());
@@ -195,7 +199,10 @@ impl MatchLibrary {
                         area: cell.area,
                     };
                     let entry = table.entry((n as u8, tt)).or_default();
-                    if !entry.iter().any(|e| e.cell == m.cell && e.negated == m.negated && e.pins == m.pins) {
+                    if !entry
+                        .iter()
+                        .any(|e| e.cell == m.cell && e.negated == m.negated && e.pins == m.pins)
+                    {
                         entry.push(m);
                     }
                 }
@@ -210,10 +217,9 @@ impl MatchLibrary {
         let flop = library
             .cells()
             .filter_map(|c| match &c.class {
-                CellClass::Flop { clock, data, .. } => c
-                    .outputs
-                    .first()
-                    .map(|o| (c.area, (c.name.clone(), clock.clone(), data.clone(), o.name.clone()))),
+                CellClass::Flop { clock, data, .. } => c.outputs.first().map(|o| {
+                    (c.area, (c.name.clone(), clock.clone(), data.clone(), o.name.clone()))
+                }),
                 CellClass::Combinational => None,
             })
             .min_by(|a, b| a.0.total_cmp(&b.0))

@@ -18,7 +18,11 @@ use std::collections::HashMap;
 ///
 /// Returns [`SynthError::NoInverter`] when the library offers neither a
 /// buffer nor an inverter to build one from.
-pub fn buffer_fanout(nl: &mut Netlist, library: &Library, max_fanout: usize) -> Result<(), SynthError> {
+pub fn buffer_fanout(
+    nl: &mut Netlist,
+    library: &Library,
+    max_fanout: usize,
+) -> Result<(), SynthError> {
     let max_fanout = max_fanout.max(2);
     let buffer = library
         .cells()
@@ -33,9 +37,9 @@ pub fn buffer_fanout(nl: &mut Netlist, library: &Library, max_fanout: usize) -> 
     loop {
         let sinks = nl.sinks(library)?;
         // Pick one overloaded net per iteration (rebuilding maps after edit).
-        let overloaded = sinks.iter().find_map(|(net, pins)| {
-            (pins.len() > max_fanout).then_some((*net, pins.clone()))
-        });
+        let overloaded = sinks
+            .iter()
+            .find_map(|(net, pins)| (pins.len() > max_fanout).then_some((*net, pins.clone())));
         let Some((net, pins)) = overloaded else { break };
         let Some((buf_cell, in_pin, out_pin)) = buffer.clone() else {
             // Without a buffer cell, leave the net alone (inverter pairs
@@ -49,7 +53,11 @@ pub fn buffer_fanout(nl: &mut Netlist, library: &Library, max_fanout: usize) -> 
         for group in pins.chunks(max_fanout).collect::<Vec<_>>() {
             let branch = nl.add_anonymous_net("fobuf");
             let name = format!("fob{}", branch.index());
-            nl.add_instance(&name, &buf_cell, &[(in_pin.as_str(), net), (out_pin.as_str(), branch)]);
+            nl.add_instance(
+                &name,
+                &buf_cell,
+                &[(in_pin.as_str(), net), (out_pin.as_str(), branch)],
+            );
             for (inst, pin) in group {
                 move_connection(nl, *inst, pin, branch);
             }
@@ -76,7 +84,11 @@ fn move_connection(nl: &mut Netlist, inst: InstId, pin: &str, to: NetId) {
 /// # Errors
 ///
 /// Propagates STA failures on malformed netlists.
-pub fn size_gates(nl: &mut Netlist, library: &Library, options: &MapOptions) -> Result<(), SynthError> {
+pub fn size_gates(
+    nl: &mut Netlist,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<(), SynthError> {
     let variants = strength_variants(library);
     if variants.is_empty() {
         return Ok(());
@@ -266,7 +278,8 @@ pub fn area_recover(
             let Some(out) = cell.outputs.first() else { continue };
             let Some(out_net) = inst.net_on(&out.name) else { continue };
             let slack = report.net_slack(out_net);
-            let own_delay = cell.worst_delay(library.default_input_slew, library.default_output_load);
+            let own_delay =
+                cell.worst_delay(library.default_input_slew, library.default_output_load);
             if slack > 2.0 * own_delay {
                 changes.push((id, inst.cell.clone(), smaller));
             }

@@ -38,7 +38,14 @@ fn arc(pin: &str, sense: TimingSense, d0: f64) -> TimingArc {
 ///
 /// Panics on malformed `function` text (fixture bug).
 #[must_use]
-pub fn comb_cell(name: &str, inputs: &[&str], function: &str, d0: f64, area: f64, cap: f64) -> Cell {
+pub fn comb_cell(
+    name: &str,
+    inputs: &[&str],
+    function: &str,
+    d0: f64,
+    area: f64,
+    cap: f64,
+) -> Cell {
     let f = BoolExpr::parse(function).expect("fixture function parses");
     let sense_of = |pin: &str| {
         // Cheap unateness: probe the truth table.
@@ -109,13 +116,13 @@ fn flop_cell(name: &str, area: f64) -> Cell {
 pub fn fixture_library() -> Library {
     let mut lib = Library::new("fixture", 1.2);
     for (s, d0, cap) in [(1u32, 12e-12, 1.0e-15), (2, 9e-12, 1.9e-15), (4, 7e-12, 3.6e-15)] {
-        lib.add_cell(comb_cell(&format!("INV_X{s}"), &["A"], "!A", d0, 0.5 * s as f64, cap));
+        lib.add_cell(comb_cell(&format!("INV_X{s}"), &["A"], "!A", d0, 0.5 * f64::from(s), cap));
         lib.add_cell(comb_cell(
             &format!("NAND2_X{s}"),
             &["A", "B"],
             "!(A & B)",
             d0 * 1.2,
-            0.8 * s as f64,
+            0.8 * f64::from(s),
             cap,
         ));
     }

@@ -23,8 +23,8 @@ fn main() {
 
     println!("running both synthesis flows on RISC-5P...");
     let design = reliaware::circuits::risc_5p();
-    let cmp = compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default())
-        .expect("synthesis");
+    let cmp =
+        compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default()).expect("synthesis");
 
     println!("\n                         baseline      aging-aware");
     println!(
@@ -37,10 +37,7 @@ fn main() {
         cmp.baseline_aged * 1e12,
         cmp.aware_aged * 1e12
     );
-    println!(
-        "area                  {:>9.1} um2  {:>9.1} um2",
-        cmp.baseline_area, cmp.aware_area
-    );
+    println!("area                  {:>9.1} um2  {:>9.1} um2", cmp.baseline_area, cmp.aware_area);
     println!("\nrequired guardband  (baseline): {:>7.1} ps", cmp.required_guardband() * 1e12);
     println!("contained guardband (aware):    {:>7.1} ps", cmp.contained_guardband() * 1e12);
     println!("guardband reduction:            {:>+7.1}%", cmp.guardband_reduction() * 100.0);

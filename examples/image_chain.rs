@@ -43,7 +43,15 @@ fn main() {
         let dct_ann = annotation_from_sta(&dct, lib, &c).expect("sta");
         let idct_ann = annotation_from_sta(&idct, lib, &c).expect("sta");
         let result = run_image_chain(
-            &image, &dct, &dct_design, &idct, &idct_design, lib, &dct_ann, &idct_ann, period,
+            &image,
+            &dct,
+            &dct_design,
+            &idct,
+            &idct_design,
+            lib,
+            &dct_ann,
+            &idct_ann,
+            period,
         )
         .expect("chain");
         let file = out_dir.join(format!("{label}.pgm"));

@@ -10,7 +10,7 @@
 //! This facade crate re-exports every layer of the stack so downstream users
 //! can depend on a single crate:
 //!
-//! - [`bti`] — device-level trap generation, ΔVth and Δμ models
+//! - [`bti`] — device-level trap generation, `ΔVth` and Δμ models
 //! - [`ptm`] — 45 nm transistor cards with alpha-power-law I–V
 //! - [`spicesim`] — transistor-level transient simulation (HSPICE substitute)
 //! - [`stdcells`] — the 68-cell open standard-cell library

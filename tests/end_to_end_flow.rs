@@ -41,8 +41,7 @@ fn characterize_synthesize_analyze() {
     assert_eq!(back.net_count(), netlist.net_count());
 
     // Aging slows the circuit: positive guardband, sane magnitude.
-    let report =
-        estimate_guardband(&netlist, &fresh, &aged, &Constraints::default()).expect("sta");
+    let report = estimate_guardband(&netlist, &fresh, &aged, &Constraints::default()).expect("sta");
     assert!(report.guardband() > 0.0, "aged circuits are slower");
     let rel = report.guardband() / report.fresh_delay;
     assert!(rel > 0.02 && rel < 0.6, "relative guardband {rel} out of plausible range");

@@ -92,8 +92,8 @@ fn aware_synthesis_contains_guardband() {
     let fresh = chars.library(&AgingScenario::fresh());
     let aged = chars.library(&AgingScenario::worst_case(10.0));
     let design = reliaware::circuits::risc_5p();
-    let cmp = compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default())
-        .expect("comparison");
+    let cmp =
+        compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default()).expect("comparison");
     assert!(
         cmp.contained_guardband() <= cmp.required_guardband() + 1e-15,
         "contained {:.1} ps must not exceed required {:.1} ps",

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` and `black_box` — with simple
+//! wall-clock timing printed to stdout. No statistics, plots or HTML
+//! reports; the point is that `cargo bench` compiles and produces usable
+//! numbers without network access to crates.io.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _parent: self }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), 10, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let median = b.samples[b.samples.len() / 2];
+    let best = b.samples[0];
+    println!(
+        "{label}: median {:.3} ms, best {:.3} ms ({} samples)",
+        median * 1e3,
+        best * 1e3,
+        b.samples.len()
+    );
+}
+
+/// Collects benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Fixed-size array strategies (`prop::array::uniform8`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+macro_rules! uniform_array {
+    ($($fname:ident => $n:literal),+ $(,)?) => {$(
+        /// An array of values all drawn from one element strategy.
+        pub fn $fname<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )+};
+}
+
+uniform_array! {
+    uniform2 => 2,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+}
+
+/// See [`uniform8`] and friends.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the external `rand` dependency is replaced by this local
+//! implementation of the small API subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`] and [`Rng::gen`].
+//!
+//! The generator is a deterministic `xoshiro256**`; it is seeded exactly,
+//! so experiment reproducibility within this workspace is preserved, but
+//! streams differ from the upstream crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Sources of randomness: the subset of the upstream `RngCore` surface the
+/// workspace needs.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled from a half-open or inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            // `as` is required: the macro instantiates for usize/isize,
+            // which have no `From` conversion to i128.
+            #[allow(clippy::cast_lossless)]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (low as i128 + v) as $t
+            }
+            #[allow(clippy::cast_lossless)]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range called with empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (low as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                low + unit * (high - low)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range called with empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Argument adapter for [`Rng::gen_range`], accepting `a..b` and `a..=b`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Values [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        f64::draw(self) < p
+    }
+
+    /// Draws a value of any [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic `xoshiro256**` generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_state(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A non-deterministic entry point, mirroring `rand::thread_rng` (seeded
+/// from the system time; fresh per call).
+#[must_use]
+pub fn thread_rng() -> rngs::StdRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0x5EED, |d| u64::from(d.subsec_nanos()) ^ d.as_secs());
+    <rngs::StdRng as SeedableRng>::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-6i16..=6);
+            assert!((-6..=6).contains(&v));
+            let f = rng.gen_range(0.08f64..0.25);
+            assert!((0.08..0.25).contains(&f));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((600..1400).contains(&heads), "heads {heads}");
+    }
+}
