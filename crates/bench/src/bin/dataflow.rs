@@ -1,0 +1,200 @@
+//! `dataflow` — the static λ-interval analysis command-line front end.
+//!
+//! Propagates signal-probability intervals through a netlist, prints the
+//! per-net intervals and per-instance λ bounds, reports the `DF` rule
+//! diagnostics, and — when a λ-indexed complete library is available —
+//! evaluates the **static worst-case guardband bound**: the netlist
+//! re-timed at the worst characterized λ-grid point inside each instance's
+//! provable interval box. The bound upper-bounds the dynamic guardband of
+//! any workload.
+//!
+//! ```text
+//! dataflow --design NAME [--steps N] [--quiet]
+//! dataflow --lib FILE --verilog FILE [--complete FILE] [--steps N]
+//! ```
+//!
+//! Exit status: 0 when no error-severity diagnostics were found, 1 when at
+//! least one error fired, 2 on usage or I/O problems.
+
+use dataflow::{DataflowConfig, Extraction, NetlistDataflow};
+use lint::{LintConfig, LintReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: dataflow --design NAME [options]
+       dataflow --lib FILE --verilog FILE [options]
+
+options:
+  --design NAME    synthesize a bundled benchmark (dct, idct, fft, dsp,
+                   risc, vliw) against the built-in test library and analyze
+                   it, including the static guardband bound on an analytic
+                   λ-scaled complete library
+  --lib FILE       base timing library (.lib subset)
+  --verilog FILE   structural-Verilog netlist to analyze
+  --complete FILE  λ-indexed merged complete library: enables the static
+                   guardband bound in --lib/--verilog mode
+  --steps N        λ-grid resolution for validation and the bound (default 10)
+  --quiet          omit the per-net interval listing
+  --json           emit the DF lint report as JSON instead of text
+
+exit status:
+  0  no error-severity diagnostics
+  1  at least one error-severity diagnostic
+  2  usage or I/O problem";
+
+struct Args {
+    design: Option<String>,
+    lib: Option<String>,
+    verilog: Option<String>,
+    complete: Option<String>,
+    steps: u32,
+    quiet: bool,
+    json: bool,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        design: None,
+        lib: None,
+        verilog: None,
+        complete: None,
+        steps: 10,
+        quiet: false,
+        json: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--design" => args.design = Some(value("--design")?),
+            "--lib" => args.lib = Some(value("--lib")?),
+            "--verilog" => args.verilog = Some(value("--verilog")?),
+            "--complete" => args.complete = Some(value("--complete")?),
+            "--steps" => {
+                let v = value("--steps")?;
+                args.steps = v.parse().map_err(|_| format!("bad step count {v}"))?;
+            }
+            "--quiet" => args.quiet = true,
+            "--json" => args.json = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.design.is_some() && (args.lib.is_some() || args.verilog.is_some()) {
+        return Err("--design is mutually exclusive with --lib/--verilog".into());
+    }
+    if args.design.is_none() && (args.lib.is_none() || args.verilog.is_none()) {
+        return Err("--design or both --lib and --verilog are required".into());
+    }
+    if args.steps == 0 {
+        return Err("--steps must be positive".into());
+    }
+    Ok(args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args(std::env::args().skip(1))?;
+
+    let (netlist, library, complete) = if let Some(name) = &args.design {
+        let design = bench::design_by_name(name).ok_or_else(|| format!("unknown design {name}"))?;
+        let library = synth::test_fixtures::fixture_library();
+        let nl = synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
+            .map_err(|e| format!("synthesis of {name} failed: {e}"))?;
+        let complete = bench::lambda_scaled_complete(&library, args.steps);
+        (nl, library, Some(complete))
+    } else {
+        let lib_path = args.lib.as_deref().expect("checked by parse_args");
+        let library = liberty::parse_library(&read(lib_path)?)
+            .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
+        let v_path = args.verilog.as_deref().expect("checked by parse_args");
+        let nl = netlist::verilog::parse_verilog(&read(v_path)?)
+            .map_err(|e| format!("cannot parse {v_path}: {e}"))?;
+        let complete = match &args.complete {
+            Some(path) => Some(
+                liberty::parse_library(&read(path)?)
+                    .map_err(|e| format!("cannot parse {path}: {e}"))?,
+            ),
+            None => None,
+        };
+        (nl, library, complete)
+    };
+
+    let df = NetlistDataflow::analyze(&netlist, &library);
+    println!(
+        "module {}: {} nets, {} instances ({} widened, {} skipped)",
+        netlist.name,
+        netlist.net_count(),
+        netlist.instance_count(),
+        df.widened_instances().len(),
+        df.skipped_instances().len()
+    );
+
+    if !args.quiet {
+        println!("\nper-net signal-probability intervals:");
+        for k in 0..netlist.net_count() {
+            let net = netlist::NetId::from_index(k);
+            println!("  {:<24} {}", netlist.net_name(net), df.interval(net));
+        }
+        println!("\nper-instance λ bounds (gate-average extraction):");
+        for inst in netlist.instance_ids() {
+            if let Some(b) = df.lambda_bounds(&netlist, &library, inst, Extraction::GateAverage) {
+                println!("  {:<24} {b}", netlist.instance(inst).name);
+            }
+        }
+    }
+
+    let config = LintConfig { lambda_steps: args.steps, ..LintConfig::default() };
+    let report = LintReport::run(&netlist, &library, &config);
+    println!();
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+
+    match complete {
+        Some(complete) => {
+            let bound = dataflow::static_guardband_bound(
+                &netlist,
+                &library,
+                &complete,
+                args.steps,
+                &DataflowConfig::default(),
+                &sta::Constraints::default(),
+            )
+            .map_err(|e| format!("static bound failed: {e}"))?;
+            println!(
+                "\nstatic worst-case bound: fresh {:.2} ps, bound {:.2} ps, \
+                 guardband {:.2} ps ({:+.1}%, {})",
+                bound.fresh_delay * 1e12,
+                bound.bound_delay * 1e12,
+                bound.guardband() * 1e12,
+                bound.guardband() / bound.fresh_delay * 100.0,
+                if bound.exact { "exact intervals" } else { "widened/skipped: conservative" }
+            );
+        }
+        None => {
+            println!("\nstatic worst-case bound: skipped (no --complete library)");
+        }
+    }
+
+    Ok(if report.has_errors() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {message}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -6,38 +6,54 @@
 //! ```text
 //! lint --lib complete.lib [--verilog design.v] [--fresh-lib t0.lib]
 //!      [--allow RULE]... [--input-slew S] [--output-load L] [--json]
+//!      [--deny-warnings]
+//! lint --design NAME [--deny-warnings] ...
 //! lint --list-rules
 //! ```
 //!
 //! Exit status: 0 when no errors were found (warnings allowed), 1 when at
-//! least one error-severity diagnostic fired, 2 on usage or I/O problems.
+//! least one error-severity diagnostic fired (or any warning under
+//! `--deny-warnings`), 2 on usage or I/O problems.
 
 use lint::{LintConfig, LintReport, Rule};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lint --lib FILE [options]
+       lint --design NAME [options]
        lint --list-rules
 
 options:
   --lib FILE          timing library to check (.lib subset); required unless
-                      --list-rules is given
+                      --design or --list-rules is given
   --verilog FILE      structural-Verilog netlist to lint against the library
+  --design NAME       synthesize a bundled benchmark (dct, idct, fft, dsp,
+                      risc, vliw) against the built-in test library and lint
+                      the result; mutually exclusive with --lib/--verilog
   --fresh-lib FILE    fresh (t=0) library: enables the AG001 fresh/aged
                       cross-check with --lib as the aged library
   --allow RULE        suppress a rule by code (repeatable), e.g. --allow NL006
   --input-slew SEC    boundary input slew for TM001 (default: library value)
   --output-load F     primary-output load for TM001 (default: library value)
+  --deny-warnings     exit 1 when warnings survive, not only on errors
   --json              emit the JSON report instead of text
-  --list-rules        print every rule code, severity and summary, then exit";
+  --list-rules        print every rule code, severity and summary, then exit
+
+exit status:
+  0  no errors (warnings allowed unless --deny-warnings)
+  1  at least one error-severity diagnostic (or a warning under
+     --deny-warnings)
+  2  usage or I/O problem";
 
 struct Args {
     lib: Option<String>,
     verilog: Option<String>,
+    design: Option<String>,
     fresh_lib: Option<String>,
     allow: Vec<String>,
     input_slew: Option<f64>,
     output_load: Option<f64>,
+    deny_warnings: bool,
     json: bool,
     list_rules: bool,
 }
@@ -46,10 +62,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         lib: None,
         verilog: None,
+        design: None,
         fresh_lib: None,
         allow: Vec::new(),
         input_slew: None,
         output_load: None,
+        deny_warnings: false,
         json: false,
         list_rules: false,
     };
@@ -58,6 +76,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         match flag.as_str() {
             "--lib" => args.lib = Some(value("--lib")?),
             "--verilog" => args.verilog = Some(value("--verilog")?),
+            "--design" => args.design = Some(value("--design")?),
             "--fresh-lib" => args.fresh_lib = Some(value("--fresh-lib")?),
             "--allow" => args.allow.push(value("--allow")?),
             "--input-slew" => {
@@ -68,14 +87,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = value("--output-load")?;
                 args.output_load = Some(v.parse().map_err(|_| format!("bad load {v}"))?);
             }
+            "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
             "--list-rules" => args.list_rules = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !args.list_rules && args.lib.is_none() {
-        return Err("--lib is required".into());
+    if args.design.is_some() && (args.lib.is_some() || args.verilog.is_some()) {
+        return Err("--design is mutually exclusive with --lib/--verilog".into());
+    }
+    if !args.list_rules && args.lib.is_none() && args.design.is_none() {
+        return Err("--lib or --design is required".into());
     }
     Ok(args)
 }
@@ -104,30 +127,39 @@ fn run() -> Result<ExitCode, String> {
     config.input_slew = args.input_slew;
     config.output_load = args.output_load;
 
-    let lib_path = args.lib.expect("checked by parse_args");
-    let library = liberty::parse_library(&read(&lib_path)?)
-        .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
-
-    let mut report = match &args.verilog {
-        Some(path) => {
-            let nl = netlist::verilog::parse_verilog(&read(path)?)
+    let report = if let Some(name) = &args.design {
+        let design = bench::design_by_name(name).ok_or_else(|| format!("unknown design {name}"))?;
+        let library = synth::test_fixtures::fixture_library();
+        let nl = synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
+            .map_err(|e| format!("synthesis of {name} failed: {e}"))?;
+        LintReport::run(&nl, &library, &config)
+    } else {
+        let lib_path = args.lib.expect("checked by parse_args");
+        let library = liberty::parse_library(&read(&lib_path)?)
+            .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
+        let mut report = match &args.verilog {
+            Some(path) => {
+                let nl = netlist::verilog::parse_verilog(&read(path)?)
+                    .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                LintReport::run(&nl, &library, &config)
+            }
+            None => LintReport::run_library(&library, &config),
+        };
+        if let Some(path) = &args.fresh_lib {
+            let fresh = liberty::parse_library(&read(path)?)
                 .map_err(|e| format!("cannot parse {path}: {e}"))?;
-            LintReport::run(&nl, &library, &config)
+            report = report.merged_with(LintReport::run_aging(&fresh, &library, &config));
         }
-        None => LintReport::run_library(&library, &config),
+        report
     };
-    if let Some(path) = &args.fresh_lib {
-        let fresh = liberty::parse_library(&read(path)?)
-            .map_err(|e| format!("cannot parse {path}: {e}"))?;
-        report = report.merged_with(LintReport::run_aging(&fresh, &library, &config));
-    }
 
     if args.json {
         print!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
-    Ok(if report.has_errors() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+    let fail = report.has_errors() || (args.deny_warnings && report.warning_count() > 0);
+    Ok(if fail { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 fn main() -> ExitCode {

@@ -221,6 +221,52 @@ impl ImageChain {
     }
 }
 
+/// Resolves a CLI `--design` name to a benchmark generator. Accepts the
+/// paper names case-insensitively plus the short aliases used by CI:
+/// `dct`, `idct`, `fft`, `dsp`, `risc` (the 5-stage slice), `risc6`, `vliw`.
+#[must_use]
+pub fn design_by_name(name: &str) -> Option<circuits::Design> {
+    match name.to_ascii_lowercase().as_str() {
+        "dct" => Some(circuits::dct8()),
+        "idct" => Some(circuits::idct8()),
+        "fft" => Some(circuits::fft_butterflies()),
+        "dsp" => Some(circuits::dsp_fir()),
+        "risc" | "risc5" | "risc-5p" => Some(circuits::risc_5p()),
+        "risc6" | "risc-6p" => Some(circuits::risc_6p()),
+        "vliw" => Some(circuits::vliw()),
+        _ => None,
+    }
+}
+
+/// A λ-indexed complete library derived from `base`: every cell is cloned
+/// onto the `(steps+1)²` duty-cycle grid with its delay arcs scaled by
+/// `1 + 0.2·(λp + λn)/2` — the analytic stand-in the `--design` CLI modes
+/// use instead of the (expensive) characterized grid.
+#[must_use]
+pub fn lambda_scaled_complete(base: &Library, steps: u32) -> Library {
+    let mut parts = Vec::new();
+    for p in 0..=steps {
+        for n in 0..=steps {
+            let lp = f64::from(p) / f64::from(steps);
+            let ln = f64::from(n) / f64::from(steps);
+            let factor = 1.0 + 0.2 * (lp + ln) / 2.0;
+            let mut lib = Library::new("part", base.vdd);
+            for cell in base.cells() {
+                let mut c = cell.clone();
+                for o in &mut c.outputs {
+                    for arc in &mut o.arcs {
+                        arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                        arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                    }
+                }
+                lib.add_cell(c);
+            }
+            parts.push((liberty::LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+        }
+    }
+    liberty::merge_indexed("complete", &parts)
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

@@ -154,6 +154,12 @@ pub fn synthesize_aging_aware(
     let mut nl = best.expect("candidates exist").1;
     synth::optimize_critical_path(&mut nl, aged, 6)?;
     synth::area_recover(&mut nl, aged, None)?;
+    // Post-synthesis netlist pre-flight: structural NL rules plus the DF
+    // dataflow checks (constant cones, dead logic, impossible λ pairs).
+    let survivors = lint::preflight(&nl, aged).map_err(|e| SynthError::Preflight(e.to_string()))?;
+    for d in &survivors {
+        eprintln!("[relialint] {d}");
+    }
     Ok(nl)
 }
 

@@ -1,0 +1,211 @@
+//! Static worst-case guardband bound from λ-interval endpoints.
+//!
+//! The dynamic flow (paper Sec. 4.2) simulates a workload, annotates every
+//! instance with its extracted λ pair and re-times the design against the
+//! complete degradation-aware library. This module produces the
+//! *workload-free* counterpart: every instance is annotated with the
+//! characterized λ-grid variant of **worst delay inside its statically
+//! provable λ-interval box**, and STA of that netlist upper-bounds the aged
+//! critical path of any workload — provably containing every dynamic
+//! guardband, not just the ones that were simulated.
+//!
+//! The per-instance variant choice ranks cells by
+//! [`liberty::Cell::worst_delay`] at the library's default operating point;
+//! the bound therefore assumes the per-cell delay ordering across λ
+//! variants is consistent over the characterized slew/load grid — which is
+//! what BTI/PBTI aging produces (and what the `AG001` lint rule checks).
+
+use crate::engine::{DataflowConfig, NetlistDataflow};
+use crate::lambda::{Extraction, LambdaBounds};
+use liberty::{split_lambda_tag, LambdaTag, Library};
+use netlist::{annotate::annotated_with_lambda, annotate::annotated_with_static, Netlist};
+use sta::{analyze, Constraints, StaError};
+
+/// The outcome of a static guardband-bound computation.
+#[derive(Debug, Clone)]
+pub struct StaticBoundReport {
+    /// Fresh critical path (all instances at the λ = 0 variant), seconds.
+    pub fresh_delay: f64,
+    /// Upper bound of the aged critical path over every workload whose
+    /// primary-input probabilities satisfy the analysis boundary, seconds.
+    pub bound_delay: f64,
+    /// True when the interval analysis was exact (no widening/skipping);
+    /// a widened analysis is still sound, just more conservative.
+    pub exact: bool,
+    /// The bound-annotated netlist (cells renamed `CELL_λp_λn`).
+    pub annotated: Netlist,
+}
+
+impl StaticBoundReport {
+    /// The provable worst-case guardband: bound − fresh.
+    #[must_use]
+    pub fn guardband(&self) -> f64 {
+        self.bound_delay - self.fresh_delay
+    }
+}
+
+/// Computes the static worst-case guardband bound of `netlist`.
+///
+/// * `base_library` supplies cell functions/structure (the library the
+///   unannotated netlist was mapped against).
+/// * `complete` is the merged degradation-aware library with `CELL_λp_λn`
+///   variants on a grid of `steps` intervals.
+/// * `config` sets the primary-input probability bounds (use the default
+///   for the any-workload bound).
+///
+/// Instances whose λ-interval box matches no characterized variant (or
+/// with no input pins) fall back to the worst variant overall — fully
+/// conservative. Both extraction modes' boxes are joined, so the bound
+/// holds for gate-average *and* worst-pin annotated netlists.
+///
+/// # Errors
+///
+/// Propagates [`StaError`] from the two timing runs.
+pub fn static_guardband_bound(
+    netlist: &Netlist,
+    base_library: &Library,
+    complete: &Library,
+    steps: u32,
+    config: &DataflowConfig,
+    constraints: &Constraints,
+) -> Result<StaticBoundReport, StaError> {
+    let df = NetlistDataflow::analyze_with(netlist, base_library, config);
+    let tolerance = 0.5 / f64::from(steps.max(1)) + 1e-9;
+    let slew = complete.default_input_slew;
+    let load = complete.default_output_load;
+
+    let tags: Vec<Option<LambdaTag>> = netlist
+        .instance_ids()
+        .map(|id| {
+            let inst = netlist.instance(id);
+            let bounds = df
+                .lambda_bounds(netlist, base_library, id, Extraction::GateAverage)
+                .zip(df.lambda_bounds(netlist, base_library, id, Extraction::WorstPin))
+                .map(|(a, b)| a.join(b));
+            let mut in_box: Option<(f64, LambdaTag)> = None;
+            let mut overall: Option<(f64, LambdaTag)> = None;
+            for cell in complete.cells_with_base(&inst.cell) {
+                let (_, Some(tag)) = split_lambda_tag(&cell.name) else { continue };
+                let delay = cell.worst_delay(slew, load);
+                let track = |slot: &mut Option<(f64, LambdaTag)>| {
+                    if slot.is_none_or(|(d, _)| delay > d) {
+                        *slot = Some((delay, tag));
+                    }
+                };
+                track(&mut overall);
+                if bounds.is_some_and(|b: LambdaBounds| b.contains(tag, tolerance)) {
+                    track(&mut in_box);
+                }
+            }
+            in_box.or(overall).map(|(_, tag)| tag)
+        })
+        .collect();
+
+    let annotated = annotated_with_lambda(netlist, |id| tags[id.index()]);
+    let fresh = annotated_with_static(netlist, LambdaTag { lambda_pmos: 0.0, lambda_nmos: 0.0 });
+    let bound_delay = analyze(&annotated, complete, constraints)?.critical_delay();
+    let fresh_delay = analyze(&fresh, complete, constraints)?.critical_delay();
+    Ok(StaticBoundReport { fresh_delay, bound_delay, exact: df.is_exact(), annotated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use liberty::{merge_indexed, Cell};
+    use netlist::PortDir;
+
+    /// A 5-step complete library over the test inverter where delay
+    /// scales with 1 + 0.5·(λp + λn)/2.
+    fn complete(steps: u32) -> Library {
+        let mut parts = Vec::new();
+        for p in 0..=steps {
+            for n in 0..=steps {
+                let lp = f64::from(p) / f64::from(steps);
+                let ln = f64::from(n) / f64::from(steps);
+                let factor = 1.0 + 0.5 * (lp + ln) / 2.0;
+                let mut lib = Library::new("part", 1.2);
+                let mut cell = Cell::test_inverter("INV_X1");
+                for o in &mut cell.outputs {
+                    for arc in &mut o.arcs {
+                        arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                        arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                    }
+                }
+                lib.add_cell(cell);
+                parts.push((LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+            }
+        }
+        merge_indexed("complete", &parts)
+    }
+
+    fn base() -> Library {
+        let mut lib = Library::new("base", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    fn inv_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn unconstrained_bound_is_worst_case() {
+        let nl = inv_chain(4);
+        let report = static_guardband_bound(
+            &nl,
+            &base(),
+            &complete(5),
+            5,
+            &DataflowConfig::default(),
+            &Constraints::default(),
+        )
+        .unwrap();
+        assert!(report.exact);
+        assert!(report.guardband() > 0.0);
+        // With FULL inputs every inverter can see λn anywhere in [0, 1],
+        // so the bound picks the worst variant (λp = λn = 1 here).
+        for inst in report.annotated.instances() {
+            let (_, tag) = split_lambda_tag(&inst.cell);
+            let tag = tag.unwrap();
+            assert!((tag.lambda_pmos - 1.0).abs() < 1e-9);
+            assert!((tag.lambda_nmos - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constrained_inputs_tighten_the_bound() {
+        let nl = inv_chain(4);
+        let unconstrained = static_guardband_bound(
+            &nl,
+            &base(),
+            &complete(5),
+            5,
+            &DataflowConfig::default(),
+            &Constraints::default(),
+        )
+        .unwrap();
+        // Input pinned low: stage k sees an exactly known level, so each
+        // inverter gets the one matching grid corner instead of the worst.
+        let mut config = DataflowConfig::default();
+        let a = nl.find_net("a").unwrap();
+        config.input_intervals.insert(a, Interval::point(0.0));
+        let constrained =
+            static_guardband_bound(&nl, &base(), &complete(5), 5, &config, &Constraints::default())
+                .unwrap();
+        assert!(constrained.bound_delay < unconstrained.bound_delay);
+        assert!((constrained.fresh_delay - unconstrained.fresh_delay).abs() < 1e-15);
+        assert!(constrained.guardband() >= 0.0);
+    }
+}

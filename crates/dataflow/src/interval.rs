@@ -1,0 +1,277 @@
+//! The signal-probability interval lattice `[lo, hi] ⊆ [0, 1]`.
+//!
+//! Every net carries the probability `p` that it is logic-high over some
+//! workload; an [`Interval`] brackets every achievable `p`. Gate transfer
+//! functions use **Fréchet inequalities**, which bound the probability of a
+//! conjunction/disjunction for *any* joint distribution of the inputs:
+//!
+//! ```text
+//! max(0, pa + pb − 1) ≤ P(a ∧ b) ≤ min(pa, pb)
+//! max(pa, pb)         ≤ P(a ∨ b) ≤ min(1, pa + pb)
+//! ```
+//!
+//! Unlike the classic Parker–McCluskey independence propagation, Fréchet
+//! bounds stay sound under reconvergent fanout and arbitrarily correlated
+//! workloads — the property the λ-validation rules rely on: a simulated
+//! duty cycle can *never* legitimately leave its computed interval.
+
+use bti::DutyCycle;
+use std::fmt;
+
+/// A closed sub-interval of the probability range `[0, 1]`.
+///
+/// The invariant `0 ≤ lo ≤ hi ≤ 1` is maintained by every constructor and
+/// operation; out-of-range inputs are clamped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The whole probability range — the lattice top, used for primary
+    /// inputs, flop outputs and everything widened across loops.
+    pub const FULL: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// A degenerate single-probability interval.
+    #[must_use]
+    pub fn point(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        Interval { lo: p, hi: p }
+    }
+
+    /// An interval from explicit bounds, clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` after clamping (an analysis bug, not an input
+    /// condition), or when either bound is NaN.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN probability bound");
+        let lo = lo.clamp(0.0, 1.0);
+        let hi = hi.clamp(0.0, 1.0);
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// `hi − lo`; zero for points, one for [`Interval::FULL`].
+    #[must_use]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `p` lies inside the interval.
+    #[must_use]
+    pub fn contains(self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// [`Interval::contains`] with the bounds relaxed by `tolerance` on
+    /// each side — used to absorb λ-grid quantization (half a grid step).
+    #[must_use]
+    pub fn contains_with_tolerance(self, p: f64, tolerance: f64) -> bool {
+        self.lo - tolerance <= p && p <= self.hi + tolerance
+    }
+
+    /// `Some(level)` when the interval pins the net to a constant logic
+    /// level: `[0, 0]` → `Some(false)`, `[1, 1]` → `Some(true)`.
+    #[must_use]
+    pub fn as_constant(self) -> Option<bool> {
+        if self == Interval::point(0.0) {
+            Some(false)
+        } else if self == Interval::point(1.0) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Least upper bound (union hull) of two intervals.
+    #[must_use]
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Complement: `P(¬a) = 1 − P(a)`, exact on intervals.
+    ///
+    /// Named after the gate, alongside [`Interval::and`]/[`Interval::or`];
+    /// probabilities have no sensible `!` operator semantics.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Interval {
+        Interval { lo: 1.0 - self.hi, hi: 1.0 - self.lo }
+    }
+
+    /// Fréchet conjunction bound, sound for any input correlation.
+    #[must_use]
+    pub fn and(self, other: Interval) -> Interval {
+        Interval { lo: (self.lo + other.lo - 1.0).max(0.0), hi: self.hi.min(other.hi) }
+    }
+
+    /// Fréchet disjunction bound, sound for any input correlation.
+    #[must_use]
+    pub fn or(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: (self.hi + other.hi).min(1.0) }
+    }
+
+    /// Exclusive-or bound. With marginals `pa, pb`, Fréchet gives
+    /// `|pa − pb| ≤ P(a ⊕ b) ≤ min(pa + pb, 2 − pa − pb)`; both sides are
+    /// then extremized over the two intervals.
+    #[must_use]
+    pub fn xor(self, other: Interval) -> Interval {
+        let lo = (self.lo - other.hi).max(other.lo - self.hi).max(0.0);
+        // min(s, 2 − s) is maximized at s* = clamp(1, s_lo, s_hi).
+        let s = (self.lo + other.lo).max((self.hi + other.hi).min(1.0));
+        Interval { lo, hi: s.min(2.0 - s).min(1.0) }
+    }
+
+    /// The interval of the arithmetic mean of `items` (exact: the mean of
+    /// independent ranges ranges over the mean of the endpoints).
+    ///
+    /// Returns `None` for an empty slice.
+    #[must_use]
+    pub fn average(items: &[Interval]) -> Option<Interval> {
+        if items.is_empty() {
+            return None;
+        }
+        let n = items.len() as f64;
+        let lo = items.iter().map(|i| i.lo).sum::<f64>() / n;
+        let hi = items.iter().map(|i| i.hi).sum::<f64>() / n;
+        Some(Interval::new(lo, hi))
+    }
+
+    /// The interval of `max(a, b)`: each endpoint is the max of the
+    /// endpoints (exact for the maximum of two dependent quantities).
+    #[must_use]
+    pub fn max(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Converts the probability interval into a pair of saturating
+    /// [`DutyCycle`] bounds `(min, max)` for the `bti` aging models.
+    #[must_use]
+    pub fn duty_range(self) -> (DutyCycle, DutyCycle) {
+        (DutyCycle::saturating(self.lo), DutyCycle::saturating(self.hi))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_clamp_and_classify() {
+        assert_eq!(Interval::point(-0.5), Interval::point(0.0));
+        assert_eq!(Interval::point(2.0).as_constant(), Some(true));
+        assert_eq!(Interval::point(0.0).as_constant(), Some(false));
+        assert_eq!(Interval::FULL.as_constant(), None);
+        assert!((Interval::new(0.2, 0.7).width() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(0.8, 0.2);
+    }
+
+    #[test]
+    fn not_is_exact_involution() {
+        let i = Interval::new(0.2, 0.7);
+        assert!((i.not().not().lo() - i.lo()).abs() < 1e-12);
+        assert!((i.not().not().hi() - i.hi()).abs() < 1e-12);
+        assert!((i.not().lo() - 0.3).abs() < 1e-12);
+        assert!((i.not().hi() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frechet_and_or_points() {
+        let a = Interval::point(0.6);
+        let b = Interval::point(0.7);
+        let and = a.and(b);
+        assert!((and.lo() - 0.3).abs() < 1e-12, "max(0, .6+.7-1)");
+        assert!((and.hi() - 0.6).abs() < 1e-12, "min(.6,.7)");
+        let or = a.or(b);
+        assert!((or.lo() - 0.7).abs() < 1e-12);
+        assert!((or.hi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_bounds() {
+        let a = Interval::point(0.5);
+        let b = Interval::point(0.5);
+        let x = a.xor(b);
+        assert!((x.lo() - 0.0).abs() < 1e-12);
+        assert!((x.hi() - 1.0).abs() < 1e-12);
+        // Disjoint intervals force a minimum distance.
+        let x = Interval::new(0.0, 0.1).xor(Interval::new(0.9, 1.0));
+        assert!((x.lo() - 0.8).abs() < 1e-12);
+        // A constant input makes xor behave like (negated) identity.
+        let x = Interval::point(1.0).xor(Interval::new(0.2, 0.4));
+        assert!((x.lo() - 0.6).abs() < 1e-12);
+        assert!((x.hi() - 0.8).abs() < 1e-12);
+    }
+
+    /// Monte-Carlo soundness: for random joint distributions of two
+    /// correlated bits, the empirical gate probabilities always fall
+    /// inside the Fréchet intervals of the empirical marginals.
+    #[test]
+    fn frechet_sound_under_correlation() {
+        // Joint distribution over (a, b) as four weights.
+        let joints = [
+            [0.25, 0.25, 0.25, 0.25],
+            [0.5, 0.0, 0.0, 0.5], // perfectly correlated
+            [0.0, 0.5, 0.5, 0.0], // perfectly anti-correlated
+            [0.1, 0.2, 0.3, 0.4],
+            [0.7, 0.0, 0.1, 0.2],
+        ];
+        for w in joints {
+            let pa = w[2] + w[3];
+            let pb = w[1] + w[3];
+            let p_and = w[3];
+            let p_or = w[1] + w[2] + w[3];
+            let p_xor = w[1] + w[2];
+            let a = Interval::point(pa);
+            let b = Interval::point(pb);
+            assert!(a.and(b).contains_with_tolerance(p_and, 1e-12), "{w:?} and");
+            assert!(a.or(b).contains_with_tolerance(p_or, 1e-12), "{w:?} or");
+            assert!(a.xor(b).contains_with_tolerance(p_xor, 1e-12), "{w:?} xor");
+        }
+    }
+
+    #[test]
+    fn average_and_max() {
+        let avg = Interval::average(&[Interval::new(0.0, 0.5), Interval::new(0.5, 1.0)]).unwrap();
+        assert!((avg.lo() - 0.25).abs() < 1e-12);
+        assert!((avg.hi() - 0.75).abs() < 1e-12);
+        assert!(Interval::average(&[]).is_none());
+        let m = Interval::new(0.1, 0.3).max(Interval::new(0.2, 0.25));
+        assert!((m.lo() - 0.2).abs() < 1e-12);
+        assert!((m.hi() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_range_conversion() {
+        let (lo, hi) = Interval::new(0.2, 0.9).duty_range();
+        assert!((lo.value() - 0.2).abs() < 1e-12);
+        assert!((hi.value() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Soundness property: for every bundled benchmark, duty cycles extracted
+//! from logic simulation of a random workload always fall inside the
+//! statically provable λ-intervals.
+//!
+//! The boundary condition feeds the *observed* primary-input marginals back
+//! into the analysis as point intervals (the clock reports 0.5, matching
+//! the extractor's convention), so the propagated intervals must bracket
+//! the simulated probabilities for this exact workload — under both the
+//! gate-average and the worst-pin extraction, up to the λ-grid
+//! quantization tolerance of half a step.
+
+use dataflow::{DataflowConfig, Extraction, Interval, NetlistDataflow};
+use logicsim::run_cycles;
+use synth::test_fixtures::fixture_library;
+use synth::MapOptions;
+
+const STEPS: u32 = 10;
+const CYCLES: usize = 48;
+
+fn vectors(width: usize, seed: &mut u64) -> Vec<Vec<bool>> {
+    (0..CYCLES)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    *seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    *seed >> 35 & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The fixture library replicated onto the λ grid (delays untouched —
+/// validation only needs the tagged names to resolve).
+fn merged_complete(base: &liberty::Library, steps: u32) -> liberty::Library {
+    let mut parts = Vec::new();
+    for p in 0..=steps {
+        for n in 0..=steps {
+            let tag = liberty::LambdaTag {
+                lambda_pmos: f64::from(p) / f64::from(steps),
+                lambda_nmos: f64::from(n) / f64::from(steps),
+            };
+            parts.push((tag, base.clone()));
+        }
+    }
+    liberty::merge_indexed("complete", &parts)
+}
+
+#[test]
+fn simulated_duty_cycles_fall_inside_static_intervals() {
+    let library = fixture_library();
+    let complete = merged_complete(&library, STEPS);
+    let half_step = 0.5 / f64::from(STEPS) + 1e-9;
+    let mut seed = 0x0DDB1A5E5u64;
+
+    for design in circuits::all_benchmarks() {
+        let nl = synth::synthesize(&design.aig, &library, &MapOptions::default())
+            .unwrap_or_else(|e| panic!("synthesis of {} failed: {e}", design.name));
+        let clock = design.is_sequential().then_some("clk");
+        let run = run_cycles(&nl, &library, clock, &vectors(design.input_width(), &mut seed))
+            .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", design.name));
+
+        // Boundary condition: the observed input marginals, as points. The
+        // clock is the exception — the zero-delay simulation models it
+        // implicitly (the net reports 0.5 by convention but its buffered
+        // cone carries the raw resting level), so only FULL is honest.
+        let clock_net = clock.and_then(|c| nl.find_net(c));
+        let mut config = DataflowConfig::default();
+        for net in nl.input_nets() {
+            let interval = if Some(net) == clock_net {
+                Interval::FULL
+            } else {
+                Interval::point(run.activity.signal_probability(net))
+            };
+            config.input_intervals.insert(net, interval);
+        }
+        let df = NetlistDataflow::analyze_with(&nl, &library, &config);
+
+        // Every simulated net probability lies inside its interval.
+        for k in 0..nl.net_count() {
+            let net = netlist::NetId::from_index(k);
+            let p = run.activity.signal_probability(net);
+            assert!(
+                df.interval(net).contains_with_tolerance(p, 1e-12),
+                "{}: net {} simulated p = {p} outside {}",
+                design.name,
+                nl.net_name(net),
+                df.interval(net)
+            );
+        }
+
+        // Every extracted λ tag lies inside its provable bounds.
+        let mut checked = 0usize;
+        for inst in nl.instance_ids() {
+            for (extraction, tag) in [
+                (Extraction::GateAverage, run.activity.lambda_of(&nl, &library, inst, STEPS)),
+                (
+                    Extraction::WorstPin,
+                    run.activity.lambda_of_worst_pin(&nl, &library, inst, STEPS),
+                ),
+            ] {
+                let Some(tag) = tag else { continue };
+                let bounds = df
+                    .lambda_bounds(&nl, &library, inst, extraction)
+                    .expect("extractor resolved the cell, so must the analysis");
+                assert!(
+                    bounds.contains(tag, half_step),
+                    "{}: instance {} tag ({:.2}, {:.2}) outside {bounds} ({extraction:?})",
+                    design.name,
+                    nl.instance(inst).name,
+                    tag.lambda_pmos,
+                    tag.lambda_nmos
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "{}: no λ tags were checked", design.name);
+
+        // The simulated annotation passes static validation end to end
+        // (against a merged library so the tagged cell names resolve).
+        let annotated = netlist::annotate::annotated_with_lambda(&nl, |inst| {
+            run.activity.lambda_of(&nl, &library, inst, STEPS)
+        });
+        let violations =
+            df.validate_annotations(&annotated, &complete, Extraction::GateAverage, STEPS);
+        assert!(violations.is_empty(), "{}: {violations:?}", design.name);
+    }
+}

@@ -8,7 +8,8 @@
 //! reports every finding at once as structured diagnostics:
 //!
 //! - a stable rule ID per check (`LB...` library, `NL...` netlist,
-//!   `LM...` λ-annotation, `TM...` timing-context, `AG...` aging),
+//!   `LM...` λ-annotation, `TM...` timing-context, `AG...` aging,
+//!   `DF...` dataflow),
 //! - a severity ([`Severity::Error`] aborts flows, [`Severity::Warning`]
 //!   is logged, [`Severity::Info`] is advisory),
 //! - a precise [`Location`] (cell, arc, instance or net),
@@ -41,6 +42,7 @@
 mod json;
 mod rules;
 
+pub use dataflow::Extraction;
 use liberty::Library;
 use netlist::Netlist;
 use std::collections::BTreeSet;
@@ -120,11 +122,28 @@ pub enum Rule {
     /// that is not a whitelisted physical improvement (cf. the NOR fall
     /// arc of the paper's Fig. 1(b)).
     AgingImprovement,
+    /// DF001 — interval propagation pins an internal net to a constant
+    /// level: the driver is a maximal asymmetric BTI stress hotspot.
+    ConstantNet,
+    /// DF002 — a primary output is statically constant (the whole cone
+    /// computes nothing observable).
+    ConstantOutput,
+    /// DF003 — an instance's output cone never reaches a primary output.
+    DeadCone,
+    /// DF004 — a λ-annotation lies outside its statically provable
+    /// interval; no workload can produce it.
+    LambdaOutsideBounds,
+    /// DF005 — a (λp, λn) annotation pair violates the extraction-mode
+    /// invariant (gate-average: λp + λn = 1; worst-pin: λp + λn ≥ 1).
+    LambdaInconsistentPair,
+    /// DF006 — the interval analysis widened or skipped instances
+    /// (combinational loops, unresolvable cells), so DF checks are partial.
+    WidenedAnalysis,
 }
 
 impl Rule {
     /// All rules in code order.
-    pub const ALL: [Rule; 20] = [
+    pub const ALL: [Rule; 26] = [
         Rule::EmptyLibrary,
         Rule::ImplausibleCapacitance,
         Rule::MissingArcs,
@@ -145,6 +164,12 @@ impl Rule {
         Rule::LambdaCoverageGap,
         Rule::Extrapolation,
         Rule::AgingImprovement,
+        Rule::ConstantNet,
+        Rule::ConstantOutput,
+        Rule::DeadCone,
+        Rule::LambdaOutsideBounds,
+        Rule::LambdaInconsistentPair,
+        Rule::WidenedAnalysis,
     ];
 
     /// The stable rule code, e.g. `NL003`.
@@ -171,6 +196,12 @@ impl Rule {
             Rule::LambdaCoverageGap => "LM002",
             Rule::Extrapolation => "TM001",
             Rule::AgingImprovement => "AG001",
+            Rule::ConstantNet => "DF001",
+            Rule::ConstantOutput => "DF002",
+            Rule::DeadCone => "DF003",
+            Rule::LambdaOutsideBounds => "DF004",
+            Rule::LambdaInconsistentPair => "DF005",
+            Rule::WidenedAnalysis => "DF006",
         }
     }
 
@@ -189,15 +220,20 @@ impl Rule {
             | Rule::UnconnectedInput
             | Rule::DuplicateInstance
             | Rule::CombinationalLoop
-            | Rule::LambdaOutOfGrid => Severity::Error,
+            | Rule::LambdaOutOfGrid
+            | Rule::LambdaOutsideBounds
+            | Rule::LambdaInconsistentPair => Severity::Error,
             Rule::NonMonotoneLoad
             | Rule::NonMonotoneSlew
             | Rule::InconsistentGrid
             | Rule::FloatingNet
             | Rule::LambdaCoverageGap
             | Rule::Extrapolation
-            | Rule::AgingImprovement => Severity::Warning,
-            Rule::DanglingOutput => Severity::Info,
+            | Rule::AgingImprovement
+            | Rule::ConstantNet
+            | Rule::ConstantOutput
+            | Rule::DeadCone => Severity::Warning,
+            Rule::DanglingOutput | Rule::WidenedAnalysis => Severity::Info,
         }
     }
 
@@ -225,6 +261,12 @@ impl Rule {
             Rule::LambdaCoverageGap => "λ annotation does not cover all instances",
             Rule::Extrapolation => "operating conditions outside table axes",
             Rule::AgingImprovement => "aged delay faster than fresh (not whitelisted)",
+            Rule::ConstantNet => "net statically constant (BTI stress hotspot)",
+            Rule::ConstantOutput => "primary output statically constant",
+            Rule::DeadCone => "instance unobservable from any primary output",
+            Rule::LambdaOutsideBounds => "λ-annotation outside provable interval",
+            Rule::LambdaInconsistentPair => "λ pair violates extraction invariant",
+            Rule::WidenedAnalysis => "interval analysis widened (partial DF coverage)",
         }
     }
 
@@ -348,6 +390,15 @@ pub struct LintConfig {
     pub output_load: Option<f64>,
     /// Arcs allowed to improve with aging under `AG001`.
     pub improvement_whitelist: Vec<ImprovementWhitelist>,
+    /// Extraction mode assumed by the `DF004`/`DF005` λ-validation rules
+    /// (must match the mode the annotations were produced with).
+    pub lambda_extraction: Extraction,
+    /// λ-grid resolution the annotations were quantized to; sets the
+    /// quantization tolerance of `DF004`/`DF005`.
+    pub lambda_steps: u32,
+    /// Signal-probability intervals assumed at primary inputs for the `DF`
+    /// rules (unlisted inputs span the full `[0, 1]` — any workload).
+    pub input_intervals: std::collections::HashMap<netlist::NetId, dataflow::Interval>,
 }
 
 impl Default for LintConfig {
@@ -360,6 +411,9 @@ impl Default for LintConfig {
                 cell_prefix: "NOR".to_owned(),
                 output_falling: true,
             }],
+            lambda_extraction: Extraction::default(),
+            lambda_steps: 10,
+            input_intervals: std::collections::HashMap::new(),
         }
     }
 }
@@ -405,6 +459,7 @@ impl LintReport {
         rules::structure::check(netlist, library, &mut diagnostics);
         rules::lambda::check(netlist, library, &mut diagnostics);
         rules::timing::check(netlist, library, config, &mut diagnostics);
+        rules::dataflow::check(netlist, library, config, &mut diagnostics);
         Self::finish(diagnostics, config)
     }
 

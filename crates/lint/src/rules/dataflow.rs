@@ -1,0 +1,242 @@
+//! `DF` rules: static λ-interval dataflow checks.
+//!
+//! These rules run the `dataflow` crate's abstract interpretation over the
+//! netlist and surface what it proves: statically constant nets are BTI
+//! stress hotspots (`DF001`/`DF002`), unobservable cones age for nothing
+//! (`DF003`), and a λ-annotation outside its provable interval — or a pair
+//! violating the extraction invariant — can come from no workload at all
+//! (`DF004`/`DF005`, both errors). When the engine had to widen (loops) or
+//! skip (unresolvable cells), `DF006` records that the `DF` coverage is
+//! partial.
+
+use crate::{Diagnostic, LintConfig, Location, Rule};
+use dataflow::{dead_cone, DataflowConfig, NetlistDataflow, ViolationKind};
+use liberty::Library;
+use netlist::Netlist;
+use std::collections::BTreeSet;
+
+pub(crate) fn check(
+    netlist: &Netlist,
+    library: &Library,
+    config: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let df_config = DataflowConfig { input_intervals: config.input_intervals.clone() };
+    let df = NetlistDataflow::analyze_with(netlist, library, &df_config);
+
+    let po_nets: BTreeSet<usize> = netlist.output_nets().map(netlist::NetId::index).collect();
+    for (net, level) in df.constant_nets(netlist, library) {
+        let name = netlist.net_name(net).to_owned();
+        let level = i32::from(level);
+        if po_nets.contains(&net.index()) {
+            out.push(Diagnostic::new(
+                Rule::ConstantOutput,
+                Location::Net { net: name },
+                format!("primary output is provably stuck at {level} for every workload"),
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                Rule::ConstantNet,
+                Location::Net { net: name },
+                format!(
+                    "provably stuck at {level}: the driver sits at the asymmetric \
+                     worst-case λ corner (maximal BTI stress, no recovery)"
+                ),
+            ));
+        }
+    }
+
+    for inst in dead_cone(netlist, library) {
+        out.push(Diagnostic::new(
+            Rule::DeadCone,
+            Location::Instance { instance: netlist.instance(inst).name.clone() },
+            "output cone never reaches a primary output; its aging is unobservable".to_owned(),
+        ));
+    }
+
+    for v in
+        df.validate_annotations(netlist, library, config.lambda_extraction, config.lambda_steps)
+    {
+        let instance = netlist.instance(v.inst).name.clone();
+        match v.kind {
+            ViolationKind::PmosOutsideBounds { value, bounds } => {
+                out.push(Diagnostic::new(
+                    Rule::LambdaOutsideBounds,
+                    Location::Instance { instance },
+                    format!(
+                        "annotated λp = {value:.2} lies outside the provable interval \
+                         {bounds}; no workload can produce it"
+                    ),
+                ));
+            }
+            ViolationKind::NmosOutsideBounds { value, bounds } => {
+                out.push(Diagnostic::new(
+                    Rule::LambdaOutsideBounds,
+                    Location::Instance { instance },
+                    format!(
+                        "annotated λn = {value:.2} lies outside the provable interval \
+                         {bounds}; no workload can produce it"
+                    ),
+                ));
+            }
+            ViolationKind::InconsistentPair { lambda_pmos, lambda_nmos } => {
+                out.push(Diagnostic::new(
+                    Rule::LambdaInconsistentPair,
+                    Location::Instance { instance },
+                    format!(
+                        "annotated pair (λp = {lambda_pmos:.2}, λn = {lambda_nmos:.2}) \
+                         violates the {:?} extraction invariant",
+                        config.lambda_extraction
+                    ),
+                ));
+            }
+        }
+    }
+
+    if !df.is_exact() {
+        out.push(Diagnostic::new(
+            Rule::WidenedAnalysis,
+            Location::Design,
+            format!(
+                "interval analysis widened {} and skipped {} instance(s); DF checks \
+                 are sound but partial there",
+                df.widened_instances().len(),
+                df.skipped_instances().len()
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::{Cell, LambdaTag};
+    use netlist::{Netlist, PortDir};
+
+    /// An inverter library with the full 11×11 λ-grid of tagged variants.
+    fn lib() -> Library {
+        let mut lib = Library::new("lib", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        for p in 0..=10u32 {
+            for n in 0..=10u32 {
+                let tag = LambdaTag {
+                    lambda_pmos: f64::from(p) / 10.0,
+                    lambda_nmos: f64::from(n) / 10.0,
+                };
+                lib.add_cell(Cell::test_inverter(&format!("INV_X1_{}", tag.suffix())));
+            }
+        }
+        lib
+    }
+
+    fn run(nl: &Netlist, config: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(nl, &lib(), config, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_chain_is_silent() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", y)]);
+        assert!(run(&nl, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn constant_internal_net_and_output_distinguished() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let n1 = nl.add_net("n1");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", n1)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", y)]);
+        let mut config = LintConfig::default();
+        config.input_intervals.insert(a, dataflow::Interval::point(1.0));
+        let diags = run(&nl, &config);
+        assert!(diags.iter().any(
+            |d| d.rule == Rule::ConstantNet && d.location == Location::Net { net: "n1".into() }
+        ));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::ConstantOutput
+                && d.location == Location::Net { net: "y".into() }));
+    }
+
+    #[test]
+    fn dead_cone_reported() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let d1 = nl.add_net("d1");
+        nl.add_instance("live", "INV_X1", &[("A", a), ("Y", y)]);
+        nl.add_instance("dead", "INV_X1", &[("A", a), ("Y", d1)]);
+        let diags = run(&nl, &LintConfig::default());
+        assert!(diags.iter().any(|d| d.rule == Rule::DeadCone
+            && d.location == Location::Instance { instance: "dead".into() }));
+    }
+
+    #[test]
+    fn impossible_annotation_is_an_error() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1_1.00_0.00", &[("A", a), ("Y", y)]);
+        let mut config = LintConfig::default();
+        config.input_intervals.insert(a, dataflow::Interval::point(1.0));
+        let diags = run(&nl, &config);
+        assert!(diags.iter().any(|d| d.rule == Rule::LambdaOutsideBounds));
+    }
+
+    #[test]
+    fn inconsistent_pair_is_an_error_without_input_knowledge() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1_0.10_0.10", &[("A", a), ("Y", y)]);
+        let diags = run(&nl, &LintConfig::default());
+        assert!(diags.iter().any(|d| d.rule == Rule::LambdaInconsistentPair));
+    }
+
+    #[test]
+    fn widened_analysis_is_advisory() {
+        let mut nl = Netlist::new("m");
+        let n1 = nl.add_net("n1");
+        let n2 = nl.add_net("n2");
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1", &[("A", n2), ("Y", n1)]);
+        nl.add_instance("u1", "INV_X1", &[("A", n1), ("Y", n2)]);
+        nl.add_instance("u2", "INV_X1", &[("A", n1), ("Y", y)]);
+        let diags = run(&nl, &LintConfig::default());
+        let d = diags.iter().find(|d| d.rule == Rule::WidenedAnalysis).expect("DF006 fires");
+        assert_eq!(d.severity, crate::Severity::Info);
+        assert!(d.message.contains("widened 2"));
+    }
+
+    /// The seeded-mutation acceptance path: a valid annotated netlist passes
+    /// preflight; corrupting one λ-component out of its interval turns it
+    /// into a `DF`-rule preflight error.
+    #[test]
+    fn preflight_catches_mutated_annotation() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        nl.add_instance("u0", "INV_X1_0.00_1.00", &[("A", a), ("Y", y)]);
+        let mut config = LintConfig::default();
+        config.input_intervals.insert(a, dataflow::Interval::point(1.0));
+        assert!(crate::preflight_with(&nl, &lib(), &config).is_ok());
+
+        // Mutate one component of the tag: λp 0.00 → 0.90.
+        let id = netlist::InstId::from_index(0);
+        nl.instance_mut(id).cell = "INV_X1_0.90_1.00".to_owned();
+        let err = crate::preflight_with(&nl, &lib(), &config).unwrap_err();
+        assert!(
+            err.errors
+                .iter()
+                .any(|d| d.rule == Rule::LambdaOutsideBounds
+                    || d.rule == Rule::LambdaInconsistentPair),
+            "{err}"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Rule implementations, grouped by code prefix.
 
 pub(crate) mod aging;
+pub(crate) mod dataflow;
 pub(crate) mod lambda;
 pub(crate) mod library;
 pub(crate) mod structure;

@@ -23,8 +23,9 @@ fn clean_netlist() -> Netlist {
     let a = nl.add_port("a", PortDir::Input);
     let y = nl.add_port("y", PortDir::Output);
     let n1 = nl.add_net("n1");
-    nl.add_instance("u0", "INV_X1_0.25_0.25", &[("A", a), ("Y", n1)]);
-    nl.add_instance("u1", "INV_X1_0.75_0.75", &[("A", n1), ("Y", y)]);
+    // Consistent gate-average pairs (λp + λn = 1) on characterized points.
+    nl.add_instance("u0", "INV_X1_0.25_0.75", &[("A", a), ("Y", n1)]);
+    nl.add_instance("u1", "INV_X1_0.75_0.25", &[("A", n1), ("Y", y)]);
     nl
 }
 

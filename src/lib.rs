@@ -17,6 +17,8 @@
 //! - [`liberty`] — NLDM timing libraries, Liberty-subset text format
 //! - [`netlist`] — gate-level netlists, Verilog subset, SDF export
 //! - [`sta`] — static timing analysis and guardband computation
+//! - [`dataflow`] — static λ-interval propagation and provable stress bounds
+//! - [`lint`] — relialint: rule-based static analysis and pre-flight gates
 //! - [`logicsim`] — event-driven logic/timing simulation, activity extraction
 //! - [`synth`] — timing-driven technology mapping, sizing and buffering
 //! - [`circuits`] — the DSP/FFT/RISC/VLIW/DCT/IDCT benchmark generators
@@ -29,9 +31,11 @@
 
 pub use bti;
 pub use circuits;
+pub use dataflow;
 pub use flow;
 pub use imgproc;
 pub use liberty;
+pub use lint;
 pub use logicsim;
 pub use netlist;
 pub use ptm;

@@ -1,0 +1,144 @@
+//! Cross-checks between the static λ-interval analysis and the dynamic
+//! (simulation-driven) stress flow:
+//!
+//! 1. the static worst-case guardband bound always contains the dynamic
+//!    guardband of a concrete workload, and
+//! 2. a λ-annotation produced by the dynamic flow passes the relialint
+//!    pre-flight gate, while a seeded mutation (one component pushed out
+//!    of its provable interval) is rejected as a `DF`-rule error.
+
+use reliaware::dataflow::{DataflowConfig, Interval};
+use reliaware::liberty::{merge_indexed, Cell, LambdaTag, Library};
+use reliaware::lint::{LintConfig, Rule};
+use reliaware::netlist::{Netlist, PortDir};
+use reliaware::sta::Constraints;
+
+const STEPS: u32 = 10;
+
+/// A complete library over the test inverter where delay scales with
+/// `1 + 0.3·(λp + λn)/2` — monotone in both components, so the worst
+/// in-box grid point is a true per-cell worst case.
+fn complete_library() -> Library {
+    let mut parts = Vec::new();
+    for p in 0..=STEPS {
+        for n in 0..=STEPS {
+            let lp = f64::from(p) / f64::from(STEPS);
+            let ln = f64::from(n) / f64::from(STEPS);
+            let factor = 1.0 + 0.3 * (lp + ln) / 2.0;
+            let mut lib = Library::new("part", 1.2);
+            let mut cell = Cell::test_inverter("INV_X1");
+            for o in &mut cell.outputs {
+                for arc in &mut o.arcs {
+                    arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                    arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                }
+            }
+            lib.add_cell(cell);
+            parts.push((LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+        }
+    }
+    merge_indexed("complete", &parts)
+}
+
+fn base_library() -> Library {
+    let mut lib = Library::new("base", 1.2);
+    lib.add_cell(Cell::test_inverter("INV_X1"));
+    lib
+}
+
+fn inv_chain(n: usize) -> Netlist {
+    let mut nl = Netlist::new("chain");
+    let mut prev = nl.add_port("a", PortDir::Input);
+    for k in 0..n {
+        let next = if k + 1 == n {
+            nl.add_port("y", PortDir::Output)
+        } else {
+            nl.add_net(&format!("n{k}"))
+        };
+        nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+        prev = next;
+    }
+    nl
+}
+
+#[test]
+fn static_bound_contains_dynamic_guardband() {
+    let nl = inv_chain(5);
+    let base = base_library();
+    let complete = complete_library();
+    let constraints = Constraints::default();
+
+    // A workload with the input high 30 % of cycles.
+    let vectors: Vec<Vec<bool>> = (0..40).map(|k| vec![k % 10 < 3]).collect();
+    let dynamic = reliaware::flow::dynamic_stress_analysis(
+        &nl,
+        &base,
+        &complete,
+        STEPS,
+        None,
+        &vectors,
+        &constraints,
+    )
+    .expect("dynamic flow");
+
+    let bound = reliaware::dataflow::static_guardband_bound(
+        &nl,
+        &base,
+        &complete,
+        STEPS,
+        &DataflowConfig::default(),
+        &constraints,
+    )
+    .expect("static bound");
+
+    assert!(bound.exact);
+    assert!((bound.fresh_delay - dynamic.fresh_delay).abs() < 1e-15);
+    // The any-workload bound must contain both the simulated aged delay and
+    // its guardband.
+    assert!(bound.bound_delay >= dynamic.aged_delay - 1e-15);
+    assert!(bound.guardband() >= dynamic.dynamic_guardband() - 1e-15);
+}
+
+#[test]
+fn preflight_accepts_dynamic_annotation_and_rejects_mutation() {
+    let nl = inv_chain(3);
+    let base = base_library();
+    let complete = complete_library();
+
+    // Input stuck high: levels alternate down the chain, so the extracted
+    // λ tags alternate between (0, 1) and (1, 0).
+    let vectors: Vec<Vec<bool>> = (0..16).map(|_| vec![true]).collect();
+    let dynamic = reliaware::flow::dynamic_stress_analysis(
+        &nl,
+        &base,
+        &complete,
+        STEPS,
+        None,
+        &vectors,
+        &Constraints::default(),
+    )
+    .expect("dynamic flow");
+    let mut annotated = dynamic.annotated;
+
+    // The lint gate sees the same boundary condition the workload had.
+    let mut config = LintConfig::default();
+    let a = annotated.find_net("a").expect("input net");
+    config.input_intervals.insert(a, Interval::point(1.0));
+    reliaware::lint::preflight_with(&annotated, &complete, &config)
+        .expect("the dynamic annotation is statically consistent");
+
+    // Seeded mutation: swap the first instance's tag components. The pair
+    // stays extraction-consistent (λp + λn = 1), but both components leave
+    // their provable point intervals — only DF004 can catch this.
+    let u0 = reliaware::netlist::InstId::from_index(0);
+    let cell = &annotated.instance(u0).cell;
+    let (cell_base, tag) = reliaware::liberty::split_lambda_tag(cell);
+    let tag = tag.expect("annotated");
+    let swapped = LambdaTag { lambda_pmos: tag.lambda_nmos, lambda_nmos: tag.lambda_pmos };
+    let mutated = format!("{cell_base}_{}", swapped.suffix());
+    annotated.instance_mut(u0).cell = mutated;
+
+    let err = reliaware::lint::preflight_with(&annotated, &complete, &config)
+        .expect_err("mutated annotation must fail pre-flight");
+    assert!(err.errors.iter().any(|d| d.rule == Rule::LambdaOutsideBounds), "{err}");
+}
