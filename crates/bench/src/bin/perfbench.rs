@@ -1,0 +1,342 @@
+//! Performance-trajectory harness: times the flow's compute stages under a
+//! pinned configuration and writes a `BENCH_<stamp>.json` record at the
+//! repo root, so every PR can compare wall-clock numbers against history.
+//!
+//! Stages:
+//!
+//! 1. single-cell characterization (the simulator inner loop),
+//! 2. one-scenario library build, sequential vs. pooled (engine speedup),
+//! 3. the (λp, λn) complete-library grid, sequential vs. pooled,
+//! 4. the same grid cold vs. warm through the two-tier arc cache,
+//! 5. STA arrival propagation and gate-level logic simulation.
+//!
+//! Every parallel stage asserts bit-identical output against its sequential
+//! twin before reporting a speedup. Usage:
+//!
+//! ```text
+//! perfbench [--smoke] [--steps N] [--threads N] [--out DIR]
+//! ```
+//!
+//! `--smoke` pins a tiny grid for CI; the default configuration is sized
+//! for a workstation run (a few minutes on one core).
+
+use bti::AgingScenario;
+use flow::{ArcCache, CharConfig, Characterizer};
+use sta::{analyze, Constraints};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use stdcells::CellSet;
+use synth::test_fixtures::fixture_library;
+use synth::MapOptions;
+
+struct Options {
+    smoke: bool,
+    steps: u32,
+    threads: usize,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        steps: 0,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        out_dir: repo_root(),
+    };
+    let mut steps_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--steps" => {
+                opts.steps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--steps needs an integer");
+                    std::process::exit(2);
+                });
+                steps_set = true;
+            }
+            "--threads" => {
+                opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                opts.out_dir = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfbench [--smoke] [--steps N] [--threads N] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !steps_set {
+        opts.steps = if opts.smoke { 1 } else { 10 };
+    }
+    opts
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// One timed stage in the JSON record: a name, wall-clock seconds, and
+/// free-form extra fields already rendered as JSON.
+struct Stage {
+    name: &'static str,
+    seconds: f64,
+    extra: String,
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn char_config(opts: &Options, parallelism: usize) -> CharConfig {
+    if opts.smoke {
+        CharConfig {
+            slews: vec![10e-12, 300e-12],
+            loads: vec![1e-15, 10e-15],
+            max_dv: 8e-3,
+            parallelism,
+            ..CharConfig::paper()
+        }
+    } else {
+        CharConfig { parallelism, ..CharConfig::fast() }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut stages: Vec<Stage> = Vec::new();
+    let lib_cells = if opts.smoke {
+        vec!["INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"]
+    } else {
+        vec!["INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "AOI21_X1", "DFF_X1"]
+    };
+    let grid_cells = if opts.smoke { vec!["INV_X1"] } else { vec!["INV_X1", "NAND2_X1"] };
+    let scenario = AgingScenario::worst_case(10.0);
+
+    println!("perfbench: mode={}, steps={}, threads={}", mode(&opts), opts.steps, opts.threads);
+
+    // 1. Single-cell characterization.
+    let single =
+        Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), char_config(&opts, 1));
+    let (_, secs) = time(|| single.library(&scenario));
+    report(&mut stages, "characterize_1cell", secs, String::new());
+
+    // 2. One-scenario library: sequential vs. pooled task queue.
+    let subset = CellSet::nangate45_like().subset(&lib_cells);
+    let seq = Characterizer::new(subset.clone(), char_config(&opts, 1));
+    let (lib_seq, seq_secs) = time(|| seq.library(&scenario));
+    report(&mut stages, "library_seq", seq_secs, format!(r#""cells": {}"#, lib_cells.len()));
+    let par = Characterizer::new(subset, char_config(&opts, opts.threads));
+    let (lib_par, par_secs) = time(|| par.library(&scenario));
+    assert_eq!(lib_seq, lib_par, "pooled library must be bit-identical to sequential");
+    report(
+        &mut stages,
+        "library_par",
+        par_secs,
+        format!(
+            r#""cells": {}, "threads": {}, "speedup_vs_seq": {:.3}, "bit_identical": true"#,
+            lib_cells.len(),
+            opts.threads,
+            seq_secs / par_secs.max(1e-12)
+        ),
+    );
+
+    // 3. Complete λ-grid: sequential vs. pooled (scenario × cell) queue.
+    let grid_set = CellSet::nangate45_like().subset(&grid_cells);
+    let grid_seq = Characterizer::new(grid_set.clone(), char_config(&opts, 1));
+    let (complete_seq, grid_seq_secs) = time(|| grid_seq.complete_library(opts.steps, 10.0));
+    let scenarios = (opts.steps + 1) * (opts.steps + 1);
+    report(
+        &mut stages,
+        "complete_grid_seq",
+        grid_seq_secs,
+        format!(r#""scenarios": {scenarios}, "cells": {}"#, grid_cells.len()),
+    );
+    let grid_par = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads));
+    let (complete_par, grid_par_secs) = time(|| grid_par.complete_library(opts.steps, 10.0));
+    assert_eq!(
+        complete_seq, complete_par,
+        "pooled complete library must be bit-identical to sequential"
+    );
+    report(
+        &mut stages,
+        "complete_grid_par",
+        grid_par_secs,
+        format!(
+            r#""scenarios": {scenarios}, "cells": {}, "threads": {}, "speedup_vs_seq": {:.3}, "bit_identical": true"#,
+            grid_cells.len(),
+            opts.threads,
+            grid_seq_secs / grid_par_secs.max(1e-12)
+        ),
+    );
+
+    // 4. The same grid through the two-tier arc cache: cold, then warm from
+    // a fresh process's perspective (new cache instance, same directory).
+    let cache_dir =
+        std::env::temp_dir().join(format!("reliaware_perfbench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cold_cache = Arc::new(ArcCache::with_dir(&cache_dir));
+    let cold = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads))
+        .with_cache(Arc::clone(&cold_cache));
+    let (complete_cold, cold_secs) = time(|| cold.complete_library(opts.steps, 10.0));
+    assert_eq!(complete_cold, complete_seq, "cold-cache grid must match uncached");
+    report(
+        &mut stages,
+        "complete_grid_cold_cache",
+        cold_secs,
+        format!(r#""scenarios": {scenarios}, {}"#, cache_json(&cold_cache)),
+    );
+    let warm_cache = Arc::new(ArcCache::with_dir(&cache_dir));
+    let warm = Characterizer::new(grid_set, char_config(&opts, opts.threads))
+        .with_cache(Arc::clone(&warm_cache));
+    let (complete_warm, warm_secs) = time(|| warm.complete_library(opts.steps, 10.0));
+    assert_eq!(complete_warm, complete_seq, "warm-cache grid must be bit-identical");
+    report(
+        &mut stages,
+        "complete_grid_warm_cache",
+        warm_secs,
+        format!(
+            r#""scenarios": {scenarios}, "speedup_vs_cold": {:.3}, "bit_identical": true, {}"#,
+            cold_secs / warm_secs.max(1e-12),
+            cache_json(&warm_cache)
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // 5. STA and gate-level simulation on a synthesized benchmark.
+    let fixture = fixture_library();
+    let design = circuits::dct8();
+    let netlist = synth::synthesize(&design.aig, &fixture, &MapOptions::default()).expect("synth");
+    let sta_iters = if opts.smoke { 5 } else { 20 };
+    let (_, sta_secs) = time(|| {
+        for _ in 0..sta_iters {
+            let _ = analyze(&netlist, &fixture, &Constraints::default()).expect("sta");
+        }
+    });
+    report(
+        &mut stages,
+        "sta_arrival_dct8",
+        sta_secs / f64::from(sta_iters),
+        format!(r#""iterations": {sta_iters}, "instances": {}"#, netlist.instance_count()),
+    );
+    let vectors: Vec<Vec<bool>> = (0..16)
+        .map(|k| (0..design.input_width()).map(|b| (k * 7 + b) % 3 == 0).collect())
+        .collect();
+    let sim_iters = if opts.smoke { 3 } else { 10 };
+    let (_, sim_secs) = time(|| {
+        for _ in 0..sim_iters {
+            let _ = logicsim::run_cycles(&netlist, &fixture, None, &vectors).expect("sim");
+        }
+    });
+    report(
+        &mut stages,
+        "logicsim_dct8_16cy",
+        sim_secs / f64::from(sim_iters),
+        format!(r#""iterations": {sim_iters}"#),
+    );
+
+    // Assemble and write the JSON record.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let stamp = utc_stamp(unix_time);
+    let json = render_json(&opts, unix_time, &stamp, &stages);
+    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+    let path = opts.out_dir.join(format!("BENCH_{stamp}.json"));
+    std::fs::write(&path, json).expect("write benchmark record");
+    println!("\nwrote {}", path.display());
+}
+
+fn mode(opts: &Options) -> &'static str {
+    if opts.smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+fn report(stages: &mut Vec<Stage>, name: &'static str, seconds: f64, extra: String) {
+    println!("  {name:<28} {seconds:>10.3} s  {}", extra.replace('"', ""));
+    stages.push(Stage { name, seconds, extra });
+}
+
+fn cache_json(cache: &ArcCache) -> String {
+    let stats = cache.stats();
+    format!(
+        r#""cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "hit_rate": {:.4}}}"#,
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.hit_rate()
+    )
+}
+
+fn render_json(opts: &Options, unix_time: u64, stamp: &str, stages: &[Stage]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, r#"  "schema": "reliaware-perfbench-v1","#);
+    let _ = writeln!(out, r#"  "stamp": "{stamp}","#);
+    let _ = writeln!(out, r#"  "unix_time": {unix_time},"#);
+    let _ = writeln!(
+        out,
+        r#"  "machine": {{"threads_available": {}, "os": "{}", "arch": "{}"}},"#,
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    let _ = writeln!(
+        out,
+        r#"  "config": {{"mode": "{}", "grid_steps": {}, "threads": {}}},"#,
+        mode(opts),
+        opts.steps,
+        opts.threads
+    );
+    let _ = writeln!(out, r#"  "stages": ["#);
+    for (k, stage) in stages.iter().enumerate() {
+        let comma = if k + 1 == stages.len() { "" } else { "," };
+        let extra =
+            if stage.extra.is_empty() { String::new() } else { format!(", {}", stage.extra) };
+        let _ = writeln!(
+            out,
+            r#"    {{"name": "{}", "seconds": {:.6}{extra}}}{comma}"#,
+            stage.name, stage.seconds
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Formats a unix timestamp as `YYYYMMDD-HHMMSS` UTC (civil-from-days,
+/// Hinnant's algorithm) — no clock libraries in the workspace.
+fn utc_stamp(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}{month:02}{day:02}-{hh:02}{mm:02}{ss:02}")
+}

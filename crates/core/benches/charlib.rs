@@ -1,0 +1,38 @@
+//! Criterion benchmarks of single-cell characterization — the unit of work
+//! the task queue schedules — cold and through a warm arc cache.
+
+use bti::AgingScenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use flow::{ArcCache, CharConfig, Characterizer};
+use std::sync::Arc;
+use stdcells::CellSet;
+
+fn config() -> CharConfig {
+    CharConfig { parallelism: 1, ..CharConfig::fast() }
+}
+
+fn bench_single_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize_cell");
+    group.sample_size(10);
+    let scenario = AgingScenario::worst_case(10.0);
+    for name in ["INV_X1", "NAND2_X1", "FA_X1"] {
+        let chars = Characterizer::new(CellSet::nangate45_like().subset(&[name]), config());
+        group.bench_function(name, |b| b.iter(|| chars.library(&scenario)));
+    }
+    group.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize_cell_warm_cache");
+    group.sample_size(20);
+    let scenario = AgingScenario::worst_case(10.0);
+    let cache = Arc::new(ArcCache::in_memory());
+    let chars = Characterizer::new(CellSet::nangate45_like().subset(&["NAND2_X1"]), config())
+        .with_cache(Arc::clone(&cache));
+    let _prime = chars.library(&scenario);
+    group.bench_function("NAND2_X1", |b| b.iter(|| chars.library(&scenario)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cell, bench_warm_cache);
+criterion_main!(benches);

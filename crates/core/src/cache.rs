@@ -1,0 +1,393 @@
+//! Two-tier characterization cache at timing-arc granularity.
+//!
+//! The dominant cost of the whole reproduction is transistor-level
+//! transient simulation of (cell × arc × OPC-grid) units. Those results
+//! depend only on the characterization *input* — the cell's transistor
+//! topology, the degraded device models, the slew/load axes, `max_dv` and
+//! Vdd — so they are memoized under a content hash of exactly those inputs:
+//!
+//! * **memory tier** — a process-wide map, shared across worker threads;
+//! * **disk tier** — one small text file per arc under a cache directory,
+//!   so repeated bench runs and overlapping λ-grids skip simulation
+//!   entirely across processes.
+//!
+//! Table values round-trip through the disk tier via `f64::to_bits` hex, so
+//! a warm (cached) library is **bit-identical** to a cold one — the
+//! determinism tests and the relialint gates rely on this.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The four OPC-grid tables of one characterized timing arc, in
+/// row-major `[slew × load]` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcTables {
+    /// Slew-axis length.
+    pub rows: usize,
+    /// Load-axis length.
+    pub cols: usize,
+    /// Output-rise propagation delay per grid point, seconds.
+    pub rise_delay: Vec<f64>,
+    /// Output-fall propagation delay per grid point, seconds.
+    pub fall_delay: Vec<f64>,
+    /// Rising output 10–90 % transition per grid point, seconds.
+    pub rise_tran: Vec<f64>,
+    /// Falling output transition per grid point, seconds.
+    pub fall_tran: Vec<f64>,
+}
+
+impl ArcTables {
+    fn shape_ok(&self) -> bool {
+        let n = self.rows * self.cols;
+        self.rows > 0
+            && self.cols > 0
+            && self.rise_delay.len() == n
+            && self.fall_delay.len() == n
+            && self.rise_tran.len() == n
+            && self.fall_tran.len() == n
+    }
+}
+
+/// Counters of one cache's effectiveness; see [`ArcCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups answered from the on-disk tier.
+    pub disk_hits: u64,
+    /// Lookups that fell through to simulation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`; `1.0` for a cache that was never asked.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            1.0
+        } else {
+            (self.memory_hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed two-tier (memory + optional disk) store of
+/// [`ArcTables`], shared across characterization worker threads.
+pub struct ArcCache {
+    memory: Mutex<HashMap<u64, ArcTables>>,
+    dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl fmt::Debug for ArcCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcCache")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+const DISK_HEADER: &str = "reliaware-arc-cache v1";
+
+impl ArcCache {
+    /// A memory-only cache (no persistence).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ArcCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A two-tier cache persisting each arc under `dir` (created lazily on
+    /// the first store).
+    #[must_use]
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        ArcCache { dir: Some(dir.into()), ..Self::in_memory() }
+    }
+
+    /// The persistence directory, if any.
+    #[must_use]
+    pub fn dir(&self) -> Option<&PathBuf> {
+        self.dir.as_ref()
+    }
+
+    /// Effectiveness counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the effectiveness counters (not the cached entries).
+    pub fn reset_stats(&self) {
+        self.memory_hits.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Looks `key` up in the memory tier, then on disk (promoting a disk
+    /// hit into memory). Records hit/miss statistics.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<ArcTables> {
+        if let Some(hit) = self.memory.lock().expect("cache lock").get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit.clone());
+        }
+        if let Some(tables) = self.dir.as_ref().and_then(|d| read_entry(&d.join(entry_name(key)))) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.memory.lock().expect("cache lock").insert(key, tables.clone());
+            return Some(tables);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `tables` under `key` in both tiers. Disk I/O errors are
+    /// swallowed (the cache is an accelerator, never a correctness
+    /// dependency); concurrent writers of the same key are resolved by an
+    /// atomic rename.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table shape is internally inconsistent.
+    pub fn store(&self, key: u64, tables: &ArcTables) {
+        assert!(tables.shape_ok(), "malformed arc tables");
+        self.memory.lock().expect("cache lock").insert(key, tables.clone());
+        if let Some(dir) = &self.dir {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+            let tmp = dir.join(format!(
+                ".tmp_{}_{}_{:016x}",
+                std::process::id(),
+                self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+                key
+            ));
+            if std::fs::write(&tmp, write_entry(tables)).is_ok() {
+                let _ = std::fs::rename(&tmp, dir.join(entry_name(key)));
+            }
+        }
+    }
+}
+
+fn entry_name(key: u64) -> String {
+    format!("arc_{key:016x}.tbl")
+}
+
+fn write_entry(tables: &ArcTables) -> String {
+    let mut out = String::with_capacity(64 + 17 * 4 * tables.rise_delay.len());
+    out.push_str(DISK_HEADER);
+    out.push('\n');
+    out.push_str(&format!("shape {} {}\n", tables.rows, tables.cols));
+    for (label, values) in [
+        ("rise_delay", &tables.rise_delay),
+        ("fall_delay", &tables.fall_delay),
+        ("rise_tran", &tables.rise_tran),
+        ("fall_tran", &tables.fall_tran),
+    ] {
+        out.push_str(label);
+        for v in values {
+            out.push_str(&format!(" {:016x}", v.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a disk entry; any malformation yields `None` (treated as a miss
+/// and later overwritten).
+fn read_entry(path: &std::path::Path) -> Option<ArcTables> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != DISK_HEADER {
+        return None;
+    }
+    let mut shape = lines.next()?.split_whitespace();
+    if shape.next()? != "shape" {
+        return None;
+    }
+    let rows: usize = shape.next()?.parse().ok()?;
+    let cols: usize = shape.next()?.parse().ok()?;
+    let mut read_row = |label: &str| -> Option<Vec<f64>> {
+        let line = lines.next()?;
+        let mut parts = line.split_whitespace();
+        if parts.next()? != label {
+            return None;
+        }
+        let values: Option<Vec<f64>> =
+            parts.map(|p| u64::from_str_radix(p, 16).ok().map(f64::from_bits)).collect();
+        values.filter(|v| v.len() == rows * cols)
+    };
+    let tables = ArcTables {
+        rows,
+        cols,
+        rise_delay: read_row("rise_delay")?,
+        fall_delay: read_row("fall_delay")?,
+        rise_tran: read_row("rise_tran")?,
+        fall_tran: read_row("fall_tran")?,
+    };
+    tables.shape_ok().then_some(tables)
+}
+
+/// Streaming FNV-1a content hasher for cache keys. Feed order matters; all
+/// `f64` values hash via their exact bit patterns.
+#[derive(Debug, Clone)]
+pub struct KeyHasher(u64);
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        KeyHasher(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Feeds a string (length-prefixed, so concatenations cannot collide).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feeds one `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds one `f64` by exact bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Feeds a slice of `f64` (length-prefixed).
+    pub fn f64s(&mut self, values: &[f64]) -> &mut Self {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.f64(v);
+        }
+        self
+    }
+
+    /// The accumulated 64-bit key.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables(seed: f64) -> ArcTables {
+        let n = 6;
+        let gen = |k: usize| (0..n).map(|i| seed * (i + k + 1) as f64 * 1e-12).collect();
+        ArcTables {
+            rows: 2,
+            cols: 3,
+            rise_delay: gen(0),
+            fall_delay: gen(1),
+            rise_tran: gen(2),
+            fall_tran: gen(3),
+        }
+    }
+
+    #[test]
+    fn memory_tier_round_trips() {
+        let cache = ArcCache::in_memory();
+        assert_eq!(cache.lookup(42), None);
+        cache.store(42, &tables(1.0));
+        assert_eq!(cache.lookup(42), Some(tables(1.0)));
+        let stats = cache.stats();
+        assert_eq!((stats.memory_hits, stats.disk_hits, stats.misses), (1, 0, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("reliaware_arccache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let awkward = ArcTables {
+            rise_delay: vec![1.0e-300, -0.0, f64::MIN_POSITIVE, 3.141_592_653_589_793e-12],
+            fall_delay: vec![0.0; 4],
+            rise_tran: vec![1.0; 4],
+            fall_tran: vec![2.0; 4],
+            rows: 2,
+            cols: 2,
+        };
+        let first = ArcCache::with_dir(&dir);
+        first.store(7, &awkward);
+        // A *different* cache instance sharing the directory sees the entry
+        // through the disk tier, bit-exactly.
+        let second = ArcCache::with_dir(&dir);
+        let hit = second.lookup(7).expect("disk hit");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&hit.rise_delay), bits(&awkward.rise_delay));
+        assert_eq!(second.stats().disk_hits, 1);
+        // Promoted into memory: the next lookup is a memory hit.
+        let _ = second.lookup(7);
+        assert_eq!(second.stats().memory_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir =
+            std::env::temp_dir().join(format!("reliaware_arccache_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(entry_name(9)), "not a cache entry").unwrap();
+        let cache = ArcCache::with_dir(&dir);
+        assert_eq!(cache.lookup(9), None);
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_hasher_separates_fields() {
+        let k1 = KeyHasher::new().str("ab").str("c").finish();
+        let k2 = KeyHasher::new().str("a").str("bc").finish();
+        assert_ne!(k1, k2, "length prefix must prevent concatenation collisions");
+        let k3 = KeyHasher::new().f64s(&[1.0, 2.0]).finish();
+        let k4 = KeyHasher::new().f64s(&[1.0, 2.0 + 1e-15]).finish();
+        assert_ne!(k3, k4, "value changes with equal length must change the key");
+    }
+}

@@ -1,14 +1,17 @@
 //! Degradation-aware cell library creation (paper Sec. 4.1, Fig. 4(a)).
 
+use crate::cache::{ArcCache, ArcTables, KeyHasher};
+use crate::pool;
 use bti::AgingScenario;
 use liberty::{
     merge_indexed, parse_library, write_library, Cell, CellClass, InputPin, LambdaTag, Library,
     OutputPin, Table2d, TimingArc, TimingSense,
 };
-use ptm::MosModel;
+use ptm::{MosModel, MosPolarity};
 use spicesim::{TransientConfig, Waveform};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 use stdcells::{CellDef, CellSet, Topology};
 
 /// Characterization settings: the operating-condition grid, supply, device
@@ -67,17 +70,39 @@ fn default_parallelism() -> usize {
 
 /// Characterizes a [`CellSet`] into degradation-aware [`Library`] objects
 /// — the HSPICE loop of the paper's Fig. 4(a).
+///
+/// All grid walks drain a shared fine-grained task queue
+/// ([`pool::parallel_map`]); attach an [`ArcCache`] via
+/// [`Characterizer::with_cache`] to memoize per-arc simulation results
+/// across scenarios, runs and processes. Output libraries are bit-identical
+/// for every `parallelism` setting and for cold vs. warm caches.
 #[derive(Debug, Clone)]
 pub struct Characterizer {
     cells: CellSet,
     config: CharConfig,
+    cache: Option<Arc<ArcCache>>,
 }
 
 impl Characterizer {
-    /// Creates a characterizer over `cells` with `config`.
+    /// Creates a characterizer over `cells` with `config` (no cache).
     #[must_use]
     pub fn new(cells: CellSet, config: CharConfig) -> Self {
-        Characterizer { cells, config }
+        Characterizer { cells, config, cache: None }
+    }
+
+    /// Attaches a two-tier arc cache consulted before every transient
+    /// simulation; results are keyed on the full characterization input
+    /// (cell topology, degraded models, OPC axes, `max_dv`, Vdd).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ArcCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached arc cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&ArcCache> {
+        self.cache.as_deref()
     }
 
     /// The configured OPC grid.
@@ -106,35 +131,15 @@ impl Characterizer {
         self.library_with_models(&format!("aged_vthonly_{}", scenario.index_tag()), &nmos, &pmos)
     }
 
-    /// Characterizes under explicit device models.
+    /// Characterizes under explicit device models. Cells are independent
+    /// task units on the shared pool (they vary >10× in arc count, so the
+    /// dynamic queue load-balances where static chunking cannot).
     #[must_use]
     pub fn library_with_models(&self, name: &str, nmos: &MosModel, pmos: &MosModel) -> Library {
-        let mut lib = Library::new(name, self.config.vdd);
-        lib.default_input_slew = self.config.slews[self.config.slews.len() / 2];
-        lib.default_output_load = self.config.loads[self.config.loads.len() / 2];
-
+        let mut lib = self.empty_library(name);
         let defs: Vec<&CellDef> = self.cells.iter().collect();
         let workers = self.config.parallelism.clamp(1, defs.len().max(1));
-        let results: Vec<Vec<Cell>> = if workers <= 1 {
-            vec![defs.iter().map(|d| self.characterize_cell(d, nmos, pmos)).collect()]
-        } else {
-            let chunks: Vec<&[&CellDef]> = defs.chunks(defs.len().div_ceil(workers)).collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|d| self.characterize_cell(d, nmos, pmos))
-                                .collect::<Vec<Cell>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-        };
-        for cell in results.into_iter().flatten() {
+        for cell in pool::parallel_map(workers, &defs, |d| self.characterize_cell(d, nmos, pmos)) {
             lib.add_cell(cell);
         }
         lib
@@ -143,24 +148,56 @@ impl Characterizer {
     /// The N×N grid of per-scenario libraries merged into one *complete*
     /// degradation-aware library with λ-indexed cell names (`steps = 10`
     /// reproduces the paper's 121 libraries).
+    ///
+    /// The whole grid is flattened into one (scenario × cell) task queue,
+    /// so every worker stays busy until the very last cell of the very last
+    /// scenario — the scenario loop itself is no longer a sequential outer
+    /// wall. The result is assembled by task index and therefore identical
+    /// to the sequential build.
     #[must_use]
     pub fn complete_library(&self, steps: u32, years: f64) -> Library {
-        let parts: Vec<(LambdaTag, Library)> = AgingScenario::grid(steps, years)
-            .into_iter()
+        let scenarios = AgingScenario::grid(steps, years);
+        let defs: Vec<&CellDef> = self.cells.iter().collect();
+        let models: Vec<(LambdaTag, String, MosModel, MosModel)> = scenarios
+            .iter()
             .map(|s| {
+                let d = s.degradations();
                 let tag = LambdaTag {
                     lambda_pmos: s.lambda_pmos.value(),
                     lambda_nmos: s.lambda_nmos.value(),
                 };
-                (tag, self.library(&s))
+                let name = format!("aged_{}", s.index_tag());
+                let nmos = MosModel::nmos_45nm().degraded(&d.nmos);
+                let pmos = MosModel::pmos_45nm().degraded(&d.pmos);
+                (tag, name, nmos, pmos)
             })
             .collect();
+        let tasks: Vec<(usize, usize)> =
+            (0..models.len()).flat_map(|s| (0..defs.len()).map(move |c| (s, c))).collect();
+        let workers = self.config.parallelism.clamp(1, tasks.len().max(1));
+        let cells = pool::parallel_map(workers, &tasks, |&(si, ci)| {
+            self.characterize_cell(defs[ci], &models[si].2, &models[si].3)
+        });
+
+        let mut cells = cells.into_iter();
+        let mut parts: Vec<(LambdaTag, Library)> = Vec::with_capacity(models.len());
+        for (tag, name, _, _) in &models {
+            let mut lib = self.empty_library(name);
+            for _ in 0..defs.len() {
+                lib.add_cell(cells.next().expect("one characterized cell per task"));
+            }
+            parts.push((*tag, lib));
+        }
         merge_indexed("complete", &parts)
     }
 
     /// Disk-cached variant of [`Characterizer::library`]: libraries are
-    /// stored as Liberty-subset text under `dir` keyed by scenario and grid
-    /// shape, so expensive characterization runs once per configuration.
+    /// stored as Liberty-subset text under `dir`, keyed by a content hash
+    /// of the **full** characterization input — scenario (λ grid point,
+    /// lifetime, environment, BTI models), OPC axes *values*, accuracy and
+    /// every cell definition — so any input change, including grid values
+    /// at unchanged grid shape, re-characterizes instead of returning a
+    /// stale library.
     ///
     /// # Errors
     ///
@@ -168,17 +205,7 @@ impl Characterizer {
     /// is re-characterized and overwritten.
     pub fn library_cached(&self, dir: &Path, scenario: &AgingScenario) -> std::io::Result<Library> {
         std::fs::create_dir_all(dir)?;
-        let key = format!(
-            "lib_{}_{}y_{:.0}K_{:.2}V_{}x{}_{}cells_{:.0e}.lib",
-            scenario.index_tag(),
-            scenario.years,
-            scenario.temperature_k,
-            scenario.vdd,
-            self.config.slews.len(),
-            self.config.loads.len(),
-            self.cells.len(),
-            self.config.max_dv,
-        );
+        let key = format!("lib_{}_{:016x}.lib", scenario.index_tag(), self.library_key(scenario));
         let path = dir.join(key);
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(lib) = parse_library(&text) {
@@ -190,6 +217,95 @@ impl Characterizer {
         let lib = self.library(scenario);
         std::fs::write(&path, write_library(&lib))?;
         Ok(lib)
+    }
+
+    /// Content hash of everything that determines [`Characterizer::library`]
+    /// output for `scenario` (deliberately excluding `parallelism`, which is
+    /// result-invariant).
+    fn library_key(&self, scenario: &AgingScenario) -> u64 {
+        let mut h = KeyHasher::new();
+        h.str("reliaware-lib-v1").str(&format!("{scenario:?}"));
+        self.hash_config(&mut h);
+        h.u64(self.cells.len() as u64);
+        for def in self.cells.iter() {
+            h.str(&format!("{def:?}"));
+        }
+        h.finish()
+    }
+
+    /// Feeds the result-determining [`CharConfig`] fields into `h`.
+    fn hash_config(&self, h: &mut KeyHasher) {
+        let cfg = &self.config;
+        h.f64(cfg.vdd)
+            .f64s(&cfg.slews)
+            .f64s(&cfg.loads)
+            .f64(cfg.max_dv)
+            .f64(cfg.flop_setup)
+            .f64(cfg.flop_hold);
+    }
+
+    /// Cache key of one timing arc: the arc identity plus the full
+    /// characterization input it depends on.
+    fn arc_key(
+        &self,
+        def: &CellDef,
+        kind: &str,
+        related: &str,
+        output: &str,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> u64 {
+        fn hash_mos(h: &mut KeyHasher, m: &MosModel) {
+            h.str(match m.polarity {
+                MosPolarity::Nmos => "n",
+                MosPolarity::Pmos => "p",
+            })
+            .f64(m.vth)
+            .f64(m.kp)
+            .f64(m.alpha)
+            .f64(m.kv)
+            .f64(m.channel_lambda)
+            .f64(m.v_smooth)
+            .f64(m.cgate_per_width)
+            .f64(m.cjunction_per_width);
+        }
+        let mut h = KeyHasher::new();
+        h.str("reliaware-arc-v1").str(kind).str(related).str(output).str(&format!("{def:?}"));
+        self.hash_config(&mut h);
+        hash_mos(&mut h, nmos);
+        hash_mos(&mut h, pmos);
+        h.finish()
+    }
+
+    /// A library shell with this configuration's defaults.
+    fn empty_library(&self, name: &str) -> Library {
+        let mut lib = Library::new(name, self.config.vdd);
+        lib.default_input_slew = self.config.slews[self.config.slews.len() / 2];
+        lib.default_output_load = self.config.loads[self.config.loads.len() / 2];
+        lib
+    }
+
+    /// Consults the arc cache (if any), requiring the entry to match the
+    /// configured grid shape.
+    fn cached_tables(&self, key: u64) -> Option<ArcTables> {
+        let t = self.cache.as_ref()?.lookup(key)?;
+        (t.rows == self.config.slews.len() && t.cols == self.config.loads.len()).then_some(t)
+    }
+
+    /// Builds the Liberty arc from (fresh or cached) grid tables.
+    fn arc_from_tables(&self, related_pin: &str, sense: TimingSense, t: &ArcTables) -> TimingArc {
+        let cfg = &self.config;
+        let table = |v: &[f64]| {
+            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v.to_vec()).expect("grid is valid")
+        };
+        TimingArc {
+            related_pin: related_pin.to_owned(),
+            sense,
+            cell_rise: table(&t.rise_delay),
+            cell_fall: table(&t.fall_delay),
+            rise_transition: table(&t.rise_tran),
+            fall_transition: table(&t.fall_tran),
+        }
     }
 
     /// Characterizes one cell under the given device models.
@@ -264,6 +380,11 @@ impl Characterizer {
         };
         let out_rises_with_input = !f.eval(&assign(false)) && f.eval(&assign(true));
 
+        let key = self.arc_key(def, "comb", input, output, nmos, pmos);
+        if let Some(t) = self.cached_tables(key) {
+            return self.arc_from_tables(input, sense, &t);
+        }
+
         let rows = cfg.slews.len();
         let cols = cfg.loads.len();
         let mut rise_delay = vec![0.0; rows * cols];
@@ -298,17 +419,11 @@ impl Characterizer {
                 }
             }
         }
-        let table = |v: Vec<f64>| {
-            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v).expect("grid is valid")
-        };
-        TimingArc {
-            related_pin: input.to_owned(),
-            sense,
-            cell_rise: table(rise_delay),
-            cell_fall: table(fall_delay),
-            rise_transition: table(rise_tran),
-            fall_transition: table(fall_tran),
+        let tables = ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran };
+        if let Some(cache) = &self.cache {
+            cache.store(key, &tables);
         }
+        self.arc_from_tables(input, sense, &tables)
     }
 
     /// Runs one transient simulation and measures `(delay, output slew)`.
@@ -335,11 +450,14 @@ impl Characterizer {
         }
         let loads: BTreeMap<String, f64> = [(output.to_owned(), load)].into_iter().collect();
         let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
-        let t_stop = t_edge + 4.0 * slew + 3.0e-9;
-        let config = TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv);
-        let trace = inst.circuit.transient(&config);
         let in_node = inst.node(input).expect("input exists");
         let out_node = inst.node(output).expect("output exists");
+        let t_stop = t_edge + 4.0 * slew + 3.0e-9;
+        // Lean traces: only the measured pins are recorded; the other
+        // (internal) nodes are still integrated but never stored.
+        let config =
+            TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[in_node, out_node]);
+        let trace = inst.circuit.transient(&config);
         match trace.measure_edge(in_node, input_rising, out_node, output_rising, 0.1e-9) {
             Some(m) => (m.delay, m.output_slew),
             None => {
@@ -353,6 +471,10 @@ impl Characterizer {
     /// Characterizes the CLK→Q arc of a flip-flop.
     fn characterize_flop_arc(&self, def: &CellDef, nmos: &MosModel, pmos: &MosModel) -> TimingArc {
         let cfg = &self.config;
+        let key = self.arc_key(def, "flop", "CK", "Q", nmos, pmos);
+        if let Some(t) = self.cached_tables(key) {
+            return self.arc_from_tables("CK", TimingSense::PositiveUnate, &t);
+        }
         let rows = cfg.slews.len();
         let cols = cfg.loads.len();
         let mut rise_delay = vec![0.0; rows * cols];
@@ -377,11 +499,12 @@ impl Characterizer {
                     let loads: BTreeMap<String, f64> =
                         [("Q".to_owned(), load)].into_iter().collect();
                     let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
-                    let t_stop = t_clk + 4.0 * slew + 3.0e-9;
-                    let config = TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv);
-                    let trace = inst.circuit.transient(&config);
                     let ck = inst.node("CK").expect("CK exists");
                     let q = inst.node("Q").expect("Q exists");
+                    let t_stop = t_clk + 4.0 * slew + 3.0e-9;
+                    let config =
+                        TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[ck, q]);
+                    let trace = inst.circuit.transient(&config);
                     let m = trace.measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9).unwrap_or(
                         spicesim::EdgeMeasurement {
                             delay: t_stop - t_clk,
@@ -399,17 +522,11 @@ impl Characterizer {
                 }
             }
         }
-        let table = |v: Vec<f64>| {
-            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v).expect("grid is valid")
-        };
-        TimingArc {
-            related_pin: "CK".into(),
-            sense: TimingSense::PositiveUnate,
-            cell_rise: table(rise_delay),
-            cell_fall: table(fall_delay),
-            rise_transition: table(rise_tran),
-            fall_transition: table(fall_tran),
+        let tables = ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran };
+        if let Some(cache) = &self.cache {
+            cache.store(key, &tables);
         }
+        self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables)
     }
 }
 
@@ -524,5 +641,69 @@ mod tests {
         let second = chars.library_cached(&dir, &scenario).unwrap();
         assert_eq!(first, second);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: the disk key used to encode only the *lengths* of the
+    /// OPC axes, so changing grid values at unchanged counts silently
+    /// returned the stale library.
+    #[test]
+    fn cache_key_tracks_grid_values_not_just_shape() {
+        let dir = std::env::temp_dir().join("reliaware_test_cache_values");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1"]);
+        let scenario = AgingScenario::worst_case(10.0);
+        let first = Characterizer::new(cells(), tiny_config());
+        let _ = first.library_cached(&dir, &scenario).unwrap();
+        // Same axis lengths, different values.
+        let moved =
+            CharConfig { slews: vec![20e-12, 500e-12], loads: vec![2e-15, 8e-15], ..tiny_config() };
+        let second = Characterizer::new(cells(), moved.clone());
+        let lib = second.library_cached(&dir, &scenario).unwrap();
+        let arc = lib.cell("INV_X1").unwrap().output("Y").unwrap().arc_from("A").unwrap();
+        assert_eq!(arc.cell_rise.slew_axis(), &moved.slews[..], "stale cache entry returned");
+        assert_eq!(arc.cell_rise.load_axis(), &moved.loads[..], "stale cache entry returned");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A warm arc cache must reproduce the cold library bit-identically and
+    /// answer every lookup without simulating.
+    #[test]
+    fn arc_cache_warm_is_bit_identical() {
+        use crate::cache::ArcCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ArcCache::in_memory());
+        let chars = Characterizer::new(
+            CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1", "DFF_X1"]),
+            tiny_config(),
+        )
+        .with_cache(Arc::clone(&cache));
+        let scenario = AgingScenario::worst_case(10.0);
+        let cold = chars.library(&scenario);
+        let cold_stats = cache.stats();
+        assert_eq!(cold_stats.memory_hits + cold_stats.disk_hits, 0);
+        assert!(cold_stats.misses > 0);
+        cache.reset_stats();
+        let warm = chars.library(&scenario);
+        assert_eq!(cold, warm);
+        let warm_stats = cache.stats();
+        assert_eq!(warm_stats.misses, 0, "warm run must not simulate");
+        assert!((warm_stats.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// Different device models (other scenarios) must not collide with
+    /// cached entries for the same cell/arc/grid.
+    #[test]
+    fn arc_cache_distinguishes_models() {
+        use crate::cache::ArcCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ArcCache::in_memory());
+        let chars =
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config())
+                .with_cache(Arc::clone(&cache));
+        let fresh = chars.library(&AgingScenario::fresh());
+        let aged = chars.library(&AgingScenario::worst_case(10.0));
+        let f = fresh.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        let a = aged.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        assert!(a > f, "aged library must not reuse fresh-model cache entries");
     }
 }

@@ -21,6 +21,11 @@
 //! through gate-level DCT→IDCT simulations with aged delays and reports
 //! PSNR — the paper's Figs. 6(c) and 7.
 //!
+//! Characterization performance comes from two supporting modules: [`pool`]
+//! (the shared fine-grained task queue all grid walks drain) and [`cache`]
+//! (a two-tier, content-hashed memo of per-arc simulation results). Both
+//! preserve bit-identical output for any thread count and cache state.
+//!
 //! # Example (fast settings)
 //!
 //! ```no_run
@@ -36,14 +41,17 @@
 //! ```
 
 pub mod aging_synth;
+pub mod cache;
 pub mod charlib;
 pub mod dynamic;
 pub mod guardband;
+pub mod pool;
 pub mod system_eval;
 
 pub use aging_synth::{
     compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison,
 };
+pub use cache::{ArcCache, ArcTables, CacheStats, KeyHasher};
 pub use charlib::{CharConfig, Characterizer};
 pub use dynamic::{
     dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport,
@@ -52,4 +60,5 @@ pub use guardband::{
     collapse_library, estimate_guardband, guardband_of_initial_critical_path,
     single_opc_aged_library, GuardbandReport,
 };
+pub use pool::parallel_map;
 pub use system_eval::{annotation_from_sta, run_image_chain, ImageChainResult};

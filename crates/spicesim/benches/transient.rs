@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the transient solver inner loop: full-trace
+//! recording vs. the lean observed-node trace used by characterization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm::MosModel;
+use spicesim::{Circuit, NodeId, TransientConfig, Waveform};
+
+/// A 3-stage inverter chain with internal nodes — enough state for the
+/// observed-node restriction to matter.
+fn inverter_chain(stages: usize, load: f64) -> (Circuit, NodeId, NodeId) {
+    let vdd = 1.2;
+    let mut c = Circuit::new(vdd);
+    let input = c.add_source("a", Waveform::rising_ramp(0.5e-9, 40e-12, vdd));
+    let mut from = input;
+    let mut out = input;
+    for k in 0..stages {
+        out = c.add_node(&format!("n{k}"), if k + 1 == stages { load } else { 0.0 });
+        c.add_pmos(MosModel::pmos_45nm(), from, out, c.vdd_node(), 630e-9);
+        c.add_nmos(MosModel::nmos_45nm(), from, out, c.gnd_node(), 415e-9);
+        from = out;
+    }
+    (c, input, out)
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_solve");
+    group.sample_size(20);
+    let (circuit, input, output) = inverter_chain(3, 2e-15);
+    let config = TransientConfig::up_to(2.0e-9);
+    group.bench_function("chain3_full_trace", |b| {
+        b.iter(|| circuit.transient(&config));
+    });
+    let lean = config.clone().observing(&[input, output]);
+    group.bench_function("chain3_lean_trace", |b| {
+        b.iter(|| circuit.transient(&lean));
+    });
+    let (wide, input, output) = inverter_chain(9, 2e-15);
+    let lean_wide = TransientConfig::up_to(3.0e-9).observing(&[input, output]);
+    group.bench_function("chain9_lean_trace", |b| {
+        b.iter(|| wide.transient(&lean_wide));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transient);
+criterion_main!(benches);

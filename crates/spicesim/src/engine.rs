@@ -18,6 +18,11 @@ pub struct TransientConfig {
     pub dt_min: f64,
     /// Largest allowed time step in seconds.
     pub dt_max: f64,
+    /// Nodes whose waveforms the [`Trace`] records. `None` records every
+    /// node; characterization passes just the measured input/output pins,
+    /// which cuts per-step allocation and cache traffic on large cells.
+    /// Integration accuracy is unaffected — every node is still solved.
+    pub observed: Option<Vec<NodeId>>,
 }
 
 impl TransientConfig {
@@ -35,6 +40,7 @@ impl TransientConfig {
             max_dv: 2.0e-3,
             dt_min: 1.0e-16,
             dt_max: 5.0e-12,
+            observed: None,
         }
     }
 
@@ -49,15 +55,32 @@ impl TransientConfig {
         self.max_dv = max_dv;
         self
     }
+
+    /// Returns a copy recording only `nodes` in the resulting [`Trace`]
+    /// (lean traces); measuring an unobserved node panics. Duplicates are
+    /// recorded once.
+    #[must_use]
+    pub fn observing(mut self, nodes: &[NodeId]) -> Self {
+        self.observed = Some(nodes.to_vec());
+        self
+    }
 }
 
 /// The recorded result of a transient analysis: time points and the voltage
-/// of every node at each point.
+/// of every *observed* node at each point.
+///
+/// By default every node is observed; a [`TransientConfig::observing`]
+/// restriction stores only the named nodes (the characterization hot path
+/// records just the measured input/output pins).
 #[derive(Debug, Clone)]
 pub struct Trace {
     pub(crate) time: Vec<f64>,
-    /// `voltages[node][sample]`.
+    /// `voltages[slot][sample]`, one slot per observed node.
     pub(crate) voltages: Vec<Vec<f64>>,
+    /// Node index → slot in [`Self::voltages`]; `None` if unobserved.
+    pub(crate) slots: Vec<Option<usize>>,
+    /// Node indices backing each slot, in slot order.
+    pub(crate) observed: Vec<usize>,
     pub(crate) vdd: f64,
 }
 
@@ -69,9 +92,25 @@ impl Trace {
     }
 
     /// The recorded voltage series of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was excluded by [`TransientConfig::observing`].
     #[must_use]
     pub fn voltage(&self, node: NodeId) -> &[f64] {
-        &self.voltages[node.0]
+        let slot = self.slots[node.0].unwrap_or_else(|| {
+            panic!(
+                "node {} was not observed in this trace; add it to TransientConfig::observing",
+                node.0
+            )
+        });
+        &self.voltages[slot]
+    }
+
+    /// True if `node`'s waveform was recorded.
+    #[must_use]
+    pub fn is_observed(&self, node: NodeId) -> bool {
+        self.slots.get(node.0).is_some_and(Option::is_some)
     }
 
     /// The supply voltage of the simulated circuit.
@@ -85,10 +124,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if the trace is empty (a run always records at least the
-    /// initial point, so this only fires on a default-constructed trace).
+    /// initial point, so this only fires on a default-constructed trace)
+    /// or if `node` was not observed.
     #[must_use]
     pub fn final_voltage(&self, node: NodeId) -> f64 {
-        *self.voltages[node.0].last().expect("trace has at least one sample")
+        *self.voltage(node).last().expect("trace has at least one sample")
     }
 }
 
@@ -161,9 +201,26 @@ impl Circuit {
             };
         }
 
+        // Observed-node bookkeeping: which nodes get a recorded series.
+        let (slots, observed) = match &config.observed {
+            None => ((0..n).map(Some).collect::<Vec<_>>(), (0..n).collect::<Vec<_>>()),
+            Some(nodes) => {
+                let mut slots: Vec<Option<usize>> = vec![None; n];
+                let mut observed = Vec::with_capacity(nodes.len());
+                for id in nodes {
+                    if slots[id.0].is_none() {
+                        slots[id.0] = Some(observed.len());
+                        observed.push(id.0);
+                    }
+                }
+                (slots, observed)
+            }
+        };
         let mut trace = Trace {
             time: Vec::with_capacity(4096),
-            voltages: vec![Vec::with_capacity(4096); n],
+            voltages: vec![Vec::with_capacity(4096); observed.len()],
+            slots,
+            observed,
             vdd: self.vdd,
         };
         record(&mut trace, t, &v);
@@ -251,8 +308,8 @@ impl Circuit {
 
 fn record(trace: &mut Trace, t: f64, v: &[f64]) {
     trace.time.push(t);
-    for (series, &volt) in trace.voltages.iter_mut().zip(v) {
-        series.push(volt);
+    for (series, &node) in trace.voltages.iter_mut().zip(&trace.observed) {
+        series.push(v[node]);
     }
 }
 
@@ -334,6 +391,36 @@ mod tests {
         let fine = c.transient(&TransientConfig::up_to(1.0e-9).with_max_dv(1.0e-3));
         let coarse = c.transient(&TransientConfig::up_to(1.0e-9).with_max_dv(10.0e-3));
         assert!(fine.time.len() > coarse.time.len());
+    }
+
+    #[test]
+    fn observed_subset_matches_full_trace() {
+        let (c, a, y) = inverter(2.0e-15, Waveform::rising_ramp(0.5e-9, 50.0e-12, 1.2));
+        let full = c.transient(&TransientConfig::up_to(2.0e-9));
+        let lean = c.transient(&TransientConfig::up_to(2.0e-9).observing(&[a, y]));
+        // Identical integration: same time axis, bit-identical waveforms on
+        // the observed nodes.
+        assert_eq!(full.time(), lean.time());
+        assert_eq!(full.voltage(a), lean.voltage(a));
+        assert_eq!(full.voltage(y), lean.voltage(y));
+        assert!(lean.is_observed(y) && !lean.is_observed(c.vdd_node()));
+        assert!(full.is_observed(c.vdd_node()));
+    }
+
+    #[test]
+    fn duplicate_observed_nodes_record_once() {
+        let (c, _a, y) = inverter(2.0e-15, Waveform::Dc(0.0));
+        let trace = c.transient(&TransientConfig::up_to(0.5e-9).observing(&[y, y]));
+        assert_eq!(trace.voltages.len(), 1);
+        assert!((trace.final_voltage(y) - 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not observed")]
+    fn unobserved_node_panics() {
+        let (c, a, y) = inverter(2.0e-15, Waveform::Dc(0.0));
+        let trace = c.transient(&TransientConfig::up_to(0.5e-9).observing(&[a]));
+        let _ = trace.voltage(y);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Criterion benchmark of STA arrival propagation over inverter DAGs of
+//! growing depth (no synthesis dependency — the netlist is built directly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liberty::{Cell, Library};
+use netlist::{Netlist, PortDir};
+use sta::{analyze, Constraints};
+
+fn lib() -> Library {
+    let mut lib = Library::new("lib", 1.2);
+    lib.add_cell(Cell::test_inverter("INV_X1"));
+    lib
+}
+
+/// A deterministic pseudo-random inverter DAG with `gates` instances.
+fn dag(gates: usize) -> Netlist {
+    let mut nl = Netlist::new("dag");
+    let a = nl.add_port("a", PortDir::Input);
+    let mut nets = vec![a];
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for k in 0..gates {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let src = nets[(state >> 33) as usize % nets.len()];
+        let dst = nl.add_net(&format!("n{k}"));
+        nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", src), ("Y", dst)]);
+        nets.push(dst);
+    }
+    let y = nl.add_port("y", PortDir::Output);
+    nl.add_instance("ob", "INV_X1", &[("A", *nets.last().expect("nonempty")), ("Y", y)]);
+    nl
+}
+
+fn bench_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_arrival");
+    let library = lib();
+    for gates in [100usize, 1000, 5000] {
+        let nl = dag(gates);
+        group.bench_function(format!("dag_{gates}"), |b| {
+            b.iter(|| analyze(&nl, &library, &Constraints::default()).expect("sta"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrival);
+criterion_main!(benches);
