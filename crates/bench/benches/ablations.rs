@@ -20,9 +20,10 @@ fn ablate_sim_accuracy(c: &mut Criterion) {
     group.sample_size(10);
     for (label, max_dv) in [("1mV", 1e-3), ("4mV", 4e-3), ("12mV", 12e-3)] {
         let cfg = CharConfig { max_dv, ..CharConfig::fast() };
-        let chars = Characterizer::new(CellSet::nangate45_like().subset(&["NAND2_X1"]), cfg);
+        let chars = Characterizer::new(CellSet::nangate45_like().subset(&["NAND2_X1"]), cfg)
+            .expect("valid config");
         // Print the measured delay once so accuracy drift is visible.
-        let lib = chars.library(&AgingScenario::fresh());
+        let lib = chars.library(&AgingScenario::fresh()).expect("characterization");
         let d = lib.cell("NAND2_X1").expect("cell").worst_delay(150e-12, 4e-15);
         println!("sim_accuracy {label}: NAND2_X1 worst delay {:.3} ps", d * 1e12);
         group.bench_function(label, |b| b.iter(|| chars.library(&AgingScenario::fresh())));
@@ -34,7 +35,8 @@ fn ablate_lambda_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("lambda_grid");
     group.sample_size(10);
     let cfg = CharConfig::fast();
-    let chars = Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]), cfg);
+    let chars = Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]), cfg)
+        .expect("valid config");
     for steps in [1u32, 2, 4] {
         let scenarios = (steps + 1) * (steps + 1);
         println!("lambda_grid steps={steps}: {scenarios} scenario libraries");

@@ -16,7 +16,7 @@ fn bench_characterization(c: &mut Criterion) {
     let cfg = CharConfig::fast();
     for name in ["INV_X1", "NAND2_X1", "XOR2_X1"] {
         let set = CellSet::nangate45_like().subset(&[name]);
-        let chars = Characterizer::new(set, cfg.clone());
+        let chars = Characterizer::new(set, cfg.clone()).expect("valid config");
         group.bench_function(name, |b| {
             b.iter(|| chars.library(&AgingScenario::worst_case(10.0)));
         });

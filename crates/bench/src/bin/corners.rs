@@ -5,13 +5,30 @@
 
 use bench::{fresh_library, library_for, ps, row};
 use bti::AgingScenario;
-use flow::estimate_guardband;
+use flow::{estimate_guardband, FlowError, RunContext};
 use sta::Constraints;
+use std::process::ExitCode;
 
-fn main() {
-    let fresh = fresh_library();
+const USAGE: &str = "usage: corners [--report <path>]
+
+Guardband vs environment corner on the DCT benchmark.
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+
+    let fresh = ctx.stage("characterize", fresh_library)?;
     let design = circuits::dct8();
-    let nl = bench::synthesized(&design, &fresh, "fresh");
+    let nl = ctx.stage("synthesis", || bench::synthesized(&design, &fresh, "fresh"))?;
     let c = Constraints::default();
 
     println!("Extension — guardband vs environment corner (DCT, worst case λ=1, 10y)\n");
@@ -23,10 +40,16 @@ fn main() {
         ("150C / 1.32V (hot, overdriven)", 423.15, 1.32),
     ] {
         let scenario = AgingScenario::worst_case(10.0).with_environment(temp, vdd);
-        let aged = library_for(&scenario);
-        let gb = estimate_guardband(&nl, &fresh, &aged, &c).expect("sta");
+        let aged = ctx.stage("characterize", || library_for(&scenario))?;
+        let gb = ctx.stage("sta", || estimate_guardband(&nl, &fresh, &aged, &c))?;
+        ctx.add_tasks("sta", 1);
         row(&[label.into(), ps(gb.aged_delay), ps(gb.guardband())]);
     }
     println!("\nGuardbands grow monotonically with junction temperature and stress");
     println!("voltage — the acceleration factors of the BTI kinetics (DESIGN.md).");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

@@ -17,6 +17,7 @@
 //! least one error fired, 2 on usage or I/O problems.
 
 use dataflow::{DataflowConfig, Extraction, NetlistDataflow};
+use flow::{FlowError, RunContext};
 use lint::{LintConfig, LintReport};
 use std::process::ExitCode;
 
@@ -36,6 +37,7 @@ options:
   --steps N        λ-grid resolution for validation and the bound (default 10)
   --quiet          omit the per-net interval listing
   --json           emit the DF lint report as JSON instead of text
+  --report FILE    write a reliaware-run-v1 JSON run report
 
 exit status:
   0  no error-severity diagnostics
@@ -50,6 +52,7 @@ struct Args {
     steps: u32,
     quiet: bool,
     json: bool,
+    report: Option<String>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -61,6 +64,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         steps: 10,
         quiet: false,
         json: false,
+        report: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
@@ -75,6 +79,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--quiet" => args.quiet = true,
             "--json" => args.json = true,
+            "--report" => args.report = Some(value("--report")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -91,38 +96,44 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read(path: &str) -> Result<String, FlowError> {
+    std::fs::read_to_string(path).map_err(|e| FlowError::io(path, &e))
 }
 
-fn run() -> Result<ExitCode, String> {
-    let args = parse_args(std::env::args().skip(1))?;
+fn parse_failure(path: &str, e: impl std::fmt::Display) -> FlowError {
+    FlowError::Io { path: path.to_owned(), message: format!("cannot parse: {e}") }
+}
+
+fn run() -> Result<ExitCode, FlowError> {
+    let args = parse_args(std::env::args().skip(1)).map_err(FlowError::Usage)?;
+    let ctx = RunContext::new();
 
     let (netlist, library, complete) = if let Some(name) = &args.design {
-        let design = bench::design_by_name(name).ok_or_else(|| format!("unknown design {name}"))?;
+        let design = bench::design_by_name(name)
+            .ok_or_else(|| FlowError::Usage(format!("unknown design {name}")))?;
         let library = synth::test_fixtures::fixture_library();
-        let nl = synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
-            .map_err(|e| format!("synthesis of {name} failed: {e}"))?;
-        let complete = bench::lambda_scaled_complete(&library, args.steps);
+        let nl = ctx.stage("synthesis", || {
+            synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
+        })?;
+        let complete = ctx.stage("library", || bench::lambda_scaled_complete(&library, args.steps));
         (nl, library, Some(complete))
     } else {
-        let lib_path = args.lib.as_deref().expect("checked by parse_args");
-        let library = liberty::parse_library(&read(lib_path)?)
-            .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
-        let v_path = args.verilog.as_deref().expect("checked by parse_args");
+        let lib_path = args.lib.as_deref().unwrap_or_default();
+        let library =
+            liberty::parse_library(&read(lib_path)?).map_err(|e| parse_failure(lib_path, e))?;
+        let v_path = args.verilog.as_deref().unwrap_or_default();
         let nl = netlist::verilog::parse_verilog(&read(v_path)?)
-            .map_err(|e| format!("cannot parse {v_path}: {e}"))?;
+            .map_err(|e| parse_failure(v_path, e))?;
         let complete = match &args.complete {
-            Some(path) => Some(
-                liberty::parse_library(&read(path)?)
-                    .map_err(|e| format!("cannot parse {path}: {e}"))?,
-            ),
+            Some(path) => {
+                Some(liberty::parse_library(&read(path)?).map_err(|e| parse_failure(path, e))?)
+            }
             None => None,
         };
         (nl, library, complete)
     };
 
-    let df = NetlistDataflow::analyze(&netlist, &library);
+    let df = ctx.stage("dataflow", || NetlistDataflow::analyze(&netlist, &library));
     println!(
         "module {}: {} nets, {} instances ({} widened, {} skipped)",
         netlist.name,
@@ -147,7 +158,7 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let config = LintConfig { lambda_steps: args.steps, ..LintConfig::default() };
-    let report = LintReport::run(&netlist, &library, &config);
+    let report = ctx.stage("lint", || LintReport::run(&netlist, &library, &config));
     println!();
     if args.json {
         print!("{}", report.to_json());
@@ -157,15 +168,16 @@ fn run() -> Result<ExitCode, String> {
 
     match complete {
         Some(complete) => {
-            let bound = dataflow::static_guardband_bound(
-                &netlist,
-                &library,
-                &complete,
-                args.steps,
-                &DataflowConfig::default(),
-                &sta::Constraints::default(),
-            )
-            .map_err(|e| format!("static bound failed: {e}"))?;
+            let bound = ctx.stage("sta", || {
+                dataflow::static_guardband_bound(
+                    &netlist,
+                    &library,
+                    &complete,
+                    args.steps,
+                    &DataflowConfig::default(),
+                    &sta::Constraints::default(),
+                )
+            })?;
             println!(
                 "\nstatic worst-case bound: fresh {:.2} ps, bound {:.2} ps, \
                  guardband {:.2} ps ({:+.1}%, {})",
@@ -181,20 +193,11 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
+    ctx.add_tasks("lint", (report.error_count() + report.warning_count()) as u64);
+    bench::cli::emit_report(&ctx, args.report.as_deref().map(std::path::Path::new))?;
     Ok(if report.has_errors() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(message) => {
-            if message.is_empty() {
-                println!("{USAGE}");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("error: {message}\n\n{USAGE}");
-                ExitCode::from(2)
-            }
-        }
-    }
+    bench::cli::run_code(USAGE, run)
 }

@@ -7,31 +7,44 @@
 //! → a 3×3 grid / 9 characterized libraries; the paper's 10 → 121 libraries
 //! takes ~30 min on one core, all cached).
 
-use bench::{cache_dir, characterizer, ps, row, LIFETIME_YEARS};
+use bench::{cache_dir, characterizer_in, ps, row, LIFETIME_YEARS};
 use bti::AgingScenario;
+use flow::{FlowError, RunContext};
 use liberty::{merge_indexed, parse_library, write_library, LambdaTag, Library};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sta::Constraints;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: dynamic_stress [--report <path>]
+
+Workload-driven λ-annotated timing vs the static worst case (Sec. 4.2).
+RELIAWARE_STEPS sets the λ-grid interval count (default 2).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
 
 /// Builds (or loads) the complete merged library on a `steps`-interval grid.
-fn complete_library(steps: u32) -> Library {
+fn complete_library(steps: u32, ctx: &Arc<RunContext>) -> Result<Library, FlowError> {
     let dir = cache_dir();
-    std::fs::create_dir_all(&dir).expect("cache dir");
+    std::fs::create_dir_all(&dir).map_err(|e| FlowError::io(dir.display(), &e))?;
     let path = dir.join(format!("lib_complete_{steps}steps_10y.lib"));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(lib) = parse_library(&text) {
             let expected = 68 * ((steps + 1) * (steps + 1)) as usize;
             if lib.len() == expected {
-                return lib;
+                return Ok(lib);
             }
         }
     }
     // Build from per-scenario cached libraries so partial progress persists.
-    let chars = characterizer();
+    let chars = characterizer_in(ctx)?;
     let mut parts = Vec::new();
     for scenario in AgingScenario::grid(steps, LIFETIME_YEARS) {
-        let lib = chars.library_cached(&dir, &scenario).expect("cache");
+        let lib = chars.library_cached(&dir, &scenario)?;
         parts.push((
             LambdaTag {
                 lambda_pmos: scenario.lambda_pmos.value(),
@@ -42,15 +55,21 @@ fn complete_library(steps: u32) -> Library {
         eprintln!("characterized λ grid point {scenario}");
     }
     let merged = merge_indexed("complete", &parts);
-    std::fs::write(&path, write_library(&merged)).expect("cache write");
-    merged
+    std::fs::write(&path, write_library(&merged)).map_err(|e| FlowError::io(path.display(), &e))?;
+    Ok(merged)
 }
 
-fn main() {
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = Arc::new(RunContext::new());
     let steps: u32 =
         std::env::var("RELIAWARE_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let fresh = bench::fresh_library();
-    let complete = complete_library(steps);
+    let fresh = ctx.stage("characterize", bench::fresh_library)?;
+    let complete = ctx.stage("characterize", || complete_library(steps, &ctx))?;
     println!(
         "complete degradation-aware library: {} λ-indexed cells ({} scenarios × 68)\n",
         complete.len(),
@@ -58,7 +77,7 @@ fn main() {
     );
 
     let design = circuits::dsp_fir();
-    let nl = bench::synthesized(&design, &fresh, "fresh");
+    let nl = ctx.stage("synthesis", || bench::synthesized(&design, &fresh, "fresh"))?;
 
     // Two workloads with very different signal statistics.
     let mut rng = StdRng::seed_from_u64(99);
@@ -85,17 +104,19 @@ fn main() {
             ("gate-average (paper fn.2)", flow::DutyExtraction::GateAverage),
             ("worst-pin (conservative)", flow::DutyExtraction::WorstPin),
         ] {
-            let report = flow::dynamic_stress_analysis_with(
-                &nl,
-                &fresh,
-                &complete,
-                steps,
-                Some("clk"),
-                vectors,
-                &Constraints::default(),
-                mode,
-            )
-            .expect("dynamic analysis");
+            let report = ctx.stage("sta", || {
+                flow::dynamic_stress_analysis_with(
+                    &nl,
+                    &fresh,
+                    &complete,
+                    steps,
+                    Some("clk"),
+                    vectors,
+                    &Constraints::default(),
+                    mode,
+                )
+            })?;
+            ctx.add_tasks("sta", 1);
             row(&[
                 format!("{name}, {mode_name}"),
                 ps(report.fresh_delay),
@@ -108,4 +129,9 @@ fn main() {
     println!("\nThe workload-specific guardband is bounded by the static worst case,");
     println!("exactly as Sec. 4.2 argues; suppressing aging for *any* workload");
     println!("requires the λ=1 static analysis.");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

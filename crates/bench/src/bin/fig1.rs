@@ -6,10 +6,27 @@
 //! *improves* at large slews / small loads).
 
 use bench::{fresh_library, worst_library};
+use flow::{CharError, FlowError, RunContext};
+use std::process::ExitCode;
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
+const USAGE: &str = "usage: fig1 [--report <path>]
+
+Worst-case aging impact surfaces for NAND2/NOR2 (paper Fig. 1).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
 
     for (cell, pin, arc_edge, title) in [
         (
@@ -26,8 +43,24 @@ fn main() {
         ),
     ] {
         println!("\n{title}");
-        let f = fresh.cell(cell).expect("cell").output("Y").expect("Y").arc_from(pin).expect("arc");
-        let a = aged.cell(cell).expect("cell").output("Y").expect("Y").arc_from(pin).expect("arc");
+        let missing = |pin: &str| {
+            FlowError::from(CharError::MissingPin { cell: cell.to_owned(), pin: pin.to_owned() })
+        };
+        let unknown = || FlowError::from(CharError::UnknownCell { cell: cell.to_owned() });
+        let f = fresh
+            .cell(cell)
+            .ok_or_else(unknown)?
+            .output("Y")
+            .ok_or_else(|| missing("Y"))?
+            .arc_from(pin)
+            .ok_or_else(|| missing(pin))?;
+        let a = aged
+            .cell(cell)
+            .ok_or_else(unknown)?
+            .output("Y")
+            .ok_or_else(|| missing("Y"))?
+            .arc_from(pin)
+            .ok_or_else(|| missing(pin))?;
         let (ft, at) =
             if arc_edge { (&f.cell_rise, &a.cell_rise) } else { (&f.cell_fall, &a.cell_fall) };
         print!("{:>10}", "slew\\load");
@@ -43,7 +76,13 @@ fn main() {
             }
             println!();
         }
+        ctx.add_tasks("report", 1);
     }
     println!("\nShape check (paper): NAND impact grows with slew, shrinks with load;");
     println!("NOR fall arc improves (negative %) at large slew + small load.");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

@@ -3,7 +3,18 @@
 //! full 7×7 OPC grid reveals a wide spread including *improvements*.
 
 use bench::{fresh_library, worst_library};
+use flow::{FlowError, RunContext};
 use liberty::Table2d;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fig2 [--report <path>]
+
+Library-wide delay-change histograms under worst-case aging (paper Fig. 2).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
 
 /// Delays shorter than this are dominated by measurement convention (50 %
 /// crossings can even go negative for very slow inputs); ratios over them
@@ -64,9 +75,15 @@ fn histogram(title: &str, samples: &[f64]) {
     }
 }
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
 
     let mut single = Vec::new();
     let mut multi = Vec::new();
@@ -89,4 +106,10 @@ fn main() {
     histogram("Fig 2 (right): all 49 OPCs per arc — delay change under worst-case aging", &multi);
     println!("\nPaper shape: single-OPC histogram is all-degradation with a narrow range;");
     println!("multi-OPC histogram is much wider and a noticeable share of points improve.");
+    ctx.add_tasks("report", 2);
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

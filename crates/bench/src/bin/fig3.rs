@@ -7,13 +7,24 @@
 //! first pair that switches, with per-stage delays before/after aging.
 
 use bench::{fresh_library, ps, worst_library};
+use flow::{EvalError, FlowError, RunContext};
 use liberty::Library;
-use netlist::{Netlist, PortDir};
+use netlist::{Netlist, NetlistError, PortDir};
 use sta::{analyze, Constraints};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fig3 [--report <path>]
+
+Criticality-switch path pair under worst-case aging (paper Fig. 3).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
 
 /// Builds a linear path `cells[0] → cells[1] → …` (input pin A, other pins
 /// tied to the second input port) and returns the netlist.
-fn path_netlist(cells: &[&str], lib: &Library) -> Netlist {
+fn path_netlist(cells: &[&str], lib: &Library) -> Result<Netlist, FlowError> {
     let mut nl = Netlist::new("path");
     let a = nl.add_port("a", PortDir::Input);
     let b = nl.add_port("b", PortDir::Input);
@@ -24,7 +35,12 @@ fn path_netlist(cells: &[&str], lib: &Library) -> Netlist {
         } else {
             nl.add_net(&format!("n{k}"))
         };
-        let cell = lib.cell(cell_name).expect("cell in library");
+        let Some(cell) = lib.cell(cell_name) else {
+            return Err(FlowError::from(NetlistError::UnknownCell {
+                instance: format!("g{k}"),
+                cell: (*cell_name).to_owned(),
+            }));
+        };
         let mut conns: Vec<(String, netlist::NetId)> = vec![("A".into(), prev)];
         for pin in cell.inputs.iter().skip(1) {
             conns.push((pin.name.clone(), b));
@@ -35,23 +51,29 @@ fn path_netlist(cells: &[&str], lib: &Library) -> Netlist {
         nl.add_instance(&format!("g{k}"), cell_name, &refs);
         prev = out;
     }
-    nl
+    Ok(nl)
 }
 
-fn path_delay(cells: &[&str], lib: &Library) -> f64 {
-    let nl = path_netlist(cells, lib);
-    analyze(&nl, lib, &Constraints::default()).expect("sta").critical_delay()
+fn path_delay(cells: &[&str], lib: &Library) -> Result<f64, FlowError> {
+    let nl = path_netlist(cells, lib)?;
+    Ok(analyze(&nl, lib, &Constraints::default())?.critical_delay())
 }
 
-fn per_stage(cells: &[&str], lib: &Library) -> Vec<f64> {
-    let nl = path_netlist(cells, lib);
-    let report = analyze(&nl, lib, &Constraints::default()).expect("sta");
-    report.critical_path().steps.iter().map(|s| s.delay).collect()
+fn per_stage(cells: &[&str], lib: &Library) -> Result<Vec<f64>, FlowError> {
+    let nl = path_netlist(cells, lib)?;
+    let report = analyze(&nl, lib, &Constraints::default())?;
+    Ok(report.critical_path().steps.iter().map(|s| s.delay).collect())
 }
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
 
     let candidates: Vec<Vec<&str>> = vec![
         vec!["INV_X4", "NAND2_X1", "NOR2_X2", "INV_X1"],
@@ -67,10 +89,11 @@ fn main() {
     let mut found = None;
     'outer: for (i, p1) in candidates.iter().enumerate() {
         for p2 in candidates.iter().skip(i + 1) {
-            let f1 = path_delay(p1, &fresh);
-            let f2 = path_delay(p2, &fresh);
-            let a1 = path_delay(p1, &aged);
-            let a2 = path_delay(p2, &aged);
+            ctx.add_tasks("sta", 4);
+            let f1 = path_delay(p1, &fresh)?;
+            let f2 = path_delay(p2, &fresh)?;
+            let a1 = path_delay(p1, &aged)?;
+            let a2 = path_delay(p2, &aged)?;
             // Path 1 critical before aging, path 2 critical after.
             if f1 > f2 && a2 > a1 {
                 found = Some((p1.clone(), p2.clone(), f1, f2, a1, a2));
@@ -91,8 +114,8 @@ fn main() {
                 ("Path2 (initially uncritical)", &p2, f2, a2),
             ] {
                 println!("{label}: {}", p.join(" -> "));
-                let sf = per_stage(p, &fresh);
-                let sa = per_stage(p, &aged);
+                let sf = per_stage(p, &fresh)?;
+                let sa = per_stage(p, &aged)?;
                 let fresh_str: Vec<String> = sf.iter().map(|d| format!("{}ps", ps(*d))).collect();
                 let aged_str: Vec<String> = sa
                     .iter()
@@ -121,8 +144,15 @@ fn main() {
             println!("so the initially-critical path loses criticality after aging.");
         }
         None => {
-            println!("No criticality switch among the candidate pairs — widen the search space.");
-            std::process::exit(1);
+            return Err(FlowError::from(EvalError::Design {
+                message: "no criticality switch among the candidate pairs — widen the search space"
+                    .into(),
+            }));
         }
     }
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

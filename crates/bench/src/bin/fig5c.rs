@@ -4,13 +4,29 @@
 //! path.
 
 use bench::{benchmark_netlists, fresh_library, pct, ps, row, worst_library};
-use flow::{estimate_guardband, guardband_of_initial_critical_path};
+use flow::{estimate_guardband, guardband_of_initial_critical_path, FlowError, RunContext};
 use sta::Constraints;
+use std::process::ExitCode;
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
-    let designs = benchmark_netlists(&fresh, "fresh");
+const USAGE: &str = "usage: fig5c [--report <path>]
+
+Guardband with vs without critical-path-switch awareness (paper Fig. 5c).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
+    let designs = ctx.stage("synthesis", || benchmark_netlists(&fresh, "fresh"))?;
     let c = Constraints::default();
 
     println!("Fig 5(c) — guardband [ps]: full re-analysis vs initial-CP-only tracking\n");
@@ -24,8 +40,10 @@ fn main() {
     row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
     let mut errors = Vec::new();
     for (design, nl) in &designs {
-        let full = estimate_guardband(nl, &fresh, &aged, &c).expect("sta");
-        let cp_only = guardband_of_initial_critical_path(nl, &fresh, &aged, &c).expect("sta");
+        let full = ctx.stage("sta", || estimate_guardband(nl, &fresh, &aged, &c))?;
+        let cp_only =
+            ctx.stage("sta", || guardband_of_initial_critical_path(nl, &fresh, &aged, &c))?;
+        ctx.add_tasks("sta", 2);
         let err = cp_only / full.guardband() - 1.0;
         errors.push(err);
         row(&[
@@ -39,4 +57,9 @@ fn main() {
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
     println!("\naverage error from tracking only the initial critical path: {}", pct(avg));
     println!("(paper reports −6% on average, wrong in all circuits)");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

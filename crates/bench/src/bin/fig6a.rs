@@ -4,12 +4,29 @@
 //! contained guardband), plus the area overhead of awareness.
 
 use bench::{aware_netlist, benchmark_netlists, fresh_library, pct, ps, row, worst_library};
+use flow::{FlowError, RunContext};
 use sta::{analyze, Constraints};
+use std::process::ExitCode;
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
-    let baselines = benchmark_netlists(&fresh, "fresh");
+const USAGE: &str = "usage: fig6a [--report <path>]
+
+Guardband containment via aging-aware synthesis (paper Fig. 6a/6b).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
+    let baselines = ctx.stage("synthesis", || benchmark_netlists(&fresh, "fresh"))?;
     let c = Constraints::default();
 
     println!("Fig 6(a) — guardband [ps]: traditional vs aging-aware synthesis (worst case, 10y)\n");
@@ -24,10 +41,11 @@ fn main() {
     let mut reductions = Vec::new();
     let mut area_rows = Vec::new();
     for (design, baseline) in &baselines {
-        let aware = aware_netlist(design, &fresh, &aged);
-        let baseline_fresh = analyze(baseline, &fresh, &c).expect("sta").critical_delay();
-        let baseline_aged = analyze(baseline, &aged, &c).expect("sta").critical_delay();
-        let aware_aged = analyze(&aware, &aged, &c).expect("sta").critical_delay();
+        let aware = ctx.stage("synthesis", || aware_netlist(design, &fresh, &aged))?;
+        let baseline_fresh = ctx.stage("sta", || analyze(baseline, &fresh, &c))?.critical_delay();
+        let baseline_aged = ctx.stage("sta", || analyze(baseline, &aged, &c))?.critical_delay();
+        let aware_aged = ctx.stage("sta", || analyze(&aware, &aged, &c))?.critical_delay();
+        ctx.add_tasks("sta", 3);
         let required = baseline_aged - baseline_fresh;
         let contained = aware_aged - baseline_fresh;
         let reduction = 1.0 - contained / required;
@@ -39,8 +57,8 @@ fn main() {
             pct(reduction),
             pct(baseline_aged / aware_aged - 1.0),
         ]);
-        let ba = baseline.area(&fresh).expect("area");
-        let aa = aware.area(&aged).expect("area");
+        let ba = baseline.area(&fresh)?;
+        let aa = aware.area(&aged)?;
         area_rows.push((design.name.clone(), ba, aa));
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
@@ -58,4 +76,9 @@ fn main() {
     }
     let avg_area = overheads.iter().sum::<f64>() / overheads.len() as f64;
     println!("\naverage area overhead: {} (paper reports ~0.2%)", pct(avg_area));
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

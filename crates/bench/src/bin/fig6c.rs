@@ -7,19 +7,37 @@
 
 use bench::{balanced_library, fresh_library, library_for, worst_library, ImageChain};
 use bti::AgingScenario;
+use flow::{FlowError, RunContext};
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: fig6c [--report <path>]
+
+PSNR of the DCT→IDCT chain under aging, no guardband (paper Fig. 6c).
+RELIAWARE_IMG overrides the test image edge length (default 32).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
     let size: usize =
         std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(32);
-    let fresh = fresh_library();
-    let aged10 = worst_library();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged10 = ctx.stage("characterize", worst_library)?;
 
-    let unaware = ImageChain::build(&fresh, &aged10, false);
-    let aware = ImageChain::build(&fresh, &aged10, true);
+    let unaware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, false))?;
+    let aware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, true))?;
     // The common frequency: maximum performance in the absence of aging
     // (the unaware design's fresh CP), with a hair of margin so the fresh
     // run itself is not metastable at the sampling edge.
-    let period = unaware.fresh_period(&fresh) * 1.001;
+    let period = ctx.stage("sta", || unaware.fresh_period(&fresh))? * 1.001;
     println!(
         "clock period = {:.1} ps (fresh critical path of the traditional design; no guardband)\n",
         period * 1e12
@@ -28,10 +46,16 @@ fn main() {
     let image = imgproc::synthetic::test_image(size, size, 7);
     let scenarios: Vec<(&str, liberty::Library)> = vec![
         ("unaged (year 0)", fresh.clone()),
-        ("balanced λ=0.5, 1y", balanced_library(1.0)),
-        ("balanced λ=0.5, 10y", balanced_library(10.0)),
-        ("worst λ=1, 1y", library_for(&AgingScenario::worst_case(1.0))),
-        ("worst λ=1, 3y", library_for(&AgingScenario::worst_case(3.0))),
+        ("balanced λ=0.5, 1y", ctx.stage("characterize", || balanced_library(1.0))?),
+        ("balanced λ=0.5, 10y", ctx.stage("characterize", || balanced_library(10.0))?),
+        (
+            "worst λ=1, 1y",
+            ctx.stage("characterize", || library_for(&AgingScenario::worst_case(1.0)))?,
+        ),
+        (
+            "worst λ=1, 3y",
+            ctx.stage("characterize", || library_for(&AgingScenario::worst_case(3.0)))?,
+        ),
         ("worst λ=1, 10y", aged10.clone()),
     ];
 
@@ -40,8 +64,9 @@ fn main() {
     println!("| scenario | aging-unaware design | aging-aware design |");
     println!("| --- | --- | --- |");
     for (name, lib) in &scenarios {
-        let ru = unaware.run(&image, lib, period);
-        let ra = aware.run(&image, lib, period);
+        let ru = ctx.stage("system-eval", || unaware.run(&image, lib, period))?;
+        let ra = ctx.stage("system-eval", || aware.run(&image, lib, period))?;
+        ctx.add_tasks("system-eval", 2);
         println!(
             "| {name} | {:.1} dB ({} late) | {:.1} dB ({} late) |",
             ru.psnr_db, ru.late_events, ra.psnr_db, ra.late_events
@@ -50,4 +75,9 @@ fn main() {
     println!("\nPaper shape: the unaware design collapses within a year of worst-case");
     println!("aging (9 dB; 19 dB balanced), while the aware design holds unaged");
     println!("quality even after 10 years of worst-case stress.");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

@@ -4,27 +4,50 @@
 
 use bench::{balanced_library, fresh_library, library_for, worst_library, ImageChain};
 use bti::AgingScenario;
+use flow::{FlowError, RunContext};
 use imgproc::write_pgm;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: fig7 [--report <path>]
+
+DCT→IDCT output images under aging, written to target/fig7/ (paper Fig. 7).
+RELIAWARE_IMG overrides the test image edge length (default 48).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
     let size: usize =
         std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(48);
     let out_dir = PathBuf::from("target/fig7");
-    std::fs::create_dir_all(&out_dir).expect("output dir");
+    std::fs::create_dir_all(&out_dir).map_err(|e| FlowError::io(out_dir.display(), &e))?;
 
-    let fresh = fresh_library();
-    let aged10 = worst_library();
-    let unaware = ImageChain::build(&fresh, &aged10, false);
-    let aware = ImageChain::build(&fresh, &aged10, true);
-    let period = unaware.fresh_period(&fresh) * 1.001;
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged10 = ctx.stage("characterize", worst_library)?;
+    let unaware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, false))?;
+    let aware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, true))?;
+    let period = ctx.stage("sta", || unaware.fresh_period(&fresh))? * 1.001;
 
     let image = imgproc::synthetic::test_image(size, size, 7);
-    std::fs::write(out_dir.join("original.pgm"), write_pgm(&image)).expect("write");
+    let original = out_dir.join("original.pgm");
+    std::fs::write(&original, write_pgm(&image))
+        .map_err(|e| FlowError::io(original.display(), &e))?;
 
     let scenarios: Vec<(&str, liberty::Library)> = vec![
-        ("year1_balance", balanced_library(1.0)),
-        ("year1_worst", library_for(&AgingScenario::worst_case(1.0))),
+        ("year1_balance", ctx.stage("characterize", || balanced_library(1.0))?),
+        (
+            "year1_worst",
+            ctx.stage("characterize", || library_for(&AgingScenario::worst_case(1.0)))?,
+        ),
         ("year10_worst", aged10.clone()),
     ];
     println!(
@@ -36,9 +59,11 @@ fn main() {
     );
     for (label, chain) in [("unaware", &unaware), ("aware", &aware)] {
         for (scenario, lib) in &scenarios {
-            let result = chain.run(&image, lib, period);
+            let result = ctx.stage("system-eval", || chain.run(&image, lib, period))?;
+            ctx.add_tasks("system-eval", 1);
             let file = out_dir.join(format!("{label}_{scenario}.pgm"));
-            std::fs::write(&file, write_pgm(&result.output)).expect("write");
+            std::fs::write(&file, write_pgm(&result.output))
+                .map_err(|e| FlowError::io(file.display(), &e))?;
             println!(
                 "{label:>8} {scenario:<14} PSNR {:>6.1} dB  late events {:>6}  -> {}",
                 result.psnr_db,
@@ -49,4 +74,9 @@ fn main() {
     }
     println!("\nPaper shape: the reliability-unaware outputs degrade visibly within a");
     println!("year of worst-case aging; the reliability-aware outputs stay clean far longer.");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

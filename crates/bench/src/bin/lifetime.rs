@@ -7,16 +7,34 @@
 
 use bench::{fresh_library, library_for, ImageChain};
 use bti::AgingScenario;
+use flow::{FlowError, RunContext};
 use imgproc::ACCEPTABLE_PSNR_DB;
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: lifetime [--report <path>]
+
+Failure-year ladder of the DCT→IDCT chain under worst-case stress (Sec. 5).
+RELIAWARE_IMG overrides the test image edge length (default 24).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
     let size: usize =
         std::env::var("RELIAWARE_IMG").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
-    let fresh = fresh_library();
-    let aged10 = library_for(&AgingScenario::worst_case(10.0));
-    let unaware = ImageChain::build(&fresh, &aged10, false);
-    let aware = ImageChain::build(&fresh, &aged10, true);
-    let period = unaware.fresh_period(&fresh) * 1.001;
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged10 = ctx.stage("characterize", || library_for(&AgingScenario::worst_case(10.0)))?;
+    let unaware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, false))?;
+    let aware = ctx.stage("synthesis", || ImageChain::build(&fresh, &aged10, true))?;
+    let period = ctx.stage("sta", || unaware.fresh_period(&fresh))? * 1.001;
     let image = imgproc::synthetic::test_image(size, size, 7);
 
     let years = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0];
@@ -29,9 +47,10 @@ fn main() {
     let mut fail_unaware: Option<f64> = None;
     let mut fail_aware: Option<f64> = None;
     for &y in &years {
-        let lib = library_for(&AgingScenario::worst_case(y));
-        let ru = unaware.run(&image, &lib, period);
-        let ra = aware.run(&image, &lib, period);
+        let lib = ctx.stage("characterize", || library_for(&AgingScenario::worst_case(y)))?;
+        let ru = ctx.stage("system-eval", || unaware.run(&image, &lib, period))?;
+        let ra = ctx.stage("system-eval", || aware.run(&image, &lib, period))?;
+        ctx.add_tasks("system-eval", 2);
         println!("| {y} | {:.1} | {:.1} |", ru.psnr_db, ra.psnr_db);
         if ru.psnr_db < ACCEPTABLE_PSNR_DB && fail_unaware.is_none() {
             fail_unaware = Some(y);
@@ -49,4 +68,9 @@ fn main() {
         _ => println!("unaware design did not fail within 10 years at this image/clock"),
     }
     println!("(paper: unaware fails within 1 year; aware exceeds 10 years → >10x)");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

@@ -15,6 +15,7 @@
 //! least one error-severity diagnostic fired (or any warning under
 //! `--deny-warnings`), 2 on usage or I/O problems.
 
+use flow::{FlowError, RunContext};
 use lint::{LintConfig, LintReport, Rule};
 use std::process::ExitCode;
 
@@ -38,6 +39,7 @@ options:
   --deny-warnings     exit 1 when warnings survive, not only on errors
   --json              emit the JSON report instead of text
   --list-rules        print every rule code, severity and summary, then exit
+  --report FILE       write a reliaware-run-v1 JSON run report
 
 exit status:
   0  no errors (warnings allowed unless --deny-warnings)
@@ -56,6 +58,7 @@ struct Args {
     deny_warnings: bool,
     json: bool,
     list_rules: bool,
+    report: Option<String>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -70,6 +73,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         deny_warnings: false,
         json: false,
         list_rules: false,
+        report: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
@@ -90,6 +94,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
             "--list-rules" => args.list_rules = true,
+            "--report" => args.report = Some(value("--report")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -110,45 +115,53 @@ fn list_rules() {
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read(path: &str) -> Result<String, FlowError> {
+    std::fs::read_to_string(path).map_err(|e| FlowError::io(path, &e))
 }
 
-fn run() -> Result<ExitCode, String> {
-    let args = parse_args(std::env::args().skip(1))?;
+fn parse_failure(path: &str, e: impl std::fmt::Display) -> FlowError {
+    FlowError::Io { path: path.to_owned(), message: format!("cannot parse: {e}") }
+}
+
+fn run() -> Result<ExitCode, FlowError> {
+    let args = parse_args(std::env::args().skip(1)).map_err(FlowError::Usage)?;
     if args.list_rules {
         list_rules();
         return Ok(ExitCode::SUCCESS);
     }
+    let ctx = RunContext::new();
 
     let mut config = LintConfig::default()
         .allow_codes(args.allow.iter().map(String::as_str))
-        .map_err(|code| format!("unknown rule code {code}"))?;
+        .map_err(|code| FlowError::Usage(format!("unknown rule code {code}")))?;
     config.input_slew = args.input_slew;
     config.output_load = args.output_load;
 
     let report = if let Some(name) = &args.design {
-        let design = bench::design_by_name(name).ok_or_else(|| format!("unknown design {name}"))?;
+        let design = bench::design_by_name(name)
+            .ok_or_else(|| FlowError::Usage(format!("unknown design {name}")))?;
         let library = synth::test_fixtures::fixture_library();
-        let nl = synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
-            .map_err(|e| format!("synthesis of {name} failed: {e}"))?;
-        LintReport::run(&nl, &library, &config)
+        let nl = ctx.stage("synthesis", || {
+            synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
+        })?;
+        ctx.stage("lint", || LintReport::run(&nl, &library, &config))
     } else {
-        let lib_path = args.lib.expect("checked by parse_args");
-        let library = liberty::parse_library(&read(&lib_path)?)
-            .map_err(|e| format!("cannot parse {lib_path}: {e}"))?;
+        let lib_path = args.lib.as_deref().unwrap_or_default();
+        let library =
+            liberty::parse_library(&read(lib_path)?).map_err(|e| parse_failure(lib_path, e))?;
         let mut report = match &args.verilog {
             Some(path) => {
                 let nl = netlist::verilog::parse_verilog(&read(path)?)
-                    .map_err(|e| format!("cannot parse {path}: {e}"))?;
-                LintReport::run(&nl, &library, &config)
+                    .map_err(|e| parse_failure(path, e))?;
+                ctx.stage("lint", || LintReport::run(&nl, &library, &config))
             }
-            None => LintReport::run_library(&library, &config),
+            None => ctx.stage("lint", || LintReport::run_library(&library, &config)),
         };
         if let Some(path) = &args.fresh_lib {
-            let fresh = liberty::parse_library(&read(path)?)
-                .map_err(|e| format!("cannot parse {path}: {e}"))?;
-            report = report.merged_with(LintReport::run_aging(&fresh, &library, &config));
+            let fresh = liberty::parse_library(&read(path)?).map_err(|e| parse_failure(path, e))?;
+            report = report.merged_with(
+                ctx.stage("lint", || LintReport::run_aging(&fresh, &library, &config)),
+            );
         }
         report
     };
@@ -158,21 +171,12 @@ fn run() -> Result<ExitCode, String> {
     } else {
         print!("{}", report.render());
     }
+    ctx.add_tasks("lint", (report.error_count() + report.warning_count()) as u64);
+    bench::cli::emit_report(&ctx, args.report.as_deref().map(std::path::Path::new))?;
     let fail = report.has_errors() || (args.deny_warnings && report.warning_count() > 0);
     Ok(if fail { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(message) => {
-            if message.is_empty() {
-                println!("{USAGE}");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("error: {message}\n\n{USAGE}");
-                ExitCode::from(2)
-            }
-        }
-    }
+    bench::cli::run_code(USAGE, run)
 }

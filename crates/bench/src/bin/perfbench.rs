@@ -1,6 +1,9 @@
 //! Performance-trajectory harness: times the flow's compute stages under a
 //! pinned configuration and writes a `BENCH_<stamp>.json` record at the
 //! repo root, so every PR can compare wall-clock numbers against history.
+//! A `RUN_<stamp>.json` (`reliaware-run-v1`) observability report rides
+//! along: the same stages recorded through [`flow::RunContext`], including
+//! the arc-cache hit rates.
 //!
 //! Stages:
 //!
@@ -11,39 +14,56 @@
 //! 5. STA arrival propagation and gate-level logic simulation.
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
-//! twin before reporting a speedup. Usage:
+//! twin before reporting a speedup; instrumentation is observational, so
+//! the instrumented run stays bit-identical to an uninstrumented one.
+//! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--steps N] [--threads N] [--out DIR]
+//! perfbench [--smoke] [--steps N] [--threads N] [--out DIR] [--report FILE]
 //! ```
 //!
 //! `--smoke` pins a tiny grid for CI; the default configuration is sized
 //! for a workstation run (a few minutes on one core).
 
 use bti::AgingScenario;
-use flow::{ArcCache, CharConfig, Characterizer};
+use flow::{ArcCache, CharConfig, Characterizer, FlowError, RunContext};
 use sta::{analyze, Constraints};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 use stdcells::CellSet;
 use synth::test_fixtures::fixture_library;
 use synth::MapOptions;
 
+const USAGE: &str = "usage: perfbench [--smoke] [--steps N] [--threads N] [--out DIR]
+                 [--report FILE]
+
+options:
+  --smoke          tiny pinned grid for CI
+  --steps N        λ-grid interval count (default: 1 smoke, 10 full)
+  --threads N      worker threads for the pooled stages
+  --out DIR        output directory for BENCH_/RUN_ records (default: repo root)
+  --report FILE    additionally write the reliaware-run-v1 report to FILE
+  -h, --help       show this help
+";
+
 struct Options {
     smoke: bool,
     steps: u32,
     threads: usize,
     out_dir: PathBuf,
+    report: Option<PathBuf>,
 }
 
-fn parse_args() -> Options {
+fn parse_args() -> Result<Options, FlowError> {
     let mut opts = Options {
         smoke: false,
         steps: 0,
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         out_dir: repo_root(),
+        report: None,
     };
     let mut steps_set = false;
     let mut args = std::env::args().skip(1);
@@ -51,43 +71,46 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
             "--steps" => {
-                opts.steps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--steps needs an integer");
-                    std::process::exit(2);
-                });
+                opts.steps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| FlowError::Usage("--steps needs an integer".into()))?;
                 steps_set = true;
             }
             "--threads" => {
-                opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--threads needs an integer");
-                    std::process::exit(2);
-                });
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| FlowError::Usage("--threads needs an integer".into()))?;
             }
             "--out" => {
-                opts.out_dir = args.next().map(PathBuf::from).unwrap_or_else(|| {
-                    eprintln!("--out needs a directory");
-                    std::process::exit(2);
-                });
+                opts.out_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| FlowError::Usage("--out needs a directory".into()))?;
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfbench [--smoke] [--steps N] [--threads N] [--out DIR]");
-                std::process::exit(2);
+            "--report" => {
+                opts.report = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| FlowError::Usage("--report needs a file path".into()))?,
+                );
             }
+            "-h" | "--help" => return Err(FlowError::Usage(String::new())),
+            other => return Err(FlowError::Usage(format!("unknown argument: {other}"))),
         }
     }
     if !steps_set {
         opts.steps = if opts.smoke { 1 } else { 10 };
     }
-    opts
+    Ok(opts)
 }
 
 fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench sits two levels below the repo root")
-        .to_path_buf()
+    let mut path = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    path.pop(); // crates/
+    path.pop(); // repo root
+    path
 }
 
 /// One timed stage in the JSON record: a name, wall-clock seconds, and
@@ -118,8 +141,9 @@ fn char_config(opts: &Options, parallelism: usize) -> CharConfig {
     }
 }
 
-fn main() {
-    let opts = parse_args();
+fn run() -> Result<(), FlowError> {
+    let opts = parse_args()?;
+    let ctx = RunContext::new().with_workers(opts.threads);
     let mut stages: Vec<Stage> = Vec::new();
     let lib_cells = if opts.smoke {
         vec!["INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"]
@@ -133,25 +157,30 @@ fn main() {
 
     // 1. Single-cell characterization.
     let single =
-        Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), char_config(&opts, 1));
-    let (_, secs) = time(|| single.library(&scenario));
-    report(&mut stages, "characterize_1cell", secs, String::new());
+        Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), char_config(&opts, 1))?;
+    let (r, secs) = time(|| single.library(&scenario));
+    r?;
+    report(&ctx, &mut stages, "characterize_1cell", secs, 1, String::new());
 
     // 2. One-scenario library: sequential vs. pooled task queue.
     let subset = CellSet::nangate45_like().subset(&lib_cells);
-    let seq = Characterizer::new(subset.clone(), char_config(&opts, 1));
+    let seq = Characterizer::new(subset.clone(), char_config(&opts, 1))?;
     let (lib_seq, seq_secs) = time(|| seq.library(&scenario));
-    report(&mut stages, "library_seq", seq_secs, format!(r#""cells": {}"#, lib_cells.len()));
-    let par = Characterizer::new(subset, char_config(&opts, opts.threads));
+    let lib_seq = lib_seq?;
+    let cells = lib_cells.len() as u64;
+    report(&ctx, &mut stages, "library_seq", seq_secs, cells, format!(r#""cells": {cells}"#));
+    let par = Characterizer::new(subset, char_config(&opts, opts.threads))?;
     let (lib_par, par_secs) = time(|| par.library(&scenario));
+    let lib_par = lib_par?;
     assert_eq!(lib_seq, lib_par, "pooled library must be bit-identical to sequential");
     report(
+        &ctx,
         &mut stages,
         "library_par",
         par_secs,
+        cells,
         format!(
-            r#""cells": {}, "threads": {}, "speedup_vs_seq": {:.3}, "bit_identical": true"#,
-            lib_cells.len(),
+            r#""cells": {cells}, "threads": {}, "speedup_vs_seq": {:.3}, "bit_identical": true"#,
             opts.threads,
             seq_secs / par_secs.max(1e-12)
         ),
@@ -159,25 +188,32 @@ fn main() {
 
     // 3. Complete λ-grid: sequential vs. pooled (scenario × cell) queue.
     let grid_set = CellSet::nangate45_like().subset(&grid_cells);
-    let grid_seq = Characterizer::new(grid_set.clone(), char_config(&opts, 1));
+    let grid_seq = Characterizer::new(grid_set.clone(), char_config(&opts, 1))?;
     let (complete_seq, grid_seq_secs) = time(|| grid_seq.complete_library(opts.steps, 10.0));
+    let complete_seq = complete_seq?;
     let scenarios = (opts.steps + 1) * (opts.steps + 1);
+    let grid_tasks = u64::from(scenarios) * grid_cells.len() as u64;
     report(
+        &ctx,
         &mut stages,
         "complete_grid_seq",
         grid_seq_secs,
+        grid_tasks,
         format!(r#""scenarios": {scenarios}, "cells": {}"#, grid_cells.len()),
     );
-    let grid_par = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads));
+    let grid_par = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads))?;
     let (complete_par, grid_par_secs) = time(|| grid_par.complete_library(opts.steps, 10.0));
+    let complete_par = complete_par?;
     assert_eq!(
         complete_seq, complete_par,
         "pooled complete library must be bit-identical to sequential"
     );
     report(
+        &ctx,
         &mut stages,
         "complete_grid_par",
         grid_par_secs,
+        grid_tasks,
         format!(
             r#""scenarios": {scenarios}, "cells": {}, "threads": {}, "speedup_vs_seq": {:.3}, "bit_identical": true"#,
             grid_cells.len(),
@@ -192,25 +228,35 @@ fn main() {
         std::env::temp_dir().join(format!("reliaware_perfbench_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
     let cold_cache = Arc::new(ArcCache::with_dir(&cache_dir));
-    let cold = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads))
+    let cold = Characterizer::new(grid_set.clone(), char_config(&opts, opts.threads))?
         .with_cache(Arc::clone(&cold_cache));
     let (complete_cold, cold_secs) = time(|| cold.complete_library(opts.steps, 10.0));
+    let complete_cold = complete_cold?;
     assert_eq!(complete_cold, complete_seq, "cold-cache grid must match uncached");
     report(
+        &ctx,
         &mut stages,
         "complete_grid_cold_cache",
         cold_secs,
+        grid_tasks,
         format!(r#""scenarios": {scenarios}, {}"#, cache_json(&cold_cache)),
     );
     let warm_cache = Arc::new(ArcCache::with_dir(&cache_dir));
-    let warm = Characterizer::new(grid_set, char_config(&opts, opts.threads))
+    let warm = Characterizer::new(grid_set, char_config(&opts, opts.threads))?
         .with_cache(Arc::clone(&warm_cache));
     let (complete_warm, warm_secs) = time(|| warm.complete_library(opts.steps, 10.0));
+    let complete_warm = complete_warm?;
     assert_eq!(complete_warm, complete_seq, "warm-cache grid must be bit-identical");
+    // The warm cache carries the run's headline hit rates — surface it in
+    // the run report alongside the per-stage timings.
+    ctx.attach_cache(Arc::clone(&warm_cache));
+    ctx.event("complete_grid_warm_cache", cache_json(&warm_cache));
     report(
+        &ctx,
         &mut stages,
         "complete_grid_warm_cache",
         warm_secs,
+        grid_tasks,
         format!(
             r#""scenarios": {scenarios}, "speedup_vs_cold": {:.3}, "bit_identical": true, {}"#,
             cold_secs / warm_secs.max(1e-12),
@@ -222,45 +268,63 @@ fn main() {
     // 5. STA and gate-level simulation on a synthesized benchmark.
     let fixture = fixture_library();
     let design = circuits::dct8();
-    let netlist = synth::synthesize(&design.aig, &fixture, &MapOptions::default()).expect("synth");
-    let sta_iters = if opts.smoke { 5 } else { 20 };
-    let (_, sta_secs) = time(|| {
+    let netlist = synth::synthesize(&design.aig, &fixture, &MapOptions::default())?;
+    let sta_iters: u32 = if opts.smoke { 5 } else { 20 };
+    let (r, sta_secs) = time(|| -> Result<(), FlowError> {
         for _ in 0..sta_iters {
-            let _ = analyze(&netlist, &fixture, &Constraints::default()).expect("sta");
+            let _ = analyze(&netlist, &fixture, &Constraints::default())?;
         }
+        Ok(())
     });
+    r?;
     report(
+        &ctx,
         &mut stages,
         "sta_arrival_dct8",
         sta_secs / f64::from(sta_iters),
+        u64::from(sta_iters),
         format!(r#""iterations": {sta_iters}, "instances": {}"#, netlist.instance_count()),
     );
     let vectors: Vec<Vec<bool>> = (0..16)
         .map(|k| (0..design.input_width()).map(|b| (k * 7 + b) % 3 == 0).collect())
         .collect();
-    let sim_iters = if opts.smoke { 3 } else { 10 };
-    let (_, sim_secs) = time(|| {
+    let sim_iters: u32 = if opts.smoke { 3 } else { 10 };
+    let (r, sim_secs) = time(|| -> Result<(), FlowError> {
         for _ in 0..sim_iters {
-            let _ = logicsim::run_cycles(&netlist, &fixture, None, &vectors).expect("sim");
+            let _ = logicsim::run_cycles(&netlist, &fixture, None, &vectors)
+                .map_err(|e| flow::EvalError::Simulation { message: e.to_string() })?;
         }
+        Ok(())
     });
+    r?;
     report(
+        &ctx,
         &mut stages,
         "logicsim_dct8_16cy",
         sim_secs / f64::from(sim_iters),
+        u64::from(sim_iters),
         format!(r#""iterations": {sim_iters}"#),
     );
 
-    // Assemble and write the JSON record.
+    // Assemble and write the JSON records.
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let stamp = utc_stamp(unix_time);
     let json = render_json(&opts, unix_time, &stamp, &stages);
-    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| FlowError::io(opts.out_dir.display(), &e))?;
     let path = opts.out_dir.join(format!("BENCH_{stamp}.json"));
-    std::fs::write(&path, json).expect("write benchmark record");
+    std::fs::write(&path, json).map_err(|e| FlowError::io(path.display(), &e))?;
     println!("\nwrote {}", path.display());
+    let run_path = opts.out_dir.join(format!("RUN_{stamp}.json"));
+    ctx.report().write(&run_path)?;
+    println!("wrote {}", run_path.display());
+    bench::cli::emit_report(&ctx, opts.report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }
 
 fn mode(opts: &Options) -> &'static str {
@@ -271,8 +335,16 @@ fn mode(opts: &Options) -> &'static str {
     }
 }
 
-fn report(stages: &mut Vec<Stage>, name: &'static str, seconds: f64, extra: String) {
+fn report(
+    ctx: &RunContext,
+    stages: &mut Vec<Stage>,
+    name: &'static str,
+    seconds: f64,
+    tasks: u64,
+    extra: String,
+) {
     println!("  {name:<28} {seconds:>10.3} s  {}", extra.replace('"', ""));
+    ctx.record_stage(name, seconds, tasks);
     stages.push(Stage { name, seconds, extra });
 }
 

@@ -5,7 +5,18 @@
 //! number of paths within the top-5 % delay window.
 
 use bench::{benchmark_netlists, fresh_library, ps, row, worst_library};
+use flow::{FlowError, RunContext};
 use sta::{analyze, k_worst_paths, Constraints, PathSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: top_paths [--report <path>]
+
+Rank of the aged critical path within the fresh path ordering (Sec. 3).
+
+options:
+  --report <path>  write a reliaware-run-v1 JSON run report
+  -h, --help       show this help
+";
 
 /// A structural signature of a path (instance/pin/polarity sequence).
 fn signature(nl: &netlist::Netlist, p: &PathSpec) -> String {
@@ -24,10 +35,16 @@ fn signature(nl: &netlist::Netlist, p: &PathSpec) -> String {
         .join("/")
 }
 
-fn main() {
-    let fresh = fresh_library();
-    let aged = worst_library();
-    let designs = benchmark_netlists(&fresh, "fresh");
+fn run() -> Result<(), FlowError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    if let Some(extra) = rest.first() {
+        return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    let ctx = RunContext::new();
+    let fresh = ctx.stage("characterize", fresh_library)?;
+    let aged = ctx.stage("characterize", worst_library)?;
+    let designs = ctx.stage("synthesis", || benchmark_netlists(&fresh, "fresh"))?;
     let c = Constraints::default();
     let k = 2000;
 
@@ -41,10 +58,11 @@ fn main() {
     ]);
     row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
     for (design, nl) in &designs {
-        let fresh_report = analyze(nl, &fresh, &c).expect("sta");
-        let aged_report = analyze(nl, &aged, &c).expect("sta");
+        let fresh_report = ctx.stage("sta", || analyze(nl, &fresh, &c))?;
+        let aged_report = ctx.stage("sta", || analyze(nl, &aged, &c))?;
         let aged_sig = signature(nl, aged_report.critical_path());
-        let fresh_paths = k_worst_paths(nl, &fresh, &c, k).expect("paths");
+        let fresh_paths = ctx.stage("sta", || k_worst_paths(nl, &fresh, &c, k))?;
+        ctx.add_tasks("sta", 3);
         // Compare raw path delays against the raw worst path (endpoint
         // setup offsets cancel out of the ranking).
         let cp_raw = fresh_paths.first().map_or(0.0, |p| p.arrival);
@@ -60,4 +78,9 @@ fn main() {
     println!("\nWhere the rank exceeds k, no top-k tracking of fresh paths would have");
     println!("included the path that actually becomes critical — the paper's argument");
     println!("for re-analyzing the whole circuit with the degradation-aware library.");
+    bench::cli::emit_report(&ctx, report.as_deref())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
 }

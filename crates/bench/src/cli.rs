@@ -1,0 +1,126 @@
+//! Shared CLI orchestration for the bench binaries.
+//!
+//! Every binary follows one contract:
+//!
+//! * exit 0 — success (including an explicit help request),
+//! * exit 1 — the flow ran and found analysis errors,
+//! * exit 2 — usage or I/O problems (bad flags, unreadable files),
+//!
+//! with failures rendered as `error: [<stage>] <diagnostic>` on stderr.
+//! A help request is modelled as `FlowError::Usage(String::new())`: the
+//! runner prints the usage text and exits 0 instead of treating it as a
+//! failure.
+
+use flow::{FlowError, RunContext};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Runs a fallible CLI body under the shared exit-code contract.
+///
+/// `usage` is printed verbatim on help requests (empty
+/// [`FlowError::Usage`]) and after genuine usage errors.
+pub fn run(usage: &str, body: impl FnOnce() -> Result<(), FlowError>) -> ExitCode {
+    run_code(usage, || body().map(|()| ExitCode::SUCCESS))
+}
+
+/// Like [`run`], but the body chooses its own success exit code — for
+/// linters whose diagnostics set exit 1 without being flow errors.
+pub fn run_code(usage: &str, body: impl FnOnce() -> Result<ExitCode, FlowError>) -> ExitCode {
+    match body() {
+        Ok(code) => code,
+        Err(FlowError::Usage(message)) if message.is_empty() => {
+            println!("{}", usage.trim_end());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, FlowError::Usage(_)) {
+                eprintln!("\n{}", usage.trim_end());
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+/// Extracts `--report <path>` (and `-h`/`--help`) from raw argv, returning
+/// the remaining positional/flag arguments plus the requested report path.
+///
+/// # Errors
+///
+/// Returns an empty [`FlowError::Usage`] for a help request and a
+/// descriptive one when `--report` is missing its path operand.
+pub fn take_common_flags(argv: &[String]) -> Result<(Vec<String>, Option<PathBuf>), FlowError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut report = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(FlowError::Usage(String::new())),
+            "--report" => match it.next() {
+                Some(path) => report = Some(PathBuf::from(path)),
+                None => {
+                    return Err(FlowError::Usage("--report requires a file path".into()));
+                }
+            },
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, report))
+}
+
+/// Serializes `ctx`'s run report to `path` when one was requested.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Io`] when the report file cannot be written.
+pub fn emit_report(ctx: &RunContext, path: Option<&Path>) -> Result<(), FlowError> {
+    if let Some(path) = path {
+        ctx.report().write(path)?;
+        eprintln!("run report written to {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_flags_extract_report_and_keep_rest() {
+        let argv: Vec<String> = ["--smoke", "--report", "out/run.json", "dct"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (rest, report) = take_common_flags(&argv).unwrap();
+        assert_eq!(rest, vec!["--smoke".to_owned(), "dct".to_owned()]);
+        assert_eq!(report, Some(PathBuf::from("out/run.json")));
+    }
+
+    #[test]
+    fn help_is_an_empty_usage_error() {
+        let argv = vec!["--help".to_owned()];
+        let err = take_common_flags(&argv).unwrap_err();
+        assert!(matches!(err, FlowError::Usage(m) if m.is_empty()));
+    }
+
+    #[test]
+    fn report_without_path_is_a_usage_error() {
+        let argv = vec!["--report".to_owned()];
+        let err = take_common_flags(&argv).unwrap_err();
+        assert!(matches!(err, FlowError::Usage(m) if m.contains("--report")));
+    }
+
+    #[test]
+    fn emit_report_writes_schema_tagged_json() {
+        let ctx = RunContext::new();
+        ctx.record_stage("demo", 0.005, 3);
+        let dir = std::env::temp_dir().join("reliaware-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        emit_report(&ctx, Some(&path)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("reliaware-run-v1"));
+        assert!(text.contains("\"demo\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

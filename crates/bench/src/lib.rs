@@ -9,13 +9,16 @@
 //! repeated runs are fast and the artifacts stay inspectable.
 
 use bti::AgingScenario;
-use flow::{CharConfig, Characterizer};
+use flow::{CharConfig, Characterizer, FlowError, RunContext};
 use liberty::{parse_library, write_library, Library};
 use netlist::verilog::{parse_verilog, write_verilog};
 use netlist::Netlist;
 use std::path::PathBuf;
+use std::sync::Arc;
 use stdcells::CellSet;
 use synth::MapOptions;
+
+pub mod cli;
 
 /// The artifact cache directory: `$RELIAWARE_CACHE` or
 /// `target/reliaware-cache`.
@@ -27,9 +30,24 @@ pub fn cache_dir() -> PathBuf {
 }
 
 /// The paper-grade characterizer: all 68 cells on the 7×7 OPC grid.
-#[must_use]
-pub fn characterizer() -> Characterizer {
-    Characterizer::new(CellSet::nangate45_like(), CharConfig::paper())
+///
+/// # Errors
+///
+/// Propagates [`FlowError::Char`] (the paper config always validates, but
+/// the caller sees any future validation failure as a typed error).
+pub fn characterizer() -> Result<Characterizer, FlowError> {
+    Ok(Characterizer::new(CellSet::nangate45_like(), CharConfig::paper())?)
+}
+
+/// [`characterizer`] wired into a [`RunContext`]: inherits the context's
+/// worker count and arc cache, and bills its work to the `characterize`
+/// stage of the context's run report.
+///
+/// # Errors
+///
+/// Same as [`characterizer`].
+pub fn characterizer_in(ctx: &Arc<RunContext>) -> Result<Characterizer, FlowError> {
+    Ok(Characterizer::in_context(CellSet::nangate45_like(), CharConfig::paper(), ctx)?)
 }
 
 /// Evaluation lifetime used throughout the figures (the paper's 10 years).
@@ -37,114 +55,133 @@ pub const LIFETIME_YEARS: f64 = 10.0;
 
 /// Cached characterized library for `scenario`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cache directory is unusable.
-#[must_use]
-pub fn library_for(scenario: &AgingScenario) -> Library {
-    characterizer()
-        .library_cached(&cache_dir(), scenario)
-        .expect("library cache directory must be writable")
+/// Returns [`FlowError::Char`] when the cache directory is unusable or
+/// characterization fails.
+pub fn library_for(scenario: &AgingScenario) -> Result<Library, FlowError> {
+    Ok(characterizer()?.library_cached(&cache_dir(), scenario)?)
 }
 
 /// The fresh (initial, degradation-unaware) library.
-#[must_use]
-pub fn fresh_library() -> Library {
+///
+/// # Errors
+///
+/// See [`library_for`].
+pub fn fresh_library() -> Result<Library, FlowError> {
     library_for(&AgingScenario::fresh())
 }
 
 /// The worst-case (λ = 1, 10 y) degradation-aware library.
-#[must_use]
-pub fn worst_library() -> Library {
+///
+/// # Errors
+///
+/// See [`library_for`].
+pub fn worst_library() -> Result<Library, FlowError> {
     library_for(&AgingScenario::worst_case(LIFETIME_YEARS))
 }
 
 /// The balanced-stress (λ = 0.5) library at `years`.
-#[must_use]
-pub fn balanced_library(years: f64) -> Library {
+///
+/// # Errors
+///
+/// See [`library_for`].
+pub fn balanced_library(years: f64) -> Result<Library, FlowError> {
     library_for(&AgingScenario::balanced(years))
 }
 
 /// The worst-case library with mobility degradation ignored (ΔVth-only
 /// state of the art), cached separately.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cache directory is unusable.
-#[must_use]
-pub fn worst_vth_only_library() -> Library {
+/// Returns [`FlowError::Io`] for an unusable cache directory and
+/// propagates characterization failures.
+pub fn worst_vth_only_library() -> Result<Library, FlowError> {
     let dir = cache_dir();
-    std::fs::create_dir_all(&dir).expect("cache dir");
+    std::fs::create_dir_all(&dir).map_err(|e| FlowError::io(dir.display(), &e))?;
     let path = dir.join("lib_vthonly_worst_10y_7x7.lib");
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(lib) = parse_library(&text) {
             if lib.len() == 68 {
-                return lib;
+                return Ok(lib);
             }
         }
     }
-    let lib = characterizer().library_vth_only(&AgingScenario::worst_case(LIFETIME_YEARS));
-    std::fs::write(&path, write_library(&lib)).expect("cache write");
-    lib
+    let lib = characterizer()?.library_vth_only(&AgingScenario::worst_case(LIFETIME_YEARS))?;
+    std::fs::write(&path, write_library(&lib)).map_err(|e| FlowError::io(path.display(), &e))?;
+    Ok(lib)
 }
 
 /// Synthesizes (or loads from cache) `design` against `library`; the cache
 /// key couples the design and library names.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on synthesis failure or unusable cache.
-#[must_use]
-pub fn synthesized(design: &circuits::Design, library: &Library, tag: &str) -> Netlist {
+/// Returns [`FlowError::Synth`] on synthesis failure and [`FlowError::Io`]
+/// for an unusable cache.
+pub fn synthesized(
+    design: &circuits::Design,
+    library: &Library,
+    tag: &str,
+) -> Result<Netlist, FlowError> {
     let dir = cache_dir();
-    std::fs::create_dir_all(&dir).expect("cache dir");
+    std::fs::create_dir_all(&dir).map_err(|e| FlowError::io(dir.display(), &e))?;
     let path = dir.join(format!("netlist_{}_{tag}.v", design.name.replace('-', "_")));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(nl) = parse_verilog(&text) {
             if nl.validate(library).is_ok() {
-                return nl;
+                return Ok(nl);
             }
         }
     }
-    let nl = flow::synthesize_best(&design.aig, library, &MapOptions::default())
-        .unwrap_or_else(|e| panic!("synthesis of {} failed: {e}", design.name));
-    std::fs::write(&path, write_verilog(&nl)).expect("cache write");
-    nl
+    let nl = flow::synthesize_best(&design.aig, library, &MapOptions::default())?;
+    std::fs::write(&path, write_verilog(&nl)).map_err(|e| FlowError::io(path.display(), &e))?;
+    Ok(nl)
 }
 
 /// The aging-aware netlist of `design` (cached): candidates mapped with
 /// both libraries, selected and sized by **aged** timing (paper Sec. 4.3).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on synthesis failure or unusable cache.
-#[must_use]
-pub fn aware_netlist(design: &circuits::Design, fresh: &Library, aged: &Library) -> Netlist {
+/// Returns [`FlowError::Synth`] on synthesis failure and [`FlowError::Io`]
+/// for an unusable cache.
+pub fn aware_netlist(
+    design: &circuits::Design,
+    fresh: &Library,
+    aged: &Library,
+) -> Result<Netlist, FlowError> {
     let dir = cache_dir();
-    std::fs::create_dir_all(&dir).expect("cache dir");
+    std::fs::create_dir_all(&dir).map_err(|e| FlowError::io(dir.display(), &e))?;
     let path = dir.join(format!("netlist_{}_aware.v", design.name.replace('-', "_")));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(nl) = parse_verilog(&text) {
             if nl.validate(aged).is_ok() {
-                return nl;
+                return Ok(nl);
             }
         }
     }
-    let nl = flow::synthesize_aging_aware(&design.aig, fresh, aged, &MapOptions::default())
-        .unwrap_or_else(|e| panic!("aware synthesis of {} failed: {e}", design.name));
-    std::fs::write(&path, write_verilog(&nl)).expect("cache write");
-    nl
+    let nl = flow::synthesize_aging_aware(&design.aig, fresh, aged, &MapOptions::default())?;
+    std::fs::write(&path, write_verilog(&nl)).map_err(|e| FlowError::io(path.display(), &e))?;
+    Ok(nl)
 }
 
 /// All seven paper benchmarks synthesized against `library` (cached),
 /// in the paper's order: DSP, FFT, RISC-6P, RISC-5P, VLIW, DCT, IDCT.
-#[must_use]
-pub fn benchmark_netlists(library: &Library, tag: &str) -> Vec<(circuits::Design, Netlist)> {
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] from [`synthesized`].
+pub fn benchmark_netlists(
+    library: &Library,
+    tag: &str,
+) -> Result<Vec<(circuits::Design, Netlist)>, FlowError> {
     circuits::all_benchmarks()
         .into_iter()
         .map(|d| {
-            let nl = synthesized(&d, library, tag);
-            (d, nl)
+            let nl = synthesized(&d, library, tag)?;
+            Ok((d, nl))
         })
         .collect()
 }
@@ -165,48 +202,51 @@ pub struct ImageChain {
 impl ImageChain {
     /// Builds the chain for the aging-unaware baseline (`aware = false`) or
     /// the aging-aware design.
-    #[must_use]
-    pub fn build(fresh: &Library, aged: &Library, aware: bool) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/cache failures from [`synthesized`] and
+    /// [`aware_netlist`].
+    pub fn build(fresh: &Library, aged: &Library, aware: bool) -> Result<Self, FlowError> {
         let dct_design = circuits::dct8();
         let idct_design = circuits::idct8();
         let (dct, idct) = if aware {
-            (aware_netlist(&dct_design, fresh, aged), aware_netlist(&idct_design, fresh, aged))
+            (aware_netlist(&dct_design, fresh, aged)?, aware_netlist(&idct_design, fresh, aged)?)
         } else {
-            (synthesized(&dct_design, fresh, "fresh"), synthesized(&idct_design, fresh, "fresh"))
+            (synthesized(&dct_design, fresh, "fresh")?, synthesized(&idct_design, fresh, "fresh")?)
         };
-        ImageChain { dct_design, idct_design, dct, idct }
+        Ok(ImageChain { dct_design, idct_design, dct, idct })
     }
 
     /// The chain's fresh critical path (the larger of the two circuits).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on STA failure.
-    #[must_use]
-    pub fn fresh_period(&self, fresh: &Library) -> f64 {
+    /// Returns [`FlowError::Sta`] on analysis failure.
+    pub fn fresh_period(&self, fresh: &Library) -> Result<f64, FlowError> {
         let c = sta::Constraints::default();
-        let a = sta::analyze(&self.dct, fresh, &c).expect("sta").critical_delay();
-        let b = sta::analyze(&self.idct, fresh, &c).expect("sta").critical_delay();
-        a.max(b)
+        let a = sta::analyze(&self.dct, fresh, &c)?.critical_delay();
+        let b = sta::analyze(&self.idct, fresh, &c)?.critical_delay();
+        Ok(a.max(b))
     }
 
     /// Runs `image` through the chain with delays of `scenario_lib` at
     /// clock period `period`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on simulation failure.
-    #[must_use]
+    /// Returns [`FlowError::Sta`] on annotation failure and
+    /// [`FlowError::Eval`] on simulation failure.
     pub fn run(
         &self,
         image: &imgproc::GrayImage,
         scenario_lib: &Library,
         period: f64,
-    ) -> flow::ImageChainResult {
+    ) -> Result<flow::ImageChainResult, FlowError> {
         let c = sta::Constraints::default();
-        let dct_ann = flow::annotation_from_sta(&self.dct, scenario_lib, &c).expect("sta");
-        let idct_ann = flow::annotation_from_sta(&self.idct, scenario_lib, &c).expect("sta");
-        flow::run_image_chain(
+        let dct_ann = flow::annotation_from_sta(&self.dct, scenario_lib, &c)?;
+        let idct_ann = flow::annotation_from_sta(&self.idct, scenario_lib, &c)?;
+        Ok(flow::run_image_chain(
             image,
             &self.dct,
             &self.dct_design,
@@ -216,8 +256,7 @@ impl ImageChain {
             &dct_ann,
             &idct_ann,
             period,
-        )
-        .expect("image chain")
+        )?)
     }
 }
 

@@ -43,7 +43,7 @@ fn butterfly(
 }
 
 /// Builds the FFT benchmark: two independent butterflies behind input
-/// registers, results registered and truncated back to [`DATA_BITS`].
+/// registers, results registered and truncated back to `DATA_BITS` wide.
 #[must_use]
 pub fn fft_butterflies() -> Design {
     let mut aig = Aig::new();

@@ -16,7 +16,8 @@ fn bench_single_cell(c: &mut Criterion) {
     group.sample_size(10);
     let scenario = AgingScenario::worst_case(10.0);
     for name in ["INV_X1", "NAND2_X1", "FA_X1"] {
-        let chars = Characterizer::new(CellSet::nangate45_like().subset(&[name]), config());
+        let chars = Characterizer::new(CellSet::nangate45_like().subset(&[name]), config())
+            .expect("valid config");
         group.bench_function(name, |b| b.iter(|| chars.library(&scenario)));
     }
     group.finish();
@@ -28,6 +29,7 @@ fn bench_warm_cache(c: &mut Criterion) {
     let scenario = AgingScenario::worst_case(10.0);
     let cache = Arc::new(ArcCache::in_memory());
     let chars = Characterizer::new(CellSet::nangate45_like().subset(&["NAND2_X1"]), config())
+        .expect("valid config")
         .with_cache(Arc::clone(&cache));
     let _prime = chars.library(&scenario);
     group.bench_function("NAND2_X1", |b| b.iter(|| chars.library(&scenario)));

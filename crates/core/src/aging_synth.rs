@@ -107,7 +107,9 @@ pub fn synthesize_best(
             best = Some((delay, nl));
         }
     }
-    let mut nl = best.expect("at least one candidate").1;
+    let Some((_, mut nl)) = best else {
+        return Err(SynthError::Preflight("synthesis produced no candidates".into()));
+    };
     synth::optimize_critical_path(&mut nl, library, 6)?;
     synth::area_recover(&mut nl, library, None)?;
     Ok(nl)
@@ -151,7 +153,9 @@ pub fn synthesize_aging_aware(
             }
         }
     }
-    let mut nl = best.expect("candidates exist").1;
+    let Some((_, mut nl)) = best else {
+        return Err(SynthError::Preflight("synthesis produced no candidates".into()));
+    };
     synth::optimize_critical_path(&mut nl, aged, 6)?;
     synth::area_recover(&mut nl, aged, None)?;
     // Post-synthesis netlist pre-flight: structural NL rules plus the DF

@@ -151,13 +151,18 @@ impl ArcCache {
     /// hit into memory). Records hit/miss statistics.
     #[must_use]
     pub fn lookup(&self, key: u64) -> Option<ArcTables> {
-        if let Some(hit) = self.memory.lock().expect("cache lock").get(&key) {
+        if let Some(hit) =
+            self.memory.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+        {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
             return Some(hit.clone());
         }
         if let Some(tables) = self.dir.as_ref().and_then(|d| read_entry(&d.join(entry_name(key)))) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            self.memory.lock().expect("cache lock").insert(key, tables.clone());
+            self.memory
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(key, tables.clone());
             return Some(tables);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -174,7 +179,10 @@ impl ArcCache {
     /// Panics if the table shape is internally inconsistent.
     pub fn store(&self, key: u64, tables: &ArcTables) {
         assert!(tables.shape_ok(), "malformed arc tables");
-        self.memory.lock().expect("cache lock").insert(key, tables.clone());
+        self.memory
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, tables.clone());
         if let Some(dir) = &self.dir {
             if std::fs::create_dir_all(dir).is_err() {
                 return;

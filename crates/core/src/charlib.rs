@@ -1,6 +1,8 @@
 //! Degradation-aware cell library creation (paper Sec. 4.1, Fig. 4(a)).
 
 use crate::cache::{ArcCache, ArcTables, KeyHasher};
+use crate::context::RunContext;
+use crate::error::CharError;
 use crate::pool;
 use bti::AgingScenario;
 use liberty::{
@@ -62,6 +64,39 @@ impl CharConfig {
             ..Self::paper()
         }
     }
+
+    /// Checks that the configuration describes a usable OPC grid: both axes
+    /// non-empty, strictly increasing and positive; `vdd` and `max_dv`
+    /// positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CharError> {
+        let axis = |name: &str, values: &[f64]| -> Result<(), CharError> {
+            let bad = |message: String| Err(CharError::InvalidConfig { message });
+            if values.is_empty() {
+                return bad(format!("{name} axis is empty"));
+            }
+            if !values.iter().all(|v| v.is_finite() && *v > 0.0) {
+                return bad(format!("{name} axis values must be positive and finite"));
+            }
+            if !values.windows(2).all(|w| w[0] < w[1]) {
+                return bad(format!("{name} axis must be strictly increasing"));
+            }
+            Ok(())
+        };
+        axis("slews", &self.slews)?;
+        axis("loads", &self.loads)?;
+        for (name, v) in [("vdd", self.vdd), ("max_dv", self.max_dv)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CharError::InvalidConfig {
+                    message: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 fn default_parallelism() -> usize {
@@ -81,13 +116,61 @@ pub struct Characterizer {
     cells: CellSet,
     config: CharConfig,
     cache: Option<Arc<ArcCache>>,
+    ctx: Option<Arc<RunContext>>,
 }
 
 impl Characterizer {
     /// Creates a characterizer over `cells` with `config` (no cache).
-    #[must_use]
-    pub fn new(cells: CellSet, config: CharConfig) -> Self {
-        Characterizer { cells, config, cache: None }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::InvalidConfig`] for a degenerate OPC grid and
+    /// [`CharError::EmptyCellSet`] when there is nothing to characterize.
+    pub fn new(cells: CellSet, config: CharConfig) -> Result<Self, CharError> {
+        config.validate()?;
+        if cells.is_empty() {
+            return Err(CharError::EmptyCellSet);
+        }
+        Ok(Characterizer { cells, config, cache: None, ctx: None })
+    }
+
+    /// Creates a characterizer over the named subset of `catalog`,
+    /// rejecting unknown names — unlike [`stdcells::CellSet::subset`],
+    /// which silently drops them and would yield a partial (or empty)
+    /// library that downstream STA reports as missing-cell errors far from
+    /// the cause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::UnknownCell`] naming the first unresolved cell,
+    /// plus the [`Characterizer::new`] validation errors.
+    pub fn for_named_cells(
+        catalog: &CellSet,
+        names: &[&str],
+        config: CharConfig,
+    ) -> Result<Self, CharError> {
+        let subset =
+            catalog.checked_subset(names).map_err(|cell| CharError::UnknownCell { cell })?;
+        Self::new(subset, config)
+    }
+
+    /// Creates a characterizer wired into a [`RunContext`]: it inherits the
+    /// context's worker count and arc cache (if one is attached) and
+    /// attributes its task counts to the context's `characterize` stage.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Characterizer::new`].
+    pub fn in_context(
+        cells: CellSet,
+        config: CharConfig,
+        ctx: &Arc<RunContext>,
+    ) -> Result<Self, CharError> {
+        let config = CharConfig { parallelism: ctx.workers(), ..config };
+        let mut chars = Self::new(cells, config)?;
+        chars.cache = ctx.cache();
+        chars.ctx = Some(Arc::clone(ctx));
+        Ok(chars)
     }
 
     /// Attaches a two-tier arc cache consulted before every transient
@@ -113,8 +196,11 @@ impl Characterizer {
 
     /// Characterizes the full cell set under `scenario`, producing one
     /// degradation-aware library.
-    #[must_use]
-    pub fn library(&self, scenario: &AgingScenario) -> Library {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CharError`] from the underlying cell characterization.
+    pub fn library(&self, scenario: &AgingScenario) -> Result<Library, CharError> {
         let d = scenario.degradations();
         let nmos = MosModel::nmos_45nm().degraded(&d.nmos);
         let pmos = MosModel::pmos_45nm().degraded(&d.pmos);
@@ -123,8 +209,11 @@ impl Characterizer {
 
     /// Like [`Characterizer::library`] but dropping the mobility
     /// degradation — the ΔVth-only state of the art of Fig. 5(a).
-    #[must_use]
-    pub fn library_vth_only(&self, scenario: &AgingScenario) -> Library {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CharError`] from the underlying cell characterization.
+    pub fn library_vth_only(&self, scenario: &AgingScenario) -> Result<Library, CharError> {
         let d = scenario.degradations();
         let nmos = MosModel::nmos_45nm().degraded(&d.nmos.vth_only());
         let pmos = MosModel::pmos_45nm().degraded(&d.pmos.vth_only());
@@ -134,15 +223,27 @@ impl Characterizer {
     /// Characterizes under explicit device models. Cells are independent
     /// task units on the shared pool (they vary >10× in arc count, so the
     /// dynamic queue load-balances where static chunking cannot).
-    #[must_use]
-    pub fn library_with_models(&self, name: &str, nmos: &MosModel, pmos: &MosModel) -> Library {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CharError`] (in cell order) from the pooled
+    /// cell characterizations.
+    pub fn library_with_models(
+        &self,
+        name: &str,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Result<Library, CharError> {
         let mut lib = self.empty_library(name);
         let defs: Vec<&CellDef> = self.cells.iter().collect();
+        if let Some(ctx) = &self.ctx {
+            ctx.add_tasks("characterize", defs.len() as u64);
+        }
         let workers = self.config.parallelism.clamp(1, defs.len().max(1));
         for cell in pool::parallel_map(workers, &defs, |d| self.characterize_cell(d, nmos, pmos)) {
-            lib.add_cell(cell);
+            lib.add_cell(cell?);
         }
-        lib
+        Ok(lib)
     }
 
     /// The N×N grid of per-scenario libraries merged into one *complete*
@@ -154,8 +255,12 @@ impl Characterizer {
     /// scenario — the scenario loop itself is no longer a sequential outer
     /// wall. The result is assembled by task index and therefore identical
     /// to the sequential build.
-    #[must_use]
-    pub fn complete_library(&self, steps: u32, years: f64) -> Library {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CharError`] (in task order) from the pooled
+    /// cell characterizations.
+    pub fn complete_library(&self, steps: u32, years: f64) -> Result<Library, CharError> {
         let scenarios = AgingScenario::grid(steps, years);
         let defs: Vec<&CellDef> = self.cells.iter().collect();
         let models: Vec<(LambdaTag, String, MosModel, MosModel)> = scenarios
@@ -174,6 +279,9 @@ impl Characterizer {
             .collect();
         let tasks: Vec<(usize, usize)> =
             (0..models.len()).flat_map(|s| (0..defs.len()).map(move |c| (s, c))).collect();
+        if let Some(ctx) = &self.ctx {
+            ctx.add_tasks("characterize", tasks.len() as u64);
+        }
         let workers = self.config.parallelism.clamp(1, tasks.len().max(1));
         let cells = pool::parallel_map(workers, &tasks, |&(si, ci)| {
             self.characterize_cell(defs[ci], &models[si].2, &models[si].3)
@@ -184,11 +292,16 @@ impl Characterizer {
         for (tag, name, _, _) in &models {
             let mut lib = self.empty_library(name);
             for _ in 0..defs.len() {
-                lib.add_cell(cells.next().expect("one characterized cell per task"));
+                match cells.next() {
+                    Some(cell) => {
+                        lib.add_cell(cell?);
+                    }
+                    None => unreachable!("one characterized cell per task"),
+                }
             }
             parts.push((*tag, lib));
         }
-        merge_indexed("complete", &parts)
+        Ok(merge_indexed("complete", &parts))
     }
 
     /// Disk-cached variant of [`Characterizer::library`]: libraries are
@@ -201,10 +314,19 @@ impl Characterizer {
     ///
     /// # Errors
     ///
-    /// Returns I/O errors from the cache directory; a corrupt cache entry
-    /// is re-characterized and overwritten.
-    pub fn library_cached(&self, dir: &Path, scenario: &AgingScenario) -> std::io::Result<Library> {
-        std::fs::create_dir_all(dir)?;
+    /// Returns [`CharError::Io`] for cache-directory failures and
+    /// propagates characterization errors; a corrupt cache entry is
+    /// re-characterized and overwritten.
+    pub fn library_cached(
+        &self,
+        dir: &Path,
+        scenario: &AgingScenario,
+    ) -> Result<Library, CharError> {
+        let io = |e: std::io::Error| CharError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::create_dir_all(dir).map_err(io)?;
         let key = format!("lib_{}_{:016x}.lib", scenario.index_tag(), self.library_key(scenario));
         let path = dir.join(key);
         if let Ok(text) = std::fs::read_to_string(&path) {
@@ -214,8 +336,8 @@ impl Characterizer {
                 }
             }
         }
-        let lib = self.library(scenario);
-        std::fs::write(&path, write_library(&lib))?;
+        let lib = self.library(scenario)?;
+        std::fs::write(&path, write_library(&lib)).map_err(io)?;
         Ok(lib)
     }
 
@@ -292,11 +414,14 @@ impl Characterizer {
         (t.rows == self.config.slews.len() && t.cols == self.config.loads.len()).then_some(t)
     }
 
-    /// Builds the Liberty arc from (fresh or cached) grid tables.
+    /// Builds the Liberty arc from (fresh or cached) grid tables. The axes
+    /// are validated at construction, so table assembly cannot fail.
     fn arc_from_tables(&self, related_pin: &str, sense: TimingSense, t: &ArcTables) -> TimingArc {
         let cfg = &self.config;
-        let table = |v: &[f64]| {
-            Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v.to_vec()).expect("grid is valid")
+        let table = |v: &[f64]| match Table2d::new(cfg.slews.clone(), cfg.loads.clone(), v.to_vec())
+        {
+            Ok(t) => t,
+            Err(e) => unreachable!("axes validated at construction: {e}"),
         };
         TimingArc {
             related_pin: related_pin.to_owned(),
@@ -309,7 +434,12 @@ impl Characterizer {
     }
 
     /// Characterizes one cell under the given device models.
-    fn characterize_cell(&self, def: &CellDef, nmos: &MosModel, pmos: &MosModel) -> Cell {
+    fn characterize_cell(
+        &self,
+        def: &CellDef,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Result<Cell, CharError> {
         let cfg = &self.config;
         let inputs: Vec<InputPin> = def
             .inputs
@@ -335,13 +465,13 @@ impl Characterizer {
             let function = def.function(&out.pin);
             let mut arcs = Vec::new();
             if def.is_sequential() {
-                arcs.push(self.characterize_flop_arc(def, nmos, pmos));
+                arcs.push(self.characterize_flop_arc(def, nmos, pmos)?);
             } else {
                 for input in &def.inputs {
                     let Some(sense) = def.timing_sense(input, &out.pin) else {
                         continue; // output independent of this input
                     };
-                    arcs.push(self.characterize_arc(def, input, &out.pin, sense, nmos, pmos));
+                    arcs.push(self.characterize_arc(def, input, &out.pin, sense, nmos, pmos)?);
                 }
             }
             outputs.push(OutputPin {
@@ -351,7 +481,7 @@ impl Characterizer {
                 arcs,
             });
         }
-        Cell { name: def.name.clone(), area: def.area(), class, inputs, outputs }
+        Ok(Cell { name: def.name.clone(), area: def.area(), class, inputs, outputs })
     }
 
     /// Characterizes one combinational input→output arc over the OPC grid.
@@ -363,7 +493,7 @@ impl Characterizer {
         sense: TimingSense,
         nmos: &MosModel,
         pmos: &MosModel,
-    ) -> TimingArc {
+    ) -> Result<TimingArc, CharError> {
         let cfg = &self.config;
         let side = def.sensitizing_assignment(input, output).unwrap_or_default();
         // Output polarity for a rising input under this sensitization.
@@ -382,7 +512,7 @@ impl Characterizer {
 
         let key = self.arc_key(def, "comb", input, output, nmos, pmos);
         if let Some(t) = self.cached_tables(key) {
-            return self.arc_from_tables(input, sense, &t);
+            return Ok(self.arc_from_tables(input, sense, &t));
         }
 
         let rows = cfg.slews.len();
@@ -407,7 +537,7 @@ impl Characterizer {
                         load,
                         nmos,
                         pmos,
-                    );
+                    )?;
                     let idx = si * cols + li;
                     if output_rising {
                         rise_delay[idx] = m.0;
@@ -423,7 +553,7 @@ impl Characterizer {
         if let Some(cache) = &self.cache {
             cache.store(key, &tables);
         }
-        self.arc_from_tables(input, sense, &tables)
+        Ok(self.arc_from_tables(input, sense, &tables))
     }
 
     /// Runs one transient simulation and measures `(delay, output slew)`.
@@ -440,7 +570,7 @@ impl Characterizer {
         load: f64,
         nmos: &MosModel,
         pmos: &MosModel,
-    ) -> (f64, f64) {
+    ) -> Result<(f64, f64), CharError> {
         let cfg = &self.config;
         let t_edge = 0.3e-9;
         let mut stimuli: BTreeMap<String, Waveform> = BTreeMap::new();
@@ -450,30 +580,37 @@ impl Characterizer {
         }
         let loads: BTreeMap<String, f64> = [(output.to_owned(), load)].into_iter().collect();
         let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
-        let in_node = inst.node(input).expect("input exists");
-        let out_node = inst.node(output).expect("output exists");
+        let missing = |pin: &str| CharError::MissingPin { cell: def.name.clone(), pin: pin.into() };
+        let in_node = inst.node(input).ok_or_else(|| missing(input))?;
+        let out_node = inst.node(output).ok_or_else(|| missing(output))?;
         let t_stop = t_edge + 4.0 * slew + 3.0e-9;
         // Lean traces: only the measured pins are recorded; the other
         // (internal) nodes are still integrated but never stored.
         let config =
             TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[in_node, out_node]);
         let trace = inst.circuit.transient(&config);
-        match trace.measure_edge(in_node, input_rising, out_node, output_rising, 0.1e-9) {
+        Ok(match trace.measure_edge(in_node, input_rising, out_node, output_rising, 0.1e-9) {
             Some(m) => (m.delay, m.output_slew),
             None => {
                 // The edge did not propagate (should not happen for a valid
                 // sensitization); fall back to a conservative large delay.
-                (t_stop - t_edge, *cfg.slews.last().expect("nonempty"))
+                // The slew axis is non-empty by construction-time validation.
+                (t_stop - t_edge, cfg.slews[cfg.slews.len() - 1])
             }
-        }
+        })
     }
 
     /// Characterizes the CLK→Q arc of a flip-flop.
-    fn characterize_flop_arc(&self, def: &CellDef, nmos: &MosModel, pmos: &MosModel) -> TimingArc {
+    fn characterize_flop_arc(
+        &self,
+        def: &CellDef,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Result<TimingArc, CharError> {
         let cfg = &self.config;
         let key = self.arc_key(def, "flop", "CK", "Q", nmos, pmos);
         if let Some(t) = self.cached_tables(key) {
-            return self.arc_from_tables("CK", TimingSense::PositiveUnate, &t);
+            return Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &t));
         }
         let rows = cfg.slews.len();
         let cols = cfg.loads.len();
@@ -499,8 +636,12 @@ impl Characterizer {
                     let loads: BTreeMap<String, f64> =
                         [("Q".to_owned(), load)].into_iter().collect();
                     let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
-                    let ck = inst.node("CK").expect("CK exists");
-                    let q = inst.node("Q").expect("Q exists");
+                    let missing = |pin: &str| CharError::MissingPin {
+                        cell: def.name.clone(),
+                        pin: pin.into(),
+                    };
+                    let ck = inst.node("CK").ok_or_else(|| missing("CK"))?;
+                    let q = inst.node("Q").ok_or_else(|| missing("Q"))?;
                     let t_stop = t_clk + 4.0 * slew + 3.0e-9;
                     let config =
                         TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[ck, q]);
@@ -508,7 +649,7 @@ impl Characterizer {
                     let m = trace.measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9).unwrap_or(
                         spicesim::EdgeMeasurement {
                             delay: t_stop - t_clk,
-                            output_slew: *cfg.slews.last().expect("nonempty"),
+                            output_slew: cfg.slews[cfg.slews.len() - 1],
                         },
                     );
                     let idx = si * cols + li;
@@ -526,7 +667,7 @@ impl Characterizer {
         if let Some(cache) = &self.cache {
             cache.store(key, &tables);
         }
-        self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables)
+        Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables))
     }
 }
 
@@ -554,9 +695,68 @@ mod tests {
     }
 
     #[test]
+    fn config_validation_rejects_degenerate_grids() {
+        let bad = |cfg: CharConfig, needle: &str| {
+            let e = Characterizer::new(tiny_set(), cfg).unwrap_err();
+            match e {
+                CharError::InvalidConfig { message } => {
+                    assert!(message.contains(needle), "{message} vs {needle}");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        };
+        bad(CharConfig { slews: vec![], ..tiny_config() }, "slews axis is empty");
+        bad(CharConfig { loads: vec![], ..tiny_config() }, "loads axis is empty");
+        bad(CharConfig { slews: vec![300e-12, 10e-12], ..tiny_config() }, "strictly increasing");
+        bad(CharConfig { loads: vec![1e-15, 1e-15], ..tiny_config() }, "strictly increasing");
+        bad(CharConfig { slews: vec![-1e-12, 10e-12], ..tiny_config() }, "positive");
+        bad(CharConfig { vdd: 0.0, ..tiny_config() }, "vdd");
+        bad(CharConfig { max_dv: f64::NAN, ..tiny_config() }, "max_dv");
+    }
+
+    #[test]
+    fn empty_cell_set_is_a_typed_error() {
+        let none = CellSet::nangate45_like().subset(&[]);
+        assert_eq!(Characterizer::new(none, tiny_config()).unwrap_err(), CharError::EmptyCellSet);
+    }
+
+    #[test]
+    fn unknown_cell_surfaces_instead_of_empty_library() {
+        let catalog = CellSet::nangate45_like();
+        let e = Characterizer::for_named_cells(&catalog, &["INV_X1", "XNOR9_X4"], tiny_config())
+            .unwrap_err();
+        assert_eq!(e, CharError::UnknownCell { cell: "XNOR9_X4".into() });
+        assert!(
+            Characterizer::for_named_cells(&catalog, &["INV_X1"], tiny_config()).is_ok(),
+            "known names must resolve"
+        );
+    }
+
+    #[test]
+    fn context_wires_workers_cache_and_tasks() {
+        use crate::cache::ArcCache;
+        use std::sync::Arc;
+        let ctx =
+            Arc::new(RunContext::new().with_workers(2).with_cache(Arc::new(ArcCache::in_memory())));
+        let chars = Characterizer::in_context(
+            CellSet::nangate45_like().subset(&["INV_X1"]),
+            tiny_config(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(chars.config().parallelism, 2);
+        assert!(chars.cache().is_some());
+        let _ = chars.library(&AgingScenario::fresh()).unwrap();
+        let report = ctx.report();
+        let stage = report.stages.iter().find(|s| s.name == "characterize").unwrap();
+        assert_eq!(stage.tasks, 1);
+        assert!(report.cache.is_some_and(|c| c.misses > 0));
+    }
+
+    #[test]
     fn fresh_library_structure() {
-        let chars = Characterizer::new(tiny_set(), tiny_config());
-        let lib = chars.library(&AgingScenario::fresh());
+        let chars = Characterizer::new(tiny_set(), tiny_config()).unwrap();
+        let lib = chars.library(&AgingScenario::fresh()).unwrap();
         assert_eq!(lib.len(), 4);
         let inv = lib.cell("INV_X1").unwrap();
         assert_eq!(inv.inputs.len(), 1);
@@ -582,9 +782,10 @@ mod tests {
         let chars = Characterizer::new(
             CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]),
             tiny_config(),
-        );
-        let fresh = chars.library(&AgingScenario::fresh());
-        let aged = chars.library(&AgingScenario::worst_case(10.0));
+        )
+        .unwrap();
+        let fresh = chars.library(&AgingScenario::fresh()).unwrap();
+        let aged = chars.library(&AgingScenario::worst_case(10.0)).unwrap();
         for name in ["INV_X1", "NAND2_X1"] {
             let f = fresh.cell(name).unwrap().worst_delay(10e-12, 10e-15);
             let a = aged.cell(name).unwrap().worst_delay(10e-12, 10e-15);
@@ -596,10 +797,11 @@ mod tests {
     #[test]
     fn vth_only_is_faster_than_full_degradation() {
         let chars =
-            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config())
+                .unwrap();
         let scenario = AgingScenario::worst_case(10.0);
-        let full = chars.library(&scenario);
-        let vth = chars.library_vth_only(&scenario);
+        let full = chars.library(&scenario).unwrap();
+        let vth = chars.library_vth_only(&scenario).unwrap();
         let df = full.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         let dv = vth.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         assert!(dv < df, "ΔVth-only must underestimate: {dv} vs {df}");
@@ -608,8 +810,9 @@ mod tests {
     #[test]
     fn complete_library_merges_grid() {
         let chars =
-            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
-        let complete = chars.complete_library(1, 10.0);
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config())
+                .unwrap();
+        let complete = chars.complete_library(1, 10.0).unwrap();
         // 2×2 grid × 1 cell.
         assert_eq!(complete.len(), 4);
         assert!(complete.cell("INV_X1_0.00_0.00").is_some());
@@ -618,9 +821,9 @@ mod tests {
 
     #[test]
     fn characterized_library_passes_sanity_check() {
-        let chars = Characterizer::new(tiny_set(), tiny_config());
+        let chars = Characterizer::new(tiny_set(), tiny_config()).unwrap();
         for scenario in [AgingScenario::fresh(), AgingScenario::worst_case(10.0)] {
-            let lib = chars.library(&scenario);
+            let lib = chars.library(&scenario).unwrap();
             let issues = lib.sanity_check();
             assert!(
                 issues.is_empty(),
@@ -635,7 +838,8 @@ mod tests {
         let dir = std::env::temp_dir().join("reliaware_test_cache");
         let _ = std::fs::remove_dir_all(&dir);
         let chars =
-            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config());
+            Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config())
+                .unwrap();
         let scenario = AgingScenario::worst_case(10.0);
         let first = chars.library_cached(&dir, &scenario).unwrap();
         let second = chars.library_cached(&dir, &scenario).unwrap();
@@ -652,12 +856,12 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cells = || CellSet::nangate45_like().subset(&["INV_X1"]);
         let scenario = AgingScenario::worst_case(10.0);
-        let first = Characterizer::new(cells(), tiny_config());
+        let first = Characterizer::new(cells(), tiny_config()).unwrap();
         let _ = first.library_cached(&dir, &scenario).unwrap();
         // Same axis lengths, different values.
         let moved =
             CharConfig { slews: vec![20e-12, 500e-12], loads: vec![2e-15, 8e-15], ..tiny_config() };
-        let second = Characterizer::new(cells(), moved.clone());
+        let second = Characterizer::new(cells(), moved.clone()).unwrap();
         let lib = second.library_cached(&dir, &scenario).unwrap();
         let arc = lib.cell("INV_X1").unwrap().output("Y").unwrap().arc_from("A").unwrap();
         assert_eq!(arc.cell_rise.slew_axis(), &moved.slews[..], "stale cache entry returned");
@@ -676,14 +880,15 @@ mod tests {
             CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1", "DFF_X1"]),
             tiny_config(),
         )
+        .unwrap()
         .with_cache(Arc::clone(&cache));
         let scenario = AgingScenario::worst_case(10.0);
-        let cold = chars.library(&scenario);
+        let cold = chars.library(&scenario).unwrap();
         let cold_stats = cache.stats();
         assert_eq!(cold_stats.memory_hits + cold_stats.disk_hits, 0);
         assert!(cold_stats.misses > 0);
         cache.reset_stats();
-        let warm = chars.library(&scenario);
+        let warm = chars.library(&scenario).unwrap();
         assert_eq!(cold, warm);
         let warm_stats = cache.stats();
         assert_eq!(warm_stats.misses, 0, "warm run must not simulate");
@@ -699,9 +904,10 @@ mod tests {
         let cache = Arc::new(ArcCache::in_memory());
         let chars =
             Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), tiny_config())
+                .unwrap()
                 .with_cache(Arc::clone(&cache));
-        let fresh = chars.library(&AgingScenario::fresh());
-        let aged = chars.library(&AgingScenario::worst_case(10.0));
+        let fresh = chars.library(&AgingScenario::fresh()).unwrap();
+        let aged = chars.library(&AgingScenario::worst_case(10.0)).unwrap();
         let f = fresh.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         let a = aged.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         assert!(a > f, "aged library must not reuse fresh-model cache entries");

@@ -57,7 +57,7 @@ pub fn estimate_guardband(
 }
 
 /// The (wrong) guardband obtained when only the *initial* critical path is
-/// tracked under aging (the paper's Fig. 5(c) comparison against [13]):
+/// tracked under aging (the paper's Fig. 5(c) comparison against \[13\]):
 /// the fresh critical path is re-costed with the aged library instead of
 /// re-analyzing the whole circuit.
 ///

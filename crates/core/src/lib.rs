@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! The reliability-aware design flow of the paper (its primary
 //! contribution): degradation-aware cell libraries plugged into standard
 //! timing analysis and logic synthesis.
@@ -26,24 +27,34 @@
 //! (a two-tier, content-hashed memo of per-arc simulation results). Both
 //! preserve bit-identical output for any thread count and cache state.
 //!
+//! Failures at every stage are typed ([`FlowError`] and the per-crate
+//! errors it wraps; see [`error`]) and a [`RunContext`] threads cache,
+//! worker count and per-stage instrumentation through a whole run
+//! (see [`context`]).
+//!
 //! # Example (fast settings)
 //!
 //! ```no_run
 //! use bti::AgingScenario;
-//! use flow::{CharConfig, Characterizer};
+//! use flow::{CharConfig, Characterizer, FlowError};
 //! use stdcells::CellSet;
 //!
-//! let chars = Characterizer::new(CellSet::minimal(), CharConfig::fast());
-//! let fresh = chars.library(&AgingScenario::fresh());
-//! let aged = chars.library(&AgingScenario::worst_case(10.0));
+//! # fn main() -> Result<(), FlowError> {
+//! let chars = Characterizer::new(CellSet::minimal(), CharConfig::fast())?;
+//! let fresh = chars.library(&AgingScenario::fresh())?;
+//! let aged = chars.library(&AgingScenario::worst_case(10.0))?;
 //! assert!(aged.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15)
 //!     > fresh.cell("INV_X1").unwrap().worst_delay(20e-12, 4e-15));
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod aging_synth;
 pub mod cache;
 pub mod charlib;
+pub mod context;
 pub mod dynamic;
+pub mod error;
 pub mod guardband;
 pub mod pool;
 pub mod system_eval;
@@ -53,12 +64,14 @@ pub use aging_synth::{
 };
 pub use cache::{ArcCache, ArcTables, CacheStats, KeyHasher};
 pub use charlib::{CharConfig, Characterizer};
+pub use context::{RunContext, RunEvent, RunReport, StageRecord};
 pub use dynamic::{
     dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport,
 };
+pub use error::{run_main, CharError, EvalError, FlowError};
 pub use guardband::{
     collapse_library, estimate_guardband, guardband_of_initial_critical_path,
     single_opc_aged_library, GuardbandReport,
 };
 pub use pool::parallel_map;
-pub use system_eval::{annotation_from_sta, run_image_chain, ImageChainResult};
+pub use system_eval::{annotation_from_sta, image_from_pgm, run_image_chain, ImageChainResult};

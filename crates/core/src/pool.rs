@@ -50,12 +50,22 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("characterization worker panicked") {
+            let done = match handle.join() {
+                Ok(done) => done,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            for (i, r) in done {
                 slots[i] = Some(r);
             }
         }
     });
-    slots.into_iter().map(|r| r.expect("every task index was claimed exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|r| match r {
+            Some(v) => v,
+            None => unreachable!("every task index is claimed exactly once"),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -7,11 +7,12 @@
 //! than the period silently corrupts coefficients/pixels; PSNR against the
 //! original image quantifies the damage.
 
+use crate::error::EvalError;
 use circuits::{fixed, Design};
 use imgproc::{psnr, GrayImage};
 use liberty::Library;
 use logicsim::run_timed;
-use netlist::{ArcDelays, DelayAnnotation, NetId, Netlist};
+use netlist::{ArcDelays, DelayAnnotation, NetId, Netlist, NetlistError};
 use sta::{analyze, Constraints, StaError};
 use std::collections::HashSet;
 
@@ -42,7 +43,12 @@ pub fn annotation_from_sta(
     let mut ann = DelayAnnotation::new();
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
-        let cell = library.cell(&inst.cell).expect("analyzed netlist has known cells");
+        let Some(cell) = library.cell(&inst.cell) else {
+            return Err(StaError::Netlist(NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            }));
+        };
         for out in &cell.outputs {
             let Some(out_net) = inst.net_on(&out.name) else { continue };
             let mut load = 0.0;
@@ -125,9 +131,20 @@ pub fn reference_chain(image: &GrayImage) -> GrayImage {
 /// netlist, each 1-D transform being one clock cycle of the corresponding
 /// circuit at `period` with delays from the annotations.
 ///
+/// Parses PGM bytes into a [`GrayImage`] with a typed flow error — the
+/// image-loading front door of the system-level study.
+///
 /// # Errors
 ///
-/// Returns a stringified simulation error on malformed netlists.
+/// Returns [`EvalError::Image`] for malformed PGM data.
+pub fn image_from_pgm(bytes: &[u8]) -> Result<GrayImage, EvalError> {
+    Ok(imgproc::parse_pgm(bytes)?)
+}
+
+/// # Errors
+///
+/// Returns [`EvalError::Design`] for port encode/decode failures and
+/// [`EvalError::Simulation`] for gate-level simulation failures.
 #[allow(clippy::too_many_arguments)]
 pub fn run_image_chain(
     image: &GrayImage,
@@ -139,7 +156,7 @@ pub fn run_image_chain(
     dct_delays: &DelayAnnotation,
     idct_delays: &DelayAnnotation,
     period: f64,
-) -> Result<ImageChainResult, String> {
+) -> Result<ImageChainResult, EvalError> {
     let (bw, bh) = image.block_grid();
     let n_blocks = bw * bh;
 
@@ -168,7 +185,7 @@ pub fn run_image_chain(
                     rows: bool,
                     in_prefix: &str,
                     out_prefix: &str|
-     -> Result<Vec<[[i64; 8]; 8]>, String> {
+     -> Result<Vec<[[i64; 8]; 8]>, EvalError> {
         let clamp12 = |v: i64| v.clamp(-2048, 2047);
         let mut vectors = Vec::with_capacity(blocks.len() * 8);
         for block in blocks {
@@ -180,11 +197,15 @@ pub fn run_image_chain(
                 let names: Vec<String> = (0..8).map(|j| format!("{in_prefix}{j}")).collect();
                 let pairs: Vec<(&str, i64)> =
                     names.iter().enumerate().map(|(j, n)| (n.as_str(), clamp12(lane[j]))).collect();
-                vectors.push(design.encode(&pairs).map_err(|e| e.to_string())?);
+                vectors.push(
+                    design
+                        .encode(&pairs)
+                        .map_err(|e| EvalError::Design { message: e.to_string() })?,
+                );
             }
         }
         let run = run_timed(netlist, library, delays, period, None, &vectors)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| EvalError::Simulation { message: e.to_string() })?;
         late_events += run.late_events;
         let mut out = vec![[[0i64; 8]; 8]; blocks.len()];
         for (cycle, bits) in run.outputs.iter().enumerate() {
@@ -193,8 +214,9 @@ pub fn run_image_chain(
             // j indexes rows or columns of `out` depending on `rows`.
             #[allow(clippy::needless_range_loop)]
             for j in 0..8 {
-                let v =
-                    design.decode(bits, &format!("{out_prefix}{j}")).map_err(|e| e.to_string())?;
+                let v = design
+                    .decode(bits, &format!("{out_prefix}{j}"))
+                    .map_err(|e| EvalError::Design { message: e.to_string() })?;
                 if rows {
                     out[block][k][j] = v;
                 } else {

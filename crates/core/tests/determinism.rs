@@ -24,22 +24,25 @@ fn config(parallelism: usize) -> CharConfig {
     }
 }
 
+fn chars(parallelism: usize) -> Characterizer {
+    Characterizer::new(cells(), config(parallelism)).expect("valid config")
+}
+
 #[test]
 fn worker_count_does_not_change_the_library() {
-    let reference =
-        Characterizer::new(cells(), config(1)).library(&AgingScenario::worst_case(10.0));
+    let reference = chars(1).library(&AgingScenario::worst_case(10.0)).expect("characterization");
     for workers in [2, 8] {
         let lib =
-            Characterizer::new(cells(), config(workers)).library(&AgingScenario::worst_case(10.0));
+            chars(workers).library(&AgingScenario::worst_case(10.0)).expect("characterization");
         assert_eq!(lib, reference, "parallelism = {workers} changed the library");
     }
 }
 
 #[test]
 fn worker_count_does_not_change_the_complete_library() {
-    let reference = Characterizer::new(cells(), config(1)).complete_library(1, 10.0);
+    let reference = chars(1).complete_library(1, 10.0).expect("characterization");
     for workers in [2, 8] {
-        let lib = Characterizer::new(cells(), config(workers)).complete_library(1, 10.0);
+        let lib = chars(workers).complete_library(1, 10.0).expect("characterization");
         assert_eq!(lib, reference, "parallelism = {workers} changed the complete library");
     }
 }
@@ -49,30 +52,30 @@ fn cache_state_does_not_change_the_library() {
     let dir = std::env::temp_dir().join(format!("reliaware_det_cache_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let scenario = AgingScenario::worst_case(10.0);
-    let uncached = Characterizer::new(cells(), config(2)).library(&scenario);
+    let uncached = chars(2).library(&scenario).expect("characterization");
 
     // Cold run: misses populate both tiers.
     let cold_cache = Arc::new(ArcCache::with_dir(&dir));
-    let chars = Characterizer::new(cells(), config(2)).with_cache(Arc::clone(&cold_cache));
-    let cold = chars.library(&scenario);
+    let cold_chars = chars(2).with_cache(Arc::clone(&cold_cache));
+    let cold = cold_chars.library(&scenario).expect("characterization");
     assert_eq!(cold, uncached);
     assert!(cold_cache.stats().misses > 0);
 
     // Warm memory tier, for 1 and 8 workers.
     for workers in [1, 8] {
         cold_cache.reset_stats();
-        let warm = Characterizer::new(cells(), config(workers))
+        let warm = chars(workers)
             .with_cache(Arc::clone(&cold_cache))
-            .library(&scenario);
+            .library(&scenario)
+            .expect("characterization");
         assert_eq!(warm, uncached, "warm memory tier at parallelism = {workers}");
         assert_eq!(cold_cache.stats().misses, 0);
     }
 
     // Warm disk tier: a brand-new cache over the same directory.
     let disk_cache = Arc::new(ArcCache::with_dir(&dir));
-    let warm = Characterizer::new(cells(), config(8))
-        .with_cache(Arc::clone(&disk_cache))
-        .library(&scenario);
+    let warm =
+        chars(8).with_cache(Arc::clone(&disk_cache)).library(&scenario).expect("characterization");
     assert_eq!(warm, uncached, "warm disk tier");
     let stats = disk_cache.stats();
     assert_eq!(stats.misses, 0, "disk tier must answer every lookup");
@@ -85,12 +88,12 @@ fn cache_state_does_not_change_the_library() {
 #[test]
 fn lint_gates_see_identical_cached_and_fresh_libraries() {
     let scenario = AgingScenario::worst_case(10.0);
-    let fresh = Characterizer::new(cells(), config(2)).library(&scenario);
+    let fresh = chars(2).library(&scenario).expect("characterization");
     let cache = Arc::new(ArcCache::in_memory());
-    let chars = Characterizer::new(cells(), config(2)).with_cache(Arc::clone(&cache));
-    let _cold = chars.library(&scenario);
+    let cached_chars = chars(2).with_cache(Arc::clone(&cache));
+    let _cold = cached_chars.library(&scenario).expect("characterization");
     cache.reset_stats();
-    let cached = chars.library(&scenario);
+    let cached = cached_chars.library(&scenario).expect("characterization");
     assert_eq!(cache.stats().misses, 0, "second run must be fully cache-served");
 
     let lint_config = LintConfig::default();

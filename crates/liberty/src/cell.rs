@@ -190,7 +190,12 @@ impl Cell {
 
     /// A hand-made unit inverter used by tests across the workspace; not a
     /// characterized cell.
+    ///
+    /// # Panics
+    ///
+    /// Never — the fixture axes are valid by construction.
     #[must_use]
+    #[allow(clippy::expect_used)] // test fixture, must stay pub for other crates
     pub fn test_inverter(name: &str) -> Cell {
         let slews = vec![5e-12, 100e-12, 900e-12];
         let loads = vec![0.5e-15, 5e-15, 20e-15];

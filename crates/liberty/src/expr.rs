@@ -180,7 +180,14 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             terms.push(self.parse_xor()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { BoolExpr::Or(terms) })
+        Ok(if terms.len() == 1 {
+            match terms.pop() {
+                Some(term) => term,
+                None => unreachable!("one term"),
+            }
+        } else {
+            BoolExpr::Or(terms)
+        })
     }
 
     fn parse_xor(&mut self) -> Result<BoolExpr, ParseExprError> {
@@ -208,7 +215,14 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { BoolExpr::And(terms) })
+        Ok(if terms.len() == 1 {
+            match terms.pop() {
+                Some(term) => term,
+                None => unreachable!("one term"),
+            }
+        } else {
+            BoolExpr::And(terms)
+        })
     }
 
     fn parse_unary(&mut self) -> Result<BoolExpr, ParseExprError> {
@@ -239,9 +253,10 @@ impl<'a> Parser<'a> {
                 while self.pos < self.bytes.len() && is_ident_char(self.bytes[self.pos]) {
                     self.pos += 1;
                 }
-                let name = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("identifier bytes are ASCII")
-                    .to_owned();
+                let name = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(s) => s.to_owned(),
+                    Err(_) => unreachable!("identifier bytes are ASCII"),
+                };
                 self.parse_postfix_not(BoolExpr::Var(name))
             }
             _ => Err(self.error("expected operand")),

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! NLDM timing-library model with a Liberty-subset text format.
 //!
 //! This crate plays the role of the Liberty (`.lib`) infrastructure in the

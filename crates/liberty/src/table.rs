@@ -57,7 +57,10 @@ impl Table2d {
     /// Panics if `value`, `slew` or `load` is not finite.
     #[must_use]
     pub fn constant(slew: f64, load: f64, value: f64) -> Self {
-        Table2d::new(vec![slew], vec![load], vec![value]).expect("1x1 table is always valid")
+        match Table2d::new(vec![slew], vec![load], vec![value]) {
+            Ok(t) => t,
+            Err(e) => panic!("1x1 table rejected: {e}"),
+        }
     }
 
     /// The input-slew axis in seconds.

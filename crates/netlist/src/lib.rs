@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Gate-level netlists: the mapped-circuit data model shared by synthesis,
 //! timing analysis and simulation.
 //!

@@ -3,8 +3,8 @@
 use crate::path::{net_load, PathSpec, PathStep};
 use crate::report::{Endpoint, EndpointKind, TimingReport};
 use crate::{Constraints, StaError};
-use liberty::{CellClass, Library, TimingSense};
-use netlist::{InstId, NetId, Netlist};
+use liberty::{Cell, CellClass, Library, TimingSense};
+use netlist::{InstId, NetId, Netlist, NetlistError};
 use std::collections::HashSet;
 
 /// The predecessor of a net's worst edge: which arc of which instance set it.
@@ -34,6 +34,7 @@ pub fn analyze(
     constraints: &Constraints,
 ) -> Result<TimingReport, StaError> {
     netlist.validate(library)?;
+    let cells = resolved_cells(netlist, library)?;
     let sinks = netlist.sinks(library)?;
     let drivers = netlist.drivers(library)?;
     let n_nets = netlist.net_count();
@@ -66,7 +67,7 @@ pub fn analyze(
     let mut comb_instances: Vec<InstId> = Vec::new();
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
-        let cell = library.cell(&inst.cell).expect("validated above");
+        let cell = cells[id.index()];
         match &cell.class {
             CellClass::Flop { clock, .. } => {
                 for out in &cell.outputs {
@@ -116,7 +117,7 @@ pub fn analyze(
         let mut next_round = Vec::with_capacity(remaining.len());
         for id in remaining.drain(..) {
             let inst = netlist.instance(id);
-            let cell = library.cell(&inst.cell).expect("validated above");
+            let cell = cells[id.index()];
             let inputs_ready = cell
                 .inputs
                 .iter()
@@ -147,7 +148,12 @@ pub fn analyze(
                         }
                         continue;
                     };
-                    let in_net = inst.net_on(&input.name).expect("validated above");
+                    let Some(in_net) = inst.net_on(&input.name) else {
+                        return Err(StaError::Netlist(NetlistError::UnconnectedPin {
+                            instance: inst.name.clone(),
+                            pin: input.name.clone(),
+                        }));
+                    };
                     let i = in_net.index();
                     // Which input edges can cause each output edge.
                     let rise_from: &[bool] = match arc.sense {
@@ -262,7 +268,7 @@ pub fn analyze(
     }
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
-        let cell = library.cell(&inst.cell).expect("validated above");
+        let cell = cells[id.index()];
         if let CellClass::Flop { data, setup, .. } = &cell.class {
             if let Some(net) = inst.net_on(data) {
                 let i = net.index();
@@ -283,7 +289,7 @@ pub fn analyze(
     let mut hold_slacks: Vec<(netlist::NetId, f64)> = Vec::new();
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
-        let cell = library.cell(&inst.cell).expect("validated above");
+        let cell = cells[id.index()];
         if let CellClass::Flop { data, hold, .. } = &cell.class {
             if let Some(net) = inst.net_on(data) {
                 let i = net.index();
@@ -350,6 +356,24 @@ pub fn analyze(
         critical,
         critical_delay,
     })
+}
+
+/// Resolves every instance's cell up front (indexed by [`InstId`]), turning
+/// the "unknown cell" case into a structured error at the door instead of a
+/// panic deep inside the propagation loops.
+fn resolved_cells<'l>(netlist: &Netlist, library: &'l Library) -> Result<Vec<&'l Cell>, StaError> {
+    netlist
+        .instance_ids()
+        .map(|id| {
+            let inst = netlist.instance(id);
+            library.cell(&inst.cell).ok_or_else(|| {
+                StaError::Netlist(NetlistError::UnknownCell {
+                    instance: inst.name.clone(),
+                    cell: inst.cell.clone(),
+                })
+            })
+        })
+        .collect()
 }
 
 fn backtrack(

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Static timing analysis over gate-level netlists and NLDM libraries.
 //!
 //! This crate plays the role of the Synopsys timing engine in the paper's

@@ -44,7 +44,7 @@ pub fn combinational_loops(netlist: &Netlist, library: &Library) -> Vec<Vec<Inst
         if !combinational[k] {
             continue;
         }
-        let cell = library.cell(&inst.cell).expect("combinational implies known cell");
+        let Some(cell) = library.cell(&inst.cell) else { continue };
         for (pin, net) in &inst.connections {
             if cell.input_cap(pin).is_some() {
                 if let Some(driver) = driver_of_net[net.index()] {
@@ -109,7 +109,7 @@ fn tarjan_cyclic_sccs(succ: &[Vec<usize>], active: &[bool]) -> Vec<Vec<usize>> {
                 if lowlink[v] == index[v] {
                     let mut scc = Vec::new();
                     loop {
-                        let w = stack.pop().expect("SCC stack underflow");
+                        let Some(w) = stack.pop() else { unreachable!("SCC stack underflow") };
                         on_stack[w] = false;
                         scc.push(w);
                         if w == v {

@@ -85,7 +85,7 @@ pub fn k_worst_paths(
     let mut has_incoming: HashSet<Vertex> = HashSet::new();
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
-        let cell = library.cell(&inst.cell).expect("analyzed");
+        let Some(cell) = library.cell(&inst.cell) else { continue };
         match &cell.class {
             CellClass::Flop { clock, .. } => {
                 let Some(ck) = inst.net_on(clock) else { continue };
@@ -186,7 +186,9 @@ pub fn k_worst_paths(
         order.push(v);
         if let Some(preds) = reverse_adj.get(&v) {
             for &p in preds {
-                let d = out_degree.get_mut(&p).expect("counted");
+                let Some(d) = out_degree.get_mut(&p) else {
+                    unreachable!("every predecessor's out-degree was counted")
+                };
                 *d -= 1;
                 if *d == 0 {
                     ready.push(p);

@@ -76,6 +76,21 @@ impl CellSet {
         }
     }
 
+    /// Restricts the set to the named cells, rejecting names the catalog
+    /// does not contain (unlike [`CellSet::subset`], which drops them).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unresolvable name.
+    pub fn checked_subset(&self, names: &[&str]) -> Result<Self, String> {
+        for name in names {
+            if self.get(name).is_none() {
+                return Err((*name).to_owned());
+            }
+        }
+        Ok(self.subset(names))
+    }
+
     /// Looks up a cell by exact name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&CellDef> {
@@ -480,5 +495,13 @@ mod tests {
         assert!(mini.get("NAND4_X1").is_none());
         let sub = CellSet::nangate45_like().subset(&["INV_X1", "NOPE"]);
         assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn checked_subset_rejects_unknown_names() {
+        let all = CellSet::nangate45_like();
+        assert_eq!(all.checked_subset(&["INV_X1", "NOPE"]), Err("NOPE".to_owned()));
+        let sub = all.checked_subset(&["INV_X1", "DFF_X1"]).unwrap();
+        assert_eq!(sub.len(), 2);
     }
 }

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! An open 45 nm-style standard cell library at the transistor level.
 //!
 //! This crate plays the role of the Nangate 45 nm Open Cell Library in the

@@ -69,7 +69,7 @@ pub enum NodeKind {
 ///
 /// Structural hashing, constant propagation and the trivial-operand rules
 /// run at construction, so equivalent sub-graphs share nodes. Word-level
-/// circuits build on this via the [`circuits`] crate.
+/// circuits build on this via the `circuits` crate.
 ///
 /// # Example
 ///

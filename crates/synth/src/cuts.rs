@@ -51,8 +51,10 @@ pub(crate) fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cu
                 // The trivial 2-leaf cut goes first: it is never degenerate
                 // (strash removes x·x / x·!x), so it guarantees coverage and
                 // must survive truncation.
-                let triv = merge(&Cut::trivial(a.node()), a, &Cut::trivial(b.node()), b, k)
-                    .expect("two leaves always fit");
+                let Some(triv) = merge(&Cut::trivial(a.node()), a, &Cut::trivial(b.node()), b, k)
+                else {
+                    unreachable!("two leaves always fit")
+                };
                 let mut set: Vec<Cut> = vec![triv];
                 for ca in &cuts[a.node().index()] {
                     for cb in &cuts[b.node().index()] {
@@ -116,7 +118,10 @@ fn expand(cut: &Cut, leaves: &[NodeId]) -> u16 {
     let positions: Vec<usize> = cut
         .leaves
         .iter()
-        .map(|l| leaves.iter().position(|x| x == l).expect("child leaves subset of union"))
+        .map(|l| match leaves.iter().position(|x| x == l) {
+            Some(p) => p,
+            None => unreachable!("child leaves subset of union"),
+        })
         .collect();
     let rows = 1usize << leaves.len();
     let mut tt = 0u16;

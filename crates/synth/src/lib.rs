@@ -1,9 +1,10 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Timing-driven logic synthesis: AIG optimization and technology mapping
 //! onto an NLDM cell library.
 //!
 //! This crate plays the role of Synopsys Design Compiler in the paper's
 //! flow: given a technology-independent logic network (an And-Inverter
-//! Graph built by the [`circuits`] generators or by hand) and a
+//! Graph built by the `circuits` generators or by hand) and a
 //! [`liberty::Library`], it produces a mapped [`netlist::Netlist`] —
 //! choosing cells, drive strengths and buffering to minimize the critical
 //! path delay *as seen through the delay tables of the provided library*.

@@ -374,7 +374,13 @@ pub fn map_to_netlist(
                 &flop_cell,
                 &[
                     (d_pin.as_str(), d_net),
-                    (ck_pin.as_str(), clock_net.expect("clock exists with latches")),
+                    (
+                        ck_pin.as_str(),
+                        match clock_net {
+                            Some(net) => net,
+                            None => unreachable!("clock exists with latches"),
+                        },
+                    ),
                     (q_pin.as_str(), q_net),
                 ],
             );

@@ -254,9 +254,10 @@ impl MatchLibrary {
     /// its curve — an internal inconsistency.
     #[must_use]
     pub fn inverter_curve(&self) -> &ArcCurve {
-        self.curves
-            .get(&(self.inverter.0.clone(), self.inverter.3.clone()))
-            .expect("inverter curve exists")
+        match self.curves.get(&(self.inverter.0.clone(), self.inverter.3.clone())) {
+            Some(curve) => curve,
+            None => unreachable!("inverter curve exists"),
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 //! These are *not* characterized cells: delays follow a simple
 //! `d0 + a·slew + b·load` law with plausible 45 nm magnitudes. Real flows
 //! use the spicesim-characterized libraries from the `flow` crate.
+#![allow(clippy::expect_used, clippy::unwrap_used)] // fixtures may panic
 
 use liberty::{
     BoolExpr, Cell, CellClass, InputPin, Library, OutputPin, Table2d, TimingArc, TimingSense,

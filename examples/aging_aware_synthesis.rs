@@ -5,26 +5,26 @@
 //! Run with: `cargo run --release --example aging_aware_synthesis`
 
 use reliaware::bti::AgingScenario;
-use reliaware::flow::{compare_synthesis, CharConfig, Characterizer};
+use reliaware::flow::{compare_synthesis, run_main, CharConfig, Characterizer, FlowError};
 use reliaware::stdcells::CellSet;
 use reliaware::synth::MapOptions;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), FlowError> {
     // A slightly richer cell set than `minimal` so the mapper has real
     // choices; still seconds-fast at the reduced grid.
     let cells = CellSet::nangate45_like().subset(&[
         "INV_X1", "INV_X2", "INV_X4", "BUF_X2", "NAND2_X1", "NAND2_X2", "NOR2_X1", "NOR2_X2",
         "AND2_X1", "OR2_X1", "XOR2_X1", "XNOR2_X1", "AOI21_X1", "OAI21_X1", "MUX2_X1", "DFF_X1",
     ]);
-    let characterizer = Characterizer::new(cells, CharConfig::fast());
+    let characterizer = Characterizer::new(cells, CharConfig::fast())?;
     println!("characterizing fresh + worst-case libraries...");
-    let fresh = characterizer.library(&AgingScenario::fresh());
-    let aged = characterizer.library(&AgingScenario::worst_case(10.0));
+    let fresh = characterizer.library(&AgingScenario::fresh())?;
+    let aged = characterizer.library(&AgingScenario::worst_case(10.0))?;
 
     println!("running both synthesis flows on RISC-5P...");
     let design = reliaware::circuits::risc_5p();
-    let cmp =
-        compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default()).expect("synthesis");
+    let cmp = compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default())?;
 
     println!("\n                         baseline      aging-aware");
     println!(
@@ -43,4 +43,9 @@ fn main() {
     println!("guardband reduction:            {:>+7.1}%", cmp.guardband_reduction() * 100.0);
     println!("frequency gain under aging:     {:>+7.1}%", cmp.frequency_gain() * 100.0);
     println!("area overhead:                  {:>+7.1}%", cmp.area_overhead() * 100.0);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

@@ -6,19 +6,20 @@
 //! Run with: `cargo run --release --example guardband_estimation`
 
 use reliaware::bti::AgingScenario;
-use reliaware::flow::{estimate_guardband, CharConfig, Characterizer};
+use reliaware::flow::{estimate_guardband, run_main, CharConfig, Characterizer, FlowError};
 use reliaware::sta::Constraints;
 use reliaware::stdcells::CellSet;
 use reliaware::synth::{synthesize, MapOptions};
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), FlowError> {
     // Fast settings: minimal cell set, reduced OPC grid.
-    let characterizer = Characterizer::new(CellSet::minimal(), CharConfig::fast());
-    let fresh = characterizer.library(&AgingScenario::fresh());
+    let characterizer = Characterizer::new(CellSet::minimal(), CharConfig::fast())?;
+    let fresh = characterizer.library(&AgingScenario::fresh())?;
 
     println!("synthesizing the VLIW benchmark against the fresh library...");
     let design = reliaware::circuits::vliw();
-    let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
+    let netlist = synthesize(&design.aig, &fresh, &MapOptions::default())?;
     println!("  {} instances", netlist.instance_count());
 
     let constraints = Constraints::default();
@@ -28,8 +29,8 @@ fn main() {
         ("worst case λ=1, 1y", AgingScenario::worst_case(1.0)),
         ("worst case λ=1, 10y", AgingScenario::worst_case(10.0)),
     ] {
-        let aged = characterizer.library(&scenario);
-        let report = estimate_guardband(&netlist, &fresh, &aged, &constraints).expect("sta");
+        let aged = characterizer.library(&scenario)?;
+        let report = estimate_guardband(&netlist, &fresh, &aged, &constraints)?;
         println!(
             "{label:<28} {:>14.1} {:>16.1}",
             report.aged_delay * 1e12,
@@ -39,14 +40,19 @@ fn main() {
 
     // The ΔVth-only state of the art under-estimates the guardband.
     let worst = AgingScenario::worst_case(10.0);
-    let full = characterizer.library(&worst);
-    let vth_only = characterizer.library_vth_only(&worst);
-    let g_full = estimate_guardband(&netlist, &fresh, &full, &constraints).expect("sta");
-    let g_vth = estimate_guardband(&netlist, &fresh, &vth_only, &constraints).expect("sta");
+    let full = characterizer.library(&worst)?;
+    let vth_only = characterizer.library_vth_only(&worst)?;
+    let g_full = estimate_guardband(&netlist, &fresh, &full, &constraints)?;
+    let g_vth = estimate_guardband(&netlist, &fresh, &vth_only, &constraints)?;
     println!(
         "\nΔVth-only guardband: {:.1} ps vs full (ΔVth+Δμ): {:.1} ps  ({:+.1}% under-estimated)",
         g_vth.guardband() * 1e12,
         g_full.guardband() * 1e12,
         (g_vth.guardband() / g_full.guardband() - 1.0) * 100.0
     );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

@@ -6,42 +6,46 @@
 //! (writes PGM files into `target/example-images/`)
 
 use reliaware::bti::AgingScenario;
-use reliaware::flow::{annotation_from_sta, run_image_chain, CharConfig, Characterizer};
+use reliaware::flow::{
+    annotation_from_sta, run_image_chain, run_main, CharConfig, Characterizer, FlowError,
+};
 use reliaware::imgproc::{psnr, synthetic, write_pgm};
 use reliaware::sta::{analyze, Constraints};
 use reliaware::stdcells::CellSet;
 use reliaware::synth::{synthesize, MapOptions};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let characterizer = Characterizer::new(CellSet::minimal(), CharConfig::fast());
+fn run() -> Result<(), FlowError> {
+    let characterizer = Characterizer::new(CellSet::minimal(), CharConfig::fast())?;
     println!("characterizing libraries...");
-    let fresh = characterizer.library(&AgingScenario::fresh());
-    let aged = characterizer.library(&AgingScenario::worst_case(10.0));
+    let fresh = characterizer.library(&AgingScenario::fresh())?;
+    let aged = characterizer.library(&AgingScenario::worst_case(10.0))?;
 
     println!("synthesizing DCT and IDCT...");
     let dct_design = reliaware::circuits::dct8();
     let idct_design = reliaware::circuits::idct8();
     let options = MapOptions::default();
-    let dct = synthesize(&dct_design.aig, &fresh, &options).expect("dct");
-    let idct = synthesize(&idct_design.aig, &fresh, &options).expect("idct");
+    let dct = synthesize(&dct_design.aig, &fresh, &options)?;
+    let idct = synthesize(&idct_design.aig, &fresh, &options)?;
 
     let c = Constraints::default();
-    let period = analyze(&dct, &fresh, &c)
-        .expect("sta")
+    let period = analyze(&dct, &fresh, &c)?
         .critical_delay()
-        .max(analyze(&idct, &fresh, &c).expect("sta").critical_delay())
+        .max(analyze(&idct, &fresh, &c)?.critical_delay())
         * 1.001;
     println!("clock period = {:.1} ps (fresh critical path, no guardband)", period * 1e12);
 
     let image = synthetic::test_image(24, 24, 11);
     let out_dir = PathBuf::from("target/example-images");
-    std::fs::create_dir_all(&out_dir).expect("output dir");
-    std::fs::write(out_dir.join("original.pgm"), write_pgm(&image)).expect("write");
+    std::fs::create_dir_all(&out_dir).map_err(|e| FlowError::io(out_dir.display(), &e))?;
+    let original = out_dir.join("original.pgm");
+    std::fs::write(&original, write_pgm(&image))
+        .map_err(|e| FlowError::io(original.display(), &e))?;
 
     for (label, lib) in [("fresh", &fresh), ("aged_10y_worst", &aged)] {
-        let dct_ann = annotation_from_sta(&dct, lib, &c).expect("sta");
-        let idct_ann = annotation_from_sta(&idct, lib, &c).expect("sta");
+        let dct_ann = annotation_from_sta(&dct, lib, &c)?;
+        let idct_ann = annotation_from_sta(&idct, lib, &c)?;
         let result = run_image_chain(
             &image,
             &dct,
@@ -52,10 +56,10 @@ fn main() {
             &dct_ann,
             &idct_ann,
             period,
-        )
-        .expect("chain");
+        )?;
         let file = out_dir.join(format!("{label}.pgm"));
-        std::fs::write(&file, write_pgm(&result.output)).expect("write");
+        std::fs::write(&file, write_pgm(&result.output))
+            .map_err(|e| FlowError::io(file.display(), &e))?;
         println!(
             "{label:>15}: PSNR {:>6.1} dB, {} late events -> {}",
             result.psnr_db,
@@ -65,4 +69,9 @@ fn main() {
         let _ = psnr(&image, &result.output);
     }
     println!("\nOpen the PGMs with any image viewer to see the paper's Fig. 7 effect.");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

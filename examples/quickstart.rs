@@ -4,25 +4,32 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use reliaware::bti::AgingScenario;
-use reliaware::flow::{CharConfig, Characterizer};
+use reliaware::flow::{run_main, CharConfig, CharError, Characterizer, FlowError};
 use reliaware::stdcells::CellSet;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), FlowError> {
     // A small cell subset on a reduced grid keeps this example fast
     // (~seconds); the full flow uses all 68 cells on the paper's 7×7 grid.
     let cells = CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1", "NOR2_X1"]);
-    let characterizer = Characterizer::new(cells, CharConfig::fast());
+    let characterizer = Characterizer::new(cells, CharConfig::fast())?;
 
     println!("characterizing fresh and 10-year worst-case aged libraries...");
-    let fresh = characterizer.library(&AgingScenario::fresh());
-    let aged = characterizer.library(&AgingScenario::worst_case(10.0));
+    let fresh = characterizer.library(&AgingScenario::fresh())?;
+    let aged = characterizer.library(&AgingScenario::worst_case(10.0))?;
+
+    let delay = |lib: &reliaware::liberty::Library, name: &str, slew: f64, load: f64| {
+        lib.cell(name)
+            .map(|cell| cell.worst_delay(slew, load))
+            .ok_or_else(|| FlowError::from(CharError::UnknownCell { cell: name.to_owned() }))
+    };
 
     println!("\n{:<10} {:>14} {:>14} {:>9}", "cell", "fresh [ps]", "aged [ps]", "change");
     for name in ["INV_X1", "NAND2_X1", "NOR2_X1"] {
         let slew = 150e-12;
         let load = 4e-15;
-        let f = fresh.cell(name).expect("characterized").worst_delay(slew, load);
-        let a = aged.cell(name).expect("characterized").worst_delay(slew, load);
+        let f = delay(&fresh, name, slew, load)?;
+        let a = delay(&aged, name, slew, load)?;
         println!(
             "{name:<10} {:>14.2} {:>14.2} {:>+8.1}%",
             f * 1e12,
@@ -33,12 +40,10 @@ fn main() {
 
     // The same gate under different *operating conditions* ages differently
     // — the paper's key observation (its Fig. 1).
-    let nand = |lib: &reliaware::liberty::Library, slew: f64, load: f64| {
-        lib.cell("NAND2_X1").expect("cell").worst_delay(slew, load)
-    };
     println!("\nNAND2_X1 aging impact by operating condition:");
     for (slew, load) in [(5e-12, 20e-15), (947e-12, 0.5e-15)] {
-        let delta = nand(&aged, slew, load) / nand(&fresh, slew, load) - 1.0;
+        let delta =
+            delay(&aged, "NAND2_X1", slew, load)? / delay(&fresh, "NAND2_X1", slew, load)? - 1.0;
         println!(
             "  slew {:>4.0} ps, load {:>4.1} fF -> {:+.1}%",
             slew * 1e12,
@@ -48,4 +53,9 @@ fn main() {
     }
     println!("\nLibraries are ordinary liberty-style objects: plug either one into");
     println!("STA (`sta::analyze`) or synthesis (`synth::synthesize`) unchanged.");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

@@ -16,14 +16,14 @@ fn fast_characterizer() -> Characterizer {
         max_dv: 8e-3,
         ..CharConfig::fast()
     };
-    Characterizer::new(CellSet::minimal(), cfg)
+    Characterizer::new(CellSet::minimal(), cfg).expect("valid config")
 }
 
 #[test]
 fn characterize_synthesize_analyze() {
     let chars = fast_characterizer();
-    let fresh = chars.library(&AgingScenario::fresh());
-    let aged = chars.library(&AgingScenario::worst_case(10.0));
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
+    let aged = chars.library(&AgingScenario::worst_case(10.0)).expect("characterization");
 
     // Characterized libraries survive their own text format.
     let reparsed = parse_library(&write_library(&fresh)).expect("liberty round trip");
@@ -50,7 +50,7 @@ fn characterize_synthesize_analyze() {
 #[test]
 fn timing_simulation_consistent_with_sta() {
     let chars = fast_characterizer();
-    let fresh = chars.library(&AgingScenario::fresh());
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
     let design = reliaware::circuits::dct8();
     let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
     let c = Constraints::default();
@@ -102,7 +102,7 @@ fn timing_simulation_consistent_with_sta() {
 #[test]
 fn mapped_netlist_functionally_equivalent() {
     let chars = fast_characterizer();
-    let fresh = chars.library(&AgingScenario::fresh());
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
     let design = reliaware::circuits::risc_5p();
     let netlist = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
 

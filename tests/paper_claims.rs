@@ -17,17 +17,17 @@ fn chars() -> Characterizer {
         max_dv: 8e-3,
         ..CharConfig::fast()
     };
-    Characterizer::new(CellSet::minimal(), cfg)
+    Characterizer::new(CellSet::minimal(), cfg).expect("valid config")
 }
 
 #[test]
 fn vth_only_underestimates_guardband() {
     // Paper Fig. 5(a): neglecting Δμ under-estimates guardbands.
     let chars = chars();
-    let fresh = chars.library(&AgingScenario::fresh());
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
     let worst = AgingScenario::worst_case(10.0);
-    let full = chars.library(&worst);
-    let vth_only = chars.library_vth_only(&worst);
+    let full = chars.library(&worst).expect("characterization");
+    let vth_only = chars.library_vth_only(&worst).expect("characterization");
 
     let design = reliaware::circuits::dsp_fir();
     let nl = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
@@ -47,8 +47,8 @@ fn single_opc_overestimates_guardband() {
     // Paper Fig. 5(b): a pessimistic single-OPC characterization
     // over-estimates guardbands.
     let chars = chars();
-    let fresh = chars.library(&AgingScenario::fresh());
-    let aged = chars.library(&AgingScenario::worst_case(10.0));
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
+    let aged = chars.library(&AgingScenario::worst_case(10.0)).expect("characterization");
     let single = single_opc_aged_library(&fresh, &aged, 300e-12, 0.5e-15);
 
     let design = reliaware::circuits::vliw();
@@ -68,12 +68,12 @@ fn single_opc_overestimates_guardband() {
 fn guardbands_grow_with_stress_and_lifetime() {
     // Monotonicity across scenarios: fresh < balanced < worst; 1y < 10y.
     let chars = chars();
-    let fresh = chars.library(&AgingScenario::fresh());
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
     let design = reliaware::circuits::dsp_fir();
     let nl = synthesize(&design.aig, &fresh, &MapOptions::default()).expect("synthesis");
     let c = Constraints::default();
     let gb = |scenario: &AgingScenario| {
-        let lib = chars.library(scenario);
+        let lib = chars.library(scenario).expect("characterization");
         estimate_guardband(&nl, &fresh, &lib, &c).expect("sta").guardband()
     };
     let balanced_10 = gb(&AgingScenario::balanced(10.0));
@@ -89,8 +89,8 @@ fn aware_synthesis_contains_guardband() {
     // Paper Fig. 6(a): the aging-aware design's contained guardband never
     // exceeds the baseline's required guardband, at sub-% area cost.
     let chars = chars();
-    let fresh = chars.library(&AgingScenario::fresh());
-    let aged = chars.library(&AgingScenario::worst_case(10.0));
+    let fresh = chars.library(&AgingScenario::fresh()).expect("characterization");
+    let aged = chars.library(&AgingScenario::worst_case(10.0)).expect("characterization");
     let design = reliaware::circuits::risc_5p();
     let cmp =
         compare_synthesis(&design.aig, &fresh, &aged, &MapOptions::default()).expect("comparison");
