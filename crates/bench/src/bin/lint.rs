@@ -6,8 +6,8 @@
 //! ```text
 //! lint --lib complete.lib [--verilog design.v] [--fresh-lib t0.lib]
 //!      [--allow RULE]... [--input-slew S] [--output-load L] [--json]
-//!      [--deny-warnings]
-//! lint --design NAME [--deny-warnings] ...
+//!      [--deny-warnings] [--paths] [--clock-period SEC]
+//! lint --design NAME [--paths] [--deny-warnings] ...
 //! lint --list-rules
 //! ```
 //!
@@ -36,6 +36,13 @@ options:
   --allow RULE        suppress a rule by code (repeatable), e.g. --allow NL006
   --input-slew SEC    boundary input slew for TM001 (default: library value)
   --output-load F     primary-output load for TM001 (default: library value)
+  --paths             also run the PT path-level timing rules: with --design
+                      the λ-scaled complete library is derived on the fly;
+                      with --lib the library is used as the complete (aged)
+                      library and --fresh-lib (when given) as the base
+  --clock-period SEC  clock period for the PT pass (PT005 flags constrained
+                      designs without one); with --design, defaults to 2x
+                      the fresh critical path
   --deny-warnings     exit 1 when warnings survive, not only on errors
   --json              emit the JSON report instead of text
   --list-rules        print every rule code, severity and summary, then exit
@@ -55,6 +62,8 @@ struct Args {
     allow: Vec<String>,
     input_slew: Option<f64>,
     output_load: Option<f64>,
+    paths: bool,
+    clock_period: Option<f64>,
     deny_warnings: bool,
     json: bool,
     list_rules: bool,
@@ -70,6 +79,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         allow: Vec::new(),
         input_slew: None,
         output_load: None,
+        paths: false,
+        clock_period: None,
         deny_warnings: false,
         json: false,
         list_rules: false,
@@ -90,6 +101,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--output-load" => {
                 let v = value("--output-load")?;
                 args.output_load = Some(v.parse().map_err(|_| format!("bad load {v}"))?);
+            }
+            "--paths" => args.paths = true,
+            "--clock-period" => {
+                let v = value("--clock-period")?;
+                args.clock_period = Some(v.parse().map_err(|_| format!("bad period {v}"))?);
             }
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
@@ -144,7 +160,24 @@ fn run() -> Result<ExitCode, FlowError> {
         let nl = ctx.stage("synthesis", || {
             synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
         })?;
-        ctx.stage("lint", || LintReport::run(&nl, &library, &config))
+        let mut report = ctx.stage("lint", || LintReport::run(&nl, &library, &config));
+        if args.paths {
+            // PT needs a constrained design; default to a comfortable 2x
+            // the fresh critical path when no period was given.
+            config.clock_period = match args.clock_period {
+                Some(p) => Some(p),
+                None => {
+                    let cp =
+                        sta::analyze(&nl, &library, &sta::Constraints::default())?.critical_delay();
+                    Some(2.0 * cp)
+                }
+            };
+            let complete = bench::lambda_scaled_complete(&library, config.lambda_steps);
+            report = report.merged_with(ctx.stage("lint-paths", || {
+                LintReport::run_paths(&nl, &library, &complete, &config)
+            })?);
+        }
+        report
     } else {
         let lib_path = args.lib.as_deref().unwrap_or_default();
         let library =
@@ -153,7 +186,22 @@ fn run() -> Result<ExitCode, FlowError> {
             Some(path) => {
                 let nl = netlist::verilog::parse_verilog(&read(path)?)
                     .map_err(|e| parse_failure(path, e))?;
-                ctx.stage("lint", || LintReport::run(&nl, &library, &config))
+                let mut report = ctx.stage("lint", || LintReport::run(&nl, &library, &config));
+                if args.paths {
+                    config.clock_period = args.clock_period;
+                    let base = match &args.fresh_lib {
+                        Some(path) => liberty::parse_library(&read(path)?)
+                            .map_err(|e| parse_failure(path, e))?,
+                        None => library.clone(),
+                    };
+                    report = report.merged_with(ctx.stage("lint-paths", || {
+                        LintReport::run_paths(&nl, &base, &library, &config)
+                    })?);
+                }
+                report
+            }
+            None if args.paths => {
+                return Err(FlowError::Usage("--paths needs --verilog or --design".into()));
             }
             None => ctx.stage("lint", || LintReport::run_library(&library, &config)),
         };

@@ -11,7 +11,9 @@
 //! 2. one-scenario library build, sequential vs. pooled (engine speedup),
 //! 3. the (λp, λn) complete-library grid, sequential vs. pooled,
 //! 4. the same grid cold vs. warm through the two-tier arc cache,
-//! 5. STA arrival propagation and gate-level logic simulation.
+//! 5. STA arrival propagation and gate-level logic simulation,
+//! 6. incremental vs. full re-STA after single-instance λ re-annotation
+//!    on the risc and vliw benchmarks (nodes recomputed vs. total).
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
 //! twin before reporting a speedup; instrumentation is observational, so
@@ -305,6 +307,90 @@ fn run() -> Result<(), FlowError> {
         u64::from(sim_iters),
         format!(r#""iterations": {sim_iters}"#),
     );
+
+    // 6. Incremental vs. full re-STA: single-instance λ re-annotations on
+    // the two largest benchmarks. The engine must stay bit-identical to a
+    // fresh analysis while re-timing an order of magnitude fewer instances.
+    for (stage_name, design) in
+        [("incremental_sta_risc", circuits::risc_5p()), ("incremental_sta_vliw", circuits::vliw())]
+    {
+        let nl = synth::synthesize(&design.aig, &fixture, &MapOptions::default())?;
+        let grid_steps = 2u32;
+        let complete = bench::lambda_scaled_complete(&fixture, grid_steps);
+        let tag0 = liberty::LambdaTag { lambda_pmos: 0.0, lambda_nmos: 0.0 };
+        let annotated = netlist::annotate::annotated_with_static(&nl, tag0);
+        let constraints = Constraints::default();
+        let instances = annotated.instance_count();
+
+        // A deterministic re-annotation schedule over the λ grid.
+        let iters: usize = if opts.smoke { 8 } else { 20 };
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ stage_name.len() as u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let schedule: Vec<(netlist::InstId, liberty::LambdaTag)> = (0..iters)
+            .map(|_| {
+                let inst = netlist::InstId::from_index(lcg() % instances);
+                let tag = liberty::LambdaTag {
+                    lambda_pmos: (lcg() % (grid_steps as usize + 1)) as f64 / f64::from(grid_steps),
+                    lambda_nmos: (lcg() % (grid_steps as usize + 1)) as f64 / f64::from(grid_steps),
+                };
+                (inst, tag)
+            })
+            .collect();
+        let retag = |nl: &netlist::Netlist, inst: netlist::InstId, tag: &liberty::LambdaTag| {
+            let (base, _) = liberty::split_lambda_tag(&nl.instance(inst).cell);
+            format!("{base}_{}", tag.suffix())
+        };
+
+        // Baseline: mutate and fully re-analyze per re-annotation.
+        let mut full_nl = annotated.clone();
+        let (r, full_secs) = time(|| -> Result<(), FlowError> {
+            for (inst, tag) in &schedule {
+                full_nl.instance_mut(*inst).cell = retag(&full_nl, *inst, tag);
+                let _ = analyze(&full_nl, &complete, &constraints)?;
+            }
+            Ok(())
+        });
+        r?;
+
+        // Incremental: one persistent engine over the same schedule.
+        let mut inc = sta::IncrementalSta::new(&annotated, &complete, &constraints)?;
+        let mut recomputed = 0u64;
+        let (r, inc_secs) = time(|| -> Result<(), FlowError> {
+            for (inst, tag) in &schedule {
+                let cell = retag(inc.netlist(), *inst, tag);
+                inc.recell(*inst, &cell)?;
+                let _ = inc.report()?;
+                recomputed += inc.stats().last_recomputed as u64;
+            }
+            Ok(())
+        });
+        r?;
+
+        let final_full = analyze(&full_nl, &complete, &constraints)?;
+        let bit_identical = inc.report()? == &final_full;
+        assert!(bit_identical, "{stage_name}: incremental diverged from full re-analysis");
+        let nodes_full = iters as u64 * instances as u64;
+        let node_ratio = nodes_full as f64 / recomputed.max(1) as f64;
+        assert!(
+            node_ratio >= 10.0,
+            "{stage_name}: expected >=10x fewer nodes recomputed, got {node_ratio:.1}x"
+        );
+        ctx.record_sta_stats(stage_name, &inc.stats());
+        report(
+            &ctx,
+            &mut stages,
+            stage_name,
+            inc_secs,
+            iters as u64,
+            format!(
+                r#""instances": {instances}, "re_annotations": {iters}, "nodes_full": {nodes_full}, "nodes_recomputed": {recomputed}, "node_ratio": {node_ratio:.2}, "full_seconds": {full_secs:.6}, "speedup_vs_full": {:.3}, "bit_identical": true"#,
+                full_secs / inc_secs.max(1e-12)
+            ),
+        );
+    }
 
     // Assemble and write the JSON records.
     let unix_time = std::time::SystemTime::now()

@@ -2,11 +2,13 @@
 //! path hide? Related work tracks the "top x % of critical paths" hoping the
 //! future critical path is among them; the paper argues no practical x is
 //! guaranteed. This binary measures the required rank per benchmark and the
-//! number of paths within the top-5 % delay window.
+//! number of paths within the top-5 % delay window, and attributes each aged
+//! critical path's degradation to its single worst-aging arc (per-arc
+//! fresh→aged delta and its share of the whole-path slowdown).
 
-use bench::{benchmark_netlists, fresh_library, ps, row, worst_library};
+use bench::{benchmark_netlists, fresh_library, pct, ps, row, worst_library};
 use flow::{FlowError, RunContext};
-use sta::{analyze, k_worst_paths, Constraints, PathSpec};
+use sta::{analyze, evaluate_path_steps_with, k_worst_paths, Constraints, PathSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: top_paths [--report <path>]
@@ -17,6 +19,36 @@ options:
   --report <path>  write a reliaware-run-v1 JSON run report
   -h, --help       show this help
 ";
+
+/// Per-arc aging attribution along a path: the arc whose fresh→aged delay
+/// delta is largest, its delta, and that delta's share of the whole-path
+/// degradation. Uses graph-consistent slews so each per-arc delay is the
+/// exact term the analysis summed into the endpoint arrival.
+fn worst_aging_arc(
+    nl: &netlist::Netlist,
+    fresh: &liberty::Library,
+    aged: &liberty::Library,
+    c: &Constraints,
+    fresh_report: &sta::TimingReport,
+    aged_report: &sta::TimingReport,
+    path: &PathSpec,
+) -> Result<(String, f64, f64), FlowError> {
+    let fresh_steps = evaluate_path_steps_with(nl, fresh, c, fresh_report, path)?;
+    let aged_steps = evaluate_path_steps_with(nl, aged, c, aged_report, path)?;
+    let total: f64 = aged_steps.iter().sum::<f64>() - fresh_steps.iter().sum::<f64>();
+    let (idx, delta) = fresh_steps
+        .iter()
+        .zip(&aged_steps)
+        .map(|(f, a)| a - f)
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .unwrap_or((0, 0.0));
+    let arc = path.steps.get(idx).map_or_else(String::new, |s| {
+        format!("{}.{}->{}", nl.instance(s.inst).name, s.input, s.output)
+    });
+    let share = if total > 0.0 { delta / total } else { 0.0 };
+    Ok((arc, delta, share))
+}
 
 /// A structural signature of a path (instance/pin/polarity sequence).
 fn signature(nl: &netlist::Netlist, p: &PathSpec) -> String {
@@ -55,12 +87,18 @@ fn run() -> Result<(), FlowError> {
         "aged CP [ps]".into(),
         "paths in top 5%".into(),
         format!("aged-CP rank (k={k})"),
+        "worst aging arc".into(),
+        "arc Δ [ps]".into(),
+        "arc share".into(),
     ]);
-    row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+    row(&["---"; 8].map(String::from));
     for (design, nl) in &designs {
         let fresh_report = ctx.stage("sta", || analyze(nl, &fresh, &c))?;
         let aged_report = ctx.stage("sta", || analyze(nl, &aged, &c))?;
-        let aged_sig = signature(nl, aged_report.critical_path());
+        let aged_cp = aged_report.critical_path();
+        let aged_sig = signature(nl, aged_cp);
+        let (arc, delta, share) =
+            worst_aging_arc(nl, &fresh, &aged, &c, &fresh_report, &aged_report, aged_cp)?;
         let fresh_paths = ctx.stage("sta", || k_worst_paths(nl, &fresh, &c, k))?;
         ctx.add_tasks("sta", 3);
         // Compare raw path delays against the raw worst path (endpoint
@@ -73,7 +111,16 @@ fn run() -> Result<(), FlowError> {
             .iter()
             .position(|p| signature(nl, p) == aged_sig)
             .map_or_else(|| format!(">{k}"), |r| (r + 1).to_string());
-        row(&[design.name.clone(), ps(cp), ps(aged_report.critical_delay()), top5_note, rank]);
+        row(&[
+            design.name.clone(),
+            ps(cp),
+            ps(aged_report.critical_delay()),
+            top5_note,
+            rank,
+            arc,
+            ps(delta),
+            pct(share),
+        ]);
     }
     println!("\nWhere the rank exceeds k, no top-k tracking of fresh paths would have");
     println!("included the path that actually becomes critical — the paper's argument");

@@ -157,6 +157,27 @@ impl RunContext {
         self.record_stage(name, 0.0, tasks);
     }
 
+    /// Surfaces an incremental-STA engine's counters ([`sta::StaStats`])
+    /// under stage `name`: the instances re-evaluated by the last change
+    /// set are attributed as tasks, and a structured event records the
+    /// touched fraction alongside the cumulative change/refresh counts —
+    /// the timing-graph analogue of the [`CacheStats`] block.
+    pub fn record_sta_stats(&self, name: &str, stats: &sta::StaStats) {
+        self.add_tasks(name, stats.last_recomputed as u64);
+        self.event(
+            name,
+            format!(
+                "incremental sta: recomputed {}/{} instances ({:.2}% touched), \
+                 {} change sets, {} full refreshes",
+                stats.last_recomputed,
+                stats.instances_total,
+                100.0 * stats.last_touched_fraction(),
+                stats.changes_applied,
+                stats.full_refreshes,
+            ),
+        );
+    }
+
     /// Appends a structured event under stage `name`.
     pub fn event(&self, name: &str, message: impl Into<String>) {
         let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);

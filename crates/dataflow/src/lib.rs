@@ -55,8 +55,10 @@ mod engine;
 mod guardband;
 mod interval;
 mod lambda;
+mod paths;
 
 pub use engine::{dead_cone, expr_interval, DataflowConfig, NetlistDataflow};
 pub use guardband::{static_guardband_bound, StaticBoundReport};
 pub use interval::Interval;
 pub use lambda::{Extraction, LambdaBounds, Violation, ViolationKind};
+pub use paths::{analyze_paths, ArcAging, PathAnalysis, PathAnalysisConfig, PathProfile};

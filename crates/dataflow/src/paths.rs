@@ -1,0 +1,424 @@
+//! Path-level static analysis: exhaustive-within-budget critical-path
+//! enumeration with per-arc aging-sensitivity attribution.
+//!
+//! The paper's criticality-switching study (Sec. 3) argues that tracking a
+//! *set* of near-critical paths — not just the single critical one — is
+//! required once aging can reorder them. This module builds that set
+//! statically: the k worst paths of the fresh design, each re-evaluated
+//! under the λ-annotated netlist against the merged complete library, giving
+//!
+//! - a **per-path guardband decomposition** (fresh vs aged delay per
+//!   traversed arc),
+//! - a finite-difference **aging sensitivity** `Δdelay/λ̄` per arc, and
+//! - structural **false-path pruning**: a path through a statically
+//!   constant net (a [`NetlistDataflow::constant_nets`] fact) can never
+//!   propagate a transition, so its guardband is reported but flagged.
+//!
+//! The `lint` crate surfaces these profiles as the `PT` rule family.
+
+use crate::{DataflowConfig, NetlistDataflow};
+use liberty::{split_lambda_tag, Library};
+use netlist::{InstId, NetId, Netlist};
+use sta::{analyze, evaluate_path_steps_with, k_worst_paths, Constraints, PathSpec, StaError};
+use std::collections::HashSet;
+
+/// Budget and window knobs for [`analyze_paths`].
+#[derive(Debug, Clone)]
+pub struct PathAnalysisConfig {
+    /// Maximum number of worst paths to enumerate (the "exhaustive within
+    /// budget" bound).
+    pub max_paths: usize,
+    /// Width of the near-critical window as a fraction of the fresh
+    /// critical delay: a path is near-critical when its fresh delay is
+    /// within `near_critical_fraction` of the critical delay.
+    pub near_critical_fraction: f64,
+}
+
+impl Default for PathAnalysisConfig {
+    fn default() -> Self {
+        PathAnalysisConfig { max_paths: 256, near_critical_fraction: 0.05 }
+    }
+}
+
+/// One traversed arc of a path with its fresh and aged delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcAging {
+    /// Instance the arc belongs to.
+    pub inst: InstId,
+    /// Input pin of the arc.
+    pub input: String,
+    /// Output pin of the arc.
+    pub output: String,
+    /// Delay under the fresh library, seconds.
+    pub fresh: f64,
+    /// Delay under the λ-annotated netlist against the complete library,
+    /// seconds.
+    pub aged: f64,
+    /// Mean λ of the instance's annotation, `(λp + λn) / 2`; `0.0` when the
+    /// instance carries no λ tag.
+    pub mean_lambda: f64,
+}
+
+impl ArcAging {
+    /// Aging-induced delay increase of this arc, seconds.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.aged - self.fresh
+    }
+
+    /// Finite-difference aging sensitivity `∂delay/∂λ ≈ Δdelay / λ̄` in
+    /// seconds per unit duty cycle; `0.0` for untagged or unstressed
+    /// (`λ̄ = 0`) instances.
+    #[must_use]
+    pub fn sensitivity(&self) -> f64 {
+        if self.mean_lambda > 0.0 {
+            self.delta() / self.mean_lambda
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One enumerated path with its guardband decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathProfile {
+    /// The path as enumerated on the fresh design.
+    pub path: PathSpec,
+    /// Path delay under the fresh library, seconds: the sum of the path's
+    /// arc delays at the fresh analysis' propagated slews, so it is bounded
+    /// by the fresh critical delay.
+    pub fresh_delay: f64,
+    /// Path delay under the annotated netlist / complete library at the
+    /// aged analysis' propagated slews, seconds — bounded by the aged
+    /// critical delay.
+    pub aged_delay: f64,
+    /// Per-arc decomposition, in path order.
+    pub arcs: Vec<ArcAging>,
+    /// True when the path crosses a statically constant net and therefore
+    /// can never propagate a transition (a structural false path).
+    pub false_path: bool,
+}
+
+impl PathProfile {
+    /// The path's aging guardband: aged − fresh delay, seconds.
+    #[must_use]
+    pub fn guardband(&self) -> f64 {
+        self.aged_delay - self.fresh_delay
+    }
+
+    /// The arc contributing the largest share of the guardband, as
+    /// `(step index, share)` with share in `[0, 1]`; `None` when the path
+    /// is empty or its guardband is not positive.
+    #[must_use]
+    pub fn dominant_arc(&self) -> Option<(usize, f64)> {
+        let gb = self.guardband();
+        if gb <= 0.0 {
+            return None;
+        }
+        self.arcs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.delta().total_cmp(&b.delta()))
+            .map(|(k, a)| (k, a.delta() / gb))
+    }
+}
+
+/// The result of a path-level analysis over one design.
+#[derive(Debug, Clone)]
+pub struct PathAnalysis {
+    /// Enumerated paths, worst fresh delay first.
+    pub profiles: Vec<PathProfile>,
+    /// Fresh critical delay (the first profile's fresh delay), seconds.
+    pub critical_fresh: f64,
+    /// True when enumeration stopped at the path budget — the real
+    /// near-critical population may be larger than reported.
+    pub budget_exhausted: bool,
+    /// Statically constant nets used for false-path pruning, as
+    /// `(net, value)`.
+    pub constant_nets: Vec<(NetId, bool)>,
+}
+
+impl PathAnalysis {
+    /// Number of enumerated non-false paths whose fresh delay is within
+    /// `fraction` of the fresh critical delay.
+    #[must_use]
+    pub fn near_critical_count(&self, fraction: f64) -> usize {
+        let floor = self.critical_fresh * (1.0 - fraction);
+        self.profiles.iter().filter(|p| !p.false_path && p.fresh_delay >= floor).count()
+    }
+}
+
+/// Enumerates the worst paths of `fresh` and re-evaluates each under the
+/// λ-annotated netlist / complete library pair.
+///
+/// `annotated` must be the same design as `fresh` with only cell names
+/// changed (the output of `annotated_with_lambda` or of
+/// [`crate::static_guardband_bound`]); paths are transferred by instance id.
+///
+/// # Errors
+///
+/// Returns [`StaError`] when the two netlists are structurally misaligned,
+/// or when enumeration/evaluation fails (missing cells or arcs).
+pub fn analyze_paths(
+    fresh: &Netlist,
+    annotated: &Netlist,
+    fresh_library: &Library,
+    complete: &Library,
+    constraints: &Constraints,
+    dataflow_config: &DataflowConfig,
+    config: &PathAnalysisConfig,
+) -> Result<PathAnalysis, StaError> {
+    if annotated.instance_count() != fresh.instance_count()
+        || annotated.net_count() != fresh.net_count()
+    {
+        return Err(StaError::Preflight {
+            message: format!(
+                "annotated netlist is misaligned with the fresh design: \
+                 {} instances / {} nets vs {} / {}",
+                annotated.instance_count(),
+                annotated.net_count(),
+                fresh.instance_count(),
+                fresh.net_count()
+            ),
+        });
+    }
+
+    let paths = k_worst_paths(fresh, fresh_library, constraints, config.max_paths)?;
+    let budget_exhausted = paths.len() >= config.max_paths;
+
+    // Graph-consistent evaluation: both reports' propagated slews feed the
+    // per-arc lookups, so every path sum is bounded by the corresponding
+    // full-analysis critical delay (see `evaluate_path_steps_with`) — the
+    // invariant PT001 checks per-path aged delays against.
+    let fresh_report = analyze(fresh, fresh_library, constraints)?;
+    let aged_report = analyze(annotated, complete, constraints)?;
+
+    let df = NetlistDataflow::analyze_with(fresh, fresh_library, dataflow_config);
+    let constant_nets = df.constant_nets(fresh, fresh_library);
+    let constant: HashSet<NetId> = constant_nets.iter().map(|(n, _)| *n).collect();
+
+    let mut profiles = Vec::with_capacity(paths.len());
+    for path in paths {
+        let path = timed_segment(fresh, fresh_library, path);
+        let fresh_steps =
+            evaluate_path_steps_with(fresh, fresh_library, constraints, &fresh_report, &path)?;
+        let aged_steps =
+            evaluate_path_steps_with(annotated, complete, constraints, &aged_report, &path)?;
+        let false_path = constant.contains(&path.start_net)
+            || path.steps.iter().any(|s| {
+                fresh.instance(s.inst).net_on(&s.output).is_some_and(|net| constant.contains(&net))
+            });
+        let arcs: Vec<ArcAging> = path
+            .steps
+            .iter()
+            .zip(fresh_steps.iter().zip(&aged_steps))
+            .map(|(step, (&f, &a))| {
+                let (_, tag) = split_lambda_tag(&annotated.instance(step.inst).cell);
+                let mean_lambda = tag.map_or(0.0, |t| (t.lambda_pmos + t.lambda_nmos) / 2.0);
+                ArcAging {
+                    inst: step.inst,
+                    input: step.input.clone(),
+                    output: step.output.clone(),
+                    fresh: f,
+                    aged: a,
+                    mean_lambda,
+                }
+            })
+            .collect();
+        profiles.push(PathProfile {
+            path,
+            fresh_delay: fresh_steps.iter().sum(),
+            aged_delay: aged_steps.iter().sum(),
+            arcs,
+            false_path,
+        });
+    }
+
+    let critical_fresh = profiles.first().map_or(0.0, |p| p.fresh_delay);
+    Ok(PathAnalysis { profiles, critical_fresh, budget_exhausted, constant_nets })
+}
+
+/// The timed segment of an enumerated path: everything from the last
+/// sequential (launching) step onward. Path extraction follows launch back
+/// edges *through* a flop's clock pin for provenance, so a path into a
+/// gated or logic-derived clock carries clock-cone steps the analysis never
+/// times (flops launch at `t = 0`). Dropping that prefix restores the
+/// invariant that the step-delay sum is bounded by the critical delay.
+fn timed_segment(netlist: &Netlist, library: &Library, path: PathSpec) -> PathSpec {
+    let launch = path.steps.iter().rposition(|s| {
+        library.cell(&netlist.instance(s.inst).cell).is_some_and(liberty::Cell::is_sequential)
+    });
+    let Some(k) = launch.filter(|&k| k > 0) else { return path };
+    let steps = path.steps[k..].to_vec();
+    let start_net =
+        netlist.instance(steps[0].inst).net_on(&steps[0].input).unwrap_or(path.start_net);
+    PathSpec { start_net, start_rising: steps[0].input_rising, steps, arrival: path.arrival }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty::{merge_indexed, Cell, LambdaTag, Library};
+    use netlist::annotate::annotated_with_static;
+    use netlist::{Netlist, PortDir};
+
+    const STEPS: u32 = 4;
+
+    fn base_library() -> Library {
+        let mut lib = Library::new("base", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    /// Complete library with delay scaling `1 + 0.3·(λp + λn)/2`.
+    fn complete_library() -> Library {
+        let mut parts = Vec::new();
+        for p in 0..=STEPS {
+            for n in 0..=STEPS {
+                let lp = f64::from(p) / f64::from(STEPS);
+                let ln = f64::from(n) / f64::from(STEPS);
+                let factor = 1.0 + 0.3 * (lp + ln) / 2.0;
+                let mut lib = Library::new("part", 1.2);
+                let mut cell = Cell::test_inverter("INV_X1");
+                for o in &mut cell.outputs {
+                    for arc in &mut o.arcs {
+                        arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                        arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                    }
+                }
+                lib.add_cell(cell);
+                parts.push((LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+            }
+        }
+        merge_indexed("complete", &parts)
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn guardband_decomposes_over_arcs() {
+        let nl = chain(4);
+        let tag = LambdaTag { lambda_pmos: 1.0, lambda_nmos: 1.0 };
+        let annotated = annotated_with_static(&nl, tag);
+        let analysis = analyze_paths(
+            &nl,
+            &annotated,
+            &base_library(),
+            &complete_library(),
+            &Constraints::default(),
+            &DataflowConfig::default(),
+            &PathAnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(!analysis.profiles.is_empty());
+        let worst = &analysis.profiles[0];
+        assert_eq!(worst.arcs.len(), 4);
+        assert!(worst.guardband() > 0.0, "λ = 1 ages every arc");
+        // At full stress the factor is 1.3 on every cell-delay table; slews
+        // grow too, so the per-arc delta is at least the table scaling.
+        assert!(worst.aged_delay >= worst.fresh_delay * 1.3 - 1e-15);
+        // The decomposition covers the guardband: per-arc deltas sum close
+        // to the path-level delta (slew interaction makes them not exactly
+        // equal, but the aged evaluation *is* the sum of aged arcs).
+        let sum: f64 = worst.arcs.iter().map(ArcAging::delta).sum();
+        assert!((sum - worst.guardband()).abs() < 1e-15);
+        for arc in &worst.arcs {
+            assert!((arc.mean_lambda - 1.0).abs() < 1e-12);
+            assert!(arc.sensitivity() > 0.0);
+        }
+        // A uniform chain has no dominant arc.
+        let (_, share) = worst.dominant_arc().unwrap();
+        assert!(share < 0.5, "share = {share}");
+    }
+
+    #[test]
+    fn untagged_netlist_has_zero_guardband_and_sensitivity() {
+        let nl = chain(3);
+        let analysis = analyze_paths(
+            &nl,
+            &nl,
+            &base_library(),
+            &base_library(),
+            &Constraints::default(),
+            &DataflowConfig::default(),
+            &PathAnalysisConfig::default(),
+        )
+        .unwrap();
+        for p in &analysis.profiles {
+            assert!(p.guardband().abs() < 1e-18);
+            assert!(p.arcs.iter().all(|a| a.sensitivity() == 0.0));
+        }
+    }
+
+    #[test]
+    fn constant_cone_marks_false_paths() {
+        // A NAND-free design: tie one inverter input to a constant net by
+        // giving the input a point interval at 1.0 — its output is then
+        // statically 0 and every path through it is false.
+        let nl = chain(3);
+        let mut df_config = DataflowConfig::default();
+        let a = nl.find_net("a").unwrap();
+        df_config.input_intervals.insert(a, crate::Interval::point(1.0));
+        let analysis = analyze_paths(
+            &nl,
+            &nl,
+            &base_library(),
+            &base_library(),
+            &Constraints::default(),
+            &df_config,
+            &PathAnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(!analysis.constant_nets.is_empty());
+        assert!(analysis.profiles.iter().all(|p| p.false_path));
+        assert_eq!(analysis.near_critical_count(1.0), 0, "false paths don't count");
+    }
+
+    #[test]
+    fn misaligned_netlists_are_rejected() {
+        let nl = chain(3);
+        let other = chain(4);
+        let err = analyze_paths(
+            &nl,
+            &other,
+            &base_library(),
+            &base_library(),
+            &Constraints::default(),
+            &DataflowConfig::default(),
+            &PathAnalysisConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StaError::Preflight { .. }));
+    }
+
+    #[test]
+    fn budget_truncates_and_reports_exhaustion() {
+        let nl = chain(6);
+        let cfg = PathAnalysisConfig { max_paths: 1, ..PathAnalysisConfig::default() };
+        let analysis = analyze_paths(
+            &nl,
+            &nl,
+            &base_library(),
+            &base_library(),
+            &Constraints::default(),
+            &DataflowConfig::default(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(analysis.profiles.len(), 1);
+        assert!(analysis.budget_exhausted);
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! - a stable rule ID per check (`LB...` library, `NL...` netlist,
 //!   `LM...` λ-annotation, `TM...` timing-context, `AG...` aging,
-//!   `DF...` dataflow),
+//!   `DF...` dataflow, `PT...` path-level timing),
 //! - a severity ([`Severity::Error`] aborts flows, [`Severity::Warning`]
 //!   is logged, [`Severity::Info`] is advisory),
 //! - a precise [`Location`] (cell, arc, instance or net),
@@ -139,11 +139,30 @@ pub enum Rule {
     /// DF006 — the interval analysis widened or skipped instances
     /// (combinational loops, unresolvable cells), so DF checks are partial.
     WidenedAnalysis,
+    /// PT001 — an enumerated path's aged delay exceeds the provable
+    /// `static_guardband_bound`; bound and path come from the same
+    /// annotation, so this is an invariant violation.
+    PathGuardbandOverBound,
+    /// PT002 — one arc carries almost the entire aging guardband of a
+    /// near-critical path (a single degradation hotspot decides the
+    /// design's lifetime margin).
+    AgingDominantArc,
+    /// PT003 — a path's aged delay is *below* its fresh delay: the
+    /// annotation or complete library breaks degradation monotonicity at
+    /// the path level.
+    NonMonotoneAgedPath,
+    /// PT004 — the near-critical path population inside the window exceeds
+    /// the configured limit (or exhausted the enumeration budget):
+    /// single-path guardbanding is unreliable under criticality switching.
+    NearCriticalExplosion,
+    /// PT005 — timing endpoints exist but no clock period is configured,
+    /// so path slacks are vacuous.
+    UnconstrainedEndpoint,
 }
 
 impl Rule {
     /// All rules in code order.
-    pub const ALL: [Rule; 26] = [
+    pub const ALL: [Rule; 31] = [
         Rule::EmptyLibrary,
         Rule::ImplausibleCapacitance,
         Rule::MissingArcs,
@@ -170,6 +189,11 @@ impl Rule {
         Rule::LambdaOutsideBounds,
         Rule::LambdaInconsistentPair,
         Rule::WidenedAnalysis,
+        Rule::PathGuardbandOverBound,
+        Rule::AgingDominantArc,
+        Rule::NonMonotoneAgedPath,
+        Rule::NearCriticalExplosion,
+        Rule::UnconstrainedEndpoint,
     ];
 
     /// The stable rule code, e.g. `NL003`.
@@ -202,6 +226,11 @@ impl Rule {
             Rule::LambdaOutsideBounds => "DF004",
             Rule::LambdaInconsistentPair => "DF005",
             Rule::WidenedAnalysis => "DF006",
+            Rule::PathGuardbandOverBound => "PT001",
+            Rule::AgingDominantArc => "PT002",
+            Rule::NonMonotoneAgedPath => "PT003",
+            Rule::NearCriticalExplosion => "PT004",
+            Rule::UnconstrainedEndpoint => "PT005",
         }
     }
 
@@ -222,7 +251,9 @@ impl Rule {
             | Rule::CombinationalLoop
             | Rule::LambdaOutOfGrid
             | Rule::LambdaOutsideBounds
-            | Rule::LambdaInconsistentPair => Severity::Error,
+            | Rule::LambdaInconsistentPair
+            | Rule::PathGuardbandOverBound
+            | Rule::NonMonotoneAgedPath => Severity::Error,
             Rule::NonMonotoneLoad
             | Rule::NonMonotoneSlew
             | Rule::InconsistentGrid
@@ -232,8 +263,12 @@ impl Rule {
             | Rule::AgingImprovement
             | Rule::ConstantNet
             | Rule::ConstantOutput
-            | Rule::DeadCone => Severity::Warning,
-            Rule::DanglingOutput | Rule::WidenedAnalysis => Severity::Info,
+            | Rule::DeadCone
+            | Rule::AgingDominantArc
+            | Rule::UnconstrainedEndpoint => Severity::Warning,
+            Rule::DanglingOutput | Rule::WidenedAnalysis | Rule::NearCriticalExplosion => {
+                Severity::Info
+            }
         }
     }
 
@@ -267,6 +302,11 @@ impl Rule {
             Rule::LambdaOutsideBounds => "λ-annotation outside provable interval",
             Rule::LambdaInconsistentPair => "λ pair violates extraction invariant",
             Rule::WidenedAnalysis => "interval analysis widened (partial DF coverage)",
+            Rule::PathGuardbandOverBound => "aged path delay exceeds the static bound",
+            Rule::AgingDominantArc => "one arc dominates a near-critical path's guardband",
+            Rule::NonMonotoneAgedPath => "aged path delay below fresh path delay",
+            Rule::NearCriticalExplosion => "near-critical path population explosion",
+            Rule::UnconstrainedEndpoint => "timing endpoints without a clock constraint",
         }
     }
 
@@ -399,6 +439,20 @@ pub struct LintConfig {
     /// Signal-probability intervals assumed at primary inputs for the `DF`
     /// rules (unlisted inputs span the full `[0, 1]` — any workload).
     pub input_intervals: std::collections::HashMap<netlist::NetId, dataflow::Interval>,
+    /// Maximum number of worst paths the `PT` rules enumerate.
+    pub path_budget: usize,
+    /// Near-critical window width for `PT002`/`PT004`, as a fraction of the
+    /// fresh critical delay.
+    pub near_critical_fraction: f64,
+    /// `PT004` fires when at least this many non-false paths sit inside the
+    /// near-critical window.
+    pub near_critical_limit: usize,
+    /// `PT002` fires when one arc's share of a near-critical path's
+    /// guardband exceeds this fraction.
+    pub arc_concentration: f64,
+    /// Clock period assumed by the `PT` rules; `None` trips `PT005` on
+    /// designs with endpoints.
+    pub clock_period: Option<f64>,
 }
 
 impl Default for LintConfig {
@@ -414,6 +468,11 @@ impl Default for LintConfig {
             lambda_extraction: Extraction::default(),
             lambda_steps: 10,
             input_intervals: std::collections::HashMap::new(),
+            path_budget: 256,
+            near_critical_fraction: 0.05,
+            near_critical_limit: 64,
+            arc_concentration: 0.8,
+            clock_period: None,
         }
     }
 }
@@ -478,6 +537,55 @@ impl LintReport {
         let mut diagnostics = Vec::new();
         rules::aging::check(fresh, aged, config, &mut diagnostics);
         Self::finish(diagnostics, config)
+    }
+
+    /// Runs the `PT` path-level rules: enumerates the worst paths of
+    /// `netlist` (up to [`LintConfig::path_budget`]), re-evaluates each
+    /// under the static worst-case λ-annotation against the merged
+    /// `complete` library, and checks the resulting path population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sta::StaError`] when the design cannot be timed at all
+    /// (structural errors, combinational loops, missing arcs) — run the
+    /// structural rules first to turn those into diagnostics.
+    pub fn run_paths(
+        netlist: &Netlist,
+        base_library: &Library,
+        complete: &Library,
+        config: &LintConfig,
+    ) -> Result<Self, sta::StaError> {
+        let constraints = sta::Constraints {
+            clock_period: config.clock_period,
+            input_slew: config.input_slew,
+            output_load: config.output_load,
+        };
+        let df_config =
+            dataflow::DataflowConfig { input_intervals: config.input_intervals.clone() };
+        let bound = dataflow::static_guardband_bound(
+            netlist,
+            base_library,
+            complete,
+            config.lambda_steps,
+            &df_config,
+            &constraints,
+        )?;
+        let path_config = dataflow::PathAnalysisConfig {
+            max_paths: config.path_budget,
+            near_critical_fraction: config.near_critical_fraction,
+        };
+        let analysis = dataflow::analyze_paths(
+            netlist,
+            &bound.annotated,
+            base_library,
+            complete,
+            &constraints,
+            &df_config,
+            &path_config,
+        )?;
+        let mut diagnostics = Vec::new();
+        rules::paths::check(netlist, &analysis, &bound, config, &mut diagnostics);
+        Ok(Self::finish(diagnostics, config))
     }
 
     /// Combines two reports (e.g. a netlist run and an aging run) into one,

@@ -4,5 +4,6 @@ pub(crate) mod aging;
 pub(crate) mod dataflow;
 pub(crate) mod lambda;
 pub(crate) mod library;
+pub(crate) mod paths;
 pub(crate) mod structure;
 pub(crate) mod timing;

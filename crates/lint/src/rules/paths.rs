@@ -1,0 +1,333 @@
+//! `PT` rules: path-level timing checks over an enumerated near-critical
+//! path population (see `dataflow::analyze_paths`).
+
+use crate::{Diagnostic, LintConfig, Location, Rule};
+use dataflow::{PathAnalysis, PathProfile, StaticBoundReport};
+use netlist::Netlist;
+
+/// Relative tolerance when comparing path delays against the static bound:
+/// both come from the same annotated netlist, so anything beyond rounding
+/// noise is a real inconsistency.
+const REL_TOL: f64 = 1e-9;
+const ABS_TOL: f64 = 1e-15;
+
+fn endpoint_location(netlist: &Netlist, profile: &PathProfile) -> Location {
+    profile
+        .path
+        .steps
+        .last()
+        .and_then(|s| netlist.instance(s.inst).net_on(&s.output))
+        .map_or(Location::Design, |net| Location::Net { net: netlist.net_name(net).to_owned() })
+}
+
+pub(crate) fn check(
+    netlist: &Netlist,
+    analysis: &PathAnalysis,
+    bound: &StaticBoundReport,
+    config: &LintConfig,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let near_floor = analysis.critical_fresh * (1.0 - config.near_critical_fraction);
+
+    for profile in &analysis.profiles {
+        // PT003 — an aged path must never be faster than its fresh self
+        // (monotone degradation); firing means the annotation or the
+        // complete library is inconsistent. Checked on every enumerated
+        // path, false or not.
+        if profile.aged_delay < profile.fresh_delay - ABS_TOL.max(profile.fresh_delay * REL_TOL) {
+            diagnostics.push(Diagnostic::new(
+                Rule::NonMonotoneAgedPath,
+                endpoint_location(netlist, profile),
+                format!(
+                    "aged path delay {:.4e} s is below the fresh delay {:.4e} s",
+                    profile.aged_delay, profile.fresh_delay
+                ),
+            ));
+        }
+        if profile.false_path {
+            continue;
+        }
+        // PT001 — no functional path may age past the provable static
+        // bound; the bound was computed from the same annotation, so an
+        // excess is an invariant violation, not a tight margin.
+        let limit = bound.bound_delay * (1.0 + REL_TOL) + ABS_TOL;
+        if profile.aged_delay > limit {
+            diagnostics.push(Diagnostic::new(
+                Rule::PathGuardbandOverBound,
+                endpoint_location(netlist, profile),
+                format!(
+                    "aged path delay {:.4e} s exceeds the static guardband bound {:.4e} s",
+                    profile.aged_delay, bound.bound_delay
+                ),
+            ));
+        }
+        // PT002 — one arc carrying almost the whole guardband of a
+        // near-critical path: a single aging hotspot decides the design's
+        // lifetime margin (prime monitor-insertion candidate).
+        if profile.fresh_delay >= near_floor && profile.arcs.len() >= 3 {
+            if let Some((step, share)) = profile.dominant_arc() {
+                if share > config.arc_concentration {
+                    let inst = profile.path.steps[step].inst;
+                    diagnostics.push(Diagnostic::new(
+                        Rule::AgingDominantArc,
+                        Location::Instance { instance: netlist.instance(inst).name.clone() },
+                        format!(
+                            "one arc carries {:.0}% of a near-critical path's \
+                             {:.4e} s guardband",
+                            share * 100.0,
+                            profile.guardband()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // PT004 — the near-critical population within the window exceeds the
+    // configured limit (or the enumeration budget ran out inside the
+    // window): single-path guardbanding is unreliable under criticality
+    // switching (the paper's Sec. 3 explosion argument).
+    let near = analysis.near_critical_count(config.near_critical_fraction);
+    let window_saturated = analysis.budget_exhausted
+        && analysis.profiles.last().is_some_and(|p| p.fresh_delay >= near_floor);
+    if near >= config.near_critical_limit || window_saturated {
+        let qualifier = if analysis.budget_exhausted { "at least " } else { "" };
+        diagnostics.push(Diagnostic::new(
+            Rule::NearCriticalExplosion,
+            Location::Design,
+            format!(
+                "{qualifier}{near} paths within {:.1}% of the critical delay \
+                 (limit {})",
+                config.near_critical_fraction * 100.0,
+                config.near_critical_limit
+            ),
+        ));
+    }
+
+    // PT005 — endpoints exist but no clock period is configured: every
+    // path "meets timing" vacuously and the guardband has no budget to be
+    // checked against.
+    if config.clock_period.is_none() && !analysis.profiles.is_empty() {
+        diagnostics.push(Diagnostic::new(
+            Rule::UnconstrainedEndpoint,
+            Location::Design,
+            format!(
+                "{} enumerated endpoints have no clock-period constraint",
+                analysis.profiles.len()
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintReport;
+    use liberty::{merge_indexed, Cell, LambdaTag, Library};
+    use netlist::{Netlist, PortDir};
+
+    const STEPS: u32 = 4;
+
+    /// Complete library over `INV_X1` (mild aging) and `HOT_X1` (10× the
+    /// aging coefficient — a degradation hotspot cell).
+    fn libraries(hot_coeff: f64) -> (Library, Library) {
+        let mut base = Library::new("base", 1.2);
+        base.add_cell(Cell::test_inverter("INV_X1"));
+        base.add_cell(Cell::test_inverter("HOT_X1"));
+        let mut parts = Vec::new();
+        for p in 0..=STEPS {
+            for n in 0..=STEPS {
+                let lp = f64::from(p) / f64::from(STEPS);
+                let ln = f64::from(n) / f64::from(STEPS);
+                let mut lib = Library::new("part", 1.2);
+                for (name, coeff) in [("INV_X1", 0.05), ("HOT_X1", hot_coeff)] {
+                    let factor = 1.0 + coeff * (lp + ln) / 2.0;
+                    let mut cell = Cell::test_inverter(name);
+                    for o in &mut cell.outputs {
+                        for arc in &mut o.arcs {
+                            arc.cell_rise = arc.cell_rise.map(|v| v * factor);
+                            arc.cell_fall = arc.cell_fall.map(|v| v * factor);
+                        }
+                    }
+                    lib.add_cell(cell);
+                }
+                parts.push((LambdaTag { lambda_pmos: lp, lambda_nmos: ln }, lib));
+            }
+        }
+        (base, merge_indexed("complete", &parts))
+    }
+
+    fn chain(cells: &[&str]) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for (k, cell) in cells.iter().enumerate() {
+            let next = if k + 1 == cells.len() {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), cell, &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    fn config() -> LintConfig {
+        LintConfig { lambda_steps: STEPS, clock_period: Some(10e-9), ..LintConfig::default() }
+    }
+
+    #[test]
+    fn clean_uniform_chain_has_no_findings() {
+        let (base, complete) = libraries(0.05);
+        let nl = chain(&["INV_X1"; 4]);
+        let report = LintReport::run_paths(&nl, &base, &complete, &config()).unwrap();
+        assert!(report.diagnostics().is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn pt005_fires_without_clock_constraint() {
+        let (base, complete) = libraries(0.05);
+        let nl = chain(&["INV_X1"; 3]);
+        let cfg = LintConfig { clock_period: None, ..config() };
+        let report = LintReport::run_paths(&nl, &base, &complete, &cfg).unwrap();
+        assert!(
+            report.diagnostics().iter().any(|d| d.rule == Rule::UnconstrainedEndpoint),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn pt002_flags_a_degradation_hotspot() {
+        let (base, complete) = libraries(2.0);
+        let nl = chain(&["INV_X1", "HOT_X1", "INV_X1", "INV_X1"]);
+        let report = LintReport::run_paths(&nl, &base, &complete, &config()).unwrap();
+        let hits: Vec<_> =
+            report.diagnostics().iter().filter(|d| d.rule == Rule::AgingDominantArc).collect();
+        assert!(!hits.is_empty(), "{report:?}");
+        assert!(
+            hits.iter().all(|d| d.location == Location::Instance { instance: "u1".to_owned() }),
+            "the hotspot instance is named: {report:?}"
+        );
+    }
+
+    #[test]
+    fn pt003_fires_when_aging_speeds_a_path_up() {
+        // Unit-level: `static_guardband_bound` always annotates the *worst*
+        // variant, so a faster-when-aged path can only come from an
+        // externally supplied inconsistent annotation — fabricate one.
+        use dataflow::{PathAnalysis, PathProfile};
+        use sta::PathSpec;
+
+        let nl = chain(&["INV_X1"; 2]);
+        let profile = PathProfile {
+            path: PathSpec {
+                start_net: netlist::NetId::from_index(0),
+                start_rising: true,
+                steps: Vec::new(),
+                arrival: 1e-9,
+            },
+            fresh_delay: 1.0e-9,
+            aged_delay: 0.8e-9, // faster than fresh: impossible physically
+            arcs: Vec::new(),
+            false_path: false,
+        };
+        let analysis = PathAnalysis {
+            profiles: vec![profile],
+            critical_fresh: 1.0e-9,
+            budget_exhausted: false,
+            constant_nets: Vec::new(),
+        };
+        let bound = dataflow::StaticBoundReport {
+            fresh_delay: 1.0e-9,
+            bound_delay: 1.5e-9,
+            exact: true,
+            annotated: nl.clone(),
+        };
+        let mut diagnostics = Vec::new();
+        check(&nl, &analysis, &bound, &config(), &mut diagnostics);
+        let pt003: Vec<_> =
+            diagnostics.iter().filter(|d| d.rule == Rule::NonMonotoneAgedPath).collect();
+        assert_eq!(pt003.len(), 1);
+        assert_eq!(pt003[0].severity, crate::Severity::Error);
+    }
+
+    #[test]
+    fn consistent_pipeline_never_trips_pt003() {
+        // End-to-end: the bound's worst-variant annotation keeps every
+        // aged path at or above its fresh delay even when the complete
+        // library contains faster-than-fresh variants.
+        let (base, complete) = libraries(-0.5);
+        let nl = chain(&["HOT_X1"; 3]);
+        let report = LintReport::run_paths(&nl, &base, &complete, &config()).unwrap();
+        assert!(
+            !report.diagnostics().iter().any(|d| d.rule == Rule::NonMonotoneAgedPath),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn pt004_reports_population_explosion_at_low_limit() {
+        let (base, complete) = libraries(0.05);
+        // Two identical chains: 4 equal near-critical paths (2 polarities).
+        let mut nl = Netlist::new("m");
+        for c in 0..2 {
+            let a = nl.add_port(&format!("a{c}"), PortDir::Input);
+            let y = nl.add_port(&format!("y{c}"), PortDir::Output);
+            let mid = nl.add_net(&format!("m{c}"));
+            nl.add_instance(&format!("u{c}_0"), "INV_X1", &[("A", a), ("Y", mid)]);
+            nl.add_instance(&format!("u{c}_1"), "INV_X1", &[("A", mid), ("Y", y)]);
+        }
+        let cfg = LintConfig { near_critical_limit: 2, ..config() };
+        let report = LintReport::run_paths(&nl, &base, &complete, &cfg).unwrap();
+        let pt004: Vec<_> =
+            report.diagnostics().iter().filter(|d| d.rule == Rule::NearCriticalExplosion).collect();
+        assert_eq!(pt004.len(), 1, "{report:?}");
+        assert_eq!(pt004[0].severity, crate::Severity::Info, "advisory only");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn pt001_fires_when_a_path_exceeds_the_bound() {
+        // Unit-level: fabricate an analysis whose worst path overshoots the
+        // claimed static bound (cannot happen with a consistent pipeline).
+        use dataflow::{ArcAging, PathAnalysis, PathProfile};
+        use netlist::InstId;
+        use sta::PathSpec;
+
+        let nl = chain(&["INV_X1"; 2]);
+        let profile = PathProfile {
+            path: PathSpec {
+                start_net: netlist::NetId::from_index(0),
+                start_rising: true,
+                steps: Vec::new(),
+                arrival: 1e-9,
+            },
+            fresh_delay: 1.0e-9,
+            aged_delay: 1.5e-9,
+            arcs: vec![ArcAging {
+                inst: InstId::from_index(0),
+                input: "A".into(),
+                output: "Y".into(),
+                fresh: 1.0e-9,
+                aged: 1.5e-9,
+                mean_lambda: 1.0,
+            }],
+            false_path: false,
+        };
+        let analysis = PathAnalysis {
+            profiles: vec![profile],
+            critical_fresh: 1.0e-9,
+            budget_exhausted: false,
+            constant_nets: Vec::new(),
+        };
+        let bound = dataflow::StaticBoundReport {
+            fresh_delay: 1.0e-9,
+            bound_delay: 1.2e-9, // claimed bound below the actual aged path
+            exact: true,
+            annotated: nl.clone(),
+        };
+        let mut diagnostics = Vec::new();
+        check(&nl, &analysis, &bound, &config(), &mut diagnostics);
+        assert!(diagnostics.iter().any(|d| d.rule == Rule::PathGuardbandOverBound));
+    }
+}

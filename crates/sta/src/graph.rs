@@ -1,20 +1,287 @@
 //! Topological slew/arrival propagation — the analysis core.
+//!
+//! The per-instance evaluation ([`EvalCtx::eval_comb`] / [`EvalCtx::eval_flop`])
+//! and the report extraction ([`extract_report`]) are shared with the
+//! incremental engine in [`crate::incremental`]: both paths execute the
+//! *same* arc iteration in the *same* order, which is what makes incremental
+//! results bit-identical to a full [`analyze`] rather than merely close.
 
 use crate::path::{net_load, PathSpec, PathStep};
 use crate::report::{Endpoint, EndpointKind, TimingReport};
 use crate::{Constraints, StaError};
 use liberty::{Cell, CellClass, Library, TimingSense};
 use netlist::{InstId, NetId, Netlist, NetlistError};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// The predecessor of a net's worst edge: which arc of which instance set it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Pred {
+    pub(crate) inst: InstId,
+    pub(crate) input: String,
+    pub(crate) input_rising: bool,
+    pub(crate) output: String,
+    pub(crate) delay: f64,
+}
+
+/// One recorded timing edge `(out net, out rising, in net, in rising, delay)`
+/// in forward topological order — replayed in reverse for the required-time
+/// pass (an order-independent min-fold, so any valid topological order gives
+/// bit-identical required times).
+pub(crate) type BackEdge = (usize, bool, usize, bool, f64);
+
+/// The per-net forward state of an analysis: worst/earliest arrivals, slews
+/// and worst-path predecessors for both edge polarities.
 #[derive(Debug, Clone)]
-struct Pred {
-    inst: InstId,
-    input: String,
-    input_rising: bool,
-    output: String,
-    delay: f64,
+pub(crate) struct NetState {
+    pub(crate) arrival_rise: Vec<f64>,
+    pub(crate) arrival_fall: Vec<f64>,
+    pub(crate) min_rise: Vec<f64>,
+    pub(crate) min_fall: Vec<f64>,
+    pub(crate) slew_rise: Vec<f64>,
+    pub(crate) slew_fall: Vec<f64>,
+    pub(crate) pred_rise: Vec<Option<Pred>>,
+    pub(crate) pred_fall: Vec<Option<Pred>>,
+}
+
+impl NetState {
+    /// State before any instance has been evaluated: every net launches at
+    /// t = 0 with the boundary input slew.
+    pub(crate) fn fresh(n_nets: usize, input_slew: f64) -> Self {
+        NetState {
+            arrival_rise: vec![0.0; n_nets],
+            arrival_fall: vec![0.0; n_nets],
+            min_rise: vec![0.0; n_nets],
+            min_fall: vec![0.0; n_nets],
+            slew_rise: vec![input_slew; n_nets],
+            slew_fall: vec![input_slew; n_nets],
+            pred_rise: vec![None; n_nets],
+            pred_fall: vec![None; n_nets],
+        }
+    }
+
+    /// Resets one net to its pre-evaluation defaults. The incremental engine
+    /// calls this before re-evaluating a net's driver so a re-evaluation
+    /// starts from the same state a full analysis would.
+    pub(crate) fn reset_net(&mut self, net: usize, input_slew: f64) {
+        self.arrival_rise[net] = 0.0;
+        self.arrival_fall[net] = 0.0;
+        self.min_rise[net] = 0.0;
+        self.min_fall[net] = 0.0;
+        self.slew_rise[net] = input_slew;
+        self.slew_fall[net] = input_slew;
+        self.pred_rise[net] = None;
+        self.pred_fall[net] = None;
+    }
+
+    /// The six value fields of one net as raw bits — bitwise equality is the
+    /// dirty-cone propagation criterion (predecessors are a deterministic
+    /// function of these inputs, so equal values imply equal downstream
+    /// state).
+    pub(crate) fn value_bits(&self, net: usize) -> [u64; 6] {
+        [
+            self.arrival_rise[net].to_bits(),
+            self.arrival_fall[net].to_bits(),
+            self.min_rise[net].to_bits(),
+            self.min_fall[net].to_bits(),
+            self.slew_rise[net].to_bits(),
+            self.slew_fall[net].to_bits(),
+        ]
+    }
+}
+
+/// Everything the per-instance evaluation reads besides [`NetState`].
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) library: &'a Library,
+    pub(crate) sinks: &'a HashMap<NetId, Vec<(InstId, String)>>,
+    pub(crate) output_nets: &'a HashSet<NetId>,
+    pub(crate) input_slew: f64,
+    pub(crate) output_load: f64,
+}
+
+impl EvalCtx<'_> {
+    fn load_of(&self, net: NetId) -> f64 {
+        net_load(self.library, self.sinks, self.netlist, net, self.output_nets, self.output_load)
+    }
+
+    /// Launches a flop's outputs from the clock edge: writes the Q-net
+    /// state and appends the launch back-edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::MissingArc`] when an output lacks a clock arc.
+    pub(crate) fn eval_flop(
+        &self,
+        id: InstId,
+        cell: &Cell,
+        state: &mut NetState,
+        back_edges: &mut Vec<BackEdge>,
+    ) -> Result<(), StaError> {
+        let CellClass::Flop { clock, .. } = &cell.class else { return Ok(()) };
+        let inst = self.netlist.instance(id);
+        for out in &cell.outputs {
+            let Some(net) = inst.net_on(&out.name) else { continue };
+            let arc = out.arc_from(clock).ok_or_else(|| StaError::MissingArc {
+                cell: cell.name.clone(),
+                input: clock.clone(),
+                output: out.name.clone(),
+            })?;
+            let load = self.load_of(net);
+            let i = net.index();
+            state.arrival_rise[i] = arc.delay(true, self.input_slew, load);
+            state.arrival_fall[i] = arc.delay(false, self.input_slew, load);
+            state.min_rise[i] = state.arrival_rise[i];
+            state.min_fall[i] = state.arrival_fall[i];
+            state.slew_rise[i] = arc.transition(true, self.input_slew, load);
+            state.slew_fall[i] = arc.transition(false, self.input_slew, load);
+            if let Some(ck_net) = inst.net_on(clock) {
+                back_edges.push((i, true, ck_net.index(), true, state.arrival_rise[i]));
+                back_edges.push((i, false, ck_net.index(), true, state.arrival_fall[i]));
+            }
+            state.pred_rise[i] = Some(Pred {
+                inst: id,
+                input: clock.clone(),
+                input_rising: true,
+                output: out.name.clone(),
+                delay: state.arrival_rise[i],
+            });
+            state.pred_fall[i] = Some(Pred {
+                inst: id,
+                input: clock.clone(),
+                input_rising: true,
+                output: out.name.clone(),
+                delay: state.arrival_fall[i],
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates one combinational instance: for every output pin, folds all
+    /// input arcs into worst/earliest arrivals, slews and predecessors, and
+    /// appends the traversed back-edges. Inputs must already hold their
+    /// final state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] for missing arcs and unconnected input pins.
+    pub(crate) fn eval_comb(
+        &self,
+        id: InstId,
+        cell: &Cell,
+        state: &mut NetState,
+        back_edges: &mut Vec<BackEdge>,
+    ) -> Result<(), StaError> {
+        let inst = self.netlist.instance(id);
+        for out in &cell.outputs {
+            let Some(out_net) = inst.net_on(&out.name) else { continue };
+            let load = self.load_of(out_net);
+            let mut best_rise: Option<(f64, f64, Pred)> = None; // (arrival, slew, pred)
+            let mut best_fall: Option<(f64, f64, Pred)> = None;
+            let mut least_rise = f64::INFINITY;
+            let mut least_fall = f64::INFINITY;
+            for input in &cell.inputs {
+                // Outputs genuinely independent of this input
+                // (e.g. HA's CO vs no pin) are skipped only if the
+                // function ignores the pin; otherwise it is an error.
+                let Some(arc) = out.arc_from(&input.name) else {
+                    if out.function.vars().contains(&input.name) {
+                        return Err(StaError::MissingArc {
+                            cell: cell.name.clone(),
+                            input: input.name.clone(),
+                            output: out.name.clone(),
+                        });
+                    }
+                    continue;
+                };
+                let Some(in_net) = inst.net_on(&input.name) else {
+                    return Err(StaError::Netlist(NetlistError::UnconnectedPin {
+                        instance: inst.name.clone(),
+                        pin: input.name.clone(),
+                    }));
+                };
+                let i = in_net.index();
+                // Which input edges can cause each output edge.
+                let rise_from: &[bool] = match arc.sense {
+                    TimingSense::PositiveUnate => &[true],
+                    TimingSense::NegativeUnate => &[false],
+                    TimingSense::NonUnate => &[true, false],
+                };
+                for &in_rising in rise_from {
+                    let (a_in, s_in) = if in_rising {
+                        (state.arrival_rise[i], state.slew_rise[i])
+                    } else {
+                        (state.arrival_fall[i], state.slew_fall[i])
+                    };
+                    let d = arc.delay(true, s_in, load);
+                    back_edges.push((out_net.index(), true, i, in_rising, d));
+                    let m_in = if in_rising { state.min_rise[i] } else { state.min_fall[i] };
+                    least_rise = least_rise.min(m_in + d);
+                    let cand = a_in + d;
+                    if best_rise.as_ref().is_none_or(|(b, _, _)| cand > *b) {
+                        best_rise = Some((
+                            cand,
+                            arc.transition(true, s_in, load),
+                            Pred {
+                                inst: id,
+                                input: input.name.clone(),
+                                input_rising: in_rising,
+                                output: out.name.clone(),
+                                delay: d,
+                            },
+                        ));
+                    }
+                }
+                let fall_from: &[bool] = match arc.sense {
+                    TimingSense::PositiveUnate => &[false],
+                    TimingSense::NegativeUnate => &[true],
+                    TimingSense::NonUnate => &[true, false],
+                };
+                for &in_rising in fall_from {
+                    let (a_in, s_in) = if in_rising {
+                        (state.arrival_rise[i], state.slew_rise[i])
+                    } else {
+                        (state.arrival_fall[i], state.slew_fall[i])
+                    };
+                    let d = arc.delay(false, s_in, load);
+                    back_edges.push((out_net.index(), false, i, in_rising, d));
+                    let m_in = if in_rising { state.min_rise[i] } else { state.min_fall[i] };
+                    least_fall = least_fall.min(m_in + d);
+                    let cand = a_in + d;
+                    if best_fall.as_ref().is_none_or(|(b, _, _)| cand > *b) {
+                        best_fall = Some((
+                            cand,
+                            arc.transition(false, s_in, load),
+                            Pred {
+                                inst: id,
+                                input: input.name.clone(),
+                                input_rising: in_rising,
+                                output: out.name.clone(),
+                                delay: d,
+                            },
+                        ));
+                    }
+                }
+            }
+            let o = out_net.index();
+            if least_rise.is_finite() {
+                state.min_rise[o] = least_rise;
+            }
+            if least_fall.is_finite() {
+                state.min_fall[o] = least_fall;
+            }
+            if let Some((a, s, p)) = best_rise {
+                state.arrival_rise[o] = a;
+                state.slew_rise[o] = s;
+                state.pred_rise[o] = Some(p);
+            }
+            if let Some((a, s, p)) = best_fall {
+                state.arrival_fall[o] = a;
+                state.slew_fall[o] = s;
+                state.pred_fall[o] = Some(p);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs static timing analysis of `netlist` against `library`.
@@ -42,19 +309,18 @@ pub fn analyze(
     let input_slew = constraints.input_slew.unwrap_or(library.default_input_slew);
     let output_load = constraints.output_load.unwrap_or(library.default_output_load);
     let output_nets: HashSet<NetId> = netlist.output_nets().collect();
+    let ctx = EvalCtx {
+        netlist,
+        library,
+        sinks: &sinks,
+        output_nets: &output_nets,
+        input_slew,
+        output_load,
+    };
 
-    let mut arrival_rise = vec![0.0f64; n_nets];
-    let mut arrival_fall = vec![0.0f64; n_nets];
-    let mut min_rise = vec![0.0f64; n_nets];
-    let mut min_fall = vec![0.0f64; n_nets];
-    let mut slew_rise = vec![input_slew; n_nets];
-    let mut slew_fall = vec![input_slew; n_nets];
-    let mut pred_rise: Vec<Option<Pred>> = vec![None; n_nets];
-    let mut pred_fall: Vec<Option<Pred>> = vec![None; n_nets];
+    let mut state = NetState::fresh(n_nets, input_slew);
     let mut resolved = vec![false; n_nets];
-    // (out net, out rising, in net, in rising, delay) in forward topological
-    // order — replayed in reverse for the required-time pass.
-    let mut back_edges: Vec<(usize, bool, usize, bool, f64)> = Vec::new();
+    let mut back_edges: Vec<BackEdge> = Vec::new();
 
     // Sources: primary inputs and undriven nets (assumed external).
     for (k, r) in resolved.iter_mut().enumerate() {
@@ -69,41 +335,12 @@ pub fn analyze(
         let inst = netlist.instance(id);
         let cell = cells[id.index()];
         match &cell.class {
-            CellClass::Flop { clock, .. } => {
+            CellClass::Flop { .. } => {
+                ctx.eval_flop(id, cell, &mut state, &mut back_edges)?;
                 for out in &cell.outputs {
-                    let Some(net) = inst.net_on(&out.name) else { continue };
-                    let arc = out.arc_from(clock).ok_or_else(|| StaError::MissingArc {
-                        cell: cell.name.clone(),
-                        input: clock.clone(),
-                        output: out.name.clone(),
-                    })?;
-                    let load = net_load(library, &sinks, netlist, net, &output_nets, output_load);
-                    let i = net.index();
-                    arrival_rise[i] = arc.delay(true, input_slew, load);
-                    arrival_fall[i] = arc.delay(false, input_slew, load);
-                    min_rise[i] = arrival_rise[i];
-                    min_fall[i] = arrival_fall[i];
-                    slew_rise[i] = arc.transition(true, input_slew, load);
-                    slew_fall[i] = arc.transition(false, input_slew, load);
-                    if let Some(ck_net) = inst.net_on(clock) {
-                        back_edges.push((i, true, ck_net.index(), true, arrival_rise[i]));
-                        back_edges.push((i, false, ck_net.index(), true, arrival_fall[i]));
+                    if let Some(net) = inst.net_on(&out.name) {
+                        resolved[net.index()] = true;
                     }
-                    pred_rise[i] = Some(Pred {
-                        inst: id,
-                        input: clock.clone(),
-                        input_rising: true,
-                        output: out.name.clone(),
-                        delay: arrival_rise[i],
-                    });
-                    pred_fall[i] = Some(Pred {
-                        inst: id,
-                        input: clock.clone(),
-                        input_rising: true,
-                        output: out.name.clone(),
-                        delay: arrival_fall[i],
-                    });
-                    resolved[i] = true;
                 }
             }
             CellClass::Combinational => comb_instances.push(id),
@@ -127,114 +364,11 @@ pub fn analyze(
                 continue;
             }
             progressed = true;
+            ctx.eval_comb(id, cell, &mut state, &mut back_edges)?;
             for out in &cell.outputs {
-                let Some(out_net) = inst.net_on(&out.name) else { continue };
-                let load = net_load(library, &sinks, netlist, out_net, &output_nets, output_load);
-                let mut best_rise: Option<(f64, f64, Pred)> = None; // (arrival, slew, pred)
-                let mut best_fall: Option<(f64, f64, Pred)> = None;
-                let mut least_rise = f64::INFINITY;
-                let mut least_fall = f64::INFINITY;
-                for input in &cell.inputs {
-                    // Outputs genuinely independent of this input
-                    // (e.g. HA's CO vs no pin) are skipped only if the
-                    // function ignores the pin; otherwise it is an error.
-                    let Some(arc) = out.arc_from(&input.name) else {
-                        if out.function.vars().contains(&input.name) {
-                            return Err(StaError::MissingArc {
-                                cell: cell.name.clone(),
-                                input: input.name.clone(),
-                                output: out.name.clone(),
-                            });
-                        }
-                        continue;
-                    };
-                    let Some(in_net) = inst.net_on(&input.name) else {
-                        return Err(StaError::Netlist(NetlistError::UnconnectedPin {
-                            instance: inst.name.clone(),
-                            pin: input.name.clone(),
-                        }));
-                    };
-                    let i = in_net.index();
-                    // Which input edges can cause each output edge.
-                    let rise_from: &[bool] = match arc.sense {
-                        TimingSense::PositiveUnate => &[true],
-                        TimingSense::NegativeUnate => &[false],
-                        TimingSense::NonUnate => &[true, false],
-                    };
-                    for &in_rising in rise_from {
-                        let (a_in, s_in) = if in_rising {
-                            (arrival_rise[i], slew_rise[i])
-                        } else {
-                            (arrival_fall[i], slew_fall[i])
-                        };
-                        let d = arc.delay(true, s_in, load);
-                        back_edges.push((out_net.index(), true, i, in_rising, d));
-                        let m_in = if in_rising { min_rise[i] } else { min_fall[i] };
-                        least_rise = least_rise.min(m_in + d);
-                        let cand = a_in + d;
-                        if best_rise.as_ref().is_none_or(|(b, _, _)| cand > *b) {
-                            best_rise = Some((
-                                cand,
-                                arc.transition(true, s_in, load),
-                                Pred {
-                                    inst: id,
-                                    input: input.name.clone(),
-                                    input_rising: in_rising,
-                                    output: out.name.clone(),
-                                    delay: d,
-                                },
-                            ));
-                        }
-                    }
-                    let fall_from: &[bool] = match arc.sense {
-                        TimingSense::PositiveUnate => &[false],
-                        TimingSense::NegativeUnate => &[true],
-                        TimingSense::NonUnate => &[true, false],
-                    };
-                    for &in_rising in fall_from {
-                        let (a_in, s_in) = if in_rising {
-                            (arrival_rise[i], slew_rise[i])
-                        } else {
-                            (arrival_fall[i], slew_fall[i])
-                        };
-                        let d = arc.delay(false, s_in, load);
-                        back_edges.push((out_net.index(), false, i, in_rising, d));
-                        let m_in = if in_rising { min_rise[i] } else { min_fall[i] };
-                        least_fall = least_fall.min(m_in + d);
-                        let cand = a_in + d;
-                        if best_fall.as_ref().is_none_or(|(b, _, _)| cand > *b) {
-                            best_fall = Some((
-                                cand,
-                                arc.transition(false, s_in, load),
-                                Pred {
-                                    inst: id,
-                                    input: input.name.clone(),
-                                    input_rising: in_rising,
-                                    output: out.name.clone(),
-                                    delay: d,
-                                },
-                            ));
-                        }
-                    }
+                if let Some(net) = inst.net_on(&out.name) {
+                    resolved[net.index()] = true;
                 }
-                let o = out_net.index();
-                if least_rise.is_finite() {
-                    min_rise[o] = least_rise;
-                }
-                if least_fall.is_finite() {
-                    min_fall[o] = least_fall;
-                }
-                if let Some((a, s, p)) = best_rise {
-                    arrival_rise[o] = a;
-                    slew_rise[o] = s;
-                    pred_rise[o] = Some(p);
-                }
-                if let Some((a, s, p)) = best_fall {
-                    arrival_fall[o] = a;
-                    slew_fall[o] = s;
-                    pred_fall[o] = Some(p);
-                }
-                resolved[o] = true;
             }
         }
         if next_round.is_empty() {
@@ -254,11 +388,30 @@ pub fn analyze(
         remaining = next_round;
     }
 
+    Ok(extract_report(netlist, &cells, constraints, &state, &back_edges))
+}
+
+/// Builds the final [`TimingReport`] from a converged forward state:
+/// endpoints, hold slacks, the backward required-time pass over
+/// `back_edges`, and the extracted critical path.
+///
+/// `back_edges` may be any concatenation of per-instance edge lists in a
+/// valid forward topological order — the required-time pass is a min-fold,
+/// so every such order yields bit-identical values.
+pub(crate) fn extract_report(
+    netlist: &Netlist,
+    cells: &[&Cell],
+    constraints: &Constraints,
+    state: &NetState,
+    back_edges: &[BackEdge],
+) -> TimingReport {
+    let n_nets = netlist.net_count();
+
     // Endpoints: primary outputs and flop data pins.
     let mut endpoints = Vec::new();
     for net in netlist.output_nets() {
         let i = net.index();
-        let arrival = arrival_rise[i].max(arrival_fall[i]);
+        let arrival = state.arrival_rise[i].max(state.arrival_fall[i]);
         endpoints.push(Endpoint {
             net,
             kind: EndpointKind::Output,
@@ -272,7 +425,7 @@ pub fn analyze(
         if let CellClass::Flop { data, setup, .. } = &cell.class {
             if let Some(net) = inst.net_on(data) {
                 let i = net.index();
-                let arrival = arrival_rise[i].max(arrival_fall[i]) + setup;
+                let arrival = state.arrival_rise[i].max(state.arrival_fall[i]) + setup;
                 endpoints.push(Endpoint {
                     net,
                     kind: EndpointKind::FlopData { setup: *setup },
@@ -286,14 +439,14 @@ pub fn analyze(
 
     // Hold checks at flop data pins: the earliest data change after the
     // launching edge must not beat the hold window of the capturing flop.
-    let mut hold_slacks: Vec<(netlist::NetId, f64)> = Vec::new();
+    let mut hold_slacks: Vec<(NetId, f64)> = Vec::new();
     for id in netlist.instance_ids() {
         let inst = netlist.instance(id);
         let cell = cells[id.index()];
         if let CellClass::Flop { data, hold, .. } = &cell.class {
             if let Some(net) = inst.net_on(data) {
                 let i = net.index();
-                let earliest = min_rise[i].min(min_fall[i]);
+                let earliest = state.min_rise[i].min(state.min_fall[i]);
                 hold_slacks.push((net, earliest - hold));
             }
         }
@@ -327,8 +480,15 @@ pub fn analyze(
     let (critical, critical_delay) = match endpoints.first() {
         Some(worst) => {
             let i = worst.net.index();
-            let rising = arrival_rise[i] >= arrival_fall[i];
-            let spec = backtrack(netlist, worst.net, rising, worst.arrival, &pred_rise, &pred_fall);
+            let rising = state.arrival_rise[i] >= state.arrival_fall[i];
+            let spec = backtrack(
+                netlist,
+                worst.net,
+                rising,
+                worst.arrival,
+                &state.pred_rise,
+                &state.pred_fall,
+            );
             (spec, worst.arrival)
         }
         None => (
@@ -342,26 +502,29 @@ pub fn analyze(
         ),
     };
 
-    Ok(TimingReport {
-        arrival_rise,
-        arrival_fall,
-        min_rise,
-        min_fall,
-        slew_rise,
-        slew_fall,
+    TimingReport {
+        arrival_rise: state.arrival_rise.clone(),
+        arrival_fall: state.arrival_fall.clone(),
+        min_rise: state.min_rise.clone(),
+        min_fall: state.min_fall.clone(),
+        slew_rise: state.slew_rise.clone(),
+        slew_fall: state.slew_fall.clone(),
         required_rise,
         required_fall,
         endpoints,
         hold_slacks,
         critical,
         critical_delay,
-    })
+    }
 }
 
 /// Resolves every instance's cell up front (indexed by [`InstId`]), turning
 /// the "unknown cell" case into a structured error at the door instead of a
 /// panic deep inside the propagation loops.
-fn resolved_cells<'l>(netlist: &Netlist, library: &'l Library) -> Result<Vec<&'l Cell>, StaError> {
+pub(crate) fn resolved_cells<'l>(
+    netlist: &Netlist,
+    library: &'l Library,
+) -> Result<Vec<&'l Cell>, StaError> {
     netlist
         .instance_ids()
         .map(|id| {

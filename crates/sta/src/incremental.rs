@@ -1,0 +1,761 @@
+//! Incremental static timing analysis.
+//!
+//! [`IncrementalSta`] keeps a persistent levelized timing graph and accepts
+//! [`StaChange`] sets — per-instance re-annotation or resize ([`StaChange::Recell`]),
+//! library swaps, constraint edits. It re-evaluates only the instances whose
+//! timing can actually move (the seeded dirty set plus the value-changed
+//! fanout cone) and is **bit-identical** to a fresh [`crate::analyze`] after
+//! every change:
+//!
+//! - Per-instance evaluation is the *same code* ([`EvalCtx::eval_comb`] /
+//!   [`EvalCtx::eval_flop`]) running against input nets that hold the same
+//!   values a full analysis would produce, so re-evaluated nets get
+//!   bit-identical results.
+//! - Instances whose input values are bitwise unchanged are skipped: their
+//!   evaluation is a pure function of input values, cell and load, so
+//!   skipping reproduces the full-analysis result exactly.
+//! - The backward required-time pass is an order-independent min-fold, so
+//!   replaying stored per-instance edge lists in any valid topological order
+//!   yields bit-identical required times.
+//!
+//! [`StaStats`] counts instances re-evaluated vs total so callers (the
+//! sizing loop, perfbench, `RunContext` stages) can report cache
+//! effectiveness.
+
+use crate::graph::{extract_report, resolved_cells, BackEdge, EvalCtx, NetState};
+use crate::report::TimingReport;
+use crate::{Constraints, StaError};
+use liberty::{CellClass, Library};
+use netlist::{InstId, NetId, Netlist, NetlistError};
+use std::collections::{HashMap, HashSet};
+
+/// One edit to a live timing graph.
+#[derive(Debug, Clone)]
+pub enum StaChange {
+    /// Point the instance at a different library cell: a λ re-annotation
+    /// (same base cell, new tag) or a resize (same family, new strength).
+    Recell {
+        /// Instance to edit.
+        inst: InstId,
+        /// New library cell name.
+        cell: String,
+    },
+    /// Replace the whole library (e.g. fresh ↔ aged corner). Always a full
+    /// refresh.
+    SwapLibrary(Library),
+    /// Replace the constraints. Clock-period-only edits cost zero
+    /// re-evaluations; slew/load edits refresh everything.
+    SetConstraints(Constraints),
+}
+
+/// Cache-effectiveness counters for an [`IncrementalSta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaStats {
+    /// Instances in the design (the cost of one full analysis).
+    pub instances_total: usize,
+    /// Instances re-evaluated by the most recent change set.
+    pub last_recomputed: usize,
+    /// Instances re-evaluated since construction (including the initial
+    /// full evaluation).
+    pub recomputed_total: u64,
+    /// Changes that forced a full structural refresh.
+    pub full_refreshes: u64,
+    /// Change sets applied.
+    pub changes_applied: u64,
+}
+
+impl StaStats {
+    /// Fraction of the design the last change set re-evaluated
+    /// (`0.0` for an empty design).
+    #[must_use]
+    pub fn last_touched_fraction(&self) -> f64 {
+        if self.instances_total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.last_recomputed as f64 / self.instances_total as f64
+            }
+        }
+    }
+}
+
+/// A persistent, incrementally updatable timing graph.
+///
+/// Owns clones of the netlist, library and constraints; [`Self::apply`]
+/// mutates them in place and repairs the timing state. [`Self::report`]
+/// is bit-identical to `analyze(self.netlist(), self.library(),
+/// self.constraints())` at every point in the change history.
+#[derive(Debug)]
+pub struct IncrementalSta {
+    netlist: Netlist,
+    library: Library,
+    constraints: Constraints,
+    input_slew: f64,
+    output_load: f64,
+    state: NetState,
+    /// Back edges recorded per instance at its last evaluation.
+    inst_edges: Vec<Vec<BackEdge>>,
+    sinks: HashMap<NetId, Vec<(InstId, String)>>,
+    drivers: HashMap<NetId, (InstId, String)>,
+    output_nets: HashSet<NetId>,
+    /// Combinational instances bucketed by logic level, ascending id within
+    /// a level; flops are listed separately (they launch from the clock and
+    /// never depend on upstream combinational timing).
+    comb_levels: Vec<Vec<InstId>>,
+    level_of: Vec<Option<usize>>,
+    flops: Vec<InstId>,
+    stats: StaStats,
+    cache: Option<TimingReport>,
+    poison: Option<StaError>,
+}
+
+impl IncrementalSta {
+    /// Builds the timing graph and runs the initial full evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] for the same structural problems a full
+    /// [`crate::analyze`] would report.
+    pub fn new(
+        netlist: &Netlist,
+        library: &Library,
+        constraints: &Constraints,
+    ) -> Result<Self, StaError> {
+        let mut engine = IncrementalSta {
+            netlist: netlist.clone(),
+            library: library.clone(),
+            constraints: constraints.clone(),
+            input_slew: 0.0,
+            output_load: 0.0,
+            state: NetState::fresh(0, 0.0),
+            inst_edges: Vec::new(),
+            sinks: HashMap::new(),
+            drivers: HashMap::new(),
+            output_nets: HashSet::new(),
+            comb_levels: Vec::new(),
+            level_of: Vec::new(),
+            flops: Vec::new(),
+            stats: StaStats::default(),
+            cache: None,
+            poison: None,
+        };
+        engine.full_refresh()?;
+        engine.stats.full_refreshes = 0; // the initial build is not a refresh
+        Ok(engine)
+    }
+
+    /// The engine's current netlist (kept in sync with applied changes).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The engine's current library.
+    #[must_use]
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The engine's current constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// Cache-effectiveness counters.
+    #[must_use]
+    pub fn stats(&self) -> StaStats {
+        self.stats
+    }
+
+    /// Applies a change set in order. Stops at the first failing change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] when a change references an unknown cell or
+    /// produces a netlist a full analysis would reject; the engine recovers
+    /// to its pre-change state when it can and poisons itself otherwise.
+    pub fn apply(&mut self, changes: &[StaChange]) -> Result<(), StaError> {
+        if let Some(err) = &self.poison {
+            return Err(err.clone());
+        }
+        self.stats.last_recomputed = 0;
+        for change in changes {
+            self.apply_one(change)?;
+        }
+        self.stats.changes_applied += 1;
+        Ok(())
+    }
+
+    /// Convenience wrapper: applies one [`StaChange::Recell`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::apply`].
+    pub fn recell(&mut self, inst: InstId, cell: &str) -> Result<(), StaError> {
+        self.apply(&[StaChange::Recell { inst, cell: cell.to_owned() }])
+    }
+
+    /// The timing report for the current netlist/library/constraints —
+    /// bit-identical to a fresh [`crate::analyze`]. Cached until the next
+    /// change.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stored error when the engine is poisoned by a previous
+    /// failed change.
+    pub fn report(&mut self) -> Result<&TimingReport, StaError> {
+        if let Some(err) = &self.poison {
+            return Err(err.clone());
+        }
+        let report = match self.cache.take() {
+            Some(report) => report,
+            None => {
+                let cells = resolved_cells(&self.netlist, &self.library)?;
+                let mut back_edges = Vec::with_capacity(self.inst_edges.iter().map(Vec::len).sum());
+                for &id in &self.flops {
+                    back_edges.extend_from_slice(&self.inst_edges[id.index()]);
+                }
+                for level in &self.comb_levels {
+                    for &id in level {
+                        back_edges.extend_from_slice(&self.inst_edges[id.index()]);
+                    }
+                }
+                extract_report(&self.netlist, &cells, &self.constraints, &self.state, &back_edges)
+            }
+        };
+        Ok(self.cache.insert(report))
+    }
+
+    /// Worst endpoint arrival (the critical delay).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::report`].
+    pub fn critical_delay(&mut self) -> Result<f64, StaError> {
+        Ok(self.report()?.critical_delay())
+    }
+
+    fn apply_one(&mut self, change: &StaChange) -> Result<(), StaError> {
+        match change {
+            StaChange::SwapLibrary(library) => {
+                self.library = library.clone();
+                self.full_refresh()
+            }
+            StaChange::SetConstraints(constraints) => {
+                let slew = constraints.input_slew.unwrap_or(self.library.default_input_slew);
+                let load = constraints.output_load.unwrap_or(self.library.default_output_load);
+                let forward_unchanged = slew.to_bits() == self.input_slew.to_bits()
+                    && load.to_bits() == self.output_load.to_bits();
+                self.constraints = constraints.clone();
+                if forward_unchanged {
+                    // Clock-period-only edit: the forward state is untouched;
+                    // only the report (required times, slacks) changes.
+                    self.cache = None;
+                    Ok(())
+                } else {
+                    self.full_refresh()
+                }
+            }
+            StaChange::Recell { inst, cell } => self.apply_recell(*inst, cell),
+        }
+    }
+
+    fn apply_recell(&mut self, inst: InstId, cell: &str) -> Result<(), StaError> {
+        let instance = self.netlist.instance(inst);
+        let old_name = instance.cell.clone();
+        if old_name == *cell {
+            return Ok(());
+        }
+        let Some(new_cell) = self.library.cell(cell) else {
+            return Err(StaError::Netlist(NetlistError::UnknownCell {
+                instance: instance.name.clone(),
+                cell: cell.to_owned(),
+            }));
+        };
+        let old_cell = self.library.cell(&old_name);
+        let compatible = old_cell.is_some_and(|old| {
+            let kind_ok = match (&old.class, &new_cell.class) {
+                (CellClass::Combinational, CellClass::Combinational) => true,
+                (
+                    CellClass::Flop { clock: c0, data: d0, .. },
+                    CellClass::Flop { clock: c1, data: d1, .. },
+                ) => c0 == c1 && d0 == d1,
+                _ => false,
+            };
+            kind_ok
+                && instance.connections.iter().all(|(pin, _)| {
+                    let roles = |c: &liberty::Cell| {
+                        (
+                            c.inputs.iter().any(|p| &p.name == pin),
+                            c.outputs.iter().any(|p| &p.name == pin),
+                        )
+                    };
+                    roles(old) == roles(new_cell)
+                })
+        });
+
+        self.netlist.instance_mut(inst).cell = cell.to_owned();
+        let result = if compatible {
+            self.repropagate_from(inst)
+        } else {
+            // Pin roles or sequential class changed: sinks/drivers/levels are
+            // stale, rebuild everything.
+            self.full_refresh()
+        };
+        if let Err(err) = result {
+            // Restore the pre-change netlist and state so a failed change
+            // leaves the engine usable; poison it if even that fails.
+            self.netlist.instance_mut(inst).cell = old_name;
+            if let Err(fatal) = self.full_refresh() {
+                self.poison = Some(fatal);
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates the dirty cone of `inst` after a pin-role-compatible
+    /// recell. Seeds are the instance itself plus the drivers of every
+    /// connected net (their load may have changed with the new input caps);
+    /// dirt then propagates to combinational sinks of any net whose value
+    /// bits changed.
+    fn repropagate_from(&mut self, inst: InstId) -> Result<(), StaError> {
+        let n_inst = self.netlist.instance_count();
+        let mut dirty = vec![false; n_inst];
+        dirty[inst.index()] = true;
+        for (_, net) in &self.netlist.instance(inst).connections {
+            if let Some((driver, _)) = self.drivers.get(net) {
+                dirty[driver.index()] = true;
+            }
+        }
+
+        let cells = resolved_cells(&self.netlist, &self.library)?;
+        let ctx = EvalCtx {
+            netlist: &self.netlist,
+            library: &self.library,
+            sinks: &self.sinks,
+            output_nets: &self.output_nets,
+            input_slew: self.input_slew,
+            output_load: self.output_load,
+        };
+
+        let mut recomputed = 0usize;
+        // Flops first: their launch values depend only on their own cell and
+        // Q-net load, never on upstream timing, so they cannot become dirty
+        // transitively — only seeding reaches them.
+        for &id in &self.flops {
+            if !dirty[id.index()] {
+                continue;
+            }
+            recomputed += 1;
+            let changed = Self::reeval(
+                &ctx,
+                id,
+                cells[id.index()],
+                &mut self.state,
+                &mut self.inst_edges[id.index()],
+                self.input_slew,
+            )?;
+            for net in changed {
+                for (sink, _) in self.sinks.get(&net).map_or(&[][..], Vec::as_slice) {
+                    if self.level_of[sink.index()].is_some() {
+                        dirty[sink.index()] = true;
+                    }
+                }
+            }
+        }
+        // Then combinational levels in ascending order: every sink of a
+        // level-L output sits at a strictly higher level, so each instance
+        // is evaluated after all of its fanin settled.
+        for level in 0..self.comb_levels.len() {
+            for k in 0..self.comb_levels[level].len() {
+                let id = self.comb_levels[level][k];
+                if !dirty[id.index()] {
+                    continue;
+                }
+                recomputed += 1;
+                let changed = Self::reeval(
+                    &ctx,
+                    id,
+                    cells[id.index()],
+                    &mut self.state,
+                    &mut self.inst_edges[id.index()],
+                    self.input_slew,
+                )?;
+                for net in changed {
+                    for (sink, _) in self.sinks.get(&net).map_or(&[][..], Vec::as_slice) {
+                        if self.level_of[sink.index()].is_some() {
+                            dirty[sink.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.last_recomputed += recomputed;
+        self.stats.recomputed_total += recomputed as u64;
+        self.cache = None;
+        Ok(())
+    }
+
+    /// Resets the instance's output nets, re-runs the shared evaluation and
+    /// returns the output nets whose value bits changed.
+    fn reeval(
+        ctx: &EvalCtx<'_>,
+        id: InstId,
+        cell: &liberty::Cell,
+        state: &mut NetState,
+        edges: &mut Vec<BackEdge>,
+        input_slew: f64,
+    ) -> Result<Vec<NetId>, StaError> {
+        let inst = ctx.netlist.instance(id);
+        let out_nets: Vec<NetId> =
+            cell.outputs.iter().filter_map(|o| inst.net_on(&o.name)).collect();
+        let before: Vec<[u64; 6]> = out_nets.iter().map(|n| state.value_bits(n.index())).collect();
+        for net in &out_nets {
+            state.reset_net(net.index(), input_slew);
+        }
+        edges.clear();
+        match &cell.class {
+            CellClass::Flop { .. } => ctx.eval_flop(id, cell, state, edges)?,
+            CellClass::Combinational => ctx.eval_comb(id, cell, state, edges)?,
+        }
+        Ok(out_nets
+            .into_iter()
+            .zip(before)
+            .filter(|(net, old)| state.value_bits(net.index()) != *old)
+            .map(|(net, _)| net)
+            .collect())
+    }
+
+    /// Rebuilds structure (sinks, drivers, levels) and re-evaluates every
+    /// instance from scratch.
+    fn full_refresh(&mut self) -> Result<(), StaError> {
+        self.netlist.validate(&self.library)?;
+        let cells = resolved_cells(&self.netlist, &self.library)?;
+        self.sinks = self.netlist.sinks(&self.library)?;
+        self.drivers = self.netlist.drivers(&self.library)?;
+        self.output_nets = self.netlist.output_nets().collect();
+        self.input_slew = self.constraints.input_slew.unwrap_or(self.library.default_input_slew);
+        self.output_load = self.constraints.output_load.unwrap_or(self.library.default_output_load);
+
+        let n_nets = self.netlist.net_count();
+        let n_inst = self.netlist.instance_count();
+
+        // Levelize: nets with no combinational driver are level 0 (primary
+        // inputs, undriven nets, flop outputs); a combinational instance
+        // sits one level above its deepest input net.
+        let mut net_level: Vec<Option<usize>> = vec![None; n_nets];
+        self.level_of = vec![None; n_inst];
+        self.flops = Vec::new();
+        let mut comb: Vec<InstId> = Vec::new();
+        for id in self.netlist.instance_ids() {
+            match &cells[id.index()].class {
+                CellClass::Flop { .. } => self.flops.push(id),
+                CellClass::Combinational => comb.push(id),
+            }
+        }
+        for (k, slot) in net_level.iter_mut().enumerate() {
+            let comb_driven = self
+                .drivers
+                .get(&NetId::from_index(k))
+                .is_some_and(|(id, _)| matches!(cells[id.index()].class, CellClass::Combinational));
+            if !comb_driven {
+                *slot = Some(0);
+            }
+        }
+        let mut remaining = comb;
+        let mut max_level = 0usize;
+        loop {
+            let mut progressed = false;
+            let mut next_round = Vec::with_capacity(remaining.len());
+            for id in remaining.drain(..) {
+                let inst = self.netlist.instance(id);
+                let cell = cells[id.index()];
+                let depth = cell.inputs.iter().try_fold(0usize, |acc, p| {
+                    let net = inst.net_on(&p.name)?;
+                    Some(acc.max(net_level[net.index()]?))
+                });
+                let Some(depth) = depth else {
+                    next_round.push(id);
+                    continue;
+                };
+                progressed = true;
+                self.level_of[id.index()] = Some(depth);
+                max_level = max_level.max(depth);
+                for out in &cell.outputs {
+                    if let Some(net) = inst.net_on(&out.name) {
+                        net_level[net.index()] = Some(depth + 1);
+                    }
+                }
+            }
+            if next_round.is_empty() {
+                break;
+            }
+            if !progressed {
+                let on_cycle = crate::loops::combinational_loops(&self.netlist, &self.library)
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .unwrap_or(next_round[0]);
+                let name = self.netlist.instance(on_cycle).name.clone();
+                return Err(StaError::CombinationalLoop { instance: name });
+            }
+            remaining = next_round;
+        }
+        self.comb_levels = vec![Vec::new(); max_level + 1];
+        for id in self.netlist.instance_ids() {
+            if let Some(level) = self.level_of[id.index()] {
+                self.comb_levels[level].push(id);
+            }
+        }
+        // Kahn rounds do not visit in id order; normalize for determinism.
+        for level in &mut self.comb_levels {
+            level.sort_unstable();
+        }
+
+        // Full forward evaluation: flops, then levels ascending. Each
+        // instance reads only settled fanin, so the resulting state is
+        // bit-identical to analyze()'s Kahn order.
+        self.state = NetState::fresh(n_nets, self.input_slew);
+        self.inst_edges = vec![Vec::new(); n_inst];
+        let ctx = EvalCtx {
+            netlist: &self.netlist,
+            library: &self.library,
+            sinks: &self.sinks,
+            output_nets: &self.output_nets,
+            input_slew: self.input_slew,
+            output_load: self.output_load,
+        };
+        for &id in &self.flops {
+            ctx.eval_flop(
+                id,
+                cells[id.index()],
+                &mut self.state,
+                &mut self.inst_edges[id.index()],
+            )?;
+        }
+        for level in &self.comb_levels {
+            for &id in level {
+                ctx.eval_comb(
+                    id,
+                    cells[id.index()],
+                    &mut self.state,
+                    &mut self.inst_edges[id.index()],
+                )?;
+            }
+        }
+
+        self.stats.instances_total = n_inst;
+        self.stats.last_recomputed += n_inst;
+        self.stats.recomputed_total += n_inst as u64;
+        self.stats.full_refreshes += 1;
+        self.cache = None;
+        self.poison = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use liberty::Cell;
+    use netlist::PortDir;
+
+    fn lib() -> Library {
+        let mut lib = Library::new("lib", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        let mut big = Cell::test_inverter("INV_X4");
+        for pin in &mut big.inputs {
+            pin.capacitance *= 4.0;
+        }
+        for out in &mut big.outputs {
+            for arc in &mut out.arcs {
+                arc.cell_rise = arc.cell_rise.map(|v| v * 0.5);
+                arc.cell_fall = arc.cell_fall.map(|v| v * 0.5);
+                arc.rise_transition = arc.rise_transition.map(|v| v * 0.5);
+                arc.fall_transition = arc.fall_transition.map(|v| v * 0.5);
+            }
+        }
+        lib.add_cell(big);
+        lib
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn initial_report_matches_analyze() {
+        let lib = lib();
+        let nl = chain(6);
+        let constraints = Constraints::with_clock(1e-9);
+        let full = analyze(&nl, &lib, &constraints).unwrap();
+        let mut inc = IncrementalSta::new(&nl, &lib, &constraints).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+        assert_eq!(inc.stats().instances_total, 6);
+        assert_eq!(inc.stats().recomputed_total, 6);
+    }
+
+    #[test]
+    fn recell_matches_fresh_analyze_and_touches_a_cone() {
+        let lib = lib();
+        let nl = chain(8);
+        let constraints = Constraints::default();
+        let mut inc = IncrementalSta::new(&nl, &lib, &constraints).unwrap();
+        // Resize the tail instance: only itself and the load-affected
+        // predecessor driver need re-evaluation.
+        let tail = InstId::from_index(7);
+        inc.recell(tail, "INV_X4").unwrap();
+        assert!(inc.stats().last_recomputed <= 3, "{:?}", inc.stats());
+        let mut reference = nl.clone();
+        reference.instance_mut(tail).cell = "INV_X4".into();
+        let full = analyze(&reference, &lib, &constraints).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+        assert_eq!(inc.netlist(), &reference);
+    }
+
+    #[test]
+    fn head_recell_repropagates_downstream() {
+        let lib = lib();
+        let nl = chain(8);
+        let mut inc = IncrementalSta::new(&nl, &lib, &Constraints::default()).unwrap();
+        inc.recell(InstId::from_index(0), "INV_X4").unwrap();
+        // The head's slew change propagates the whole chain.
+        assert_eq!(inc.stats().last_recomputed, 8);
+        let mut reference = nl.clone();
+        reference.instance_mut(InstId::from_index(0)).cell = "INV_X4".into();
+        let full = analyze(&reference, &lib, &Constraints::default()).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+    }
+
+    #[test]
+    fn recell_to_same_strength_is_free_and_revert_restores() {
+        let lib = lib();
+        let nl = chain(5);
+        let mut inc = IncrementalSta::new(&nl, &lib, &Constraints::default()).unwrap();
+        let before = inc.report().unwrap().clone();
+        let mid = InstId::from_index(2);
+        inc.recell(mid, "INV_X1").unwrap(); // no-op recell
+        assert_eq!(inc.stats().last_recomputed, 0);
+        inc.recell(mid, "INV_X4").unwrap();
+        inc.recell(mid, "INV_X1").unwrap(); // revert
+        assert_eq!(inc.report().unwrap(), &before);
+    }
+
+    #[test]
+    fn unknown_cell_is_rejected_and_engine_survives() {
+        let lib = lib();
+        let nl = chain(4);
+        let mut inc = IncrementalSta::new(&nl, &lib, &Constraints::default()).unwrap();
+        let err = inc.recell(InstId::from_index(1), "NO_SUCH_CELL").unwrap_err();
+        assert!(matches!(err, StaError::Netlist(NetlistError::UnknownCell { .. })));
+        let full = analyze(&nl, &lib, &Constraints::default()).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+    }
+
+    #[test]
+    fn clock_only_constraint_edit_recomputes_nothing() {
+        let lib = lib();
+        let nl = chain(6);
+        let mut inc = IncrementalSta::new(&nl, &lib, &Constraints::default()).unwrap();
+        let evals = inc.stats().recomputed_total;
+        inc.apply(&[StaChange::SetConstraints(Constraints::with_clock(2e-9))]).unwrap();
+        assert_eq!(inc.stats().recomputed_total, evals);
+        assert_eq!(inc.stats().last_recomputed, 0);
+        let full = analyze(&nl, &lib, &Constraints::with_clock(2e-9)).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+    }
+
+    #[test]
+    fn library_swap_is_a_full_refresh() {
+        let lib = lib();
+        let mut slow = Library::new("slow", lib.vdd);
+        for cell in lib.cells() {
+            let mut cell = cell.clone();
+            for out in &mut cell.outputs {
+                for arc in &mut out.arcs {
+                    arc.cell_rise = arc.cell_rise.map(|v| v * 1.3);
+                    arc.cell_fall = arc.cell_fall.map(|v| v * 1.3);
+                }
+            }
+            slow.add_cell(cell);
+        }
+        let nl = chain(5);
+        let mut inc = IncrementalSta::new(&nl, &lib, &Constraints::default()).unwrap();
+        inc.apply(&[StaChange::SwapLibrary(slow.clone())]).unwrap();
+        assert_eq!(inc.stats().full_refreshes, 1);
+        let full = analyze(&nl, &slow, &Constraints::default()).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+    }
+
+    fn flop_cell() -> Cell {
+        use liberty::{BoolExpr, InputPin, OutputPin, Table2d, TimingArc, TimingSense};
+        let t = Table2d::constant(20e-12, 4e-15, 50e-12);
+        Cell {
+            name: "DFF_X1".into(),
+            area: 4.0,
+            class: CellClass::Flop {
+                clock: "CK".into(),
+                data: "D".into(),
+                setup: 30e-12,
+                hold: 5e-12,
+            },
+            inputs: vec![
+                InputPin { name: "D".into(), capacitance: 1.2e-15 },
+                InputPin { name: "CK".into(), capacitance: 0.8e-15 },
+            ],
+            outputs: vec![OutputPin {
+                name: "Q".into(),
+                function: BoolExpr::var("D"),
+                max_capacitance: 30e-15,
+                arcs: vec![TimingArc {
+                    related_pin: "CK".into(),
+                    sense: TimingSense::PositiveUnate,
+                    cell_rise: t.clone(),
+                    cell_fall: t.clone(),
+                    rise_transition: t.map(|_| 15e-12),
+                    fall_transition: t.map(|_| 15e-12),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn flop_pipeline_recell_stays_bit_identical() {
+        let mut lib = lib();
+        lib.add_cell(flop_cell());
+        let mut nl = Netlist::new("pipe");
+        let clk = nl.add_port("clk", PortDir::Input);
+        let d = nl.add_port("d", PortDir::Input);
+        let q1 = nl.add_net("q1");
+        let n1 = nl.add_net("n1");
+        let q2 = nl.add_port("q", PortDir::Output);
+        nl.add_instance("ff0", "DFF_X1", &[("D", d), ("CK", clk), ("Q", q1)]);
+        nl.add_instance("u0", "INV_X1", &[("A", q1), ("Y", n1)]);
+        nl.add_instance("ff1", "DFF_X1", &[("D", n1), ("CK", clk), ("Q", q2)]);
+        let constraints = Constraints::with_clock(1e-9);
+        let mut inc = IncrementalSta::new(&nl, &lib, &constraints).unwrap();
+        inc.recell(InstId::from_index(1), "INV_X4").unwrap();
+        let mut reference = nl.clone();
+        reference.instance_mut(InstId::from_index(1)).cell = "INV_X4".into();
+        let full = analyze(&reference, &lib, &constraints).unwrap();
+        assert_eq!(inc.report().unwrap(), &full);
+        // The resize changed the Q-net load of ff0, so ff0 was re-launched.
+        assert!(inc.stats().last_recomputed >= 2);
+    }
+}

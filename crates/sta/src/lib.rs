@@ -43,6 +43,7 @@
 
 mod error;
 mod graph;
+mod incremental;
 mod loops;
 mod path;
 mod paths_topk;
@@ -50,8 +51,9 @@ mod report;
 
 pub use error::StaError;
 pub use graph::analyze;
+pub use incremental::{IncrementalSta, StaChange, StaStats};
 pub use loops::combinational_loops;
-pub use path::{evaluate_path, PathSpec, PathStep};
+pub use path::{evaluate_path, evaluate_path_steps, evaluate_path_steps_with, PathSpec, PathStep};
 pub use paths_topk::k_worst_paths;
 pub use report::{Endpoint, EndpointKind, TimingReport};
 

@@ -1,4 +1,4 @@
-use crate::{Constraints, StaError};
+use crate::{Constraints, StaError, TimingReport};
 use liberty::Library;
 use netlist::{InstId, NetId, Netlist};
 
@@ -68,10 +68,28 @@ pub fn evaluate_path(
     constraints: &Constraints,
     path: &PathSpec,
 ) -> Result<f64, StaError> {
+    Ok(evaluate_path_steps(netlist, library, constraints, path)?.iter().sum())
+}
+
+/// Like [`evaluate_path`] but returns the per-step (per-arc) delays instead
+/// of their sum — the basis for per-arc aging-sensitivity attribution: the
+/// same path evaluated under a fresh and an aged/annotated library gives a
+/// fresh-vs-aged delta for every traversed arc.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if a step references a cell/pin/arc the library
+/// does not provide.
+pub fn evaluate_path_steps(
+    netlist: &Netlist,
+    library: &Library,
+    constraints: &Constraints,
+    path: &PathSpec,
+) -> Result<Vec<f64>, StaError> {
     let sinks = netlist.sinks(library)?;
     let output_load = constraints.output_load.unwrap_or(library.default_output_load);
     let mut slew = constraints.input_slew.unwrap_or(library.default_input_slew);
-    let mut total = 0.0;
+    let mut delays = Vec::with_capacity(path.steps.len());
     let output_nets: std::collections::HashSet<NetId> = netlist.output_nets().collect();
 
     for step in &path.steps {
@@ -98,10 +116,71 @@ pub fn evaluate_path(
             output: step.output.clone(),
         })?;
         let load = net_load(library, &sinks, netlist, out_net, &output_nets, output_load);
-        total += arc.delay(step.output_rising, slew, load);
+        delays.push(arc.delay(step.output_rising, slew, load));
         slew = arc.transition(step.output_rising, slew, load);
     }
-    Ok(total)
+    Ok(delays)
+}
+
+/// Like [`evaluate_path_steps`], but *graph-consistent*: each arc is looked
+/// up at the propagated slew the full analysis recorded in `report` for the
+/// arc's input net, instead of a path-local slew chain. Sequential steps
+/// (a flop's clock-to-output launch) are evaluated at the constrained input
+/// slew, exactly as the analysis launches them. Each returned delay is then
+/// one term of the analysis' arrival recurrence, so for any path that
+/// starts at a launch point (see `timed_segment` truncation in the
+/// `dataflow` crate) the step sum is bounded by the report's critical
+/// delay — the property the `PT` path rules rely on when comparing
+/// per-path aged delays against a design-level bound.
+///
+/// `report` must come from analyzing the same `netlist`/`library` pair.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if a step references a cell/pin/arc the library
+/// does not provide.
+pub fn evaluate_path_steps_with(
+    netlist: &Netlist,
+    library: &Library,
+    constraints: &Constraints,
+    report: &TimingReport,
+    path: &PathSpec,
+) -> Result<Vec<f64>, StaError> {
+    let sinks = netlist.sinks(library)?;
+    let output_load = constraints.output_load.unwrap_or(library.default_output_load);
+    let input_slew = constraints.input_slew.unwrap_or(library.default_input_slew);
+    let mut delays = Vec::with_capacity(path.steps.len());
+    let output_nets: std::collections::HashSet<NetId> = netlist.output_nets().collect();
+
+    for step in &path.steps {
+        let inst = netlist.instance(step.inst);
+        let cell = library.cell(&inst.cell).ok_or_else(|| {
+            StaError::Netlist(netlist::NetlistError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })
+        })?;
+        let missing_arc = || StaError::MissingArc {
+            cell: cell.name.clone(),
+            input: step.input.clone(),
+            output: step.output.clone(),
+        };
+        let out_pin = cell.output(&step.output).ok_or_else(missing_arc)?;
+        let arc = out_pin.arc_from(&step.input).ok_or_else(missing_arc)?;
+        let in_net = inst.net_on(&step.input).ok_or_else(missing_arc)?;
+        let out_net = inst.net_on(&step.output).ok_or_else(missing_arc)?;
+        let slew = if cell.is_sequential() {
+            // Launch semantics: the analysis starts flop outputs from the
+            // clock edge at the constrained input slew, regardless of the
+            // clock net's own propagated state.
+            input_slew
+        } else {
+            report.slew_edge(in_net, step.input_rising)
+        };
+        let load = net_load(library, &sinks, netlist, out_net, &output_nets, output_load);
+        delays.push(arc.delay(step.output_rising, slew, load));
+    }
+    Ok(delays)
 }
 
 /// Total capacitive load of `net`: connected input pins, the per-fanout
@@ -198,6 +277,26 @@ mod tests {
         let fresh = evaluate_path(&nl, &lib_fresh, &c, report.critical_path()).unwrap();
         let aged = evaluate_path(&nl, &lib_aged, &c, report.critical_path()).unwrap();
         assert!((aged / fresh - 1.3).abs() < 1e-9, "ratio = {}", aged / fresh);
+    }
+
+    #[test]
+    fn graph_consistent_steps_match_analysis_on_chain() {
+        let nl = chain(5);
+        let lib = lib();
+        let c = Constraints::default();
+        let report = analyze(&nl, &lib, &c).unwrap();
+        let path = report.critical_path();
+        let steps = evaluate_path_steps_with(&nl, &lib, &c, &report, path).unwrap();
+        let total: f64 = steps.iter().sum();
+        // On a chain the recorded slews are the path's own slews, so the
+        // graph-consistent evaluation reproduces the analysis exactly.
+        assert!(
+            (total - report.critical_delay()).abs() < 1e-15,
+            "graph-consistent sum {total} vs critical {}",
+            report.critical_delay()
+        );
+        let local = evaluate_path_steps(&nl, &lib, &c, path).unwrap();
+        assert_eq!(steps, local);
     }
 
     #[test]

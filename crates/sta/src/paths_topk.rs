@@ -38,15 +38,43 @@ struct Partial {
     steps: Vec<PathStep>,
 }
 
+/// A stable total order on path keys, used to break priority ties: current
+/// vertex, then step count, then the step sequence lexicographically by
+/// `(inst, input, input_rising, output, output_rising, delay)`. Two partials
+/// compare `Equal` only when they are the same partial path, so heap pop
+/// order — and therefore the enumeration order of equal-delay paths — is
+/// independent of `HashMap` iteration order.
+fn path_key_cmp(a: &Partial, b: &Partial) -> Ordering {
+    a.at.cmp(&b.at).then_with(|| a.steps.len().cmp(&b.steps.len())).then_with(|| {
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            let o = x
+                .inst
+                .cmp(&y.inst)
+                .then_with(|| x.input.cmp(&y.input))
+                .then_with(|| x.input_rising.cmp(&y.input_rising))
+                .then_with(|| x.output.cmp(&y.output))
+                .then_with(|| x.output_rising.cmp(&y.output_rising))
+                .then_with(|| x.delay.total_cmp(&y.delay));
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    })
+}
+
 impl PartialEq for Partial {
     fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Partial {}
 impl Ord for Partial {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.priority.total_cmp(&other.priority)
+        // Max-heap on priority; among equal priorities the *smallest* path
+        // key pops first (the comparison is flipped), giving equal-slack
+        // paths a deterministic enumeration order.
+        self.priority.total_cmp(&other.priority).then_with(|| path_key_cmp(other, self))
     }
 }
 impl PartialOrd for Partial {
@@ -343,6 +371,35 @@ mod tests {
         let lib = lib();
         let paths = k_worst_paths(&nl, &lib, &Constraints::default(), 2).unwrap();
         assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn equal_slack_paths_enumerate_deterministically() {
+        // Eight structurally identical chains: every path delay ties with
+        // seven others, so ordering is entirely up to the tie-break. The
+        // enumeration must not depend on HashMap iteration order, which
+        // differs between the two calls (each uses fresh RandomState seeds).
+        let mut nl = Netlist::new("m");
+        for c in 0..8 {
+            let a = nl.add_port(&format!("a{c}"), PortDir::Input);
+            let y = nl.add_port(&format!("y{c}"), PortDir::Output);
+            let mid = nl.add_net(&format!("m{c}"));
+            nl.add_instance(&format!("u{c}_0"), "INV_X1", &[("A", a), ("Y", mid)]);
+            nl.add_instance(&format!("u{c}_1"), "INV_X1", &[("A", mid), ("Y", y)]);
+        }
+        let lib = lib();
+        let first = k_worst_paths(&nl, &lib, &Constraints::default(), 16).unwrap();
+        let second = k_worst_paths(&nl, &lib, &Constraints::default(), 16).unwrap();
+        assert_eq!(first.len(), 16, "8 chains x 2 observation polarities");
+        assert_eq!(first, second, "equal-delay paths must enumerate in a stable order");
+        // The canonical order among ties is ascending path key (lowest
+        // instance ids first).
+        let ids = |p: &PathSpec| p.steps.iter().map(|s| s.inst.index()).collect::<Vec<_>>();
+        let tied: Vec<_> =
+            first.iter().filter(|p| (p.arrival - first[0].arrival).abs() < 1e-18).collect();
+        for w in tied.windows(2) {
+            assert!(ids(w[0]) <= ids(w[1]), "ties sorted by path key");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::matching::family_name;
 use crate::{MapOptions, SynthError};
 use liberty::Library;
 use netlist::{InstId, NetId, Netlist};
-use sta::{analyze, Constraints};
+use sta::{Constraints, IncrementalSta};
 use std::collections::HashMap;
 
 /// Splits nets whose fanout exceeds `max_fanout` by inserting buffer trees.
@@ -143,13 +143,21 @@ pub fn size_gates(
     }
 
     // --- pass 2: greedy critical-path upsizing validated by STA ---
+    //
+    // One persistent incremental engine serves every trial: each upsize is a
+    // `Recell` change that only re-times the instance's fanout cone, and a
+    // rejected batch is undone by revert-recells. Incremental results are
+    // bit-identical to a fresh `analyze`, so the decisions (and thus the
+    // final netlist) are exactly those of the full re-STA loop.
     let constraints = Constraints::default();
+    let mut sta = IncrementalSta::new(nl, library, &constraints)?;
     for _ in 0..options.sizing_iterations {
-        let report = analyze(nl, library, &constraints)?;
+        let report = sta.report()?;
         let before = report.critical_delay();
+        let path: Vec<InstId> = report.critical_path().steps.iter().map(|s| s.inst).collect();
         let mut touched: Vec<(InstId, String)> = Vec::new();
-        for step in &report.critical_path().steps {
-            let inst = nl.instance(step.inst);
+        for inst_id in path {
+            let inst = nl.instance(inst_id);
             let (fam, strength) = family_name(&inst.cell);
             let Some(fam_variants) = variants.get(fam) else { continue };
             // Next strength up, if any.
@@ -158,17 +166,19 @@ pub fn size_gates(
                 .find(|(name, _)| family_name(name).1 > strength)
                 .map(|(name, _)| name.clone());
             if let Some(next) = next {
-                touched.push((step.inst, inst.cell.clone()));
-                nl.instance_mut(step.inst).cell = next;
+                touched.push((inst_id, inst.cell.clone()));
+                sta.recell(inst_id, &next)?;
+                nl.instance_mut(inst_id).cell = next;
             }
         }
         if touched.is_empty() {
             break;
         }
-        let after = analyze(nl, library, &constraints)?.critical_delay();
+        let after = sta.critical_delay()?;
         if after >= before {
             // Revert a non-improving batch and stop.
             for (id, cell) in touched {
+                sta.recell(id, &cell)?;
                 nl.instance_mut(id).cell = cell;
             }
             break;
@@ -179,9 +189,14 @@ pub fn size_gates(
 
 /// Aggressive critical-path optimization: walks the current critical path
 /// and greedily upsizes one instance at a time, keeping each change only if
-/// a full re-analysis improves the critical delay. Judged entirely by
-/// `library` — handing it a degradation-aware library optimizes the *aged*
-/// critical path (paper Sec. 4.3).
+/// re-analysis improves the critical delay. Judged entirely by `library` —
+/// handing it a degradation-aware library optimizes the *aged* critical
+/// path (paper Sec. 4.3).
+///
+/// Every trial is an incremental `Recell` against a persistent
+/// [`IncrementalSta`], so only the touched instance's fanout cone is
+/// re-timed per probe; rejected probes are undone with a revert-recell.
+/// The accept/reject decisions are bit-identical to the full re-STA loop.
 ///
 /// # Errors
 ///
@@ -196,10 +211,11 @@ pub fn optimize_critical_path(
         return Ok(());
     }
     let constraints = Constraints::default();
-    let mut best = analyze(nl, library, &constraints)?.critical_delay();
+    let mut sta = IncrementalSta::new(nl, library, &constraints)?;
+    let mut best = sta.critical_delay()?;
     for _ in 0..rounds {
-        let report = analyze(nl, library, &constraints)?;
-        let steps: Vec<InstId> = report.critical_path().steps.iter().map(|s| s.inst).collect();
+        let steps: Vec<InstId> =
+            sta.report()?.critical_path().steps.iter().map(|s| s.inst).collect();
         let mut improved = false;
         for inst_id in steps.into_iter().rev() {
             let cell_name = nl.instance(inst_id).cell.clone();
@@ -212,13 +228,14 @@ pub fn optimize_critical_path(
             else {
                 continue;
             };
-            nl.instance_mut(inst_id).cell = next;
-            let delay = analyze(nl, library, &constraints)?.critical_delay();
+            sta.recell(inst_id, &next)?;
+            let delay = sta.critical_delay()?;
             if delay < best - 1e-15 {
                 best = delay;
                 improved = true;
+                nl.instance_mut(inst_id).cell = next;
             } else {
-                nl.instance_mut(inst_id).cell = cell_name;
+                sta.recell(inst_id, &cell_name)?;
             }
         }
         if !improved {
@@ -250,8 +267,9 @@ pub fn area_recover(
         return Ok(());
     }
     let constraints = Constraints { clock_period, ..Constraints::default() };
+    let mut sta = IncrementalSta::new(nl, library, &constraints)?;
     for _round in 0..4 {
-        let report = analyze(nl, library, &constraints)?;
+        let report = sta.report()?;
         let baseline_cp = report.critical_delay();
         let mut changes: Vec<(InstId, String, String)> = Vec::new();
         for id in nl.instance_ids() {
@@ -288,17 +306,20 @@ pub fn area_recover(
             break;
         }
         for (id, _, smaller) in &changes {
+            sta.recell(*id, smaller)?;
             nl.instance_mut(*id).cell = smaller.clone();
         }
         // Validate the batch: recovery must never create negative slack
-        // (or worsen the CP when unconstrained).
-        let after = analyze(nl, library, &constraints)?;
+        // (or worsen the CP when unconstrained). Only the downsized cones
+        // were re-timed — the result is still bit-identical to a full run.
+        let after = sta.report()?;
         let violated = match clock_period {
             Some(_) => after.worst_slack().unwrap_or(0.0) < -1e-15,
             None => after.critical_delay() > baseline_cp + 1e-15,
         };
         if violated {
             for (id, original, _) in &changes {
+                sta.recell(*id, original)?;
                 nl.instance_mut(*id).cell = original.clone();
             }
             break;
@@ -334,6 +355,7 @@ mod tests {
     use super::*;
     use crate::test_fixtures::fixture_library;
     use netlist::PortDir;
+    use sta::analyze;
 
     fn star(fanout: usize) -> Netlist {
         let mut nl = Netlist::new("star");
