@@ -11,21 +11,133 @@ use flow::{FlowError, RunContext};
 use imgproc::ACCEPTABLE_PSNR_DB;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: lifetime [--report <path>]
+const USAGE: &str = "usage: lifetime [--report <path>] [--mttf-json <path>]
 
 Failure-year ladder of the DCT→IDCT chain under worst-case stress (Sec. 5).
 RELIAWARE_IMG overrides the test image edge length (default 24).
 
 options:
-  --report <path>  write a reliaware-run-v1 JSON run report
-  -h, --help       show this help
+  --report <path>     write a reliaware-run-v1 JSON run report
+  --mttf-json <path>  skip the PSNR ladder; instead run the static lifetime
+                      analyzer over all bundled benchmarks and write the
+                      per-mechanism MTTF bounds and reliability curves as
+                      JSON (reliaware-mttf-v1)
+  -h, --help          show this help
 ";
+
+/// Ages (years) the reliability curves are sampled at.
+const CURVE_YEARS: [f64; 9] = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// The fast fixture-based mode behind `--mttf-json`: static lifetime bounds
+/// per mechanism over all bundled benchmarks, no characterization ladder.
+fn run_mttf(path: &str, ctx: &RunContext) -> Result<(), FlowError> {
+    let library = synth::test_fixtures::fixture_library();
+    let config = dataflow::LifetimeConfig::default();
+    let mut blocks = Vec::new();
+    println!("Static per-mechanism MTTF lower bounds ({:.0}-year horizon)\n", config.years);
+    println!(
+        "| design | instances | MTTF lo [y] | budget exhausted [y] | worst instance | dominant |"
+    );
+    println!("| --- | --- | --- | --- | --- | --- |");
+    for design in circuits::all_benchmarks() {
+        let nl = ctx.stage("synthesis", || {
+            synth::synthesize(&design.aig, &library, &synth::MapOptions::default())
+        })?;
+        let report = ctx.stage("lifetime-bound", || {
+            dataflow::static_lifetime_bound(
+                &nl,
+                &library,
+                &config,
+                &dataflow::DataflowConfig::default(),
+            )
+        });
+        ctx.add_tasks("lifetime-bound", report.instances.len() as u64);
+        let dominant = report
+            .hazard_shares
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite share"))
+            .map_or("-", |(name, _)| name);
+        println!(
+            "| {} | {} | {:.1} | {} | {} | {dominant} |",
+            design.name,
+            report.instances.len(),
+            report.design_mttf_lo_years,
+            if report.years_until_budget.is_finite() {
+                format!("{:.1}", report.years_until_budget)
+            } else {
+                ">1e7".to_owned()
+            },
+            report.worst_instance.as_deref().unwrap_or("-"),
+        );
+        let shares = report
+            .hazard_shares
+            .iter()
+            .map(|(name, share)| format!("\"{name}\": {}", json_num(*share)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let per_mech = report
+            .mechanism_design_mttf()
+            .iter()
+            .map(|(name, mttf)| format!("\"{name}\": {}", json_num(*mttf)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let curve = CURVE_YEARS
+            .iter()
+            .map(|&t| format!("[{}, {}]", json_num(t), json_num(report.design_reliability_lo(t))))
+            .collect::<Vec<_>>()
+            .join(", ");
+        blocks.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"instances\": {},\n      \
+             \"design_mttf_lo_years\": {},\n      \"design_mttf_best_years\": {},\n      \
+             \"years_until_budget\": {},\n      \"worst_instance\": \"{}\",\n      \
+             \"hazard_shares\": {{{shares}}},\n      \
+             \"mechanism_mttf_lo_years\": {{{per_mech}}},\n      \
+             \"reliability_lo\": [{curve}]\n    }}",
+            design.name,
+            report.instances.len(),
+            json_num(report.design_mttf_lo_years),
+            json_num(report.design_mttf_best_years),
+            json_num(report.years_until_budget),
+            report.worst_instance.as_deref().unwrap_or("-"),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"reliaware-mttf-v1\",\n  \"horizon_years\": {},\n  \
+         \"designs\": [\n{}\n  ]\n}}\n",
+        json_num(config.years),
+        blocks.join(",\n")
+    );
+    std::fs::write(path, json).map_err(|e| FlowError::io(path, &e))?;
+    println!("\nwrote {path}");
+    Ok(())
+}
 
 fn run() -> Result<(), FlowError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (rest, report) = bench::cli::take_common_flags(&argv)?;
+    let (mut rest, report) = bench::cli::take_common_flags(&argv)?;
+    let mut mttf_json = None;
+    if let Some(pos) = rest.iter().position(|a| a == "--mttf-json") {
+        if pos + 1 >= rest.len() {
+            return Err(FlowError::Usage("--mttf-json needs a value".into()));
+        }
+        mttf_json = Some(rest.remove(pos + 1));
+        rest.remove(pos);
+    }
     if let Some(extra) = rest.first() {
         return Err(FlowError::Usage(format!("unexpected argument `{extra}`")));
+    }
+    if let Some(path) = mttf_json {
+        let ctx = RunContext::new();
+        run_mttf(&path, &ctx)?;
+        return bench::cli::emit_report(&ctx, report.as_deref());
     }
     let ctx = RunContext::new();
     let size: usize =

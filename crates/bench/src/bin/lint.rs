@@ -7,7 +7,8 @@
 //! lint --lib complete.lib [--verilog design.v] [--fresh-lib t0.lib]
 //!      [--allow RULE]... [--input-slew S] [--output-load L] [--json]
 //!      [--deny-warnings] [--paths] [--clock-period SEC]
-//! lint --design NAME [--paths] [--deny-warnings] ...
+//!      [--mechanisms] [--years Y] [--temp-range LO:HI] [--vdd-range LO:HI]
+//! lint --design NAME [--paths] [--mechanisms] [--deny-warnings] ...
 //! lint --list-rules
 //! ```
 //!
@@ -43,6 +44,17 @@ options:
   --clock-period SEC  clock period for the PT pass (PT005 flags constrained
                       designs without one); with --design, defaults to 2x
                       the fresh critical path
+  --mechanisms        also run the LT static lifetime rules (BTI/HCI/EM/TDDB
+                      interval bounds and the provable design MTTF lower
+                      bound); implied by the other --years/--temp-range/...
+                      lifetime flags
+  --years Y           lifetime horizon in years for the LT pass (default 10)
+  --temp-range LO:HI  junction-temperature interval in kelvin the LT bound
+                      must cover (default 398.15:398.15)
+  --vdd-range LO:HI   supply-voltage interval in volts for the LT bound
+                      (default 1.2:1.2)
+  --mttf-target Y     LT001/LT005 fire below this MTTF bound (default 10)
+  --vth-budget V      guardband ΔVth budget in volts for LT006 (default 0.1)
   --deny-warnings     exit 1 when warnings survive, not only on errors
   --json              emit the JSON report instead of text
   --list-rules        print every rule code, severity and summary, then exit
@@ -64,10 +76,23 @@ struct Args {
     output_load: Option<f64>,
     paths: bool,
     clock_period: Option<f64>,
+    mechanisms: bool,
+    years: Option<f64>,
+    temp_range: Option<(f64, f64)>,
+    vdd_range: Option<(f64, f64)>,
+    mttf_target: Option<f64>,
+    vth_budget: Option<f64>,
     deny_warnings: bool,
     json: bool,
     list_rules: bool,
     report: Option<String>,
+}
+
+/// Parses a `LO:HI` range argument.
+fn parse_range(flag: &str, raw: &str) -> Result<(f64, f64), String> {
+    let bad = || format!("{flag} needs LO:HI, got {raw}");
+    let (lo, hi) = raw.split_once(':').ok_or_else(bad)?;
+    Ok((lo.parse().map_err(|_| bad())?, hi.parse().map_err(|_| bad())?))
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -81,6 +106,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         output_load: None,
         paths: false,
         clock_period: None,
+        mechanisms: false,
+        years: None,
+        temp_range: None,
+        vdd_range: None,
+        mttf_target: None,
+        vth_budget: None,
         deny_warnings: false,
         json: false,
         list_rules: false,
@@ -106,6 +137,25 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--clock-period" => {
                 let v = value("--clock-period")?;
                 args.clock_period = Some(v.parse().map_err(|_| format!("bad period {v}"))?);
+            }
+            "--mechanisms" => args.mechanisms = true,
+            "--years" => {
+                let v = value("--years")?;
+                args.years = Some(v.parse().map_err(|_| format!("bad years {v}"))?);
+            }
+            "--temp-range" => {
+                args.temp_range = Some(parse_range("--temp-range", &value("--temp-range")?)?);
+            }
+            "--vdd-range" => {
+                args.vdd_range = Some(parse_range("--vdd-range", &value("--vdd-range")?)?);
+            }
+            "--mttf-target" => {
+                let v = value("--mttf-target")?;
+                args.mttf_target = Some(v.parse().map_err(|_| format!("bad target {v}"))?);
+            }
+            "--vth-budget" => {
+                let v = value("--vth-budget")?;
+                args.vth_budget = Some(v.parse().map_err(|_| format!("bad budget {v}"))?);
             }
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
@@ -152,6 +202,30 @@ fn run() -> Result<ExitCode, FlowError> {
         .map_err(|code| FlowError::Usage(format!("unknown rule code {code}")))?;
     config.input_slew = args.input_slew;
     config.output_load = args.output_load;
+    if args.mechanisms
+        || args.years.is_some()
+        || args.temp_range.is_some()
+        || args.vdd_range.is_some()
+        || args.mttf_target.is_some()
+        || args.vth_budget.is_some()
+    {
+        let lt = config.lifetime.get_or_insert_with(lint::LifetimeLintConfig::default);
+        if let Some(years) = args.years {
+            lt.config.years = years;
+        }
+        if let Some(range) = args.temp_range {
+            lt.config.temperature_range = range;
+        }
+        if let Some(range) = args.vdd_range {
+            lt.config.vdd_range = range;
+        }
+        if let Some(target) = args.mttf_target {
+            lt.mttf_target_years = target;
+        }
+        if let Some(budget) = args.vth_budget {
+            lt.config.vth_budget = budget;
+        }
+    }
 
     let report = if let Some(name) = &args.design {
         let design = bench::design_by_name(name)

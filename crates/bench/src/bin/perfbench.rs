@@ -13,7 +13,9 @@
 //! 4. the same grid cold vs. warm through the two-tier arc cache,
 //! 5. STA arrival propagation and gate-level logic simulation,
 //! 6. incremental vs. full re-STA after single-instance λ re-annotation
-//!    on the risc and vliw benchmarks (nodes recomputed vs. total).
+//!    on the risc and vliw benchmarks (nodes recomputed vs. total),
+//! 7. the static lifetime analysis (BTI/HCI/EM/TDDB interval bounds and
+//!    the series-system MTTF lower bound) on the same two benchmarks.
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
 //! twin before reporting a speedup; instrumentation is observational, so
@@ -388,6 +390,39 @@ fn run() -> Result<(), FlowError> {
             format!(
                 r#""instances": {instances}, "re_annotations": {iters}, "nodes_full": {nodes_full}, "nodes_recomputed": {recomputed}, "node_ratio": {node_ratio:.2}, "full_seconds": {full_secs:.6}, "speedup_vs_full": {:.3}, "bit_identical": true"#,
                 full_secs / inc_secs.max(1e-12)
+            ),
+        );
+    }
+
+    // 7. Static lifetime analysis: the full mechanism-interval sweep plus
+    // the series MTTF lower bound. Deterministic by construction — two runs
+    // must agree bit for bit before the timing is reported.
+    for (stage_name, design) in
+        [("static_lifetime_risc", circuits::risc_5p()), ("static_lifetime_vliw", circuits::vliw())]
+    {
+        let nl = synth::synthesize(&design.aig, &fixture, &MapOptions::default())?;
+        let lt_config = dataflow::LifetimeConfig::default();
+        let df_config = dataflow::DataflowConfig::default();
+        let iters: u32 = if opts.smoke { 2 } else { 5 };
+        let first = dataflow::static_lifetime_bound(&nl, &fixture, &lt_config, &df_config);
+        let (last, lt_secs) = time(|| {
+            let mut last = first.clone();
+            for _ in 0..iters {
+                last = dataflow::static_lifetime_bound(&nl, &fixture, &lt_config, &df_config);
+            }
+            last
+        });
+        assert_eq!(first, last, "{stage_name}: lifetime analysis must be deterministic");
+        let instances = nl.instance_count();
+        report(
+            &ctx,
+            &mut stages,
+            stage_name,
+            lt_secs / f64::from(iters),
+            u64::from(iters) * instances as u64,
+            format!(
+                r#""iterations": {iters}, "instances": {instances}, "mttf_lo_years": {:.3}, "deterministic": true"#,
+                first.design_mttf_lo_years
             ),
         );
     }

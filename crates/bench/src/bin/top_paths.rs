@@ -4,7 +4,9 @@
 //! guaranteed. This binary measures the required rank per benchmark and the
 //! number of paths within the top-5 % delay window, and attributes each aged
 //! critical path's degradation to its single worst-aging arc (per-arc
-//! fresh→aged delta and its share of the whole-path slowdown).
+//! fresh→aged delta and its share of the whole-path slowdown), plus the
+//! path's lifetime attribution: the smallest static MTTF lower bound among
+//! the instances on the aged critical path and its dominant mechanism.
 
 use bench::{benchmark_netlists, fresh_library, pct, ps, row, worst_library};
 use flow::{FlowError, RunContext};
@@ -50,6 +52,17 @@ fn worst_aging_arc(
     Ok((arc, delta, share))
 }
 
+/// Lifetime attribution of a path: the smallest per-instance MTTF lower
+/// bound along its steps and that instance's dominant aging mechanism.
+fn path_lifetime(lifetimes: &dataflow::LifetimeReport, path: &PathSpec) -> (f64, &'static str) {
+    path.steps
+        .iter()
+        .map(|s| &lifetimes.instances[s.inst.index()])
+        .map(|inst| (inst.mttf_lo_years, inst.dominant))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((f64::INFINITY, "-"))
+}
+
 /// A structural signature of a path (instance/pin/polarity sequence).
 fn signature(nl: &netlist::Netlist, p: &PathSpec) -> String {
     p.steps
@@ -90,8 +103,10 @@ fn run() -> Result<(), FlowError> {
         "worst aging arc".into(),
         "arc Δ [ps]".into(),
         "arc share".into(),
+        "path MTTF lo [y]".into(),
+        "mechanism".into(),
     ]);
-    row(&["---"; 8].map(String::from));
+    row(&["---"; 10].map(String::from));
     for (design, nl) in &designs {
         let fresh_report = ctx.stage("sta", || analyze(nl, &fresh, &c))?;
         let aged_report = ctx.stage("sta", || analyze(nl, &aged, &c))?;
@@ -99,6 +114,15 @@ fn run() -> Result<(), FlowError> {
         let aged_sig = signature(nl, aged_cp);
         let (arc, delta, share) =
             worst_aging_arc(nl, &fresh, &aged, &c, &fresh_report, &aged_report, aged_cp)?;
+        let lifetimes = ctx.stage("lifetime-bound", || {
+            dataflow::static_lifetime_bound(
+                nl,
+                &fresh,
+                &dataflow::LifetimeConfig::default(),
+                &dataflow::DataflowConfig::default(),
+            )
+        });
+        let (path_mttf, mechanism) = path_lifetime(&lifetimes, aged_cp);
         let fresh_paths = ctx.stage("sta", || k_worst_paths(nl, &fresh, &c, k))?;
         ctx.add_tasks("sta", 3);
         // Compare raw path delays against the raw worst path (endpoint
@@ -120,6 +144,8 @@ fn run() -> Result<(), FlowError> {
             arc,
             ps(delta),
             pct(share),
+            format!("{path_mttf:.0}"),
+            mechanism.to_owned(),
         ]);
     }
     println!("\nWhere the rank exceeds k, no top-k tracking of fresh paths would have");

@@ -7,6 +7,13 @@
 //! carrier mobility (Δμ) — the paper's key distinction from state of the art
 //! which models `ΔVth` only.
 //!
+//! Beyond the paper, the mechanism layer generalizes the crate into a
+//! mechanism-generic aging toolkit: the [`AgingMechanism`] trait with
+//! NBTI/PBTI ([`BtiMechanism`]), hot-carrier injection ([`HciModel`]),
+//! electromigration ([`EmModel`]) and dielectric breakdown ([`TddbModel`])
+//! implementations, each reporting a [`Weibull`] time-to-failure — the
+//! substrate for static lifetime verification in the `dataflow` crate.
+//!
 //! The model follows the paper's Eqs. (2) and (3):
 //!
 //! ```text
@@ -38,12 +45,17 @@
 
 mod degradation;
 mod duty;
+mod mechanism;
 mod model;
 mod scenario;
 mod stress;
 
 pub use degradation::Degradation;
 pub use duty::{DutyCycle, DutyCycleError};
+pub use mechanism::{
+    monotonicity_violations, AgingInput, AgingMechanism, AgingSuite, BtiMechanism, EmModel,
+    HciModel, StressSource, TddbModel, Weibull,
+};
 pub use model::BtiModel;
 pub use scenario::{AgingScenario, DevicePair};
 pub use stress::Stress;

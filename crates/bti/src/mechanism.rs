@@ -1,0 +1,746 @@
+//! Mechanism-generic aging layer: the [`AgingMechanism`] trait, the
+//! BTI/HCI/EM/TDDB wear-out models behind it, and the [`Weibull`]
+//! time-to-failure distribution they report.
+//!
+//! The paper models BTI only; oldspot-style lifetime tools treat Hot-Carrier
+//! Injection, Electromigration and Time-Dependent Dielectric Breakdown as
+//! peers, each with a Weibull failure distribution. This module generalizes
+//! the crate accordingly: every mechanism maps one [`AgingInput`] — stress
+//! duty/activity, temperature, supply, clock frequency and elapsed time —
+//! to a parametric [`Degradation`] contribution and/or a [`Weibull`]
+//! time-to-failure.
+//!
+//! # The monotonicity contract
+//!
+//! Static lifetime analysis (the `dataflow` crate) evaluates mechanisms at
+//! the *endpoints* of provable input intervals and claims the results bound
+//! every point inside. That is sound **iff** each mechanism is monotone:
+//! degradation non-decreasing and failure time non-increasing in each of
+//! duty, temperature, Vdd, frequency and time. Every model here satisfies
+//! the contract analytically (power laws with non-negative exponents,
+//! Arrhenius and field acceleration); [`monotonicity_violations`] probes it
+//! numerically so misconfigured models (e.g. a negative exponent) are
+//! rejected instead of producing unsound bounds (lint rule `LT004`).
+//!
+//! # Example
+//!
+//! ```
+//! use bti::{AgingInput, AgingMechanism, AgingSuite};
+//!
+//! let suite = AgingSuite::standard();
+//! let worst = AgingInput::new(1.0, 10.0, 398.15, 1.2, 1.0e9);
+//! for (source, mech) in suite.mechanisms() {
+//!     let d = mech.degradation(&worst);
+//!     assert!(d.delta_vth >= 0.0, "{} ({source:?})", mech.name());
+//!     if let Some(w) = mech.failure_distribution(&worst) {
+//!         assert!(w.mttf_years() > 10.0, "{} fails inside the horizon", mech.name());
+//!     }
+//! }
+//! ```
+
+use crate::{BtiModel, Degradation, DutyCycle, Stress, SECONDS_PER_YEAR};
+use std::fmt;
+
+/// Boltzmann constant in eV/K (shared by every Arrhenius factor).
+const K_BOLTZMANN_EV: f64 = 8.617_333_262e-5;
+
+/// Mechanisms that do not fail within this horizon report no failure
+/// distribution at all (the hazard is numerically irrelevant).
+const FAILURE_HORIZON_YEARS: f64 = 1.0e6;
+
+/// One operating point a mechanism is evaluated at.
+///
+/// `duty` doubles as the switching *activity* for the activity-driven
+/// mechanisms (HCI, EM): the fraction of cycles the device toggles, where
+/// the duty-cycle mechanisms read the fraction of time it is stressed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingInput {
+    /// Stress duty cycle (BTI) or switching activity (HCI/EM) in `[0, 1]`.
+    pub duty: f64,
+    /// Elapsed operating time in years.
+    pub years: f64,
+    /// Junction temperature in kelvin.
+    pub temperature_k: f64,
+    /// Supply (stress) voltage in volts.
+    pub vdd: f64,
+    /// Clock frequency in hertz (drives the cycle-count mechanisms).
+    pub frequency_hz: f64,
+}
+
+impl AgingInput {
+    /// Creates an input, clamping `duty` into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when years is negative, or temperature/vdd/frequency are not
+    /// positive finite numbers.
+    #[must_use]
+    pub fn new(duty: f64, years: f64, temperature_k: f64, vdd: f64, frequency_hz: f64) -> Self {
+        assert!(years.is_finite() && years >= 0.0, "years must be finite and non-negative");
+        assert!(temperature_k.is_finite() && temperature_k > 0.0, "temperature must be positive");
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        assert!(frequency_hz.is_finite() && frequency_hz > 0.0, "frequency must be positive");
+        AgingInput { duty: duty.clamp(0.0, 1.0), years, temperature_k, vdd, frequency_hz }
+    }
+
+    /// The nominal worst-stress corner: duty 1 at the calibration
+    /// environment and a 1 GHz clock.
+    #[must_use]
+    pub fn worst(years: f64) -> Self {
+        Self::new(1.0, years, Stress::NOMINAL_TEMPERATURE_K, Stress::NOMINAL_VDD, 1.0e9)
+    }
+
+    fn stress(&self) -> Stress {
+        Stress::years(self.years, DutyCycle::saturating(self.duty))
+            .with_temperature(self.temperature_k)
+            .with_vdd(self.vdd)
+    }
+}
+
+/// A two-parameter Weibull time-to-failure distribution in **years**.
+///
+/// `R(t) = exp(−(t/η)^β)` with scale `η` ([`Weibull::scale_years`]) and
+/// shape `β`; `MTTF = η·Γ(1 + 1/β)`. Shape > 1 models wear-out (hazard
+/// grows with age), shape 1 a constant hazard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Scale parameter η in years (the 63.2 % failure quantile).
+    pub scale_years: f64,
+    /// Shape parameter β (dimensionless).
+    pub shape: f64,
+}
+
+impl Weibull {
+    /// Creates a distribution from scale and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive finite numbers.
+    #[must_use]
+    pub fn new(scale_years: f64, shape: f64) -> Self {
+        assert!(scale_years.is_finite() && scale_years > 0.0, "Weibull scale must be positive");
+        assert!(shape.is_finite() && shape > 0.0, "Weibull shape must be positive");
+        Weibull { scale_years, shape }
+    }
+
+    /// The distribution with a given mean time to failure:
+    /// `η = MTTF / Γ(1 + 1/β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive finite numbers.
+    #[must_use]
+    pub fn from_mttf(mttf_years: f64, shape: f64) -> Self {
+        assert!(mttf_years.is_finite() && mttf_years > 0.0, "MTTF must be positive");
+        Self::new(mttf_years / gamma(1.0 + 1.0 / shape), shape)
+    }
+
+    /// Mean time to failure `η·Γ(1 + 1/β)` in years.
+    #[must_use]
+    pub fn mttf_years(&self) -> f64 {
+        self.scale_years * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    /// Survival probability `R(t) = exp(−(t/η)^β)` at `t_years`.
+    #[must_use]
+    pub fn reliability(&self, t_years: f64) -> f64 {
+        (-self.cumulative_hazard(t_years)).exp()
+    }
+
+    /// Cumulative hazard `H(t) = (t/η)^β` at `t_years`.
+    #[must_use]
+    pub fn cumulative_hazard(&self, t_years: f64) -> f64 {
+        if t_years <= 0.0 {
+            return 0.0;
+        }
+        (t_years / self.scale_years).powf(self.shape)
+    }
+
+    /// Inverse CDF: the failure time whose CDF equals `p ∈ [0, 1)` —
+    /// `η·(−ln(1 − p))^(1/β)`. Feeding uniform samples through this is the
+    /// standard Monte-Carlo failure-time sampler.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0 - 1e-15);
+        self.scale_years * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+}
+
+impl fmt::Display for Weibull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Weibull(η={:.3e}y, β={:.2})", self.scale_years, self.shape)
+    }
+}
+
+/// Γ(x) for positive arguments via the Lanczos approximation (g = 7, n = 9);
+/// accurate to ~1e-13 over the shapes used here. The workspace deliberately
+/// carries no math-library dependency.
+fn gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x.is_finite() && x > 0.0, "gamma needs a positive argument");
+    if x < 0.5 {
+        // Reflection keeps the Lanczos core in its accurate region.
+        return std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x));
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+}
+
+/// A wear-out mechanism: one operating point in, degradation and/or a
+/// failure distribution out.
+///
+/// Implementations must honor the monotonicity contract documented at the
+/// module level: `delta_vth` non-decreasing and MTTF non-increasing
+/// along every input axis. `failure_distribution` returns `None` when the
+/// mechanism cannot fail at this operating point (zero stress) or its
+/// failure time exceeds the 10⁶-year horizon.
+pub trait AgingMechanism {
+    /// Short stable name (`"nbti"`, `"hci"`, ...), used in diagnostics and
+    /// JSON output.
+    fn name(&self) -> &'static str;
+
+    /// Parametric degradation accumulated by `input.years`.
+    fn degradation(&self, input: &AgingInput) -> Degradation;
+
+    /// Time-to-failure distribution under constant stress at `input`
+    /// (the `years` field is ignored — the distribution covers all time).
+    fn failure_distribution(&self, input: &AgingInput) -> Option<Weibull>;
+}
+
+/// BTI (NBTI or PBTI) adapted onto the mechanism trait.
+///
+/// Degradation delegates to the underlying [`BtiModel`]; the failure time
+/// is the (bisected) crossing of `ΔVth` over [`BtiMechanism::vth_crit`],
+/// used as the MTTF of a wear-out Weibull.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtiMechanism {
+    /// The underlying power-law trap model.
+    pub model: BtiModel,
+    /// `ΔVth` (volts) at which the device counts as failed.
+    pub vth_crit: f64,
+    /// Weibull shape of the failure distribution (wear-out: > 1).
+    pub weibull_shape: f64,
+    name: &'static str,
+}
+
+impl BtiMechanism {
+    /// NBTI on pMOS with the default parametric-failure criterion.
+    #[must_use]
+    pub fn nbti() -> Self {
+        BtiMechanism { model: BtiModel::nbti(), vth_crit: 0.15, weibull_shape: 3.0, name: "nbti" }
+    }
+
+    /// PBTI on nMOS (about half as severe as NBTI).
+    #[must_use]
+    pub fn pbti() -> Self {
+        BtiMechanism { model: BtiModel::pbti(), ..Self::nbti() }.named("pbti")
+    }
+
+    fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    fn delta_vth_at(&self, input: &AgingInput, years: f64) -> f64 {
+        let stress = AgingInput { years, ..*input }.stress();
+        self.model.delta_vth(&stress)
+    }
+}
+
+impl AgingMechanism for BtiMechanism {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn degradation(&self, input: &AgingInput) -> Degradation {
+        self.model.degradation(&input.stress())
+    }
+
+    fn failure_distribution(&self, input: &AgingInput) -> Option<Weibull> {
+        if input.duty <= 0.0 {
+            return None; // no stress, no trap generation, no failure
+        }
+        if self.delta_vth_at(input, FAILURE_HORIZON_YEARS) < self.vth_crit {
+            return None;
+        }
+        // ΔVth(t) is a sum of two power laws — strictly increasing — so the
+        // crossing time is unique; 80 bisection steps in log-time pin it to
+        // machine precision, deterministically.
+        let (mut lo, mut hi) = (1e-6f64.ln(), FAILURE_HORIZON_YEARS.ln());
+        if self.delta_vth_at(input, lo.exp()) >= self.vth_crit {
+            return Some(Weibull::from_mttf(lo.exp(), self.weibull_shape));
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.delta_vth_at(input, mid.exp()) < self.vth_crit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Weibull::from_mttf(hi.exp(), self.weibull_shape))
+    }
+}
+
+/// Hot-Carrier Injection: channel carriers heated by the lateral field
+/// damage the Si/SiO₂ interface on every switching event.
+///
+/// `ΔVth = a · (activity·f·t)^n · AF_T · AF_V` — cycle-count driven, with a
+/// weak positive thermal activation and a strong field dependence. The
+/// failure time inverts the power law at [`HciModel::vth_crit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HciModel {
+    /// Prefactor in volts per cycle^`cycle_exp` (at the nominal corner).
+    pub a: f64,
+    /// Cycle-count exponent n (empirically ≈ 0.45).
+    pub cycle_exp: f64,
+    /// Activation energy in eV (HCI worsens mildly with temperature here;
+    /// the classic low-temperature worsening is below this model's scope).
+    pub ea: f64,
+    /// Field-acceleration exponent `(V/Vnom)^γ`.
+    pub gamma_v: f64,
+    /// Mobility loss per volt of `ΔVth` (interface damage scatters carriers).
+    pub mobility_per_volt: f64,
+    /// `ΔVth` (volts) at which the device counts as failed.
+    pub vth_crit: f64,
+    /// Weibull shape of the failure distribution.
+    pub weibull_shape: f64,
+}
+
+impl HciModel {
+    /// Default 45 nm-class calibration: 10-year worst-case (activity 1 at
+    /// 1 GHz) contributes ≈ 15 mV — a clear second to NBTI, as in scaled
+    /// planar nodes.
+    #[must_use]
+    pub fn standard() -> Self {
+        HciModel {
+            a: 2.05e-10,
+            cycle_exp: 0.45,
+            ea: 0.06,
+            gamma_v: 6.0,
+            mobility_per_volt: 0.5,
+            vth_crit: 0.15,
+            weibull_shape: 3.0,
+        }
+    }
+
+    fn acceleration(&self, input: &AgingInput) -> f64 {
+        let arrhenius = (self.ea / K_BOLTZMANN_EV
+            * (1.0 / Stress::NOMINAL_TEMPERATURE_K - 1.0 / input.temperature_k))
+            .exp();
+        let field = (input.vdd / Stress::NOMINAL_VDD).powf(self.gamma_v);
+        arrhenius * field
+    }
+}
+
+impl AgingMechanism for HciModel {
+    fn name(&self) -> &'static str {
+        "hci"
+    }
+
+    fn degradation(&self, input: &AgingInput) -> Degradation {
+        let cycles = input.duty * input.frequency_hz * input.years * SECONDS_PER_YEAR;
+        if cycles <= 0.0 {
+            return Degradation::fresh();
+        }
+        let delta_vth = self.a * cycles.powf(self.cycle_exp) * self.acceleration(input);
+        Degradation {
+            delta_vth,
+            mobility_factor: 1.0 / (1.0 + self.mobility_per_volt * delta_vth),
+            interface_traps: 0.0,
+            oxide_traps: 0.0,
+        }
+    }
+
+    fn failure_distribution(&self, input: &AgingInput) -> Option<Weibull> {
+        let cycles_per_year = input.duty * input.frequency_hz * SECONDS_PER_YEAR;
+        if cycles_per_year <= 0.0 {
+            return None;
+        }
+        // Invert ΔVth = a·N^n·AF for the critical cycle count, then convert
+        // cycles to years at this operating frequency and activity.
+        let critical_cycles =
+            (self.vth_crit / (self.a * self.acceleration(input))).powf(1.0 / self.cycle_exp);
+        let mttf_years = critical_cycles / cycles_per_year;
+        (mttf_years <= FAILURE_HORIZON_YEARS)
+            .then(|| Weibull::from_mttf(mttf_years, self.weibull_shape))
+    }
+}
+
+/// Electromigration on the gate's output wiring, via Black's equation:
+/// `MTTF = A · (J/J0)^−n · exp(Ea/k · (1/T − 1/T0))` with the current
+/// density `J` proportional to switching activity, frequency and supply.
+///
+/// EM is a hard (catastrophic) failure: it contributes no parametric
+/// degradation, only a Weibull failure distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmModel {
+    /// Per-wire MTTF in years at the nominal corner (`J = J0`).
+    pub mttf_nominal_years: f64,
+    /// Black's current-density exponent n (≈ 2 for void nucleation).
+    pub current_exp: f64,
+    /// Activation energy in eV (Cu interconnect ≈ 0.9).
+    pub ea: f64,
+    /// Frequency at which activity 1 yields the nominal current density.
+    pub nominal_frequency_hz: f64,
+    /// Weibull shape of the failure distribution.
+    pub weibull_shape: f64,
+}
+
+impl EmModel {
+    /// Default calibration: 10⁵ years per wire at the nominal corner — EM
+    /// budgets are set per via/wire so that millions of them survive a
+    /// decade in series.
+    #[must_use]
+    pub fn standard() -> Self {
+        EmModel {
+            mttf_nominal_years: 1.0e5,
+            current_exp: 2.0,
+            ea: 0.9,
+            nominal_frequency_hz: 1.0e9,
+            weibull_shape: 2.0,
+        }
+    }
+}
+
+impl AgingMechanism for EmModel {
+    fn name(&self) -> &'static str {
+        "em"
+    }
+
+    fn degradation(&self, _input: &AgingInput) -> Degradation {
+        Degradation::fresh()
+    }
+
+    fn failure_distribution(&self, input: &AgingInput) -> Option<Weibull> {
+        // Time-averaged current density scales with the charge moved per
+        // unit time: activity × frequency × Vdd.
+        let j_ratio = input.duty
+            * (input.frequency_hz / self.nominal_frequency_hz)
+            * (input.vdd / Stress::NOMINAL_VDD);
+        if j_ratio <= 0.0 {
+            return None; // a wire that never switches carries no net current
+        }
+        let arrhenius = (self.ea / K_BOLTZMANN_EV
+            * (1.0 / input.temperature_k - 1.0 / Stress::NOMINAL_TEMPERATURE_K))
+            .exp();
+        let mttf_years = self.mttf_nominal_years * j_ratio.powf(-self.current_exp) * arrhenius;
+        (mttf_years <= FAILURE_HORIZON_YEARS)
+            .then(|| Weibull::from_mttf(mttf_years, self.weibull_shape))
+    }
+}
+
+/// Time-Dependent Dielectric Breakdown of the gate oxide: the vertical
+/// field wears a conducting path through the dielectric whenever the gate
+/// is biased — in either logic state, so TDDB is duty-independent here.
+///
+/// `MTTF = A · (V/Vnom)^−γ · exp(Ea/k · (1/T − 1/T0))`, the standard
+/// power-law voltage model. Like EM, TDDB is a hard failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TddbModel {
+    /// Per-device MTTF in years at the nominal corner.
+    pub mttf_nominal_years: f64,
+    /// Voltage-acceleration exponent γ (power-law TDDB ≈ 30–40; a softer
+    /// value keeps the model conservative over small Vdd ranges).
+    pub voltage_exp: f64,
+    /// Activation energy in eV.
+    pub ea: f64,
+    /// Weibull shape (< β of the wear-out modes: breakdown has a wide,
+    /// defect-driven spread).
+    pub weibull_shape: f64,
+}
+
+impl TddbModel {
+    /// Default calibration: 10⁶ years per device at the nominal corner.
+    #[must_use]
+    pub fn standard() -> Self {
+        TddbModel { mttf_nominal_years: 1.0e6, voltage_exp: 12.0, ea: 0.7, weibull_shape: 1.2 }
+    }
+}
+
+impl AgingMechanism for TddbModel {
+    fn name(&self) -> &'static str {
+        "tddb"
+    }
+
+    fn degradation(&self, _input: &AgingInput) -> Degradation {
+        Degradation::fresh()
+    }
+
+    fn failure_distribution(&self, input: &AgingInput) -> Option<Weibull> {
+        let arrhenius = (self.ea / K_BOLTZMANN_EV
+            * (1.0 / input.temperature_k - 1.0 / Stress::NOMINAL_TEMPERATURE_K))
+            .exp();
+        let field = (input.vdd / Stress::NOMINAL_VDD).powf(-self.voltage_exp);
+        let mttf_years = self.mttf_nominal_years * field * arrhenius;
+        (mttf_years <= FAILURE_HORIZON_YEARS)
+            .then(|| Weibull::from_mttf(mttf_years, self.weibull_shape))
+    }
+}
+
+/// Which per-gate stress quantity feeds a mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressSource {
+    /// The pMOS duty cycle λp (NBTI: pMOS stressed while its gate is low).
+    PmosDuty,
+    /// The nMOS duty cycle λn (PBTI).
+    NmosDuty,
+    /// The output switching activity (HCI, EM).
+    Activity,
+}
+
+/// The standard mechanism suite: NBTI, PBTI, HCI, EM and TDDB, each paired
+/// with the stress quantity it consumes.
+///
+/// The struct is plain data (`Clone`/`PartialEq`) so it can ride inside
+/// analysis configurations; [`AgingSuite::mechanisms`] exposes the members
+/// uniformly through the trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingSuite {
+    /// NBTI on the pMOS devices.
+    pub nbti: BtiMechanism,
+    /// PBTI on the nMOS devices.
+    pub pbti: BtiMechanism,
+    /// Hot-carrier injection on the switching devices.
+    pub hci: HciModel,
+    /// Electromigration on the output wiring.
+    pub em: EmModel,
+    /// Dielectric breakdown of the gate oxides.
+    pub tddb: TddbModel,
+}
+
+impl AgingSuite {
+    /// The default five-mechanism suite.
+    #[must_use]
+    pub fn standard() -> Self {
+        AgingSuite {
+            nbti: BtiMechanism::nbti(),
+            pbti: BtiMechanism::pbti(),
+            hci: HciModel::standard(),
+            em: EmModel::standard(),
+            tddb: TddbModel::standard(),
+        }
+    }
+
+    /// Every mechanism with its stress source, in a fixed, deterministic
+    /// order (nbti, pbti, hci, em, tddb).
+    #[must_use]
+    pub fn mechanisms(&self) -> [(StressSource, &dyn AgingMechanism); 5] {
+        [
+            (StressSource::PmosDuty, &self.nbti),
+            (StressSource::NmosDuty, &self.pbti),
+            (StressSource::Activity, &self.hci),
+            (StressSource::Activity, &self.em),
+            (StressSource::Activity, &self.tddb),
+        ]
+    }
+}
+
+impl Default for AgingSuite {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Numerically probes the monotonicity contract of `mechanism` and returns
+/// a description of every violated axis (empty = contract holds on the
+/// probe grid).
+///
+/// For each axis (duty, years, temperature, Vdd, frequency) the probe
+/// sweeps three increasing values around the nominal corner and requires
+/// `ΔVth` non-decreasing and MTTF non-increasing (a missing distribution
+/// counts as an infinite failure time). This is what lint rule `LT004`
+/// runs before trusting interval-endpoint evaluation.
+#[must_use]
+pub fn monotonicity_violations(mechanism: &dyn AgingMechanism) -> Vec<String> {
+    const REL_TOL: f64 = 1e-9;
+    let base = AgingInput::worst(5.0);
+    let axes: [(&str, [AgingInput; 3]); 5] = [
+        ("duty", [0.25, 0.5, 1.0].map(|duty| AgingInput { duty, ..base })),
+        ("years", [1.0, 5.0, 10.0].map(|years| AgingInput { years, ..base })),
+        (
+            "temperature",
+            [368.15, 398.15, 428.15].map(|temperature_k| AgingInput { temperature_k, ..base }),
+        ),
+        ("vdd", [1.1, 1.2, 1.3].map(|vdd| AgingInput { vdd, ..base })),
+        (
+            "frequency",
+            [5.0e8, 1.0e9, 2.0e9].map(|frequency_hz| AgingInput { frequency_hz, ..base }),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (axis, points) in &axes {
+        for pair in points.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (dv_a, dv_b) =
+                (mechanism.degradation(a).delta_vth, mechanism.degradation(b).delta_vth);
+            if dv_b < dv_a * (1.0 - REL_TOL) - 1e-15 {
+                out.push(format!(
+                    "{}: ΔVth decreases along {axis} ({dv_a:.3e} → {dv_b:.3e})",
+                    mechanism.name()
+                ));
+                break;
+            }
+            let mttf = |input: &AgingInput| {
+                mechanism.failure_distribution(input).map_or(f64::INFINITY, |w| w.mttf_years())
+            };
+            let (m_a, m_b) = (mttf(a), mttf(b));
+            if m_b > m_a * (1.0 + REL_TOL) {
+                out.push(format!(
+                    "{}: MTTF increases along {axis} ({m_a:.3e}y → {m_b:.3e}y)",
+                    mechanism.name()
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(3) = 2, Γ(1/2) = √π, Γ(1.5) = √π/2.
+        assert!(approx(gamma(1.0), 1.0, 1e-12));
+        assert!(approx(gamma(2.0), 1.0, 1e-12));
+        assert!(approx(gamma(3.0), 2.0, 1e-12));
+        assert!(approx(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-12));
+        assert!(approx(gamma(1.5), std::f64::consts::PI.sqrt() / 2.0, 1e-12));
+        assert!(approx(gamma(5.0), 24.0, 1e-12));
+    }
+
+    #[test]
+    fn weibull_roundtrips() {
+        let w = Weibull::from_mttf(100.0, 2.0);
+        assert!(approx(w.mttf_years(), 100.0, 1e-12));
+        // R(η) = 1/e by definition of the scale.
+        assert!(approx(w.reliability(w.scale_years), (-1.0f64).exp(), 1e-12));
+        assert!(w.reliability(0.0) == 1.0);
+        // quantile inverts the CDF: p = 1 − R(q(p)).
+        for p in [0.01, 0.5, 0.99] {
+            assert!(approx(1.0 - w.reliability(w.quantile(p)), p, 1e-9));
+        }
+        // Exponential special case: shape 1 → MTTF = scale.
+        let e = Weibull::new(50.0, 1.0);
+        assert!(approx(e.mttf_years(), 50.0, 1e-12));
+    }
+
+    #[test]
+    fn bti_mechanism_matches_model() {
+        let nbti = BtiMechanism::nbti();
+        let input = AgingInput::worst(10.0);
+        let via_trait = nbti.degradation(&input);
+        let direct = BtiModel::nbti().degradation(&Stress::years(10.0, DutyCycle::WORST));
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn bti_failure_time_inverts_the_power_law() {
+        let nbti = BtiMechanism::nbti();
+        let input = AgingInput::worst(10.0);
+        let mttf = nbti.failure_distribution(&input).expect("worst-case NBTI fails").mttf_years();
+        // The crossing time must actually cross the criterion.
+        assert!(nbti.delta_vth_at(&input, mttf) >= nbti.vth_crit * (1.0 - 1e-9));
+        assert!(nbti.delta_vth_at(&input, mttf * 0.99) < nbti.vth_crit);
+        // 10-year ΔVth ≈ 51 mV with crit 150 mV → failure is far out but
+        // within the horizon (power-law exponents 1/6..0.2).
+        assert!(mttf > 100.0 && mttf < FAILURE_HORIZON_YEARS, "NBTI MTTF = {mttf}");
+    }
+
+    #[test]
+    fn unstressed_devices_never_fail() {
+        let suite = AgingSuite::standard();
+        let idle = AgingInput::new(0.0, 10.0, 398.15, 1.2, 1.0e9);
+        for (_, mech) in suite.mechanisms() {
+            assert!(mech.degradation(&idle).is_fresh() || mech.name() == "tddb");
+        }
+        assert!(suite.nbti.failure_distribution(&idle).is_none());
+        assert!(suite.hci.failure_distribution(&idle).is_none());
+        assert!(suite.em.failure_distribution(&idle).is_none());
+        // TDDB stresses the oxide regardless of switching.
+        assert!(suite.tddb.failure_distribution(&idle).is_some());
+    }
+
+    #[test]
+    fn hci_calibration_ten_year_worst_case() {
+        let d = HciModel::standard().degradation(&AgingInput::worst(10.0));
+        assert!(d.delta_vth > 0.010 && d.delta_vth < 0.020, "HCI ΔVth = {}", d.delta_vth);
+        assert!(d.mobility_factor < 1.0 && d.mobility_factor > 0.99);
+    }
+
+    #[test]
+    fn per_device_failure_times_support_a_decade_design_life() {
+        // Per-device MTTFs must sit orders of magnitude above 10 years so
+        // that thousands of devices in series still clear a decade.
+        let worst = AgingInput::worst(10.0);
+        for (_, mech) in AgingSuite::standard().mechanisms() {
+            let mttf = mech.failure_distribution(&worst).expect("worst corner fails").mttf_years();
+            assert!(mttf > 1.0e3, "{}: per-device MTTF {mttf} too small", mech.name());
+        }
+    }
+
+    #[test]
+    fn em_follows_blacks_equation() {
+        let em = EmModel::standard();
+        let nominal = em.failure_distribution(&AgingInput::worst(10.0)).unwrap().mttf_years();
+        assert!(approx(nominal, em.mttf_nominal_years, 1e-9));
+        // Halving activity quadruples the MTTF (J^−2).
+        let half = AgingInput { duty: 0.5, ..AgingInput::worst(10.0) };
+        let m_half = em.failure_distribution(&half).unwrap().mttf_years();
+        assert!(approx(m_half, 4.0 * nominal, 1e-9), "{m_half} vs {nominal}");
+    }
+
+    #[test]
+    fn environment_accelerates_every_mechanism() {
+        let base = AgingInput::worst(10.0);
+        let hot = AgingInput { temperature_k: 428.15, ..base };
+        let over = AgingInput { vdd: 1.3, ..base };
+        for (_, mech) in AgingSuite::standard().mechanisms() {
+            let mttf = |input: &AgingInput| {
+                mech.failure_distribution(input).map_or(f64::INFINITY, |w| w.mttf_years())
+            };
+            assert!(mttf(&hot) <= mttf(&base), "{} not thermally accelerated", mech.name());
+            assert!(mttf(&over) <= mttf(&base), "{} not field accelerated", mech.name());
+        }
+    }
+
+    #[test]
+    fn standard_suite_passes_the_monotonicity_probe() {
+        for (_, mech) in AgingSuite::standard().mechanisms() {
+            let violations = monotonicity_violations(mech);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn probe_rejects_a_non_monotone_configuration() {
+        // A negative cycle exponent makes HCI *heal* with use — exactly the
+        // misconfiguration the probe (and LT004) must reject.
+        let broken = HciModel { cycle_exp: -0.45, ..HciModel::standard() };
+        let violations = monotonicity_violations(&broken);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().any(|v| v.contains("hci")));
+    }
+}

@@ -132,11 +132,36 @@ impl AgingScenario {
         }
     }
 
-    /// The `"{λp}_{λn}"` index tag used to rename cells when merging
-    /// degradation-aware libraries (e.g. `AND2_X1_0.40_0.60`).
+    /// The environment grid: every λ-grid scenario replicated at each
+    /// `(temperature_k, vdd)` corner — temperature as a first-class scenario
+    /// axis next to λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or any corner is not positive and finite.
+    #[must_use]
+    pub fn environment_grid(steps: u32, years: f64, corners: &[(f64, f64)]) -> Vec<AgingScenario> {
+        let lambda_grid = Self::grid(steps, years);
+        let mut out = Vec::with_capacity(lambda_grid.len() * corners.len());
+        for &(temperature_k, vdd) in corners {
+            out.extend(lambda_grid.iter().map(|s| s.clone().with_environment(temperature_k, vdd)));
+        }
+        out
+    }
+
+    /// The `"{λp}_{λn}_{years}y_{T}K_{V}V"` index tag used to rename cells
+    /// when merging degradation-aware libraries
+    /// (e.g. `AND2_X1_0.40_0.60_10.00y_398.15K_1.20V`).
+    ///
+    /// Every scenario axis participates so that two scenarios differing only
+    /// in lifetime or environment never collide in a library name or a
+    /// characterization cache key.
     #[must_use]
     pub fn index_tag(&self) -> String {
-        format!("{}_{}", self.lambda_pmos, self.lambda_nmos)
+        format!(
+            "{}_{}_{:.2}y_{:.2}K_{:.2}V",
+            self.lambda_pmos, self.lambda_nmos, self.years, self.temperature_k, self.vdd
+        )
     }
 
     /// True if this scenario leaves devices unaged.
@@ -170,7 +195,37 @@ mod tests {
     #[test]
     fn index_tag_format() {
         let s = AgingScenario::new(DutyCycle::saturating(0.4), DutyCycle::saturating(0.6), 10.0);
-        assert_eq!(s.index_tag(), "0.40_0.60");
+        assert_eq!(s.index_tag(), "0.40_0.60_10.00y_398.15K_1.20V");
+    }
+
+    #[test]
+    fn index_tag_distinguishes_environment_and_age() {
+        // Regression: tags used to format only λp/λn, so `aged_{tag}` library
+        // names collided for scenarios differing only in years, temperature
+        // or Vdd.
+        let base = AgingScenario::worst_case(10.0);
+        let older = AgingScenario::worst_case(5.0);
+        let hot = AgingScenario::worst_case(10.0).with_environment(428.15, 1.2);
+        let overdriven = AgingScenario::worst_case(10.0).with_environment(398.15, 1.3);
+        let tags = [base.index_tag(), older.index_tag(), hot.index_tag(), overdriven.index_tag()];
+        for (i, a) in tags.iter().enumerate() {
+            for b in tags.iter().skip(i + 1) {
+                assert_ne!(a, b, "scenario tags must be unique per corner");
+            }
+        }
+    }
+
+    #[test]
+    fn environment_grid_spans_corners() {
+        let corners = [(368.15, 1.1), (398.15, 1.2), (428.15, 1.3)];
+        let g = AgingScenario::environment_grid(10, 10.0, &corners);
+        assert_eq!(g.len(), 121 * 3);
+        // Tags stay unique across the whole environment grid.
+        let mut tags: Vec<String> = g.iter().map(AgingScenario::index_tag).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), g.len());
+        assert!(g.iter().any(|s| s.temperature_k == 428.15 && s.vdd == 1.3));
     }
 
     #[test]

@@ -159,8 +159,14 @@ pub fn synthesize_aging_aware(
     synth::optimize_critical_path(&mut nl, aged, 6)?;
     synth::area_recover(&mut nl, aged, None)?;
     // Post-synthesis netlist pre-flight: structural NL rules plus the DF
-    // dataflow checks (constant cones, dead logic, impossible λ pairs).
-    let survivors = lint::preflight(&nl, aged).map_err(|e| SynthError::Preflight(e.to_string()))?;
+    // dataflow checks (constant cones, dead logic, impossible λ pairs) and
+    // the LT static lifetime bounds at the default mechanism suite.
+    let config = lint::LintConfig {
+        lifetime: Some(lint::LifetimeLintConfig::default()),
+        ..lint::LintConfig::default()
+    };
+    let survivors = lint::preflight_with(&nl, aged, &config)
+        .map_err(|e| SynthError::Preflight(e.to_string()))?;
     for d in &survivors {
         eprintln!("[relialint] {d}");
     }

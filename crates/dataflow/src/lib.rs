@@ -55,10 +55,15 @@ mod engine;
 mod guardband;
 mod interval;
 mod lambda;
+mod lifetime;
 mod paths;
 
 pub use engine::{dead_cone, expr_interval, DataflowConfig, NetlistDataflow};
 pub use guardband::{static_guardband_bound, StaticBoundReport};
 pub use interval::Interval;
 pub use lambda::{Extraction, LambdaBounds, Violation, ViolationKind};
+pub use lifetime::{
+    activity_upper_bound, series_mttf_lower_bound, static_lifetime_bound, InstanceLifetime,
+    LifetimeConfig, LifetimeReport, MechanismInterval,
+};
 pub use paths::{analyze_paths, ArcAging, PathAnalysis, PathAnalysisConfig, PathProfile};

@@ -9,7 +9,7 @@
 //!
 //! - a stable rule ID per check (`LB...` library, `NL...` netlist,
 //!   `LM...` λ-annotation, `TM...` timing-context, `AG...` aging,
-//!   `DF...` dataflow, `PT...` path-level timing),
+//!   `DF...` dataflow, `PT...` path-level timing, `LT...` lifetime),
 //! - a severity ([`Severity::Error`] aborts flows, [`Severity::Warning`]
 //!   is logged, [`Severity::Info`] is advisory),
 //! - a precise [`Location`] (cell, arc, instance or net),
@@ -158,11 +158,30 @@ pub enum Rule {
     /// PT005 — timing endpoints exist but no clock period is configured,
     /// so path slacks are vacuous.
     UnconstrainedEndpoint,
+    /// LT001 — the provable design MTTF lower bound falls below the
+    /// configured lifetime target.
+    MttfBelowTarget,
+    /// LT002 — one mechanism carries almost the entire design failure
+    /// hazard: the lifetime verdict hinges on a single model's calibration.
+    MechanismDominance,
+    /// LT003 — the lifetime environment configuration is unsound
+    /// (inverted/non-finite temperature or Vdd range, non-positive horizon,
+    /// frequency or budget), so interval-endpoint evaluation proves nothing.
+    EnvIntervalUnsound,
+    /// LT004 — a configured aging mechanism violates the monotonicity
+    /// contract, so evaluating it at interval endpoints is unsound.
+    NonMonotoneMechanism,
+    /// LT005 — an instance's MTTF lower bound falls below the lifetime
+    /// target (a localized wear-out hotspot).
+    LifetimeHotspot,
+    /// LT006 — the provable years-until-guardband-exhaustion bound is
+    /// shorter than the configured lifetime horizon.
+    GuardbandExhausted,
 }
 
 impl Rule {
     /// All rules in code order.
-    pub const ALL: [Rule; 31] = [
+    pub const ALL: [Rule; 37] = [
         Rule::EmptyLibrary,
         Rule::ImplausibleCapacitance,
         Rule::MissingArcs,
@@ -194,6 +213,12 @@ impl Rule {
         Rule::NonMonotoneAgedPath,
         Rule::NearCriticalExplosion,
         Rule::UnconstrainedEndpoint,
+        Rule::MttfBelowTarget,
+        Rule::MechanismDominance,
+        Rule::EnvIntervalUnsound,
+        Rule::NonMonotoneMechanism,
+        Rule::LifetimeHotspot,
+        Rule::GuardbandExhausted,
     ];
 
     /// The stable rule code, e.g. `NL003`.
@@ -231,6 +256,12 @@ impl Rule {
             Rule::NonMonotoneAgedPath => "PT003",
             Rule::NearCriticalExplosion => "PT004",
             Rule::UnconstrainedEndpoint => "PT005",
+            Rule::MttfBelowTarget => "LT001",
+            Rule::MechanismDominance => "LT002",
+            Rule::EnvIntervalUnsound => "LT003",
+            Rule::NonMonotoneMechanism => "LT004",
+            Rule::LifetimeHotspot => "LT005",
+            Rule::GuardbandExhausted => "LT006",
         }
     }
 
@@ -253,7 +284,9 @@ impl Rule {
             | Rule::LambdaOutsideBounds
             | Rule::LambdaInconsistentPair
             | Rule::PathGuardbandOverBound
-            | Rule::NonMonotoneAgedPath => Severity::Error,
+            | Rule::NonMonotoneAgedPath
+            | Rule::EnvIntervalUnsound
+            | Rule::NonMonotoneMechanism => Severity::Error,
             Rule::NonMonotoneLoad
             | Rule::NonMonotoneSlew
             | Rule::InconsistentGrid
@@ -265,10 +298,14 @@ impl Rule {
             | Rule::ConstantOutput
             | Rule::DeadCone
             | Rule::AgingDominantArc
-            | Rule::UnconstrainedEndpoint => Severity::Warning,
-            Rule::DanglingOutput | Rule::WidenedAnalysis | Rule::NearCriticalExplosion => {
-                Severity::Info
-            }
+            | Rule::UnconstrainedEndpoint
+            | Rule::MttfBelowTarget
+            | Rule::LifetimeHotspot
+            | Rule::GuardbandExhausted => Severity::Warning,
+            Rule::DanglingOutput
+            | Rule::WidenedAnalysis
+            | Rule::NearCriticalExplosion
+            | Rule::MechanismDominance => Severity::Info,
         }
     }
 
@@ -307,6 +344,12 @@ impl Rule {
             Rule::NonMonotoneAgedPath => "aged path delay below fresh path delay",
             Rule::NearCriticalExplosion => "near-critical path population explosion",
             Rule::UnconstrainedEndpoint => "timing endpoints without a clock constraint",
+            Rule::MttfBelowTarget => "design MTTF lower bound below the lifetime target",
+            Rule::MechanismDominance => "one mechanism dominates the failure hazard",
+            Rule::EnvIntervalUnsound => "lifetime environment configuration is unsound",
+            Rule::NonMonotoneMechanism => "aging mechanism violates monotonicity contract",
+            Rule::LifetimeHotspot => "instance MTTF lower bound below the lifetime target",
+            Rule::GuardbandExhausted => "guardband budget exhausted within the horizon",
         }
     }
 
@@ -417,6 +460,30 @@ pub struct ImprovementWhitelist {
     pub output_falling: bool,
 }
 
+/// Configuration of the `LT` lifetime rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeLintConfig {
+    /// The static-lifetime-analysis configuration (mechanism suite,
+    /// horizon, environment ranges, `ΔVth` budget).
+    pub config: dataflow::LifetimeConfig,
+    /// `LT001`/`LT005` fire when a provable MTTF lower bound falls below
+    /// this many years.
+    pub mttf_target_years: f64,
+    /// `LT002` fires when one mechanism's share of the total design hazard
+    /// exceeds this fraction.
+    pub dominance_share: f64,
+}
+
+impl Default for LifetimeLintConfig {
+    fn default() -> Self {
+        LifetimeLintConfig {
+            config: dataflow::LifetimeConfig::default(),
+            mttf_target_years: 10.0,
+            dominance_share: 0.9,
+        }
+    }
+}
+
 /// Lint configuration: suppression and analysis context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LintConfig {
@@ -453,6 +520,9 @@ pub struct LintConfig {
     /// Clock period assumed by the `PT` rules; `None` trips `PT005` on
     /// designs with endpoints.
     pub clock_period: Option<f64>,
+    /// Enables the `LT` lifetime rules with the given configuration;
+    /// `None` (the default) skips them.
+    pub lifetime: Option<LifetimeLintConfig>,
 }
 
 impl Default for LintConfig {
@@ -473,6 +543,7 @@ impl Default for LintConfig {
             near_critical_limit: 64,
             arc_concentration: 0.8,
             clock_period: None,
+            lifetime: None,
         }
     }
 }
@@ -519,6 +590,27 @@ impl LintReport {
         rules::lambda::check(netlist, library, &mut diagnostics);
         rules::timing::check(netlist, library, config, &mut diagnostics);
         rules::dataflow::check(netlist, library, config, &mut diagnostics);
+        if config.lifetime.is_some() {
+            rules::lifetime::check(netlist, library, config, &mut diagnostics);
+        }
+        Self::finish(diagnostics, config)
+    }
+
+    /// Runs the `LT` lifetime rules alone (static lifetime bounds against
+    /// [`LintConfig::lifetime`], or the default lifetime configuration when
+    /// unset).
+    #[must_use]
+    pub fn run_lifetime(netlist: &Netlist, library: &Library, config: &LintConfig) -> Self {
+        let mut with_lifetime;
+        let config = if config.lifetime.is_some() {
+            config
+        } else {
+            with_lifetime = config.clone();
+            with_lifetime.lifetime = Some(LifetimeLintConfig::default());
+            &with_lifetime
+        };
+        let mut diagnostics = Vec::new();
+        rules::lifetime::check(netlist, library, config, &mut diagnostics);
         Self::finish(diagnostics, config)
     }
 

@@ -4,6 +4,7 @@ pub(crate) mod aging;
 pub(crate) mod dataflow;
 pub(crate) mod lambda;
 pub(crate) mod library;
+pub(crate) mod lifetime;
 pub(crate) mod paths;
 pub(crate) mod structure;
 pub(crate) mod timing;

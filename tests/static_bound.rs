@@ -5,7 +5,10 @@
 //!    guardband of a concrete workload, and
 //! 2. a λ-annotation produced by the dynamic flow passes the relialint
 //!    pre-flight gate, while a seeded mutation (one component pushed out
-//!    of its provable interval) is rejected as a `DF`-rule error.
+//!    of its provable interval) is rejected as a `DF`-rule error, and
+//! 3. Monte-Carlo sampled aging (every mechanism, every benchmark) stays
+//!    inside the static per-mechanism intervals, and the sampled series
+//!    MTTF never falls below the provable design MTTF lower bound.
 
 use reliaware::dataflow::{DataflowConfig, Interval};
 use reliaware::liberty::{merge_indexed, Cell, LambdaTag, Library};
@@ -141,4 +144,127 @@ fn preflight_accepts_dynamic_annotation_and_rejects_mutation() {
     let err = reliaware::lint::preflight_with(&annotated, &complete, &config)
         .expect_err("mutated annotation must fail pre-flight");
     assert!(err.errors.iter().any(|d| d.rule == Rule::LambdaOutsideBounds), "{err}");
+}
+
+/// Deterministic linear congruential sampler (no external RNG crates in the
+/// hot path; the sequence is fixed so failures reproduce).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 =
+            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Monte-Carlo containment over all bundled benchmarks: sample concrete
+/// workload points (duty cycles inside the proved λ box, activity below
+/// the proved toggle bound) and environments (temperature/Vdd inside the
+/// configured ranges), evaluate every mechanism at those points, and check
+///
+/// - each sampled `ΔVth` lies inside the static `[lo, hi]` interval,
+/// - each sampled failure time lies inside the static MTTF interval,
+/// - the series MTTF of the sampled points never falls below the per
+///   instance or design-level provable lower bounds.
+#[test]
+fn monte_carlo_lifetime_never_beats_the_static_bound() {
+    use reliaware::bti::{AgingInput, StressSource, Weibull};
+    use reliaware::dataflow::{series_mttf_lower_bound, static_lifetime_bound, LifetimeConfig};
+
+    let library = reliaware::synth::test_fixtures::fixture_library();
+    let config = LifetimeConfig {
+        temperature_range: (368.15, 398.15),
+        vdd_range: (1.15, 1.25),
+        ..LifetimeConfig::default()
+    };
+    let mechanisms = config.suite.mechanisms();
+    let mut rng = Lcg(0x9e37_79b9_7f4a_7c15);
+
+    for design in reliaware::circuits::all_benchmarks() {
+        let nl = reliaware::synth::synthesize(
+            &design.aig,
+            &library,
+            &reliaware::synth::MapOptions::default(),
+        )
+        .expect("synthesis");
+        let report = static_lifetime_bound(&nl, &library, &config, &DataflowConfig::default());
+        assert!(report.exact, "{}: fixture netlist should analyze exactly", design.name);
+
+        // The design-level pool: sampled Weibulls where we sampled, the
+        // report's worst-corner Weibulls everywhere else. Every sampled
+        // component is stochastically no worse than its static corner, so
+        // the mixed series MTTF must dominate the provable bound.
+        let mut pool: Vec<Weibull> = Vec::new();
+        let stride = (report.instances.len() / 48).max(1);
+        for (idx, inst) in report.instances.iter().enumerate() {
+            if idx % stride != 0 {
+                pool.extend(inst.mechanisms.iter().filter_map(|m| m.worst));
+                continue;
+            }
+            let mut sampled_here: Vec<Weibull> = Vec::new();
+            for round in 0..2 {
+                let temp = rng.in_range(config.temperature_range.0, config.temperature_range.1);
+                let vdd = rng.in_range(config.vdd_range.0, config.vdd_range.1);
+                for ((source, mech), m) in mechanisms.iter().zip(&inst.mechanisms) {
+                    let stress = match source {
+                        StressSource::PmosDuty => {
+                            rng.in_range(inst.lambda.pmos.lo(), inst.lambda.pmos.hi())
+                        }
+                        StressSource::NmosDuty => {
+                            rng.in_range(inst.lambda.nmos.lo(), inst.lambda.nmos.hi())
+                        }
+                        StressSource::Activity => rng.in_range(0.0, inst.activity_hi),
+                    };
+                    let input =
+                        AgingInput::new(stress, config.years, temp, vdd, config.frequency_hz);
+                    let dv = mech.degradation(&input).delta_vth;
+                    assert!(
+                        m.delta_vth.0 - 1e-12 <= dv && dv <= m.delta_vth.1 + 1e-12,
+                        "{}/{}/{}: sampled ΔVth {dv} outside [{}, {}]",
+                        design.name,
+                        inst.name,
+                        m.mechanism,
+                        m.delta_vth.0,
+                        m.delta_vth.1,
+                    );
+                    let point = mech.failure_distribution(&input);
+                    let point_mttf = point.map_or(f64::INFINITY, |w| w.mttf_years());
+                    assert!(
+                        point_mttf >= m.mttf_years.0 * (1.0 - 1e-9)
+                            && point_mttf <= m.mttf_years.1 * (1.0 + 1e-9),
+                        "{}/{}/{}: sampled MTTF {point_mttf} outside [{}, {}]",
+                        design.name,
+                        inst.name,
+                        m.mechanism,
+                        m.mttf_years.0,
+                        m.mttf_years.1,
+                    );
+                    if round == 0 {
+                        sampled_here.extend(point);
+                    }
+                }
+            }
+            let sampled_series = series_mttf_lower_bound(&sampled_here);
+            assert!(
+                sampled_series >= inst.mttf_lo_years - 1e-9,
+                "{}/{}: sampled series MTTF {sampled_series} beats instance bound {}",
+                design.name,
+                inst.name,
+                inst.mttf_lo_years,
+            );
+            pool.extend(sampled_here);
+        }
+        let sampled_design = series_mttf_lower_bound(&pool);
+        assert!(
+            sampled_design >= report.design_mttf_lo_years - 1e-9,
+            "{}: sampled design MTTF {sampled_design} falls below the provable bound {}",
+            design.name,
+            report.design_mttf_lo_years,
+        );
+    }
 }
