@@ -15,7 +15,11 @@
 //! 6. incremental vs. full re-STA after single-instance λ re-annotation
 //!    on the risc and vliw benchmarks (nodes recomputed vs. total),
 //! 7. the static lifetime analysis (BTI/HCI/EM/TDDB interval bounds and
-//!    the series-system MTTF lower bound) on the same two benchmarks.
+//!    the series-system MTTF lower bound) on the same two benchmarks,
+//! 8. the characterization service: an in-process server is stormed with
+//!    identical requests (must collapse to exactly one computation) and
+//!    then driven through a warm concurrent load phase, recording
+//!    throughput and latency percentiles.
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
 //! twin before reporting a speedup; instrumentation is observational, so
@@ -427,11 +431,73 @@ fn run() -> Result<(), FlowError> {
         );
     }
 
+    // 8. The characterization service under concurrent clients: an
+    // identical-key storm (the coalescer must collapse it to exactly one
+    // computation) followed by a warm mixed-key load phase.
+    {
+        let socket =
+            std::env::temp_dir().join(format!("reliaware_perfbench_{}.sock", std::process::id()));
+        let mut config = serve::ServeConfig::new(&socket);
+        config.max_inflight = 16;
+        let handle = serve::Server::bind(config, CellSet::nangate45_like())?.spawn();
+        let storm_clients = if opts.smoke { 4 } else { 8 };
+        let storm_req = serve::CharRequest::new(&["INV_X1", "NAND2_X1"], 0.75, 0.25, 10.0);
+        let (storm, storm_secs) = time(|| serve::run_storm(&socket, storm_clients, &storm_req));
+        let storm = storm?;
+        assert!(storm.all_identical, "storm clients must receive identical libraries");
+        assert_eq!(
+            storm.server_computed, 1,
+            "identical-key storm must compute exactly once, computed {}",
+            storm.server_computed
+        );
+        report(
+            &ctx,
+            &mut stages,
+            "serve_storm",
+            storm_secs,
+            storm_clients as u64,
+            format!(
+                r#""clients": {storm_clients}, "server_computed": {}, "absorbed": {}, "coalesced_all": true, "bit_identical": true"#,
+                storm.server_computed, storm.absorbed
+            ),
+        );
+        let load_clients = if opts.smoke { 4 } else { 8 };
+        let load_config = serve::LoadConfig {
+            requests_per_client: if opts.smoke { 8 } else { 32 },
+            unique_keys: if opts.smoke { 2 } else { 4 },
+            ..serve::LoadConfig::smoke(load_clients)
+        };
+        let (load, _) = time(|| serve::run_load(&socket, &load_config));
+        let load = load?;
+        assert_eq!(load.errors, 0, "service load phase must not error");
+        report(
+            &ctx,
+            &mut stages,
+            "serve_load_warm",
+            load.seconds,
+            load.requests,
+            format!(
+                r#""clients": {load_clients}, "requests": {}, "throughput_rps": {:.3}, "p50_us": {}, "p95_us": {}, "p99_us": {}, "memo_hits": {}, "computed": {}, "coalesced": {}, "overloads": {}"#,
+                load.requests,
+                load.throughput_rps,
+                load.p50_us,
+                load.p95_us,
+                load.p99_us,
+                load.memo_hits,
+                load.computed,
+                load.coalesced,
+                load.overloads
+            ),
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_file(&socket);
+    }
+
     // Assemble and write the JSON records.
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let stamp = utc_stamp(unix_time);
+    let stamp = bench::utc_stamp(unix_time);
     let json = render_json(&opts, unix_time, &stamp, &stages);
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| FlowError::io(opts.out_dir.display(), &e))?;
@@ -472,10 +538,12 @@ fn report(
 fn cache_json(cache: &ArcCache) -> String {
     let stats = cache.stats();
     format!(
-        r#""cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "hit_rate": {:.4}}}"#,
+        r#""cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "shards": {}, "hit_rate": {:.4}}}"#,
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
+        stats.coalesced,
+        cache.shard_count(),
         stats.hit_rate()
     )
 }
@@ -514,22 +582,4 @@ fn render_json(opts: &Options, unix_time: u64, stamp: &str, stages: &[Stage]) ->
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
-}
-
-/// Formats a unix timestamp as `YYYYMMDD-HHMMSS` UTC (civil-from-days,
-/// Hinnant's algorithm) — no clock libraries in the workspace.
-fn utc_stamp(secs: u64) -> String {
-    let days = (secs / 86_400) as i64;
-    let rem = secs % 86_400;
-    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let day = doy - (153 * mp + 2) / 5 + 1;
-    let month = if mp < 10 { mp + 3 } else { mp - 9 };
-    let year = yoe + era * 400 + i64::from(month <= 2);
-    format!("{year:04}{month:02}{day:02}-{hh:02}{mm:02}{ss:02}")
 }

@@ -1,0 +1,77 @@
+//! The characterization-service daemon.
+//!
+//! Binds a unix socket and serves `reliaware-serve-v1` requests (see
+//! `crates/serve`) until killed. Clients get degradation-aware libraries
+//! out of a sharded memo with in-flight request coalescing, backed by the
+//! shared two-tier arc cache; excess load is shed with typed `overload`
+//! responses instead of unbounded queueing.
+//!
+//! ```text
+//! serve --socket PATH [--threads N] [--inflight N] [--shards N]
+//!       [--cache-dir DIR] [--timeout-ms N]
+//! ```
+
+use flow::FlowError;
+use serve::{ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Duration;
+use stdcells::CellSet;
+
+const USAGE: &str = "usage: serve --socket PATH [--threads N] [--inflight N] [--shards N]
+             [--cache-dir DIR] [--timeout-ms N]
+
+options:
+  --socket PATH     unix socket to listen on (required)
+  --threads N       worker threads per characterize request (default: 1)
+  --inflight N      max concurrently running characterize requests (default: 4)
+  --shards N        shard-count hint for the memo and arc cache (default: 16)
+  --cache-dir DIR   persist the arc cache to DIR (default: memory only)
+  --timeout-ms N    queue wait before shedding with overload (default: 5000)
+  -h, --help        show this help
+";
+
+fn run() -> Result<(), FlowError> {
+    let mut socket = None;
+    let mut config = ServeConfig::new("");
+    let mut args = std::env::args().skip(1);
+    let int = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<usize, FlowError> {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| FlowError::Usage(format!("{flag} needs a positive integer")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(
+                    args.next().ok_or_else(|| FlowError::Usage("--socket needs a path".into()))?,
+                );
+            }
+            "--threads" => config.workers = int(&mut args, "--threads")?.max(1),
+            "--inflight" => config.max_inflight = int(&mut args, "--inflight")?.max(1),
+            "--shards" => config.shards = int(&mut args, "--shards")?.max(1),
+            "--timeout-ms" => {
+                config.queue_timeout =
+                    Duration::from_millis(int(&mut args, "--timeout-ms")? as u64);
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(
+                    args.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or_else(|| FlowError::Usage("--cache-dir needs a directory".into()))?,
+                );
+            }
+            "-h" | "--help" => return Err(FlowError::Usage(String::new())),
+            other => return Err(FlowError::Usage(format!("unknown argument: {other}"))),
+        }
+    }
+    config.socket = socket.ok_or_else(|| FlowError::Usage("--socket is required".into()))?.into();
+
+    let server = Server::bind(config, CellSet::nangate45_like())?;
+    eprintln!("serve: listening on {}", server.socket().display());
+    server.run();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    bench::cli::run(USAGE, run)
+}

@@ -306,6 +306,26 @@ pub fn lambda_scaled_complete(base: &Library, steps: u32) -> Library {
     liberty::merge_indexed("complete", &parts)
 }
 
+/// Formats a unix timestamp as `YYYYMMDD-HHMMSS` UTC (civil-from-days,
+/// Hinnant's algorithm) — no clock libraries in the workspace. Used by the
+/// perfbench and loadgen binaries to stamp their `BENCH_*.json` records.
+#[must_use]
+pub fn utc_stamp(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}{month:02}{day:02}-{hh:02}{mm:02}{ss:02}")
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -332,6 +352,13 @@ mod tests {
         assert_eq!(ps(1.5e-12), "1.50");
         assert_eq!(pct(0.214), "+21.4%");
         assert_eq!(pct(-0.19), "-19.0%");
+    }
+
+    #[test]
+    fn utc_stamp_known_instants() {
+        assert_eq!(utc_stamp(0), "19700101-000000");
+        // 2016-06-05 12:00:00 UTC — the paper's DAC week.
+        assert_eq!(utc_stamp(1_465_128_000), "20160605-120000");
     }
 
     #[test]

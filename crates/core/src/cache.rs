@@ -6,20 +6,30 @@
 //! topology, the degraded device models, the slew/load axes, `max_dv` and
 //! Vdd — so they are memoized under a content hash of exactly those inputs:
 //!
-//! * **memory tier** — a process-wide map, shared across worker threads;
+//! * **memory tier** — a sharded, process-wide [`Coalescer`] memo shared
+//!   across worker threads and server clients: concurrent readers of
+//!   different keys take different shard locks, hits hand out [`Arc`]
+//!   handles (no deep copy), and identical keys *in flight* join the
+//!   running computation instead of simulating twice
+//!   (see [`ArcCache::get_or_compute`]);
 //! * **disk tier** — one small text file per arc under a cache directory,
 //!   so repeated bench runs and overlapping λ-grids skip simulation
-//!   entirely across processes.
+//!   entirely across processes. A disk hit is promoted into the memory
+//!   tier, so repeated lookups stop paying deserialization.
 //!
 //! Table values round-trip through the disk tier via `f64::to_bits` hex, so
 //! a warm (cached) library is **bit-identical** to a cold one — the
 //! determinism tests and the relialint gates rely on this.
+//!
+//! All effectiveness counters are atomic (exact under concurrent access)
+//! and kept per shard; [`ArcCache::stats`] aggregates them and
+//! [`ArcCache::shard_stats`] exposes the per-shard breakdown.
 
-use std::collections::HashMap;
+use crate::coalesce::Coalescer;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// The four OPC-grid tables of one characterized timing arc, in
 /// row-major `[slew × load]` order.
@@ -51,7 +61,8 @@ impl ArcTables {
     }
 }
 
-/// Counters of one cache's effectiveness; see [`ArcCache::stats`].
+/// Counters of one cache's (or one shard's) effectiveness; see
+/// [`ArcCache::stats`] and [`ArcCache::shard_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the in-memory tier.
@@ -60,35 +71,52 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Lookups that fell through to simulation.
     pub misses: u64,
+    /// Lookups that joined an identical in-flight computation instead of
+    /// simulating ([`ArcCache::get_or_compute`] only).
+    pub coalesced: u64,
 }
 
 impl CacheStats {
     /// Total lookups.
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.memory_hits + self.disk_hits + self.misses
+        self.memory_hits + self.disk_hits + self.misses + self.coalesced
     }
 
-    /// Hit fraction in `[0, 1]`; `1.0` for a cache that was never asked.
+    /// Fraction of lookups served without simulating — memory, disk and
+    /// coalesced — in `[0, 1]`; `1.0` for a cache that was never asked.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.lookups();
         if total == 0 {
             1.0
         } else {
-            (self.memory_hits + self.disk_hits) as f64 / total as f64
+            (self.memory_hits + self.disk_hits + self.coalesced) as f64 / total as f64
         }
+    }
+
+    fn add(&mut self, other: &CacheStats) {
+        self.memory_hits += other.memory_hits;
+        self.disk_hits += other.disk_hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
     }
 }
 
-/// Content-addressed two-tier (memory + optional disk) store of
-/// [`ArcTables`], shared across characterization worker threads.
-pub struct ArcCache {
-    memory: Mutex<HashMap<u64, ArcTables>>,
-    dir: Option<PathBuf>,
-    memory_hits: AtomicU64,
+/// Per-shard disk/miss counters (the memory/coalesced counters live in the
+/// embedded [`Coalescer`] shards, which use the same key→shard mapping).
+struct DiskCounters {
     disk_hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Content-addressed two-tier (memory + optional disk) store of
+/// [`ArcTables`], shared across characterization worker threads and
+/// service clients.
+pub struct ArcCache {
+    memo: Coalescer<ArcTables>,
+    disk: Vec<DiskCounters>,
+    dir: Option<PathBuf>,
     tmp_seq: AtomicU64,
 }
 
@@ -96,6 +124,7 @@ impl fmt::Debug for ArcCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ArcCache")
             .field("dir", &self.dir)
+            .field("shards", &self.shard_count())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -107,14 +136,11 @@ impl ArcCache {
     /// A memory-only cache (no persistence).
     #[must_use]
     pub fn in_memory() -> Self {
-        ArcCache {
-            memory: Mutex::new(HashMap::new()),
-            dir: None,
-            memory_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            tmp_seq: AtomicU64::new(0),
-        }
+        let memo = Coalescer::new();
+        let disk = (0..memo.shard_count())
+            .map(|_| DiskCounters { disk_hits: AtomicU64::new(0), misses: AtomicU64::new(0) })
+            .collect();
+        ArcCache { memo, disk, dir: None, tmp_seq: AtomicU64::new(0) }
     }
 
     /// A two-tier cache persisting each arc under `dir` (created lazily on
@@ -130,59 +156,62 @@ impl ArcCache {
         self.dir.as_ref()
     }
 
-    /// Effectiveness counters since construction.
+    /// The number of memory-tier shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.memo.shard_count()
+    }
+
+    /// Per-shard effectiveness counters, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.memo
+            .shard_stats()
+            .iter()
+            .zip(&self.disk)
+            .map(|(m, d)| CacheStats {
+                memory_hits: m.hits,
+                disk_hits: d.disk_hits.load(Ordering::Relaxed),
+                misses: d.misses.load(Ordering::Relaxed),
+                coalesced: m.coalesced,
+            })
+            .collect()
+    }
+
+    /// Aggregate effectiveness counters since construction (or the last
+    /// [`ArcCache::reset_stats`]).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            memory_hits: self.memory_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for s in self.shard_stats() {
+            total.add(&s);
         }
+        total
     }
 
     /// Resets the effectiveness counters (not the cached entries).
     pub fn reset_stats(&self) {
-        self.memory_hits.store(0, Ordering::Relaxed);
-        self.disk_hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.memo.reset_stats();
+        for d in &self.disk {
+            d.disk_hits.store(0, Ordering::Relaxed);
+            d.misses.store(0, Ordering::Relaxed);
+        }
     }
 
-    /// Looks `key` up in the memory tier, then on disk (promoting a disk
-    /// hit into memory). Records hit/miss statistics.
-    #[must_use]
-    pub fn lookup(&self, key: u64) -> Option<ArcTables> {
-        if let Some(hit) =
-            self.memory.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
-        {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit.clone());
-        }
-        if let Some(tables) = self.dir.as_ref().and_then(|d| read_entry(&d.join(entry_name(key)))) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            self.memory
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .insert(key, tables.clone());
-            return Some(tables);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        None
+    fn disk_counters(&self, key: u64) -> &DiskCounters {
+        &self.disk[self.memo.shard_of(key)]
     }
 
-    /// Stores `tables` under `key` in both tiers. Disk I/O errors are
-    /// swallowed (the cache is an accelerator, never a correctness
-    /// dependency); concurrent writers of the same key are resolved by an
+    /// Reads `key`'s entry from the disk tier without touching counters.
+    fn disk_probe(&self, key: u64) -> Option<ArcTables> {
+        self.dir.as_ref().and_then(|d| read_entry(&d.join(entry_name(key))))
+    }
+
+    /// Writes `tables` to the disk tier (if one is configured). I/O errors
+    /// are swallowed — the cache is an accelerator, never a correctness
+    /// dependency; concurrent writers of the same key are resolved by an
     /// atomic rename.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the table shape is internally inconsistent.
-    pub fn store(&self, key: u64, tables: &ArcTables) {
-        assert!(tables.shape_ok(), "malformed arc tables");
-        self.memory
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, tables.clone());
+    fn disk_store(&self, key: u64, tables: &ArcTables) {
         if let Some(dir) = &self.dir {
             if std::fs::create_dir_all(dir).is_err() {
                 return;
@@ -197,6 +226,71 @@ impl ArcCache {
                 let _ = std::fs::rename(&tmp, dir.join(entry_name(key)));
             }
         }
+    }
+
+    /// Looks `key` up in the memory tier, then on disk (promoting a disk
+    /// hit into memory, so repeated lookups stop paying deserialization).
+    /// Records hit/miss statistics. The returned handle shares the cached
+    /// tables — cloning it never copies the grid data.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Arc<ArcTables>> {
+        if let Some(hit) = self.memo.get(key) {
+            return Some(hit);
+        }
+        if let Some(tables) = self.disk_probe(key) {
+            self.disk_counters(key).disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(self.memo.insert(key, tables));
+        }
+        self.disk_counters(key).misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `tables` under `key` in both tiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table shape is internally inconsistent.
+    pub fn store(&self, key: u64, tables: &ArcTables) {
+        assert!(tables.shape_ok(), "malformed arc tables");
+        let _ = self.memo.insert(key, tables.clone());
+        self.disk_store(key, tables);
+    }
+
+    /// Returns `key`'s tables, computing them with `compute` on a full
+    /// miss. Lookup order: memory tier, disk tier (promoted on hit), then
+    /// `compute` — and concurrent calls for the same key run `compute`
+    /// **once**: the first caller simulates while the rest join its
+    /// in-flight slot and are counted as `coalesced`. The computed tables
+    /// are stored in both tiers before the joined callers wake.
+    ///
+    /// Exactly one of the four [`CacheStats`] counters is bumped per call
+    /// on the success path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (the computing caller only; joined
+    /// callers retry and at most one becomes the next computer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute` returns tables with an inconsistent shape.
+    pub fn get_or_compute<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<ArcTables, E>,
+    ) -> Result<Arc<ArcTables>, E> {
+        let (tables, _outcome) = self.memo.get_or_compute(key, || {
+            if let Some(tables) = self.disk_probe(key) {
+                self.disk_counters(key).disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(tables);
+            }
+            self.disk_counters(key).misses.fetch_add(1, Ordering::Relaxed);
+            let tables = compute()?;
+            assert!(tables.shape_ok(), "malformed arc tables");
+            self.disk_store(key, &tables);
+            Ok(tables)
+        })?;
+        Ok(tables)
     }
 }
 
@@ -343,7 +437,7 @@ mod tests {
         let cache = ArcCache::in_memory();
         assert_eq!(cache.lookup(42), None);
         cache.store(42, &tables(1.0));
-        assert_eq!(cache.lookup(42), Some(tables(1.0)));
+        assert_eq!(cache.lookup(42).as_deref(), Some(&tables(1.0)));
         let stats = cache.stats();
         assert_eq!((stats.memory_hits, stats.disk_hits, stats.misses), (1, 0, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
@@ -376,6 +470,25 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Regression for the promotion contract: after one disk hit the entry
+    /// must be served from memory even if the disk entry disappears.
+    #[test]
+    fn disk_hit_promotes_into_memory_tier() {
+        let dir =
+            std::env::temp_dir().join(format!("reliaware_arccache_promo_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = ArcCache::with_dir(&dir);
+        writer.store(11, &tables(2.0));
+        let reader = ArcCache::with_dir(&dir);
+        assert!(reader.lookup(11).is_some());
+        // Remove the disk entry; the promoted copy must still answer.
+        let _ = std::fs::remove_dir_all(&dir);
+        let hit = reader.lookup(11).expect("promoted entry must be served from memory");
+        assert_eq!(*hit, tables(2.0));
+        let stats = reader.stats();
+        assert_eq!((stats.memory_hits, stats.disk_hits, stats.misses), (1, 1, 0));
+    }
+
     #[test]
     fn corrupt_disk_entry_is_a_miss() {
         let dir =
@@ -387,6 +500,83 @@ mod tests {
         assert_eq!(cache.lookup(9), None);
         assert_eq!(cache.stats().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_compute_fills_both_tiers() {
+        let dir =
+            std::env::temp_dir().join(format!("reliaware_arccache_goc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArcCache::with_dir(&dir);
+        let t = cache.get_or_compute::<()>(3, || Ok(tables(3.0))).unwrap();
+        assert_eq!(*t, tables(3.0));
+        assert_eq!(cache.stats().misses, 1);
+        // Memory hit, no recompute.
+        let t2 = cache.get_or_compute::<()>(3, || panic!("must not recompute")).unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(cache.stats().memory_hits, 1);
+        // A fresh instance sees it through the disk tier.
+        let other = ArcCache::with_dir(&dir);
+        let t3 = other.get_or_compute::<()>(3, || panic!("must hit disk")).unwrap();
+        assert_eq!(*t3, tables(3.0));
+        assert_eq!(other.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_compute_coalesces_identical_keys() {
+        use std::sync::Barrier;
+        let cache = Arc::new(ArcCache::in_memory());
+        let computations = Arc::new(AtomicU64::new(0));
+        let clients = 8;
+        let barrier = Arc::new(Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computations = Arc::clone(&computations);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let t = cache
+                        .get_or_compute::<()>(77, || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(25));
+                            Ok(tables(7.0))
+                        })
+                        .unwrap();
+                    assert_eq!(*t, tables(7.0));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "storm must simulate exactly once");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced + stats.memory_hits, clients as u64 - 1);
+    }
+
+    #[test]
+    fn per_shard_stats_aggregate_to_total() {
+        let cache = ArcCache::in_memory();
+        for key in 0..64u64 {
+            let _ = cache.get_or_compute::<()>(key, || Ok(tables(key as f64)));
+        }
+        for key in 0..64u64 {
+            let _ = cache.lookup(key);
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), cache.shard_count());
+        let mut total = CacheStats::default();
+        for s in &per_shard {
+            total.add(s);
+        }
+        assert_eq!(total, cache.stats());
+        assert_eq!(total.misses, 64);
+        assert_eq!(total.memory_hits, 64);
+        let touched = per_shard.iter().filter(|s| s.lookups() > 0).count();
+        assert_eq!(touched, cache.shard_count(), "sequential keys must touch every shard");
     }
 
     #[test]

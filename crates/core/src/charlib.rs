@@ -407,11 +407,22 @@ impl Characterizer {
         lib
     }
 
-    /// Consults the arc cache (if any), requiring the entry to match the
-    /// configured grid shape.
-    fn cached_tables(&self, key: u64) -> Option<ArcTables> {
-        let t = self.cache.as_ref()?.lookup(key)?;
-        (t.rows == self.config.slews.len() && t.cols == self.config.loads.len()).then_some(t)
+    /// Returns `key`'s tables from the cache — coalescing with any
+    /// identical in-flight computation — or runs `simulate` without a
+    /// cache. A (hash-collision) entry of the wrong grid shape is ignored
+    /// and recomputed directly.
+    fn tables_via_cache(
+        &self,
+        key: u64,
+        simulate: impl Fn() -> Result<ArcTables, CharError>,
+    ) -> Result<Arc<ArcTables>, CharError> {
+        if let Some(cache) = &self.cache {
+            let t = cache.get_or_compute(key, &simulate)?;
+            if t.rows == self.config.slews.len() && t.cols == self.config.loads.len() {
+                return Ok(t);
+            }
+        }
+        Ok(Arc::new(simulate()?))
     }
 
     /// Builds the Liberty arc from (fresh or cached) grid tables. The axes
@@ -494,7 +505,6 @@ impl Characterizer {
         nmos: &MosModel,
         pmos: &MosModel,
     ) -> Result<TimingArc, CharError> {
-        let cfg = &self.config;
         let side = def.sensitizing_assignment(input, output).unwrap_or_default();
         // Output polarity for a rising input under this sensitization.
         let f = def.function(output);
@@ -511,10 +521,25 @@ impl Characterizer {
         let out_rises_with_input = !f.eval(&assign(false)) && f.eval(&assign(true));
 
         let key = self.arc_key(def, "comb", input, output, nmos, pmos);
-        if let Some(t) = self.cached_tables(key) {
-            return Ok(self.arc_from_tables(input, sense, &t));
-        }
+        let tables = self.tables_via_cache(key, || {
+            self.simulate_comb_tables(def, input, output, &side, out_rises_with_input, nmos, pmos)
+        })?;
+        Ok(self.arc_from_tables(input, sense, &tables))
+    }
 
+    /// Runs the OPC-grid transient sweep for one combinational arc.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_comb_tables(
+        &self,
+        def: &CellDef,
+        input: &str,
+        output: &str,
+        side: &[(String, bool)],
+        out_rises_with_input: bool,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Result<ArcTables, CharError> {
+        let cfg = &self.config;
         let rows = cfg.slews.len();
         let cols = cfg.loads.len();
         let mut rise_delay = vec![0.0; rows * cols];
@@ -530,7 +555,7 @@ impl Characterizer {
                         def,
                         input,
                         output,
-                        &side,
+                        side,
                         input_rising,
                         output_rising,
                         slew,
@@ -549,11 +574,7 @@ impl Characterizer {
                 }
             }
         }
-        let tables = ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran };
-        if let Some(cache) = &self.cache {
-            cache.store(key, &tables);
-        }
-        Ok(self.arc_from_tables(input, sense, &tables))
+        Ok(ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran })
     }
 
     /// Runs one transient simulation and measures `(delay, output slew)`.
@@ -607,11 +628,19 @@ impl Characterizer {
         nmos: &MosModel,
         pmos: &MosModel,
     ) -> Result<TimingArc, CharError> {
-        let cfg = &self.config;
         let key = self.arc_key(def, "flop", "CK", "Q", nmos, pmos);
-        if let Some(t) = self.cached_tables(key) {
-            return Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &t));
-        }
+        let tables = self.tables_via_cache(key, || self.simulate_flop_tables(def, nmos, pmos))?;
+        Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables))
+    }
+
+    /// Runs the OPC-grid transient sweep for the CLK→Q arc.
+    fn simulate_flop_tables(
+        &self,
+        def: &CellDef,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Result<ArcTables, CharError> {
+        let cfg = &self.config;
         let rows = cfg.slews.len();
         let cols = cfg.loads.len();
         let mut rise_delay = vec![0.0; rows * cols];
@@ -663,11 +692,7 @@ impl Characterizer {
                 }
             }
         }
-        let tables = ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran };
-        if let Some(cache) = &self.cache {
-            cache.store(key, &tables);
-        }
-        Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables))
+        Ok(ArcTables { rows, cols, rise_delay, fall_delay, rise_tran, fall_tran })
     }
 }
 

@@ -1,0 +1,450 @@
+//! Sharded memoization with in-flight request coalescing.
+//!
+//! [`Coalescer`] is the concurrency primitive behind the characterization
+//! service: a content-keyed memo split into power-of-two shards (so
+//! concurrent readers of different keys never serialize on one lock) whose
+//! values are [`Arc`]-shared (so a hit never deep-copies), plus a
+//! *pending-slot* table per shard. When a computation for key `k` is
+//! already running, later requests for `k` **join** the running slot and
+//! block on its condvar instead of recomputing — under an identical-key
+//! storm of N concurrent requests, the expensive closure runs exactly once
+//! and N−1 requests are *coalesced*.
+//!
+//! Two layers of the flow use it:
+//!
+//! * [`crate::ArcCache`] shards its in-memory arc-table memo through one
+//!   `Coalescer<ArcTables>` (the disk tier hangs off the leader path), and
+//! * the `serve` crate memoizes whole libraries per request key.
+//!
+//! All counters are atomic; [`Coalescer::shard_stats`] exposes them
+//! per shard, [`Coalescer::stats`] aggregated.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+
+/// How a [`Coalescer::get_or_compute`] call was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceOutcome {
+    /// The value was already memoized — answered without blocking.
+    Hit,
+    /// This call ran the computation (it was the *leader* for its key).
+    Computed,
+    /// An identical key was in flight; this call joined its pending slot
+    /// and received the leader's result without recomputing.
+    Coalesced,
+}
+
+/// Counters of one shard's (or the whole memo's) effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoalesceStats {
+    /// Calls answered from the memo.
+    pub hits: u64,
+    /// Calls that ran the computation.
+    pub computed: u64,
+    /// Calls that joined an in-flight computation for the same key.
+    pub coalesced: u64,
+}
+
+impl CoalesceStats {
+    /// Total calls.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.hits + self.computed + self.coalesced
+    }
+
+    /// Fraction of calls that did *not* run the computation — memo hits
+    /// plus coalesced joins; `1.0` for a memo that was never asked.
+    #[must_use]
+    pub fn saved_rate(&self) -> f64 {
+        let total = self.calls();
+        if total == 0 {
+            1.0
+        } else {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+}
+
+/// One in-flight computation: followers block on the condvar until the
+/// leader finishes (successfully or not).
+struct Pending {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Pending {
+    fn new() -> Self {
+        Pending { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Shard<V> {
+    map: RwLock<HashMap<u64, Arc<V>>>,
+    pending: Mutex<HashMap<u64, Arc<Pending>>>,
+    hits: AtomicU64,
+    computed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn probe(&self, key: u64) -> Option<Arc<V>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner).get(&key).cloned()
+    }
+
+    fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Removes the leader's pending slot and wakes all followers even if the
+/// computation panics — followers then retry (and one becomes the next
+/// leader) instead of deadlocking.
+struct SlotGuard<'a, V> {
+    shard: &'a Shard<V>,
+    key: u64,
+    slot: Arc<Pending>,
+}
+
+impl<V> Drop for SlotGuard<'_, V> {
+    fn drop(&mut self) {
+        self.shard.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&self.key);
+        self.slot.finish();
+    }
+}
+
+/// A sharded, coalescing, `Arc`-sharing memo keyed by a caller-provided
+/// 64-bit content hash (see [`crate::KeyHasher`]).
+pub struct Coalescer<V> {
+    shards: Vec<Shard<V>>,
+    mask: usize,
+}
+
+impl<V> std::fmt::Debug for Coalescer<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V> Default for Coalescer<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Coalescer<V> {
+    /// The default shard count — enough that 8–16 concurrent clients with
+    /// distinct keys almost never contend on one lock.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A memo with [`Coalescer::DEFAULT_SHARDS`] shards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A memo with `shards` shards, rounded up to a power of two (min 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Coalescer { shards: (0..n).map(|_| Shard::new()).collect(), mask: n - 1 }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to. The FNV keys fed by [`crate::KeyHasher`]
+    /// mix well in the low bits, so masking suffices.
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key as usize) & self.mask
+    }
+
+    fn shard(&self, key: u64) -> &Shard<V> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Looks `key` up, counting a hit when present. Misses are *not*
+    /// counted here — a bare probe is not a computation request.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let shard = self.shard(key);
+        let hit = shard.probe(key);
+        if hit.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Memoizes `value` under `key` (last writer wins), returning the
+    /// shared handle. Does not touch the counters.
+    pub fn insert(&self, key: u64, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        self.shard(key)
+            .map
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, Arc::clone(&value));
+        value
+    }
+
+    /// Number of memoized entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    /// `true` when no entry is memoized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard counters, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CoalesceStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    /// Aggregate counters across all shards.
+    #[must_use]
+    pub fn stats(&self) -> CoalesceStats {
+        let mut total = CoalesceStats::default();
+        for s in &self.shards {
+            let s = s.stats();
+            total.hits += s.hits;
+            total.computed += s.computed;
+            total.coalesced += s.coalesced;
+        }
+        total
+    }
+
+    /// Resets the counters (not the memoized entries).
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.hits.store(0, Ordering::Relaxed);
+            s.computed.store(0, Ordering::Relaxed);
+            s.coalesced.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing it with `compute`
+    /// when absent. Concurrent calls with the same key run `compute` once:
+    /// the first caller (the *leader*) computes while the others join its
+    /// pending slot and receive the shared result.
+    ///
+    /// Exactly one of the three [`CoalesceOutcome`] counters is bumped per
+    /// call on the success path. When the leader's `compute` fails, its
+    /// error propagates to the leader alone; joined callers wake, find no
+    /// memoized value and retry (one of them becoming the next leader), so
+    /// a transient failure never poisons the key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (leader only).
+    pub fn get_or_compute<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Arc<V>, CoalesceOutcome), E> {
+        let shard = self.shard(key);
+        let mut compute = Some(compute);
+        let mut joined = false;
+        loop {
+            if let Some(hit) = shard.probe(key) {
+                if joined {
+                    shard.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok((hit, CoalesceOutcome::Coalesced));
+                }
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((hit, CoalesceOutcome::Hit));
+            }
+            enum Role {
+                Leader(Arc<Pending>),
+                Follower(Arc<Pending>),
+            }
+            let role = {
+                let mut pending = shard.pending.lock().unwrap_or_else(PoisonError::into_inner);
+                // Double-check under the pending lock: a leader memoizes
+                // *before* releasing its slot, so a value observed here is
+                // complete.
+                if let Some(hit) = shard.probe(key) {
+                    drop(pending);
+                    if joined {
+                        shard.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Ok((hit, CoalesceOutcome::Coalesced));
+                    }
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((hit, CoalesceOutcome::Hit));
+                }
+                match pending.entry(key) {
+                    Entry::Occupied(e) => Role::Follower(Arc::clone(e.get())),
+                    Entry::Vacant(e) => {
+                        let slot = Arc::new(Pending::new());
+                        e.insert(Arc::clone(&slot));
+                        Role::Leader(slot)
+                    }
+                }
+            };
+            match role {
+                Role::Follower(slot) => {
+                    // Join the in-flight computation, then re-probe.
+                    slot.wait();
+                    joined = true;
+                }
+                Role::Leader(slot) => {
+                    // Leader: compute, memoize, then release the slot (the
+                    // guard wakes followers even on unwind).
+                    let _guard = SlotGuard { shard, key, slot };
+                    let Some(compute) = compute.take() else {
+                        unreachable!("leader role is claimed at most once per call")
+                    };
+                    let value = compute()?;
+                    let value = Arc::new(value);
+                    shard
+                        .map
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(key, Arc::clone(&value));
+                    shard.computed.fetch_add(1, Ordering::Relaxed);
+                    return Ok((value, CoalesceOutcome::Computed));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Barrier;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let memo: Coalescer<u32> = Coalescer::with_shards(4);
+        let (v, o) = memo.get_or_compute::<()>(7, || Ok(42)).unwrap();
+        assert_eq!((*v, o), (42, CoalesceOutcome::Computed));
+        let (v, o) = memo.get_or_compute::<()>(7, || panic!("must not recompute")).unwrap();
+        assert_eq!((*v, o), (42, CoalesceOutcome::Hit));
+        assert_eq!(memo.get(7).as_deref(), Some(&42));
+        assert_eq!(memo.get(8), None);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.computed, stats.coalesced), (2, 1, 0));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(Coalescer::<u8>::with_shards(0).shard_count(), 1);
+        assert_eq!(Coalescer::<u8>::with_shards(5).shard_count(), 8);
+        assert_eq!(Coalescer::<u8>::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let memo: Coalescer<u64> = Coalescer::with_shards(16);
+        for key in 0..256u64 {
+            memo.insert(key, key);
+        }
+        let occupied = memo.shards.iter().filter(|s| !s.map.read().unwrap().is_empty()).count();
+        assert_eq!(occupied, 16, "sequential keys must occupy every shard");
+        assert_eq!(memo.len(), 256);
+    }
+
+    #[test]
+    fn identical_key_storm_computes_once() {
+        let memo: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let computations = Arc::new(AtomicU32::new(0));
+        let clients = 8;
+        let barrier = Arc::new(Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let memo = Arc::clone(&memo);
+                let computations = Arc::clone(&computations);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (v, o) = memo
+                        .get_or_compute::<()>(99, || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Long enough that the storm piles onto the slot.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok(1234)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 1234);
+                    o
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "storm must compute exactly once");
+        let computed = outcomes.iter().filter(|o| **o == CoalesceOutcome::Computed).count();
+        assert_eq!(computed, 1);
+        let stats = memo.stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.coalesced + stats.hits, clients as u64 - 1);
+    }
+
+    #[test]
+    fn leader_failure_does_not_poison_the_key() {
+        let memo: Coalescer<u32> = Coalescer::new();
+        let err = memo.get_or_compute(5, || Err::<u32, &str>("transient")).unwrap_err();
+        assert_eq!(err, "transient");
+        let (v, o) = memo.get_or_compute::<&str>(5, || Ok(7)).unwrap();
+        assert_eq!((*v, o), (7, CoalesceOutcome::Computed));
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_all_compute() {
+        let memo: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let handles: Vec<_> = (0..16u64)
+            .map(|k| {
+                let memo = Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    let (v, _) = memo.get_or_compute::<()>(k, || Ok(k * k)).unwrap();
+                    assert_eq!(*v, k * k);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(memo.stats().computed, 16);
+        assert_eq!(memo.len(), 16);
+    }
+}

@@ -254,10 +254,11 @@ impl RunReport {
             Some(c) => {
                 let _ = writeln!(
                     out,
-                    r#"  "cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "hit_rate": {:.4}}}"#,
+                    r#"  "cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "hit_rate": {:.4}}}"#,
                     c.memory_hits,
                     c.disk_hits,
                     c.misses,
+                    c.coalesced,
                     c.hit_rate()
                 );
             }

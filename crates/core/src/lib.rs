@@ -22,10 +22,13 @@
 //! through gate-level DCT→IDCT simulations with aged delays and reports
 //! PSNR — the paper's Figs. 6(c) and 7.
 //!
-//! Characterization performance comes from two supporting modules: [`pool`]
-//! (the shared fine-grained task queue all grid walks drain) and [`cache`]
-//! (a two-tier, content-hashed memo of per-arc simulation results). Both
-//! preserve bit-identical output for any thread count and cache state.
+//! Characterization performance comes from three supporting modules:
+//! [`pool`] (the shared fine-grained task queue all grid walks drain),
+//! [`cache`] (a two-tier, content-hashed memo of per-arc simulation
+//! results, sharded for concurrent clients) and [`coalesce`] (the sharded
+//! in-flight-request coalescer both the cache and the characterization
+//! service build on). All preserve bit-identical output for any thread
+//! count, client count and cache state.
 //!
 //! Failures at every stage are typed ([`FlowError`] and the per-crate
 //! errors it wraps; see [`error`]) and a [`RunContext`] threads cache,
@@ -52,6 +55,7 @@
 pub mod aging_synth;
 pub mod cache;
 pub mod charlib;
+pub mod coalesce;
 pub mod context;
 pub mod dynamic;
 pub mod error;
@@ -64,6 +68,7 @@ pub use aging_synth::{
 };
 pub use cache::{ArcCache, ArcTables, CacheStats, KeyHasher};
 pub use charlib::{CharConfig, Characterizer};
+pub use coalesce::{CoalesceOutcome, CoalesceStats, Coalescer};
 pub use context::{RunContext, RunEvent, RunReport, StageRecord};
 pub use dynamic::{
     dynamic_stress_analysis, dynamic_stress_analysis_with, DutyExtraction, DynamicStressReport,

@@ -1,4 +1,5 @@
 use crate::error::TableError;
+use std::sync::Arc;
 
 /// A 2-D NLDM lookup table indexed by input slew (axis 1) and output load
 /// (axis 2), with bilinear interpolation inside the grid and linear
@@ -10,11 +11,16 @@ use crate::error::TableError;
 /// are supported.
 ///
 /// Values are stored row-major: `values[slew_index * loads + load_index]`.
+///
+/// Axes and values are immutable after construction and `Arc`-backed, so
+/// cloning a table — and therefore a cell or a whole [`crate::Library`] —
+/// shares the grid data instead of deep-copying it. The characterization
+/// service relies on this to serve memoized libraries without copying.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table2d {
-    slew_axis: Vec<f64>,
-    load_axis: Vec<f64>,
-    values: Vec<f64>,
+    slew_axis: Arc<[f64]>,
+    load_axis: Arc<[f64]>,
+    values: Arc<[f64]>,
 }
 
 impl Table2d {
@@ -46,7 +52,11 @@ impl Table2d {
         if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
             return Err(TableError { message: format!("non-finite table value {bad}") });
         }
-        Ok(Table2d { slew_axis, load_axis, values })
+        Ok(Table2d {
+            slew_axis: slew_axis.into(),
+            load_axis: load_axis.into(),
+            values: values.into(),
+        })
     }
 
     /// A degenerate 1×1 table that returns `value` everywhere — the
@@ -109,12 +119,13 @@ impl Table2d {
         a + (b - a) * fl
     }
 
-    /// Applies `f` to every value, producing a new table on the same grid.
+    /// Applies `f` to every value, producing a new table on the same grid
+    /// (the axes are shared, only the values are materialized).
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
         Table2d {
-            slew_axis: self.slew_axis.clone(),
-            load_axis: self.load_axis.clone(),
+            slew_axis: Arc::clone(&self.slew_axis),
+            load_axis: Arc::clone(&self.load_axis),
             values: self.values.iter().map(|&v| f(v)).collect(),
         }
     }
@@ -133,9 +144,9 @@ impl Table2d {
             return Err(TableError { message: "grid mismatch in table combination".into() });
         }
         Ok(Table2d {
-            slew_axis: self.slew_axis.clone(),
-            load_axis: self.load_axis.clone(),
-            values: self.values.iter().zip(&other.values).map(|(&a, &b)| f(a, b)).collect(),
+            slew_axis: Arc::clone(&self.slew_axis),
+            load_axis: Arc::clone(&self.load_axis),
+            values: self.values.iter().zip(other.values.iter()).map(|(&a, &b)| f(a, b)).collect(),
         })
     }
 

@@ -1,0 +1,101 @@
+//! Blocking unix-socket client for the characterization service.
+
+use crate::protocol::{CharRequest, Request, Response, StatsSnapshot};
+use flow::FlowError;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A connected client. One request is in flight per client at a time
+/// (the protocol answers in order on the same stream).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    sequence: u64,
+}
+
+impl Client {
+    /// Connects to the server socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Io`] if the socket is absent or refuses.
+    pub fn connect(socket: &Path) -> Result<Client, FlowError> {
+        let stream =
+            UnixStream::connect(socket).map_err(|e| FlowError::io(socket.display(), &e))?;
+        let writer = stream.try_clone().map_err(|e| FlowError::io(socket.display(), &e))?;
+        Ok(Client { reader: BufReader::new(stream), writer, sequence: 0 })
+    }
+
+    /// Connects, retrying until `timeout` — for racing a freshly spawned
+    /// server whose socket may not be bound yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `timeout` elapses.
+    pub fn connect_with_retry(socket: &Path, timeout: Duration) -> Result<Client, FlowError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    /// Sends `request` and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Io`] for stream failures or EOF, and
+    /// [`FlowError::Usage`] when the response line does not parse.
+    pub fn request(&mut self, request: &Request) -> Result<Response, FlowError> {
+        let mut line = request.to_line();
+        line.push('\n');
+        let io = |e: std::io::Error| FlowError::Io {
+            path: "unix-socket".to_owned(),
+            message: e.to_string(),
+        };
+        self.writer.write_all(line.as_bytes()).map_err(io)?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(io)?;
+        if n == 0 {
+            return Err(FlowError::Io {
+                path: "unix-socket".to_owned(),
+                message: "server closed the connection".to_owned(),
+            });
+        }
+        Response::parse(reply.trim_end())
+            .map_err(|m| FlowError::Usage(format!("unparseable response: {m}")))
+    }
+
+    /// Requests a characterized library, returning the response (which may
+    /// be `Overload` under backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn characterize(&mut self, payload: CharRequest) -> Result<Response, FlowError> {
+        self.sequence += 1;
+        let id = format!("c-{}", self.sequence);
+        self.request(&Request::characterize(&id, payload))
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`], plus [`FlowError::Usage`] if the
+    /// server answers with anything but a stats response.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, FlowError> {
+        self.sequence += 1;
+        let id = format!("s-{}", self.sequence);
+        match self.request(&Request::stats(&id))? {
+            Response::Stats { snapshot, .. } => Ok(snapshot),
+            other => Err(FlowError::Usage(format!("expected stats response, got {other:?}"))),
+        }
+    }
+}

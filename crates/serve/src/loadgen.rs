@@ -1,0 +1,380 @@
+//! Concurrent load generator for the characterization service.
+//!
+//! Replays a configurable mix of requests from N client threads against a
+//! running server and reports throughput, latency percentiles and
+//! cache/coalescing effectiveness. Two deterministic request schedules:
+//!
+//! - [`run_load`] — each client walks its own LCG-driven schedule over a
+//!   shared key space (λ-grid points), with a configurable hot-key skew
+//!   and an optional pre-warming pass;
+//! - [`run_storm`] — every client fires the *same* cold key at the same
+//!   moment (barrier start). The coalescer must collapse the storm to one
+//!   computation; the report carries the server's stats delta so callers
+//!   can assert compute-exactly-once.
+//!
+//! The schedule is seeded (no wall-clock or OS randomness), so a given
+//! config produces the same request sequence on every run.
+
+use crate::client::Client;
+use crate::protocol::{CharRequest, Response, ServedVia, StatsSnapshot};
+use flow::FlowError;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Cells each request asks for.
+    pub cells: Vec<String>,
+    /// Distinct (λp, λn) keys in the key space; keys are spread over a
+    /// `steps × steps`-style diagonal λ-grid.
+    pub unique_keys: usize,
+    /// Probability in `[0, 1]` that a request hits key 0 (the hot key)
+    /// instead of drawing uniformly — models skewed production traffic.
+    pub hot_key_bias: f64,
+    /// Lifetime in years for every request.
+    pub years: f64,
+    /// Pre-warm: issue every key once before timing starts, so the run
+    /// measures warm-cache serving. When false the run is cold.
+    pub warm: bool,
+    /// LCG seed; same seed → same schedule.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// A small deterministic mix: `clients` clients, 16 requests each,
+    /// 4 unique keys, 30 % hot-key bias, warm.
+    #[must_use]
+    pub fn smoke(clients: usize) -> Self {
+        LoadConfig {
+            clients,
+            requests_per_client: 16,
+            cells: vec!["INV_X1".to_owned(), "NAND2_X1".to_owned()],
+            unique_keys: 4,
+            hot_key_bias: 0.3,
+            years: 10.0,
+            warm: true,
+            seed: 0x5eed_10ad_c0de_2016,
+        }
+    }
+
+    /// The request payload for key index `k`.
+    #[must_use]
+    pub fn request_for_key(&self, k: usize) -> CharRequest {
+        let keys = self.unique_keys.max(1);
+        let step = if keys > 1 { k as f64 / (keys - 1) as f64 } else { 0.0 };
+        // Walk the λ-grid diagonal: key 0 is (0, 0), the last key (1, 1).
+        let cells: Vec<&str> = self.cells.iter().map(String::as_str).collect();
+        CharRequest::new(&cells, step, step, self.years)
+    }
+}
+
+/// Latency/throughput/effectiveness summary of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Client threads that ran.
+    pub clients: usize,
+    /// Requests sent (excluding warm-up).
+    pub requests: u64,
+    /// Requests answered with a library.
+    pub ok: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Requests shed with `overload`.
+    pub overloads: u64,
+    /// Responses served from the library memo.
+    pub memo_hits: u64,
+    /// Responses that ran the characterization.
+    pub computed: u64,
+    /// Responses that joined an in-flight computation.
+    pub coalesced: u64,
+    /// Wall-clock seconds for the timed phase.
+    pub seconds: f64,
+    /// Requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Median round-trip latency in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile round-trip latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile round-trip latency in microseconds.
+    pub p99_us: u64,
+    /// Server counter deltas across the timed phase.
+    pub stats_delta: StatsSnapshot,
+}
+
+/// Result of an identical-key storm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormReport {
+    /// Clients that fired.
+    pub clients: usize,
+    /// Responses carrying the library.
+    pub ok: u64,
+    /// How many responses were `computed` (must be 1 for a cold key).
+    pub computed: u64,
+    /// How many responses were `coalesced` or `memo_hit`.
+    pub absorbed: u64,
+    /// Server-side library computations during the storm (stats delta).
+    pub server_computed: u64,
+    /// The served library text (identical across all clients).
+    pub library: String,
+    /// True when every client received byte-identical library text.
+    pub all_identical: bool,
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    /// Numerical Recipes constants; deterministic across platforms.
+    fn next(&mut self) -> u64 {
+        self.0 =
+            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+fn stats_delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsSnapshot {
+    StatsSnapshot {
+        requests: after.requests - before.requests,
+        served: after.served - before.served,
+        errors: after.errors - before.errors,
+        overloads: after.overloads - before.overloads,
+        library: flow::CoalesceStats {
+            hits: after.library.hits - before.library.hits,
+            computed: after.library.computed - before.library.computed,
+            coalesced: after.library.coalesced - before.library.coalesced,
+        },
+        cache: flow::CacheStats {
+            memory_hits: after.cache.memory_hits - before.cache.memory_hits,
+            disk_hits: after.cache.disk_hits - before.cache.disk_hits,
+            misses: after.cache.misses - before.cache.misses,
+            coalesced: after.cache.coalesced - before.cache.coalesced,
+        },
+        library_shards: after.library_shards,
+        cache_shards: after.cache_shards,
+    }
+}
+
+/// Runs the mixed-key load against the server at `socket`.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] when a connection cannot be established or a
+/// client thread panics; per-request errors/overloads are *counted*, not
+/// propagated, so one shed request does not abort the run.
+pub fn run_load(socket: &Path, config: &LoadConfig) -> Result<LoadReport, FlowError> {
+    let mut control = Client::connect_with_retry(socket, Duration::from_secs(5))?;
+    if config.warm {
+        for k in 0..config.unique_keys.max(1) {
+            let response = control.characterize(config.request_for_key(k))?;
+            if let Response::Error { stage, message, .. } = response {
+                return Err(FlowError::Usage(format!("warm-up failed at {stage}: {message}")));
+            }
+        }
+    }
+    let before = control.stats()?;
+
+    let barrier = Arc::new(Barrier::new(config.clients));
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let overloads = Arc::new(AtomicU64::new(0));
+    let memo_hits = Arc::new(AtomicU64::new(0));
+    let computed = Arc::new(AtomicU64::new(0));
+    let coalesced = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for client_index in 0..config.clients {
+        let socket = socket.to_path_buf();
+        let config = config.clone();
+        let barrier = Arc::clone(&barrier);
+        let ok = Arc::clone(&ok);
+        let errors = Arc::clone(&errors);
+        let overloads = Arc::clone(&overloads);
+        let memo_hits = Arc::clone(&memo_hits);
+        let computed = Arc::clone(&computed);
+        let coalesced = Arc::clone(&coalesced);
+        let latencies = Arc::clone(&latencies);
+        threads.push(std::thread::spawn(move || -> Result<(), FlowError> {
+            let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5))?;
+            let mut rng =
+                Lcg(config.seed ^ (client_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut local_latencies = Vec::with_capacity(config.requests_per_client);
+            barrier.wait();
+            for _ in 0..config.requests_per_client {
+                let keys = config.unique_keys.max(1);
+                let key = if rng.unit() < config.hot_key_bias {
+                    0
+                } else {
+                    (rng.next() % keys as u64) as usize
+                };
+                let begun = Instant::now();
+                let response = client.characterize(config.request_for_key(key))?;
+                local_latencies.push(begun.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                match response {
+                    Response::Ok { via, .. } => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        match via {
+                            ServedVia::MemoHit => memo_hits.fetch_add(1, Ordering::Relaxed),
+                            ServedVia::Computed => computed.fetch_add(1, Ordering::Relaxed),
+                            ServedVia::Coalesced => coalesced.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    Response::Error { .. } => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::Overload { .. } => {
+                        overloads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::Stats { .. } => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if let Ok(mut all) = latencies.lock() {
+                all.extend_from_slice(&local_latencies);
+            }
+            Ok(())
+        }));
+    }
+    for t in threads {
+        t.join().map_err(|_| FlowError::Usage("load client panicked".to_owned()))??;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let after = control.stats()?;
+
+    let mut sorted = match latencies.lock() {
+        Ok(all) => all.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    sorted.sort_unstable();
+    let requests = (config.clients * config.requests_per_client) as u64;
+    Ok(LoadReport {
+        clients: config.clients,
+        requests,
+        ok: ok.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        overloads: overloads.load(Ordering::Relaxed),
+        memo_hits: memo_hits.load(Ordering::Relaxed),
+        computed: computed.load(Ordering::Relaxed),
+        coalesced: coalesced.load(Ordering::Relaxed),
+        seconds,
+        throughput_rps: if seconds > 0.0 { requests as f64 / seconds } else { 0.0 },
+        p50_us: percentile(&sorted, 0.50),
+        p95_us: percentile(&sorted, 0.95),
+        p99_us: percentile(&sorted, 0.99),
+        stats_delta: stats_delta(&before, &after),
+    })
+}
+
+/// Fires `clients` simultaneous requests for the *same* key (barrier
+/// start) and reports how the coalescer absorbed the storm.
+///
+/// For a key the server has never seen, `server_computed` is exactly 1
+/// and every other client is absorbed (coalesced, or a memo hit if it
+/// arrived after the leader published).
+///
+/// # Errors
+///
+/// Returns [`FlowError`] for connection failures, client panics, or any
+/// non-`Ok` response (a storm is expected to be fully served).
+pub fn run_storm(
+    socket: &Path,
+    clients: usize,
+    payload: &CharRequest,
+) -> Result<StormReport, FlowError> {
+    let mut control = Client::connect_with_retry(socket, Duration::from_secs(5))?;
+    let before = control.stats()?;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut threads = Vec::new();
+    for _ in 0..clients {
+        let socket = socket.to_path_buf();
+        let payload = payload.clone();
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || -> Result<(ServedVia, String), FlowError> {
+            let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5))?;
+            barrier.wait();
+            match client.characterize(payload)? {
+                Response::Ok { via, library, .. } => Ok((via, library)),
+                other => Err(FlowError::Usage(format!("storm request not served: {other:?}"))),
+            }
+        }));
+    }
+    let mut outcomes = Vec::new();
+    for t in threads {
+        outcomes.push(t.join().map_err(|_| FlowError::Usage("storm client panicked".to_owned()))??);
+    }
+    let after = control.stats()?;
+    let delta = stats_delta(&before, &after);
+    let library = outcomes.first().map(|(_, text)| text.clone()).unwrap_or_default();
+    let all_identical = outcomes.iter().all(|(_, text)| *text == library);
+    let computed = outcomes.iter().filter(|(via, _)| *via == ServedVia::Computed).count() as u64;
+    Ok(StormReport {
+        clients,
+        ok: outcomes.len() as u64,
+        computed,
+        absorbed: outcomes.len() as u64 - computed,
+        server_computed: delta.library.computed,
+        library,
+        all_identical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_spread() {
+        let mut a = Lcg(42);
+        let mut b = Lcg(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        let units: Vec<f64> = (0..1000).map(|_| a.unit()).collect();
+        assert!(units.iter().all(|u| (0.0..1.0).contains(u)));
+        let mean = units.iter().sum::<f64>() / units.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 0.50), 50);
+        assert_eq!(percentile(&us, 0.95), 95);
+        assert_eq!(percentile(&us, 0.99), 99);
+        assert_eq!(percentile(&us, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn key_schedule_spreads_lambda_diagonal() {
+        let config = LoadConfig::smoke(2);
+        let first = config.request_for_key(0);
+        let last = config.request_for_key(config.unique_keys - 1);
+        assert_eq!(first.lambda_pmos, 0.0);
+        assert_eq!(last.lambda_pmos, 1.0);
+        assert_ne!(first.content_key(), last.content_key());
+        // Same key index → same content key (the memo can work).
+        assert_eq!(first.content_key(), config.request_for_key(0).content_key());
+    }
+}

@@ -1,0 +1,542 @@
+//! The `reliaware-serve-v1` request/response line protocol.
+//!
+//! One JSON object per line in each direction. A characterization request
+//! names the cells, the slew/load (OPC) grid, the aging scenario (duty
+//! cycles, years, environment) and the simulator accuracy; the response
+//! carries the characterized library as Liberty-subset text. Because both
+//! the JSON numbers (see [`crate::json::render_f64`]) and the Liberty
+//! writer use shortest round-trip float formatting, a served library is
+//! bit-identical to one produced by calling
+//! [`flow::Characterizer`] directly in the client's process.
+//!
+//! Requests also carry an `op`:
+//!
+//! - `"characterize"` (the default) — produce a library.
+//! - `"stats"` — snapshot the server's cache/coalescing/backpressure
+//!   counters (used by the load generator to verify compute-exactly-once).
+//! - `"ping"` — liveness probe; responds with `status: "ok"` and no body.
+
+use crate::json::{push_escaped, render_f64, Json};
+use flow::{CacheStats, CharConfig, CoalesceStats, KeyHasher};
+use std::fmt::Write as _;
+
+/// The protocol identifier every request and response carries in `v`.
+pub const PROTOCOL: &str = "reliaware-serve-v1";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: String,
+    /// What the client wants.
+    pub op: Op,
+}
+
+/// The request operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Characterize a library under an aging scenario.
+    Characterize(CharRequest),
+    /// Snapshot server counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// The payload of a `characterize` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharRequest {
+    /// Cell names to characterize (must exist in the server's catalog).
+    pub cells: Vec<String>,
+    /// Input-slew axis in seconds; defaults to the server's fast grid.
+    pub slews: Vec<f64>,
+    /// Output-load axis in farad; defaults to the server's fast grid.
+    pub loads: Vec<f64>,
+    /// pMOS duty cycle λp in `[0, 1]`.
+    pub lambda_pmos: f64,
+    /// nMOS duty cycle λn in `[0, 1]`.
+    pub lambda_nmos: f64,
+    /// Lifetime in years the degradation is evaluated at.
+    pub years: f64,
+    /// Junction temperature in kelvin.
+    pub temperature_k: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Integrator accuracy in volts per step.
+    pub max_dv: f64,
+}
+
+impl CharRequest {
+    /// A request for `cells` at `(λp, λn, years)` using `defaults` for the
+    /// OPC grid, environment and accuracy.
+    #[must_use]
+    pub fn new(cells: &[&str], lambda_pmos: f64, lambda_nmos: f64, years: f64) -> Self {
+        let defaults = CharConfig::fast();
+        CharRequest {
+            cells: cells.iter().map(|&c| c.to_owned()).collect(),
+            slews: defaults.slews,
+            loads: defaults.loads,
+            lambda_pmos,
+            lambda_nmos,
+            years,
+            temperature_k: bti::Stress::NOMINAL_TEMPERATURE_K,
+            vdd: defaults.vdd,
+            max_dv: defaults.max_dv,
+        }
+    }
+
+    /// Content hash of everything that determines the served library —
+    /// the server's library-level memoization key. Cell order is
+    /// canonicalized (the output library is name-ordered regardless).
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        let mut names: Vec<&str> = self.cells.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut h = KeyHasher::new();
+        h.str(PROTOCOL).u64(names.len() as u64);
+        for name in names {
+            h.str(name);
+        }
+        h.f64s(&self.slews).f64s(&self.loads);
+        h.f64(self.lambda_pmos)
+            .f64(self.lambda_nmos)
+            .f64(self.years)
+            .f64(self.temperature_k)
+            .f64(self.vdd)
+            .f64(self.max_dv);
+        h.finish()
+    }
+}
+
+impl Request {
+    /// Builds a characterize request.
+    #[must_use]
+    pub fn characterize(id: &str, payload: CharRequest) -> Self {
+        Request { id: id.to_owned(), op: Op::Characterize(payload) }
+    }
+
+    /// Builds a stats request.
+    #[must_use]
+    pub fn stats(id: &str) -> Self {
+        Request { id: id.to_owned(), op: Op::Stats }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a wrong or
+    /// missing protocol version, an unknown op, or missing/ill-typed
+    /// fields. The server turns this into a `status: "error"` response
+    /// with stage `"usage"`.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line)?;
+        let version = doc.get("v").and_then(Json::as_str).unwrap_or("");
+        if version != PROTOCOL {
+            return Err(format!("expected v = \"{PROTOCOL}\", got \"{version}\""));
+        }
+        let id = doc.get("id").and_then(Json::as_str).unwrap_or("").to_owned();
+        let op = doc.get("op").and_then(Json::as_str).unwrap_or("characterize");
+        match op {
+            "characterize" => Ok(Request { id, op: Op::Characterize(parse_char(&doc)?) }),
+            "stats" => Ok(Request { id, op: Op::Stats }),
+            "ping" => Ok(Request { id, op: Op::Ping }),
+            other => Err(format!("unknown op \"{other}\"")),
+        }
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"v\":");
+        push_escaped(&mut out, PROTOCOL);
+        out.push_str(",\"id\":");
+        push_escaped(&mut out, &self.id);
+        match &self.op {
+            Op::Stats => out.push_str(",\"op\":\"stats\""),
+            Op::Ping => out.push_str(",\"op\":\"ping\""),
+            Op::Characterize(c) => {
+                out.push_str(",\"op\":\"characterize\",\"cells\":[");
+                for (i, cell) in c.cells.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(&mut out, cell);
+                }
+                out.push(']');
+                push_axis(&mut out, "slews", &c.slews);
+                push_axis(&mut out, "loads", &c.loads);
+                for (k, v) in [
+                    ("lambda_pmos", c.lambda_pmos),
+                    ("lambda_nmos", c.lambda_nmos),
+                    ("years", c.years),
+                    ("temperature_k", c.temperature_k),
+                    ("vdd", c.vdd),
+                    ("max_dv", c.max_dv),
+                ] {
+                    let _ = write!(out, ",\"{k}\":{}", render_f64(v));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_axis(out: &mut String, name: &str, values: &[f64]) {
+    let _ = write!(out, ",\"{name}\":[");
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_f64(v));
+    }
+    out.push(']');
+}
+
+fn parse_char(doc: &Json) -> Result<CharRequest, String> {
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"cells\" array")?
+        .iter()
+        .map(|c| c.as_str().map(str::to_owned).ok_or("non-string cell name"))
+        .collect::<Result<Vec<_>, _>>()?;
+    if cells.is_empty() {
+        return Err("\"cells\" must not be empty".to_owned());
+    }
+    let axis = |name: &str, default: Vec<f64>| -> Result<Vec<f64>, String> {
+        match doc.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| format!("\"{name}\" must be an array"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric \"{name}\" entry")))
+                .collect(),
+        }
+    };
+    let num = |name: &str| -> Result<f64, String> {
+        doc.get(name).and_then(Json::as_f64).ok_or_else(|| format!("missing numeric \"{name}\""))
+    };
+    let num_or = |name: &str, default: f64| -> Result<f64, String> {
+        match doc.get(name) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or_else(|| format!("\"{name}\" must be a number")),
+        }
+    };
+    let defaults = CharConfig::fast();
+    Ok(CharRequest {
+        cells,
+        slews: axis("slews", defaults.slews)?,
+        loads: axis("loads", defaults.loads)?,
+        lambda_pmos: num("lambda_pmos")?,
+        lambda_nmos: num("lambda_nmos")?,
+        years: num("years")?,
+        temperature_k: num_or("temperature_k", bti::Stress::NOMINAL_TEMPERATURE_K)?,
+        vdd: num_or("vdd", defaults.vdd)?,
+        max_dv: num_or("max_dv", defaults.max_dv)?,
+    })
+}
+
+/// How the server satisfied a characterize request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// The library was in the memo.
+    MemoHit,
+    /// This request ran the characterization.
+    Computed,
+    /// The request joined an identical in-flight computation.
+    Coalesced,
+}
+
+impl ServedVia {
+    /// The wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedVia::MemoHit => "memo_hit",
+            ServedVia::Computed => "computed",
+            ServedVia::Coalesced => "coalesced",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "memo_hit" => Some(ServedVia::MemoHit),
+            "computed" => Some(ServedVia::Computed),
+            "coalesced" => Some(ServedVia::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// A snapshot of the server's counters, returned by the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Requests accepted (parsed, any op).
+    pub requests: u64,
+    /// Characterize requests answered with a library.
+    pub served: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Requests shed with an `overload` response.
+    pub overloads: u64,
+    /// Library-level memo counters.
+    pub library: CoalesceStats,
+    /// Arc-level cache counters (zero when the server runs uncached).
+    pub cache: CacheStats,
+    /// Shards in the library memo.
+    pub library_shards: u64,
+    /// Shards in the arc cache.
+    pub cache_shards: u64,
+}
+
+impl StatsSnapshot {
+    fn fields(&self) -> [(&'static str, u64); 13] {
+        [
+            ("requests", self.requests),
+            ("served", self.served),
+            ("errors", self.errors),
+            ("overloads", self.overloads),
+            ("lib_hits", self.library.hits),
+            ("lib_computed", self.library.computed),
+            ("lib_coalesced", self.library.coalesced),
+            ("lib_shards", self.library_shards),
+            ("cache_memory_hits", self.cache.memory_hits),
+            ("cache_disk_hits", self.cache.disk_hits),
+            ("cache_misses", self.cache.misses),
+            ("cache_coalesced", self.cache.coalesced),
+            ("cache_shards", self.cache_shards),
+        ]
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A characterized library (Liberty-subset text) — or an empty body
+    /// for `ping`.
+    Ok {
+        /// Echoed request id.
+        id: String,
+        /// How the library was produced.
+        via: ServedVia,
+        /// Server-side service time in microseconds.
+        micros: u64,
+        /// The Liberty-subset library text; empty for `ping`.
+        library: String,
+    },
+    /// Counter snapshot for a `stats` request.
+    Stats {
+        /// Echoed request id.
+        id: String,
+        /// The counters.
+        snapshot: StatsSnapshot,
+    },
+    /// The request failed; mirrors [`flow::FlowError`]'s stage taxonomy.
+    Error {
+        /// Echoed request id (may be empty if the line didn't parse).
+        id: String,
+        /// Failing flow stage (`usage`, `characterize`, `io`, …).
+        stage: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The server is at capacity; retry later. This is the backpressure
+    /// contract: the connection stays open and well-formed.
+    Overload {
+        /// Echoed request id.
+        id: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"v\":");
+        push_escaped(&mut out, PROTOCOL);
+        out.push_str(",\"id\":");
+        match self {
+            Response::Ok { id, via, micros, library } => {
+                push_escaped(&mut out, id);
+                let _ = write!(out, ",\"status\":\"ok\",\"via\":\"{}\"", via.as_str());
+                let _ = write!(out, ",\"micros\":{micros},\"library\":");
+                push_escaped(&mut out, library);
+            }
+            Response::Stats { id, snapshot } => {
+                push_escaped(&mut out, id);
+                out.push_str(",\"status\":\"stats\"");
+                for (k, v) in snapshot.fields() {
+                    let _ = write!(out, ",\"{k}\":{v}");
+                }
+            }
+            Response::Error { id, stage, message } => {
+                push_escaped(&mut out, id);
+                out.push_str(",\"status\":\"error\",\"stage\":");
+                push_escaped(&mut out, stage);
+                out.push_str(",\"message\":");
+                push_escaped(&mut out, message);
+            }
+            Response::Overload { id } => {
+                push_escaped(&mut out, id);
+                out.push_str(",\"status\":\"overload\"");
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or an unknown `status`.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line)?;
+        let id = doc.get("id").and_then(Json::as_str).unwrap_or("").to_owned();
+        let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+        let count = |name: &str| -> u64 {
+            doc.get(name).and_then(Json::as_f64).map_or(0, |v| v.max(0.0) as u64)
+        };
+        match status {
+            "ok" => {
+                let via = doc
+                    .get("via")
+                    .and_then(Json::as_str)
+                    .and_then(ServedVia::parse)
+                    .ok_or("missing or unknown \"via\"")?;
+                Ok(Response::Ok {
+                    id,
+                    via,
+                    micros: count("micros"),
+                    library: doc.get("library").and_then(Json::as_str).unwrap_or("").to_owned(),
+                })
+            }
+            "stats" => Ok(Response::Stats {
+                id,
+                snapshot: StatsSnapshot {
+                    requests: count("requests"),
+                    served: count("served"),
+                    errors: count("errors"),
+                    overloads: count("overloads"),
+                    library: CoalesceStats {
+                        hits: count("lib_hits"),
+                        computed: count("lib_computed"),
+                        coalesced: count("lib_coalesced"),
+                    },
+                    cache: CacheStats {
+                        memory_hits: count("cache_memory_hits"),
+                        disk_hits: count("cache_disk_hits"),
+                        misses: count("cache_misses"),
+                        coalesced: count("cache_coalesced"),
+                    },
+                    library_shards: count("lib_shards"),
+                    cache_shards: count("cache_shards"),
+                },
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                stage: doc.get("stage").and_then(Json::as_str).unwrap_or("").to_owned(),
+                message: doc.get("message").and_then(Json::as_str).unwrap_or("").to_owned(),
+            }),
+            "overload" => Ok(Response::Overload { id }),
+            other => Err(format!("unknown status \"{other}\"")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterize_request_round_trips() {
+        let req =
+            Request::characterize("r-1", CharRequest::new(&["INV_X1", "NAND2_X1"], 0.4, 0.6, 10.0));
+        let line = req.to_line();
+        let back = Request::parse(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn defaults_fill_optional_fields() {
+        let line = format!(
+            "{{\"v\":\"{PROTOCOL}\",\"id\":\"x\",\"cells\":[\"INV_X1\"],\
+             \"lambda_pmos\":1,\"lambda_nmos\":1,\"years\":10}}"
+        );
+        let req = Request::parse(&line).unwrap();
+        let Op::Characterize(c) = req.op else { panic!("wrong op") };
+        let defaults = CharConfig::fast();
+        assert_eq!(c.slews, defaults.slews);
+        assert_eq!(c.loads, defaults.loads);
+        assert_eq!(c.vdd, defaults.vdd);
+        assert_eq!(c.max_dv, defaults.max_dv);
+        assert_eq!(c.temperature_k, bti::Stress::NOMINAL_TEMPERATURE_K);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_bad_fields() {
+        assert!(Request::parse("{\"v\":\"other-proto\",\"op\":\"stats\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        let no_cells =
+            format!("{{\"v\":\"{PROTOCOL}\",\"lambda_pmos\":1,\"lambda_nmos\":1,\"years\":1}}");
+        assert!(Request::parse(&no_cells).is_err());
+        let empty_cells = format!(
+            "{{\"v\":\"{PROTOCOL}\",\"cells\":[],\"lambda_pmos\":1,\"lambda_nmos\":1,\"years\":1}}"
+        );
+        assert!(Request::parse(&empty_cells).is_err());
+        let bad_op = format!("{{\"v\":\"{PROTOCOL}\",\"op\":\"reboot\"}}");
+        assert!(Request::parse(&bad_op).is_err());
+    }
+
+    #[test]
+    fn content_key_canonicalizes_cell_order_only() {
+        let a = CharRequest::new(&["INV_X1", "NAND2_X1"], 0.4, 0.6, 10.0);
+        let b = CharRequest::new(&["NAND2_X1", "INV_X1"], 0.4, 0.6, 10.0);
+        assert_eq!(a.content_key(), b.content_key());
+        let c = CharRequest { lambda_pmos: 0.5, ..a.clone() };
+        assert_ne!(a.content_key(), c.content_key());
+        let d = CharRequest { slews: vec![1e-12, 2e-12], ..a.clone() };
+        assert_ne!(a.content_key(), d.content_key());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok {
+                id: "a".into(),
+                via: ServedVia::Coalesced,
+                micros: 1234,
+                library: "library (aged) {\n}\n".into(),
+            },
+            Response::Stats {
+                id: "b".into(),
+                snapshot: StatsSnapshot {
+                    requests: 10,
+                    served: 7,
+                    errors: 1,
+                    overloads: 2,
+                    library: CoalesceStats { hits: 3, computed: 2, coalesced: 2 },
+                    cache: CacheStats { memory_hits: 5, disk_hits: 1, misses: 9, coalesced: 0 },
+                    library_shards: 16,
+                    cache_shards: 16,
+                },
+            },
+            Response::Error {
+                id: "c".into(),
+                stage: "usage".into(),
+                message: "missing \"cells\"".into(),
+            },
+            Response::Overload { id: "d".into() },
+        ];
+        for resp in cases {
+            let line = resp.to_line();
+            assert_eq!(Response::parse(&line).unwrap(), resp, "line {line}");
+        }
+    }
+}

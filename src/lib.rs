@@ -25,6 +25,9 @@
 //! - [`imgproc`] — image utilities and PSNR for the system-level study
 //! - [`flow`] — the paper's flow: degradation-aware library creation,
 //!   guardband estimation, aging-aware synthesis, system-level evaluation
+//! - [`serve`] — the characterization service: a unix-socket daemon with a
+//!   sharded library memo, in-flight request coalescing and typed
+//!   backpressure, plus its client and load generator
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -39,6 +42,7 @@ pub use lint;
 pub use logicsim;
 pub use netlist;
 pub use ptm;
+pub use serve;
 pub use spicesim;
 pub use sta;
 pub use stdcells;

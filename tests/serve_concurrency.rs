@@ -1,0 +1,204 @@
+//! Concurrency contract of the characterization service: many clients,
+//! overlapping keys, one source of truth.
+//!
+//! Two guarantees are asserted end to end over the real unix-socket
+//! protocol:
+//!
+//! 1. **Bit-identity** — whatever mix of memo hits, coalesced joins and
+//!    fresh computations serves a request, every client receives library
+//!    text byte-identical to a direct in-process [`Characterizer`] run;
+//! 2. **Compute exactly once** — an identical-key storm from N clients
+//!    performs one characterization; N−1 requests are absorbed by the
+//!    coalescer (or the memo, if they arrive after the leader publishes).
+
+use reliaware::flow::{CharConfig, Characterizer};
+use reliaware::liberty::write_library;
+use reliaware::serve::{CharRequest, Client, Response, ServeConfig, Server, ServerHandle};
+use reliaware::stdcells::CellSet;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A deliberately tiny request (one cell, 2×2 grid, relaxed accuracy) so
+/// a computation is milliseconds, keeping the tests fast even when every
+/// unique key must be characterized once.
+fn tiny_request(lambda: f64, years: f64) -> CharRequest {
+    let mut req = CharRequest::new(&["INV_X1"], lambda, lambda, years);
+    req.slews = vec![10e-12, 300e-12];
+    req.loads = vec![1e-15, 10e-15];
+    req.max_dv = 8e-3;
+    req
+}
+
+/// What the server must serve: a direct, in-process characterization of
+/// the same request, rendered through the same Liberty writer.
+fn direct_text(req: &CharRequest) -> String {
+    let scenario = reliaware::bti::AgingScenario::new(
+        reliaware::bti::DutyCycle::new(req.lambda_pmos).expect("valid λp"),
+        reliaware::bti::DutyCycle::new(req.lambda_nmos).expect("valid λn"),
+        req.years,
+    )
+    .with_environment(req.temperature_k, req.vdd);
+    let config = CharConfig {
+        vdd: req.vdd,
+        slews: req.slews.clone(),
+        loads: req.loads.clone(),
+        max_dv: req.max_dv,
+        parallelism: 1,
+        ..CharConfig::fast()
+    };
+    let names: Vec<&str> = req.cells.iter().map(String::as_str).collect();
+    let chars = Characterizer::for_named_cells(&CellSet::nangate45_like(), &names, config)
+        .expect("known cells");
+    write_library(&chars.library(&scenario).expect("characterization"))
+}
+
+fn spawn_server(tag: &str) -> (ServerHandle, PathBuf) {
+    let socket =
+        std::env::temp_dir().join(format!("reliaware_test_{tag}_{}.sock", std::process::id()));
+    let mut config = ServeConfig::new(&socket);
+    config.max_inflight = 16;
+    let handle = Server::bind(config, CellSet::nangate45_like()).expect("bind test socket").spawn();
+    (handle, socket)
+}
+
+#[test]
+fn eight_concurrent_clients_get_bit_identical_libraries() {
+    let (handle, socket) = spawn_server("identical");
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 6;
+    // Three unique keys; every client walks all of them repeatedly, so
+    // every key is requested by every client and keys overlap in flight.
+    let keys = [0.0, 0.5, 1.0];
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for client_index in 0..CLIENTS {
+        let socket = socket.clone();
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect_with_retry(&socket, Duration::from_secs(5)).expect("connect");
+            barrier.wait();
+            let mut served: Vec<(usize, String)> = Vec::new();
+            for r in 0..REQUESTS {
+                let k = (client_index + r) % keys.len();
+                match client.characterize(tiny_request(keys[k], 10.0)).expect("request") {
+                    Response::Ok { library, .. } => served.push((k, library)),
+                    other => panic!("client {client_index} not served: {other:?}"),
+                }
+            }
+            served
+        }));
+    }
+
+    let mut by_key: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for t in threads {
+        for (k, text) in t.join().expect("client thread") {
+            by_key.entry(k).or_default().push(text);
+        }
+    }
+    let stats = handle.stats();
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+
+    assert_eq!(by_key.len(), keys.len(), "every key must have been served");
+    for (k, copies) in &by_key {
+        let reference = direct_text(&tiny_request(keys[*k], 10.0));
+        assert_eq!(copies.len(), CLIENTS * REQUESTS / keys.len());
+        for copy in copies {
+            assert_eq!(
+                copy, &reference,
+                "served library for key {k} must be bit-identical to direct output"
+            );
+        }
+    }
+    // However the 48 requests interleaved, only the 3 unique keys were
+    // ever computed; everything else was a memo hit or a coalesced join.
+    assert_eq!(stats.library.computed, keys.len() as u64, "one computation per unique key");
+    assert_eq!(
+        stats.library.hits + stats.library.coalesced,
+        (CLIENTS * REQUESTS - keys.len()) as u64,
+        "all other requests absorbed by memo or coalescer"
+    );
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.overloads, 0);
+}
+
+#[test]
+fn coalesced_storms_compute_each_unique_key_exactly_once() {
+    let (handle, socket) = spawn_server("storm");
+    const CLIENTS: usize = 8;
+    // Two storms on two distinct cold keys, back to back.
+    for (round, years) in [7.0, 3.0].into_iter().enumerate() {
+        let barrier = Arc::new(Barrier::new(CLIENTS));
+        let mut threads = Vec::new();
+        for _ in 0..CLIENTS {
+            let socket = socket.clone();
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&socket, Duration::from_secs(5)).expect("connect");
+                barrier.wait();
+                match client.characterize(tiny_request(1.0, years)).expect("request") {
+                    Response::Ok { library, .. } => library,
+                    other => panic!("storm request not served: {other:?}"),
+                }
+            }));
+        }
+        let texts: Vec<String> = threads.into_iter().map(|t| t.join().expect("client")).collect();
+        assert!(
+            texts.windows(2).all(|w| w[0] == w[1]),
+            "storm round {round}: all clients must receive identical text"
+        );
+        let stats = handle.stats();
+        assert_eq!(
+            stats.library.computed,
+            round as u64 + 1,
+            "storm round {round}: exactly one computation per unique key"
+        );
+        assert_eq!(
+            stats.library.hits + stats.library.coalesced,
+            (round + 1) as u64 * (CLIENTS - 1) as u64,
+            "storm round {round}: the other {} requests were absorbed",
+            CLIENTS - 1
+        );
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_typed_errors_not_disconnects() {
+    let (handle, socket) = spawn_server("errors");
+    let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5)).expect("connect");
+
+    // Unknown cell: a typed characterize-stage error, connection survives.
+    let bad_cell = CharRequest::new(&["NOT_A_CELL"], 1.0, 1.0, 10.0);
+    match client.characterize(bad_cell).expect("transport must survive") {
+        Response::Error { stage, message, .. } => {
+            assert_eq!(stage, "usage");
+            assert!(message.contains("NOT_A_CELL"), "message: {message}");
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // Invalid duty cycle: same contract.
+    let bad_duty = CharRequest::new(&["INV_X1"], 1.5, 1.0, 10.0);
+    match client.characterize(bad_duty).expect("transport must survive") {
+        Response::Error { stage, .. } => assert_eq!(stage, "usage"),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // The same connection still serves a good request afterwards.
+    match client.characterize(tiny_request(1.0, 10.0)).expect("request") {
+        Response::Ok { library, .. } => assert!(library.starts_with("library (")),
+        other => panic!("good request after errors not served: {other:?}"),
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.served, 1);
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
