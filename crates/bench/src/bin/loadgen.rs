@@ -27,12 +27,12 @@
 //!         [--min-scaling X] [--out DIR]
 //! ```
 
+use bench::loadreport::LoadgenRecord;
 use flow::{CharConfig, Characterizer, FlowError};
 use liberty::write_library;
 use serve::{
     run_load, run_storm, CharRequest, LoadConfig, LoadReport, ServeConfig, Server, StormReport,
 };
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -297,15 +297,19 @@ fn run() -> Result<(), FlowError> {
             ..LoadConfig::smoke(clients)
         };
         let report = run_load(&socket, &config)?;
+        let d = &report.stats_delta;
         println!(
-            "  load c={clients:<3}                   {:>8.1} rps  p50 {:>6} µs  p95 {:>6} µs  p99 {:>6} µs  (memo {} / coalesced {} / computed {})",
+            "  load c={clients:<3}                   {:>8.1} rps  p50 {:>6} µs  p95 {:>6} µs  p99 {:>6} µs  (memo {} / coalesced {} / computed {}; tier0 {} hit / {} fallback / {} refit)",
             report.throughput_rps,
             report.p50_us,
             report.p95_us,
             report.p99_us,
             report.memo_hits,
             report.coalesced,
-            report.computed
+            report.computed,
+            d.cache.tier0_hits,
+            d.cache.tier0_fallbacks,
+            d.tier0_refits
         );
         if report.errors > 0 {
             return Err(FlowError::Usage(format!(
@@ -338,7 +342,21 @@ fn run() -> Result<(), FlowError> {
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let stamp = bench::utc_stamp(unix_time);
-    let json = render_json(&opts, unix_time, &stamp, &storm, shed, &loads, scaling);
+    let json = LoadgenRecord {
+        mode: if opts.smoke { "smoke" } else { "full" },
+        clients: &opts.clients,
+        requests_per_client: opts.requests,
+        unique_keys: opts.keys,
+        hot_key_bias: opts.bias,
+        warm: !opts.cold,
+        unix_time,
+        stamp: &stamp,
+        storm: &storm,
+        shed,
+        loads: &loads,
+        scaling,
+    }
+    .to_json();
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| FlowError::io(opts.out_dir.display(), &e))?;
     let path = opts.out_dir.join(format!("BENCH_{stamp}_loadgen.json"));
@@ -386,88 +404,6 @@ fn scaling_ratio(loads: &[LoadReport]) -> Option<f64> {
         return None;
     }
     Some(last.throughput_rps / first.throughput_rps)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    opts: &Options,
-    unix_time: u64,
-    stamp: &str,
-    storm: &StormReport,
-    shed: Option<(u64, u64)>,
-    loads: &[LoadReport],
-    scaling: Option<f64>,
-) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, r#"  "schema": "reliaware-loadgen-v1","#);
-    let _ = writeln!(out, r#"  "stamp": "{stamp}","#);
-    let _ = writeln!(out, r#"  "unix_time": {unix_time},"#);
-    let _ = writeln!(
-        out,
-        r#"  "machine": {{"threads_available": {}, "os": "{}", "arch": "{}"}},"#,
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
-        std::env::consts::OS,
-        std::env::consts::ARCH
-    );
-    let _ = writeln!(
-        out,
-        r#"  "config": {{"mode": "{}", "clients": {:?}, "requests_per_client": {}, "unique_keys": {}, "hot_key_bias": {}, "warm": {}}},"#,
-        if opts.smoke { "smoke" } else { "full" },
-        opts.clients,
-        opts.requests,
-        opts.keys,
-        opts.bias,
-        !opts.cold
-    );
-    let _ = writeln!(
-        out,
-        r#"  "storm": {{"clients": {}, "computed": {}, "absorbed": {}, "server_computed": {}, "all_identical": {}, "bit_identical_to_direct": true}},"#,
-        storm.clients, storm.computed, storm.absorbed, storm.server_computed, storm.all_identical
-    );
-    if let Some((overloads, served)) = shed {
-        let _ = writeln!(out, r#"  "shed": {{"overloads": {overloads}, "served": {served}}},"#);
-    }
-    let _ = writeln!(out, r#"  "loads": ["#);
-    for (k, r) in loads.iter().enumerate() {
-        let comma = if k + 1 == loads.len() { "" } else { "," };
-        let d = &r.stats_delta;
-        let _ = writeln!(
-            out,
-            r#"    {{"clients": {}, "requests": {}, "ok": {}, "errors": {}, "overloads": {}, "seconds": {:.6}, "throughput_rps": {:.3}, "p50_us": {}, "p95_us": {}, "p99_us": {}, "memo_hits": {}, "computed": {}, "coalesced": {}, "server": {{"lib_hits": {}, "lib_computed": {}, "lib_coalesced": {}, "cache_memory_hits": {}, "cache_disk_hits": {}, "cache_misses": {}, "cache_coalesced": {}}}}}{comma}"#,
-            r.clients,
-            r.requests,
-            r.ok,
-            r.errors,
-            r.overloads,
-            r.seconds,
-            r.throughput_rps,
-            r.p50_us,
-            r.p95_us,
-            r.p99_us,
-            r.memo_hits,
-            r.computed,
-            r.coalesced,
-            d.library.hits,
-            d.library.computed,
-            d.library.coalesced,
-            d.cache.memory_hits,
-            d.cache.disk_hits,
-            d.cache.misses,
-            d.cache.coalesced
-        );
-    }
-    let _ = writeln!(out, "  ],");
-    match scaling {
-        Some(ratio) => {
-            let _ = writeln!(out, r#"  "throughput_scaling": {ratio:.4}"#);
-        }
-        None => {
-            let _ = writeln!(out, r#"  "throughput_scaling": null"#);
-        }
-    }
-    let _ = writeln!(out, "}}");
-    out
 }
 
 fn main() -> ExitCode {

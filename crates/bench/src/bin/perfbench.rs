@@ -19,7 +19,12 @@
 //! 8. the characterization service: an in-process server is stormed with
 //!    identical requests (must collapse to exactly one computation) and
 //!    then driven through a warm concurrent load phase, recording
-//!    throughput and latency percentiles.
+//!    throughput and latency percentiles,
+//! 9. the tier-0 learned surrogate: a collect-only tier harvests training
+//!    samples from a λ-grid characterization, the refit model then serves
+//!    **novel off-grid** λ points without simulation, timed against the
+//!    full-simulation reference — the measured error must respect the
+//!    conformal budget and the smoke-mode speedup must clear 20×.
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
 //! twin before reporting a speedup; instrumentation is observational, so
@@ -33,8 +38,8 @@
 //! `--smoke` pins a tiny grid for CI; the default configuration is sized
 //! for a workstation run (a few minutes on one core).
 
-use bti::AgingScenario;
-use flow::{ArcCache, CharConfig, Characterizer, FlowError, RunContext};
+use bti::{AgingScenario, DutyCycle};
+use flow::{ArcCache, CharConfig, Characterizer, FlowError, RunContext, SurrogateTier};
 use sta::{analyze, Constraints};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -493,6 +498,115 @@ fn run() -> Result<(), FlowError> {
         let _ = std::fs::remove_file(&socket);
     }
 
+    // 9. Tier-0 learned surrogate: a collect-only tier (budget 0) harvests
+    // training samples from a λ-grid characterization while staying
+    // bit-exact, the refit model then serves *novel off-grid* λ points with
+    // no simulation at all — timed against the full-simulation reference.
+    // The serving run must stay inside the conformal error budget, fall
+    // back on nothing, and (smoke mode) clear a 20× speedup.
+    {
+        // The serving budget must clear the split-conformal class bounds
+        // (safety-inflated worst calibration error, ~0.08–0.11 on this
+        // grid); the *actual* novel-point error lands well under it.
+        let budget = 0.15;
+        let sur_cells = ["INV_X1", "NAND2_X1"];
+        let sur_set = CellSet::nangate45_like().subset(&sur_cells);
+        let config = char_config(&opts, opts.threads);
+
+        let collect = Arc::new(SurrogateTier::new(0.0));
+        let trainer = Characterizer::new(sur_set.clone(), config.clone())?
+            .with_cache(Arc::new(ArcCache::in_memory().with_tier0(Arc::clone(&collect))));
+        // 4 λ steps (25 scenarios) is the floor at which the degree-2
+        // polynomial fit pins off-grid points inside the budget.
+        let train_steps: u32 = if opts.smoke { 4 } else { 6 };
+        let (r, train_secs) = time(|| trainer.complete_library(train_steps, 10.0));
+        r?;
+        let train_samples = collect.refit_now() as u64;
+        let model = collect
+            .model()
+            .ok_or_else(|| FlowError::Usage("surrogate training produced no model".into()))?;
+        let train_points = (u64::from(train_steps) + 1) * (u64::from(train_steps) + 1);
+        report(
+            &ctx,
+            &mut stages,
+            "surrogate_train_grid",
+            train_secs,
+            train_points,
+            format!(
+                r#""grid_points": {train_points}, "cells": {}, "classes": {}, "samples": {train_samples}"#,
+                sur_cells.len(),
+                model.len()
+            ),
+        );
+
+        // Novel λ points: deliberately off the training grid.
+        let lambda = |v: f64| DutyCycle::new(v).map_err(|e| FlowError::Usage(e.to_string()));
+        let novel: Vec<AgingScenario> = [(0.37, 0.81), (0.63, 0.19), (0.11, 0.52)]
+            .iter()
+            .map(|&(p, n)| Ok(AgingScenario::new(lambda(p)?, lambda(n)?, 10.0)))
+            .collect::<Result<_, FlowError>>()?;
+
+        // Reference: full simulation of the novel points, with a second
+        // collect-only tier harvesting their exact tables for the error
+        // measurement (observation is memory-only and bit-neutral — proven
+        // against a direct, uncached characterization below).
+        let harvest = Arc::new(SurrogateTier::new(0.0));
+        let ref_char = Characterizer::new(sur_set.clone(), config.clone())?
+            .with_cache(Arc::new(ArcCache::in_memory().with_tier0(Arc::clone(&harvest))));
+        let (r, ref_secs) =
+            time(|| novel.iter().map(|s| ref_char.library(s)).collect::<Result<Vec<_>, _>>());
+        let ref_libs = r?;
+        let direct = Characterizer::new(sur_set.clone(), config.clone())?.library(&novel[0])?;
+        assert_eq!(
+            direct, ref_libs[0],
+            "collect-only tier must stay bit-identical to direct characterization"
+        );
+
+        let eval = model.evaluate(&harvest.samples());
+        assert_eq!(eval.skipped, 0, "model must cover every novel arc class");
+        assert!(
+            eval.max_rel <= budget,
+            "novel-point error {:.6} exceeds the {budget} budget",
+            eval.max_rel
+        );
+
+        // Serving run: same novel points, simulator never invoked.
+        let serving = Arc::new(SurrogateTier::new(budget).with_model(model.as_ref().clone()));
+        let served_cache = Arc::new(ArcCache::in_memory().with_tier0(Arc::clone(&serving)));
+        let served_char =
+            Characterizer::new(sur_set, config)?.with_cache(Arc::clone(&served_cache));
+        let (r, served_secs) =
+            time(|| novel.iter().try_for_each(|s| served_char.library(s).map(|_| ())));
+        let r: Result<(), flow::CharError> = r;
+        r?;
+        let stats = served_cache.stats();
+        assert_eq!(
+            stats.misses, 0,
+            "every novel arc must be served by the surrogate ({} fell back)",
+            stats.tier0_fallbacks
+        );
+        assert!(stats.tier0_hits > 0, "serving run recorded no tier-0 hits");
+        let speedup = ref_secs / served_secs.max(1e-12);
+        if opts.smoke {
+            assert!(speedup >= 20.0, "surrogate speedup {speedup:.1}x below the 20x smoke floor");
+        }
+        report(
+            &ctx,
+            &mut stages,
+            "surrogate_tier0_novel",
+            served_secs,
+            novel.len() as u64,
+            format!(
+                r#""novel_points": {}, "budget": {budget}, "max_rel_err": {:.6}, "mean_rel_err": {:.6}, "ref_seconds": {ref_secs:.6}, "speedup_vs_sim": {speedup:.1}, "tier0_hits": {}, "tier0_fallbacks": {}, "bit_identical_fallback": true"#,
+                novel.len(),
+                eval.max_rel,
+                eval.mean_rel,
+                stats.tier0_hits,
+                stats.tier0_fallbacks
+            ),
+        );
+    }
+
     // Assemble and write the JSON records.
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -538,11 +652,14 @@ fn report(
 fn cache_json(cache: &ArcCache) -> String {
     let stats = cache.stats();
     format!(
-        r#""cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "shards": {}, "hit_rate": {:.4}}}"#,
+        r#""cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "tier0_hits": {}, "tier0_fallbacks": {}, "tier0_refits": {}, "shards": {}, "hit_rate": {:.4}}}"#,
         stats.memory_hits,
         stats.disk_hits,
         stats.misses,
         stats.coalesced,
+        stats.tier0_hits,
+        stats.tier0_fallbacks,
+        cache.tier0_refits(),
         cache.shard_count(),
         stats.hit_rate()
     )

@@ -6,9 +6,16 @@
 //! shared two-tier arc cache; excess load is shed with typed `overload`
 //! responses instead of unbounded queueing.
 //!
+//! With `--surrogate-budget` the arc cache gets a learned tier 0 in
+//! front: predictions within the conformal error budget are served
+//! without simulation, everything else falls back and feeds online
+//! training (see `crates/surrogate`).
+//!
 //! ```text
 //! serve --socket PATH [--threads N] [--inflight N] [--shards N]
 //!       [--cache-dir DIR] [--timeout-ms N]
+//!       [--surrogate-budget F] [--surrogate-model PATH]
+//!       [--surrogate-refit-every N]
 //! ```
 
 use flow::FlowError;
@@ -19,15 +26,21 @@ use stdcells::CellSet;
 
 const USAGE: &str = "usage: serve --socket PATH [--threads N] [--inflight N] [--shards N]
              [--cache-dir DIR] [--timeout-ms N]
+             [--surrogate-budget F] [--surrogate-model PATH]
+             [--surrogate-refit-every N]
 
 options:
-  --socket PATH     unix socket to listen on (required)
-  --threads N       worker threads per characterize request (default: 1)
-  --inflight N      max concurrently running characterize requests (default: 4)
-  --shards N        shard-count hint for the memo and arc cache (default: 16)
-  --cache-dir DIR   persist the arc cache to DIR (default: memory only)
-  --timeout-ms N    queue wait before shedding with overload (default: 5000)
-  -h, --help        show this help
+  --socket PATH             unix socket to listen on (required)
+  --threads N               worker threads per characterize request (default: 1)
+  --inflight N              max concurrently running characterize requests (default: 4)
+  --shards N                shard-count hint for the memo and arc cache (default: 16)
+  --cache-dir DIR           persist the arc cache to DIR (default: memory only)
+  --timeout-ms N            queue wait before shedding with overload (default: 5000)
+  --surrogate-budget F      enable the tier-0 surrogate with this relative-error
+                            budget (e.g. 0.05); off by default
+  --surrogate-model PATH    load a trained model from PATH and persist refits there
+  --surrogate-refit-every N retrain after N observed samples (default: 64; 0 = off)
+  -h, --help                show this help
 ";
 
 fn run() -> Result<(), FlowError> {
@@ -59,6 +72,27 @@ fn run() -> Result<(), FlowError> {
                         .map(std::path::PathBuf::from)
                         .ok_or_else(|| FlowError::Usage("--cache-dir needs a directory".into()))?,
                 );
+            }
+            "--surrogate-budget" => {
+                let budget: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| FlowError::Usage("--surrogate-budget needs a number".into()))?;
+                if !(budget.is_finite() && budget >= 0.0) {
+                    return Err(FlowError::Usage(format!(
+                        "--surrogate-budget must be finite and non-negative, got {budget}"
+                    )));
+                }
+                config.surrogate_budget = Some(budget);
+            }
+            "--surrogate-model" => {
+                config.surrogate_model =
+                    Some(args.next().map(std::path::PathBuf::from).ok_or_else(|| {
+                        FlowError::Usage("--surrogate-model needs a path".into())
+                    })?);
+            }
+            "--surrogate-refit-every" => {
+                config.surrogate_refit_every = int(&mut args, "--surrogate-refit-every")?;
             }
             "-h" | "--help" => return Err(FlowError::Usage(String::new())),
             other => return Err(FlowError::Usage(format!("unknown argument: {other}"))),

@@ -19,6 +19,7 @@ use stdcells::CellSet;
 use synth::MapOptions;
 
 pub mod cli;
+pub mod loadreport;
 
 /// The artifact cache directory: `$RELIAWARE_CACHE` or
 /// `target/reliaware-cache`.

@@ -1,0 +1,192 @@
+//! The schema-versioned load-generator record (`reliaware-loadgen-v2`).
+//!
+//! v1 lived inline in the `loadgen` binary; v2 moves the rendering here so
+//! the schema is library-testable, and extends every load phase's `server`
+//! block with the tier-0 surrogate counters (`cache_tier0_hits`,
+//! `cache_tier0_fallbacks`, `cache_tier0_refits`) — the per-phase deltas a
+//! dashboard needs to see how much simulation the learned tier displaced.
+
+use serve::{LoadReport, StormReport};
+use std::fmt::Write as _;
+
+/// The schema identifier embedded in every serialized record.
+pub const LOADGEN_SCHEMA: &str = "reliaware-loadgen-v2";
+
+/// Everything one `BENCH_*_loadgen.json` record carries.
+#[derive(Debug)]
+pub struct LoadgenRecord<'a> {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'a str,
+    /// Client counts the load phase swept.
+    pub clients: &'a [usize],
+    /// Requests per client per load phase.
+    pub requests_per_client: usize,
+    /// Unique λ-keys in the load key space.
+    pub unique_keys: usize,
+    /// Hot-key probability in `[0, 1]`.
+    pub hot_key_bias: f64,
+    /// Whether the key space was pre-warmed before timing.
+    pub warm: bool,
+    /// Record timestamp (unix seconds).
+    pub unix_time: u64,
+    /// Human-readable UTC stamp (see [`crate::utc_stamp`]).
+    pub stamp: &'a str,
+    /// The identical-key storm result.
+    pub storm: &'a StormReport,
+    /// `(overloads, served)` from the shed phase, if it ran.
+    pub shed: Option<(u64, u64)>,
+    /// One report per client count.
+    pub loads: &'a [LoadReport],
+    /// Throughput ratio last/first client count, if computable.
+    pub scaling: Option<f64>,
+}
+
+impl LoadgenRecord<'_> {
+    /// Serializes the record as `reliaware-loadgen-v2` JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, r#"  "schema": "{LOADGEN_SCHEMA}","#);
+        let _ = writeln!(out, r#"  "stamp": "{}","#, self.stamp);
+        let _ = writeln!(out, r#"  "unix_time": {},"#, self.unix_time);
+        let _ = writeln!(
+            out,
+            r#"  "machine": {{"threads_available": {}, "os": "{}", "arch": "{}"}},"#,
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            std::env::consts::OS,
+            std::env::consts::ARCH
+        );
+        let _ = writeln!(
+            out,
+            r#"  "config": {{"mode": "{}", "clients": {:?}, "requests_per_client": {}, "unique_keys": {}, "hot_key_bias": {}, "warm": {}}},"#,
+            self.mode,
+            self.clients,
+            self.requests_per_client,
+            self.unique_keys,
+            self.hot_key_bias,
+            self.warm
+        );
+        let storm = self.storm;
+        let _ = writeln!(
+            out,
+            r#"  "storm": {{"clients": {}, "computed": {}, "absorbed": {}, "server_computed": {}, "all_identical": {}, "bit_identical_to_direct": true}},"#,
+            storm.clients,
+            storm.computed,
+            storm.absorbed,
+            storm.server_computed,
+            storm.all_identical
+        );
+        if let Some((overloads, served)) = self.shed {
+            let _ = writeln!(out, r#"  "shed": {{"overloads": {overloads}, "served": {served}}},"#);
+        }
+        let _ = writeln!(out, r#"  "loads": ["#);
+        for (k, r) in self.loads.iter().enumerate() {
+            let comma = if k + 1 == self.loads.len() { "" } else { "," };
+            let d = &r.stats_delta;
+            let _ = writeln!(
+                out,
+                r#"    {{"clients": {}, "requests": {}, "ok": {}, "errors": {}, "overloads": {}, "seconds": {:.6}, "throughput_rps": {:.3}, "p50_us": {}, "p95_us": {}, "p99_us": {}, "memo_hits": {}, "computed": {}, "coalesced": {}, "server": {{"lib_hits": {}, "lib_computed": {}, "lib_coalesced": {}, "cache_memory_hits": {}, "cache_disk_hits": {}, "cache_misses": {}, "cache_coalesced": {}, "cache_tier0_hits": {}, "cache_tier0_fallbacks": {}, "cache_tier0_refits": {}}}}}{comma}"#,
+                r.clients,
+                r.requests,
+                r.ok,
+                r.errors,
+                r.overloads,
+                r.seconds,
+                r.throughput_rps,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.memo_hits,
+                r.computed,
+                r.coalesced,
+                d.library.hits,
+                d.library.computed,
+                d.library.coalesced,
+                d.cache.memory_hits,
+                d.cache.disk_hits,
+                d.cache.misses,
+                d.cache.coalesced,
+                d.cache.tier0_hits,
+                d.cache.tier0_fallbacks,
+                d.tier0_refits
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        match self.scaling {
+            Some(ratio) => {
+                let _ = writeln!(out, r#"  "throughput_scaling": {ratio:.4}"#);
+            }
+            None => {
+                let _ = writeln!(out, r#"  "throughput_scaling": null"#);
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serve::StatsSnapshot;
+
+    fn sample_record<'a>(storm: &'a StormReport, loads: &'a [LoadReport]) -> LoadgenRecord<'a> {
+        LoadgenRecord {
+            mode: "smoke",
+            clients: &[1, 4],
+            requests_per_client: 8,
+            unique_keys: 3,
+            hot_key_bias: 0.3,
+            warm: true,
+            unix_time: 1_465_128_000,
+            stamp: "20160605-120000",
+            storm,
+            shed: Some((2, 1)),
+            loads,
+            scaling: Some(1.5),
+        }
+    }
+
+    #[test]
+    fn record_carries_v2_schema_and_tier0_counters() {
+        let storm = StormReport {
+            clients: 6,
+            ok: 6,
+            computed: 1,
+            absorbed: 5,
+            server_computed: 1,
+            library: String::new(),
+            all_identical: true,
+        };
+        let delta = StatsSnapshot {
+            cache: flow::CacheStats { tier0_hits: 11, tier0_fallbacks: 3, ..Default::default() },
+            tier0_refits: 1,
+            ..Default::default()
+        };
+        let loads = vec![LoadReport {
+            clients: 4,
+            requests: 32,
+            ok: 32,
+            errors: 0,
+            overloads: 0,
+            memo_hits: 20,
+            computed: 8,
+            coalesced: 4,
+            seconds: 0.5,
+            throughput_rps: 64.0,
+            p50_us: 100,
+            p95_us: 400,
+            p99_us: 900,
+            stats_delta: delta,
+        }];
+        let json = sample_record(&storm, &loads).to_json();
+        assert!(json.contains(r#""schema": "reliaware-loadgen-v2""#), "{json}");
+        assert!(json.contains(r#""cache_tier0_hits": 11"#), "{json}");
+        assert!(json.contains(r#""cache_tier0_fallbacks": 3"#), "{json}");
+        assert!(json.contains(r#""cache_tier0_refits": 1"#), "{json}");
+        // The v1 identifier must be gone: consumers key on the schema
+        // string to pick the parser.
+        assert!(!json.contains("reliaware-loadgen-v1"), "{json}");
+    }
+}

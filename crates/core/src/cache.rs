@@ -26,10 +26,12 @@
 //! [`ArcCache::shard_stats`] exposes the per-shard breakdown.
 
 use crate::coalesce::Coalescer;
+use crate::tier0::SurrogateTier;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use surrogate::ArcFeatures;
 
 /// The four OPC-grid tables of one characterized timing arc, in
 /// row-major `[slew × load]` order.
@@ -74,24 +76,34 @@ pub struct CacheStats {
     /// Lookups that joined an identical in-flight computation instead of
     /// simulating ([`ArcCache::get_or_compute`] only).
     pub coalesced: u64,
+    /// Lookups served by the learned tier-0 surrogate (within its accuracy
+    /// budget) instead of simulating.
+    pub tier0_hits: u64,
+    /// Lookups the surrogate was consulted on but declined (bound over
+    /// budget, unknown class, or no model) — a *sub-count* of `misses`,
+    /// since every fallback proceeds to simulation.
+    pub tier0_fallbacks: u64,
 }
 
 impl CacheStats {
-    /// Total lookups.
+    /// Total lookups. `tier0_fallbacks` is excluded: every fallback is
+    /// already counted as a miss.
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.memory_hits + self.disk_hits + self.misses + self.coalesced
+        self.memory_hits + self.disk_hits + self.misses + self.coalesced + self.tier0_hits
     }
 
-    /// Fraction of lookups served without simulating — memory, disk and
-    /// coalesced — in `[0, 1]`; `1.0` for a cache that was never asked.
+    /// Fraction of lookups served without simulating — memory, disk,
+    /// coalesced and tier-0 — in `[0, 1]`; `1.0` for a cache that was never
+    /// asked.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.lookups();
         if total == 0 {
             1.0
         } else {
-            (self.memory_hits + self.disk_hits + self.coalesced) as f64 / total as f64
+            (self.memory_hits + self.disk_hits + self.coalesced + self.tier0_hits) as f64
+                / total as f64
         }
     }
 
@@ -100,14 +112,41 @@ impl CacheStats {
         self.disk_hits += other.disk_hits;
         self.misses += other.misses;
         self.coalesced += other.coalesced;
+        self.tier0_hits += other.tier0_hits;
+        self.tier0_fallbacks += other.tier0_fallbacks;
     }
 }
 
-/// Per-shard disk/miss counters (the memory/coalesced counters live in the
-/// embedded [`Coalescer`] shards, which use the same key→shard mapping).
-struct DiskCounters {
+/// One consistent reading of the cache's counters: the aggregate is summed
+/// from the *same* per-shard values it is returned with, so the two can
+/// never disagree — see [`ArcCache::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Aggregate counters (the exact sum of `per_shard`).
+    pub total: CacheStats,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<CacheStats>,
+}
+
+/// Per-shard disk/miss/tier-0 counters (the memory/coalesced counters live
+/// in the embedded [`Coalescer`] shards, which use the same key→shard
+/// mapping).
+struct SideCounters {
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    tier0_hits: AtomicU64,
+    tier0_fallbacks: AtomicU64,
+}
+
+impl SideCounters {
+    fn new() -> Self {
+        SideCounters {
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tier0_hits: AtomicU64::new(0),
+            tier0_fallbacks: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Content-addressed two-tier (memory + optional disk) store of
@@ -115,9 +154,10 @@ struct DiskCounters {
 /// service clients.
 pub struct ArcCache {
     memo: Coalescer<ArcTables>,
-    disk: Vec<DiskCounters>,
+    disk: Vec<SideCounters>,
     dir: Option<PathBuf>,
     tmp_seq: AtomicU64,
+    tier0: Option<Arc<SurrogateTier>>,
 }
 
 impl fmt::Debug for ArcCache {
@@ -137,10 +177,8 @@ impl ArcCache {
     #[must_use]
     pub fn in_memory() -> Self {
         let memo = Coalescer::new();
-        let disk = (0..memo.shard_count())
-            .map(|_| DiskCounters { disk_hits: AtomicU64::new(0), misses: AtomicU64::new(0) })
-            .collect();
-        ArcCache { memo, disk, dir: None, tmp_seq: AtomicU64::new(0) }
+        let disk = (0..memo.shard_count()).map(|_| SideCounters::new()).collect();
+        ArcCache { memo, disk, dir: None, tmp_seq: AtomicU64::new(0), tier0: None }
     }
 
     /// A two-tier cache persisting each arc under `dir` (created lazily on
@@ -148,6 +186,23 @@ impl ArcCache {
     #[must_use]
     pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
         ArcCache { dir: Some(dir.into()), ..Self::in_memory() }
+    }
+
+    /// Attaches a learned tier-0 surrogate consulted (via
+    /// [`ArcCache::get_or_compute_with_features`]) before simulation. Disk
+    /// hits and computed results feed the tier as training data; served
+    /// predictions are memoized in the memory tier only, so the disk tier
+    /// stays simulation-exact.
+    #[must_use]
+    pub fn with_tier0(mut self, tier: Arc<SurrogateTier>) -> Self {
+        self.tier0 = Some(tier);
+        self
+    }
+
+    /// The attached tier-0 surrogate, if any.
+    #[must_use]
+    pub fn tier0(&self) -> Option<&Arc<SurrogateTier>> {
+        self.tier0.as_ref()
     }
 
     /// The persistence directory, if any.
@@ -162,10 +217,17 @@ impl ArcCache {
         self.memo.shard_count()
     }
 
-    /// Per-shard effectiveness counters, indexed by shard.
+    /// One consistent reading of all counters: each shard's counters are
+    /// read once and the aggregate is summed from those same readings, so
+    /// [`CacheSnapshot::total`] always equals the sum of
+    /// [`CacheSnapshot::per_shard`] — even while other threads keep
+    /// bumping counters. Callers that report both views must take one
+    /// snapshot instead of calling [`ArcCache::stats`] and
+    /// [`ArcCache::shard_stats`] separately (two passes can disagree).
     #[must_use]
-    pub fn shard_stats(&self) -> Vec<CacheStats> {
-        self.memo
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let per_shard: Vec<CacheStats> = self
+            .memo
             .shard_stats()
             .iter()
             .zip(&self.disk)
@@ -174,19 +236,37 @@ impl ArcCache {
                 disk_hits: d.disk_hits.load(Ordering::Relaxed),
                 misses: d.misses.load(Ordering::Relaxed),
                 coalesced: m.coalesced,
+                tier0_hits: d.tier0_hits.load(Ordering::Relaxed),
+                tier0_fallbacks: d.tier0_fallbacks.load(Ordering::Relaxed),
             })
-            .collect()
+            .collect();
+        let mut total = CacheStats::default();
+        for s in &per_shard {
+            total.add(s);
+        }
+        CacheSnapshot { total, per_shard }
+    }
+
+    /// Per-shard effectiveness counters, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.snapshot().per_shard
     }
 
     /// Aggregate effectiveness counters since construction (or the last
     /// [`ArcCache::reset_stats`]).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
-        for s in self.shard_stats() {
-            total.add(&s);
-        }
-        total
+        self.snapshot().total
+    }
+
+    /// Completed refits of the attached tier-0 surrogate (0 without one).
+    /// Kept out of [`CacheStats`]: refits are global to the tier, not
+    /// attributable to a shard, and folding them in would break the
+    /// aggregate-equals-sum-of-shards invariant of [`ArcCache::snapshot`].
+    #[must_use]
+    pub fn tier0_refits(&self) -> u64 {
+        self.tier0.as_ref().map_or(0, |t| t.refits())
     }
 
     /// Resets the effectiveness counters (not the cached entries).
@@ -195,10 +275,12 @@ impl ArcCache {
         for d in &self.disk {
             d.disk_hits.store(0, Ordering::Relaxed);
             d.misses.store(0, Ordering::Relaxed);
+            d.tier0_hits.store(0, Ordering::Relaxed);
+            d.tier0_fallbacks.store(0, Ordering::Relaxed);
         }
     }
 
-    fn disk_counters(&self, key: u64) -> &DiskCounters {
+    fn disk_counters(&self, key: u64) -> &SideCounters {
         &self.disk[self.memo.shard_of(key)]
     }
 
@@ -263,7 +345,8 @@ impl ArcCache {
     /// in-flight slot and are counted as `coalesced`. The computed tables
     /// are stored in both tiers before the joined callers wake.
     ///
-    /// Exactly one of the four [`CacheStats`] counters is bumped per call
+    /// Exactly one of the exclusive [`CacheStats`] counters (`memory_hits`,
+    /// `disk_hits`, `misses`, `coalesced`, `tier0_hits`) is bumped per call
     /// on the success path.
     ///
     /// # Errors
@@ -279,14 +362,55 @@ impl ArcCache {
         key: u64,
         compute: impl FnOnce() -> Result<ArcTables, E>,
     ) -> Result<Arc<ArcTables>, E> {
+        self.get_or_compute_with_features(key, None, compute)
+    }
+
+    /// [`ArcCache::get_or_compute`] with the arc's feature representation,
+    /// enabling the attached tier-0 surrogate (a no-op without one, or with
+    /// `features = None`). The leader path becomes: disk probe (a hit also
+    /// feeds the tier as training data), then tier-0 prediction (served
+    /// only within the accuracy budget, memoized in **memory only** so the
+    /// disk tier stays simulation-exact), then `compute` (whose result
+    /// feeds the tier and both cache tiers). A consulted-but-declined tier
+    /// bumps `tier0_fallbacks` *in addition to* the miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (the computing caller only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute` returns tables with an inconsistent shape.
+    pub fn get_or_compute_with_features<E>(
+        &self,
+        key: u64,
+        features: Option<&ArcFeatures>,
+        compute: impl FnOnce() -> Result<ArcTables, E>,
+    ) -> Result<Arc<ArcTables>, E> {
         let (tables, _outcome) = self.memo.get_or_compute(key, || {
+            let counters = self.disk_counters(key);
+            let tier = self.tier0.as_ref().and_then(|t| features.map(|f| (t, f)));
             if let Some(tables) = self.disk_probe(key) {
-                self.disk_counters(key).disk_hits.fetch_add(1, Ordering::Relaxed);
+                counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some((tier, f)) = tier {
+                    tier.observe(f, &tables);
+                }
                 return Ok(tables);
             }
-            self.disk_counters(key).misses.fetch_add(1, Ordering::Relaxed);
+            if let Some((tier, f)) = tier {
+                if let Some(predicted) = tier.predict(f) {
+                    counters.tier0_hits.fetch_add(1, Ordering::Relaxed);
+                    debug_assert!(predicted.shape_ok());
+                    return Ok(predicted);
+                }
+                counters.tier0_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            counters.misses.fetch_add(1, Ordering::Relaxed);
             let tables = compute()?;
             assert!(tables.shape_ok(), "malformed arc tables");
+            if let Some((tier, f)) = tier {
+                tier.observe(f, &tables);
+            }
             self.disk_store(key, &tables);
             Ok(tables)
         })?;
@@ -577,6 +701,156 @@ mod tests {
         assert_eq!(total.memory_hits, 64);
         let touched = per_shard.iter().filter(|s| s.lookups() > 0).count();
         assert_eq!(touched, cache.shard_count(), "sequential keys must touch every shard");
+    }
+
+    /// Feature/ground-truth helpers for the tier-0 tests: a smooth positive
+    /// delay-like function of one scalar feature over a 2×2 grid.
+    fn tier_features(a: f64) -> ArcFeatures {
+        ArcFeatures {
+            class: "comb:T:A->Y".into(),
+            base: vec![a],
+            slews: vec![1e-11, 1e-10],
+            loads: vec![1e-15, 1e-14],
+        }
+    }
+
+    fn tier_truth(f: &ArcFeatures) -> ArcTables {
+        let mut values = Vec::new();
+        for &s in &f.slews {
+            for &l in &f.loads {
+                values.push(1e-11 * (1.0 + 0.2 * f.base[0]) * (1.0 - 0.004 * (s.ln() + l.ln())));
+            }
+        }
+        ArcTables {
+            rows: 2,
+            cols: 2,
+            rise_delay: values.clone(),
+            fall_delay: values.clone(),
+            rise_tran: values.clone(),
+            fall_tran: values,
+        }
+    }
+
+    fn trained_tier(budget: f64) -> SurrogateTier {
+        let tier = SurrogateTier::new(budget);
+        for i in 0..32 {
+            let f = tier_features(f64::from(i) / 31.0);
+            tier.observe(&f, &tier_truth(&f));
+        }
+        tier.refit_now();
+        tier
+    }
+
+    #[test]
+    fn tier0_serves_within_budget_in_memory_only() {
+        let dir =
+            std::env::temp_dir().join(format!("reliaware_arccache_t0_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArcCache::with_dir(&dir).with_tier0(Arc::new(trained_tier(0.5)));
+        let f = tier_features(0.77);
+        let served = cache
+            .get_or_compute_with_features::<()>(5, Some(&f), || panic!("tier must serve"))
+            .unwrap();
+        assert_eq!((served.rows, served.cols), (2, 2));
+        let stats = cache.stats();
+        assert_eq!((stats.tier0_hits, stats.tier0_fallbacks, stats.misses), (1, 0, 0));
+        assert_eq!(stats.lookups(), 1);
+        assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON);
+        // Served predictions are memoized in memory only: a fresh cache on
+        // the same directory must not see the entry.
+        let other = ArcCache::with_dir(&dir);
+        assert!(other.lookup(5).is_none(), "prediction must not pollute the disk tier");
+        // …but the serving cache answers repeats from memory.
+        let again = cache
+            .get_or_compute_with_features::<()>(5, Some(&f), || panic!("must hit memory"))
+            .unwrap();
+        assert_eq!(again, served);
+        assert_eq!(cache.stats().memory_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier0_fallback_computes_and_feeds_training() {
+        // Budget 0 = collect-only: the tier is consulted, declines, and the
+        // simulated result is fed back as a training sample.
+        let tier = Arc::new(SurrogateTier::new(0.0));
+        let cache = ArcCache::in_memory().with_tier0(Arc::clone(&tier));
+        let f = tier_features(0.3);
+        let t =
+            cache.get_or_compute_with_features::<()>(9, Some(&f), || Ok(tier_truth(&f))).unwrap();
+        assert_eq!(*t, tier_truth(&f));
+        let stats = cache.stats();
+        assert_eq!((stats.tier0_hits, stats.tier0_fallbacks, stats.misses), (0, 1, 1));
+        assert_eq!(stats.lookups(), 1, "a fallback is one lookup, not two");
+        assert_eq!(tier.stats().samples, 1);
+        // Without features the tier is bypassed entirely.
+        let _ = cache.get_or_compute::<()>(10, || Ok(tier_truth(&f))).unwrap();
+        assert_eq!(cache.stats().tier0_fallbacks, 1);
+    }
+
+    #[test]
+    fn tier0_harvests_training_data_from_disk_hits() {
+        let dir =
+            std::env::temp_dir().join(format!("reliaware_arccache_t0h_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = tier_features(0.5);
+        ArcCache::with_dir(&dir).store(3, &tier_truth(&f));
+        let tier = Arc::new(SurrogateTier::new(0.0));
+        let cache = ArcCache::with_dir(&dir).with_tier0(Arc::clone(&tier));
+        let _ = cache
+            .get_or_compute_with_features::<()>(3, Some(&f), || panic!("must hit disk"))
+            .unwrap();
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert_eq!(tier.stats().samples, 1, "a warm disk cache must train the surrogate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: the aggregate and the per-shard counters must
+    /// come from one consistent pass — under concurrent writers, summing
+    /// the snapshot's shards must reproduce its total *exactly*, always.
+    #[test]
+    fn snapshot_total_equals_shard_sum_under_concurrency() {
+        use std::sync::atomic::AtomicBool;
+        let cache = Arc::new(ArcCache::in_memory());
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..1500u64 {
+                        let key = (w * 1500 + i) % 128;
+                        let _ = cache.get_or_compute::<()>(key, || Ok(tables(key as f64)));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let cache = Arc::clone(&cache);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut checks = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = cache.snapshot();
+                    let mut sum = CacheStats::default();
+                    for s in &snap.per_shard {
+                        sum.add(s);
+                    }
+                    assert_eq!(sum, snap.total, "aggregate drifted from its own shards");
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        let checks = reader.join().unwrap();
+        assert!(checks > 0, "reader must have observed at least one snapshot");
+        // And the settled totals are exact.
+        let snap = cache.snapshot();
+        assert_eq!(snap.total.lookups(), 6000);
+        assert_eq!(snap.total.misses, 128);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 use stdcells::{CellDef, CellSet, Topology};
+use surrogate::ArcFeatures;
 
 /// Characterization settings: the operating-condition grid, supply, device
 /// lifetimes and simulator accuracy.
@@ -399,6 +400,49 @@ impl Characterizer {
         h.finish()
     }
 
+    /// Tier-0 surrogate features of one arc: the cell's topology class
+    /// string plus a numeric fingerprint of drive strength, stack depth,
+    /// device count, the degradation state (`ΔVth` and mobility ratio per
+    /// polarity, relative to the fresh 45 nm models — temperature and
+    /// lifetime act only through these) and Vdd, with the OPC axes the
+    /// tables span. Built only when the attached cache carries a
+    /// [`crate::tier0::SurrogateTier`]; everywhere else the cache path
+    /// stays feature-free and surrogate-free.
+    fn arc_features(
+        &self,
+        def: &CellDef,
+        kind: &str,
+        related: &str,
+        output: &str,
+        nmos: &MosModel,
+        pmos: &MosModel,
+    ) -> Option<ArcFeatures> {
+        self.cache.as_ref().filter(|c| c.tier0().is_some())?;
+        let fresh_n = MosModel::nmos_45nm();
+        let fresh_p = MosModel::pmos_45nm();
+        let depth = match &def.topology {
+            Topology::Flop { .. } => 2.0,
+            Topology::Stages(stages) => {
+                stages.iter().map(|s| s.pulldown.series_depth()).max().unwrap_or(1) as f64
+            }
+        };
+        Some(ArcFeatures {
+            class: format!("{kind}:{}:{related}->{output}", def.name),
+            base: vec![
+                strength_of(&def.name),
+                depth,
+                def.device_count() as f64,
+                nmos.vth - fresh_n.vth,
+                pmos.vth - fresh_p.vth,
+                nmos.kp / fresh_n.kp,
+                pmos.kp / fresh_p.kp,
+                self.config.vdd,
+            ],
+            slews: self.config.slews.clone(),
+            loads: self.config.loads.clone(),
+        })
+    }
+
     /// A library shell with this configuration's defaults.
     fn empty_library(&self, name: &str) -> Library {
         let mut lib = Library::new(name, self.config.vdd);
@@ -414,10 +458,11 @@ impl Characterizer {
     fn tables_via_cache(
         &self,
         key: u64,
+        features: Option<ArcFeatures>,
         simulate: impl Fn() -> Result<ArcTables, CharError>,
     ) -> Result<Arc<ArcTables>, CharError> {
         if let Some(cache) = &self.cache {
-            let t = cache.get_or_compute(key, &simulate)?;
+            let t = cache.get_or_compute_with_features(key, features.as_ref(), &simulate)?;
             if t.rows == self.config.slews.len() && t.cols == self.config.loads.len() {
                 return Ok(t);
             }
@@ -521,7 +566,8 @@ impl Characterizer {
         let out_rises_with_input = !f.eval(&assign(false)) && f.eval(&assign(true));
 
         let key = self.arc_key(def, "comb", input, output, nmos, pmos);
-        let tables = self.tables_via_cache(key, || {
+        let features = self.arc_features(def, "comb", input, output, nmos, pmos);
+        let tables = self.tables_via_cache(key, features, || {
             self.simulate_comb_tables(def, input, output, &side, out_rises_with_input, nmos, pmos)
         })?;
         Ok(self.arc_from_tables(input, sense, &tables))
@@ -610,6 +656,9 @@ impl Characterizer {
         let config =
             TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[in_node, out_node]);
         let trace = inst.circuit.transient(&config);
+        if let Some(ctx) = &self.ctx {
+            ctx.add_tasks("transient", trace.step_count() as u64);
+        }
         Ok(match trace.measure_edge(in_node, input_rising, out_node, output_rising, 0.1e-9) {
             Some(m) => (m.delay, m.output_slew),
             None => {
@@ -629,7 +678,9 @@ impl Characterizer {
         pmos: &MosModel,
     ) -> Result<TimingArc, CharError> {
         let key = self.arc_key(def, "flop", "CK", "Q", nmos, pmos);
-        let tables = self.tables_via_cache(key, || self.simulate_flop_tables(def, nmos, pmos))?;
+        let features = self.arc_features(def, "flop", "CK", "Q", nmos, pmos);
+        let tables =
+            self.tables_via_cache(key, features, || self.simulate_flop_tables(def, nmos, pmos))?;
         Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables))
     }
 
@@ -675,6 +726,9 @@ impl Characterizer {
                     let config =
                         TransientConfig::up_to(t_stop).with_max_dv(cfg.max_dv).observing(&[ck, q]);
                     let trace = inst.circuit.transient(&config);
+                    if let Some(ctx) = &self.ctx {
+                        ctx.add_tasks("transient", trace.step_count() as u64);
+                    }
                     let m = trace.measure_edge(ck, true, q, q_rising, t_clk - 0.1e-9).unwrap_or(
                         spicesim::EdgeMeasurement {
                             delay: t_stop - t_clk,
@@ -776,6 +830,10 @@ mod tests {
         let stage = report.stages.iter().find(|s| s.name == "characterize").unwrap();
         assert_eq!(stage.tasks, 1);
         assert!(report.cache.is_some_and(|c| c.misses > 0));
+        // Every simulated edge books its integration steps against the
+        // transient stage — the cost the tier-0 surrogate amortizes away.
+        let transient = report.stages.iter().find(|s| s.name == "transient").unwrap();
+        assert!(transient.tasks > 0, "transient stage must account integration steps");
     }
 
     #[test]
@@ -918,6 +976,30 @@ mod tests {
         let warm_stats = cache.stats();
         assert_eq!(warm_stats.misses, 0, "warm run must not simulate");
         assert!((warm_stats.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// A cache carrying a collect-only tier (budget 0) must never serve a
+    /// prediction: the library stays bit-identical to a tier-free run while
+    /// every fallback feeds the training buffer — the online-feedback path.
+    #[test]
+    fn tier0_collect_only_is_bit_identical_and_collects() {
+        use crate::cache::ArcCache;
+        use crate::tier0::SurrogateTier;
+        use std::sync::Arc;
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1", "DFF_X1"]);
+        let scenario = AgingScenario::worst_case(10.0);
+        let want = Characterizer::new(cells(), tiny_config()).unwrap().library(&scenario).unwrap();
+
+        let tier = Arc::new(SurrogateTier::new(0.0));
+        let cache = Arc::new(ArcCache::in_memory().with_tier0(Arc::clone(&tier)));
+        let chars =
+            Characterizer::new(cells(), tiny_config()).unwrap().with_cache(Arc::clone(&cache));
+        let got = chars.library(&scenario).unwrap();
+        assert_eq!(want, got, "collect-only tier must not perturb the library");
+        let stats = cache.stats();
+        assert_eq!(stats.tier0_hits, 0, "budget 0 must never serve");
+        assert!(stats.tier0_fallbacks > 0, "every lookup must consult the tier");
+        assert_eq!(tier.stats().samples, stats.tier0_fallbacks, "fallbacks feed training");
     }
 
     /// Different device models (other scenarios) must not collide with

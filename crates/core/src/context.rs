@@ -189,12 +189,14 @@ impl RunContext {
     #[must_use]
     pub fn report(&self) -> RunReport {
         let sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        let cache = self.cache();
         RunReport {
             workers: self.workers,
             total_seconds: self.start.elapsed().as_secs_f64(),
             stages: sink.stages.clone(),
             events: sink.events.clone(),
-            cache: self.cache_stats(),
+            cache: cache.as_ref().map(|c| c.stats()),
+            tier0_refits: cache.as_ref().map_or(0, |c| c.tier0_refits()),
         }
     }
 }
@@ -212,6 +214,9 @@ pub struct RunReport {
     pub events: Vec<RunEvent>,
     /// Cache counters at report time (`null` in JSON when no cache).
     pub cache: Option<CacheStats>,
+    /// Tier-0 surrogate refits completed by the cache's tier (0 when no
+    /// cache or no tier is attached).
+    pub tier0_refits: u64,
 }
 
 impl RunReport {
@@ -254,11 +259,14 @@ impl RunReport {
             Some(c) => {
                 let _ = writeln!(
                     out,
-                    r#"  "cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "hit_rate": {:.4}}}"#,
+                    r#"  "cache": {{"memory_hits": {}, "disk_hits": {}, "misses": {}, "coalesced": {}, "tier0_hits": {}, "tier0_fallbacks": {}, "tier0_refits": {}, "hit_rate": {:.4}}}"#,
                     c.memory_hits,
                     c.disk_hits,
                     c.misses,
                     c.coalesced,
+                    c.tier0_hits,
+                    c.tier0_fallbacks,
+                    self.tier0_refits,
                     c.hit_rate()
                 );
             }
@@ -339,6 +347,8 @@ mod tests {
         assert!(json.contains(r#""schema": "reliaware-run-v1""#), "{json}");
         assert!(json.contains(r#""name": "characterize""#), "{json}");
         assert!(json.contains(r#""hit_rate""#), "{json}");
+        assert!(json.contains(r#""tier0_hits": 0"#), "{json}");
+        assert!(json.contains(r#""tier0_refits": 0"#), "{json}");
         assert!(json.contains(r#"cells: \"4\""#), "{json}");
     }
 

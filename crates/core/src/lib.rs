@@ -28,7 +28,11 @@
 //! results, sharded for concurrent clients) and [`coalesce`] (the sharded
 //! in-flight-request coalescer both the cache and the characterization
 //! service build on). All preserve bit-identical output for any thread
-//! count, client count and cache state.
+//! count, client count and cache state. On top of them, [`tier0`] adds an
+//! *opt-in* learned surrogate in front of the cache: predictions within a
+//! conformal error bound replace simulation for novel points, and every
+//! fallback falls through to the exact simulation path (bit-identical to a
+//! surrogate-free run).
 //!
 //! Failures at every stage are typed ([`FlowError`] and the per-crate
 //! errors it wraps; see [`error`]) and a [`RunContext`] threads cache,
@@ -62,11 +66,12 @@ pub mod error;
 pub mod guardband;
 pub mod pool;
 pub mod system_eval;
+pub mod tier0;
 
 pub use aging_synth::{
     compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison,
 };
-pub use cache::{ArcCache, ArcTables, CacheStats, KeyHasher};
+pub use cache::{ArcCache, ArcTables, CacheSnapshot, CacheStats, KeyHasher};
 pub use charlib::{CharConfig, Characterizer};
 pub use coalesce::{CoalesceOutcome, CoalesceStats, Coalescer};
 pub use context::{RunContext, RunEvent, RunReport, StageRecord};
@@ -80,3 +85,4 @@ pub use guardband::{
 };
 pub use pool::parallel_map;
 pub use system_eval::{annotation_from_sta, image_from_pgm, run_image_chain, ImageChainResult};
+pub use tier0::{SurrogateTier, TierStats};

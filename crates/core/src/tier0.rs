@@ -1,0 +1,351 @@
+//! The serving side of the learned surrogate: tier 0 in front of the arc
+//! cache.
+//!
+//! [`SurrogateTier`] wraps a [`surrogate::SurrogateModel`] with the policy
+//! and plumbing the cache needs:
+//!
+//! * **Budget gate** — [`SurrogateTier::predict`] serves a prediction only
+//!   when the class's conformal error bound is within the configured
+//!   accuracy budget; everything else declines, and the cache falls back to
+//!   simulation. A `budget` of `0.0` makes the tier *collect-only* (every
+//!   bound is positive, so nothing is ever served) — the mode the offline
+//!   trainer and the bit-identity tests use.
+//! * **Online feedback** — every simulated (or disk-cached) result flows
+//!   back through [`SurrogateTier::observe`] as a training sample, so the
+//!   model keeps learning the regions it had to decline.
+//! * **Coalesced refits** — when the sample buffer crosses a refit
+//!   threshold, the retrain runs behind the flow's [`Coalescer`], keyed by
+//!   the buffer generation: concurrent observers that cross the same
+//!   threshold join one refit instead of training in parallel.
+//! * **Persistence** — with a path attached, every refit serializes the
+//!   model next to the cache directory (best-effort, like the disk tier:
+//!   the surrogate is an accelerator, never a correctness dependency).
+//!
+//! Served predictions are memoized in the cache's **memory tier only** —
+//! the disk tier stays simulation-exact, so training data harvested from
+//! disk hits is never polluted by the model's own output.
+
+use crate::coalesce::Coalescer;
+use crate::ArcTables;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use surrogate::{ArcFeatures, ArcSample, SurrogateModel, TrainConfig};
+
+/// A snapshot of the tier's own counters (the per-lookup hit/fallback
+/// counters live in [`crate::CacheStats`], per cache shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Completed refits (offline [`SurrogateTier::refit_now`] plus online
+    /// threshold refits).
+    pub refits: u64,
+    /// Training samples currently buffered.
+    pub samples: u64,
+    /// Fitted classes in the active model (0 when no model is loaded).
+    pub classes: u64,
+}
+
+/// The learned tier-0 predictor serving in front of [`crate::ArcCache`].
+pub struct SurrogateTier {
+    budget: f64,
+    model: RwLock<Option<Arc<SurrogateModel>>>,
+    samples: Mutex<Vec<ArcSample>>,
+    train: TrainConfig,
+    refit_every: usize,
+    refit_once: Coalescer<u64>,
+    refits: AtomicU64,
+    persist: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for SurrogateTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurrogateTier")
+            .field("budget", &self.budget)
+            .field("stats", &self.stats())
+            .field("persist", &self.persist)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SurrogateTier {
+    /// A tier with the given relative-error `budget` and no model yet
+    /// (every prediction declines until a refit). `budget = 0.0` is the
+    /// collect-only mode: bounds are strictly positive, so the tier gathers
+    /// training data but never serves.
+    #[must_use]
+    pub fn new(budget: f64) -> Self {
+        SurrogateTier {
+            budget: budget.max(0.0),
+            model: RwLock::new(None),
+            samples: Mutex::new(Vec::new()),
+            train: TrainConfig::default(),
+            refit_every: 0,
+            refit_once: Coalescer::with_shards(1),
+            refits: AtomicU64::new(0),
+            persist: None,
+        }
+    }
+
+    /// Installs a pre-trained model (builder form).
+    #[must_use]
+    pub fn with_model(self, model: SurrogateModel) -> Self {
+        *self.model.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(model));
+        self
+    }
+
+    /// Enables online refits: after every `every` observed samples the
+    /// model retrains on the full buffer (0 disables, the default).
+    #[must_use]
+    pub fn with_refit_every(mut self, every: usize) -> Self {
+        self.refit_every = every;
+        self
+    }
+
+    /// Serializes the model to `path` after every refit (best-effort).
+    #[must_use]
+    pub fn with_persist(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist = Some(path.into());
+        self
+    }
+
+    /// Overrides the trainer configuration used by refits.
+    #[must_use]
+    pub fn with_train_config(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// The configured accuracy budget (maximum conformal relative error a
+    /// served prediction may carry).
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The active model, if one is trained or installed.
+    #[must_use]
+    pub fn model(&self) -> Option<Arc<SurrogateModel>> {
+        self.model.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The tier's own counters.
+    #[must_use]
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            refits: self.refits.load(Ordering::Relaxed),
+            samples: self.samples.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
+            classes: self.model().map_or(0, |m| m.len() as u64),
+        }
+    }
+
+    /// Completed refits.
+    #[must_use]
+    pub fn refits(&self) -> u64 {
+        self.refits.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the buffered training samples (for offline evaluation).
+    #[must_use]
+    pub fn samples(&self) -> Vec<ArcSample> {
+        self.samples.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Predicts `features`' tables if — and only if — the class's conformal
+    /// bound is within the accuracy budget and every predicted value is
+    /// finite and positive. Anything else returns `None` and the caller
+    /// falls back to simulation: **the tier never serves a prediction whose
+    /// bound exceeds the budget.**
+    #[must_use]
+    pub fn predict(&self, features: &ArcFeatures) -> Option<ArcTables> {
+        let model = self.model()?;
+        let p = model.predict(features)?;
+        // A NaN bound compares false and therefore declines.
+        let within_budget = p.bound <= self.budget;
+        if !within_budget {
+            return None;
+        }
+        let [rise_delay, fall_delay, rise_tran, fall_tran] = p.tables;
+        Some(ArcTables {
+            rows: features.slews.len(),
+            cols: features.loads.len(),
+            rise_delay,
+            fall_delay,
+            rise_tran,
+            fall_tran,
+        })
+    }
+
+    /// Feeds one ground-truth result back as training data. Crossing the
+    /// refit threshold triggers a retrain behind the coalescer — concurrent
+    /// observers crossing the same generation join a single refit.
+    pub fn observe(&self, features: &ArcFeatures, tables: &ArcTables) {
+        if features.point_count() != tables.rise_delay.len() {
+            return; // shape mismatch: not usable as a sample
+        }
+        let generation = {
+            let mut buf = self.samples.lock().unwrap_or_else(PoisonError::into_inner);
+            buf.push(ArcSample {
+                features: features.clone(),
+                tables: [
+                    tables.rise_delay.clone(),
+                    tables.fall_delay.clone(),
+                    tables.rise_tran.clone(),
+                    tables.fall_tran.clone(),
+                ],
+            });
+            if self.refit_every > 0 && buf.len().is_multiple_of(self.refit_every) {
+                Some((buf.len() / self.refit_every) as u64)
+            } else {
+                None
+            }
+        };
+        if let Some(generation) = generation {
+            let result: Result<_, std::convert::Infallible> =
+                self.refit_once.get_or_compute(generation, || {
+                    self.do_refit();
+                    Ok(generation)
+                });
+            match result {
+                Ok(_) => {}
+                Err(e) => match e {},
+            }
+        }
+    }
+
+    /// Retrains on the full sample buffer immediately, swapping the active
+    /// model in. Returns the number of samples trained on.
+    pub fn refit_now(&self) -> usize {
+        self.do_refit()
+    }
+
+    fn do_refit(&self) -> usize {
+        let snapshot = self.samples();
+        let model = SurrogateModel::train(&snapshot, &self.train);
+        if let Some(path) = &self.persist {
+            let _ = model.save(path);
+        }
+        *self.model.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(model));
+        self.refits.fetch_add(1, Ordering::Relaxed);
+        snapshot.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(class: &str, a: f64) -> ArcFeatures {
+        ArcFeatures {
+            class: class.into(),
+            base: vec![1.0, a],
+            slews: vec![1e-11, 1e-10],
+            loads: vec![1e-15, 1e-14],
+        }
+    }
+
+    fn truth(f: &ArcFeatures) -> ArcTables {
+        let mut values = Vec::new();
+        for &s in &f.slews {
+            for &l in &f.loads {
+                values.push(1e-11 * (1.0 + 0.2 * f.base[1]) * (1.0 - 0.004 * (s.ln() + l.ln())));
+            }
+        }
+        ArcTables {
+            rows: f.slews.len(),
+            cols: f.loads.len(),
+            rise_delay: values.clone(),
+            fall_delay: values.clone(),
+            rise_tran: values.clone(),
+            fall_tran: values,
+        }
+    }
+
+    fn train_tier(budget: f64) -> SurrogateTier {
+        let tier = SurrogateTier::new(budget);
+        for i in 0..32 {
+            let f = features("comb:X:A->Y", f64::from(i) / 31.0);
+            tier.observe(&f, &truth(&f));
+        }
+        tier.refit_now();
+        tier
+    }
+
+    #[test]
+    fn serves_within_budget_and_declines_outside() {
+        let generous = train_tier(0.5);
+        let novel = features("comb:X:A->Y", 0.4242);
+        let served = generous.predict(&novel).expect("bound well under 0.5");
+        assert_eq!((served.rows, served.cols), (2, 2));
+        let exact = truth(&novel);
+        for (p, t) in served.rise_delay.iter().zip(&exact.rise_delay) {
+            assert!((p / t - 1.0).abs() < 0.5, "prediction {p} vs truth {t}");
+        }
+        // Budget 0 never serves — bounds are strictly positive.
+        let collect_only = train_tier(0.0);
+        assert!(collect_only.predict(&novel).is_none());
+        // Unknown class never serves either.
+        assert!(generous.predict(&features("comb:UNSEEN:A->Y", 0.5)).is_none());
+    }
+
+    #[test]
+    fn no_model_declines_everything() {
+        let tier = SurrogateTier::new(1.0);
+        assert!(tier.predict(&features("comb:X:A->Y", 0.5)).is_none());
+        assert_eq!(tier.stats(), TierStats { refits: 0, samples: 0, classes: 0 });
+    }
+
+    #[test]
+    fn threshold_refit_runs_once_per_generation() {
+        let tier = Arc::new(SurrogateTier::new(0.5).with_refit_every(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let tier = Arc::clone(&tier);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        let f = features("comb:X:A->Y", f64::from(t * 8 + i) / 31.0);
+                        tier.observe(&f, &truth(&f));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("observer thread");
+        }
+        let stats = tier.stats();
+        assert_eq!(stats.samples, 32);
+        // 32 samples at refit_every=8 crosses generations 1..=4; coalescing
+        // may merge concurrent crossings but can never exceed them.
+        assert!(
+            (1..=4).contains(&stats.refits),
+            "expected 1..=4 coalesced refits, got {}",
+            stats.refits
+        );
+        assert!(tier.model().is_some(), "a refit must install a model");
+    }
+
+    #[test]
+    fn refit_persists_the_model() {
+        let dir = std::env::temp_dir().join(format!("reliaware_tier0_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("surrogate_model.txt");
+        let tier = SurrogateTier::new(0.5).with_persist(&path);
+        for i in 0..32 {
+            let f = features("comb:X:A->Y", f64::from(i) / 31.0);
+            tier.observe(&f, &truth(&f));
+        }
+        tier.refit_now();
+        let loaded = SurrogateModel::load(&path).expect("persisted model parses");
+        assert_eq!(Some(&loaded), tier.model().as_deref());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_observation_is_ignored() {
+        let tier = SurrogateTier::new(0.5);
+        let f = features("comb:X:A->Y", 0.1);
+        let mut t = truth(&f);
+        t.rise_delay.pop();
+        tier.observe(&f, &t);
+        assert_eq!(tier.stats().samples, 0);
+    }
+}

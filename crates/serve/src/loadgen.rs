@@ -166,7 +166,10 @@ fn stats_delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsSnapshot {
             disk_hits: after.cache.disk_hits - before.cache.disk_hits,
             misses: after.cache.misses - before.cache.misses,
             coalesced: after.cache.coalesced - before.cache.coalesced,
+            tier0_hits: after.cache.tier0_hits - before.cache.tier0_hits,
+            tier0_fallbacks: after.cache.tier0_fallbacks - before.cache.tier0_fallbacks,
         },
+        tier0_refits: after.tier0_refits - before.tier0_refits,
         library_shards: after.library_shards,
         cache_shards: after.cache_shards,
     }

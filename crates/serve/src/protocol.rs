@@ -288,6 +288,8 @@ pub struct StatsSnapshot {
     pub library: CoalesceStats,
     /// Arc-level cache counters (zero when the server runs uncached).
     pub cache: CacheStats,
+    /// Tier-0 surrogate refits completed (zero when no tier is attached).
+    pub tier0_refits: u64,
     /// Shards in the library memo.
     pub library_shards: u64,
     /// Shards in the arc cache.
@@ -295,7 +297,7 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    fn fields(&self) -> [(&'static str, u64); 13] {
+    fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("requests", self.requests),
             ("served", self.served),
@@ -309,6 +311,9 @@ impl StatsSnapshot {
             ("cache_disk_hits", self.cache.disk_hits),
             ("cache_misses", self.cache.misses),
             ("cache_coalesced", self.cache.coalesced),
+            ("cache_tier0_hits", self.cache.tier0_hits),
+            ("cache_tier0_fallbacks", self.cache.tier0_fallbacks),
+            ("cache_tier0_refits", self.tier0_refits),
             ("cache_shards", self.cache_shards),
         ]
     }
@@ -434,7 +439,10 @@ impl Response {
                         disk_hits: count("cache_disk_hits"),
                         misses: count("cache_misses"),
                         coalesced: count("cache_coalesced"),
+                        tier0_hits: count("cache_tier0_hits"),
+                        tier0_fallbacks: count("cache_tier0_fallbacks"),
                     },
+                    tier0_refits: count("cache_tier0_refits"),
                     library_shards: count("lib_shards"),
                     cache_shards: count("cache_shards"),
                 },
@@ -505,6 +513,24 @@ mod tests {
         assert_ne!(a.content_key(), d.content_key());
     }
 
+    /// Stats lines from a pre-tier-0 server (no `cache_tier0_*` keys) must
+    /// still parse, with the new counters defaulting to zero.
+    #[test]
+    fn stats_without_tier0_fields_parses_as_zero() {
+        let line = format!(
+            "{{\"v\":\"{PROTOCOL}\",\"id\":\"s\",\"status\":\"stats\",\
+             \"requests\":3,\"served\":2,\"cache_misses\":7}}"
+        );
+        let Response::Stats { snapshot, .. } = Response::parse(&line).unwrap() else {
+            panic!("expected stats response");
+        };
+        assert_eq!(snapshot.requests, 3);
+        assert_eq!(snapshot.cache.misses, 7);
+        assert_eq!(snapshot.cache.tier0_hits, 0);
+        assert_eq!(snapshot.cache.tier0_fallbacks, 0);
+        assert_eq!(snapshot.tier0_refits, 0);
+    }
+
     #[test]
     fn responses_round_trip() {
         let cases = [
@@ -522,7 +548,15 @@ mod tests {
                     errors: 1,
                     overloads: 2,
                     library: CoalesceStats { hits: 3, computed: 2, coalesced: 2 },
-                    cache: CacheStats { memory_hits: 5, disk_hits: 1, misses: 9, coalesced: 0 },
+                    cache: CacheStats {
+                        memory_hits: 5,
+                        disk_hits: 1,
+                        misses: 9,
+                        coalesced: 0,
+                        tier0_hits: 4,
+                        tier0_fallbacks: 2,
+                    },
+                    tier0_refits: 1,
                     library_shards: 16,
                     cache_shards: 16,
                 },

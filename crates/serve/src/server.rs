@@ -24,6 +24,7 @@
 use crate::protocol::{CharRequest, Op, Request, Response, ServedVia, StatsSnapshot};
 use flow::{
     ArcCache, CharConfig, Characterizer, CoalesceOutcome, Coalescer, FlowError, RunContext,
+    SurrogateTier,
 };
 use liberty::write_library;
 use std::io::{BufRead, BufReader, Write};
@@ -33,6 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use surrogate::SurrogateModel;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +53,15 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Shard count hint for the library memo and arc cache.
     pub shards: usize,
+    /// Tier-0 surrogate accuracy budget (maximum conformal relative error
+    /// a served prediction may carry); `None` disables the learned tier.
+    pub surrogate_budget: Option<f64>,
+    /// Serialized surrogate model: loaded at bind time when readable, and
+    /// rewritten after every online refit. Only used with a budget set.
+    pub surrogate_model: Option<PathBuf>,
+    /// Online refit cadence: retrain after this many observed samples
+    /// (0 keeps whatever model was loaded, without online training).
+    pub surrogate_refit_every: usize,
 }
 
 impl ServeConfig {
@@ -65,6 +76,9 @@ impl ServeConfig {
             queue_timeout: Duration::from_secs(5),
             cache_dir: None,
             shards: 16,
+            surrogate_budget: None,
+            surrogate_model: None,
+            surrogate_refit_every: 64,
         }
     }
 }
@@ -154,6 +168,7 @@ impl ServerState {
             overloads: self.overloads.load(Ordering::Relaxed),
             library: self.libraries.stats(),
             cache: self.cache.stats(),
+            tier0_refits: self.cache.tier0_refits(),
             library_shards: self.libraries.shard_count() as u64,
             cache_shards: self.cache.shard_count() as u64,
         }
@@ -282,10 +297,21 @@ impl Server {
         }
         let listener = UnixListener::bind(&config.socket)
             .map_err(|e| FlowError::io(config.socket.display(), &e))?;
-        let cache = match &config.cache_dir {
+        let mut cache = match &config.cache_dir {
             Some(dir) => ArcCache::with_dir(dir),
             None => ArcCache::in_memory(),
         };
+        if let Some(budget) = config.surrogate_budget {
+            let mut tier =
+                SurrogateTier::new(budget).with_refit_every(config.surrogate_refit_every);
+            if let Some(path) = &config.surrogate_model {
+                tier = tier.with_persist(path);
+                if let Ok(model) = SurrogateModel::load(path) {
+                    tier = tier.with_model(model);
+                }
+            }
+            cache = cache.with_tier0(Arc::new(tier));
+        }
         let state = Arc::new(ServerState {
             libraries: Coalescer::with_shards(config.shards),
             cache: Arc::new(cache),

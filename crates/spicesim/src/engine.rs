@@ -113,6 +113,15 @@ impl Trace {
         self.slots.get(node.0).is_some_and(Option::is_some)
     }
 
+    /// The number of recorded integration points — a simulator-cost proxy
+    /// callers can attribute to their instrumentation (the characterizer
+    /// books it against its `transient` stage, which is what the tier-0
+    /// surrogate amortizes away).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.time.len()
+    }
+
     /// The supply voltage of the simulated circuit.
     #[must_use]
     pub fn vdd(&self) -> f64 {

@@ -1,0 +1,84 @@
+//! Feature representation of one timing arc's characterization input.
+
+/// The four arc tables a surrogate predicts, in canonical order. Matches
+/// the table order of the arc cache's disk format.
+pub const TABLE_KINDS: [&str; 4] = ["rise_delay", "fall_delay", "rise_tran", "fall_tran"];
+
+/// The characterization input of one timing arc, reduced to numbers.
+///
+/// `base` holds the per-arc scalars (drive strength, stack depth, device
+/// count, `ΔVth` and mobility ratio per polarity, Vdd — temperature and
+/// lifetime act on an arc *only* through ΔVth/Δμ, so they need no feature
+/// of their own). The OPC axes are kept as raw values; the model works on
+/// their logarithms, one prediction point per `(slew, load)` grid cell in
+/// row-major `[slew × load]` order — the same layout as the arc tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcFeatures {
+    /// Arc class identity: models are trained per class (e.g.
+    /// `comb:NAND2_X1:A->Y`). Never contains whitespace.
+    pub class: String,
+    /// Per-arc scalar features; every sample of a deployment must use the
+    /// same length and ordering.
+    pub base: Vec<f64>,
+    /// Input-slew axis in seconds.
+    pub slews: Vec<f64>,
+    /// Output-load axis in farad.
+    pub loads: Vec<f64>,
+}
+
+impl ArcFeatures {
+    /// Grid points per table (`slews × loads`).
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.slews.len() * self.loads.len()
+    }
+
+    /// The full feature vector of grid point `(si, li)`: `base` followed by
+    /// `ln(slew)` and `ln(load)`.
+    #[must_use]
+    pub fn point_vector(&self, si: usize, li: usize) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.base.len() + 2);
+        x.extend_from_slice(&self.base);
+        x.push(self.slews[si].ln());
+        x.push(self.loads[li].ln());
+        x
+    }
+
+    /// Length of [`ArcFeatures::point_vector`].
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.base.len() + 2
+    }
+}
+
+/// One observed training sample: the arc's features plus its simulated
+/// (ground-truth) tables in [`TABLE_KINDS`] order, each of
+/// [`ArcFeatures::point_count`] values in row-major `[slew × load]` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcSample {
+    /// The arc's feature representation.
+    pub features: ArcFeatures,
+    /// Ground-truth tables, `TABLE_KINDS` order.
+    pub tables: [Vec<f64>; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_appends_log_axes() {
+        let f = ArcFeatures {
+            class: "comb:INV_X1:A->Y".into(),
+            base: vec![1.0, 2.0],
+            slews: vec![1e-12, 1e-10],
+            loads: vec![1e-15],
+        };
+        assert_eq!(f.point_count(), 2);
+        assert_eq!(f.dim(), 4);
+        let x = f.point_vector(1, 0);
+        assert_eq!(&x[..2], &[1.0, 2.0]);
+        assert!((x[2] - 1e-10_f64.ln()).abs() < 1e-12);
+        assert!((x[3] - 1e-15_f64.ln()).abs() < 1e-12);
+    }
+}

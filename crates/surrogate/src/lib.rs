@@ -1,0 +1,48 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+//! Learned tier-0 surrogate for timing-arc characterization.
+//!
+//! Transistor-level transient simulation dominates the cost of building a
+//! degradation-aware library; the content-addressed caches make *repeated*
+//! points free, but every **novel** (λ, OPC, scenario) point still pays the
+//! full simulator cost. Following the observation of Genssler et al. that
+//! small learned models predict aging-dependent timing accurately enough to
+//! replace simulation in the common case, this crate provides the
+//! model-side machinery for a tier-0 predictor that sits *in front of* the
+//! arc cache:
+//!
+//! * [`ArcFeatures`] — the characterization input of one timing arc reduced
+//!   to a numeric feature vector: topology class, stack depth, drive
+//!   strength, per-polarity `ΔVth` and mobility ratio (which is exactly how
+//!   λ, temperature and lifetime act on an arc), supply, and the log-scaled
+//!   OPC grid axes.
+//! * [`SurrogateModel`] — a deterministic offline trainer: per arc class, a
+//!   ridge regression in log-delay space over degree-2 polynomial
+//!   interaction terms of the standardized features, solved in closed form
+//!   by Cholesky decomposition (no iterative optimizer, no dependencies).
+//! * **Split-conformal error bounds** — every class holds out a calibration
+//!   slice of its training points and records the worst relative error the
+//!   model made on them, inflated by a safety factor. A class that has not
+//!   seen enough data carries an *infinite* bound, so a budget check can
+//!   never accidentally serve it. The bound is the contract consumed by the
+//!   serving tier: *serve the prediction only if `bound ≤ accuracy budget`,
+//!   otherwise fall back to simulation*.
+//! * A deterministic text serialization ([`SurrogateModel::to_text`]) so a
+//!   trained model lives next to the on-disk arc cache and round-trips
+//!   bit-exactly.
+//!
+//! Training is deterministic regardless of sample arrival order: samples
+//! are canonically sorted and deduplicated before the solve, so a model
+//! trained from a parallel characterization run equals one trained from a
+//! sequential run.
+//!
+//! The serving tier itself (prediction vs. fallback, online feedback,
+//! coalesced refits, counters) lives in `flow::tier0`, next to the cache it
+//! fronts.
+
+pub mod features;
+pub mod linalg;
+pub mod model;
+
+pub use features::{ArcFeatures, ArcSample, TABLE_KINDS};
+pub use linalg::solve_ridge;
+pub use model::{ErrorSummary, ModelParseError, PredictedTables, SurrogateModel, TrainConfig};

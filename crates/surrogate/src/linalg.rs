@@ -1,0 +1,139 @@
+//! Closed-form ridge regression via Cholesky decomposition.
+//!
+//! The normal-equation matrix `XᵀX + λI` is symmetric positive definite for
+//! any `λ > 0`, so the solve is exact, deterministic and allocation-light —
+//! no iterative optimizer and no external linear-algebra dependency.
+
+/// Solves the ridge problem `min_w ‖Xw − y‖² + λ‖w‖²` in closed form.
+///
+/// `rows` are the feature rows of `X` (all of length `dim`), `y` the
+/// targets. Returns `None` when the inputs are inconsistent or the
+/// (regularized) normal matrix is numerically singular even after jitter
+/// escalation — callers treat that as "no model".
+#[must_use]
+pub fn solve_ridge(rows: &[Vec<f64>], y: &[f64], dim: usize, lambda: f64) -> Option<Vec<f64>> {
+    if rows.len() != y.len() || rows.is_empty() || dim == 0 {
+        return None;
+    }
+    if rows.iter().any(|r| r.len() != dim) {
+        return None;
+    }
+    // Normal equations: A = XᵀX + λ n I (λ scaled by the row count so the
+    // regularization strength is independent of sample size), b = Xᵀy.
+    let n = rows.len() as f64;
+    let mut a = vec![0.0; dim * dim];
+    let mut b = vec![0.0; dim];
+    for (row, &target) in rows.iter().zip(y) {
+        for i in 0..dim {
+            b[i] += row[i] * target;
+            for j in i..dim {
+                a[i * dim + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            a[i * dim + j] = a[j * dim + i];
+        }
+    }
+    // Jitter escalation: retry with 10× the ridge until the factorization
+    // succeeds (or give up after a few decades).
+    let mut jitter = lambda.max(f64::MIN_POSITIVE) * n;
+    for _ in 0..8 {
+        let mut reg = a.clone();
+        for i in 0..dim {
+            reg[i * dim + i] += jitter;
+        }
+        if let Some(chol) = cholesky(&reg, dim) {
+            return Some(chol_solve(&chol, dim, &b));
+        }
+        jitter *= 10.0;
+    }
+    None
+}
+
+/// Lower-triangular Cholesky factor of a symmetric matrix (row-major),
+/// `None` when not positive definite.
+fn cholesky(a: &[f64], dim: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; dim * dim];
+    for i in 0..dim {
+        for j in 0..=i {
+            let mut sum = a[i * dim + j];
+            for k in 0..j {
+                sum -= l[i * dim + k] * l[j * dim + k];
+            }
+            if i == j {
+                if !(sum.is_finite() && sum > 0.0) {
+                    return None;
+                }
+                l[i * dim + i] = sum.sqrt();
+            } else {
+                l[i * dim + j] = sum / l[j * dim + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L Lᵀ x = b` by forward then backward substitution.
+fn chol_solve(l: &[f64], dim: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; dim];
+    for i in 0..dim {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * dim + k] * y[k];
+        }
+        y[i] = sum / l[i * dim + i];
+    }
+    let mut x = vec![0.0; dim];
+    for i in (0..dim).rev() {
+        let mut sum = y[i];
+        for k in i + 1..dim {
+            sum -= l[k * dim + i] * x[k];
+        }
+        x[i] = sum / l[i * dim + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 + 2 x1 - x2 with an intercept column.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x1 = f64::from(i) * 0.1;
+                let x2 = f64::from(i % 5);
+                vec![1.0, x1, x2]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[1] - r[2]).collect();
+        let w = solve_ridge(&rows, &y, 3, 1e-10).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-5, "{w:?}");
+        assert!((w[1] - 2.0).abs() < 1e-5, "{w:?}");
+        assert!((w[2] + 1.0).abs() < 1e-5, "{w:?}");
+    }
+
+    #[test]
+    fn collinear_columns_survive_via_ridge() {
+        // Second and third columns identical: unregularized normal
+        // equations are singular, the ridge solve must still succeed.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, f64::from(i), f64::from(i)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + r[1]).collect();
+        let w = solve_ridge(&rows, &y, 3, 1e-8).unwrap();
+        let pred = 1.0 + 4.0 * w[1] + 4.0 * w[2] + w[0] - 1.0;
+        // The split between the twin columns is arbitrary; the fit is not.
+        let fitted: f64 = w[0] + w[1] * 4.0 + w[2] * 4.0;
+        assert!((fitted - 5.0).abs() < 1e-3, "fitted {fitted}, pred {pred}");
+    }
+
+    #[test]
+    fn inconsistent_inputs_yield_none() {
+        assert!(solve_ridge(&[], &[], 2, 1e-6).is_none());
+        assert!(solve_ridge(&[vec![1.0]], &[1.0, 2.0], 1, 1e-6).is_none());
+        assert!(solve_ridge(&[vec![1.0]], &[1.0], 2, 1e-6).is_none());
+    }
+}

@@ -1,0 +1,658 @@
+//! The learned per-class surrogate model with conformal error bounds.
+
+use crate::features::{ArcFeatures, ArcSample, TABLE_KINDS};
+use crate::linalg::solve_ridge;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Trainer settings. The defaults are deliberately conservative: a tiny
+/// ridge (the polynomial basis is standardized, so scales are comparable),
+/// one calibration point per four training points, and a 1.5× inflation on
+/// the worst calibration error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Ridge regularization `λ` (scaled internally by the row count).
+    pub ridge: f64,
+    /// Roughly one in `calib_every` point rows is held out for conformal
+    /// calibration instead of training, selected by a content hash of the
+    /// row (never by position: a positional stride aliases with the grid
+    /// period and would hold out an entire grid corner, leaving the model
+    /// untrained exactly where it is judged); `< 2` disables calibration
+    /// and leaves every bound infinite (a collect-only model).
+    pub calib_every: usize,
+    /// Safety factor applied to the worst calibration error to form the
+    /// served bound.
+    pub safety: f64,
+    /// Minimum training rows per class for a finite bound.
+    pub min_train: usize,
+    /// Minimum calibration rows per class for a finite bound.
+    pub min_calib: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { ridge: 1e-6, calib_every: 4, safety: 1.5, min_train: 12, min_calib: 4 }
+    }
+}
+
+/// One class's fitted regression: standardization parameters, one weight
+/// vector per table kind over the polynomial basis, and the conformal
+/// relative-error bound.
+#[derive(Debug, Clone, PartialEq)]
+struct ClassModel {
+    /// Canonical training rows the fit used.
+    points: usize,
+    /// Conformal relative-error bound (`+∞` when calibration was too thin).
+    bound: f64,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    weights: [Vec<f64>; 4],
+}
+
+/// A prediction for one arc: the four tables (row-major `[slew × load]`,
+/// [`TABLE_KINDS`] order) plus the class's conformal bound the caller
+/// compares against its accuracy budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedTables {
+    /// Predicted tables, `TABLE_KINDS` order.
+    pub tables: [Vec<f64>; 4],
+    /// Conformal relative-error bound of the predicting class.
+    pub bound: f64,
+}
+
+/// Aggregate prediction error over an evaluation set; see
+/// [`SurrogateModel::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Evaluated (grid point × table kind) values.
+    pub points: usize,
+    /// Worst relative error.
+    pub max_rel: f64,
+    /// Mean relative error.
+    pub mean_rel: f64,
+    /// Samples skipped because no class model could predict them.
+    pub skipped: usize,
+}
+
+/// The serializable surrogate: one [ridge fit](crate::solve_ridge) per arc
+/// class, trained deterministically (canonical sample order) and carrying a
+/// split-conformal error bound per class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    dim: usize,
+    classes: BTreeMap<String, ClassModel>,
+}
+
+/// Length of the degree-2 polynomial basis over `m` standardized features:
+/// intercept, linear terms and all pairwise products (squares included).
+fn poly_dim(m: usize) -> usize {
+    1 + m + m * (m + 1) / 2
+}
+
+/// Expands standardized features into the polynomial basis.
+fn expand(z: &[f64]) -> Vec<f64> {
+    let m = z.len();
+    let mut phi = Vec::with_capacity(poly_dim(m));
+    phi.push(1.0);
+    phi.extend_from_slice(z);
+    for i in 0..m {
+        for j in i..m {
+            phi.push(z[i] * z[j]);
+        }
+    }
+    phi
+}
+
+fn standardize(x: &[f64], mean: &[f64], std: &[f64]) -> Vec<f64> {
+    x.iter()
+        .zip(mean)
+        .zip(std)
+        .map(|((&v, &m), &s)| if s > 0.0 { (v - m) / s } else { 0.0 })
+        .collect()
+}
+
+/// One canonical point row: features plus the four ground-truth values.
+type PointRow = (Vec<f64>, [f64; 4]);
+
+impl SurrogateModel {
+    /// Header line of the serialized model format.
+    pub const HEADER: &'static str = "reliaware-surrogate v1";
+
+    /// Trains one model per arc class from `samples`.
+    ///
+    /// Deterministic in the *set* of samples: rows are canonically sorted
+    /// and exact duplicates removed before the solve, so parallel
+    /// (arrival-order-shuffled) collection trains the same model as a
+    /// sequential run. Samples whose feature dimension disagrees with the
+    /// first sample are ignored; classes whose fit fails numerically are
+    /// omitted (their predictions decline).
+    #[must_use]
+    pub fn train(samples: &[ArcSample], cfg: &TrainConfig) -> Self {
+        let dim = samples.first().map_or(0, |s| s.features.dim());
+        let mut by_class: BTreeMap<String, Vec<PointRow>> = BTreeMap::new();
+        for s in samples {
+            if s.features.dim() != dim {
+                continue;
+            }
+            let cols = s.features.loads.len();
+            let rows = by_class.entry(s.features.class.clone()).or_default();
+            for si in 0..s.features.slews.len() {
+                for li in 0..cols {
+                    let idx = si * cols + li;
+                    let y =
+                        [s.tables[0][idx], s.tables[1][idx], s.tables[2][idx], s.tables[3][idx]];
+                    rows.push((s.features.point_vector(si, li), y));
+                }
+            }
+        }
+        let mut classes = BTreeMap::new();
+        for (class, mut rows) in by_class {
+            canonicalize(&mut rows);
+            if let Some(model) = fit_class(&rows, dim, cfg) {
+                classes.insert(class, model);
+            }
+        }
+        SurrogateModel { dim, classes }
+    }
+
+    /// Feature-vector length the model was trained with.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of fitted classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when no class is fitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The conformal bound of `class` (`+∞` for unknown classes, so a
+    /// budget comparison against an unseen class can never pass).
+    #[must_use]
+    pub fn bound(&self, class: &str) -> f64 {
+        self.classes.get(class).map_or(f64::INFINITY, |c| c.bound)
+    }
+
+    /// `(class, training points, bound)` per fitted class, sorted by name.
+    #[must_use]
+    pub fn class_summaries(&self) -> Vec<(String, usize, f64)> {
+        self.classes.iter().map(|(name, c)| (name.clone(), c.points, c.bound)).collect()
+    }
+
+    /// Predicts the four tables for `features`, or `None` when the class is
+    /// unknown, the dimension disagrees, or any predicted value is
+    /// non-finite or non-positive. The returned [`PredictedTables::bound`]
+    /// is the class's conformal bound — the caller decides whether it fits
+    /// its accuracy budget.
+    #[must_use]
+    pub fn predict(&self, features: &ArcFeatures) -> Option<PredictedTables> {
+        if features.dim() != self.dim {
+            return None;
+        }
+        let class = self.classes.get(&features.class)?;
+        let n = features.point_count();
+        let mut tables: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::with_capacity(n));
+        for si in 0..features.slews.len() {
+            for li in 0..features.loads.len() {
+                let z = standardize(&features.point_vector(si, li), &class.mean, &class.std);
+                let phi = expand(&z);
+                for (k, w) in class.weights.iter().enumerate() {
+                    let v = dot(w, &phi).exp();
+                    if !(v.is_finite() && v > 0.0) {
+                        return None;
+                    }
+                    tables[k].push(v);
+                }
+            }
+        }
+        Some(PredictedTables { tables, bound: class.bound })
+    }
+
+    /// Compares predictions against the ground truth of `samples`,
+    /// returning the worst/mean relative error over every grid point and
+    /// table kind. Samples the model declines count as `skipped`.
+    #[must_use]
+    pub fn evaluate(&self, samples: &[ArcSample]) -> ErrorSummary {
+        let mut points = 0usize;
+        let mut skipped = 0usize;
+        let mut max_rel = 0.0f64;
+        let mut sum_rel = 0.0f64;
+        for s in samples {
+            let Some(p) = self.predict(&s.features) else {
+                skipped += 1;
+                continue;
+            };
+            for k in 0..4 {
+                for (pred, truth) in p.tables[k].iter().zip(&s.tables[k]) {
+                    if *truth <= 0.0 || !truth.is_finite() {
+                        continue;
+                    }
+                    let rel = (pred / truth - 1.0).abs();
+                    max_rel = max_rel.max(rel);
+                    sum_rel += rel;
+                    points += 1;
+                }
+            }
+        }
+        let mean_rel = if points == 0 { 0.0 } else { sum_rel / points as f64 };
+        ErrorSummary { points, max_rel, mean_rel, skipped }
+    }
+
+    /// Serializes the model as deterministic text; `f64` values round-trip
+    /// through their exact bit patterns, like the arc cache's disk entries.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", Self::HEADER);
+        let _ = writeln!(out, "dim {}", self.dim);
+        let _ = writeln!(out, "classes {}", self.classes.len());
+        let hex = |out: &mut String, values: &[f64]| {
+            for v in values {
+                let _ = write!(out, " {:016x}", v.to_bits());
+            }
+            out.push('\n');
+        };
+        for (name, c) in &self.classes {
+            let _ =
+                writeln!(out, "class {name} points {} bound {:016x}", c.points, c.bound.to_bits());
+            out.push_str("mean");
+            hex(&mut out, &c.mean);
+            out.push_str("std");
+            hex(&mut out, &c.std);
+            for (kind, w) in TABLE_KINDS.iter().zip(&c.weights) {
+                let _ = write!(out, "w {kind}");
+                hex(&mut out, w);
+            }
+        }
+        out
+    }
+
+    /// Parses a model serialized by [`SurrogateModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelParseError`] naming the offending line on any
+    /// malformation.
+    pub fn from_text(text: &str) -> Result<Self, ModelParseError> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |what: &str| lines.next().ok_or_else(|| ModelParseError::eof(what));
+        let (_, header) = next("header")?;
+        if header != Self::HEADER {
+            return Err(ModelParseError::at(1, "unrecognized header"));
+        }
+        let (ln, dim_line) = next("dim")?;
+        let dim: usize = parse_kv(dim_line, "dim")
+            .ok_or_else(|| ModelParseError::at(ln + 1, "expected `dim <n>`"))?;
+        let (ln, count_line) = next("classes")?;
+        let count: usize = parse_kv(count_line, "classes")
+            .ok_or_else(|| ModelParseError::at(ln + 1, "expected `classes <n>`"))?;
+        let mut classes = BTreeMap::new();
+        for _ in 0..count {
+            let (ln, class_line) = next("class")?;
+            let bad = |msg: &str| ModelParseError::at(ln + 1, msg);
+            let mut parts = class_line.split_whitespace();
+            if parts.next() != Some("class") {
+                return Err(bad("expected `class <name> points <n> bound <hex>`"));
+            }
+            let name = parts.next().ok_or_else(|| bad("missing class name"))?.to_owned();
+            if parts.next() != Some("points") {
+                return Err(bad("missing `points`"));
+            }
+            let points: usize =
+                parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| bad("bad point count"))?;
+            if parts.next() != Some("bound") {
+                return Err(bad("missing `bound`"));
+            }
+            let bound = parts
+                .next()
+                .and_then(|p| u64::from_str_radix(p, 16).ok())
+                .map(f64::from_bits)
+                .ok_or_else(|| bad("bad bound"))?;
+            let mean = parse_values(next("mean")?, "mean", dim)?;
+            let std = parse_values(next("std")?, "std", dim)?;
+            let p = poly_dim(dim);
+            let mut weights: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::new());
+            for (k, kind) in TABLE_KINDS.iter().enumerate() {
+                let (ln, line) = next(kind)?;
+                let rest = line
+                    .strip_prefix("w ")
+                    .and_then(|r| r.strip_prefix(kind))
+                    .ok_or_else(|| ModelParseError::at(ln + 1, "expected `w <kind> <hex...>`"))?;
+                weights[k] = parse_hex_row(rest, p)
+                    .ok_or_else(|| ModelParseError::at(ln + 1, "bad weight row"))?;
+            }
+            classes.insert(name, ClassModel { points, bound, mean, std, weights });
+        }
+        Ok(SurrogateModel { dim, classes })
+    }
+
+    /// Writes the serialized model to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads and parses a model from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelParseError`] for unreadable files or malformed
+    /// content.
+    pub fn load(path: &Path) -> Result<Self, ModelParseError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ModelParseError::at(0, &format!("{}: {e}", path.display())))?;
+        Self::from_text(&text)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sorts point rows by content and removes exact duplicates, making
+/// training independent of sample arrival order.
+fn canonicalize(rows: &mut Vec<PointRow>) {
+    let key =
+        |r: &PointRow| -> Vec<u64> { r.0.iter().chain(r.1.iter()).map(|v| v.to_bits()).collect() };
+    rows.sort_by_key(key);
+    rows.dedup_by(|a, b| key(a) == key(b));
+}
+
+/// FNV-1a over a point row's exact bit patterns — the calibration-split
+/// selector. Content-keyed, so the split is independent of arrival order
+/// and cannot alias with the grid structure.
+fn row_hash(r: &PointRow) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in r.0.iter().chain(r.1.iter()) {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn fit_class(rows: &[PointRow], dim: usize, cfg: &TrainConfig) -> Option<ClassModel> {
+    let calibrated = cfg.calib_every >= 2;
+    let is_calib = |r: &PointRow| calibrated && row_hash(r).is_multiple_of(cfg.calib_every as u64);
+    let train: Vec<&PointRow> = rows.iter().filter(|r| !is_calib(r)).collect();
+    let calib: Vec<&PointRow> = rows.iter().filter(|r| is_calib(r)).collect();
+    if train.is_empty() {
+        return None;
+    }
+    // Per-feature mean/std over the training rows; constant columns get a
+    // zero std sentinel and standardize to 0, dropping them from the fit.
+    let n = train.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for r in &train {
+        for (m, v) in mean.iter_mut().zip(&r.0) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = vec![0.0; dim];
+    for r in &train {
+        for ((s, m), v) in std.iter_mut().zip(&mean).zip(&r.0) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt();
+        if *s < 1e-12 {
+            *s = 0.0;
+        }
+    }
+    let phi_of = |r: &PointRow| expand(&standardize(&r.0, &mean, &std));
+    let phi_train: Vec<Vec<f64>> = train.iter().map(|r| phi_of(r)).collect();
+    let p = poly_dim(dim);
+    let mut weights: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::new());
+    for (k, w) in weights.iter_mut().enumerate() {
+        // Fit in log space: delays/slews are positive and span decades, and
+        // exp() of the prediction is positive by construction.
+        let mut xs = Vec::with_capacity(phi_train.len());
+        let mut ys = Vec::with_capacity(phi_train.len());
+        for (phi, r) in phi_train.iter().zip(&train) {
+            let y = r.1[k];
+            if y > 0.0 && y.is_finite() {
+                xs.push(phi.clone());
+                ys.push(y.ln());
+            }
+        }
+        *w = solve_ridge(&xs, &ys, p, cfg.ridge)?;
+    }
+    // Split-conformal bound: the worst relative error over the held-out
+    // calibration rows, inflated by the safety factor. Thin data keeps the
+    // bound infinite so the class can never pass a finite budget.
+    let bound = if train.len() < cfg.min_train || calib.len() < cfg.min_calib {
+        f64::INFINITY
+    } else {
+        let mut worst = 0.0f64;
+        for r in &calib {
+            let phi = phi_of(r);
+            for (k, w) in weights.iter().enumerate() {
+                let truth = r.1[k];
+                if !(truth > 0.0 && truth.is_finite()) {
+                    worst = f64::INFINITY;
+                    continue;
+                }
+                let pred = dot(w, &phi).exp();
+                let rel = (pred / truth - 1.0).abs();
+                worst = worst.max(if rel.is_finite() { rel } else { f64::INFINITY });
+            }
+        }
+        worst * cfg.safety
+    };
+    Some(ClassModel { points: train.len(), bound, mean, std, weights })
+}
+
+fn parse_kv<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    let mut parts = line.split_whitespace();
+    (parts.next()? == key).then_some(())?;
+    parts.next()?.parse().ok()
+}
+
+fn parse_hex_row(rest: &str, expect: usize) -> Option<Vec<f64>> {
+    let values: Option<Vec<f64>> = rest
+        .split_whitespace()
+        .map(|p| u64::from_str_radix(p, 16).ok().map(f64::from_bits))
+        .collect();
+    values.filter(|v| v.len() == expect)
+}
+
+fn parse_values(
+    (ln, line): (usize, &str),
+    label: &str,
+    expect: usize,
+) -> Result<Vec<f64>, ModelParseError> {
+    line.strip_prefix(label)
+        .and_then(|rest| parse_hex_row(rest, expect))
+        .ok_or_else(|| ModelParseError::at(ln + 1, &format!("bad `{label}` row")))
+}
+
+/// A malformed serialized model (or an unreadable model file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelParseError {
+    /// 1-based line of the malformation (0 for I/O errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ModelParseError {
+    fn at(line: usize, message: &str) -> Self {
+        ModelParseError { line, message: message.to_owned() }
+    }
+
+    fn eof(what: &str) -> Self {
+        ModelParseError {
+            line: 0,
+            message: format!("unexpected end of model file, expected {what}"),
+        }
+    }
+}
+
+impl fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "surrogate model line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "surrogate model: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "characterization": delay-like tables generated from a
+    /// smooth positive function of the features.
+    fn synthetic_sample(class: &str, a: f64, b: f64) -> ArcSample {
+        let features = ArcFeatures {
+            class: class.into(),
+            base: vec![1.0, a, b],
+            slews: vec![1e-11, 1e-10, 3e-10],
+            loads: vec![1e-15, 4e-15, 1e-14],
+        };
+        let mut tables: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::new());
+        for &s in &features.slews {
+            for &l in &features.loads {
+                let x = s.ln() + 0.5 * l.ln();
+                for (k, t) in tables.iter_mut().enumerate() {
+                    let v =
+                        (1e-11 * (1.0 + 0.3 * a + 0.2 * b + (k as f64) * 0.1)) * (1.0 - 0.004 * x);
+                    t.push(v);
+                }
+            }
+        }
+        ArcSample { features, tables }
+    }
+
+    fn training_set() -> Vec<ArcSample> {
+        let mut out = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                out.push(synthetic_sample("comb:X:A->Y", f64::from(i) * 0.25, f64::from(j) * 0.25));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_smooth_relation_with_tight_bound() {
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        assert_eq!(model.len(), 1);
+        let bound = model.bound("comb:X:A->Y");
+        assert!(bound.is_finite() && bound < 0.05, "bound = {bound}");
+        // Novel (off-grid) point inside the training hull.
+        let novel = synthetic_sample("comb:X:A->Y", 0.375, 0.625);
+        let p = model.predict(&novel.features).expect("class is fitted");
+        let summary = model.evaluate(&[novel]);
+        assert_eq!(summary.skipped, 0);
+        assert!(summary.max_rel < 0.05, "max_rel = {}", summary.max_rel);
+        assert!(p.tables.iter().all(|t| t.iter().all(|v| *v > 0.0)));
+    }
+
+    #[test]
+    fn training_is_order_independent() {
+        let forward = training_set();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let cfg = TrainConfig::default();
+        let a = SurrogateModel::train(&forward, &cfg);
+        let b = SurrogateModel::train(&reversed, &cfg);
+        assert_eq!(a, b, "canonical sort must erase arrival order");
+        // Duplicated samples must not change the model either.
+        let mut doubled = forward.clone();
+        doubled.extend(forward);
+        assert_eq!(SurrogateModel::train(&doubled, &cfg), a);
+    }
+
+    #[test]
+    fn thin_data_keeps_bound_infinite() {
+        let samples = vec![synthetic_sample("comb:X:A->Y", 0.0, 0.0)];
+        let model = SurrogateModel::train(&samples, &TrainConfig::default());
+        assert!(model.bound("comb:X:A->Y").is_infinite());
+        assert!(model.bound("comb:unseen:A->Y").is_infinite());
+    }
+
+    #[test]
+    fn unknown_class_and_dim_mismatch_decline() {
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        let other = ArcFeatures {
+            class: "comb:OTHER:A->Y".into(),
+            base: vec![1.0, 0.0, 0.0],
+            slews: vec![1e-11],
+            loads: vec![1e-15],
+        };
+        assert!(model.predict(&other).is_none());
+        let wrong_dim = ArcFeatures {
+            class: "comb:X:A->Y".into(),
+            base: vec![1.0],
+            slews: vec![1e-11],
+            loads: vec![1e-15],
+        };
+        assert!(model.predict(&wrong_dim).is_none());
+    }
+
+    #[test]
+    fn serialization_round_trips_bit_exact() {
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        let text = model.to_text();
+        let back = SurrogateModel::from_text(&text).expect("round trip");
+        assert_eq!(back, model);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("reliaware_surrogate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("model.txt");
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        model.save(&path).expect("save");
+        assert_eq!(SurrogateModel::load(&path).expect("load"), model);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_text_is_a_typed_error() {
+        assert!(SurrogateModel::from_text("bogus").is_err());
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        let mut text = model.to_text();
+        text = text.replace("mean", "mena");
+        let err = SurrogateModel::from_text(&text).expect_err("must reject");
+        assert!(err.to_string().contains("mean"), "{err}");
+    }
+
+    #[test]
+    fn collect_only_config_disables_serving() {
+        let cfg = TrainConfig { calib_every: 0, ..TrainConfig::default() };
+        let model = SurrogateModel::train(&training_set(), &cfg);
+        assert!(model.bound("comb:X:A->Y").is_infinite());
+        // Prediction still works mechanically; only the bound gate blocks.
+        let novel = synthetic_sample("comb:X:A->Y", 0.1, 0.1);
+        assert!(model.predict(&novel.features).is_some());
+    }
+}

@@ -28,6 +28,9 @@
 //! - [`serve`] — the characterization service: a unix-socket daemon with a
 //!   sharded library memo, in-flight request coalescing and typed
 //!   backpressure, plus its client and load generator
+//! - [`surrogate`] — the tier-0 learned characterizer: deterministic ridge
+//!   models with split-conformal error bounds that serve arc tables without
+//!   simulation when the bound clears the accuracy budget
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -46,4 +49,5 @@ pub use serve;
 pub use spicesim;
 pub use sta;
 pub use stdcells;
+pub use surrogate;
 pub use synth;

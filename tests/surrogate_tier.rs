@@ -1,0 +1,160 @@
+//! Serving contract of the tier-0 learned surrogate, end to end.
+//!
+//! Two guarantees are asserted:
+//!
+//! 1. **Never over budget** — [`SurrogateTier::predict`] serves a
+//!    prediction only when the class's split-conformal error bound clears
+//!    the configured accuracy budget; unknown arc classes are never served
+//!    at any budget (property-tested over random budgets and features);
+//! 2. **Bit-identical fallback** — a collect-only tier (budget 0) in front
+//!    of the arc cache leaves the characterized library byte-for-byte
+//!    identical to a direct, uncached [`Characterizer`] run, for the cell
+//!    set of every one of the seven bundled benchmarks.
+
+use proptest::prelude::*;
+use reliaware::bti::AgingScenario;
+use reliaware::circuits;
+use reliaware::flow::{ArcCache, CharConfig, Characterizer, SurrogateTier};
+use reliaware::stdcells::CellSet;
+use reliaware::surrogate::{ArcFeatures, ArcSample, SurrogateModel, TrainConfig};
+use reliaware::synth::{self, test_fixtures::fixture_library, MapOptions};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// A deliberately tiny OPC grid (2×2, relaxed accuracy) so every direct
+/// characterization is milliseconds even in debug builds.
+fn tiny_config() -> CharConfig {
+    CharConfig {
+        slews: vec![10e-12, 300e-12],
+        loads: vec![1e-15, 10e-15],
+        max_dv: 8e-3,
+        parallelism: 4,
+        ..CharConfig::paper()
+    }
+}
+
+/// A synthetic arc whose tables are exactly log-linear in the features, so
+/// the ridge fit is near-perfect and the conformal bound tiny — the serving
+/// decision is then governed purely by the budget comparison under test.
+fn synthetic_sample(dvth: f64) -> ArcSample {
+    let slews = vec![10e-12, 300e-12];
+    let loads = vec![1e-15, 10e-15];
+    let features = ArcFeatures {
+        class: "comb:SYN_X1:A->Z".into(),
+        base: vec![1.0, 2.0, 6.0, dvth, 0.8 * dvth, 1.0 - dvth, 1.0 - 0.5 * dvth, 1.1],
+        slews: slews.clone(),
+        loads: loads.clone(),
+    };
+    let tables = std::array::from_fn(|k| {
+        let mut t = Vec::with_capacity(slews.len() * loads.len());
+        for s in &slews {
+            for l in &loads {
+                let kind = 1.0 + 0.3 * k as f64;
+                t.push(
+                    1e-11
+                        * kind
+                        * (1.0 + 40.0 * dvth)
+                        * (s / 1e-11).powf(0.3)
+                        * (l / 1e-15).powf(0.4),
+                );
+            }
+        }
+        t
+    });
+    ArcSample { features, tables }
+}
+
+/// One model, trained once, shared by every proptest case.
+fn trained_model() -> &'static SurrogateModel {
+    static MODEL: OnceLock<SurrogateModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let samples: Vec<ArcSample> =
+            (0..24).map(|i| synthetic_sample(f64::from(i) * 0.003)).collect();
+        SurrogateModel::train(&samples, &TrainConfig::default())
+    })
+}
+
+proptest! {
+    /// For any budget and any in-range feature point, a served prediction
+    /// implies `bound <= budget`; an arc class the model never saw is never
+    /// served, at any budget.
+    #[test]
+    fn tier_never_serves_over_budget(budget in 0.0f64..0.3, dvth in 0.0f64..0.08) {
+        let model = trained_model();
+        let bound = model.bound("comb:SYN_X1:A->Z");
+        prop_assert!(bound.is_finite() && bound > 0.0);
+        let tier = SurrogateTier::new(budget).with_model(model.clone());
+        let features = synthetic_sample(dvth).features;
+        if tier.predict(&features).is_some() {
+            prop_assert!(bound <= budget, "served with bound {bound} over budget {budget}");
+        } else {
+            prop_assert!(bound > budget, "declined although bound {bound} <= budget {budget}");
+        }
+        let alien = ArcFeatures { class: "comb:ALIEN_X1:A->Z".into(), ..features };
+        prop_assert!(tier.predict(&alien).is_none(), "unknown class must never be served");
+    }
+}
+
+#[test]
+fn budget_zero_collects_but_never_serves() {
+    let model = trained_model();
+    let tier = SurrogateTier::new(0.0).with_model(model.clone());
+    for i in 0..8 {
+        let sample = synthetic_sample(f64::from(i) * 0.007);
+        assert!(tier.predict(&sample.features).is_none(), "budget 0 must decline everything");
+        let tables = reliaware::flow::ArcTables {
+            rows: 2,
+            cols: 2,
+            rise_delay: sample.tables[0].clone(),
+            fall_delay: sample.tables[1].clone(),
+            rise_tran: sample.tables[2].clone(),
+            fall_tran: sample.tables[3].clone(),
+        };
+        tier.observe(&sample.features, &tables);
+    }
+    assert_eq!(tier.stats().samples, 8, "declined predictions must still feed training");
+}
+
+/// Every benchmark's synthesized cell set, characterized directly and
+/// through a collect-only tier + cache: the libraries must match bit for
+/// bit (distinct cell sets are only proven once — the check is per set).
+#[test]
+fn collect_only_tier_is_bit_identical_across_all_benchmarks() {
+    let catalog = CellSet::nangate45_like();
+    let fixture = fixture_library();
+    let config = tiny_config();
+    let scenario = AgingScenario::worst_case(10.0);
+    let mut proven: BTreeMap<Vec<String>, String> = BTreeMap::new();
+    for design in circuits::all_benchmarks() {
+        let netlist =
+            synth::synthesize(&design.aig, &fixture, &MapOptions::default()).expect("synthesize");
+        let mut cells: Vec<String> = netlist.instances().iter().map(|i| i.cell.clone()).collect();
+        cells.sort();
+        cells.dedup();
+        cells.retain(|c| catalog.get(c).is_some());
+        assert!(!cells.is_empty(), "{}: no catalog cells in the mapped netlist", design.name);
+        if proven.contains_key(&cells) {
+            continue;
+        }
+        let names: Vec<&str> = cells.iter().map(String::as_str).collect();
+        let subset = catalog.subset(&names);
+        let direct = Characterizer::new(subset.clone(), config.clone())
+            .expect("characterizer")
+            .library(&scenario)
+            .expect("direct characterization");
+        let tier = Arc::new(SurrogateTier::new(0.0));
+        let tiered = Characterizer::new(subset, config.clone())
+            .expect("characterizer")
+            .with_cache(Arc::new(ArcCache::in_memory().with_tier0(Arc::clone(&tier))))
+            .library(&scenario)
+            .expect("tiered characterization");
+        assert_eq!(
+            direct, tiered,
+            "{}: collect-only tier must not change the library",
+            design.name
+        );
+        assert!(tier.stats().samples > 0, "{}: tier collected no samples", design.name);
+        proven.insert(cells, design.name.clone());
+    }
+    assert!(!proven.is_empty());
+}
