@@ -55,6 +55,16 @@ options:
                       (default 1.2:1.2)
   --mttf-target Y     LT001/LT005 fire below this MTTF bound (default 10)
   --vth-budget V      guardband ΔVth budget in volts for LT006 (default 0.1)
+  --variation         also run the PV process-variation rules: Monte-Carlo
+                      MTTF distribution, containment invariant (PV003) and
+                      nominal-vs-quantile guardband gap (PV001); implied by
+                      the other --mc-.../--sigma-vth/--max-gap flags
+  --mc-samples N      number of sampled dies for the PV pass (default 64)
+  --mc-seed S         sampling-stream seed for the PV pass (default 1)
+  --sigma-vth V       1-sigma per-instance fresh-Vth offset in volts for the
+                      PV pass (default 0.015)
+  --max-gap F         PV001 fires when the p5 die retains less than 1-F of
+                      the nominal MTTF bound (default 0.25)
   --deny-warnings     exit 1 when warnings survive, not only on errors
   --json              emit the JSON report instead of text
   --list-rules        print every rule code, severity and summary, then exit
@@ -82,6 +92,11 @@ struct Args {
     vdd_range: Option<(f64, f64)>,
     mttf_target: Option<f64>,
     vth_budget: Option<f64>,
+    variation: bool,
+    mc_samples: Option<usize>,
+    mc_seed: Option<u64>,
+    sigma_vth: Option<f64>,
+    max_gap: Option<f64>,
     deny_warnings: bool,
     json: bool,
     list_rules: bool,
@@ -112,6 +127,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         vdd_range: None,
         mttf_target: None,
         vth_budget: None,
+        variation: false,
+        mc_samples: None,
+        mc_seed: None,
+        sigma_vth: None,
+        max_gap: None,
         deny_warnings: false,
         json: false,
         list_rules: false,
@@ -156,6 +176,23 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--vth-budget" => {
                 let v = value("--vth-budget")?;
                 args.vth_budget = Some(v.parse().map_err(|_| format!("bad budget {v}"))?);
+            }
+            "--variation" => args.variation = true,
+            "--mc-samples" => {
+                let v = value("--mc-samples")?;
+                args.mc_samples = Some(v.parse().map_err(|_| format!("bad sample count {v}"))?);
+            }
+            "--mc-seed" => {
+                let v = value("--mc-seed")?;
+                args.mc_seed = Some(v.parse().map_err(|_| format!("bad seed {v}"))?);
+            }
+            "--sigma-vth" => {
+                let v = value("--sigma-vth")?;
+                args.sigma_vth = Some(v.parse().map_err(|_| format!("bad sigma {v}"))?);
+            }
+            "--max-gap" => {
+                let v = value("--max-gap")?;
+                args.max_gap = Some(v.parse().map_err(|_| format!("bad gap {v}"))?);
             }
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
@@ -224,6 +261,31 @@ fn run() -> Result<ExitCode, FlowError> {
         }
         if let Some(budget) = args.vth_budget {
             lt.config.vth_budget = budget;
+        }
+    }
+    if args.variation
+        || args.mc_samples.is_some()
+        || args.mc_seed.is_some()
+        || args.sigma_vth.is_some()
+        || args.max_gap.is_some()
+    {
+        let pv = config.variation.get_or_insert_with(lint::VariationLintConfig::default);
+        if let Some(samples) = args.mc_samples {
+            pv.sampling.samples = samples;
+        }
+        if let Some(seed) = args.mc_seed {
+            pv.sampling.seed = seed;
+        }
+        if let Some(sigma) = args.sigma_vth {
+            pv.sampling.sigma_vth = sigma;
+        }
+        if let Some(gap) = args.max_gap {
+            pv.max_gap = gap;
+        }
+        // The PV pass shares the lifetime configuration when one is set,
+        // so --years/--temp-range/... shape both passes consistently.
+        if let Some(lt) = &config.lifetime {
+            pv.config = lt.config.clone();
         }
     }
 

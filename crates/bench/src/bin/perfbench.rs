@@ -24,7 +24,11 @@
 //!    samples from a λ-grid characterization, the refit model then serves
 //!    **novel off-grid** λ points without simulation, timed against the
 //!    full-simulation reference — the measured error must respect the
-//!    conformal budget and the smoke-mode speedup must clear 20×.
+//!    conformal budget and the smoke-mode speedup must clear 20×,
+//! 10. Monte-Carlo process variation: per-die MTTF sampling fanned over the
+//!     worker pool — bit-identical at worker counts 1/2/8, every sampled die
+//!     at or above the variation-aware static bound, samples/sec scaling
+//!     against the one-worker run.
 //!
 //! Every parallel stage asserts bit-identical output against its sequential
 //! twin before reporting a speedup; instrumentation is observational, so
@@ -603,6 +607,75 @@ fn run() -> Result<(), FlowError> {
                 eval.mean_rel,
                 stats.tier0_hits,
                 stats.tier0_fallbacks
+            ),
+        );
+    }
+
+    // 10. Monte-Carlo process variation: per-die MTTF sampling fanned over
+    // the worker pool. The distribution must be bit-identical at any worker
+    // count (each sample is pure in (seed, die)), every sampled die must
+    // respect the variation-aware static bound, and the pooled fan-out is
+    // timed against one worker for the samples/sec scaling figure.
+    {
+        let design = circuits::risc_5p();
+        let nl = synth::synthesize(&design.aig, &fixture, &MapOptions::default())?;
+        let lt_config = dataflow::LifetimeConfig::default();
+        let df_config = dataflow::DataflowConfig::default();
+        let samples = if opts.smoke { 16 } else { 256 };
+        let mc_chars = |workers: usize| -> Result<Characterizer, FlowError> {
+            let config = char_config(&opts, workers);
+            Ok(Characterizer::new(CellSet::nangate45_like().subset(&["INV_X1"]), config)?
+                .with_variation(ptm::VariationModel::nominal_45nm(), 1))
+        };
+        let (one, one_secs) = time(|| {
+            mc_chars(1).map(|c| c.mc_lifetime(&nl, &fixture, &lt_config, &df_config, samples))
+        });
+        let one = one?;
+        for workers in [2, 8] {
+            let other =
+                mc_chars(workers)?.mc_lifetime(&nl, &fixture, &lt_config, &df_config, samples);
+            assert_eq!(
+                one.distribution.samples.len(),
+                other.distribution.samples.len(),
+                "mcvar: sample count must not depend on workers"
+            );
+            for (i, (a, b)) in
+                one.distribution.samples.iter().zip(&other.distribution.samples).enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "mcvar: die {i} diverged at {workers} workers"
+                );
+            }
+        }
+        let (pooled, pooled_secs) = time(|| {
+            mc_chars(opts.threads)
+                .map(|c| c.mc_lifetime(&nl, &fixture, &lt_config, &df_config, samples))
+        });
+        let pooled = pooled?;
+        assert!(
+            pooled.distribution.contains_static_bound(),
+            "mcvar: sampled die {:.3} y below the variation-aware bound {:.3} y",
+            pooled.distribution.min_years(),
+            pooled.distribution.static_bound_years
+        );
+        let dist = &pooled.distribution;
+        report(
+            &ctx,
+            &mut stages,
+            "mcvar_risc",
+            pooled_secs,
+            samples as u64,
+            format!(
+                r#""samples": {samples}, "threads": {}, "samples_per_sec": {:.1}, "seq_seconds": {one_secs:.6}, "speedup": {:.2}, "nominal_years": {:.3}, "var_bound_years": {:.3}, "min_years": {:.3}, "p5_retention": {:.4}, "bit_identical_workers": true, "contains_static_bound": true"#,
+                opts.threads,
+                samples as f64 / pooled_secs.max(1e-12),
+                one_secs / pooled_secs.max(1e-12),
+                dist.nominal_years,
+                dist.static_bound_years,
+                dist.min_years(),
+                dist.p5_retention()
             ),
         );
     }

@@ -47,6 +47,7 @@ mod degradation;
 mod duty;
 mod mechanism;
 mod model;
+pub mod rng;
 mod scenario;
 mod stress;
 

@@ -65,10 +65,16 @@ pub struct AgingInput {
     pub vdd: f64,
     /// Clock frequency in hertz (drives the cycle-count mechanisms).
     pub frequency_hz: f64,
+    /// Sampled fresh threshold-voltage offset in volts (process variation;
+    /// 0 = nominal device). A device born with its Vth already shifted by
+    /// `+x` has `x` less of the parametric failure budget left, so the
+    /// Vth-criterion mechanisms fail it at `vth_crit − x` of *generated*
+    /// shift. Negative offsets widen the budget symmetrically.
+    pub vth0_offset: f64,
 }
 
 impl AgingInput {
-    /// Creates an input, clamping `duty` into `[0, 1]`.
+    /// Creates a nominal-device input, clamping `duty` into `[0, 1]`.
     ///
     /// # Panics
     ///
@@ -80,7 +86,25 @@ impl AgingInput {
         assert!(temperature_k.is_finite() && temperature_k > 0.0, "temperature must be positive");
         assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
         assert!(frequency_hz.is_finite() && frequency_hz > 0.0, "frequency must be positive");
-        AgingInput { duty: duty.clamp(0.0, 1.0), years, temperature_k, vdd, frequency_hz }
+        AgingInput {
+            duty: duty.clamp(0.0, 1.0),
+            years,
+            temperature_k,
+            vdd,
+            frequency_hz,
+            vth0_offset: 0.0,
+        }
+    }
+
+    /// This input for a device whose fresh Vth is offset by `volts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `volts` is not finite.
+    #[must_use]
+    pub fn with_vth0_offset(self, volts: f64) -> Self {
+        assert!(volts.is_finite(), "vth0 offset must be finite");
+        AgingInput { vth0_offset: volts, ..self }
     }
 
     /// The nominal worst-stress corner: duty 1 at the calibration
@@ -95,6 +119,14 @@ impl AgingInput {
             .with_temperature(self.temperature_k)
             .with_vdd(self.vdd)
     }
+}
+
+/// Remaining generated-ΔVth budget of a device whose fresh threshold is
+/// already offset by process variation: `vth_crit − vth0_offset`, floored
+/// at 1 mV so even a beyond-clamp sample keeps a positive (if tiny)
+/// budget and the failure-time inversions stay well-defined.
+fn vth_budget(vth_crit: f64, input: &AgingInput) -> f64 {
+    (vth_crit - input.vth0_offset).max(1e-3)
 }
 
 /// A two-parameter Weibull time-to-failure distribution in **years**.
@@ -275,19 +307,20 @@ impl AgingMechanism for BtiMechanism {
         if input.duty <= 0.0 {
             return None; // no stress, no trap generation, no failure
         }
-        if self.delta_vth_at(input, FAILURE_HORIZON_YEARS) < self.vth_crit {
+        let crit = vth_budget(self.vth_crit, input);
+        if self.delta_vth_at(input, FAILURE_HORIZON_YEARS) < crit {
             return None;
         }
         // ΔVth(t) is a sum of two power laws — strictly increasing — so the
         // crossing time is unique; 80 bisection steps in log-time pin it to
         // machine precision, deterministically.
         let (mut lo, mut hi) = (1e-6f64.ln(), FAILURE_HORIZON_YEARS.ln());
-        if self.delta_vth_at(input, lo.exp()) >= self.vth_crit {
+        if self.delta_vth_at(input, lo.exp()) >= crit {
             return Some(Weibull::from_mttf(lo.exp(), self.weibull_shape));
         }
         for _ in 0..80 {
             let mid = 0.5 * (lo + hi);
-            if self.delta_vth_at(input, mid.exp()) < self.vth_crit {
+            if self.delta_vth_at(input, mid.exp()) < crit {
                 lo = mid;
             } else {
                 hi = mid;
@@ -374,8 +407,9 @@ impl AgingMechanism for HciModel {
         }
         // Invert ΔVth = a·N^n·AF for the critical cycle count, then convert
         // cycles to years at this operating frequency and activity.
+        let crit = vth_budget(self.vth_crit, input);
         let critical_cycles =
-            (self.vth_crit / (self.a * self.acceleration(input))).powf(1.0 / self.cycle_exp);
+            (crit / (self.a * self.acceleration(input))).powf(1.0 / self.cycle_exp);
         let mttf_years = critical_cycles / cycles_per_year;
         (mttf_years <= FAILURE_HORIZON_YEARS)
             .then(|| Weibull::from_mttf(mttf_years, self.weibull_shape))
@@ -561,16 +595,18 @@ impl Default for AgingSuite {
 /// a description of every violated axis (empty = contract holds on the
 /// probe grid).
 ///
-/// For each axis (duty, years, temperature, Vdd, frequency) the probe
-/// sweeps three increasing values around the nominal corner and requires
-/// `ΔVth` non-decreasing and MTTF non-increasing (a missing distribution
-/// counts as an infinite failure time). This is what lint rule `LT004`
-/// runs before trusting interval-endpoint evaluation.
+/// For each axis (duty, years, temperature, Vdd, frequency, fresh-Vth
+/// offset) the probe sweeps three increasing values around the nominal
+/// corner and requires `ΔVth` non-decreasing and MTTF non-increasing (a
+/// missing distribution counts as an infinite failure time). This is what
+/// lint rule `LT004` runs before trusting interval-endpoint evaluation —
+/// and, since the process-variation axis joined the contract, what makes
+/// clamp-boundary evaluation cover every sampled device.
 #[must_use]
 pub fn monotonicity_violations(mechanism: &dyn AgingMechanism) -> Vec<String> {
     const REL_TOL: f64 = 1e-9;
     let base = AgingInput::worst(5.0);
-    let axes: [(&str, [AgingInput; 3]); 5] = [
+    let axes: [(&str, [AgingInput; 3]); 6] = [
         ("duty", [0.25, 0.5, 1.0].map(|duty| AgingInput { duty, ..base })),
         ("years", [1.0, 5.0, 10.0].map(|years| AgingInput { years, ..base })),
         (
@@ -582,6 +618,7 @@ pub fn monotonicity_violations(mechanism: &dyn AgingMechanism) -> Vec<String> {
             "frequency",
             [5.0e8, 1.0e9, 2.0e9].map(|frequency_hz| AgingInput { frequency_hz, ..base }),
         ),
+        ("vth0_offset", [-0.06, 0.0, 0.06].map(|vth0_offset| AgingInput { vth0_offset, ..base })),
     ];
     let mut out = Vec::new();
     for (axis, points) in &axes {
@@ -732,6 +769,39 @@ mod tests {
             let violations = monotonicity_violations(mech);
             assert!(violations.is_empty(), "{violations:?}");
         }
+    }
+
+    #[test]
+    fn vth0_offset_consumes_the_failure_budget() {
+        let nbti = BtiMechanism::nbti();
+        let base = AgingInput::worst(10.0);
+        let slow = base.with_vth0_offset(0.05);
+        let fast = base.with_vth0_offset(-0.05);
+        let mttf = |m: &dyn AgingMechanism, i: &AgingInput| {
+            m.failure_distribution(i).map_or(f64::INFINITY, |w| w.mttf_years())
+        };
+        // A device born slow has less generated-ΔVth budget and fails
+        // earlier; a fast one gains budget symmetrically.
+        assert!(mttf(&nbti, &slow) < mttf(&nbti, &base));
+        assert!(mttf(&nbti, &fast) > mttf(&nbti, &base));
+        // The crossing honors the reduced budget exactly.
+        let t = mttf(&nbti, &slow);
+        assert!(nbti.delta_vth_at(&slow, t) >= (nbti.vth_crit - 0.05) * (1.0 - 1e-9));
+        // HCI inverts its power law at the same reduced budget.
+        let hci = HciModel::standard();
+        assert!(mttf(&hci, &slow) < mttf(&hci, &base));
+        // EM and TDDB are not Vth-criterion mechanisms: the offset is a no-op.
+        let em = EmModel::standard();
+        let tddb = TddbModel::standard();
+        assert_eq!(em.failure_distribution(&base), em.failure_distribution(&slow));
+        assert_eq!(tddb.failure_distribution(&base), tddb.failure_distribution(&slow));
+        // Degradation trajectories are offset-independent (the offset moves
+        // the criterion, not the physics).
+        assert_eq!(nbti.degradation(&base), nbti.degradation(&slow));
+        // Even a beyond-clamp offset keeps a positive budget (1 mV floor).
+        let wild = base.with_vth0_offset(10.0);
+        let m = mttf(&nbti, &wild);
+        assert!(m.is_finite() && m > 0.0);
     }
 
     #[test]

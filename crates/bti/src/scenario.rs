@@ -46,10 +46,17 @@ pub struct AgingScenario {
     pub nbti: BtiModel,
     /// PBTI model applied to nMOS devices.
     pub pbti: BtiModel,
+    /// Sampled fresh-Vth offset of the pMOS devices in volts (process
+    /// variation; 0 = nominal). Carried so variation-aware failure analysis
+    /// and cache keys see which die the scenario describes — the BTI trap
+    /// physics itself is offset-independent.
+    pub vth0_offset_pmos: f64,
+    /// Sampled fresh-Vth offset of the nMOS devices in volts.
+    pub vth0_offset_nmos: f64,
 }
 
 impl AgingScenario {
-    /// Creates a scenario with the default NBTI/PBTI models.
+    /// Creates a nominal-die scenario with the default NBTI/PBTI models.
     #[must_use]
     pub fn new(lambda_pmos: DutyCycle, lambda_nmos: DutyCycle, years: f64) -> Self {
         AgingScenario {
@@ -60,7 +67,23 @@ impl AgingScenario {
             vdd: Stress::NOMINAL_VDD,
             nbti: BtiModel::nbti(),
             pbti: BtiModel::pbti(),
+            vth0_offset_pmos: 0.0,
+            vth0_offset_nmos: 0.0,
         }
+    }
+
+    /// Returns a copy describing a die whose pMOS/nMOS fresh thresholds are
+    /// offset by the sampled amounts (volts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either offset is not finite.
+    #[must_use]
+    pub fn with_vth0_offsets(mut self, pmos: f64, nmos: f64) -> Self {
+        assert!(pmos.is_finite() && nmos.is_finite(), "vth0 offsets must be finite");
+        self.vth0_offset_pmos = pmos;
+        self.vth0_offset_nmos = nmos;
+        self
     }
 
     /// Returns a copy evaluated at a different environment corner — hotter
@@ -155,13 +178,22 @@ impl AgingScenario {
     ///
     /// Every scenario axis participates so that two scenarios differing only
     /// in lifetime or environment never collide in a library name or a
-    /// characterization cache key.
+    /// characterization cache key. Sampled fresh-Vth offsets append a
+    /// `_p{...}_n{...}` suffix only when non-zero, so nominal-die tags are
+    /// unchanged from before the variation axis existed.
     #[must_use]
     pub fn index_tag(&self) -> String {
-        format!(
+        let mut tag = format!(
             "{}_{}_{:.2}y_{:.2}K_{:.2}V",
             self.lambda_pmos, self.lambda_nmos, self.years, self.temperature_k, self.vdd
-        )
+        );
+        if self.vth0_offset_pmos != 0.0 || self.vth0_offset_nmos != 0.0 {
+            tag.push_str(&format!(
+                "_p{:+.4}_n{:+.4}",
+                self.vth0_offset_pmos, self.vth0_offset_nmos
+            ));
+        }
+        tag
     }
 
     /// True if this scenario leaves devices unaged.
@@ -196,6 +228,16 @@ mod tests {
     fn index_tag_format() {
         let s = AgingScenario::new(DutyCycle::saturating(0.4), DutyCycle::saturating(0.6), 10.0);
         assert_eq!(s.index_tag(), "0.40_0.60_10.00y_398.15K_1.20V");
+    }
+
+    #[test]
+    fn index_tag_carries_sampled_offsets_only_when_present() {
+        let s = AgingScenario::worst_case(10.0);
+        let die = s.clone().with_vth0_offsets(0.0123, -0.0045);
+        assert_eq!(die.index_tag(), format!("{}_p+0.0123_n-0.0045", s.index_tag()));
+        // A zero-offset die is the nominal tag — no suffix, no cache split.
+        assert_eq!(s.clone().with_vth0_offsets(0.0, 0.0).index_tag(), s.index_tag());
+        assert_ne!(die.index_tag(), s.clone().with_vth0_offsets(0.0123, 0.0045).index_tag());
     }
 
     #[test]

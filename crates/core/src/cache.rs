@@ -709,6 +709,8 @@ mod tests {
         ArcFeatures {
             class: "comb:T:A->Y".into(),
             base: vec![a],
+            temperature_k: 398.15,
+            vdd: 1.2,
             slews: vec![1e-11, 1e-10],
             loads: vec![1e-15, 1e-14],
         }

@@ -5,16 +5,18 @@ use crate::context::RunContext;
 use crate::error::CharError;
 use crate::pool;
 use bti::AgingScenario;
+use dataflow::{DataflowConfig, LifetimeConfig, LifetimeReport, McDistribution, McSampling};
 use liberty::{
     merge_indexed, parse_library, write_library, Cell, CellClass, InputPin, LambdaTag, Library,
     OutputPin, Table2d, TimingArc, TimingSense,
 };
-use ptm::{MosModel, MosPolarity};
+use netlist::Netlist;
+use ptm::{MosModel, MosPolarity, VariationModel};
 use spicesim::{TransientConfig, Waveform};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
-use stdcells::{CellDef, CellSet, Topology};
+use stdcells::{CellDef, CellInstance, CellSet, SampledCards, Topology};
 use surrogate::ArcFeatures;
 
 /// Characterization settings: the operating-condition grid, supply, device
@@ -118,6 +120,22 @@ pub struct Characterizer {
     config: CharConfig,
     cache: Option<Arc<ArcCache>>,
     ctx: Option<Arc<RunContext>>,
+    /// Per-device process variation of the characterized die: the model
+    /// and the die's sampling-stream seed. `None` (or a zero-variance
+    /// model) characterizes the nominal die on the exact pre-variation
+    /// code path, bit-identically.
+    variation: Option<(VariationModel, u64)>,
+}
+
+/// Result of [`Characterizer::mc_lifetime`]: the deterministic static
+/// lifetime report plus the Monte-Carlo design-MTTF distribution sampled
+/// on top of it.
+#[derive(Debug, Clone)]
+pub struct McLifetimeOutcome {
+    /// The nominal (interval-based) static lifetime analysis.
+    pub report: LifetimeReport,
+    /// Per-die sampled design MTTFs with quantile/guardband accessors.
+    pub distribution: McDistribution,
 }
 
 impl Characterizer {
@@ -132,7 +150,7 @@ impl Characterizer {
         if cells.is_empty() {
             return Err(CharError::EmptyCellSet);
         }
-        Ok(Characterizer { cells, config, cache: None, ctx: None })
+        Ok(Characterizer { cells, config, cache: None, ctx: None, variation: None })
     }
 
     /// Creates a characterizer over the named subset of `catalog`,
@@ -189,6 +207,56 @@ impl Characterizer {
         self.cache.as_deref()
     }
 
+    /// Characterizes one *sampled* die: every device of every cell gets its
+    /// own parameter card drawn from `model` on the counter-based stream
+    /// anchored at `die_seed`. The draw for a given device depends only on
+    /// `(model, die_seed, cell name, device ordinal)` — never on
+    /// characterization order, worker count or cache state — so sampled
+    /// libraries replay bit-identically. A zero-variance model keeps the
+    /// nominal code path (and nominal cache keys) exactly.
+    #[must_use]
+    pub fn with_variation(mut self, model: VariationModel, die_seed: u64) -> Self {
+        self.variation = Some((model, die_seed));
+        self
+    }
+
+    /// The attached variation model and die seed, if any.
+    #[must_use]
+    pub fn variation(&self) -> Option<&(VariationModel, u64)> {
+        self.variation.as_ref()
+    }
+
+    /// The variation actually in effect: `None` unless a model with
+    /// non-zero spread is attached, so zero-variance sampling degrades to
+    /// the bit-identical nominal path.
+    fn active_variation(&self) -> Option<&(VariationModel, u64)> {
+        self.variation.as_ref().filter(|(m, _)| !m.is_zero())
+    }
+
+    /// Instantiates `def` against the die in effect: per-device sampled
+    /// cards under active variation, the shared per-polarity cards
+    /// otherwise. The per-cell sampling stream is seeded from the die seed
+    /// and the cell *name* so a cell's devices draw the same parameters
+    /// regardless of which other cells are characterized alongside it.
+    fn instantiate_cell(
+        &self,
+        def: &CellDef,
+        nmos: &MosModel,
+        pmos: &MosModel,
+        stimuli: &BTreeMap<String, Waveform>,
+        loads: &BTreeMap<String, f64>,
+    ) -> CellInstance {
+        let vdd = self.config.vdd;
+        match self.active_variation() {
+            Some((variation, die_seed)) => {
+                let cell_seed = bti::rng::draw(*die_seed, KeyHasher::new().str(&def.name).finish());
+                let cards = SampledCards { nmos, pmos, variation, seed: cell_seed };
+                def.instantiate_with(&cards, vdd, stimuli, loads)
+            }
+            None => def.instantiate(nmos, pmos, vdd, stimuli, loads),
+        }
+    }
+
     /// The configured OPC grid.
     #[must_use]
     pub fn config(&self) -> &CharConfig {
@@ -205,7 +273,12 @@ impl Characterizer {
         let d = scenario.degradations();
         let nmos = MosModel::nmos_45nm().degraded(&d.nmos);
         let pmos = MosModel::pmos_45nm().degraded(&d.pmos);
-        self.library_with_models(&format!("aged_{}", scenario.index_tag()), &nmos, &pmos)
+        self.library_at(
+            &format!("aged_{}", scenario.index_tag()),
+            &nmos,
+            &pmos,
+            scenario.temperature_k,
+        )
     }
 
     /// Like [`Characterizer::library`] but dropping the mobility
@@ -218,7 +291,12 @@ impl Characterizer {
         let d = scenario.degradations();
         let nmos = MosModel::nmos_45nm().degraded(&d.nmos.vth_only());
         let pmos = MosModel::pmos_45nm().degraded(&d.pmos.vth_only());
-        self.library_with_models(&format!("aged_vthonly_{}", scenario.index_tag()), &nmos, &pmos)
+        self.library_at(
+            &format!("aged_vthonly_{}", scenario.index_tag()),
+            &nmos,
+            &pmos,
+            scenario.temperature_k,
+        )
     }
 
     /// Characterizes under explicit device models. Cells are independent
@@ -235,16 +313,88 @@ impl Characterizer {
         nmos: &MosModel,
         pmos: &MosModel,
     ) -> Result<Library, CharError> {
+        self.library_at(name, nmos, pmos, bti::Stress::NOMINAL_TEMPERATURE_K)
+    }
+
+    /// [`Characterizer::library_with_models`] at an explicit environment
+    /// temperature (the surrogate feature axis; the transient simulation
+    /// itself sees temperature only through the degraded device models).
+    fn library_at(
+        &self,
+        name: &str,
+        nmos: &MosModel,
+        pmos: &MosModel,
+        temperature_k: f64,
+    ) -> Result<Library, CharError> {
         let mut lib = self.empty_library(name);
         let defs: Vec<&CellDef> = self.cells.iter().collect();
         if let Some(ctx) = &self.ctx {
             ctx.add_tasks("characterize", defs.len() as u64);
         }
         let workers = self.config.parallelism.clamp(1, defs.len().max(1));
-        for cell in pool::parallel_map(workers, &defs, |d| self.characterize_cell(d, nmos, pmos)) {
+        let cells = pool::parallel_map(workers, &defs, |d| {
+            self.characterize_cell(d, nmos, pmos, temperature_k)
+        });
+        for cell in cells {
             lib.add_cell(cell?);
         }
         Ok(lib)
+    }
+
+    /// Monte-Carlo lifetime of `netlist` under process variation: the
+    /// static λ-interval lifetime analysis runs once, then `samples`
+    /// per-die draws of the sampled fresh-Vth offsets are composed into a
+    /// design-MTTF distribution on the shared worker pool.
+    ///
+    /// The per-sample MTTF is a pure function of `(sampling plan, sample
+    /// index)` and the fan-out preserves sample order, so the distribution
+    /// is **bit-identical at any worker count** and across cold/warm cache
+    /// states. The sampling plan comes from the attached
+    /// [`Characterizer::with_variation`] model (seeded by its die seed);
+    /// without one, a zero-variance plan reproduces the deterministic
+    /// static bound in every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lifetime config or the derived sampling plan fails
+    /// validation (the same contract as [`dataflow::static_lifetime_bound`]
+    /// and [`dataflow::mc_design_mttf`]).
+    #[must_use]
+    pub fn mc_lifetime(
+        &self,
+        netlist: &Netlist,
+        library: &Library,
+        lifetime: &LifetimeConfig,
+        df: &DataflowConfig,
+        samples: usize,
+    ) -> McLifetimeOutcome {
+        let sampling = match &self.variation {
+            Some((model, die_seed)) => McSampling {
+                samples,
+                seed: *die_seed,
+                sigma_vth: model.sigma_vth,
+                clamp_sigmas: model.clamp_sigmas,
+            },
+            None => McSampling::zero_variance(samples, 0),
+        };
+        let problems = sampling.validation_errors();
+        assert!(problems.is_empty(), "invalid MC sampling plan: {problems:?}");
+        let report = dataflow::static_lifetime_bound(netlist, library, lifetime, df);
+        if let Some(ctx) = &self.ctx {
+            ctx.add_tasks("mc_lifetime", samples as u64);
+        }
+        let indices: Vec<usize> = (0..samples).collect();
+        let workers = self.config.parallelism.clamp(1, samples.max(1));
+        let mttfs = pool::parallel_map(workers, &indices, |&s| {
+            dataflow::sample_design_mttf(&report, &sampling, s)
+        });
+        let distribution = McDistribution {
+            samples: mttfs,
+            nominal_years: report.design_mttf_lo_years,
+            static_bound_years: dataflow::clamp_boundary_bound(&report, &sampling),
+            sampling,
+        };
+        McLifetimeOutcome { report, distribution }
     }
 
     /// The N×N grid of per-scenario libraries merged into one *complete*
@@ -264,7 +414,7 @@ impl Characterizer {
     pub fn complete_library(&self, steps: u32, years: f64) -> Result<Library, CharError> {
         let scenarios = AgingScenario::grid(steps, years);
         let defs: Vec<&CellDef> = self.cells.iter().collect();
-        let models: Vec<(LambdaTag, String, MosModel, MosModel)> = scenarios
+        let models: Vec<(LambdaTag, String, MosModel, MosModel, f64)> = scenarios
             .iter()
             .map(|s| {
                 let d = s.degradations();
@@ -275,7 +425,7 @@ impl Characterizer {
                 let name = format!("aged_{}", s.index_tag());
                 let nmos = MosModel::nmos_45nm().degraded(&d.nmos);
                 let pmos = MosModel::pmos_45nm().degraded(&d.pmos);
-                (tag, name, nmos, pmos)
+                (tag, name, nmos, pmos, s.temperature_k)
             })
             .collect();
         let tasks: Vec<(usize, usize)> =
@@ -285,12 +435,12 @@ impl Characterizer {
         }
         let workers = self.config.parallelism.clamp(1, tasks.len().max(1));
         let cells = pool::parallel_map(workers, &tasks, |&(si, ci)| {
-            self.characterize_cell(defs[ci], &models[si].2, &models[si].3)
+            self.characterize_cell(defs[ci], &models[si].2, &models[si].3, models[si].4)
         });
 
         let mut cells = cells.into_iter();
         let mut parts: Vec<(LambdaTag, Library)> = Vec::with_capacity(models.len());
-        for (tag, name, _, _) in &models {
+        for (tag, name, _, _, _) in &models {
             let mut lib = self.empty_library(name);
             for _ in 0..defs.len() {
                 match cells.next() {
@@ -349,11 +499,26 @@ impl Characterizer {
         let mut h = KeyHasher::new();
         h.str("reliaware-lib-v1").str(&format!("{scenario:?}"));
         self.hash_config(&mut h);
+        self.hash_variation(&mut h);
         h.u64(self.cells.len() as u64);
         for def in self.cells.iter() {
             h.str(&format!("{def:?}"));
         }
         h.finish()
+    }
+
+    /// Feeds the active variation (spread parameters and die seed) into
+    /// `h`. A nominal or zero-variance characterizer feeds nothing, so its
+    /// keys are byte-identical to the pre-variation format and warm caches
+    /// stay valid.
+    fn hash_variation(&self, h: &mut KeyHasher) {
+        if let Some((model, die_seed)) = self.active_variation() {
+            h.str("pv")
+                .f64(model.sigma_vth)
+                .f64(model.sigma_kp_frac)
+                .f64(model.clamp_sigmas)
+                .u64(*die_seed);
+        }
     }
 
     /// Feeds the result-determining [`CharConfig`] fields into `h`.
@@ -395,6 +560,7 @@ impl Characterizer {
         let mut h = KeyHasher::new();
         h.str("reliaware-arc-v1").str(kind).str(related).str(output).str(&format!("{def:?}"));
         self.hash_config(&mut h);
+        self.hash_variation(&mut h);
         hash_mos(&mut h, nmos);
         hash_mos(&mut h, pmos);
         h.finish()
@@ -402,12 +568,14 @@ impl Characterizer {
 
     /// Tier-0 surrogate features of one arc: the cell's topology class
     /// string plus a numeric fingerprint of drive strength, stack depth,
-    /// device count, the degradation state (`ΔVth` and mobility ratio per
-    /// polarity, relative to the fresh 45 nm models — temperature and
-    /// lifetime act only through these) and Vdd, with the OPC axes the
-    /// tables span. Built only when the attached cache carries a
+    /// device count and the degradation state (`ΔVth` and mobility ratio
+    /// per polarity, relative to the fresh 45 nm models), the environment
+    /// axes (junction temperature and Vdd, so a model trained over several
+    /// operating corners can interpolate between them), and the OPC axes
+    /// the tables span. Built only when the attached cache carries a
     /// [`crate::tier0::SurrogateTier`]; everywhere else the cache path
     /// stays feature-free and surrogate-free.
+    #[allow(clippy::too_many_arguments)]
     fn arc_features(
         &self,
         def: &CellDef,
@@ -416,7 +584,14 @@ impl Characterizer {
         output: &str,
         nmos: &MosModel,
         pmos: &MosModel,
+        temperature_k: f64,
     ) -> Option<ArcFeatures> {
+        // The tier-0 surrogate is trained on nominal (per-polarity) cards;
+        // a sampled die's arcs are outside its feature space, so variation
+        // always goes to real simulation (tier-1/2 keys stay exact).
+        if self.active_variation().is_some() {
+            return None;
+        }
         self.cache.as_ref().filter(|c| c.tier0().is_some())?;
         let fresh_n = MosModel::nmos_45nm();
         let fresh_p = MosModel::pmos_45nm();
@@ -436,8 +611,9 @@ impl Characterizer {
                 pmos.vth - fresh_p.vth,
                 nmos.kp / fresh_n.kp,
                 pmos.kp / fresh_p.kp,
-                self.config.vdd,
             ],
+            temperature_k,
+            vdd: self.config.vdd,
             slews: self.config.slews.clone(),
             loads: self.config.loads.clone(),
         })
@@ -495,6 +671,7 @@ impl Characterizer {
         def: &CellDef,
         nmos: &MosModel,
         pmos: &MosModel,
+        temperature_k: f64,
     ) -> Result<Cell, CharError> {
         let cfg = &self.config;
         let inputs: Vec<InputPin> = def
@@ -521,13 +698,21 @@ impl Characterizer {
             let function = def.function(&out.pin);
             let mut arcs = Vec::new();
             if def.is_sequential() {
-                arcs.push(self.characterize_flop_arc(def, nmos, pmos)?);
+                arcs.push(self.characterize_flop_arc(def, nmos, pmos, temperature_k)?);
             } else {
                 for input in &def.inputs {
                     let Some(sense) = def.timing_sense(input, &out.pin) else {
                         continue; // output independent of this input
                     };
-                    arcs.push(self.characterize_arc(def, input, &out.pin, sense, nmos, pmos)?);
+                    arcs.push(self.characterize_arc(
+                        def,
+                        input,
+                        &out.pin,
+                        sense,
+                        nmos,
+                        pmos,
+                        temperature_k,
+                    )?);
                 }
             }
             outputs.push(OutputPin {
@@ -541,6 +726,7 @@ impl Characterizer {
     }
 
     /// Characterizes one combinational input→output arc over the OPC grid.
+    #[allow(clippy::too_many_arguments)]
     fn characterize_arc(
         &self,
         def: &CellDef,
@@ -549,6 +735,7 @@ impl Characterizer {
         sense: TimingSense,
         nmos: &MosModel,
         pmos: &MosModel,
+        temperature_k: f64,
     ) -> Result<TimingArc, CharError> {
         let side = def.sensitizing_assignment(input, output).unwrap_or_default();
         // Output polarity for a rising input under this sensitization.
@@ -566,7 +753,7 @@ impl Characterizer {
         let out_rises_with_input = !f.eval(&assign(false)) && f.eval(&assign(true));
 
         let key = self.arc_key(def, "comb", input, output, nmos, pmos);
-        let features = self.arc_features(def, "comb", input, output, nmos, pmos);
+        let features = self.arc_features(def, "comb", input, output, nmos, pmos, temperature_k);
         let tables = self.tables_via_cache(key, features, || {
             self.simulate_comb_tables(def, input, output, &side, out_rises_with_input, nmos, pmos)
         })?;
@@ -646,7 +833,7 @@ impl Characterizer {
             stimuli.insert(pin.clone(), Waveform::Dc(if *high { cfg.vdd } else { 0.0 }));
         }
         let loads: BTreeMap<String, f64> = [(output.to_owned(), load)].into_iter().collect();
-        let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
+        let inst = self.instantiate_cell(def, nmos, pmos, &stimuli, &loads);
         let missing = |pin: &str| CharError::MissingPin { cell: def.name.clone(), pin: pin.into() };
         let in_node = inst.node(input).ok_or_else(|| missing(input))?;
         let out_node = inst.node(output).ok_or_else(|| missing(output))?;
@@ -676,9 +863,10 @@ impl Characterizer {
         def: &CellDef,
         nmos: &MosModel,
         pmos: &MosModel,
+        temperature_k: f64,
     ) -> Result<TimingArc, CharError> {
         let key = self.arc_key(def, "flop", "CK", "Q", nmos, pmos);
-        let features = self.arc_features(def, "flop", "CK", "Q", nmos, pmos);
+        let features = self.arc_features(def, "flop", "CK", "Q", nmos, pmos, temperature_k);
         let tables =
             self.tables_via_cache(key, features, || self.simulate_flop_tables(def, nmos, pmos))?;
         Ok(self.arc_from_tables("CK", TimingSense::PositiveUnate, &tables))
@@ -715,7 +903,7 @@ impl Characterizer {
                     stimuli.insert("CK".into(), Waveform::from_slew(t_clk, slew, cfg.vdd, true));
                     let loads: BTreeMap<String, f64> =
                         [("Q".to_owned(), load)].into_iter().collect();
-                    let inst = def.instantiate(nmos, pmos, cfg.vdd, &stimuli, &loads);
+                    let inst = self.instantiate_cell(def, nmos, pmos, &stimuli, &loads);
                     let missing = |pin: &str| CharError::MissingPin {
                         cell: def.name.clone(),
                         pin: pin.into(),
@@ -1018,5 +1206,175 @@ mod tests {
         let f = fresh.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         let a = aged.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
         assert!(a > f, "aged library must not reuse fresh-model cache entries");
+    }
+
+    /// A sampled die's library differs from the nominal one, replays
+    /// bit-identically under the same seed, and differs across seeds.
+    #[test]
+    fn sampled_library_differs_and_replays_deterministically() {
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1", "NAND2_X1"]);
+        let scenario = AgingScenario::fresh();
+        let nominal = Characterizer::new(cells(), tiny_config()).unwrap();
+        let die = |seed: u64| {
+            Characterizer::new(cells(), tiny_config())
+                .unwrap()
+                .with_variation(ptm::VariationModel::nominal_45nm(), seed)
+        };
+        let base = nominal.library(&scenario).unwrap();
+        let a = die(7).library(&scenario).unwrap();
+        let b = die(7).library(&scenario).unwrap();
+        let c = die(8).library(&scenario).unwrap();
+        assert_eq!(a, b, "same die seed must replay bit-identically");
+        let d = |lib: &Library| lib.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        assert!(d(&a) != d(&base), "a sampled die must not equal the nominal die");
+        assert!(d(&a) != d(&c), "different die seeds must sample different devices");
+    }
+
+    /// Zero-variance sampling must stay on the nominal code path —
+    /// bit-identical library, nominal cache keys (warm hits across the
+    /// nominal/zero-variance boundary).
+    #[test]
+    fn zero_variance_sampling_is_the_nominal_library() {
+        use crate::cache::ArcCache;
+        use std::sync::Arc;
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1"]);
+        let scenario = AgingScenario::worst_case(10.0);
+        let cache = Arc::new(ArcCache::in_memory());
+        let nominal = Characterizer::new(cells(), tiny_config())
+            .unwrap()
+            .with_cache(Arc::clone(&cache))
+            .library(&scenario)
+            .unwrap();
+        cache.reset_stats();
+        let zero = Characterizer::new(cells(), tiny_config())
+            .unwrap()
+            .with_cache(Arc::clone(&cache))
+            .with_variation(ptm::VariationModel::none(), 42)
+            .library(&scenario)
+            .unwrap();
+        assert_eq!(nominal, zero, "zero variance must be the nominal path");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0, "zero variance must reuse nominal cache keys");
+    }
+
+    /// Sampled dies must key the arc cache on (spread, seed): no collisions
+    /// with the nominal entries or across seeds, and a same-seed warm rerun
+    /// must answer fully from cache.
+    #[test]
+    fn variation_cache_keys_isolate_dies() {
+        use crate::cache::ArcCache;
+        use std::sync::Arc;
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1"]);
+        let scenario = AgingScenario::fresh();
+        let cache = Arc::new(ArcCache::in_memory());
+        let with = |variation: Option<u64>| {
+            let c =
+                Characterizer::new(cells(), tiny_config()).unwrap().with_cache(Arc::clone(&cache));
+            match variation {
+                Some(seed) => c.with_variation(ptm::VariationModel::nominal_45nm(), seed),
+                None => c,
+            }
+        };
+        let nominal = with(None).library(&scenario).unwrap();
+        let die1 = with(Some(1)).library(&scenario).unwrap();
+        let die2 = with(Some(2)).library(&scenario).unwrap();
+        let d = |lib: &Library| lib.cell("INV_X1").unwrap().worst_delay(10e-12, 10e-15);
+        assert!(d(&die1) != d(&nominal), "die 1 must not reuse nominal entries");
+        assert!(d(&die1) != d(&die2), "die 2 must not reuse die 1 entries");
+        cache.reset_stats();
+        let warm = with(Some(1)).library(&scenario).unwrap();
+        assert_eq!(die1, warm, "warm same-seed rerun must be bit-identical");
+        assert_eq!(cache.stats().misses, 0, "warm same-seed rerun must not simulate");
+    }
+
+    /// A two-inverter chain exercising the full `mc_lifetime` contract.
+    fn inv_chain() -> Netlist {
+        use netlist::PortDir;
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_port("a", PortDir::Input);
+        let y = nl.add_port("y", PortDir::Output);
+        let m = nl.add_net("m");
+        nl.add_instance("u0", "INV_X1", &[("A", a), ("Y", m)]);
+        nl.add_instance("u1", "INV_X1", &[("A", m), ("Y", y)]);
+        nl
+    }
+
+    /// `mc_lifetime` must be a pure function of the sampling plan:
+    /// bit-identical across worker counts and cache states, and a
+    /// variation-free characterizer must reproduce the deterministic
+    /// static bound in every sample.
+    #[test]
+    fn mc_lifetime_is_bit_identical_across_worker_counts() {
+        let cells = || CellSet::nangate45_like().subset(&["INV_X1"]);
+        let scenario = AgingScenario::fresh();
+        let library = Characterizer::new(cells(), tiny_config()).unwrap();
+        let library = library.library(&scenario).unwrap();
+        let nl = inv_chain();
+        let lifetime = LifetimeConfig::default();
+        let df = DataflowConfig::default();
+
+        let run = |workers: usize| {
+            Characterizer::new(cells(), CharConfig { parallelism: workers, ..tiny_config() })
+                .unwrap()
+                .with_variation(ptm::VariationModel::nominal_45nm(), 11)
+                .mc_lifetime(&nl, &library, &lifetime, &df, 24)
+        };
+        let one = run(1);
+        for workers in [2, 8] {
+            let other = run(workers);
+            assert_eq!(
+                one.distribution.samples.len(),
+                other.distribution.samples.len(),
+                "sample count must not depend on workers"
+            );
+            for (i, (a, b)) in
+                one.distribution.samples.iter().zip(&other.distribution.samples).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i} differs at {workers} workers");
+            }
+        }
+        assert!(
+            one.distribution.contains_static_bound(),
+            "sampled MTTFs must stay above the variation-aware static bound: min {} < bound {}",
+            one.distribution.min_years(),
+            one.distribution.static_bound_years
+        );
+
+        // No variation attached → zero-variance plan → every sample is the
+        // deterministic static bound, bit for bit.
+        let zero = Characterizer::new(cells(), tiny_config())
+            .unwrap()
+            .mc_lifetime(&nl, &library, &lifetime, &df, 5);
+        for s in &zero.distribution.samples {
+            assert_eq!(s.to_bits(), zero.report.design_mttf_lo_years.to_bits());
+        }
+        assert!(zero.distribution.contains_static_bound());
+    }
+
+    /// `mc_lifetime` on a context books its fan-out on the `mc_lifetime`
+    /// stage.
+    #[test]
+    fn mc_lifetime_books_context_tasks() {
+        use std::sync::Arc;
+        let ctx = Arc::new(RunContext::new().with_workers(2));
+        let chars = Characterizer::in_context(
+            CellSet::nangate45_like().subset(&["INV_X1"]),
+            tiny_config(),
+            &ctx,
+        )
+        .unwrap()
+        .with_variation(ptm::VariationModel::nominal_45nm(), 3);
+        let library = chars.library(&AgingScenario::fresh()).unwrap();
+        let out = chars.mc_lifetime(
+            &inv_chain(),
+            &library,
+            &LifetimeConfig::default(),
+            &DataflowConfig::default(),
+            6,
+        );
+        assert_eq!(out.distribution.samples.len(), 6);
+        let report = ctx.report();
+        let stage = report.stages.iter().find(|s| s.name == "mc_lifetime").unwrap();
+        assert_eq!(stage.tasks, 6);
     }
 }

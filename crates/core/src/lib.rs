@@ -65,6 +65,7 @@ pub mod dynamic;
 pub mod error;
 pub mod guardband;
 pub mod pool;
+pub mod rng;
 pub mod system_eval;
 pub mod tier0;
 
@@ -72,7 +73,7 @@ pub use aging_synth::{
     compare_synthesis, synthesize_aging_aware, synthesize_best, SynthesisComparison,
 };
 pub use cache::{ArcCache, ArcTables, CacheSnapshot, CacheStats, KeyHasher};
-pub use charlib::{CharConfig, Characterizer};
+pub use charlib::{CharConfig, Characterizer, McLifetimeOutcome};
 pub use coalesce::{CoalesceOutcome, CoalesceStats, Coalescer};
 pub use context::{RunContext, RunEvent, RunReport, StageRecord};
 pub use dynamic::{
@@ -84,5 +85,6 @@ pub use guardband::{
     single_opc_aged_library, GuardbandReport,
 };
 pub use pool::parallel_map;
+pub use rng::Lcg;
 pub use system_eval::{annotation_from_sta, image_from_pgm, run_image_chain, ImageChainResult};
 pub use tier0::{SurrogateTier, TierStats};

@@ -1,0 +1,11 @@
+//! The flow's deterministic randomness module.
+//!
+//! The implementation lives in [`bti::rng`] — the workspace's
+//! dependency-free foundation crate — because the layers that draw from
+//! it sit on both sides of this crate: `ptm`'s variation sampler and
+//! `dataflow`'s Monte-Carlo composition are *below* the flow, while the
+//! serve load generator reaches it through this re-export. Everything is
+//! seeded and counter-addressable; see the source module for the
+//! determinism contract.
+
+pub use bti::rng::{draw, normal_at, unit_at, Lcg};

@@ -56,6 +56,7 @@ mod guardband;
 mod interval;
 mod lambda;
 mod lifetime;
+mod mc;
 mod paths;
 
 pub use engine::{dead_cone, expr_interval, DataflowConfig, NetlistDataflow};
@@ -65,5 +66,8 @@ pub use lambda::{Extraction, LambdaBounds, Violation, ViolationKind};
 pub use lifetime::{
     activity_upper_bound, series_mttf_lower_bound, static_lifetime_bound, InstanceLifetime,
     LifetimeConfig, LifetimeReport, MechanismInterval,
+};
+pub use mc::{
+    clamp_boundary_bound, mc_design_mttf, sample_design_mttf, McDistribution, McSampling,
 };
 pub use paths::{analyze_paths, ArcAging, PathAnalysis, PathAnalysisConfig, PathProfile};

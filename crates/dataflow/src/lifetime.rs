@@ -64,6 +64,13 @@ pub struct LifetimeConfig {
     /// Parametric guardband budget: the total `ΔVth` (volts) the design's
     /// timing margin can absorb before re-timing is required.
     pub vth_budget: f64,
+    /// Sampled fresh-Vth offset interval `(lo, hi)` in volts the bound must
+    /// cover (process variation). `(0, 0)` analyzes the nominal die only;
+    /// setting it to a [`ptm`-style variation clamp boundary] — e.g.
+    /// `(−σ·clamp, +σ·clamp)` — makes the bound cover every device a
+    /// clamped sampler can realize, by the mechanism monotonicity contract
+    /// (MTTF non-increasing in the offset).
+    pub vth0_offset_range: (f64, f64),
 }
 
 impl Default for LifetimeConfig {
@@ -78,6 +85,7 @@ impl Default for LifetimeConfig {
             vdd_range: (bti::Stress::NOMINAL_VDD, bti::Stress::NOMINAL_VDD),
             frequency_hz: 1.0e9,
             vth_budget: 0.1,
+            vth0_offset_range: (0.0, 0.0),
         }
     }
 }
@@ -107,6 +115,12 @@ impl LifetimeConfig {
         }
         if !(self.vth_budget.is_finite() && self.vth_budget > 0.0) {
             out.push(format!("ΔVth budget {} V must be positive and finite", self.vth_budget));
+        }
+        let (olo, ohi) = self.vth0_offset_range;
+        if !(olo.is_finite() && ohi.is_finite()) {
+            out.push(format!("vth0 offset range ({olo}, {ohi}) must be finite"));
+        } else if olo > ohi {
+            out.push(format!("vth0 offset range ({olo}, {ohi}) is inverted"));
         }
         out
     }
@@ -234,7 +248,7 @@ pub fn series_mttf_lower_bound(components: &[Weibull]) -> f64 {
     series_mttf_lower_bound_pooled(&pool)
 }
 
-fn series_mttf_lower_bound_pooled(pool: &[(Weibull, u64)]) -> f64 {
+pub(crate) fn series_mttf_lower_bound_pooled(pool: &[(Weibull, u64)]) -> f64 {
     if pool.is_empty() {
         return f64::INFINITY;
     }
@@ -267,7 +281,11 @@ pub fn activity_upper_bound(interval: Interval) -> f64 {
 }
 
 /// The worst/best stress interval a mechanism sees on one instance.
-fn stress_interval(source: StressSource, lambda: LambdaBounds, activity_hi: f64) -> (f64, f64) {
+pub(crate) fn stress_interval(
+    source: StressSource,
+    lambda: LambdaBounds,
+    activity_hi: f64,
+) -> (f64, f64) {
     match source {
         StressSource::PmosDuty => (lambda.pmos.lo(), lambda.pmos.hi()),
         StressSource::NmosDuty => (lambda.nmos.lo(), lambda.nmos.hi()),
@@ -303,20 +321,24 @@ fn eval_corner(config: &LifetimeConfig, lambda: LambdaBounds, activity_hi: f64) 
     let mut dominant = (mechanisms[0].1.name(), -1.0f64);
     for (source, mech) in &mechanisms {
         let (stress_lo, stress_hi) = stress_interval(*source, lambda, activity_hi);
+        // MTTF is non-increasing in the fresh-Vth offset (monotonicity
+        // contract), so the high endpoint belongs to the worst corner.
         let worst_input = AgingInput::new(
             stress_hi,
             config.years,
             config.temperature_range.1,
             config.vdd_range.1,
             config.frequency_hz,
-        );
+        )
+        .with_vth0_offset(config.vth0_offset_range.1);
         let best_input = AgingInput::new(
             stress_lo,
             config.years,
             config.temperature_range.0,
             config.vdd_range.0,
             config.frequency_hz,
-        );
+        )
+        .with_vth0_offset(config.vth0_offset_range.0);
         let worst = mech.failure_distribution(&worst_input);
         let best_w = mech.failure_distribution(&best_input);
         let dv_hi = mech.degradation(&worst_input).delta_vth;
@@ -672,6 +694,32 @@ mod tests {
         assert!(bounded.design_mttf_lo_years < nominal.design_mttf_lo_years);
         assert!(bounded.design_mttf_best_years > nominal.design_mttf_best_years);
         assert!(bounded.years_until_budget <= nominal.years_until_budget);
+    }
+
+    #[test]
+    fn variation_offset_range_widens_the_corner_box() {
+        let nl = inv_chain(4);
+        let nominal = static_lifetime_bound(
+            &nl,
+            &lib(),
+            &LifetimeConfig::default(),
+            &DataflowConfig::default(),
+        );
+        let varied =
+            LifetimeConfig { vth0_offset_range: (-0.06, 0.06), ..LifetimeConfig::default() };
+        let bounded = static_lifetime_bound(&nl, &lib(), &varied, &DataflowConfig::default());
+        // Slow-die devices (positive offset) fail earlier, so the worst-corner
+        // bound shrinks; fast-die devices stretch the best-corner estimate.
+        assert!(bounded.design_mttf_lo_years < nominal.design_mttf_lo_years);
+        assert!(bounded.design_mttf_best_years >= nominal.design_mttf_best_years);
+        // Degradation trajectories are offset-independent, so the ΔVth
+        // budget crossing is unchanged.
+        assert_eq!(bounded.years_until_budget, nominal.years_until_budget);
+        let bad = LifetimeConfig { vth0_offset_range: (0.06, -0.06), ..LifetimeConfig::default() };
+        assert!(bad.validation_errors().iter().any(|e| e.contains("inverted")));
+        let nan =
+            LifetimeConfig { vth0_offset_range: (f64::NAN, 0.0), ..LifetimeConfig::default() };
+        assert!(nan.validation_errors().iter().any(|e| e.contains("finite")));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! - a stable rule ID per check (`LB...` library, `NL...` netlist,
 //!   `LM...` λ-annotation, `TM...` timing-context, `AG...` aging,
-//!   `DF...` dataflow, `PT...` path-level timing, `LT...` lifetime),
+//!   `DF...` dataflow, `PT...` path-level timing, `LT...` lifetime,
+//!   `PV...` process variation),
 //! - a severity ([`Severity::Error`] aborts flows, [`Severity::Warning`]
 //!   is logged, [`Severity::Info`] is advisory),
 //! - a precise [`Location`] (cell, arc, instance or net),
@@ -177,11 +178,22 @@ pub enum Rule {
     /// LT006 — the provable years-until-guardband-exhaustion bound is
     /// shorter than the configured lifetime horizon.
     GuardbandExhausted,
+    /// PV001 — process variation erodes the design MTTF: the sampled
+    /// low-quantile die retains less of the nominal bound than the allowed
+    /// variation guardband gap, so nominal-only sign-off over-promises.
+    VariationGuardbandGap,
+    /// PV002 — the Monte-Carlo sampling plan (or its quantile/gap
+    /// thresholds) is unsound, so the sampled distribution proves nothing.
+    SamplingPlanUnsound,
+    /// PV003 — a sampled die's MTTF falls below the variation-aware static
+    /// lower bound; sampler and bound come from the same monotonicity
+    /// contract, so this is an invariant violation.
+    SampleBelowStaticBound,
 }
 
 impl Rule {
     /// All rules in code order.
-    pub const ALL: [Rule; 37] = [
+    pub const ALL: [Rule; 40] = [
         Rule::EmptyLibrary,
         Rule::ImplausibleCapacitance,
         Rule::MissingArcs,
@@ -219,6 +231,9 @@ impl Rule {
         Rule::NonMonotoneMechanism,
         Rule::LifetimeHotspot,
         Rule::GuardbandExhausted,
+        Rule::VariationGuardbandGap,
+        Rule::SamplingPlanUnsound,
+        Rule::SampleBelowStaticBound,
     ];
 
     /// The stable rule code, e.g. `NL003`.
@@ -262,6 +277,9 @@ impl Rule {
             Rule::NonMonotoneMechanism => "LT004",
             Rule::LifetimeHotspot => "LT005",
             Rule::GuardbandExhausted => "LT006",
+            Rule::VariationGuardbandGap => "PV001",
+            Rule::SamplingPlanUnsound => "PV002",
+            Rule::SampleBelowStaticBound => "PV003",
         }
     }
 
@@ -286,7 +304,9 @@ impl Rule {
             | Rule::PathGuardbandOverBound
             | Rule::NonMonotoneAgedPath
             | Rule::EnvIntervalUnsound
-            | Rule::NonMonotoneMechanism => Severity::Error,
+            | Rule::NonMonotoneMechanism
+            | Rule::SamplingPlanUnsound
+            | Rule::SampleBelowStaticBound => Severity::Error,
             Rule::NonMonotoneLoad
             | Rule::NonMonotoneSlew
             | Rule::InconsistentGrid
@@ -301,7 +321,8 @@ impl Rule {
             | Rule::UnconstrainedEndpoint
             | Rule::MttfBelowTarget
             | Rule::LifetimeHotspot
-            | Rule::GuardbandExhausted => Severity::Warning,
+            | Rule::GuardbandExhausted
+            | Rule::VariationGuardbandGap => Severity::Warning,
             Rule::DanglingOutput
             | Rule::WidenedAnalysis
             | Rule::NearCriticalExplosion
@@ -350,6 +371,9 @@ impl Rule {
             Rule::NonMonotoneMechanism => "aging mechanism violates monotonicity contract",
             Rule::LifetimeHotspot => "instance MTTF lower bound below the lifetime target",
             Rule::GuardbandExhausted => "guardband budget exhausted within the horizon",
+            Rule::VariationGuardbandGap => "sampled quantile MTTF erodes the nominal bound",
+            Rule::SamplingPlanUnsound => "Monte-Carlo sampling plan is unsound",
+            Rule::SampleBelowStaticBound => "sampled MTTF below the variation-aware bound",
         }
     }
 
@@ -484,6 +508,33 @@ impl Default for LifetimeLintConfig {
     }
 }
 
+/// Configuration of the `PV` process-variation rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationLintConfig {
+    /// The static-lifetime-analysis configuration the sampled dies are
+    /// derived from.
+    pub config: dataflow::LifetimeConfig,
+    /// The Monte-Carlo sampling plan (die count, seed, Vth spread, clamp).
+    pub sampling: dataflow::McSampling,
+    /// The low quantile `PV001` measures variation erosion at (e.g. 0.05
+    /// = the p5 die).
+    pub quantile: f64,
+    /// `PV001` fires when the quantile die retains less than
+    /// `1 − max_gap` of the nominal design MTTF bound.
+    pub max_gap: f64,
+}
+
+impl Default for VariationLintConfig {
+    fn default() -> Self {
+        VariationLintConfig {
+            config: dataflow::LifetimeConfig::default(),
+            sampling: dataflow::McSampling::nominal_45nm(64, 1),
+            quantile: 0.05,
+            max_gap: 0.25,
+        }
+    }
+}
+
 /// Lint configuration: suppression and analysis context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LintConfig {
@@ -523,6 +574,9 @@ pub struct LintConfig {
     /// Enables the `LT` lifetime rules with the given configuration;
     /// `None` (the default) skips them.
     pub lifetime: Option<LifetimeLintConfig>,
+    /// Enables the `PV` process-variation rules with the given
+    /// configuration; `None` (the default) skips them.
+    pub variation: Option<VariationLintConfig>,
 }
 
 impl Default for LintConfig {
@@ -544,6 +598,7 @@ impl Default for LintConfig {
             arc_concentration: 0.8,
             clock_period: None,
             lifetime: None,
+            variation: None,
         }
     }
 }
@@ -593,6 +648,9 @@ impl LintReport {
         if config.lifetime.is_some() {
             rules::lifetime::check(netlist, library, config, &mut diagnostics);
         }
+        if config.variation.is_some() {
+            rules::variation::check(netlist, library, config, &mut diagnostics);
+        }
         Self::finish(diagnostics, config)
     }
 
@@ -611,6 +669,24 @@ impl LintReport {
         };
         let mut diagnostics = Vec::new();
         rules::lifetime::check(netlist, library, config, &mut diagnostics);
+        Self::finish(diagnostics, config)
+    }
+
+    /// Runs the `PV` process-variation rules alone (Monte-Carlo MTTF
+    /// distribution against [`LintConfig::variation`], or the default
+    /// variation configuration when unset).
+    #[must_use]
+    pub fn run_variation(netlist: &Netlist, library: &Library, config: &LintConfig) -> Self {
+        let mut with_variation;
+        let config = if config.variation.is_some() {
+            config
+        } else {
+            with_variation = config.clone();
+            with_variation.variation = Some(VariationLintConfig::default());
+            &with_variation
+        };
+        let mut diagnostics = Vec::new();
+        rules::variation::check(netlist, library, config, &mut diagnostics);
         Self::finish(diagnostics, config)
     }
 

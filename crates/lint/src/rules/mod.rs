@@ -8,3 +8,4 @@ pub(crate) mod lifetime;
 pub(crate) mod paths;
 pub(crate) mod structure;
 pub(crate) mod timing;
+pub(crate) mod variation;

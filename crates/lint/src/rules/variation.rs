@@ -1,0 +1,198 @@
+//! `PV` rules: process-variation Monte-Carlo verification.
+//!
+//! `PV002` validates the sampling plan and thresholds first — an unsound
+//! plan (zero dies, non-finite spread, a quantile outside `[0, 1]`) makes
+//! the sampled distribution prove nothing, so when it fires nothing is
+//! sampled and the remaining rules stay silent. Otherwise the static
+//! lifetime report is computed once and [`dataflow::mc_design_mttf`]
+//! composes the sampled dies:
+//!
+//! - `PV003` asserts the containment invariant — every sampled die's MTTF
+//!   must sit at or above the variation-aware (clamp-boundary) static
+//!   bound; a violation means the sampler or the bound broke the mechanism
+//!   monotonicity contract and is an error, not a design property;
+//! - `PV001` measures variation erosion — when the configured low-quantile
+//!   die retains less than `1 − max_gap` of the nominal design-MTTF bound,
+//!   nominal-only sign-off over-promises and a variation-aware guardband
+//!   is required.
+
+use crate::{Diagnostic, LintConfig, Location, Rule};
+use liberty::Library;
+use netlist::Netlist;
+
+pub(crate) fn check(
+    netlist: &Netlist,
+    library: &Library,
+    config: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(var) = &config.variation else { return };
+
+    let mut unsound = false;
+    for problem in var.sampling.validation_errors() {
+        unsound = true;
+        out.push(Diagnostic::new(Rule::SamplingPlanUnsound, Location::Design, problem));
+    }
+    for problem in var.config.validation_errors() {
+        unsound = true;
+        out.push(Diagnostic::new(
+            Rule::SamplingPlanUnsound,
+            Location::Design,
+            format!("lifetime configuration: {problem}"),
+        ));
+    }
+    if !(0.0..=1.0).contains(&var.quantile) {
+        unsound = true;
+        out.push(Diagnostic::new(
+            Rule::SamplingPlanUnsound,
+            Location::Design,
+            format!("quantile {} must be in [0, 1]", var.quantile),
+        ));
+    }
+    if !(var.max_gap.is_finite() && (0.0..1.0).contains(&var.max_gap)) {
+        unsound = true;
+        out.push(Diagnostic::new(
+            Rule::SamplingPlanUnsound,
+            Location::Design,
+            format!("max_gap {} must be in [0, 1)", var.max_gap),
+        ));
+    }
+    if unsound {
+        return;
+    }
+
+    let df_config = dataflow::DataflowConfig { input_intervals: config.input_intervals.clone() };
+    let report = dataflow::static_lifetime_bound(netlist, library, &var.config, &df_config);
+    let dist = dataflow::mc_design_mttf(&report, &var.sampling);
+
+    if !dist.contains_static_bound() {
+        out.push(Diagnostic::new(
+            Rule::SampleBelowStaticBound,
+            Location::Design,
+            format!(
+                "sampled die MTTF {:.3} y falls below the variation-aware static bound {:.3} y \
+                 (monotonicity invariant violated)",
+                dist.min_years(),
+                dist.static_bound_years
+            ),
+        ));
+    }
+
+    let quantile_years = dist.quantile_years(var.quantile);
+    if dist.nominal_years.is_finite() && dist.nominal_years > 0.0 {
+        let retention = quantile_years / dist.nominal_years;
+        if retention < 1.0 - var.max_gap {
+            out.push(Diagnostic::new(
+                Rule::VariationGuardbandGap,
+                Location::Design,
+                format!(
+                    "p{:.0} die MTTF {:.2} y retains only {:.1} % of the nominal bound {:.2} y \
+                     over {} sampled dies (allowed gap {:.1} %)",
+                    100.0 * var.quantile,
+                    quantile_years,
+                    100.0 * retention,
+                    dist.nominal_years,
+                    dist.sampling.samples,
+                    100.0 * var.max_gap
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LintConfig, LintReport, Rule, Severity, VariationLintConfig};
+    use liberty::{Cell, Library};
+    use netlist::{Netlist, PortDir};
+
+    fn lib() -> Library {
+        let mut lib = Library::new("lib", 1.2);
+        lib.add_cell(Cell::test_inverter("INV_X1"));
+        lib
+    }
+
+    fn inv_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_port("a", PortDir::Input);
+        for k in 0..n {
+            let next = if k + 1 == n {
+                nl.add_port("y", PortDir::Output)
+            } else {
+                nl.add_net(&format!("n{k}"))
+            };
+            nl.add_instance(&format!("u{k}"), "INV_X1", &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        nl
+    }
+
+    fn variation_config() -> LintConfig {
+        LintConfig { variation: Some(VariationLintConfig::default()), ..LintConfig::default() }
+    }
+
+    #[test]
+    fn sound_sampling_never_trips_the_containment_invariant() {
+        let report = LintReport::run_variation(&inv_chain(5), &lib(), &variation_config());
+        assert!(
+            report.diagnostics().iter().all(|d| d.rule != Rule::SampleBelowStaticBound),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn skipped_without_variation_config() {
+        let report = LintReport::run(&inv_chain(2), &lib(), &LintConfig::default());
+        assert!(report.diagnostics().iter().all(|d| !d.rule.code().starts_with("PV")));
+    }
+
+    #[test]
+    fn tight_gap_threshold_fires_the_guardband_rule() {
+        let mut config = variation_config();
+        // Any measurable erosion trips a (near-)zero allowance.
+        config.variation.as_mut().unwrap().max_gap = 1.0e-9;
+        let report = LintReport::run_variation(&inv_chain(4), &lib(), &config);
+        let gap: Vec<_> =
+            report.diagnostics().iter().filter(|d| d.rule == Rule::VariationGuardbandGap).collect();
+        assert_eq!(gap.len(), 1, "{}", report.render());
+        assert_eq!(gap[0].severity, Severity::Warning);
+        assert!(gap[0].message.contains("p5"), "{}", gap[0].message);
+    }
+
+    #[test]
+    fn unsound_plan_is_an_error_and_skips_sampling() {
+        let mut config = variation_config();
+        let var = config.variation.as_mut().unwrap();
+        var.sampling.samples = 0;
+        var.sampling.sigma_vth = f64::NAN;
+        var.max_gap = 1.0e-9; // would otherwise fire PV001
+        let report = LintReport::run_variation(&inv_chain(2), &lib(), &config);
+        assert!(report.has_errors());
+        let codes: Vec<Rule> = report.diagnostics().iter().map(|d| d.rule).collect();
+        assert!(codes.contains(&Rule::SamplingPlanUnsound));
+        assert!(!codes.contains(&Rule::VariationGuardbandGap));
+        assert!(!codes.contains(&Rule::SampleBelowStaticBound));
+    }
+
+    #[test]
+    fn bad_quantile_is_rejected() {
+        let mut config = variation_config();
+        config.variation.as_mut().unwrap().quantile = 1.5;
+        let report = LintReport::run_variation(&inv_chain(2), &lib(), &config);
+        assert!(report.has_errors());
+        assert!(report.diagnostics().iter().any(|d| d.message.contains("quantile")));
+    }
+
+    #[test]
+    fn diagnostics_are_bit_identical_across_runs() {
+        let mut config = variation_config();
+        config.variation.as_mut().unwrap().max_gap = 1.0e-9;
+        let nl = inv_chain(3);
+        let library = lib();
+        let first = LintReport::run_variation(&nl, &library, &config);
+        let second = LintReport::run_variation(&nl, &library, &config);
+        assert_eq!(first.to_json(), second.to_json());
+        assert!(!first.is_clean());
+    }
+}

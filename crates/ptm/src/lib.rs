@@ -33,8 +33,10 @@
 
 mod card;
 mod iv;
+mod variation;
 
 pub use card::{MosModel, MosPolarity};
+pub use variation::{DeviceSample, VariationModel};
 
 /// Nominal supply voltage of the modeled 45 nm corner (paper Sec. 4.4).
 pub const VDD_NOMINAL: f64 = 1.2;

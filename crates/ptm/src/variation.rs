@@ -1,0 +1,211 @@
+//! Process-variation layer: per-device parameter sampling.
+//!
+//! The fresh 45 nm cards in [`crate::MosModel`] are *nominal*: every
+//! device of a polarity shares one Vth0/kp. Real silicon spreads both —
+//! random dopant fluctuation shifts each device's threshold and
+//! line-edge/mobility variation its transconductance — and aging composes
+//! with that spread (a device born slow exhausts the parametric failure
+//! budget sooner). This module makes the spread explicit:
+//!
+//! - [`VariationModel`] holds the within-die 1σ magnitudes and the draw
+//!   clamp;
+//! - [`DeviceSample`] is one device's realized parameter shift;
+//! - [`MosModel::sampled`](crate::MosModel::sampled) applies a sample to
+//!   a card.
+//!
+//! Draws come from the counter-based generator in [`bti::rng`]: a sample
+//! is a pure function of `(stream seed, device ordinal)`, so any device's
+//! parameters can be reproduced without generating its predecessors —
+//! the property that keeps Monte-Carlo characterization bit-identical at
+//! any worker count and cache state. Draws are clamped at
+//! [`VariationModel::clamp_sigmas`] standard deviations, which gives the
+//! static lifetime analysis a *provable* worst-case offset
+//! ([`VariationModel::max_vth_offset`]) to fold into its bound.
+
+use crate::MosModel;
+
+/// Within-die process-variation magnitudes (1σ) of the sampled card
+/// parameters, plus the deterministic draw clamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationModel {
+    /// 1σ of the per-device fresh threshold-voltage offset, volts.
+    pub sigma_vth: f64,
+    /// 1σ of the per-device log-transconductance (`kp` scales by
+    /// `exp(σ·z)`, staying positive for any draw).
+    pub sigma_kp_frac: f64,
+    /// Draws are clamped to `±clamp_sigmas` standard deviations, making
+    /// the worst realizable offset finite and analyzable.
+    pub clamp_sigmas: f64,
+}
+
+impl VariationModel {
+    /// No variation at all: every sample is exactly nominal.
+    #[must_use]
+    pub fn none() -> Self {
+        VariationModel { sigma_vth: 0.0, sigma_kp_frac: 0.0, clamp_sigmas: 4.0 }
+    }
+
+    /// Within-die spread typical of the modeled 45 nm node: 15 mV of
+    /// threshold sigma on near-minimum devices and 5 % transconductance
+    /// sigma, clamped at 4σ.
+    #[must_use]
+    pub fn nominal_45nm() -> Self {
+        VariationModel { sigma_vth: 0.015, sigma_kp_frac: 0.05, clamp_sigmas: 4.0 }
+    }
+
+    /// True when sampling can only ever return the nominal card.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sigma_vth == 0.0 && self.sigma_kp_frac == 0.0
+    }
+
+    /// Validates the magnitudes, returning a description of every problem
+    /// (empty = sound). Negative or non-finite sigmas and a non-positive
+    /// clamp would break both the sampling and the worst-case bound.
+    #[must_use]
+    pub fn validation_errors(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !(self.sigma_vth.is_finite() && self.sigma_vth >= 0.0) {
+            out.push(format!("sigma_vth {} must be finite and non-negative", self.sigma_vth));
+        }
+        if !(self.sigma_kp_frac.is_finite() && self.sigma_kp_frac >= 0.0) {
+            out.push(format!(
+                "sigma_kp_frac {} must be finite and non-negative",
+                self.sigma_kp_frac
+            ));
+        }
+        if !(self.clamp_sigmas.is_finite() && self.clamp_sigmas > 0.0) {
+            out.push(format!("clamp_sigmas {} must be positive and finite", self.clamp_sigmas));
+        }
+        out
+    }
+
+    /// The largest fresh-Vth offset any sample can realize (the clamp
+    /// boundary). The static lifetime bound evaluated at this offset
+    /// provably covers every sampled device.
+    #[must_use]
+    pub fn max_vth_offset(&self) -> f64 {
+        self.sigma_vth * self.clamp_sigmas
+    }
+
+    /// The parameter shift of the device at `ordinal` in stream `seed`.
+    ///
+    /// A pure function of its arguments (counter-based draws), clamped at
+    /// `±clamp_sigmas`. A zero-variance model returns the exact nominal
+    /// sample, so zero-variance Monte-Carlo stays bit-identical to the
+    /// deterministic path.
+    #[must_use]
+    pub fn sample(&self, seed: u64, ordinal: u64) -> DeviceSample {
+        if self.is_zero() {
+            return DeviceSample::nominal();
+        }
+        let c = self.clamp_sigmas;
+        let z_vth = bti::rng::normal_at(seed, ordinal.wrapping_mul(2)).clamp(-c, c);
+        let z_kp = bti::rng::normal_at(seed, ordinal.wrapping_mul(2).wrapping_add(1)).clamp(-c, c);
+        DeviceSample {
+            vth_offset: self.sigma_vth * z_vth,
+            kp_factor: (self.sigma_kp_frac * z_kp).exp(),
+        }
+    }
+}
+
+/// One device's realized process-variation shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// Fresh threshold-voltage offset in volts (signed).
+    pub vth_offset: f64,
+    /// Multiplicative transconductance factor (positive; 1 = nominal).
+    pub kp_factor: f64,
+}
+
+impl DeviceSample {
+    /// The nominal (no-variation) sample.
+    #[must_use]
+    pub fn nominal() -> Self {
+        DeviceSample { vth_offset: 0.0, kp_factor: 1.0 }
+    }
+
+    /// True when applying this sample leaves a card unchanged.
+    #[must_use]
+    pub fn is_nominal(&self) -> bool {
+        self.vth_offset == 0.0 && self.kp_factor == 1.0
+    }
+}
+
+impl MosModel {
+    /// Applies a process-variation [`DeviceSample`] to this card: the
+    /// threshold shifts by the sampled offset (floored at 1 mV to keep
+    /// the I–V model physical under extreme configurations) and the
+    /// transconductance scales by the sampled factor.
+    #[must_use]
+    pub fn sampled(&self, sample: &DeviceSample) -> Self {
+        let mut card = self.clone();
+        card.vth = (card.vth + sample.vth_offset).max(1e-3);
+        card.kp *= sample.kp_factor;
+        card
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_variance_samples_are_exactly_nominal() {
+        let model = VariationModel::none();
+        for ordinal in 0..16 {
+            let s = model.sample(42, ordinal);
+            assert!(s.is_nominal());
+            let card = MosModel::nmos_45nm();
+            assert_eq!(card.sampled(&s), card);
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_and_order_independent() {
+        let model = VariationModel::nominal_45nm();
+        let forward: Vec<DeviceSample> = (0..8).map(|k| model.sample(7, k)).collect();
+        let replay: Vec<DeviceSample> = (0..8).rev().map(|k| model.sample(7, k)).collect();
+        for (k, s) in forward.iter().enumerate() {
+            assert_eq!(*s, replay[7 - k]);
+        }
+        assert_ne!(model.sample(7, 0), model.sample(8, 0));
+    }
+
+    #[test]
+    fn samples_respect_the_clamp_and_spread() {
+        let model = VariationModel::nominal_45nm();
+        let max = model.max_vth_offset();
+        let samples: Vec<DeviceSample> = (0..2000).map(|k| model.sample(0x5eed, k)).collect();
+        for s in &samples {
+            assert!(s.vth_offset.abs() <= max + 1e-15);
+            assert!(s.kp_factor > 0.0);
+        }
+        let mean = samples.iter().map(|s| s.vth_offset).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < model.sigma_vth * 0.2, "vth offset mean {mean}");
+        let sd = (samples.iter().map(|s| (s.vth_offset - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!((sd / model.sigma_vth - 1.0).abs() < 0.15, "vth offset sd {sd}");
+    }
+
+    #[test]
+    fn sampled_card_shifts_vth_and_scales_kp() {
+        let card = MosModel::pmos_45nm();
+        let s = DeviceSample { vth_offset: 0.02, kp_factor: 0.9 };
+        let v = card.sampled(&s);
+        assert!((v.vth - card.vth - 0.02).abs() < 1e-15);
+        assert!((v.kp / card.kp - 0.9).abs() < 1e-15);
+        // The floor keeps pathological offsets physical.
+        let wild = DeviceSample { vth_offset: -10.0, kp_factor: 1.0 };
+        assert!(card.sampled(&wild).vth > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_broken_models() {
+        assert!(VariationModel::nominal_45nm().validation_errors().is_empty());
+        assert!(VariationModel::none().validation_errors().is_empty());
+        let bad = VariationModel { sigma_vth: -1.0, sigma_kp_frac: f64::NAN, clamp_sigmas: 0.0 };
+        assert_eq!(bad.validation_errors().len(), 3);
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::client::Client;
 use crate::protocol::{CharRequest, Response, ServedVia, StatsSnapshot};
-use flow::FlowError;
+use flow::{FlowError, Lcg};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -127,21 +127,6 @@ pub struct StormReport {
     pub all_identical: bool,
 }
 
-struct Lcg(u64);
-
-impl Lcg {
-    /// Numerical Recipes constants; deterministic across platforms.
-    fn next(&mut self) -> u64 {
-        self.0 =
-            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
-        self.0
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -170,6 +155,7 @@ fn stats_delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsSnapshot {
             tier0_fallbacks: after.cache.tier0_fallbacks - before.cache.tier0_fallbacks,
         },
         tier0_refits: after.tier0_refits - before.tier0_refits,
+        varied: after.varied - before.varied,
         library_shards: after.library_shards,
         cache_shards: after.cache_shards,
     }
@@ -219,7 +205,7 @@ pub fn run_load(socket: &Path, config: &LoadConfig) -> Result<LoadReport, FlowEr
         threads.push(std::thread::spawn(move || -> Result<(), FlowError> {
             let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5))?;
             let mut rng =
-                Lcg(config.seed ^ (client_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                Lcg::new(config.seed ^ (client_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let mut local_latencies = Vec::with_capacity(config.requests_per_client);
             barrier.wait();
             for _ in 0..config.requests_per_client {
@@ -227,7 +213,7 @@ pub fn run_load(socket: &Path, config: &LoadConfig) -> Result<LoadReport, FlowEr
                 let key = if rng.unit() < config.hot_key_bias {
                     0
                 } else {
-                    (rng.next() % keys as u64) as usize
+                    (rng.next_u64() % keys as u64) as usize
                 };
                 let begun = Instant::now();
                 let response = client.characterize(config.request_for_key(key))?;
@@ -346,16 +332,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lcg_is_deterministic_and_spread() {
-        let mut a = Lcg(42);
-        let mut b = Lcg(42);
-        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
-        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
-        assert_eq!(xs, ys);
-        let units: Vec<f64> = (0..1000).map(|_| a.unit()).collect();
-        assert!(units.iter().all(|u| (0.0..1.0).contains(u)));
-        let mean = units.iter().sum::<f64>() / units.len() as f64;
-        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    fn shared_lcg_drives_identical_schedules() {
+        // The request schedule is a pure function of the seed: two
+        // generators from flow's shared rng module walk the same keys.
+        let config = LoadConfig::smoke(2);
+        let mut a = Lcg::new(config.seed);
+        let mut b = Lcg::new(config.seed);
+        let schedule = |rng: &mut Lcg| -> Vec<usize> {
+            (0..64)
+                .map(|_| {
+                    if rng.unit() < config.hot_key_bias {
+                        0
+                    } else {
+                        (rng.next_u64() % config.unique_keys as u64) as usize
+                    }
+                })
+                .collect()
+        };
+        let xs = schedule(&mut a);
+        assert_eq!(xs, schedule(&mut b));
+        assert!(xs.iter().any(|&k| k != xs[0]), "schedule never leaves one key");
     }
 
     #[test]

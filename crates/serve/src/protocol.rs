@@ -64,6 +64,15 @@ pub struct CharRequest {
     pub vdd: f64,
     /// Integrator accuracy in volts per step.
     pub max_dv: f64,
+    /// 1-sigma per-instance fresh-Vth spread in volts; `0` (the default)
+    /// characterizes the nominal corner with no variation applied.
+    pub sigma_vth: f64,
+    /// Clamp sampled offsets at ±`clamp_sigmas` standard deviations.
+    pub clamp_sigmas: f64,
+    /// Die seed of the variation sampling stream; the same
+    /// `(sigma_vth, clamp_sigmas, var_seed)` triple always reproduces the
+    /// same sampled die. Ignored when `sigma_vth` is `0`.
+    pub var_seed: u64,
 }
 
 impl CharRequest {
@@ -82,7 +91,20 @@ impl CharRequest {
             temperature_k: bti::Stress::NOMINAL_TEMPERATURE_K,
             vdd: defaults.vdd,
             max_dv: defaults.max_dv,
+            sigma_vth: 0.0,
+            clamp_sigmas: ptm::VariationModel::nominal_45nm().clamp_sigmas,
+            var_seed: 0,
         }
+    }
+
+    /// Requests a variation-sampled die: per-instance fresh-Vth offsets
+    /// drawn with `sigma_vth` volts of spread from the stream seeded by
+    /// `var_seed`.
+    #[must_use]
+    pub fn with_variation(mut self, sigma_vth: f64, var_seed: u64) -> Self {
+        self.sigma_vth = sigma_vth;
+        self.var_seed = var_seed;
+        self
     }
 
     /// Content hash of everything that determines the served library —
@@ -105,6 +127,11 @@ impl CharRequest {
             .f64(self.temperature_k)
             .f64(self.vdd)
             .f64(self.max_dv);
+        // A sampled die is a distinct library; the nominal corner hashes
+        // nothing extra so pre-variation keys stay stable.
+        if self.sigma_vth != 0.0 {
+            h.str("pv").f64(self.sigma_vth).f64(self.clamp_sigmas).u64(self.var_seed);
+        }
         h.finish()
     }
 }
@@ -178,6 +205,18 @@ impl Request {
                 ] {
                     let _ = write!(out, ",\"{k}\":{}", render_f64(v));
                 }
+                // Variation fields ride along only on sampled-die requests,
+                // so nominal request lines are byte-identical to the
+                // pre-variation protocol.
+                if c.sigma_vth != 0.0 {
+                    let _ = write!(
+                        out,
+                        ",\"sigma_vth\":{},\"clamp_sigmas\":{},\"var_seed\":{}",
+                        render_f64(c.sigma_vth),
+                        render_f64(c.clamp_sigmas),
+                        c.var_seed
+                    );
+                }
             }
         }
         out.push('}');
@@ -238,6 +277,9 @@ fn parse_char(doc: &Json) -> Result<CharRequest, String> {
         temperature_k: num_or("temperature_k", bti::Stress::NOMINAL_TEMPERATURE_K)?,
         vdd: num_or("vdd", defaults.vdd)?,
         max_dv: num_or("max_dv", defaults.max_dv)?,
+        sigma_vth: num_or("sigma_vth", 0.0)?,
+        clamp_sigmas: num_or("clamp_sigmas", ptm::VariationModel::nominal_45nm().clamp_sigmas)?,
+        var_seed: num_or("var_seed", 0.0)?.max(0.0) as u64,
     })
 }
 
@@ -290,6 +332,9 @@ pub struct StatsSnapshot {
     pub cache: CacheStats,
     /// Tier-0 surrogate refits completed (zero when no tier is attached).
     pub tier0_refits: u64,
+    /// Characterize computations that ran with non-zero process variation
+    /// (sampled dies; memo hits and coalesced joins are not re-counted).
+    pub varied: u64,
     /// Shards in the library memo.
     pub library_shards: u64,
     /// Shards in the arc cache.
@@ -297,12 +342,13 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    fn fields(&self) -> [(&'static str, u64); 16] {
+    fn fields(&self) -> [(&'static str, u64); 17] {
         [
             ("requests", self.requests),
             ("served", self.served),
             ("errors", self.errors),
             ("overloads", self.overloads),
+            ("varied", self.varied),
             ("lib_hits", self.library.hits),
             ("lib_computed", self.library.computed),
             ("lib_coalesced", self.library.coalesced),
@@ -443,6 +489,7 @@ impl Response {
                         tier0_fallbacks: count("cache_tier0_fallbacks"),
                     },
                     tier0_refits: count("cache_tier0_refits"),
+                    varied: count("varied"),
                     library_shards: count("lib_shards"),
                     cache_shards: count("cache_shards"),
                 },
@@ -503,6 +550,23 @@ mod tests {
     }
 
     #[test]
+    fn variation_requests_round_trip_and_key_distinct_dies() {
+        let nominal = CharRequest::new(&["INV_X1"], 0.4, 0.6, 10.0);
+        let sampled = nominal.clone().with_variation(0.015, 7);
+        // The wire line carries the variation triple and parses back.
+        let req = Request::characterize("r-2", sampled.clone());
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        // Nominal lines stay byte-identical to the pre-variation protocol.
+        let line = Request::characterize("r-2", nominal.clone()).to_line();
+        assert!(!line.contains("sigma_vth"), "{line}");
+        // Each sampled die is its own memo entry; the nominal corner keeps
+        // its pre-variation key semantics.
+        assert_ne!(nominal.content_key(), sampled.content_key());
+        assert_ne!(sampled.content_key(), nominal.clone().with_variation(0.015, 8).content_key());
+        assert_eq!(sampled.content_key(), nominal.with_variation(0.015, 7).content_key());
+    }
+
+    #[test]
     fn content_key_canonicalizes_cell_order_only() {
         let a = CharRequest::new(&["INV_X1", "NAND2_X1"], 0.4, 0.6, 10.0);
         let b = CharRequest::new(&["NAND2_X1", "INV_X1"], 0.4, 0.6, 10.0);
@@ -557,6 +621,7 @@ mod tests {
                         tier0_fallbacks: 2,
                     },
                     tier0_refits: 1,
+                    varied: 3,
                     library_shards: 16,
                     cache_shards: 16,
                 },

@@ -156,6 +156,8 @@ struct ServerState {
     served: AtomicU64,
     errors: AtomicU64,
     overloads: AtomicU64,
+    /// Characterize computations run with non-zero process variation.
+    varied: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -169,6 +171,7 @@ impl ServerState {
             library: self.libraries.stats(),
             cache: self.cache.stats(),
             tier0_refits: self.cache.tier0_refits(),
+            varied: self.varied.load(Ordering::Relaxed),
             library_shards: self.libraries.shard_count() as u64,
             cache_shards: self.cache.shard_count() as u64,
         }
@@ -239,7 +242,19 @@ impl ServerState {
             .catalog
             .checked_subset(&names)
             .map_err(|cell| FlowError::Usage(format!("unknown cell \"{cell}\"")))?;
-        let chars = Characterizer::in_context(subset, config, &ctx).map_err(FlowError::Char)?;
+        let mut chars = Characterizer::in_context(subset, config, &ctx).map_err(FlowError::Char)?;
+        if req.sigma_vth != 0.0 {
+            let variation = ptm::VariationModel {
+                sigma_vth: req.sigma_vth,
+                sigma_kp_frac: 0.0,
+                clamp_sigmas: req.clamp_sigmas,
+            };
+            if let Some(problem) = variation.validation_errors().into_iter().next() {
+                return Err(FlowError::Usage(format!("invalid variation: {problem}")));
+            }
+            chars = chars.with_variation(variation, req.var_seed);
+            self.varied.fetch_add(1, Ordering::Relaxed);
+        }
         let library = ctx.stage("characterize", || chars.library(&scenario));
         Ok(write_library(&library.map_err(FlowError::Char)?))
     }
@@ -322,6 +337,7 @@ impl Server {
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             overloads: AtomicU64::new(0),
+            varied: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
         Ok(Server { listener, state })

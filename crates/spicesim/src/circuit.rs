@@ -213,6 +213,23 @@ impl Circuit {
         self.devices.len()
     }
 
+    /// The parameter card of device `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a device of this circuit.
+    #[must_use]
+    pub fn device_model(&self, id: DeviceId) -> &MosModel {
+        &self.devices[id.0].model
+    }
+
+    /// The parameter cards of every device, in addition (ordinal) order.
+    /// With process variation each device carries its own sampled card;
+    /// without it, the per-polarity cards repeat.
+    pub fn device_models(&self) -> impl Iterator<Item = &MosModel> {
+        self.devices.iter().map(|d| &d.model)
+    }
+
     /// The name given to `node` at creation.
     #[must_use]
     pub fn node_name(&self, node: NodeId) -> &str {

@@ -1,11 +1,105 @@
 //! Instantiating a [`CellDef`] as a transistor-level [`spicesim::Circuit`].
+//!
+//! Device cards are supplied through [`CardSource`]: the builder asks the
+//! source for a card once per MOS device, identified by its *ordinal* —
+//! the position in the cell's deterministic device-addition order (per
+//! stage, the pull-down network first, then the width-compensated dual
+//! pull-up; flops add their inverter/transmission-gate devices in a fixed
+//! sequence). The nominal source ([`PolarityCards`]) returns one shared
+//! card per polarity — the pre-variation behavior — while
+//! [`SampledCards`] draws a per-device process-variation sample, so
+//! within-cell mismatch reaches the simulator without the topology code
+//! knowing anything about sampling.
 
 use crate::def::{CellDef, Stage, Topology};
 use crate::network::Network;
 use crate::{UNIT_NMOS_WIDTH, UNIT_PMOS_WIDTH};
-use ptm::MosModel;
+use ptm::{DeviceSample, MosModel, MosPolarity, VariationModel};
 use spicesim::{Circuit, NodeId, Waveform};
 use std::collections::BTreeMap;
+
+/// Per-device transistor-card source.
+///
+/// `ordinal` is the device's position in the cell's deterministic
+/// instantiation order; implementations must be pure functions of
+/// `(polarity, ordinal)` so rebuilding a cell yields bit-identical
+/// circuits regardless of caller, worker, or cache state.
+pub trait CardSource {
+    /// The card of the device at `ordinal` with `polarity`.
+    fn card(&self, polarity: MosPolarity, ordinal: u64) -> MosModel;
+}
+
+/// The nominal source: one fixed card per polarity, every ordinal alike.
+#[derive(Debug, Clone, Copy)]
+pub struct PolarityCards<'a> {
+    /// Card used by every n-channel device.
+    pub nmos: &'a MosModel,
+    /// Card used by every p-channel device.
+    pub pmos: &'a MosModel,
+}
+
+impl CardSource for PolarityCards<'_> {
+    fn card(&self, polarity: MosPolarity, _ordinal: u64) -> MosModel {
+        match polarity {
+            MosPolarity::Nmos => self.nmos.clone(),
+            MosPolarity::Pmos => self.pmos.clone(),
+        }
+    }
+}
+
+/// A process-variation source: each device's card is the polarity base
+/// shifted by the [`VariationModel`] sample at `(seed, ordinal)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledCards<'a> {
+    /// Base (nominal or aged) n-channel card.
+    pub nmos: &'a MosModel,
+    /// Base (nominal or aged) p-channel card.
+    pub pmos: &'a MosModel,
+    /// The within-die spread to sample from.
+    pub variation: &'a VariationModel,
+    /// Stream seed; one per (Monte-Carlo sample, cell) in practice.
+    pub seed: u64,
+}
+
+impl SampledCards<'_> {
+    /// The sample applied to the device at `ordinal`. Polarities use
+    /// disjoint counter ranges so an nMOS and a pMOS at the same ordinal
+    /// never share a draw.
+    #[must_use]
+    pub fn sample_at(&self, polarity: MosPolarity, ordinal: u64) -> DeviceSample {
+        let counter = match polarity {
+            MosPolarity::Nmos => ordinal.wrapping_mul(2),
+            MosPolarity::Pmos => ordinal.wrapping_mul(2).wrapping_add(1),
+        };
+        self.variation.sample(self.seed, counter)
+    }
+}
+
+impl CardSource for SampledCards<'_> {
+    fn card(&self, polarity: MosPolarity, ordinal: u64) -> MosModel {
+        let base = match polarity {
+            MosPolarity::Nmos => self.nmos,
+            MosPolarity::Pmos => self.pmos,
+        };
+        base.sampled(&self.sample_at(polarity, ordinal))
+    }
+}
+
+/// Adds the device at the circuit's next ordinal with a card drawn from
+/// `cards` — the single funnel every topology builder goes through.
+fn add_device(
+    circuit: &mut Circuit,
+    cards: &dyn CardSource,
+    polarity: MosPolarity,
+    gate: NodeId,
+    drain: NodeId,
+    source: NodeId,
+    w: f64,
+) {
+    let card = cards.card(polarity, circuit.device_count() as u64);
+    debug_assert_eq!(card.polarity, polarity, "card source returned the wrong polarity");
+    circuit.add_mos(card, gate, drain, source, w);
+}
 
 /// A cell instantiated into a simulatable circuit, with name → node lookup
 /// for all pins and internal signals.
@@ -49,6 +143,25 @@ impl CellDef {
         stimuli: &BTreeMap<String, Waveform>,
         loads: &BTreeMap<String, f64>,
     ) -> CellInstance {
+        self.instantiate_with(&PolarityCards { nmos, pmos }, vdd, stimuli, loads)
+    }
+
+    /// Builds the transistor-level circuit with per-device cards from
+    /// `cards` — the variation-aware generalization of
+    /// [`CellDef::instantiate`]. With a [`PolarityCards`] source the two
+    /// are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `loads` key names an unknown output pin.
+    #[must_use]
+    pub fn instantiate_with(
+        &self,
+        cards: &dyn CardSource,
+        vdd: f64,
+        stimuli: &BTreeMap<String, Waveform>,
+        loads: &BTreeMap<String, f64>,
+    ) -> CellInstance {
         let mut circuit = Circuit::new(vdd);
         let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
         let mut logic: BTreeMap<String, bool> = BTreeMap::new();
@@ -64,10 +177,10 @@ impl CellDef {
 
         match &self.topology {
             Topology::Stages(stages) => {
-                build_stages(self, stages, nmos, pmos, vdd, &mut circuit, &mut nodes, &mut logic);
+                build_stages(self, stages, cards, vdd, &mut circuit, &mut nodes, &mut logic);
             }
             Topology::Flop { strength } => {
-                build_flop(*strength, nmos, pmos, vdd, &mut circuit, &mut nodes, &logic);
+                build_flop(*strength, cards, vdd, &mut circuit, &mut nodes, &logic);
             }
         }
 
@@ -86,8 +199,7 @@ impl CellDef {
 fn build_stages(
     def: &CellDef,
     stages: &[Stage],
-    nmos: &MosModel,
-    pmos: &MosModel,
+    cards: &dyn CardSource,
     vdd: f64,
     circuit: &mut Circuit,
     nodes: &mut BTreeMap<String, NodeId>,
@@ -108,8 +220,9 @@ fn build_stages(
         let wp = UNIT_PMOS_WIDTH * stage.strength * pullup.series_depth() as f64;
         let gnd = circuit.gnd_node();
         let vdd_node = circuit.vdd_node();
-        build_network(circuit, &stage.pulldown, out, gnd, nmos, wn, nodes, &stage.output, "n");
-        build_network(circuit, &pullup, out, vdd_node, pmos, wp, nodes, &stage.output, "p");
+        let (n, p) = (MosPolarity::Nmos, MosPolarity::Pmos);
+        build_network(circuit, &stage.pulldown, out, gnd, cards, n, wn, nodes, &stage.output, "n");
+        build_network(circuit, &pullup, out, vdd_node, cards, p, wp, nodes, &stage.output, "p");
         // Stage logic value = NOT(pull-down conducts) under the initial input state.
         let assign = |s: &str| logic.get(s).copied().unwrap_or(false);
         let value = !stage.pulldown.conducts(&assign);
@@ -127,7 +240,8 @@ fn build_network(
     net: &Network,
     top: NodeId,
     bottom: NodeId,
-    model: &MosModel,
+    cards: &dyn CardSource,
+    polarity: MosPolarity,
     width: f64,
     nodes: &BTreeMap<String, NodeId>,
     stage_name: &str,
@@ -138,11 +252,13 @@ fn build_network(
             let gate = *nodes
                 .get(signal)
                 .unwrap_or_else(|| panic!("stage {stage_name}: unknown gate signal {signal}"));
-            circuit.add_mos(model.clone(), gate, top, bottom, width);
+            add_device(circuit, cards, polarity, gate, top, bottom, width);
         }
         Network::Parallel(children) => {
             for child in children {
-                build_network(circuit, child, top, bottom, model, width, nodes, stage_name, side);
+                build_network(
+                    circuit, child, top, bottom, cards, polarity, width, nodes, stage_name, side,
+                );
             }
         }
         Network::Series(children) => {
@@ -153,7 +269,9 @@ fn build_network(
                 } else {
                     circuit.add_node(&format!("{stage_name}.{side}{k}"), 0.0)
                 };
-                build_network(circuit, child, upper, lower, model, width, nodes, stage_name, side);
+                build_network(
+                    circuit, child, upper, lower, cards, polarity, width, nodes, stage_name, side,
+                );
                 upper = lower;
             }
         }
@@ -163,8 +281,7 @@ fn build_network(
 /// Builds the positive-edge master–slave transmission-gate D flip-flop.
 fn build_flop(
     strength: f64,
-    nmos: &MosModel,
-    pmos: &MosModel,
+    cards: &dyn CardSource,
     vdd: f64,
     circuit: &mut Circuit,
     nodes: &mut BTreeMap<String, NodeId>,
@@ -197,12 +314,14 @@ fn build_flop(
     let wp = UNIT_PMOS_WIDTH;
     let weak = 0.6;
     let inv = |circuit: &mut Circuit, input: NodeId, output: NodeId, scale: f64| {
-        circuit.add_nmos(nmos.clone(), input, output, circuit.gnd_node(), wn * scale);
-        circuit.add_pmos(pmos.clone(), input, output, circuit.vdd_node(), wp * scale);
+        let gnd = circuit.gnd_node();
+        let vdd_node = circuit.vdd_node();
+        add_device(circuit, cards, MosPolarity::Nmos, input, output, gnd, wn * scale);
+        add_device(circuit, cards, MosPolarity::Pmos, input, output, vdd_node, wp * scale);
     };
     let tg = |circuit: &mut Circuit, from: NodeId, to: NodeId, n_gate: NodeId, p_gate: NodeId| {
-        circuit.add_nmos(nmos.clone(), n_gate, from, to, wn);
-        circuit.add_pmos(pmos.clone(), p_gate, from, to, wp);
+        add_device(circuit, cards, MosPolarity::Nmos, n_gate, from, to, wn);
+        add_device(circuit, cards, MosPolarity::Pmos, p_gate, from, to, wp);
     };
 
     inv(circuit, ck, cn, 1.0);
@@ -362,6 +481,71 @@ mod tests {
         let delay = trace.delay_after(inst.node("CK").unwrap(), true, q, true, 0.9e-9);
         let delay = delay.expect("clk-to-q edge");
         assert!(delay > 0.0 && delay < 300e-12, "clk→Q = {delay}");
+    }
+
+    #[test]
+    fn polarity_cards_match_the_two_card_path_bit_for_bit() {
+        let (n, p) = models();
+        let cells = CellSet::nangate45_like();
+        for name in ["INV_X1", "NAND2_X1", "AOI21_X1", "DFF_X1"] {
+            let def = cells.get(name).unwrap();
+            let a = def.instantiate(&n, &p, 1.2, &BTreeMap::new(), &BTreeMap::new());
+            let b = def.instantiate_with(
+                &PolarityCards { nmos: &n, pmos: &p },
+                1.2,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+            );
+            assert_eq!(a.circuit.device_count(), b.circuit.device_count(), "{name}");
+            for (k, (ma, mb)) in
+                a.circuit.device_models().zip(b.circuit.device_models()).enumerate()
+            {
+                assert_eq!(ma, mb, "{name}/{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_cards_vary_per_device_and_replay_deterministically() {
+        let (n, p) = models();
+        let cells = CellSet::nangate45_like();
+        let nand = cells.get("NAND2_X1").unwrap();
+        let variation = ptm::VariationModel::nominal_45nm();
+        let cards = SampledCards { nmos: &n, pmos: &p, variation: &variation, seed: 0x5eed };
+        let a = nand.instantiate_with(&cards, 1.2, &BTreeMap::new(), &BTreeMap::new());
+        let b = nand.instantiate_with(&cards, 1.2, &BTreeMap::new(), &BTreeMap::new());
+        // Replays are bit-identical; distinct devices of one polarity differ.
+        let mut nmos_vths = Vec::new();
+        for (ma, mb) in a.circuit.device_models().zip(b.circuit.device_models()) {
+            assert_eq!(ma, mb);
+            if ma.polarity == MosPolarity::Nmos {
+                nmos_vths.push(ma.vth);
+            }
+        }
+        assert!(nmos_vths.len() >= 2);
+        assert!(nmos_vths.windows(2).any(|w| w[0] != w[1]), "all devices drew the same card");
+        // A different seed produces a different die.
+        let other = SampledCards { seed: 0x5eee, ..cards };
+        let c = nand.instantiate_with(&other, 1.2, &BTreeMap::new(), &BTreeMap::new());
+        assert_ne!(
+            a.circuit.device_models().next().unwrap(),
+            c.circuit.device_models().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_variance_sampling_is_the_nominal_circuit() {
+        let (n, p) = models();
+        let cells = CellSet::nangate45_like();
+        let inv = cells.get("INV_X1").unwrap();
+        let variation = ptm::VariationModel::none();
+        let cards = SampledCards { nmos: &n, pmos: &p, variation: &variation, seed: 99 };
+        let sampled = inv.instantiate_with(&cards, 1.2, &BTreeMap::new(), &BTreeMap::new());
+        let nominal = inv.instantiate(&n, &p, 1.2, &BTreeMap::new(), &BTreeMap::new());
+        assert_eq!(sampled.circuit.device_count(), nominal.circuit.device_count());
+        for (ms, mn) in sampled.circuit.device_models().zip(nominal.circuit.device_models()) {
+            assert_eq!(ms, mn);
+        }
     }
 
     #[test]

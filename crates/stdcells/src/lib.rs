@@ -33,7 +33,7 @@ mod network;
 
 pub use catalog::CellSet;
 pub use def::{CellDef, CellOutput, Stage, Topology};
-pub use instance::CellInstance;
+pub use instance::{CardSource, CellInstance, PolarityCards, SampledCards};
 pub use network::Network;
 
 /// Unit nMOS width (meters) of a drive-strength-1 stage.

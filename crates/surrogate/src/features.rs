@@ -7,11 +7,14 @@ pub const TABLE_KINDS: [&str; 4] = ["rise_delay", "fall_delay", "rise_tran", "fa
 /// The characterization input of one timing arc, reduced to numbers.
 ///
 /// `base` holds the per-arc scalars (drive strength, stack depth, device
-/// count, `ΔVth` and mobility ratio per polarity, Vdd — temperature and
-/// lifetime act on an arc *only* through ΔVth/Δμ, so they need no feature
-/// of their own). The OPC axes are kept as raw values; the model works on
-/// their logarithms, one prediction point per `(slew, load)` grid cell in
-/// row-major `[slew × load]` order — the same layout as the arc tables.
+/// count, `ΔVth` and mobility ratio per polarity). The environment is
+/// carried as two explicit axes — `temperature_k` and `vdd` — so a model
+/// trained over several operating corners can interpolate between them;
+/// lifetime still acts on an arc only through ΔVth/Δμ and keeps no
+/// feature of its own. The OPC axes are kept as raw values; the model
+/// works on their logarithms, one prediction point per `(slew, load)`
+/// grid cell in row-major `[slew × load]` order — the same layout as the
+/// arc tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArcFeatures {
     /// Arc class identity: models are trained per class (e.g.
@@ -20,6 +23,10 @@ pub struct ArcFeatures {
     /// Per-arc scalar features; every sample of a deployment must use the
     /// same length and ordering.
     pub base: Vec<f64>,
+    /// Junction temperature axis in kelvin.
+    pub temperature_k: f64,
+    /// Supply-voltage axis in volts.
+    pub vdd: f64,
     /// Input-slew axis in seconds.
     pub slews: Vec<f64>,
     /// Output-load axis in farad.
@@ -33,12 +40,15 @@ impl ArcFeatures {
         self.slews.len() * self.loads.len()
     }
 
-    /// The full feature vector of grid point `(si, li)`: `base` followed by
-    /// `ln(slew)` and `ln(load)`.
+    /// The full feature vector of grid point `(si, li)`: `base`, the
+    /// environment axes (`temperature_k`, `vdd`), then `ln(slew)` and
+    /// `ln(load)`.
     #[must_use]
     pub fn point_vector(&self, si: usize, li: usize) -> Vec<f64> {
-        let mut x = Vec::with_capacity(self.base.len() + 2);
+        let mut x = Vec::with_capacity(self.dim());
         x.extend_from_slice(&self.base);
+        x.push(self.temperature_k);
+        x.push(self.vdd);
         x.push(self.slews[si].ln());
         x.push(self.loads[li].ln());
         x
@@ -47,7 +57,7 @@ impl ArcFeatures {
     /// Length of [`ArcFeatures::point_vector`].
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.base.len() + 2
+        self.base.len() + 4
     }
 }
 
@@ -67,18 +77,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn point_vector_appends_log_axes() {
+    fn point_vector_appends_environment_then_log_axes() {
         let f = ArcFeatures {
             class: "comb:INV_X1:A->Y".into(),
             base: vec![1.0, 2.0],
+            temperature_k: 398.15,
+            vdd: 1.2,
             slews: vec![1e-12, 1e-10],
             loads: vec![1e-15],
         };
         assert_eq!(f.point_count(), 2);
-        assert_eq!(f.dim(), 4);
+        assert_eq!(f.dim(), 6);
         let x = f.point_vector(1, 0);
-        assert_eq!(&x[..2], &[1.0, 2.0]);
-        assert!((x[2] - 1e-10_f64.ln()).abs() < 1e-12);
-        assert!((x[3] - 1e-15_f64.ln()).abs() < 1e-12);
+        assert_eq!(&x[..4], &[1.0, 2.0, 398.15, 1.2]);
+        assert!((x[4] - 1e-10_f64.ln()).abs() < 1e-12);
+        assert!((x[5] - 1e-15_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn environment_axes_change_the_vector_not_the_class() {
+        let f = ArcFeatures {
+            class: "comb:INV_X1:A->Y".into(),
+            base: vec![1.0],
+            temperature_k: 300.0,
+            vdd: 1.1,
+            slews: vec![1e-11],
+            loads: vec![1e-15],
+        };
+        let hot = ArcFeatures { temperature_k: 398.15, ..f.clone() };
+        assert_eq!(f.class, hot.class);
+        assert_eq!(f.dim(), hot.dim());
+        assert_ne!(f.point_vector(0, 0), hot.point_vector(0, 0));
     }
 }

@@ -116,8 +116,17 @@ fn standardize(x: &[f64], mean: &[f64], std: &[f64]) -> Vec<f64> {
 type PointRow = (Vec<f64>, [f64; 4]);
 
 impl SurrogateModel {
-    /// Header line of the serialized model format.
-    pub const HEADER: &'static str = "reliaware-surrogate v1";
+    /// Header line of the serialized model format. `v2` marks models
+    /// trained with the explicit environment axes
+    /// ([`ArcFeatures::temperature_k`] / [`ArcFeatures::vdd`]) in the
+    /// feature vector.
+    pub const HEADER: &'static str = "reliaware-surrogate v2";
+
+    /// Header of the pre-environment-axis format. The layout is otherwise
+    /// identical, so v1 models still load; their recorded `dim` disagrees
+    /// with v2 features, which makes every prediction decline (fall back
+    /// to simulation) rather than mispredict.
+    pub const LEGACY_HEADER: &'static str = "reliaware-surrogate v1";
 
     /// Trains one model per arc class from `samples`.
     ///
@@ -286,7 +295,7 @@ impl SurrogateModel {
         let mut lines = text.lines().enumerate();
         let mut next = |what: &str| lines.next().ok_or_else(|| ModelParseError::eof(what));
         let (_, header) = next("header")?;
-        if header != Self::HEADER {
+        if header != Self::HEADER && header != Self::LEGACY_HEADER {
             return Err(ModelParseError::at(1, "unrecognized header"));
         }
         let (ln, dim_line) = next("dim")?;
@@ -532,6 +541,8 @@ mod tests {
         let features = ArcFeatures {
             class: class.into(),
             base: vec![1.0, a, b],
+            temperature_k: 398.15,
+            vdd: 1.2,
             slews: vec![1e-11, 1e-10, 3e-10],
             loads: vec![1e-15, 4e-15, 1e-14],
         };
@@ -603,6 +614,8 @@ mod tests {
         let other = ArcFeatures {
             class: "comb:OTHER:A->Y".into(),
             base: vec![1.0, 0.0, 0.0],
+            temperature_k: 398.15,
+            vdd: 1.2,
             slews: vec![1e-11],
             loads: vec![1e-15],
         };
@@ -610,6 +623,8 @@ mod tests {
         let wrong_dim = ArcFeatures {
             class: "comb:X:A->Y".into(),
             base: vec![1.0],
+            temperature_k: 398.15,
+            vdd: 1.2,
             slews: vec![1e-11],
             loads: vec![1e-15],
         };
@@ -634,6 +649,21 @@ mod tests {
         model.save(&path).expect("save");
         assert_eq!(SurrogateModel::load(&path).expect("load"), model);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_models_still_load_and_decline_v2_features() {
+        let model = SurrogateModel::train(&training_set(), &TrainConfig::default());
+        // A v1 file is byte-identical apart from its header line and the
+        // smaller feature dimension it was trained with.
+        let v1_text =
+            model.to_text().replacen(SurrogateModel::HEADER, SurrogateModel::LEGACY_HEADER, 1);
+        let legacy = SurrogateModel::from_text(&v1_text).expect("v1 header must parse");
+        assert_eq!(legacy, model);
+        // A genuinely older dim disagrees with v2 features → decline.
+        let shrunk = v1_text.replacen(&format!("dim {}", model.dim()), "dim 3", 1);
+        let old = SurrogateModel::from_text(&shrunk);
+        assert!(old.is_err() || old.unwrap().predict(&training_set()[0].features).is_none());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use reliaware::flow::{CharConfig, Characterizer};
 use reliaware::liberty::write_library;
-use reliaware::serve::{CharRequest, Client, Response, ServeConfig, Server, ServerHandle};
+use reliaware::ptm::VariationModel;
+use reliaware::serve::{
+    CharRequest, Client, Response, ServeConfig, ServedVia, Server, ServerHandle,
+};
 use reliaware::stdcells::CellSet;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -49,8 +52,16 @@ fn direct_text(req: &CharRequest) -> String {
         ..CharConfig::fast()
     };
     let names: Vec<&str> = req.cells.iter().map(String::as_str).collect();
-    let chars = Characterizer::for_named_cells(&CellSet::nangate45_like(), &names, config)
+    let mut chars = Characterizer::for_named_cells(&CellSet::nangate45_like(), &names, config)
         .expect("known cells");
+    if req.sigma_vth != 0.0 {
+        let variation = VariationModel {
+            sigma_vth: req.sigma_vth,
+            sigma_kp_frac: 0.0,
+            clamp_sigmas: req.clamp_sigmas,
+        };
+        chars = chars.with_variation(variation, req.var_seed);
+    }
     write_library(&chars.library(&scenario).expect("characterization"))
 }
 
@@ -167,6 +178,44 @@ fn coalesced_storms_compute_each_unique_key_exactly_once() {
     }
     handle.shutdown();
     let _ = std::fs::remove_file(&socket);
+}
+
+/// Variation-sampled requests are first-class protocol citizens: each
+/// `(sigma, clamp, die seed)` triple is its own memo entry, serves text
+/// bit-identical to a direct in-process sampled characterization, and is
+/// counted by the server's `varied` stat exactly once per computation.
+#[test]
+fn variation_sampled_dies_are_memoized_and_bit_identical() {
+    let (handle, socket) = spawn_server("variation");
+    let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5)).expect("connect");
+    let nominal = tiny_request(1.0, 10.0);
+    let die7 = nominal.clone().with_variation(0.03, 7);
+    let die8 = nominal.clone().with_variation(0.03, 8);
+
+    let mut serve = |req: CharRequest| match client.characterize(req).expect("request") {
+        Response::Ok { via, library, .. } => (via, library),
+        other => panic!("not served: {other:?}"),
+    };
+    let (_, base) = serve(nominal.clone());
+    let (_, text7) = serve(die7.clone());
+    let (_, text8) = serve(die8);
+    assert_ne!(base, text7, "a sampled die must differ from the nominal corner");
+    assert_ne!(text7, text8, "distinct die seeds must sample distinct libraries");
+
+    // Replaying the same die is a memo hit serving identical bytes.
+    let (via, replay) = serve(die7.clone());
+    assert_eq!(via, ServedVia::MemoHit);
+    assert_eq!(replay, text7);
+
+    // Served text matches a direct in-process sampled characterization.
+    assert_eq!(text7, direct_text(&die7), "served sampled die must be bit-identical");
+    assert_eq!(base, direct_text(&nominal), "nominal corner unaffected by variation support");
+
+    let stats = handle.stats();
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+    assert_eq!(stats.varied, 2, "two sampled computations; the replay was memoized");
+    assert_eq!(stats.errors, 0);
 }
 
 #[test]

@@ -146,20 +146,10 @@ fn preflight_accepts_dynamic_annotation_and_rejects_mutation() {
     assert!(err.errors.iter().any(|d| d.rule == Rule::LambdaOutsideBounds), "{err}");
 }
 
-/// Deterministic linear congruential sampler (no external RNG crates in the
-/// hot path; the sequence is fixed so failures reproduce).
-struct Lcg(u64);
-
-impl Lcg {
-    fn next_f64(&mut self) -> f64 {
-        self.0 =
-            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
-        (self.0 >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.next_f64()
-    }
+/// Deterministic sampling from the shared seeded generator (no external
+/// RNG crates; the sequence is fixed so failures reproduce).
+fn in_range(rng: &mut reliaware::flow::Lcg, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.unit()
 }
 
 /// Monte-Carlo containment over all bundled benchmarks: sample concrete
@@ -183,7 +173,7 @@ fn monte_carlo_lifetime_never_beats_the_static_bound() {
         ..LifetimeConfig::default()
     };
     let mechanisms = config.suite.mechanisms();
-    let mut rng = Lcg(0x9e37_79b9_7f4a_7c15);
+    let mut rng = reliaware::flow::Lcg::new(0x9e37_79b9_7f4a_7c15);
 
     for design in reliaware::circuits::all_benchmarks() {
         let nl = reliaware::synth::synthesize(
@@ -208,17 +198,18 @@ fn monte_carlo_lifetime_never_beats_the_static_bound() {
             }
             let mut sampled_here: Vec<Weibull> = Vec::new();
             for round in 0..2 {
-                let temp = rng.in_range(config.temperature_range.0, config.temperature_range.1);
-                let vdd = rng.in_range(config.vdd_range.0, config.vdd_range.1);
+                let temp =
+                    in_range(&mut rng, config.temperature_range.0, config.temperature_range.1);
+                let vdd = in_range(&mut rng, config.vdd_range.0, config.vdd_range.1);
                 for ((source, mech), m) in mechanisms.iter().zip(&inst.mechanisms) {
                     let stress = match source {
                         StressSource::PmosDuty => {
-                            rng.in_range(inst.lambda.pmos.lo(), inst.lambda.pmos.hi())
+                            in_range(&mut rng, inst.lambda.pmos.lo(), inst.lambda.pmos.hi())
                         }
                         StressSource::NmosDuty => {
-                            rng.in_range(inst.lambda.nmos.lo(), inst.lambda.nmos.hi())
+                            in_range(&mut rng, inst.lambda.nmos.lo(), inst.lambda.nmos.hi())
                         }
-                        StressSource::Activity => rng.in_range(0.0, inst.activity_hi),
+                        StressSource::Activity => in_range(&mut rng, 0.0, inst.activity_hi),
                     };
                     let input =
                         AgingInput::new(stress, config.years, temp, vdd, config.frequency_hz);
@@ -265,6 +256,92 @@ fn monte_carlo_lifetime_never_beats_the_static_bound() {
             "{}: sampled design MTTF {sampled_design} falls below the provable bound {}",
             design.name,
             report.design_mttf_lo_years,
+        );
+    }
+}
+
+/// One static lifetime report over the small inverter-chain fixture,
+/// shared by every property-test case below.
+fn chain_report() -> &'static reliaware::dataflow::LifetimeReport {
+    use std::sync::OnceLock;
+    static REPORT: OnceLock<reliaware::dataflow::LifetimeReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        reliaware::dataflow::static_lifetime_bound(
+            &inv_chain(5),
+            &base_library(),
+            &reliaware::dataflow::LifetimeConfig::default(),
+            &DataflowConfig::default(),
+        )
+    })
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    /// For any seed and sample count, zero-variance Monte-Carlo is
+    /// bit-identical to the deterministic path: every sampled die equals
+    /// `design_mttf_lo_years` exactly, and the clamp-boundary bound
+    /// degenerates to the nominal bound.
+    #[test]
+    fn zero_variance_mc_is_bit_identical_to_the_deterministic_path(
+        seed in proptest::prelude::any::<u64>(),
+        samples in 1usize..6,
+    ) {
+        use proptest::prelude::prop_assert;
+        let report = chain_report();
+        let sampling = reliaware::dataflow::McSampling::zero_variance(samples, seed);
+        let dist = reliaware::dataflow::mc_design_mttf(report, &sampling);
+        prop_assert!(dist.samples.len() == samples);
+        for (s, mttf) in dist.samples.iter().enumerate() {
+            prop_assert!(
+                mttf.to_bits() == report.design_mttf_lo_years.to_bits(),
+                "die {s} (seed {seed}): {mttf} != deterministic {}",
+                report.design_mttf_lo_years,
+            );
+        }
+        prop_assert!(
+            dist.static_bound_years.to_bits() == report.design_mttf_lo_years.to_bits(),
+            "zero-variance clamp boundary must be the nominal bound",
+        );
+        prop_assert!(dist.contains_static_bound());
+    }
+}
+
+/// Monte-Carlo die sampling across all seven bundled benchmarks: every
+/// sampled design MTTF respects the variation-aware static lower bound
+/// (the clamp-boundary re-evaluation), which itself never exceeds the
+/// nominal bound — variation can only erode lifetime.
+#[test]
+fn sampled_die_mttf_respects_the_variation_bound_on_every_benchmark() {
+    use reliaware::dataflow::{mc_design_mttf, static_lifetime_bound, LifetimeConfig, McSampling};
+
+    let library = reliaware::synth::test_fixtures::fixture_library();
+    let config = LifetimeConfig::default();
+    for (k, design) in reliaware::circuits::all_benchmarks().iter().enumerate() {
+        let nl = reliaware::synth::synthesize(
+            &design.aig,
+            &library,
+            &reliaware::synth::MapOptions::default(),
+        )
+        .expect("synthesis");
+        let report = static_lifetime_bound(&nl, &library, &config, &DataflowConfig::default());
+        // Two dies per benchmark keep the debug-build runtime bounded; the
+        // per-design seed decorrelates the sampled populations.
+        let sampling = McSampling::nominal_45nm(2, 0xD1E5 + k as u64);
+        let dist = mc_design_mttf(&report, &sampling);
+        assert!(
+            dist.static_bound_years <= report.design_mttf_lo_years * (1.0 + 1e-12),
+            "{}: variation-aware bound {} above the nominal bound {}",
+            design.name,
+            dist.static_bound_years,
+            report.design_mttf_lo_years,
+        );
+        assert!(
+            dist.contains_static_bound(),
+            "{}: sampled die MTTF {} falls below the variation-aware bound {}",
+            design.name,
+            dist.min_years(),
+            dist.static_bound_years,
         );
     }
 }

@@ -41,7 +41,9 @@ fn synthetic_sample(dvth: f64) -> ArcSample {
     let loads = vec![1e-15, 10e-15];
     let features = ArcFeatures {
         class: "comb:SYN_X1:A->Z".into(),
-        base: vec![1.0, 2.0, 6.0, dvth, 0.8 * dvth, 1.0 - dvth, 1.0 - 0.5 * dvth, 1.1],
+        base: vec![1.0, 2.0, 6.0, dvth, 0.8 * dvth, 1.0 - dvth, 1.0 - 0.5 * dvth],
+        temperature_k: 398.15,
+        vdd: 1.1,
         slews: slews.clone(),
         loads: loads.clone(),
     };
